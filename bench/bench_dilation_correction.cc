@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The dilation-correction study the paper proposes (Section 4.2):
+ * "We are collecting time dilation curves for a larger set of
+ * workloads to determine if their shape and magnitude are the same
+ * as in Figure 4. If so, it should be possible to adjust simulation
+ * results to factor away this form of systematic error."
+ *
+ * This bench does exactly that: collects the dilation curve of each
+ * workload (sampling degree sweeps the slowdown), fits the
+ * saturating model misses(d) = m0*(1 + a*d/(b+d)), and checks how
+ * well the corrected unsampled measurement recovers the undilated
+ * ground truth (a cost-free instrumented run of the same trial).
+ */
+
+#include "common.hh"
+#include "harness/dilation.hh"
+
+using namespace twbench;
+
+int
+main()
+{
+    unsigned scale = envScaleDiv(400);
+    banner("Section 4.2", "time-dilation curves and correction",
+           scale);
+
+    TextTable t({"workload", "a (sat.infl)", "b (half-scale)",
+                 "raw err", "corrected err", "fit rms"});
+    for (const char *name :
+         {"mpeg_play", "sdet", "ousterhout", "jpeg_play"}) {
+        RunSpec spec;
+        spec.workload = makeWorkload(name, scale);
+        spec.sys.scope = SimScope::all();
+        spec.sys.clockJitter = false;
+        spec.sim = SimKind::Tapeworm;
+        spec.tw.cache = CacheConfig::icache(4096, 16, 1,
+                                            Indexing::Virtual);
+        spec.tw.sampleSeed = 77; // virtual + fixed seed: low noise
+
+        // Ground truth: instrumentation with zero cost (dilation ~0).
+        RunSpec truth_spec = spec;
+        truth_spec.tw.chargeCost = false;
+        double truth = Runner::runOne(truth_spec, 3).estMisses;
+
+        // Collect the dilation curve by sweeping sampling.
+        std::vector<std::pair<double, double>> curve;
+        double raw_unsampled = 0, dil_unsampled = 0;
+        for (unsigned denom : {16u, 8u, 4u, 2u, 1u}) {
+            RunSpec point = spec;
+            point.tw.sampleNum = 1;
+            point.tw.sampleDenom = denom;
+            Runner::clearBaselineCache();
+            RunOutcome out = Runner::runWithSlowdown(point, 3);
+            curve.emplace_back(out.slowdown, out.estMisses);
+            if (denom == 1) {
+                raw_unsampled = out.estMisses;
+                dil_unsampled = out.slowdown;
+            }
+        }
+
+        DilationModel model = DilationModel::fit(curve);
+        double corrected =
+            model.correct(raw_unsampled, dil_unsampled);
+        double raw_err = 100.0 * (raw_unsampled - truth) / truth;
+        double corr_err = 100.0 * (corrected - truth) / truth;
+
+        t.addRow({
+            name,
+            fmtF(model.saturationInflation(), 3),
+            fmtF(model.halfScale(), 2),
+            csprintf("%+.1f%%", raw_err),
+            csprintf("%+.1f%%", corr_err),
+            fmtF(model.rmsError(), 3),
+        });
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf("Shape targets: raw unsampled measurements "
+                "over-read by several percent (the Figure 4 error); "
+                "after fitting each workload's own curve the "
+                "corrected values land within ~1-2%% of the "
+                "undilated truth — the adjustment the paper "
+                "anticipated is workable.\n");
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Regenerates Figure 3: Tapeworm slowdowns across simulation
+ * configurations — associativity 1/2/4, line sizes 16/32/64 bytes,
+ * and set-sampling degrees 1 down to 1/16 — for mpeg_play.
+ */
+
+#include "common.hh"
+
+using namespace twbench;
+
+int
+main()
+{
+    unsigned scale = envScaleDiv(200);
+    banner("Figure 3",
+           "Tapeworm slowdowns across configurations, mpeg_play",
+           scale);
+
+    auto base_spec = [&](std::uint64_t size_bytes) {
+        RunSpec spec = defaultSpec("mpeg_play", scale);
+        spec.sys.scope = SimScope::userOnly();
+        spec.tw.cache = CacheConfig::icache(size_bytes, 16, 1,
+                                            Indexing::Virtual);
+        return spec;
+    };
+
+    // Panel 1: associativity (FIFO replacement above 1 way, since a
+    // trap-driven simulator cannot do LRU).
+    {
+        TextTable t({"size", "1-way", "2-way", "4-way"});
+        for (std::uint64_t kb : {1, 2, 4, 8, 16, 32}) {
+            std::vector<std::string> row{csprintf("%lluK",
+                                                  (unsigned long long)kb)};
+            for (unsigned assoc : {1u, 2u, 4u}) {
+                RunSpec spec = base_spec(kb * 1024);
+                spec.tw.cache =
+                    CacheConfig::icache(kb * 1024, 16, assoc,
+                                        Indexing::Virtual);
+                row.push_back(fmtF(
+                    Runner::runWithSlowdown(spec, 7).slowdown, 2));
+            }
+            t.addRow(row);
+        }
+        std::printf("slowdown vs associativity:\n%s\n",
+                    t.render().c_str());
+    }
+
+    // Panel 2: line size. Longer lines cost more per miss but
+    // produce fewer misses, so simulation gets faster overall.
+    {
+        TextTable t({"size", "16B", "32B", "64B"});
+        for (std::uint64_t kb : {1, 2, 4, 8, 16, 32}) {
+            std::vector<std::string> row{csprintf("%lluK",
+                                                  (unsigned long long)kb)};
+            for (unsigned line : {16u, 32u, 64u}) {
+                RunSpec spec = base_spec(kb * 1024);
+                spec.tw.cache = CacheConfig::icache(
+                    kb * 1024, line, 1, Indexing::Virtual);
+                row.push_back(fmtF(
+                    Runner::runWithSlowdown(spec, 7).slowdown, 2));
+            }
+            t.addRow(row);
+        }
+        std::printf("slowdown vs line size:\n%s\n",
+                    t.render().c_str());
+    }
+
+    // Panel 3: set sampling at small cache sizes (larger caches are
+    // fast enough not to need sampling — Section 4.1).
+    {
+        TextTable t({"size", "1/1", "1/2", "1/4", "1/8", "1/16"});
+        for (std::uint64_t kb : {1, 2, 4}) {
+            std::vector<std::string> row{csprintf("%lluK",
+                                                  (unsigned long long)kb)};
+            for (unsigned denom : {1u, 2u, 4u, 8u, 16u}) {
+                RunSpec spec = base_spec(kb * 1024);
+                spec.tw.sampleNum = 1;
+                spec.tw.sampleDenom = denom;
+                row.push_back(fmtF(
+                    Runner::runWithSlowdown(spec, 7).slowdown, 2));
+            }
+            t.addRow(row);
+        }
+        std::printf("slowdown vs sampling degree:\n%s\n",
+                    t.render().c_str());
+        std::printf("Shape target: slowdowns fall roughly in "
+                    "proportion to the sampled fraction.\n");
+    }
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Regenerates Figure 4: error due to time dilation. mpeg_play runs
+ * with all system activity in a physically-addressed 4 KB DM
+ * I-cache; time dilation is varied by changing the degree of set
+ * sampling, and the estimated misses rise with slowdown because
+ * the dilated run takes more clock interrupts (more handler
+ * interference). Each point averages a few trials to steady the
+ * sampling estimator.
+ */
+
+#include "common.hh"
+
+using namespace twbench;
+
+namespace
+{
+
+struct PaperRow
+{
+    double dilation, misses, increase_pct;
+};
+
+// Figure 4's embedded table.
+const PaperRow kPaper[] = {
+    {0.43, 90.56, 0.0},  {0.96, 91.54, 1.2},  {2.08, 95.70, 5.7},
+    {4.42, 99.66, 10.1}, {9.29, 103.57, 14.4},
+};
+
+} // namespace
+
+int
+main()
+{
+    unsigned scale = envScaleDiv(200);
+    unsigned trials = 3;
+    banner("Figure 4", "error due to time dilation "
+                       "(mpeg_play, 4KB physical, all activity)",
+           scale);
+
+    TextTable t({"sampling", "dilation", "misses(10^6)", "increase",
+                 "paper.dil", "paper.incr"});
+    double baseline = -1.0;
+    std::size_t row = 0;
+    for (unsigned denom : {16u, 8u, 4u, 2u, 1u}) {
+        RunSpec spec = defaultSpec("mpeg_play", scale);
+        spec.sys.scope = SimScope::all();
+        spec.tw.cache = CacheConfig::icache(4096, 16, 1,
+                                            Indexing::Physical);
+        spec.tw.sampleNum = 1;
+        spec.tw.sampleDenom = denom;
+
+        auto outcomes = runTrials(spec, trials, 0xd11a, true);
+        double misses = meanOf(outcomes, [](const RunOutcome &o) {
+            return o.estMisses;
+        });
+        double slowdown = meanOf(outcomes, [](const RunOutcome &o) {
+            return o.slowdown;
+        });
+        if (baseline < 0)
+            baseline = misses;
+        double increase = 100.0 * (misses - baseline) / baseline;
+
+        const PaperRow &paper =
+            kPaper[std::min(row, std::size_t(4))];
+        t.addRow({
+            csprintf("1/%u", denom),
+            fmtF(slowdown, 2),
+            fmtF(paperMillions(misses, scale), 2),
+            csprintf("%+.1f%%", increase),
+            fmtF(paper.dilation, 2),
+            csprintf("%+.1f%%", paper.increase_pct),
+        });
+        ++row;
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf("Shape targets: miss inflation grows with dilation, "
+                "steeply at first and levelling off around "
+                "+10-15%% — systematic error, not noise.\n");
+    return 0;
+}

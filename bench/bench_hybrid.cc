@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Three-way comparison of the simulation families of Section 2:
+ * trace-driven (Pixie+Cache2000), hybrid annotation with a null
+ * handler (Fast-Cache / MemSpy style), and trap-driven (Tapeworm) —
+ * slowdown versus cache size for mpeg_play's user task.
+ *
+ * Expected regimes:
+ *   trace-driven : flat ~22x floor (every ref generated + searched);
+ *   hybrid       : low floor (~1x, the inline null handler) plus a
+ *                  miss-proportional term with a cheap handler;
+ *   trap-driven  : zero floor, miss-proportional with an expensive
+ *                  (kernel-trap) handler.
+ * The hybrid and trap lines cross: above the crossover miss ratio
+ * the cheap in-line handler wins, below it hardware filtering wins —
+ * exactly the trade the related-work section sketches.
+ */
+
+#include "common.hh"
+#include "os/system.hh"
+#include "trace/hybrid.hh"
+
+using namespace twbench;
+
+int
+main()
+{
+    unsigned scale = envScaleDiv(200);
+    banner("Section 2", "trace vs hybrid vs trap simulation "
+                        "slowdowns, mpeg_play", scale);
+
+    TextTable t({"size", "missRatio", "trace", "hybrid", "trap",
+                 "fastest"});
+    for (std::uint64_t kb : {1, 2, 4, 8, 16, 32, 64}) {
+        CacheConfig cache = CacheConfig::icache(kb * 1024ull, 16, 1,
+                                                Indexing::Virtual);
+
+        RunSpec spec = defaultSpec("mpeg_play", scale);
+        spec.sys.scope = SimScope::userOnly();
+        spec.tw.cache = cache;
+        RunOutcome trap = Runner::runWithSlowdown(spec, 7);
+
+        spec.sim = SimKind::TraceDriven;
+        spec.c2k.cache = cache;
+        RunOutcome trace = Runner::runWithSlowdown(spec, 7);
+
+        // Hybrid runs outside the Runner (its own client type).
+        WorkloadSpec wl = makeWorkload("mpeg_play", scale);
+        SystemConfig sys;
+        sys.trialSeed = 7;
+        sys.scope = SimScope::userOnly();
+        System plain(sys, wl);
+        double normal = static_cast<double>(plain.run().cycles);
+        System machine(sys, wl);
+        HybridConfig hcfg;
+        hcfg.cache = cache;
+        HybridClient hybrid(kFirstUserTaskId, hcfg);
+        machine.setClient(&hybrid);
+        double hybrid_slow =
+            (static_cast<double>(machine.run().cycles) - normal)
+            / normal;
+
+        const char *fastest = "trap";
+        double best = trap.slowdown;
+        if (hybrid_slow < best) {
+            fastest = "hybrid";
+            best = hybrid_slow;
+        }
+        if (trace.slowdown < best)
+            fastest = "trace";
+
+        t.addRow({
+            csprintf("%lluK", (unsigned long long)kb),
+            fmtF(trap.missRatioUser(), 3),
+            fmtF(trace.slowdown, 2),
+            fmtF(hybrid_slow, 2),
+            fmtF(trap.slowdown, 2),
+            fastest,
+        });
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf(
+        "Shape targets: trace flat ~22x; hybrid ~1-4x with a ~1x\n"
+        "floor; trap from ~6x down to ~0. The hybrid wins at\n"
+        "miss-heavy small caches, the trap-driven simulator wins\n"
+        "once the miss ratio drops below roughly\n"
+        "nullHandler/(trapHandler - missHandler) ~ 3%% — and only\n"
+        "the trap-driven one ever sees the kernel and servers.\n");
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Frame-allocation policy ablation: the Table 9 variance is a
+ * property of *random* page allocation specifically. Sweeping the
+ * VM's allocator policy (random free list / sequential / Kessler
+ * page coloring) for a physically-indexed cache shows both the mean
+ * misses and the trial variance each policy produces — page
+ * coloring being the "careful mapping" remedy of [Kessler92], which
+ * the paper cites for exactly this discussion.
+ */
+
+#include "common.hh"
+
+using namespace twbench;
+
+int
+main()
+{
+    unsigned scale = envScaleDiv(400);
+    unsigned trials = 6;
+    banner("Section 4.2", "frame-allocation policy ablation "
+                          "(mpeg_play, physical 16KB)", scale);
+
+    TextTable t({"policy", "mean misses", "s%", "range%"});
+    for (AllocPolicy policy :
+         {AllocPolicy::Random, AllocPolicy::Sequential,
+          AllocPolicy::Coloring}) {
+        RunSpec spec = defaultSpec("mpeg_play", scale);
+        spec.sys.scope = SimScope::userOnly();
+        spec.sys.clockJitter = false;
+        spec.sys.allocPolicy = policy;
+        spec.tw.cache = CacheConfig::icache(16384, 16, 1,
+                                            Indexing::Physical);
+        Summary s = missSummary(runTrials(spec, trials, 0xc0105));
+        t.addRow({
+            allocPolicyName(policy),
+            fmtF(s.mean, 0),
+            csprintf("%.1f%%", s.stddevPct()),
+            csprintf("%.1f%%", s.rangePct()),
+        });
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf(
+        "Reading the table: only the Random policy varies across\n"
+        "trials (the Table 9 effect); Sequential is deterministic\n"
+        "but can land on a bad placement; Coloring is deterministic\n"
+        "AND conflict-free (vpn and pfn agree on index bits), so it\n"
+        "gives the lowest miss count — the page-placement remedy of\n"
+        "[Kessler92].\n");
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Regenerates Table 8 / its figure: measurement variation due to
+ * set sampling alone. Page-allocation effects are removed by
+ * simulating a virtually-indexed cache, and only the espresso user
+ * task is simulated (no kernel or servers). Trials with 1/8
+ * sampling vary; trials without sampling are exactly repeatable.
+ */
+
+#include "common.hh"
+
+using namespace twbench;
+
+int
+main()
+{
+    unsigned scale = envScaleDiv(200);
+    unsigned trials = 16;
+    banner("Table 8", "variation due to set sampling "
+                      "(espresso, virtually-indexed, user only)",
+           scale);
+
+    TextTable t({"size", "sampled.mean", "sampled.s%",
+                 "unsampled.mean", "unsampled.s%"});
+    for (std::uint64_t kb : {1, 2, 4, 8, 16, 32}) {
+        RunSpec spec = defaultSpec("espresso", scale);
+        spec.sys.scope = SimScope::userOnly();
+        spec.tw.cache = CacheConfig::icache(kb * 1024, 16, 1,
+                                            Indexing::Virtual);
+
+        RunSpec sampled = spec;
+        sampled.tw.sampleNum = 1;
+        sampled.tw.sampleDenom = 8;
+        Summary ss = missSummary(runTrials(sampled, trials, 0x5a));
+        Summary su = missSummary(runTrials(spec, trials, 0x5a));
+
+        double to_m = static_cast<double>(scale) / 1e6;
+        t.addRow({
+            csprintf("%lluK", (unsigned long long)kb),
+            fmtF(ss.mean * to_m, 3),
+            csprintf("%.1f%%", ss.stddevPct()),
+            fmtF(su.mean * to_m, 3),
+            csprintf("%.1f%%", su.stddevPct()),
+        });
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf("Shape targets: unsampled variance ~0 (error bars "
+                "collapse); sampled estimates center on the "
+                "unsampled truth with visible spread.\n");
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Shared helpers for the per-table/figure bench binaries.
+ *
+ * Every binary regenerates one table or figure of the paper and
+ * prints (a) the paper's published numbers where useful and (b) the
+ * numbers measured on this reproduction. Instruction counts are
+ * scaled down by TW_SCALE_DIV (see workload/spec.hh); miss counts
+ * are extrapolated back to paper scale so the columns are directly
+ * comparable to the publication.
+ */
+
+#ifndef TW_BENCH_COMMON_HH
+#define TW_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+
+#include "base/table.hh"
+#include "harness/runner.hh"
+#include "harness/trials.hh"
+#include "workload/spec.hh"
+
+namespace twbench
+{
+
+using namespace tw;
+
+/** Scale misses measured at 1/scale workload size back to the
+ *  paper's full-size runs, in millions. */
+inline double
+paperMillions(double misses, unsigned scale_div)
+{
+    return misses * static_cast<double>(scale_div) / 1.0e6;
+}
+
+/** Default experiment spec: Tapeworm, all activity, 4 KB DM cache. */
+inline RunSpec
+defaultSpec(const std::string &workload, unsigned scale_div)
+{
+    RunSpec spec;
+    spec.workload = makeWorkload(workload, scale_div);
+    spec.sys.scope = SimScope::all();
+    spec.sim = SimKind::Tapeworm;
+    spec.tw.cache = CacheConfig::icache(4096);
+    return spec;
+}
+
+/** Print a bench header naming the regenerated artifact. */
+inline void
+banner(const char *artifact, const char *description,
+       unsigned scale_div)
+{
+    std::printf("==============================================="
+                "=================\n");
+    std::printf("%s — %s\n", artifact, description);
+    std::printf("workloads scaled 1/%u; miss columns extrapolated "
+                "to paper scale\n", scale_div);
+    std::printf("==============================================="
+                "=================\n");
+}
+
+} // namespace twbench
+
+#endif // TW_BENCH_COMMON_HH

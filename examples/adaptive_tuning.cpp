@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Continuous monitoring driving real-time tuning — the paper's
+ * Section 5 outlook, made executable:
+ *
+ *   "The use of continuous monitoring and simulation opens up the
+ *    possibility of using these results to perform real-time
+ *    hardware and software tuning."
+ *
+ * A long-running task whose working set fragments over time (the
+ * Section 4.2 drift) is monitored by a TLB-mode Tapeworm in rolling
+ * windows. When the windowed miss rate crosses a threshold, the
+ * "OS" responds the way a superpage system (cf. [Talluri94]) would:
+ * it promotes the task to 4x larger pages and rebuilds the
+ * simulated TLB. Because trap-driven monitoring costs almost
+ * nothing while behaviour is good, it can stay on forever — exactly
+ * the argument for watching live systems instead of canned traces.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "tapeworm.hh"
+
+using namespace tw;
+
+namespace
+{
+
+struct Monitor
+{
+    explicit Monitor(std::uint32_t page_bytes)
+    {
+        TapewormTlbConfig cfg;
+        cfg.tlb = CacheConfig::tlb(64, 0, page_bytes);
+        tlb = std::make_unique<TapewormTlb>(cfg);
+    }
+
+    std::unique_ptr<TapewormTlb> tlb;
+    Counter lastTotal = 0;
+
+    Counter
+    windowMisses()
+    {
+        Counter total = tlb->stats().totalMisses();
+        Counter window = total - lastTotal;
+        lastTotal = total;
+        return window;
+    }
+};
+
+} // namespace
+
+int
+main()
+{
+    const Counter window_refs = 200000;
+    const unsigned windows = 14;
+    const double threshold = 0.005; // misses per reference
+
+    FragmentingParams params;
+    params.base = 0x400000;
+    params.basePages = 16;
+    params.maxPages = 768;
+    params.refsPerNewPage = 4000;
+    params.seed = 11;
+
+    Task task(1, "aging-service", Component::Kernel,
+              std::make_unique<FragmentingStream>(params), 1);
+    task.attr.simulate = true;
+
+    std::uint32_t page_bytes = kHostPageBytes;
+    auto monitor = std::make_unique<Monitor>(page_bytes);
+
+    std::printf("Continuous TLB monitoring with adaptive superpage "
+                "promotion\n");
+    std::printf("64-entry TLB; threshold %.1f misses per 1000 refs; "
+                "%llu refs per window\n\n", threshold * 1000,
+                (unsigned long long)window_refs);
+    TextTable t({"window", "page size", "misses", "per 1000 refs",
+                 "action"});
+
+    for (unsigned w = 1; w <= windows; ++w) {
+        for (Counter i = 0; i < window_refs; ++i) {
+            Addr va = task.stream->next();
+            Vpn vpn = va / kHostPageBytes;
+            if (task.pageTable.mappedFrame(vpn) == kNoFrame) {
+                Pfn pfn = static_cast<Pfn>(256 + vpn - 0x400);
+                task.pageTable.map(vpn, pfn);
+                monitor->tlb->onPageMapped(task, vpn, pfn, false);
+            }
+            Addr pa = static_cast<Addr>(task.pageTable.lookup(va))
+                          * kHostPageBytes
+                      + (va % kHostPageBytes);
+            monitor->tlb->onRef(task, va, pa, false);
+        }
+
+        Counter misses = monitor->windowMisses();
+        double rate = static_cast<double>(misses)
+                      / static_cast<double>(window_refs);
+        std::string action = "--";
+        if (rate > threshold && page_bytes < 64 * 1024) {
+            // Tune: promote to 4x larger pages and re-register the
+            // whole address space under the new geometry.
+            page_bytes *= 4;
+            auto fresh = std::make_unique<Monitor>(page_bytes);
+            for (auto [vpn, pfn] : task.pageTable.mappings())
+                fresh->tlb->onPageMapped(task, vpn, pfn, false);
+            monitor = std::move(fresh);
+            action = csprintf("promote to %uK pages",
+                              page_bytes / 1024);
+        }
+        t.addRow({
+            csprintf("%u", w),
+            csprintf("%uK", page_bytes / 1024),
+            csprintf("%llu", (unsigned long long)misses),
+            fmtF(rate * 1000, 2),
+            action,
+        });
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf(
+        "Reading the table: when fragmentation outgrows TLB reach\n"
+        "the windowed miss rate explodes; the monitor promotes the\n"
+        "page size, reach jumps 4x, and the rate collapses for the\n"
+        "rest of the run. A batch simulation of an early trace\n"
+        "would never have seen the problem, let alone timed the\n"
+        "fix: that is Section 5's continuous-monitoring case.\n");
+    return 0;
+}

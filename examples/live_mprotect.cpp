@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Trap-driven simulation of THIS process, live, on real hardware.
+ *
+ * Everything else in this repository simulates the host machine;
+ * this example is the real thing: UserTapeworm protects a buffer's
+ * pages with mprotect(2) (the "Invalid Page Traps" primitive of
+ * Table 2) and fields SIGSEGV to run a live TLB simulation of the
+ * running process. Hits execute at full hardware speed with zero
+ * instrumentation — the paper's central trick, demonstrated for
+ * real.
+ *
+ * The demo runs two classic access patterns over a 16 MB buffer and
+ * compares the measured miss counts of small simulated TLBs, then
+ * shows the slowdown-tracks-miss-ratio effect with wall-clock
+ * timings.
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include <unistd.h>
+
+#include "base/logging.hh"
+#include "base/random.hh"
+#include "base/table.hh"
+#include "utrap/utrap.hh"
+
+using namespace tw;
+
+namespace
+{
+
+double
+now()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Sequential sweep: perfect spatial locality. */
+std::uint64_t
+sweep(volatile std::uint8_t *buf, std::size_t bytes, int rounds)
+{
+    std::uint64_t sum = 0;
+    for (int r = 0; r < rounds; ++r) {
+        for (std::size_t i = 0; i < bytes; i += 64)
+            sum += buf[i];
+    }
+    return sum;
+}
+
+/** Random pointer-chase over pages: a TLB's nightmare. */
+std::uint64_t
+chase(volatile std::uint8_t *buf, std::size_t bytes,
+      std::uint64_t touches)
+{
+    Rng rng(99);
+    std::uint64_t sum = 0;
+    std::size_t pages = bytes / 4096;
+    for (std::uint64_t i = 0; i < touches; ++i)
+        sum += buf[rng.below(pages) * 4096];
+    return sum;
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::size_t buf_bytes = 16u << 20; // 16 MB = 4096 pages
+    std::printf("Live trap-driven TLB simulation of this process\n");
+    std::printf("buffer: %zu MB; host page: %ld bytes\n\n",
+                buf_bytes >> 20, sysconf(_SC_PAGESIZE));
+
+    TextTable t({"pattern", "tlb", "references", "misses",
+                 "miss/page-touch", "time"});
+    for (unsigned entries : {64u, 256u, 1024u}) {
+        // --- sequential sweeps: after the first round everything
+        // fits the OS page cache; TLB misses are per page per round
+        // only when the buffer exceeds TLB reach.
+        {
+            UserTapeworm engine(
+                UtrapConfig{entries, 0, UtrapPolicy::Fifo, 1});
+            auto *buf = static_cast<volatile std::uint8_t *>(
+                engine.registerBuffer(buf_bytes));
+            double t0 = now();
+            sweep(buf, buf_bytes, 2);
+            double dt = now() - t0;
+            std::uint64_t touches = 2ull * (buf_bytes / 64);
+            t.addRow({
+                "sequential x2",
+                csprintf("%u entries", entries),
+                csprintf("%llu", (unsigned long long)touches),
+                csprintf("%llu",
+                         (unsigned long long)engine.stats().misses),
+                fmtF(static_cast<double>(engine.stats().misses)
+                         / (2.0 * buf_bytes / 4096),
+                     2),
+                csprintf("%.0f ms", dt * 1e3),
+            });
+        }
+        // --- random page chase: reach exceeded => one miss per
+        // touch; within reach => warm after the first pass.
+        {
+            UserTapeworm engine(
+                UtrapConfig{entries, 0, UtrapPolicy::Fifo, 1});
+            auto *buf = static_cast<volatile std::uint8_t *>(
+                engine.registerBuffer(buf_bytes));
+            const std::uint64_t touches = 20000;
+            double t0 = now();
+            chase(buf, buf_bytes, touches);
+            double dt = now() - t0;
+            t.addRow({
+                "random pages",
+                csprintf("%u entries", entries),
+                csprintf("%llu", (unsigned long long)touches),
+                csprintf("%llu",
+                         (unsigned long long)engine.stats().misses),
+                fmtF(static_cast<double>(engine.stats().misses)
+                         / static_cast<double>(touches),
+                     2),
+                csprintf("%.0f ms", dt * 1e3),
+            });
+        }
+    }
+    std::printf("%s\n", t.render().c_str());
+
+    std::printf(
+        "Reading the table:\n"
+        " - sequential sweeps miss once per page per round (spatial\n"
+        "   locality defeats a small TLB's capacity misses slowly);\n"
+        " - the random chase misses on ~every touch while the 4096\n"
+        "   working-set pages exceed the simulated TLB, and the\n"
+        "   wall-clock time tracks the *miss count*, not the\n"
+        "   reference count — trap-driven simulation is free on\n"
+        "   hits, exactly as Section 4.1 argues.\n");
+    return 0;
+}

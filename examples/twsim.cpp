@@ -1,0 +1,253 @@
+/**
+ * @file
+ * twsim — command-line driver for the Tapeworm II reproduction.
+ *
+ * One binary to run any experiment the library supports: pick a
+ * workload, a simulated cache, a simulator (trap/trace/oracle), a
+ * component scope, sampling, trial count — get the paper's metrics
+ * (misses, miss ratio, MPI, slowdown) as a table or CSV.
+ *
+ * Examples:
+ *   twsim --workload mpeg_play --cache 4K --trials 4
+ *   twsim --workload sdet --scope user --sim trace
+ *   twsim --workload xlisp --cache 8K --assoc 2 --line 32 \
+ *         --indexing virtual --sample 8 --trials 16 --csv
+ *   twsim --list
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "tapeworm.hh"
+
+using namespace tw;
+
+namespace
+{
+
+void
+usage()
+{
+    std::printf(
+        "twsim — trap-driven memory-system simulation "
+        "(Tapeworm II)\n\n"
+        "usage: twsim [options]\n"
+        "  --workload NAME   one of the suite (default mpeg_play)\n"
+        "  --list            list workloads and exit\n"
+        "  --cache SIZE      e.g. 4K, 64K, 1M (default 4K)\n"
+        "  --line BYTES      line size (default 16)\n"
+        "  --assoc N         ways (default 1)\n"
+        "  --indexing MODE   physical|virtual (default physical)\n"
+        "  --policy NAME     fifo|random|lru (default: lru for DM,\n"
+        "                    fifo above; lru valid for trace/oracle"
+        " only)\n"
+        "  --sim KIND        tapeworm|tlb|trace|oracle (default "
+        "tapeworm)\n"
+        "  --tlb-entries N   TLB entries for --sim tlb (default "
+        "64)\n"
+        "  --tlb-page SIZE   simulated page size (default 4K)\n"
+        "  --kind KIND       instruction|data|unified (default "
+        "instruction)\n"
+        "  --scope SCOPE     all|user|servers|kernel (default all)\n"
+        "  --sample N        simulate 1/N of the sets (default 1)\n"
+        "  --trials N        experimental trials (default 1)\n"
+        "  --seed N          base trial seed (default 1)\n"
+        "  --scale N         divide paper instruction counts by N\n"
+        "                    (default 200; also via TW_SCALE_DIV)\n"
+        "  --csv             CSV output\n"
+        "  --help            this text\n");
+}
+
+std::uint64_t
+parseSize(const std::string &text)
+{
+    char *end = nullptr;
+    double v = std::strtod(text.c_str(), &end);
+    if (end && (*end == 'K' || *end == 'k'))
+        v *= 1024;
+    else if (end && (*end == 'M' || *end == 'm'))
+        v *= 1024 * 1024;
+    if (v < 64)
+        fatal("unparseable size '%s'", text.c_str());
+    return static_cast<std::uint64_t>(v);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload = "mpeg_play";
+    std::uint64_t cache_bytes = 4096;
+    std::uint64_t tlb_page = 4096;
+    unsigned line = 16, assoc = 1, sample = 1, trials = 1;
+    unsigned tlb_entries = 64;
+    std::uint64_t seed = 1;
+    unsigned scale = envScaleDiv(200);
+    Indexing indexing = Indexing::Physical;
+    std::string policy, sim = "tapeworm", kind = "instruction",
+                scope = "all";
+    bool csv = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("%s needs a value", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--help") {
+            usage();
+            return 0;
+        } else if (arg == "--list") {
+            for (const auto &name : suiteNames())
+                std::printf("%s\n", name.c_str());
+            return 0;
+        } else if (arg == "--workload") {
+            workload = value();
+        } else if (arg == "--cache") {
+            cache_bytes = parseSize(value());
+        } else if (arg == "--tlb-entries") {
+            tlb_entries =
+                static_cast<unsigned>(std::atoi(value().c_str()));
+        } else if (arg == "--tlb-page") {
+            tlb_page = parseSize(value());
+        } else if (arg == "--line") {
+            line = static_cast<unsigned>(std::atoi(value().c_str()));
+        } else if (arg == "--assoc") {
+            assoc = static_cast<unsigned>(std::atoi(value().c_str()));
+        } else if (arg == "--indexing") {
+            std::string v = value();
+            if (v == "virtual")
+                indexing = Indexing::Virtual;
+            else if (v == "physical")
+                indexing = Indexing::Physical;
+            else
+                fatal("bad indexing '%s'", v.c_str());
+        } else if (arg == "--policy") {
+            policy = value();
+        } else if (arg == "--sim") {
+            sim = value();
+        } else if (arg == "--kind") {
+            kind = value();
+        } else if (arg == "--scope") {
+            scope = value();
+        } else if (arg == "--sample") {
+            sample = static_cast<unsigned>(std::atoi(value().c_str()));
+        } else if (arg == "--trials") {
+            trials =
+                static_cast<unsigned>(std::atoi(value().c_str()));
+        } else if (arg == "--seed") {
+            seed = static_cast<std::uint64_t>(
+                std::atoll(value().c_str()));
+        } else if (arg == "--scale") {
+            scale = static_cast<unsigned>(std::atoi(value().c_str()));
+        } else if (arg == "--csv") {
+            csv = true;
+        } else {
+            usage();
+            fatal("unknown option '%s'", arg.c_str());
+        }
+    }
+
+    RunSpec spec;
+    spec.workload = makeWorkload(workload, scale);
+    spec.tw.cache = CacheConfig::icache(cache_bytes, line, assoc,
+                                        indexing);
+    if (policy == "fifo")
+        spec.tw.cache.policy = ReplPolicy::FIFO;
+    else if (policy == "random")
+        spec.tw.cache.policy = ReplPolicy::Random;
+    else if (policy == "lru")
+        spec.tw.cache.policy = ReplPolicy::LRU;
+    else if (!policy.empty())
+        fatal("bad policy '%s'", policy.c_str());
+
+    if (kind == "data")
+        spec.tw.kind = SimCacheKind::Data;
+    else if (kind == "unified")
+        spec.tw.kind = SimCacheKind::Unified;
+    else if (kind != "instruction")
+        fatal("bad kind '%s'", kind.c_str());
+
+    if (sim == "tapeworm") {
+        spec.sim = SimKind::Tapeworm;
+        if (spec.tw.cache.assoc > 1
+            && spec.tw.cache.policy == ReplPolicy::LRU) {
+            // Trap-driven simulation never sees hits: no recency.
+            warn("trap-driven simulation cannot do LRU; using FIFO");
+            spec.tw.cache.policy = ReplPolicy::FIFO;
+        }
+    } else if (sim == "trace") {
+        spec.sim = SimKind::TraceDriven;
+        spec.c2k.cache = spec.tw.cache;
+        spec.c2k.cache.indexing = Indexing::Virtual;
+        spec.c2k.sampleNum = 1;
+        spec.c2k.sampleDenom = sample;
+    } else if (sim == "tlb") {
+        spec.sim = SimKind::TapewormTlbSim;
+        spec.tlb.tlb = CacheConfig::tlb(
+            tlb_entries, 0, static_cast<std::uint32_t>(tlb_page));
+    } else if (sim == "oracle") {
+        spec.sim = SimKind::Oracle;
+    } else {
+        fatal("bad sim '%s'", sim.c_str());
+    }
+    spec.tw.sampleNum = 1;
+    spec.tw.sampleDenom = sample;
+
+    if (scope == "all")
+        spec.sys.scope = SimScope::all();
+    else if (scope == "user")
+        spec.sys.scope = SimScope::userOnly();
+    else if (scope == "servers")
+        spec.sys.scope = SimScope::serversOnly();
+    else if (scope == "kernel")
+        spec.sys.scope = SimScope::kernelOnly();
+    else
+        fatal("bad scope '%s'", scope.c_str());
+
+    auto outcomes = runTrials(spec, trials, seed, true);
+
+    TextTable t({"trial", "misses", "missRatio", "MPI", "slowdown",
+                 "instr", "ticks", "host.s"});
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const RunOutcome &o = outcomes[i];
+        t.addRow({
+            csprintf("%zu", i + 1),
+            fmtF(o.estMisses, 0),
+            fmtF(o.missRatioTotal(), 4),
+            fmtF(o.mpi(), 2),
+            fmtF(o.slowdown, 2),
+            csprintf("%llu",
+                     (unsigned long long)o.run.totalInstr()),
+            csprintf("%llu", (unsigned long long)o.run.ticks),
+            fmtF(o.hostSeconds, 3),
+        });
+    }
+    if (trials > 1) {
+        Summary s = missSummary(outcomes);
+        t.addRule();
+        t.addRow({"mean", fmtF(s.mean, 0), "", "",
+                  fmtF(slowdownSummary(outcomes).mean, 2), "", "",
+                  ""});
+        t.addRow({"s", fmtValAndPct(s.stddev, s.stddevPct(), 0), "",
+                  "", "", "", "", ""});
+    }
+
+    if (!csv) {
+        std::printf("workload=%s cache=%llu line=%u assoc=%u %s "
+                    "%s sim=%s scope=%s sample=1/%u scale=1/%u\n\n",
+                    workload.c_str(),
+                    (unsigned long long)cache_bytes, line, assoc,
+                    indexingName(spec.tw.cache.indexing),
+                    replPolicyName(spec.tw.cache.policy), sim.c_str(),
+                    scope.c_str(), sample, scale);
+        std::printf("%s", t.render().c_str());
+    } else {
+        std::printf("%s", t.renderCsv().c_str());
+    }
+    return 0;
+}

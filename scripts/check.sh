@@ -1,0 +1,11 @@
+#!/bin/sh
+# Full verification pass: configure, build, run all tests, run every
+# bench binary. TW_SCALE_DIV can shrink the workloads for a quick
+# smoke run (e.g. TW_SCALE_DIV=2000 ./scripts/check.sh).
+set -e
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure -j"$(nproc)"
+for b in build/bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] && "$b"
+done

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Power-of-two and alignment helpers used throughout the cache,
+ * memory and VM code.
+ */
+
+#ifndef TW_BASE_BITOPS_HH
+#define TW_BASE_BITOPS_HH
+
+#include <bit>
+#include <cstdint>
+
+#include "base/logging.hh"
+#include "base/types.hh"
+
+namespace tw
+{
+
+/** True iff @p v is a (nonzero) power of two. */
+constexpr bool
+isPowerOf2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** floor(log2(v)); @p v must be nonzero. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    return 63u - static_cast<unsigned>(std::countl_zero(v));
+}
+
+/** ceil(log2(v)); @p v must be nonzero. */
+constexpr unsigned
+ceilLog2(std::uint64_t v)
+{
+    return v == 1 ? 0 : floorLog2(v - 1) + 1;
+}
+
+/** Round @p a down to a multiple of power-of-two @p align. */
+constexpr Addr
+alignDown(Addr a, std::uint64_t align)
+{
+    return a & ~(align - 1);
+}
+
+/** Round @p a up to a multiple of power-of-two @p align. */
+constexpr Addr
+alignUp(Addr a, std::uint64_t align)
+{
+    return (a + align - 1) & ~(align - 1);
+}
+
+/** Integer division rounding up. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace tw
+
+#endif // TW_BASE_BITOPS_HH

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every source of run-to-run variation in the simulated system
+ * (physical page allocation, set-sample selection, scheduler jitter,
+ * workload control flow) draws from an explicitly seeded Rng so that
+ * experiments are reproducible: the same seed yields bit-identical
+ * results, and a *trial* in the sense of the paper's Tables 7-10 is
+ * simply a new seed.
+ *
+ * The generator is xoshiro256** seeded through SplitMix64, which is
+ * fast, high quality, and trivially portable.
+ */
+
+#ifndef TW_BASE_RANDOM_HH
+#define TW_BASE_RANDOM_HH
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+namespace tw
+{
+
+/** SplitMix64 step, used for seeding and for hashing seeds together. */
+constexpr std::uint64_t
+splitMix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/** Mix two seed values into one (order-sensitive). */
+constexpr std::uint64_t
+mixSeed(std::uint64_t a, std::uint64_t b)
+{
+    std::uint64_t s = a ^ (b + 0x9e3779b97f4a7c15ull + (a << 6) + (a >> 2));
+    return splitMix64(s);
+}
+
+/**
+ * xoshiro256** deterministic random number generator.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via SplitMix64). */
+    explicit Rng(std::uint64_t seed = 1) { reseed(seed); }
+
+    /** Re-initialize the state from @p seed. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        std::uint64_t sm = seed;
+        for (auto &word : state_)
+            word = splitMix64(sm);
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound); bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire-style multiply-shift; the slight modulo bias of the
+        // simple fallback is irrelevant at our bounds (< 2^32).
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    inRange(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability @p p of true. */
+    bool
+    chance(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return uniform() < p;
+    }
+
+    /**
+     * Geometric draw: number of failures before the first success
+     * with success probability @p p, capped to keep pathological
+     * parameters finite. Uses the inverse CDF so a draw costs one
+     * log regardless of 1/p.
+     */
+    std::uint64_t
+    geometric(double p)
+    {
+        if (p >= 1.0)
+            return 0;
+        if (p <= 0.0)
+            return 1ull << 30;
+        double u = uniform();
+        double n = std::floor(std::log1p(-u) / std::log1p(-p));
+        if (n >= static_cast<double>(1ull << 30))
+            return 1ull << 30;
+        return static_cast<std::uint64_t>(n);
+    }
+
+  private:
+    static constexpr std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::array<std::uint64_t, 4> state_{};
+};
+
+} // namespace tw
+
+#endif // TW_BASE_RANDOM_HH

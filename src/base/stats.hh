@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Trial statistics in the form the paper reports them.
+ *
+ * Tables 7-10 of the paper summarize repeated experimental trials as
+ * mean, standard deviation, minimum, maximum and range, each also
+ * expressed as a percentage of (or difference from) the mean. The
+ * Summary type computes exactly those columns.
+ */
+
+#ifndef TW_BASE_STATS_HH
+#define TW_BASE_STATS_HH
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace tw
+{
+
+/**
+ * Streaming accumulator for mean / variance / extrema using
+ * Welford's algorithm (numerically stable for long runs).
+ */
+class RunningStat
+{
+  public:
+    /** Add one observation. */
+    void
+    push(double x)
+    {
+        ++n_;
+        double delta = x - mean_;
+        mean_ += delta / static_cast<double>(n_);
+        m2_ += delta * (x - mean_);
+        if (x < min_)
+            min_ = x;
+        if (x > max_)
+            max_ = x;
+    }
+
+    /** Number of observations so far. */
+    std::size_t count() const { return n_; }
+
+    /** Sample mean (0 if empty). */
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Unbiased sample variance (0 if fewer than two samples). */
+    double
+    variance() const
+    {
+        return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+    }
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Smallest observation (+inf if empty). */
+    double min() const { return min_; }
+
+    /** Largest observation (-inf if empty). */
+    double max() const { return max_; }
+
+    /** max() - min() (0 if empty). */
+    double range() const { return n_ ? max_ - min_ : 0.0; }
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Summary of a finished set of trials, with the percentage columns
+ * used by Tables 7-10: s and range as percent of the mean, min and
+ * max as percent difference from the mean.
+ */
+struct Summary
+{
+    std::size_t n = 0;
+    double mean = 0.0;
+    double stddev = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double range = 0.0;
+
+    /** s as a percentage of the mean (paper's "(57%)" style). */
+    double stddevPct() const;
+
+    /** |min - mean| as a percentage of the mean. */
+    double minPct() const;
+
+    /** |max - mean| as a percentage of the mean. */
+    double maxPct() const;
+
+    /** range as a percentage of the mean. */
+    double rangePct() const;
+
+    /** Half-width of a ~95% confidence interval for the mean. */
+    double ci95() const;
+};
+
+/** Summarize a vector of trial observations. */
+Summary summarize(const std::vector<double> &xs);
+
+/** Summarize a finished RunningStat. */
+Summary summarize(const RunningStat &rs);
+
+} // namespace tw
+
+#endif // TW_BASE_STATS_HH

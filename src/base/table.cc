@@ -1,0 +1,146 @@
+#include "base/table.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace tw
+{
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    TW_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    TW_ASSERT(cells.size() == headers_.size(),
+              "row has %zu cells, table has %zu columns", cells.size(),
+              headers_.size());
+    rows_.push_back(Row{false, std::move(cells)});
+}
+
+void
+TextTable::addRule()
+{
+    rows_.push_back(Row{true, {}});
+}
+
+std::size_t
+TextTable::rowCount() const
+{
+    std::size_t n = 0;
+    for (const auto &row : rows_) {
+        if (!row.rule)
+            ++n;
+    }
+    return n;
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        if (row.rule)
+            continue;
+        for (std::size_t c = 0; c < row.cells.size(); ++c)
+            widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+
+    auto emit_cell = [&](std::ostringstream &os, const std::string &s,
+                         std::size_t c) {
+        if (c == 0) {
+            os << s << std::string(widths[c] - s.size(), ' ');
+        } else {
+            os << std::string(widths[c] - s.size(), ' ') << s;
+        }
+    };
+
+    std::ostringstream os;
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        if (c)
+            os << "  ";
+        emit_cell(os, headers_[c], c);
+    }
+    os << '\n';
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+
+    for (const auto &row : rows_) {
+        if (row.rule) {
+            os << std::string(total, '-') << '\n';
+            continue;
+        }
+        for (std::size_t c = 0; c < row.cells.size(); ++c) {
+            if (c)
+                os << "  ";
+            emit_cell(os, row.cells[c], c);
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+std::string
+TextTable::renderCsv() const
+{
+    auto quote = [](const std::string &s) {
+        if (s.find_first_of(",\"\n") == std::string::npos)
+            return s;
+        std::string out = "\"";
+        for (char ch : s) {
+            if (ch == '"')
+                out += '"';
+            out += ch;
+        }
+        out += '"';
+        return out;
+    };
+
+    std::ostringstream os;
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        if (c)
+            os << ',';
+        os << quote(headers_[c]);
+    }
+    os << '\n';
+    for (const auto &row : rows_) {
+        if (row.rule)
+            continue;
+        for (std::size_t c = 0; c < row.cells.size(); ++c) {
+            if (c)
+                os << ',';
+            os << quote(row.cells[c]);
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+std::string
+fmtF(double v, int digits)
+{
+    return csprintf("%.*f", digits, v);
+}
+
+std::string
+fmtMissAndRatio(double misses_millions, double ratio)
+{
+    return csprintf("%.2f (%.3f)", misses_millions, ratio);
+}
+
+std::string
+fmtValAndPct(double v, double pct, int digits)
+{
+    return csprintf("%.*f (%.0f%%)", digits, v, pct);
+}
+
+} // namespace tw

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Plain-text table rendering for the benchmark harness.
+ *
+ * Every bench binary regenerates one of the paper's tables or
+ * figures; TextTable prints them in an aligned monospace layout (and
+ * optionally CSV) so the output can be compared side by side with
+ * the paper.
+ */
+
+#ifndef TW_BASE_TABLE_HH
+#define TW_BASE_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace tw
+{
+
+/**
+ * A simple column-aligned text table.
+ *
+ * Cells are strings; numeric formatting is the caller's job (the
+ * harness provides helpers that match the paper's formats, e.g.
+ * "37.91 (0.027)").
+ */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a data row; must have as many cells as headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator row. */
+    void addRule();
+
+    /** Render with aligned columns (first column left, rest right). */
+    std::string render() const;
+
+    /** Render as CSV (separator rows are skipped). */
+    std::string renderCsv() const;
+
+    /** Number of data rows (separators excluded). */
+    std::size_t rowCount() const;
+
+  private:
+    struct Row
+    {
+        bool rule = false;
+        std::vector<std::string> cells;
+    };
+
+    std::vector<std::string> headers_;
+    std::vector<Row> rows_;
+};
+
+/** Format a double with @p digits fraction digits. */
+std::string fmtF(double v, int digits);
+
+/** Format misses-in-millions with a parenthesized ratio, paper style. */
+std::string fmtMissAndRatio(double misses_millions, double ratio);
+
+/** Format a value with a parenthesized percentage, paper style. */
+std::string fmtValAndPct(double v, double pct, int digits = 2);
+
+} // namespace tw
+
+#endif // TW_BASE_TABLE_HH

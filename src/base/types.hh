@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every Tapeworm II module.
+ *
+ * The conventions mirror the paper's terminology: physical and virtual
+ * addresses are byte addresses, cycle counts are in host-machine clock
+ * cycles (the simulated DECstation runs at kClockHz), and task
+ * identifiers follow the paper's rule that tid 0 names the OS kernel.
+ */
+
+#ifndef TW_BASE_TYPES_HH
+#define TW_BASE_TYPES_HH
+
+#include <cstdint>
+
+namespace tw
+{
+
+/** A byte address, physical or virtual depending on context. */
+using Addr = std::uint64_t;
+
+/** A count of simulated machine clock cycles. */
+using Cycles = std::uint64_t;
+
+/** A count of executed instructions (or memory references). */
+using Counter = std::uint64_t;
+
+/**
+ * A task identifier. Tid 0 always denotes the OS kernel itself,
+ * matching the tw_attributes() convention of the paper (Table 1).
+ */
+using TaskId = std::int32_t;
+
+/** The task id reserved for the OS kernel. */
+constexpr TaskId kKernelTid = 0;
+
+/** An invalid / unassigned task id. */
+constexpr TaskId kInvalidTid = -1;
+
+/** An invalid address marker. */
+constexpr Addr kInvalidAddr = ~static_cast<Addr>(0);
+
+/** Bytes per machine word on the simulated host (MIPS R3000: 32-bit). */
+constexpr unsigned kWordBytes = 4;
+
+/**
+ * Trap-bit granularity in bytes. The DECstation 5000/200 checks ECC
+ * on 4-word cache-line refills, which limits trap granularity (and
+ * therefore simulated line sizes) to multiples of 16 bytes (Section
+ * 4.4 of the paper).
+ */
+constexpr unsigned kTrapGranuleBytes = 4 * kWordBytes;
+
+/** Simulated host clock rate: the DECstation 5000/200 runs at 25 MHz. */
+constexpr std::uint64_t kClockHz = 25'000'000;
+
+/** Host page size of the simulated machine (DECstation: 4 KB pages). */
+constexpr unsigned kHostPageBytes = 4096;
+
+/**
+ * Kind of a memory reference. Instruction-cache simulations consume
+ * Fetch only; data-cache simulations consume Load/Store; unified
+ * caches and TLBs consume all three. The Load/Store distinction
+ * matters to trap-driven simulation because the host's write policy
+ * decides whether stores to trapped memory raise a trap at all
+ * (Section 4.4 of the paper).
+ */
+enum class AccessKind : std::uint8_t { Fetch, Load, Store };
+
+/** Human-readable access-kind name. */
+constexpr const char *
+accessKindName(AccessKind k)
+{
+    switch (k) {
+      case AccessKind::Fetch:
+        return "fetch";
+      case AccessKind::Load:
+        return "load";
+      case AccessKind::Store:
+        return "store";
+    }
+    return "?";
+}
+
+constexpr std::uint64_t
+operator"" _KiB(unsigned long long v)
+{
+    return v << 10;
+}
+
+constexpr std::uint64_t
+operator"" _MiB(unsigned long long v)
+{
+    return v << 20;
+}
+
+} // namespace tw
+
+#endif // TW_BASE_TYPES_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The Tapeworm miss-handler cost model (Table 5 of the paper).
+ *
+ * The optimized assembly handler on the DECstation 5000/200 costs
+ * 246 cycles for a direct-mapped cache with 4-word lines, broken
+ * down as: kernel trap and return 53 instructions, tw_cache_miss()
+ * 23, tw_replace() 20, tw_set_trap() 35, tw_clear_trap() 6. Higher
+ * associativity "slightly increases the time in tw_replace()",
+ * longer lines "increase the cost of tw_set_trap() and
+ * tw_clear_trap()", and cache size has little effect (Section 4.1).
+ *
+ * Section 4.3 estimates that a cleaner memory-ASIC interface would
+ * cut the handler to ~50 cycles; that "ideal hardware" variant is
+ * provided for the portability/what-if bench.
+ */
+
+#ifndef TW_CORE_COST_MODEL_HH
+#define TW_CORE_COST_MODEL_HH
+
+#include <cmath>
+#include <cstdint>
+
+#include "base/types.hh"
+
+namespace tw
+{
+
+/**
+ * Instruction-level model of the Tapeworm miss handler.
+ */
+struct TrapCostModel
+{
+    unsigned kernelTrapReturn = 53;
+    unsigned twCacheMiss = 23;
+    unsigned twReplaceBase = 20;
+    unsigned twReplacePerWay = 4;   //!< extra per way beyond the first
+    unsigned twSetTrapBase = 35;
+    unsigned twSetTrapPerGranule = 8;  //!< extra per 4-word granule
+    unsigned twClearTrapBase = 6;
+    unsigned twClearTrapPerGranule = 2;
+
+    /** Effective cycles per handler instruction (the 137-instruction
+     *  handler takes 246 cycles on the R3000). */
+    double cyclesPerInstr = 246.0 / 137.0;
+
+    /** TLB-mode handler cost: a simulated TLB miss costs a software
+     *  refill plus Tapeworm bookkeeping. */
+    Cycles tlbMissCycles = 300;
+
+    /** Handler instructions for the given geometry. */
+    unsigned
+    missInstructions(unsigned assoc, unsigned granules_per_line) const
+    {
+        unsigned extra_g = granules_per_line - 1;
+        return kernelTrapReturn + twCacheMiss
+               + twReplaceBase + twReplacePerWay * (assoc - 1)
+               + twSetTrapBase + twSetTrapPerGranule * extra_g
+               + twClearTrapBase + twClearTrapPerGranule * extra_g;
+    }
+
+    /** Handler cycles for the given geometry (246 for DM, 4-word
+     *  lines — Table 5). */
+    Cycles
+    missCycles(unsigned assoc, unsigned granules_per_line) const
+    {
+        return static_cast<Cycles>(std::llround(
+            missInstructions(assoc, granules_per_line)
+            * cyclesPerInstr));
+    }
+
+    /** The ~50-cycle handler a better memory-ASIC interface would
+     *  allow (Section 4.3). */
+    static TrapCostModel
+    idealHardware()
+    {
+        TrapCostModel m;
+        m.kernelTrapReturn = 12;
+        m.twCacheMiss = 6;
+        m.twReplaceBase = 5;
+        m.twReplacePerWay = 2;
+        m.twSetTrapBase = 4;
+        m.twSetTrapPerGranule = 1;
+        m.twClearTrapBase = 1;
+        m.twClearTrapPerGranule = 1;
+        m.cyclesPerInstr = 246.0 / 137.0;
+        return m;
+    }
+};
+
+} // namespace tw
+
+#endif // TW_CORE_COST_MODEL_HH

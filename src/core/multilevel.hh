@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Two-level cache simulation with Tapeworm.
+ *
+ * Section 3.2: tw_replace() "can simulate different line sizes and
+ * associativities, as well as more complex cache structures
+ * including split, unified or multi-level caches". The trap-driven
+ * realization: memory traps track the complement of the FIRST
+ * level — every L1 miss raises a trap — and the handler additionally
+ * searches a software model of L2 (which costs a little more per
+ * miss, but only L1 misses ever reach the handler, so the speed
+ * advantage stands).
+ *
+ * The hierarchy is inclusive: filling L1 fills L2 on an L2 miss,
+ * and an L2 displacement back-invalidates L1 so L1 stays a subset
+ * of L2.
+ */
+
+#ifndef TW_CORE_MULTILEVEL_HH
+#define TW_CORE_MULTILEVEL_HH
+
+#include <array>
+#include <unordered_map>
+#include <vector>
+
+#include "base/types.hh"
+#include "core/cost_model.hh"
+#include "machine/phys_mem.hh"
+#include "mem/cache.hh"
+#include "os/sim_client.hh"
+#include "os/task.hh"
+
+namespace tw
+{
+
+/** Configuration of a two-level Tapeworm simulation. */
+struct MultiLevelConfig
+{
+    /** First level: its complement carries the traps. */
+    CacheConfig l1;
+    /** Second level; must be at least as large as L1 and share the
+     *  indexing mode and line size (simplifying assumption of this
+     *  implementation; the paper's claim is structural). */
+    CacheConfig l2;
+
+    bool compensateMasked = true;
+    bool chargeCost = true;
+    TrapCostModel cost;
+
+    /** Extra handler instructions to search the software L2. */
+    unsigned l2SearchInstr = 15;
+    /** Extra handler instructions when L2 also misses. */
+    unsigned l2ReplaceInstr = 20;
+};
+
+/** Counters of a two-level run. */
+struct MultiLevelStats
+{
+    std::array<Counter, kNumComponents> l1Misses{};
+    std::array<Counter, kNumComponents> l2Misses{};
+    Counter backInvalidates = 0; //!< L1 lines killed by L2 eviction
+    Counter maskedTrapRefs = 0;
+    Counter lostMaskedMisses = 0;
+    Counter pagesRegistered = 0;
+    Counter pagesRemoved = 0;
+
+    Counter
+    totalL1() const
+    {
+        Counter t = 0;
+        for (Counter m : l1Misses)
+            t += m;
+        return t;
+    }
+
+    Counter
+    totalL2() const
+    {
+        Counter t = 0;
+        for (Counter m : l2Misses)
+            t += m;
+        return t;
+    }
+
+    /** Local L2 miss ratio: L2 misses per L1 miss. */
+    double
+    l2LocalRatio() const
+    {
+        Counter l1 = totalL1();
+        return l1 ? static_cast<double>(totalL2())
+                        / static_cast<double>(l1)
+                  : 0.0;
+    }
+};
+
+/**
+ * Trap-driven two-level (L1 + L2) cache simulator.
+ */
+class TapewormMultiLevel : public SimClient
+{
+  public:
+    TapewormMultiLevel(PhysMem &phys, const MultiLevelConfig &config);
+
+    Cycles onRef(const Task &task, Addr va, Addr pa, bool intr_masked,
+                 AccessKind kind = AccessKind::Fetch) override;
+    void onPageMapped(const Task &task, Vpn vpn, Pfn pfn,
+                      bool shared) override;
+    void onPageRemoved(const Task &task, Vpn vpn, Pfn pfn,
+                       bool last_mapping) override;
+    void onDmaInvalidate(Pfn pfn) override;
+
+    const MultiLevelStats &stats() const { return stats_; }
+    const Cache &l1() const { return l1_; }
+    const Cache &l2() const { return l2_; }
+
+    /** Handler cost for an L1 miss that hits L2. */
+    Cycles l1MissCost() const { return l1HitL2Cost_; }
+    /** Handler cost for a miss that goes all the way to memory. */
+    Cycles l2MissCost() const { return l2MissCost_; }
+
+    /**
+     * Invariants: (a) a registered line traps iff it is absent from
+     * L1; (b) inclusion: every valid L1 line is also in L2.
+     */
+    bool checkInvariants() const;
+
+  private:
+    struct PageReg
+    {
+        unsigned refs = 0;
+        Vpn vpn = 0;
+        TaskId tid = kInvalidTid;
+    };
+
+    void armPage(const PageReg &reg, Pfn pfn);
+    void handleMiss(const Task &task, Addr va, Addr pa,
+                    AccessKind kind, Cycles &cost);
+
+    PhysMem &phys_;
+    MultiLevelConfig cfg_;
+    Cache l1_;
+    Cache l2_;
+    Cycles l1HitL2Cost_;
+    Cycles l2MissCost_;
+    unsigned lineShift_;
+    unsigned linesPerPage_;
+    std::unordered_map<Pfn, PageReg> pages_;
+    MultiLevelStats stats_;
+};
+
+} // namespace tw
+
+#endif // TW_CORE_MULTILEVEL_HH

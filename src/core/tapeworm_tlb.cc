@@ -1,0 +1,176 @@
+#include "core/tapeworm_tlb.hh"
+
+#include "base/logging.hh"
+
+namespace tw
+{
+
+TapewormTlb::TapewormTlb(const TapewormTlbConfig &config)
+    : cfg_(config), tlb_(config.tlb)
+{
+    TW_ASSERT(cfg_.tlb.lineBytes >= kHostPageBytes
+                  && cfg_.tlb.lineBytes % kHostPageBytes == 0,
+              "the simulated page size must be a multiple of the "
+              "host page size (%u) — page-valid-bit traps cannot be "
+              "finer than a host page (Table 2)",
+              kHostPageBytes);
+    TW_ASSERT(cfg_.tlb.indexing == Indexing::Virtual
+                  && cfg_.tlb.tagIncludesTask,
+              "a TLB is indexed by virtual page and tagged by task");
+    pagesPer_ = cfg_.pagesPerEntry();
+}
+
+void
+TapewormTlb::armSuperpage(Space &space, Addr super_vpn, bool trapped)
+{
+    // Set or clear the valid-bit traps of every REGISTERED host
+    // page covered by the simulated (super)page.
+    Vpn first = super_vpn * pagesPer_;
+    for (unsigned i = 0; i < pagesPer_; ++i) {
+        Vpn vpn = first + i;
+        if (vpn < space.firstVpn)
+            continue;
+        std::uint64_t idx = vpn - space.firstVpn;
+        if (idx >= space.registered.size() || !space.registered[idx])
+            continue;
+        space.trapped[idx] = trapped ? 1 : 0;
+    }
+}
+
+TapewormTlb::Space &
+TapewormTlb::spaceFor(const Task &task)
+{
+    auto it = spaces_.find(task.tid);
+    if (it == spaces_.end()) {
+        Space space;
+        space.firstVpn = task.pageTable.firstVpn();
+        space.trapped.assign(task.pageTable.numPages(), 0);
+        space.registered.assign(task.pageTable.numPages(), 0);
+        space.pfns.assign(task.pageTable.numPages(), kNoFrame);
+        it = spaces_.emplace(task.tid, std::move(space)).first;
+    }
+    return it->second;
+}
+
+void
+TapewormTlb::onPageMapped(const Task &task, Vpn vpn, Pfn pfn,
+                          bool shared)
+{
+    // TLB entries are per address space: a shared frame still needs
+    // its own trap in each task's page table.
+    (void)shared;
+    ++stats_.pagesRegistered;
+    Space &space = spaceFor(task);
+    std::uint64_t idx = vpn - space.firstVpn;
+    TW_ASSERT(idx < space.trapped.size(), "vpn outside task window");
+    space.registered[idx] = 1;
+    space.pfns[idx] = pfn;
+    // If the covering (super)page translation is already resident,
+    // the new host page is reachable without a miss: joining an
+    // existing mapping must not arm a spurious trap (which would
+    // also duplicate the TLB entry on the next touch).
+    LineRef covering;
+    covering.vaLine = vpn / pagesPer_;
+    covering.tid = task.tid;
+    space.trapped[idx] = tlb_.contains(covering) ? 0 : 1;
+}
+
+void
+TapewormTlb::onPageRemoved(const Task &task, Vpn vpn, Pfn pfn,
+                           bool last_mapping)
+{
+    (void)pfn;
+    (void)last_mapping;
+    ++stats_.pagesRemoved;
+    auto it = spaces_.find(task.tid);
+    TW_ASSERT(it != spaces_.end(), "removal from unknown space");
+    Space &space = it->second;
+    std::uint64_t idx = vpn - space.firstVpn;
+    TW_ASSERT(space.registered[idx], "removing unregistered page");
+    space.trapped[idx] = 0;
+    space.registered[idx] = 0;
+    space.pfns[idx] = kNoFrame;
+    // Flush the covering entry from the simulated TLB, as
+    // tw_remove_page() flushes removed pages from the simulated
+    // structure; sibling host pages under the same (super)page must
+    // trap again to re-establish the mapping.
+    Addr super_vpn = vpn / pagesPer_;
+    LineRef ref;
+    ref.vaLine = super_vpn;
+    ref.tid = task.tid;
+    if (tlb_.contains(ref)) {
+        tlb_.flushVirtPage(task.tid, super_vpn, cfg_.tlb.lineBytes);
+        armSuperpage(space, super_vpn, true);
+    }
+}
+
+void
+TapewormTlb::handleMiss(const Task &task, Space &space, Vpn vpn,
+                        Pfn pfn)
+{
+    ++stats_.misses[static_cast<unsigned>(task.component)];
+    Addr super_vpn = vpn / pagesPer_;
+    // The whole (super)page becomes resident: clear its traps.
+    armSuperpage(space, super_vpn, false);
+
+    LineRef ref;
+    ref.vaLine = super_vpn;
+    ref.paLine = static_cast<Addr>(pfn) / pagesPer_;
+    ref.tid = task.tid;
+    auto displaced = tlb_.insert(ref);
+    if (!displaced)
+        return;
+
+    // Re-arm the valid-bit traps of the displaced mapping so its
+    // next use misses again.
+    auto it = spaces_.find(displaced->tid);
+    TW_ASSERT(it != spaces_.end(), "displaced entry of unknown task");
+    armSuperpage(it->second, displaced->tagLine, true);
+}
+
+Cycles
+TapewormTlb::onRef(const Task &task, Addr va, Addr pa,
+                   bool intr_masked, AccessKind kind)
+{
+    (void)pa;
+    (void)kind; // a TLB translates fetches, loads and stores alike
+    auto it = spaces_.find(task.tid);
+    if (it == spaces_.end())
+        return 0; // task not simulated
+    Space &space = it->second;
+    std::uint64_t idx = va / kHostPageBytes - space.firstVpn;
+    if (idx >= space.trapped.size() || !space.trapped[idx])
+        [[likely]]
+        return 0;
+
+    if (intr_masked) {
+        ++stats_.maskedTrapRefs;
+        if (!cfg_.compensateMasked) {
+            ++stats_.lostMaskedMisses;
+            return 0;
+        }
+    }
+    handleMiss(task, space, va / kHostPageBytes, space.pfns[idx]);
+    return cfg_.chargeCost ? cfg_.cost.tlbMissCycles : 0;
+}
+
+bool
+TapewormTlb::checkInvariants() const
+{
+    for (const auto &[tid, space] : spaces_) {
+        for (std::size_t i = 0; i < space.registered.size(); ++i) {
+            if (!space.registered[i])
+                continue;
+            LineRef ref;
+            ref.vaLine = (space.firstVpn + i) / pagesPer_;
+            ref.tid = tid;
+            bool resident = tlb_.contains(ref);
+            bool trapped = space.trapped[i] != 0;
+            if (trapped == resident)
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace tw

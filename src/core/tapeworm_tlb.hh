@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tapeworm in TLB-simulation mode.
+ *
+ * For TLB simulation "where the granularity is large, page valid
+ * bits are most effective" (Section 3.2): instead of ECC traps on
+ * 16-byte granules, Tapeworm marks page-table entries invalid so
+ * the first use of a page traps. Footnote 2: "an extra bit is
+ * maintained in software to indicate the true state of the page" —
+ * here, a per-task bitmap mirrors which pages are trap-invalid
+ * versus genuinely unmapped.
+ *
+ * This is the mode the first-generation Tapeworm implemented on the
+ * R2000's software-managed TLB [Nagle93, Uhlig94a].
+ */
+
+#ifndef TW_CORE_TAPEWORM_TLB_HH
+#define TW_CORE_TAPEWORM_TLB_HH
+
+#include <array>
+#include <unordered_map>
+#include <vector>
+
+#include "base/types.hh"
+#include "core/cost_model.hh"
+#include "mem/cache.hh"
+#include "os/sim_client.hh"
+#include "os/task.hh"
+
+namespace tw
+{
+
+/** Configuration of a Tapeworm TLB simulation. */
+struct TapewormTlbConfig
+{
+    /** The simulated TLB (default: 64 entries, fully associative,
+     *  FIFO — the MIPS R3000 had 64 entries with software-random
+     *  replacement). The entry page size (tlb.lineBytes) may be any
+     *  power-of-two multiple of the host page: Table 2's "Variable
+     *  Page Size" primitive enables superpage studies in the style
+     *  of [Talluri94]. */
+    CacheConfig tlb = CacheConfig::tlb(64);
+
+    bool chargeCost = true;
+    bool compensateMasked = true;
+    TrapCostModel cost;
+
+    /** Host pages per simulated TLB entry. */
+    unsigned
+    pagesPerEntry() const
+    {
+        return tlb.lineBytes / kHostPageBytes;
+    }
+};
+
+/** Counters of a TLB-mode run. */
+struct TapewormTlbStats
+{
+    std::array<Counter, kNumComponents> misses{};
+    Counter maskedTrapRefs = 0;
+    Counter lostMaskedMisses = 0;
+    Counter pagesRegistered = 0;
+    Counter pagesRemoved = 0;
+
+    Counter
+    totalMisses() const
+    {
+        Counter t = 0;
+        for (Counter m : misses)
+            t += m;
+        return t;
+    }
+};
+
+/**
+ * Page-valid-bit-driven TLB simulator.
+ */
+class TapewormTlb : public SimClient
+{
+  public:
+    explicit TapewormTlb(const TapewormTlbConfig &config);
+
+    Cycles onRef(const Task &task, Addr va, Addr pa, bool intr_masked,
+                 AccessKind kind = AccessKind::Fetch) override;
+    void onPageMapped(const Task &task, Vpn vpn, Pfn pfn,
+                      bool shared) override;
+    void onPageRemoved(const Task &task, Vpn vpn, Pfn pfn,
+                       bool last_mapping) override;
+
+    const TapewormTlbStats &stats() const { return stats_; }
+    const Cache &tlb() const { return tlb_; }
+    Cycles missCost() const { return cfg_.cost.tlbMissCycles; }
+
+    /** Verify trap/residence duality over all registered pages. */
+    bool checkInvariants() const;
+
+  private:
+    /** Per-task page-state mirror (the footnote-2 software bits). */
+    struct Space
+    {
+        Vpn firstVpn = 0;
+        std::vector<std::uint8_t> trapped;    //!< valid-bit trap set
+        std::vector<std::uint8_t> registered; //!< page is Tapeworm's
+        std::vector<Pfn> pfns;                //!< registered frame
+    };
+
+    Space &spaceFor(const Task &task);
+    void handleMiss(const Task &task, Space &space, Vpn vpn, Pfn pfn);
+    void armSuperpage(Space &space, Addr super_vpn, bool trapped);
+
+    TapewormTlbConfig cfg_;
+    unsigned pagesPer_;
+    Cache tlb_;
+    std::unordered_map<TaskId, Space> spaces_;
+    TapewormTlbStats stats_;
+};
+
+} // namespace tw
+
+#endif // TW_CORE_TAPEWORM_TLB_HH

@@ -1,0 +1,80 @@
+#include "harness/dilation.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "base/logging.hh"
+
+namespace tw
+{
+
+DilationModel
+DilationModel::fit(const std::vector<std::pair<double, double>> &samples)
+{
+    TW_ASSERT(samples.size() >= 3,
+              "dilation fit needs at least three points");
+
+    double best_b = 1.0;
+    double best_m0 = 0.0, best_a = 0.0;
+    double best_sse = std::numeric_limits<double>::infinity();
+
+    // misses = m0 + (m0*a) * x with x = d/(b+d): for each candidate
+    // b this is ordinary least squares in (1, x).
+    for (double b = 0.125; b <= 32.0; b *= 1.25) {
+        double sx = 0, sy = 0, sxx = 0, sxy = 0;
+        double n = static_cast<double>(samples.size());
+        for (const auto &[d, m] : samples) {
+            double x = d / (b + d);
+            sx += x;
+            sy += m;
+            sxx += x * x;
+            sxy += x * m;
+        }
+        double denom = n * sxx - sx * sx;
+        if (std::abs(denom) < 1e-12)
+            continue;
+        double slope = (n * sxy - sx * sy) / denom;
+        double intercept = (sy - slope * sx) / n;
+        if (intercept <= 0.0)
+            continue;
+
+        double sse = 0;
+        for (const auto &[d, m] : samples) {
+            double x = d / (b + d);
+            double e = intercept + slope * x - m;
+            sse += e * e;
+        }
+        if (sse < best_sse) {
+            best_sse = sse;
+            best_b = b;
+            best_m0 = intercept;
+            best_a = slope / intercept;
+        }
+    }
+    TW_ASSERT(best_m0 > 0.0, "dilation fit failed");
+
+    double mean_sq = 0;
+    for (const auto &[d, m] : samples) {
+        double x = d / (best_b + d);
+        double rel = (best_m0 * (1.0 + best_a * x) - m)
+                     / (m != 0.0 ? m : 1.0);
+        mean_sq += rel * rel;
+    }
+    double rms =
+        std::sqrt(mean_sq / static_cast<double>(samples.size()));
+    return DilationModel(best_m0, best_a, best_b, rms);
+}
+
+double
+DilationModel::predict(double d) const
+{
+    return m0_ * (1.0 + a_ * d / (b_ + d));
+}
+
+double
+DilationModel::correct(double measured, double d) const
+{
+    return measured / (1.0 + a_ * d / (b_ + d));
+}
+
+} // namespace tw

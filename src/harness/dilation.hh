@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The time-dilation correction model.
+ *
+ * Figure 4 shows a systematic error: misses grow with
+ * instrumentation slowdown, "most steeply from slowdowns of 0 to 2,
+ * and then levels off". Section 4.2 proposes: "it should be
+ * possible to adjust simulation results to factor away this form of
+ * systematic error." This module implements that adjustment: fit
+ * the saturating curve
+ *
+ *     misses(d) = m0 * (1 + a * d / (b + d))
+ *
+ * to measured (dilation, misses) points, then divide any
+ * measurement by its predicted inflation to recover the
+ * zero-dilation miss count m0.
+ */
+
+#ifndef TW_HARNESS_DILATION_HH
+#define TW_HARNESS_DILATION_HH
+
+#include <utility>
+#include <vector>
+
+namespace tw
+{
+
+/**
+ * Fitted saturating dilation curve.
+ */
+class DilationModel
+{
+  public:
+    /**
+     * Least-squares fit over (dilation, misses) samples; at least
+     * three points with distinct dilations are required. The
+     * saturation scale b is grid-searched; m0 and a follow by
+     * linear regression.
+     */
+    static DilationModel fit(
+        const std::vector<std::pair<double, double>> &samples);
+
+    /** Predicted misses at dilation @p d. */
+    double predict(double d) const;
+
+    /** Remove the dilation inflation from a measurement taken at
+     *  dilation @p d (the paper's proposed adjustment). */
+    double correct(double measured, double d) const;
+
+    /** Zero-dilation miss count. */
+    double m0() const { return m0_; }
+    /** Saturated relative inflation (d -> infinity). */
+    double saturationInflation() const { return a_; }
+    /** Dilation at which half the saturated inflation is reached. */
+    double halfScale() const { return b_; }
+    /** Root-mean-square relative fit error. */
+    double rmsError() const { return rms_; }
+
+  private:
+    DilationModel(double m0, double a, double b, double rms)
+        : m0_(m0), a_(a), b_(b), rms_(rms)
+    {
+    }
+
+    double m0_;
+    double a_;
+    double b_;
+    double rms_;
+};
+
+} // namespace tw
+
+#endif // TW_HARNESS_DILATION_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Fan-out client: several simulators observe one run.
+ *
+ * Section 3.2 claims tw_replace() supports "split, unified or
+ * multi-level caches"; a split I/D organization is two simulated
+ * structures watching the same execution. The machine accepts one
+ * SimClient, so MuxClient forwards every hook to any number of
+ * children and sums their instrumentation costs — one run, one
+ * dilation, N structures (e.g. an I-cache Tapeworm + a D-cache
+ * Tapeworm + a TLB).
+ *
+ * Note the cost semantics: children's handler cycles add up, which
+ * is exactly what happens on real hardware when one host drives
+ * several simulations at once.
+ */
+
+#ifndef TW_HARNESS_MUX_CLIENT_HH
+#define TW_HARNESS_MUX_CLIENT_HH
+
+#include <vector>
+
+#include "os/sim_client.hh"
+
+namespace tw
+{
+
+/**
+ * Forwards SimClient hooks to an ordered list of children.
+ */
+class MuxClient : public SimClient
+{
+  public:
+    MuxClient() = default;
+
+    /** Append a child (not owned; must outlive the run). */
+    void add(SimClient *client) { children_.push_back(client); }
+
+    std::size_t size() const { return children_.size(); }
+
+    Cycles
+    onRef(const Task &task, Addr va, Addr pa, bool intr_masked,
+          AccessKind kind = AccessKind::Fetch) override
+    {
+        Cycles total = 0;
+        for (SimClient *child : children_)
+            total += child->onRef(task, va, pa, intr_masked, kind);
+        return total;
+    }
+
+    void
+    onPageMapped(const Task &task, Vpn vpn, Pfn pfn,
+                 bool shared) override
+    {
+        for (SimClient *child : children_)
+            child->onPageMapped(task, vpn, pfn, shared);
+    }
+
+    void
+    onPageRemoved(const Task &task, Vpn vpn, Pfn pfn,
+                  bool last_mapping) override
+    {
+        for (SimClient *child : children_)
+            child->onPageRemoved(task, vpn, pfn, last_mapping);
+    }
+
+    void
+    onDmaInvalidate(Pfn pfn) override
+    {
+        for (SimClient *child : children_)
+            child->onDmaInvalidate(pfn);
+    }
+
+  private:
+    std::vector<SimClient *> children_;
+};
+
+} // namespace tw
+
+#endif // TW_HARNESS_MUX_CLIENT_HH

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * The validation oracle: a zero-cost, direct cache model.
+ *
+ * The oracle sees every reference of every registered task and runs
+ * the plain cache model on it, charging no cycles — it is the
+ * "perfect, free simulator" both real techniques are validated
+ * against (the paper validates Tapeworm's user-task miss counts
+ * against Cache2000 the same way, Section 4.2).
+ *
+ * Equivalence caveat inherent to trap-driven simulation: Tapeworm
+ * never observes hits, so it cannot maintain recency. The oracle
+ * therefore matches Tapeworm exactly for direct-mapped, FIFO and
+ * Random configurations; with LRU the oracle is strictly the
+ * trace-driven semantics.
+ */
+
+#ifndef TW_HARNESS_ORACLE_HH
+#define TW_HARNESS_ORACLE_HH
+
+#include <array>
+#include <vector>
+
+#include "base/bitops.hh"
+#include "base/types.hh"
+#include "core/tapeworm.hh"
+#include "mem/cache.hh"
+#include "mem/set_sample.hh"
+#include "os/sim_client.hh"
+#include "os/task.hh"
+
+namespace tw
+{
+
+/**
+ * Direct in-line cache simulation of all registered tasks.
+ */
+class OracleClient : public SimClient
+{
+  public:
+    /**
+     * @param config simulated cache.
+     * @param num_frames physical frames of the machine (sizes the
+     *        registration table).
+     * @param sample_num / @param sample_denom / @param sample_seed
+     *        optional set sampling, matching Tapeworm's selection
+     *        for the same seed.
+     */
+    OracleClient(const CacheConfig &config, std::uint64_t num_frames,
+                 unsigned sample_num = 1, unsigned sample_denom = 1,
+                 std::uint64_t sample_seed = 0,
+                 SimCacheKind kind = SimCacheKind::Instruction)
+        : cache_(config), lineShift_(floorLog2(config.lineBytes)),
+          sampleNum_(sample_num), sampleDenom_(sample_denom),
+          kind_(kind), frameRefs_(num_frames, 0)
+    {
+        allSampled_ = sample_num == sample_denom;
+        if (!allSampled_) {
+            sampledSets_ = chooseSampledSets(config.numSets(),
+                                             sample_num, sample_denom,
+                                             sample_seed);
+        }
+    }
+
+    Cycles
+    onRef(const Task &task, Addr va, Addr pa, bool intr_masked,
+          AccessKind kind = AccessKind::Fetch) override
+    {
+        (void)intr_masked; // a perfect observer misses nothing
+        bool relevant =
+            kind_ == SimCacheKind::Unified
+            || (kind_ == SimCacheKind::Instruction
+                && kind == AccessKind::Fetch)
+            || (kind_ == SimCacheKind::Data
+                && kind != AccessKind::Fetch);
+        if (!relevant)
+            return 0;
+        if (frameRefs_[pa / kHostPageBytes] == 0)
+            return 0; // unregistered page: outside the simulation
+
+        LineRef ref;
+        ref.vaLine = va >> lineShift_;
+        ref.paLine = pa >> lineShift_;
+        ref.tid = task.tid;
+        if (!allSampled_ && !sampledSets_[cache_.setIndexOf(ref)])
+            return 0;
+        AccessResult res =
+            cache_.access(ref, kind == AccessKind::Store);
+        if (!res.hit)
+            ++misses_[static_cast<unsigned>(task.component)];
+        return 0;
+    }
+
+    void
+    onPageMapped(const Task &task, Vpn vpn, Pfn pfn,
+                 bool shared) override
+    {
+        (void)task;
+        (void)vpn;
+        (void)shared;
+        ++frameRefs_[static_cast<std::size_t>(pfn)];
+    }
+
+    void
+    onPageRemoved(const Task &task, Vpn vpn, Pfn pfn,
+                  bool last_mapping) override
+    {
+        (void)task;
+        (void)vpn;
+        --frameRefs_[static_cast<std::size_t>(pfn)];
+        if (last_mapping)
+            cache_.flushPhysPage(static_cast<Addr>(pfn),
+                                 kHostPageBytes);
+    }
+
+    void
+    onDmaInvalidate(Pfn pfn) override
+    {
+        cache_.flushPhysPage(static_cast<Addr>(pfn), kHostPageBytes);
+    }
+
+    Counter
+    totalMisses() const
+    {
+        Counter t = 0;
+        for (Counter m : misses_)
+            t += m;
+        return t;
+    }
+
+    Counter
+    misses(Component c) const
+    {
+        return misses_[static_cast<unsigned>(c)];
+    }
+
+    double
+    estimatedTotalMisses() const
+    {
+        return static_cast<double>(totalMisses())
+               * static_cast<double>(sampleDenom_)
+               / static_cast<double>(sampleNum_);
+    }
+
+    const Cache &cache() const { return cache_; }
+
+  private:
+    Cache cache_;
+    unsigned lineShift_;
+    unsigned sampleNum_;
+    unsigned sampleDenom_;
+    SimCacheKind kind_;
+    bool allSampled_ = true;
+    std::vector<bool> sampledSets_;
+    std::vector<std::uint32_t> frameRefs_;
+    std::array<Counter, kNumComponents> misses_{};
+};
+
+} // namespace tw
+
+#endif // TW_HARNESS_ORACLE_HH

@@ -1,0 +1,168 @@
+#include "harness/runner.hh"
+
+#include <chrono>
+#include <map>
+#include <memory>
+
+#include "base/logging.hh"
+#include "harness/oracle.hh"
+
+namespace tw
+{
+
+namespace
+{
+
+std::map<std::string, Cycles> baselines;
+
+double
+hostNow()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+} // anonymous namespace
+
+std::string
+Runner::baselineKey(const RunSpec &spec, std::uint64_t trial_seed)
+{
+    const SystemConfig &s = spec.sys;
+    return csprintf(
+        "%s|%llu|%llu|%u|%llu|%d|%llu|%llu|%u|%llu|%llu|%d%d%d|%d|%llu",
+        spec.workload.name.c_str(),
+        static_cast<unsigned long long>(spec.workload.totalInstr),
+        static_cast<unsigned long long>(s.physMemBytes), s.cpiBase,
+        static_cast<unsigned long long>(s.clockInterval),
+        static_cast<int>(s.clockJitter),
+        static_cast<unsigned long long>(s.tickHandlerInstr),
+        static_cast<unsigned long long>(s.quantumInstr),
+        s.dmaFlushPeriod,
+        static_cast<unsigned long long>(s.forkKernelInstr),
+        static_cast<unsigned long long>(s.faultKernelCycles),
+        static_cast<int>(s.scope.user), static_cast<int>(s.scope.servers),
+        static_cast<int>(s.scope.kernel),
+        static_cast<int>(s.allocPolicy),
+        static_cast<unsigned long long>(trial_seed));
+}
+
+RunOutcome
+Runner::runOne(const RunSpec &spec, std::uint64_t trial_seed)
+{
+    SystemConfig sys = spec.sys;
+    sys.trialSeed = trial_seed;
+    System system(sys, spec.workload);
+
+    RunOutcome out;
+    double t0 = hostNow();
+
+    switch (spec.sim) {
+      case SimKind::None: {
+        out.run = system.run();
+        break;
+      }
+      case SimKind::Tapeworm: {
+        TapewormConfig cfg = spec.tw;
+        // The trial seed picks the set sample unless the caller
+        // pinned one explicitly.
+        if (cfg.sampleSeed == 0)
+            cfg.sampleSeed = mixSeed(trial_seed, 0x7e57);
+        Tapeworm tapeworm(system.physMem(), cfg);
+        system.setClient(&tapeworm);
+        out.run = system.run();
+        out.rawMisses =
+            static_cast<double>(tapeworm.stats().totalMisses());
+        out.estMisses = tapeworm.estimatedTotalMisses();
+        for (unsigned c = 0; c < kNumComponents; ++c) {
+            out.missesByComp[c] =
+                tapeworm.estimatedMisses(static_cast<Component>(c));
+        }
+        out.maskedTrapRefs = tapeworm.stats().maskedTrapRefs;
+        out.lostMaskedMisses = tapeworm.stats().lostMaskedMisses;
+        break;
+      }
+      case SimKind::TapewormTlbSim: {
+        TapewormTlb tlb(spec.tlb);
+        system.setClient(&tlb);
+        out.run = system.run();
+        out.rawMisses =
+            static_cast<double>(tlb.stats().totalMisses());
+        out.estMisses = out.rawMisses;
+        for (unsigned c = 0; c < kNumComponents; ++c) {
+            out.missesByComp[c] = static_cast<double>(
+                tlb.stats().misses[c]);
+        }
+        out.maskedTrapRefs = tlb.stats().maskedTrapRefs;
+        out.lostMaskedMisses = tlb.stats().lostMaskedMisses;
+        break;
+      }
+      case SimKind::TraceDriven: {
+        Cache2000Config cfg = spec.c2k;
+        if (cfg.sampleSeed == 0)
+            cfg.sampleSeed = mixSeed(trial_seed, 0x7e57);
+        Cache2000 c2k(cfg);
+        PixieClient pixie(spec.traceTarget, &c2k, spec.pixie);
+        system.setClient(&pixie);
+        out.run = system.run();
+        out.rawMisses = static_cast<double>(c2k.stats().misses);
+        out.estMisses = c2k.estimatedMisses();
+        // Pixie sees a single user task only.
+        out.missesByComp[static_cast<unsigned>(Component::User)] =
+            out.estMisses;
+        break;
+      }
+      case SimKind::Oracle: {
+        OracleClient oracle(spec.tw.cache,
+                            system.physMem().numFrames(),
+                            spec.tw.sampleNum, spec.tw.sampleDenom,
+                            spec.tw.sampleSeed != 0
+                                ? spec.tw.sampleSeed
+                                : mixSeed(trial_seed, 0x7e57),
+                            spec.tw.kind);
+        system.setClient(&oracle);
+        out.run = system.run();
+        out.rawMisses = static_cast<double>(oracle.totalMisses());
+        out.estMisses = oracle.estimatedTotalMisses();
+        for (unsigned c = 0; c < kNumComponents; ++c) {
+            out.missesByComp[c] = static_cast<double>(
+                oracle.misses(static_cast<Component>(c)));
+        }
+        break;
+      }
+    }
+
+    out.hostSeconds = hostNow() - t0;
+    return out;
+}
+
+RunOutcome
+Runner::runWithSlowdown(const RunSpec &spec, std::uint64_t trial_seed)
+{
+    std::string key = baselineKey(spec, trial_seed);
+    auto it = baselines.find(key);
+    if (it == baselines.end()) {
+        RunSpec normal = spec;
+        normal.sim = SimKind::None;
+        RunOutcome base = runOne(normal, trial_seed);
+        it = baselines.emplace(key, base.run.cycles).first;
+    }
+    Cycles normal_cycles = it->second;
+
+    RunOutcome out = runOne(spec, trial_seed);
+    out.normalCycles = normal_cycles;
+    TW_ASSERT(normal_cycles > 0, "empty baseline run");
+    double overhead = static_cast<double>(out.run.cycles)
+                      - static_cast<double>(normal_cycles);
+    out.slowdown = overhead / static_cast<double>(normal_cycles);
+    return out;
+}
+
+void
+Runner::clearBaselineCache()
+{
+    baselines.clear();
+}
+
+} // namespace tw

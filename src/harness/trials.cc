@@ -1,0 +1,41 @@
+#include "harness/trials.hh"
+
+#include "base/random.hh"
+
+namespace tw
+{
+
+std::vector<RunOutcome>
+runTrials(const RunSpec &spec, unsigned n, std::uint64_t base_seed,
+          bool with_slowdown)
+{
+    std::vector<RunOutcome> outcomes;
+    outcomes.reserve(n);
+    for (unsigned t = 0; t < n; ++t) {
+        std::uint64_t seed = mixSeed(base_seed, 1000 + t);
+        outcomes.push_back(with_slowdown
+                               ? Runner::runWithSlowdown(spec, seed)
+                               : Runner::runOne(spec, seed));
+    }
+    return outcomes;
+}
+
+Summary
+missSummary(const std::vector<RunOutcome> &outcomes)
+{
+    RunningStat rs;
+    for (const auto &o : outcomes)
+        rs.push(o.estMisses);
+    return summarize(rs);
+}
+
+Summary
+slowdownSummary(const std::vector<RunOutcome> &outcomes)
+{
+    RunningStat rs;
+    for (const auto &o : outcomes)
+        rs.push(o.slowdown);
+    return summarize(rs);
+}
+
+} // namespace tw

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Multi-trial experiment helpers (the Tables 7-10 methodology).
+ *
+ * A "trial" in the paper is a fresh run of the same workload on the
+ * live machine: page allocation, sample selection and interrupt
+ * phase all redraw. Here that is a new trial seed; everything else
+ * is held fixed.
+ */
+
+#ifndef TW_HARNESS_TRIALS_HH
+#define TW_HARNESS_TRIALS_HH
+
+#include <vector>
+
+#include "base/stats.hh"
+#include "harness/runner.hh"
+
+namespace tw
+{
+
+/**
+ * Run @p n trials of @p spec with seeds derived from @p base_seed.
+ *
+ * @param with_slowdown also run (memoized) baselines and fill the
+ *        slowdown fields.
+ */
+std::vector<RunOutcome> runTrials(const RunSpec &spec, unsigned n,
+                                  std::uint64_t base_seed,
+                                  bool with_slowdown = false);
+
+/** Summary of estimated total misses across trials. */
+Summary missSummary(const std::vector<RunOutcome> &outcomes);
+
+/** Summary of slowdowns across trials. */
+Summary slowdownSummary(const std::vector<RunOutcome> &outcomes);
+
+/** Mean of a per-outcome metric. */
+template <typename Fn>
+double
+meanOf(const std::vector<RunOutcome> &outcomes, Fn &&metric)
+{
+    if (outcomes.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &o : outcomes)
+        sum += metric(o);
+    return sum / static_cast<double>(outcomes.size());
+}
+
+} // namespace tw
+
+#endif // TW_HARNESS_TRIALS_HH

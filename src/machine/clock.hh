@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The periodic clock-interrupt device of the simulated host.
+ *
+ * The clock is central to the paper's time-dilation bias (Figure 4):
+ * it fires at a fixed rate in *real* (simulated wall-clock) cycles,
+ * so any simulation overhead stretches the workload across more
+ * interrupts, each of which runs kernel handler code through the
+ * simulated cache and inflates conflict misses.
+ */
+
+#ifndef TW_MACHINE_CLOCK_HH
+#define TW_MACHINE_CLOCK_HH
+
+#include "base/logging.hh"
+#include "base/types.hh"
+
+namespace tw
+{
+
+/**
+ * Fixed-interval interrupt source.
+ */
+class ClockDevice
+{
+  public:
+    /**
+     * @param interval_cycles cycles between interrupts.
+     * @param phase offset of the first interrupt (run-to-run jitter
+     *        can be injected here).
+     */
+    explicit ClockDevice(Cycles interval_cycles, Cycles phase = 0)
+        : interval_(interval_cycles), next_(interval_cycles + phase)
+    {
+        TW_ASSERT(interval_cycles > 0, "clock interval must be nonzero");
+    }
+
+    /** Cycle at which the next interrupt is due. */
+    Cycles nextAt() const { return next_; }
+
+    /** Interval between interrupts. */
+    Cycles interval() const { return interval_; }
+
+    /** Has an interrupt become due at time @p now? */
+    bool due(Cycles now) const { return now >= next_; }
+
+    /**
+     * Acknowledge the pending interrupt and schedule the next one.
+     * If handling ran long enough to pass further periods, ticks are
+     * coalesced (real kernels lose ticks the same way).
+     */
+    void
+    acknowledge(Cycles now)
+    {
+        ++fired_;
+        while (next_ <= now)
+            next_ += interval_;
+    }
+
+    /** Number of interrupts fired so far. */
+    Counter fired() const { return fired_; }
+
+  private:
+    Cycles interval_;
+    Cycles next_;
+    Counter fired_ = 0;
+};
+
+} // namespace tw
+
+#endif // TW_MACHINE_CLOCK_HH

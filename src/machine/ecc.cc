@@ -1,0 +1,133 @@
+#include "machine/ecc.hh"
+
+#include <bit>
+
+#include "base/logging.hh"
+
+namespace tw
+{
+
+namespace
+{
+
+constexpr bool
+isHammingCheckPos(unsigned p)
+{
+    return (p & (p - 1)) == 0; // p is a power of two (p >= 1)
+}
+
+/** XOR of the Hamming positions (1..38) of all set bits. */
+unsigned
+syndromeOf(std::uint64_t codeword)
+{
+    unsigned s = 0;
+    for (unsigned p = 1; p < EccCodec::kBits; ++p) {
+        if ((codeword >> p) & 1)
+            s ^= p;
+    }
+    return s;
+}
+
+} // anonymous namespace
+
+std::uint64_t
+EccCodec::encode(std::uint32_t data)
+{
+    std::uint64_t cw = 0;
+
+    // Scatter data bits into the non-power-of-two positions 3,5,6,...
+    unsigned data_bit = 0;
+    for (unsigned p = 1; p < kBits; ++p) {
+        if (isHammingCheckPos(p))
+            continue;
+        if ((data >> data_bit) & 1)
+            cw |= 1ull << p;
+        ++data_bit;
+    }
+    TW_ASSERT(data_bit == 32, "expected 32 data positions, got %u",
+              data_bit);
+
+    // Each Hamming check bit at position 2^k covers positions with
+    // bit k set; choose it so the covered group has even parity.
+    unsigned s = syndromeOf(cw);
+    for (unsigned k = 0; (1u << k) < kBits; ++k) {
+        if ((s >> k) & 1)
+            cw |= 1ull << (1u << k);
+    }
+    TW_ASSERT(syndromeOf(cw) == 0, "hamming encode failed");
+
+    // Overall parity: make the total popcount even.
+    if (std::popcount(cw) & 1)
+        cw |= 1ull;
+    return cw;
+}
+
+std::uint64_t
+EccCodec::flipTrapBit(std::uint64_t codeword)
+{
+    return codeword ^ (1ull << kTrapCheckBit);
+}
+
+std::uint64_t
+EccCodec::flipBit(std::uint64_t codeword, unsigned pos)
+{
+    TW_ASSERT(pos < kBits, "bit position %u out of range", pos);
+    return codeword ^ (1ull << pos);
+}
+
+EccCodec::Result
+EccCodec::decode(std::uint64_t codeword)
+{
+    unsigned s = syndromeOf(codeword);
+    bool odd_parity = std::popcount(codeword) & 1;
+
+    if (s == 0 && !odd_parity)
+        return Result::Ok;
+    if (odd_parity) {
+        // Exactly one bit flipped (the syndrome names it; syndrome 0
+        // means the overall parity bit itself).
+        if (s == kTrapCheckBit)
+            return Result::TapewormTrap;
+        return Result::SingleBitError;
+    }
+    // Nonzero syndrome with even parity: two bits flipped.
+    return Result::DoubleBitError;
+}
+
+std::uint32_t
+EccCodec::extractData(std::uint64_t codeword)
+{
+    unsigned s = syndromeOf(codeword);
+    bool odd_parity = std::popcount(codeword) & 1;
+    if (odd_parity && s != 0 && s < kBits)
+        codeword ^= 1ull << s; // correct the single-bit error
+
+    std::uint32_t data = 0;
+    unsigned data_bit = 0;
+    for (unsigned p = 1; p < kBits; ++p) {
+        if (isHammingCheckPos(p))
+            continue;
+        if ((codeword >> p) & 1)
+            data |= 1u << data_bit;
+        ++data_bit;
+    }
+    return data;
+}
+
+const char *
+eccResultName(EccCodec::Result r)
+{
+    switch (r) {
+      case EccCodec::Result::Ok:
+        return "ok";
+      case EccCodec::Result::TapewormTrap:
+        return "tapeworm-trap";
+      case EccCodec::Result::SingleBitError:
+        return "single-bit-error";
+      case EccCodec::Result::DoubleBitError:
+        return "double-bit-error";
+    }
+    return "?";
+}
+
+} // namespace tw

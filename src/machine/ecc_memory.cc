@@ -1,0 +1,66 @@
+#include "machine/ecc_memory.hh"
+
+#include "base/logging.hh"
+
+namespace tw
+{
+
+EccMemory::EccMemory(std::size_t words)
+    : codewords_(words, EccCodec::encode(0))
+{
+    TW_ASSERT(words > 0, "empty ECC memory");
+}
+
+void
+EccMemory::write(std::size_t index, std::uint32_t value)
+{
+    TW_ASSERT(index < codewords_.size(), "ECC write out of range");
+    ++stats_.writes;
+    codewords_[index] = EccCodec::encode(value);
+}
+
+std::uint32_t
+EccMemory::read(std::size_t index)
+{
+    TW_ASSERT(index < codewords_.size(), "ECC read out of range");
+    ++stats_.reads;
+    std::uint64_t cw = codewords_[index];
+    lastResult_ = EccCodec::decode(cw);
+    switch (lastResult_) {
+      case EccCodec::Result::Ok:
+        break;
+      case EccCodec::Result::TapewormTrap:
+        ++stats_.tapewormTraps;
+        break;
+      case EccCodec::Result::SingleBitError:
+        ++stats_.trueSingleErrors;
+        break;
+      case EccCodec::Result::DoubleBitError:
+        ++stats_.trueDoubleErrors;
+        break;
+    }
+    return EccCodec::extractData(cw);
+}
+
+void
+EccMemory::flipTrapBit(std::size_t index)
+{
+    TW_ASSERT(index < codewords_.size(), "ECC trap out of range");
+    codewords_[index] = EccCodec::flipTrapBit(codewords_[index]);
+}
+
+bool
+EccMemory::isTrapped(std::size_t index) const
+{
+    return EccCodec::decode(codewords_[index])
+           == EccCodec::Result::TapewormTrap;
+}
+
+void
+EccMemory::injectFault(std::size_t index, unsigned bit)
+{
+    TW_ASSERT(index < codewords_.size(), "fault out of range");
+    codewords_[index] = EccCodec::flipBit(codewords_[index], bit);
+}
+
+} // namespace tw

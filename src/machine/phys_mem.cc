@@ -1,0 +1,72 @@
+#include "machine/phys_mem.hh"
+
+#include <bit>
+
+namespace tw
+{
+
+PhysMem::PhysMem(std::uint64_t size_bytes, std::uint32_t granule_bytes)
+    : sizeBytes_(size_bytes), granuleBytes_(granule_bytes)
+{
+    TW_ASSERT(isPowerOf2(granule_bytes), "granule must be a power of 2");
+    TW_ASSERT(size_bytes % granule_bytes == 0,
+              "memory size must be granule aligned");
+    granuleShift_ = floorLog2(granule_bytes);
+    numGranules_ = size_bytes >> granuleShift_;
+    bits_.assign(divCeil(numGranules_, 64), 0);
+}
+
+void
+PhysMem::setTrap(Addr pa, std::uint64_t size)
+{
+    TW_ASSERT(pa + size <= sizeBytes_,
+              "trap range [%llx,+%llx) outside memory",
+              static_cast<unsigned long long>(pa),
+              static_cast<unsigned long long>(size));
+    std::uint64_t first = pa >> granuleShift_;
+    std::uint64_t last = (pa + size - 1) >> granuleShift_;
+    for (std::uint64_t g = first; g <= last; ++g)
+        bits_[g >> 6] |= 1ull << (g & 63);
+}
+
+void
+PhysMem::clearTrap(Addr pa, std::uint64_t size)
+{
+    TW_ASSERT(pa + size <= sizeBytes_,
+              "trap range [%llx,+%llx) outside memory",
+              static_cast<unsigned long long>(pa),
+              static_cast<unsigned long long>(size));
+    std::uint64_t first = pa >> granuleShift_;
+    std::uint64_t last = (pa + size - 1) >> granuleShift_;
+    for (std::uint64_t g = first; g <= last; ++g)
+        bits_[g >> 6] &= ~(1ull << (g & 63));
+}
+
+bool
+PhysMem::anyTrapped(Addr pa, std::uint64_t size) const
+{
+    std::uint64_t first = pa >> granuleShift_;
+    std::uint64_t last = (pa + size - 1) >> granuleShift_;
+    for (std::uint64_t g = first; g <= last; ++g) {
+        if ((bits_[g >> 6] >> (g & 63)) & 1)
+            return true;
+    }
+    return false;
+}
+
+std::uint64_t
+PhysMem::countTrapped() const
+{
+    std::uint64_t n = 0;
+    for (std::uint64_t word : bits_)
+        n += static_cast<std::uint64_t>(std::popcount(word));
+    return n;
+}
+
+void
+PhysMem::clearAll()
+{
+    std::fill(bits_.begin(), bits_.end(), 0);
+}
+
+} // namespace tw

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Physical memory of the simulated host machine, with per-granule
+ * memory traps.
+ *
+ * On the real DECstation 5000/200, Tapeworm sets a trap by flipping
+ * one ECC check bit of a memory word through the memory-controller
+ * ASIC's diagnostic mode; the next cache-line refill from that
+ * location raises an ECC error interrupt (Section 3.2, Table 2).
+ * Our machine model keeps one trap bit per 16-byte granule (the
+ * 4-word refill granularity that limits simulated line sizes on
+ * that machine, Section 4.4).
+ *
+ * The hit path of a trap-driven simulation is a single bit test —
+ * this is precisely the "host hardware filters hits" property that
+ * gives Tapeworm its speed, so isTrapped() is kept inline.
+ */
+
+#ifndef TW_MACHINE_PHYS_MEM_HH
+#define TW_MACHINE_PHYS_MEM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/bitops.hh"
+#include "base/logging.hh"
+#include "base/types.hh"
+
+namespace tw
+{
+
+/**
+ * Byte-addressed physical memory with a trap bit per granule.
+ */
+class PhysMem
+{
+  public:
+    /**
+     * @param size_bytes total physical memory size.
+     * @param granule_bytes trap granularity (power of two; default
+     *        the DECstation's 4-word ECC refill unit).
+     */
+    explicit PhysMem(std::uint64_t size_bytes,
+                     std::uint32_t granule_bytes = kTrapGranuleBytes);
+
+    std::uint64_t sizeBytes() const { return sizeBytes_; }
+    std::uint32_t granuleBytes() const { return granuleBytes_; }
+    std::uint64_t numGranules() const { return numGranules_; }
+    std::uint64_t numFrames() const
+    {
+        return sizeBytes_ / kHostPageBytes;
+    }
+
+    /** Set traps on every granule overlapping [pa, pa+size). The
+     *  tw_set_trap(pa, size) primitive of Table 1. */
+    void setTrap(Addr pa, std::uint64_t size);
+
+    /** Clear traps on every granule overlapping [pa, pa+size). The
+     *  tw_clear_trap(pa, size) primitive of Table 1. */
+    void clearTrap(Addr pa, std::uint64_t size);
+
+    /** Hot path: is the granule containing @p pa trapped? */
+    bool
+    isTrapped(Addr pa) const
+    {
+        std::uint64_t g = pa >> granuleShift_;
+        return (bits_[g >> 6] >> (g & 63)) & 1;
+    }
+
+    /** Any trap set in [pa, pa+size)? */
+    bool anyTrapped(Addr pa, std::uint64_t size) const;
+
+    /** Total number of trapped granules (diagnostics). */
+    std::uint64_t countTrapped() const;
+
+    /** Clear every trap bit. */
+    void clearAll();
+
+  private:
+    std::uint64_t sizeBytes_;
+    std::uint32_t granuleBytes_;
+    unsigned granuleShift_;
+    std::uint64_t numGranules_;
+    std::vector<std::uint64_t> bits_;
+};
+
+} // namespace tw
+
+#endif // TW_MACHINE_PHYS_MEM_HH

@@ -1,0 +1,295 @@
+#include "mem/cache.hh"
+
+#include "base/bitops.hh"
+#include "base/logging.hh"
+
+namespace tw
+{
+
+const char *
+replPolicyName(ReplPolicy p)
+{
+    switch (p) {
+      case ReplPolicy::LRU:
+        return "LRU";
+      case ReplPolicy::FIFO:
+        return "FIFO";
+      case ReplPolicy::Random:
+        return "Random";
+    }
+    return "?";
+}
+
+const char *
+indexingName(Indexing i)
+{
+    return i == Indexing::Virtual ? "virtual" : "physical";
+}
+
+void
+CacheConfig::validate() const
+{
+    if (!isPowerOf2(sizeBytes) || !isPowerOf2(lineBytes))
+        fatal("cache '%s': size (%llu) and line (%u) must be powers of 2",
+              name.c_str(), static_cast<unsigned long long>(sizeBytes),
+              lineBytes);
+    if (lineBytes > sizeBytes)
+        fatal("cache '%s': line larger than cache", name.c_str());
+    if (assoc == 0 || numLines() % assoc != 0)
+        fatal("cache '%s': associativity %u does not divide %llu lines",
+              name.c_str(), assoc,
+              static_cast<unsigned long long>(numLines()));
+    if (!isPowerOf2(numSets()))
+        fatal("cache '%s': set count must be a power of 2",
+              name.c_str());
+}
+
+CacheConfig
+CacheConfig::icache(std::uint64_t size_bytes, std::uint32_t line_bytes,
+                    std::uint32_t assoc, Indexing idx)
+{
+    CacheConfig c;
+    c.name = "icache";
+    c.sizeBytes = size_bytes;
+    c.lineBytes = line_bytes;
+    c.assoc = assoc;
+    c.indexing = idx;
+    c.tagIncludesTask = (idx == Indexing::Virtual);
+    c.policy = assoc > 1 ? ReplPolicy::FIFO : ReplPolicy::LRU;
+    c.validate();
+    return c;
+}
+
+CacheConfig
+CacheConfig::tlb(std::uint32_t entries, std::uint32_t assoc,
+                 std::uint32_t page_bytes)
+{
+    CacheConfig c;
+    c.name = "tlb";
+    c.sizeBytes = static_cast<std::uint64_t>(entries) * page_bytes;
+    c.lineBytes = page_bytes;
+    c.assoc = assoc == 0 ? entries : assoc;
+    c.indexing = Indexing::Virtual;
+    c.tagIncludesTask = true;
+    c.policy = ReplPolicy::FIFO;
+    c.validate();
+    return c;
+}
+
+Cache::Cache(const CacheConfig &config)
+    : cfg_(config), rng_(config.seed)
+{
+    cfg_.validate();
+    lineShift_ = floorLog2(cfg_.lineBytes);
+    setMask_ = cfg_.numSets() - 1;
+    lines_.resize(cfg_.numLines());
+}
+
+std::uint64_t
+Cache::setIndexOf(const LineRef &ref) const
+{
+    Addr line = cfg_.indexing == Indexing::Virtual ? ref.vaLine
+                                                   : ref.paLine;
+    return line & setMask_;
+}
+
+Addr
+Cache::tagLineOf(const LineRef &ref) const
+{
+    return cfg_.indexing == Indexing::Virtual ? ref.vaLine : ref.paLine;
+}
+
+Cache::Line *
+Cache::setBase(std::uint64_t set_index)
+{
+    return lines_.data() + set_index * cfg_.assoc;
+}
+
+const Cache::Line *
+Cache::setBase(std::uint64_t set_index) const
+{
+    return lines_.data() + set_index * cfg_.assoc;
+}
+
+unsigned
+Cache::victimWay(std::uint64_t set_index)
+{
+    const Line *set = setBase(set_index);
+    for (unsigned w = 0; w < cfg_.assoc; ++w) {
+        if (!set[w].valid)
+            return w;
+    }
+    switch (cfg_.policy) {
+      case ReplPolicy::Random:
+        return static_cast<unsigned>(rng_.below(cfg_.assoc));
+      case ReplPolicy::LRU:
+      case ReplPolicy::FIFO: {
+        // For LRU the stamp is refreshed on hits; for FIFO it is the
+        // insertion time. Either way the victim is the oldest stamp.
+        unsigned victim = 0;
+        for (unsigned w = 1; w < cfg_.assoc; ++w) {
+            if (set[w].stamp < set[victim].stamp)
+                victim = w;
+        }
+        return victim;
+      }
+    }
+    return 0;
+}
+
+AccessResult
+Cache::access(const LineRef &ref, bool is_store)
+{
+    std::uint64_t set_index = setIndexOf(ref);
+    Addr tag = tagLineOf(ref);
+    bool match_tid = cfg_.indexing == Indexing::Virtual
+                     && cfg_.tagIncludesTask;
+    Line *set = setBase(set_index);
+
+    for (unsigned w = 0; w < cfg_.assoc; ++w) {
+        Line &line = set[w];
+        if (line.valid && line.tagLine == tag
+            && (!match_tid || line.tid == ref.tid)) {
+            if (cfg_.policy == ReplPolicy::LRU)
+                line.stamp = ++stampCounter_;
+            line.dirty |= is_store;
+            return AccessResult{true, std::nullopt};
+        }
+    }
+
+    AccessResult res;
+    res.hit = false;
+    unsigned w = victimWay(set_index);
+    Line &line = set[w];
+    if (line.valid) {
+        res.displaced = LineInfo{line.tagLine, line.paLine, line.tid,
+                                 line.dirty};
+        if (line.dirty)
+            ++writebacks_;
+    }
+    line.valid = true;
+    line.dirty = is_store;
+    line.tagLine = tag;
+    line.paLine = ref.paLine;
+    line.tid = ref.tid;
+    line.stamp = ++stampCounter_;
+    return res;
+}
+
+std::optional<LineInfo>
+Cache::insert(const LineRef &ref, bool is_store)
+{
+    std::uint64_t set_index = setIndexOf(ref);
+    unsigned w = victimWay(set_index);
+    Line &line = setBase(set_index)[w];
+    std::optional<LineInfo> displaced;
+    if (line.valid) {
+        displaced = LineInfo{line.tagLine, line.paLine, line.tid,
+                             line.dirty};
+        if (line.dirty)
+            ++writebacks_;
+    }
+    line.valid = true;
+    line.dirty = is_store;
+    line.tagLine = tagLineOf(ref);
+    line.paLine = ref.paLine;
+    line.tid = ref.tid;
+    line.stamp = ++stampCounter_;
+    return displaced;
+}
+
+bool
+Cache::contains(const LineRef &ref) const
+{
+    std::uint64_t set_index = setIndexOf(ref);
+    Addr tag = tagLineOf(ref);
+    bool match_tid = cfg_.indexing == Indexing::Virtual
+                     && cfg_.tagIncludesTask;
+    const Line *set = setBase(set_index);
+    for (unsigned w = 0; w < cfg_.assoc; ++w) {
+        const Line &line = set[w];
+        if (line.valid && line.tagLine == tag
+            && (!match_tid || line.tid == ref.tid)) {
+            return true;
+        }
+    }
+    return false;
+}
+
+unsigned
+Cache::flushPhysPage(Addr pfn, std::uint32_t page_bytes)
+{
+    Addr first_line = pfn * (page_bytes >> lineShift_);
+    Addr last_line = first_line + (page_bytes >> lineShift_);
+    unsigned flushed = 0;
+    for (auto &line : lines_) {
+        if (line.valid && line.paLine >= first_line
+            && line.paLine < last_line) {
+            line.valid = false;
+            ++flushed;
+        }
+    }
+    return flushed;
+}
+
+unsigned
+Cache::flushPhysLine(Addr pa_line)
+{
+    unsigned flushed = 0;
+    for (auto &line : lines_) {
+        if (line.valid && line.paLine == pa_line) {
+            line.valid = false;
+            ++flushed;
+        }
+    }
+    return flushed;
+}
+
+unsigned
+Cache::flushVirtPage(TaskId tid, Addr vpn, std::uint32_t page_bytes)
+{
+    TW_ASSERT(cfg_.indexing == Indexing::Virtual,
+              "virtual flush on a physically-indexed cache");
+    Addr first_line = vpn * (page_bytes >> lineShift_);
+    Addr last_line = first_line + (page_bytes >> lineShift_);
+    unsigned flushed = 0;
+    for (auto &line : lines_) {
+        if (line.valid && line.tid == tid && line.tagLine >= first_line
+            && line.tagLine < last_line) {
+            line.valid = false;
+            ++flushed;
+        }
+    }
+    return flushed;
+}
+
+void
+Cache::flushAll()
+{
+    for (auto &line : lines_)
+        line.valid = false;
+}
+
+std::uint64_t
+Cache::validCount() const
+{
+    std::uint64_t n = 0;
+    for (const auto &line : lines_) {
+        if (line.valid)
+            ++n;
+    }
+    return n;
+}
+
+std::vector<LineInfo>
+Cache::validLines() const
+{
+    std::vector<LineInfo> out;
+    for (const auto &line : lines_) {
+        if (line.valid)
+            out.push_back(LineInfo{line.tagLine, line.paLine, line.tid});
+    }
+    return out;
+}
+
+} // namespace tw

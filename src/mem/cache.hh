@@ -1,0 +1,167 @@
+/**
+ * @file
+ * The software model of a simulated cache / TLB.
+ *
+ * Both simulation styles of the paper use this structure, but in
+ * characteristically different ways:
+ *
+ *  - the trace-driven simulator (trace/Cache2000) calls access() for
+ *    EVERY address, paying a search on hits and misses alike
+ *    (Figure 1, left);
+ *  - the trap-driven simulator (core/Tapeworm) calls insert() only
+ *    when a trap fires, i.e. only on misses — the host hardware has
+ *    already filtered the hits (Figure 1, right). insert() is the
+ *    tw_replace() primitive of Table 1.
+ *
+ * Lines remember the physical line address of their contents so a
+ * displaced entry can have its memory trap re-set regardless of
+ * whether the cache is virtually or physically indexed.
+ */
+
+#ifndef TW_MEM_CACHE_HH
+#define TW_MEM_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "base/random.hh"
+#include "base/types.hh"
+#include "mem/cache_config.hh"
+
+namespace tw
+{
+
+/**
+ * One memory line presented to the cache: its virtual and physical
+ * line numbers (byte address divided by line size) plus the task
+ * that referenced it.
+ */
+struct LineRef
+{
+    Addr vaLine = 0;
+    Addr paLine = 0;
+    TaskId tid = kInvalidTid;
+};
+
+/** Contents of a (displaced or probed) cache line. */
+struct LineInfo
+{
+    Addr tagLine = 0;   //!< line number used for tagging (va or pa)
+    Addr paLine = 0;    //!< physical line number of the contents
+    TaskId tid = kInvalidTid;
+    bool dirty = false; //!< needed a write-back when displaced
+};
+
+/** Result of a trace-driven access(). */
+struct AccessResult
+{
+    bool hit = false;
+    /** Entry displaced by the fill, if the access missed and the
+     *  victim way held valid data. */
+    std::optional<LineInfo> displaced;
+};
+
+/**
+ * Set-associative cache model with LRU / FIFO / Random replacement.
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config);
+
+    const CacheConfig &config() const { return cfg_; }
+
+    /** Set index a given reference maps to. */
+    std::uint64_t setIndexOf(const LineRef &ref) const;
+
+    /** Line number (va or pa according to indexing) used as tag. */
+    Addr tagLineOf(const LineRef &ref) const;
+
+    /**
+     * Trace-driven access: search; on hit update recency; on miss
+     * fill, evicting a victim. This is the per-address work a
+     * trace-driven simulator cannot avoid.
+     *
+     * @param is_store mark the line dirty (write-back accounting).
+     */
+    AccessResult access(const LineRef &ref, bool is_store = false);
+
+    /**
+     * Trap-driven insert (the tw_replace() primitive): the caller
+     * already knows this is a miss, so no search for a hit is
+     * performed; the line is filled and the displaced entry, if any,
+     * is returned so the caller can set a trap on it.
+     *
+     * Note the inherent trap-driven limitation: store HITS are
+     * invisible, so dirty bits set here (via @p is_store on the
+     * fill) undercount relative to a trace-driven simulation.
+     */
+    std::optional<LineInfo> insert(const LineRef &ref,
+                                   bool is_store = false);
+
+    /** Write-backs of dirty lines displaced so far. */
+    Counter writebacks() const { return writebacks_; }
+
+    /** Non-mutating presence test. */
+    bool contains(const LineRef &ref) const;
+
+    /**
+     * Invalidate every line whose *contents* lie in the physical
+     * page @p pfn (page frame number over @p page_bytes pages).
+     * Mirrors the flush performed by tw_remove_page(). Returns the
+     * number of lines invalidated.
+     */
+    unsigned flushPhysPage(Addr pfn, std::uint32_t page_bytes);
+
+    /** Invalidate every line holding physical line @p pa_line
+     *  (back-invalidation in inclusive hierarchies). Returns the
+     *  number invalidated. */
+    unsigned flushPhysLine(Addr pa_line);
+
+    /**
+     * Invalidate every line tagged by task @p tid whose virtual line
+     * falls in virtual page @p vpn (for virtually-indexed removal).
+     * Returns the number of lines invalidated.
+     */
+    unsigned flushVirtPage(TaskId tid, Addr vpn, std::uint32_t page_bytes);
+
+    /** Invalidate everything. */
+    void flushAll();
+
+    /** Number of currently valid lines. */
+    std::uint64_t validCount() const;
+
+    /** Enumerate valid lines (testing / diagnostics). */
+    std::vector<LineInfo> validLines() const;
+
+    /** Reseed the Random replacement policy (per-trial variation). */
+    void reseed(std::uint64_t seed) { rng_.reseed(seed); }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        Addr tagLine = 0;
+        Addr paLine = 0;
+        TaskId tid = kInvalidTid;
+        std::uint64_t stamp = 0; //!< recency (LRU) or insertion (FIFO)
+    };
+
+    Line *setBase(std::uint64_t set_index);
+    const Line *setBase(std::uint64_t set_index) const;
+    unsigned victimWay(std::uint64_t set_index);
+
+    CacheConfig cfg_;
+    unsigned lineShift_;
+    std::uint64_t setMask_;
+    std::vector<Line> lines_;
+    std::uint64_t stampCounter_ = 0;
+    Counter writebacks_ = 0;
+    Rng rng_;
+};
+
+} // namespace tw
+
+#endif // TW_MEM_CACHE_HH

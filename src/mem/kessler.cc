@@ -1,0 +1,53 @@
+#include "mem/kessler.hh"
+
+#include <cmath>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/random.hh"
+
+namespace tw
+{
+
+double
+kesslerExpectedConflictPages(unsigned pages, unsigned colors)
+{
+    TW_ASSERT(colors > 0, "no cache colors");
+    if (colors == 1)
+        return pages > 1 ? static_cast<double>(pages) : 0.0;
+    // P(a given page is alone in its color) = (1 - 1/C)^(W-1).
+    double p_alone = std::pow(1.0 - 1.0 / static_cast<double>(colors),
+                              static_cast<double>(pages) - 1.0);
+    return static_cast<double>(pages) * (1.0 - p_alone);
+}
+
+KesslerEstimate
+kesslerMonteCarlo(unsigned pages, unsigned colors, unsigned trials,
+                  std::uint64_t seed)
+{
+    TW_ASSERT(colors > 0 && trials > 0, "bad Monte-Carlo parameters");
+    Rng rng(seed);
+    RunningStat stat;
+    std::vector<unsigned> occupancy(colors);
+
+    for (unsigned t = 0; t < trials; ++t) {
+        std::fill(occupancy.begin(), occupancy.end(), 0);
+        for (unsigned p = 0; p < pages; ++p)
+            ++occupancy[rng.below(colors)];
+        unsigned conflicting = 0;
+        for (unsigned count : occupancy) {
+            if (count > 1)
+                conflicting += count;
+        }
+        stat.push(static_cast<double>(conflicting));
+    }
+
+    KesslerEstimate est;
+    est.meanConflictPages = stat.mean();
+    est.sdConflictPages = stat.stddev();
+    est.relSd = pages ? stat.stddev() / static_cast<double>(pages)
+                      : 0.0;
+    return est;
+}
+
+} // namespace tw

@@ -1,0 +1,54 @@
+#include "mem/set_sample.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "base/logging.hh"
+#include "base/random.hh"
+
+namespace tw
+{
+
+std::vector<bool>
+chooseSampledSets(std::uint64_t num_sets, unsigned num, unsigned denom,
+                  std::uint64_t seed)
+{
+    TW_ASSERT(num >= 1 && num <= denom, "bad sample fraction %u/%u",
+              num, denom);
+    std::uint64_t want = std::max<std::uint64_t>(
+        num_sets * num / denom, 1);
+
+    std::vector<std::uint64_t> all(num_sets);
+    std::iota(all.begin(), all.end(), 0);
+    Rng rng(mixSeed(seed, 0x5a3b1e));
+    // Partial Fisher-Yates: the first `want` slots become the
+    // sample.
+    for (std::uint64_t i = 0; i < want; ++i) {
+        std::uint64_t j = i + rng.below(num_sets - i);
+        std::swap(all[i], all[j]);
+    }
+
+    std::vector<bool> sampled(num_sets, false);
+    for (std::uint64_t i = 0; i < want; ++i)
+        sampled[all[i]] = true;
+    return sampled;
+}
+
+std::vector<bool>
+chooseConstantBitSets(std::uint64_t num_sets, unsigned denom,
+                      unsigned congruence)
+{
+    TW_ASSERT(denom >= 1 && (denom & (denom - 1)) == 0,
+              "constant-bits sampling needs a power-of-two "
+              "denominator, got %u", denom);
+    TW_ASSERT(num_sets % denom == 0,
+              "denominator %u does not divide %llu sets", denom,
+              static_cast<unsigned long long>(num_sets));
+    congruence %= denom;
+    std::vector<bool> sampled(num_sets, false);
+    for (std::uint64_t set = congruence; set < num_sets; set += denom)
+        sampled[set] = true;
+    return sampled;
+}
+
+} // namespace tw

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Cache set-sample selection shared by the trap-driven and
+ * trace-driven simulators.
+ *
+ * Set sampling (Section 3.2; [Kessler91, Puzak85]) simulates only a
+ * subset of the cache sets and scales the measured misses by the
+ * inverse sampled fraction. Both simulators must be able to agree
+ * on the same sample for like-for-like validation, so the selection
+ * function lives here.
+ */
+
+#ifndef TW_MEM_SET_SAMPLE_HH
+#define TW_MEM_SET_SAMPLE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace tw
+{
+
+/**
+ * Choose floor(num_sets * num / denom) distinct sets (at least
+ * one), uniformly at random from @p seed. A different seed yields a
+ * different sample — for Tapeworm that is "simply changing the
+ * pattern of traps on registered pages", whereas a trace-driven
+ * simulator must re-filter the whole trace.
+ */
+std::vector<bool> chooseSampledSets(std::uint64_t num_sets,
+                                    unsigned num, unsigned denom,
+                                    std::uint64_t seed);
+
+/**
+ * Kessler-style "constant-bits" sample: the sets whose low
+ * log2(denom) index bits equal @p congruence (mod denom). The
+ * fraction is exactly 1/denom, denom must be a power of two, and
+ * different congruence classes are the natural "different samples".
+ * Compared with random selection this keeps whole aligned blocks of
+ * memory in or out of the sample, which is what a hardware-assisted
+ * sampler would do.
+ */
+std::vector<bool> chooseConstantBitSets(std::uint64_t num_sets,
+                                        unsigned denom,
+                                        unsigned congruence);
+
+} // namespace tw
+
+#endif // TW_MEM_SET_SAMPLE_HH

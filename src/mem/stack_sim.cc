@@ -1,0 +1,76 @@
+#include "mem/stack_sim.hh"
+
+#include "base/bitops.hh"
+#include "base/logging.hh"
+
+namespace tw
+{
+
+StackSim::StackSim(std::uint32_t line_bytes)
+    : lineBytes_(line_bytes)
+{
+    TW_ASSERT(isPowerOf2(line_bytes), "line size must be a power of 2");
+    lineShift_ = floorLog2(line_bytes);
+}
+
+void
+StackSim::access(Addr addr)
+{
+    ++refs_;
+    Addr line = addr >> lineShift_;
+
+    auto it = index_.find(line);
+    if (it == index_.end()) {
+        // Cold miss: push a fresh node on top of the stack.
+        ++cold_;
+        std::int32_t id = static_cast<std::int32_t>(nodes_.size());
+        nodes_.push_back(Node{line, -1, head_});
+        if (head_ >= 0)
+            nodes_[static_cast<std::size_t>(head_)].prev = id;
+        head_ = id;
+        index_.emplace(line, id);
+        return;
+    }
+
+    std::int32_t id = it->second;
+    // Count the stack distance by walking from the top. The walk is
+    // proportional to the reuse distance, which is short for
+    // cache-friendly streams; this keeps the common case fast
+    // without an order-statistics tree.
+    std::uint64_t depth = 0;
+    for (std::int32_t cur = head_; cur != id;
+         cur = nodes_[static_cast<std::size_t>(cur)].next) {
+        ++depth;
+    }
+    if (hist_.size() <= depth)
+        hist_.resize(depth + 1, 0);
+    ++hist_[depth];
+
+    if (id == head_)
+        return;
+
+    // Unlink and move to front.
+    Node &node = nodes_[static_cast<std::size_t>(id)];
+    if (node.prev >= 0)
+        nodes_[static_cast<std::size_t>(node.prev)].next = node.next;
+    if (node.next >= 0)
+        nodes_[static_cast<std::size_t>(node.next)].prev = node.prev;
+    node.prev = -1;
+    node.next = head_;
+    nodes_[static_cast<std::size_t>(head_)].prev = id;
+    head_ = id;
+}
+
+Counter
+StackSim::missesForSize(std::uint64_t size_bytes) const
+{
+    // A reference with stack distance d (0 = top of stack) hits in
+    // any LRU cache holding more than d lines.
+    std::uint64_t lines = size_bytes >> lineShift_;
+    Counter misses = cold_;
+    for (std::uint64_t d = lines; d < hist_.size(); ++d)
+        misses += hist_[d];
+    return misses;
+}
+
+} // namespace tw

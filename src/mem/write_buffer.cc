@@ -1,0 +1,74 @@
+#include "mem/write_buffer.hh"
+
+#include <algorithm>
+
+namespace tw
+{
+
+void
+WriteBuffer::drain(Cycles now)
+{
+    // Retirement is serialized: one entry per retireCycles, back to
+    // back, starting when the previous retirement finished (or when
+    // the entry arrived, whichever is later).
+    while (!queue_.empty() && queue_.front().readyAt <= now) {
+        lastRetire_ = queue_.front().readyAt;
+        queue_.pop_front();
+        ++stats_.retired;
+    }
+}
+
+Cycles
+WriteBuffer::store(Addr line_addr, Cycles now)
+{
+    drain(now);
+    ++stats_.stores;
+
+    if (cfg_.coalesce) {
+        for (auto &entry : queue_) {
+            if (entry.lineAddr == line_addr) {
+                ++stats_.coalesced;
+                return 0;
+            }
+        }
+    }
+
+    Cycles stall = 0;
+    if (queue_.size() >= cfg_.depth) {
+        // Stall until the head retires.
+        Cycles ready = queue_.front().readyAt;
+        stall = ready > now ? ready - now : 0;
+        ++stats_.fullStalls;
+        stats_.stallCycles += stall;
+        drain(now + stall);
+        now += stall;
+    }
+
+    Cycles start = std::max(now, lastRetire_);
+    if (!queue_.empty())
+        start = std::max(start, queue_.back().readyAt);
+    queue_.push_back(Entry{line_addr, start + cfg_.retireCycles});
+    return stall;
+}
+
+bool
+WriteBuffer::loadForward(Addr line_addr, Cycles now)
+{
+    drain(now);
+    for (const auto &entry : queue_) {
+        if (entry.lineAddr == line_addr) {
+            ++stats_.loadForwards;
+            return true;
+        }
+    }
+    return false;
+}
+
+unsigned
+WriteBuffer::occupancy(Cycles now)
+{
+    drain(now);
+    return static_cast<unsigned>(queue_.size());
+}
+
+} // namespace tw

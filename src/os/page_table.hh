@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Per-task page table of the simulated VM system.
+ *
+ * Each task's references stay within one contiguous virtual window
+ * (its program image), so the table is a dense array indexed by
+ * virtual page number for O(1) translation on the per-instruction
+ * hot path. A translation returning a negative frame is a page
+ * fault to be resolved by the Vm.
+ */
+
+#ifndef TW_OS_PAGE_TABLE_HH
+#define TW_OS_PAGE_TABLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/bitops.hh"
+#include "base/logging.hh"
+#include "base/types.hh"
+
+namespace tw
+{
+
+/** Page frame number type (physical page index). */
+using Pfn = std::int32_t;
+
+/** Virtual page number type. */
+using Vpn = std::uint64_t;
+
+constexpr Pfn kNoFrame = -1;
+
+/**
+ * Dense single-window page table.
+ */
+class PageTable
+{
+  public:
+    /**
+     * @param va_base start of the task's virtual window (page
+     *        aligned).
+     * @param window_bytes size of the window (rounded up to pages).
+     */
+    PageTable(Addr va_base, std::uint64_t window_bytes)
+        : vaBase_(va_base),
+          numPages_(divCeil(window_bytes, kHostPageBytes)),
+          frames_(numPages_, kNoFrame)
+    {
+        TW_ASSERT(va_base % kHostPageBytes == 0,
+                  "window base must be page aligned");
+    }
+
+    Addr vaBase() const { return vaBase_; }
+    std::uint64_t numPages() const { return numPages_; }
+
+    /** Virtual page number of @p va (relative numbering is NOT
+     *  used: vpn is the global va >> 12). */
+    Vpn vpnOf(Addr va) const { return va / kHostPageBytes; }
+
+    /** First vpn of the window. */
+    Vpn firstVpn() const { return vaBase_ / kHostPageBytes; }
+
+    /**
+     * Hot path: translate a virtual address. Returns kNoFrame on a
+     * page fault.
+     */
+    Pfn
+    lookup(Addr va) const
+    {
+        std::uint64_t idx = (va - vaBase_) / kHostPageBytes;
+        return frames_[idx];
+    }
+
+    /** Install a mapping. */
+    void
+    map(Vpn vpn, Pfn pfn)
+    {
+        TW_ASSERT(pfn >= 0, "mapping to invalid frame");
+        frames_[index(vpn)] = pfn;
+    }
+
+    /** Remove a mapping; returns the frame it held. */
+    Pfn
+    unmap(Vpn vpn)
+    {
+        Pfn pfn = frames_[index(vpn)];
+        frames_[index(vpn)] = kNoFrame;
+        return pfn;
+    }
+
+    /** Frame mapped at @p vpn (kNoFrame if none). */
+    Pfn mappedFrame(Vpn vpn) const { return frames_[index(vpn)]; }
+
+    /** Every (vpn, pfn) pair currently mapped. */
+    std::vector<std::pair<Vpn, Pfn>>
+    mappings() const
+    {
+        std::vector<std::pair<Vpn, Pfn>> out;
+        for (std::uint64_t i = 0; i < numPages_; ++i) {
+            if (frames_[i] >= 0)
+                out.emplace_back(firstVpn() + i, frames_[i]);
+        }
+        return out;
+    }
+
+  private:
+    std::uint64_t
+    index(Vpn vpn) const
+    {
+        std::uint64_t idx = vpn - firstVpn();
+        TW_ASSERT(idx < numPages_, "vpn %llu outside window",
+                  static_cast<unsigned long long>(vpn));
+        return idx;
+    }
+
+    Addr vaBase_;
+    std::uint64_t numPages_;
+    std::vector<Pfn> frames_;
+};
+
+} // namespace tw
+
+#endif // TW_OS_PAGE_TABLE_HH

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The interface between the simulated OS and an attached memory
+ * simulator.
+ *
+ * Three kinds of client implement this interface:
+ *  - core/Tapeworm       — the trap-driven simulator (the paper);
+ *  - trace/PixieCache2000 — the trace-driven baseline;
+ *  - harness/OracleClient — a zero-cost direct cache model used to
+ *    validate both (Section 4.2's validation methodology).
+ *
+ * onRef() is called for every executed instruction and returns the
+ * extra simulated cycles the instrumentation consumed — this is how
+ * simulation overhead feeds back into simulated time and produces
+ * the paper's time-dilation bias (Figure 4).
+ */
+
+#ifndef TW_OS_SIM_CLIENT_HH
+#define TW_OS_SIM_CLIENT_HH
+
+#include "base/types.hh"
+#include "os/page_table.hh"
+
+namespace tw
+{
+
+class Task;
+
+/**
+ * Observer/participant hooks for memory simulation.
+ */
+class SimClient
+{
+  public:
+    virtual ~SimClient() = default;
+
+    /**
+     * One memory reference was executed.
+     *
+     * @param task the running task.
+     * @param va referenced virtual address.
+     * @param pa translated physical address.
+     * @param intr_masked the CPU is running with interrupts masked
+     *        (ECC traps cannot be delivered; Section 4.2 "Sources
+     *        of Measurement Bias").
+     * @param kind fetch, load or store.
+     * @return extra cycles consumed by instrumentation.
+     */
+    virtual Cycles onRef(const Task &task, Addr va, Addr pa,
+                         bool intr_masked,
+                         AccessKind kind = AccessKind::Fetch) = 0;
+
+    /**
+     * The VM system mapped a page of a task whose simulate
+     * attribute is set (the tw_register_page() call site).
+     *
+     * @param shared another registered mapping of the same frame
+     *        already exists.
+     */
+    virtual void
+    onPageMapped(const Task &task, Vpn vpn, Pfn pfn, bool shared)
+    {
+        (void)task;
+        (void)vpn;
+        (void)pfn;
+        (void)shared;
+    }
+
+    /**
+     * The VM system unmapped a registered page (the
+     * tw_remove_page() call site).
+     *
+     * @param last_mapping no registered mapping of the frame
+     *        remains.
+     */
+    virtual void
+    onPageRemoved(const Task &task, Vpn vpn, Pfn pfn, bool last_mapping)
+    {
+        (void)task;
+        (void)vpn;
+        (void)pfn;
+        (void)last_mapping;
+    }
+
+    /** A DMA transfer invalidated the frame's lines in the real
+     *  cache; simulated caches must do the same. */
+    virtual void onDmaInvalidate(Pfn pfn) { (void)pfn; }
+};
+
+} // namespace tw
+
+#endif // TW_OS_SIM_CLIENT_HH

@@ -1,0 +1,334 @@
+#include "os/system.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+#include "workload/loop_nest.hh"
+
+namespace tw
+{
+
+namespace
+{
+
+/** Tids of the fixed system tasks. */
+constexpr TaskId kBsdTid = 1;
+constexpr TaskId kXTid = 2;
+constexpr TaskId kShellTid = 3;
+constexpr TaskId kFirstUserTid = 4;
+
+} // anonymous namespace
+
+System::System(const SystemConfig &config, const WorkloadSpec &spec)
+    : cfg_(config), spec_(spec), phys_(config.physMemBytes),
+      vm_(phys_.numFrames(), config.allocPolicy,
+          mixSeed(config.trialSeed, 0xa110c), config.reservedFrames),
+      clock_(config.clockInterval,
+             config.clockJitter
+                 ? Rng(mixSeed(config.trialSeed, 0xc10c)).below(
+                       config.clockInterval)
+                 : 0)
+{
+    TW_ASSERT(!spec_.binaries.empty(), "workload has no binaries");
+    boot();
+}
+
+void
+System::setClient(SimClient *client)
+{
+    client_ = client;
+    vm_.setClient(client);
+}
+
+Task *
+System::makeTask(const std::string &name, Component comp,
+                 const StreamParams *params,
+                 const StreamParams *data_params, std::uint64_t seed)
+{
+    std::unique_ptr<RefStream> stream;
+    if (params)
+        stream = std::make_unique<LoopNestStream>(*params);
+    std::unique_ptr<RefStream> data;
+    if (data_params && spec_.dataRefsPer1k > 0.0)
+        data = std::make_unique<LoopNestStream>(*data_params);
+    TaskId tid = static_cast<TaskId>(tasks_.size() == 0
+                                         ? kKernelTid
+                                         : tasks_.back()->tid + 1);
+    tasks_.push_back(std::make_unique<Task>(
+        tid, name, comp, std::move(stream), std::move(data), seed));
+    return tasks_.back().get();
+}
+
+void
+System::boot()
+{
+    dataPerMille_ = static_cast<Counter>(spec_.dataRefsPer1k);
+
+    kernel_ = makeTask("kernel", Component::Kernel, &spec_.kernelText,
+                       &spec_.kernelData,
+                       mixSeed(spec_.kernelText.seed, 0x7a5c));
+    kernel_->attr.simulate = cfg_.scope.kernel;
+    kernel_->budget = ~static_cast<Counter>(0);
+
+    bsd_ = makeTask("bsd-server", Component::Bsd, &spec_.bsdText,
+                    &spec_.bsdData,
+                    mixSeed(spec_.bsdText.seed, 0x7a5c));
+    TW_ASSERT(bsd_->tid == kBsdTid, "tid layout drift");
+    bsd_->attr.simulate = cfg_.scope.servers;
+    bsd_->budget = ~static_cast<Counter>(0);
+
+    x_ = makeTask("x-server", Component::X, &spec_.xText,
+                  &spec_.xData, mixSeed(spec_.xText.seed, 0x7a5c));
+    TW_ASSERT(x_->tid == kXTid, "tid layout drift");
+    x_->attr.simulate = cfg_.scope.servers;
+    x_->budget = ~static_cast<Counter>(0);
+
+    // The shell: never simulated itself, but its inherit attribute
+    // seeds the whole workload fork tree (Section 3.2's
+    // (simulate=0, inherit=1) idiom).
+    shell_ = makeTask("shell", Component::User, nullptr, nullptr,
+                      0x5e11);
+    TW_ASSERT(shell_->tid == kShellTid, "tid layout drift");
+    shell_->attr.simulate = false;
+    shell_->attr.inherit = cfg_.scope.user;
+
+    // Spawn the initial batch WITHOUT executing the fork bursts:
+    // no instruction may run before run(), because the simulator
+    // client attaches between construction and run() and must see
+    // every page registration (including the kernel's own pages).
+    unsigned initial = std::min(spec_.concurrency, spec_.taskCount);
+    initial = std::max(initial, 1u);
+    for (unsigned i = 0; i < initial; ++i)
+        spawnNextUser(false);
+    initialSpawns_ = initial;
+}
+
+void
+System::spawnNextUser(bool charge_fork_burst)
+{
+    TW_ASSERT(spawned_ < spec_.taskCount, "fork beyond task count");
+    unsigned index = spawned_++;
+    unsigned binary =
+        index % static_cast<unsigned>(spec_.binaries.size());
+    const StreamParams &params = spec_.binaries[binary];
+
+    const StreamParams *data_params =
+        binary < spec_.binaryData.size() ? &spec_.binaryData[binary]
+                                         : nullptr;
+    Task *task = makeTask(csprintf("%s.%u", spec_.name.c_str(), index),
+                          Component::User, &params, data_params,
+                          mixSeed(params.seed, 0xbeef00 + index));
+    TW_ASSERT(task->tid >= kFirstUserTid, "user tid layout drift");
+    task->binaryIndex = binary;
+    // Same binary, different task: same loop ladder, different
+    // control-flow randomness (fixed per task index, not per trial).
+    task->stream->reset(mixSeed(params.seed, 0x5eed00 + index));
+    if (task->dataStream) {
+        task->dataStream->reset(
+            mixSeed(params.seed, 0xda7a00 + index));
+    }
+    task->inheritFrom(*shell_);
+
+    Counter per_task =
+        std::max<Counter>(1, spec_.userInstr() / spec_.taskCount);
+    task->budget = per_task;
+    double rate = spec_.syscallsPer1k / 1000.0;
+    task->nextSyscallIn =
+        rate > 0.0 ? 1 + task->rng.below(
+                         static_cast<std::uint64_t>(2000.0 / spec_.syscallsPer1k))
+                   : ~static_cast<Counter>(0);
+
+    runQueue_.push_back(task);
+    ++result_.forks;
+    result_.tasksCreated = spawned_;
+
+    // fork+exec executes kernel code on the child's behalf.
+    if (charge_fork_burst && cfg_.forkKernelInstr > 0)
+        runBurst(*kernel_, cfg_.forkKernelInstr,
+                 cfg_.maskedSyscallPrefix);
+}
+
+void
+System::exitUser(Task &task)
+{
+    vm_.removeTask(task);
+    auto it = std::find(runQueue_.begin(), runQueue_.end(), &task);
+    TW_ASSERT(it != runQueue_.end(), "exiting task not runnable");
+    std::size_t pos = static_cast<std::size_t>(it - runQueue_.begin());
+    runQueue_.erase(it);
+    if (rrIndex_ > pos)
+        --rrIndex_;
+    if (spawned_ < spec_.taskCount)
+        spawnNextUser();
+}
+
+Addr
+System::translate(Task &task, Addr va)
+{
+    Pfn pfn = task.pageTable.lookup(va);
+    if (pfn < 0) [[unlikely]] {
+        Vpn vpn = va / kHostPageBytes;
+        pfn = vm_.fault(task, vpn);
+        cycles_ += cfg_.faultKernelCycles;
+        ++result_.faults;
+    }
+    return static_cast<Addr>(pfn) * kHostPageBytes
+           + (va & (kHostPageBytes - 1));
+}
+
+void
+System::dataStep(Task &task)
+{
+    Addr va = task.dataStream->next();
+    Addr pa = translate(task, va);
+    ++task.dataRefCount;
+    AccessKind kind = task.dataRefCount % spec_.storeEvery == 0
+                          ? AccessKind::Store
+                          : AccessKind::Load;
+    ++result_.dataRefs;
+    if (client_)
+        cycles_ += client_->onRef(task, va, pa, intrMasked_, kind);
+}
+
+void
+System::step(Task &task)
+{
+    Addr va = task.stream->next();
+    Addr pa = translate(task, va);
+    cycles_ += cfg_.cpiBase;
+    ++result_.instr[static_cast<unsigned>(task.component)];
+    ++task.executed;
+    if (client_)
+        cycles_ += client_->onRef(task, va, pa, intrMasked_,
+                                  AccessKind::Fetch);
+    // Loads and stores accompany instructions at the configured
+    // rate; they consume no extra base cycles (the base CPI already
+    // reflects average memory behaviour) but instrumented runs pay
+    // the simulator's per-reference costs.
+    if (task.dataStream) [[likely]] {
+        task.dataRefCredit += dataPerMille_;
+        while (task.dataRefCredit >= 1000) {
+            task.dataRefCredit -= 1000;
+            dataStep(task);
+        }
+    }
+}
+
+void
+System::runBurst(Task &task, Counter len, Counter masked_prefix)
+{
+    bool outer_masked = intrMasked_;
+    for (Counter i = 0; i < len; ++i) {
+        intrMasked_ = outer_masked || i < masked_prefix;
+        step(task);
+        if (!intrMasked_ && clock_.due(cycles_))
+            clockTick();
+    }
+    intrMasked_ = outer_masked;
+}
+
+void
+System::doSyscall(Task &task)
+{
+    ++result_.syscalls;
+    double rate = spec_.syscallsPer1k;
+    task.nextSyscallIn =
+        1 + task.rng.below(
+            static_cast<std::uint64_t>(std::max(2.0, 2000.0 / rate)));
+
+    auto jitter = [&task](double mean) {
+        double f = 0.7 + 0.6 * task.rng.uniform();
+        return static_cast<Counter>(std::max(1.0, mean * f));
+    };
+
+    runBurst(*kernel_, jitter(spec_.kernelBurstLen()),
+             cfg_.maskedSyscallPrefix);
+    if (spec_.bsdProb > 0.0 && task.rng.chance(spec_.bsdProb))
+        runBurst(*bsd_, jitter(spec_.bsdBurstLen()), 0);
+    if (spec_.xProb > 0.0 && task.rng.chance(spec_.xProb))
+        runBurst(*x_, jitter(spec_.xBurstLen()), 0);
+}
+
+void
+System::clockTick()
+{
+    clock_.acknowledge(cycles_);
+    ++result_.ticks;
+    preempt_ = true;
+
+    // The clock handler runs with interrupts masked: ECC traps
+    // raised by its references cannot be delivered (the masking
+    // bias of Section 4.2).
+    intrMasked_ = true;
+    Addr base = spec_.kernelText.base;
+    for (Counter i = 0; i < cfg_.tickHandlerInstr; ++i) {
+        Addr va = base + handlerPos_;
+        handlerPos_ = (handlerPos_ + kWordBytes) % kHandlerBytes;
+        Addr pa = translate(*kernel_, va);
+        cycles_ += cfg_.cpiBase;
+        ++result_.instr[static_cast<unsigned>(Component::Kernel)];
+        if (client_)
+            cycles_ += client_->onRef(*kernel_, va, pa, intrMasked_);
+    }
+    intrMasked_ = false;
+
+    // Periodic DMA buffer recycling invalidates one frame's lines
+    // in the real cache; simulated caches must follow suit.
+    if (cfg_.dmaFlushPeriod > 0
+        && result_.ticks % cfg_.dmaFlushPeriod == 0) {
+        Pfn victim =
+            vm_.dmaVictim(result_.ticks / cfg_.dmaFlushPeriod);
+        if (victim != kNoFrame) {
+            ++result_.dmaFlushes;
+            if (client_)
+                client_->onDmaInvalidate(victim);
+        }
+    }
+}
+
+void
+System::runSlice(Task &task)
+{
+    preempt_ = false;
+    Counter quantum = cfg_.quantumInstr;
+    while (quantum-- > 0 && !task.finished() && !preempt_) {
+        step(task);
+        if (--task.nextSyscallIn == 0)
+            doSyscall(task);
+        if (clock_.due(cycles_))
+            clockTick();
+    }
+}
+
+RunResult
+System::run()
+{
+    TW_ASSERT(!ran_, "System::run() called twice");
+    ran_ = true;
+
+    // Charge the boot-time fork/exec kernel work for the initial
+    // task batch now that the simulator client is attached.
+    if (cfg_.forkKernelInstr > 0) {
+        for (unsigned i = 0; i < initialSpawns_; ++i)
+            runBurst(*kernel_, cfg_.forkKernelInstr,
+                     cfg_.maskedSyscallPrefix);
+    }
+
+    while (!runQueue_.empty()) {
+        if (rrIndex_ >= runQueue_.size())
+            rrIndex_ = 0;
+        Task *task = runQueue_[rrIndex_];
+        runSlice(*task);
+        if (task->finished()) {
+            exitUser(*task);
+        } else {
+            ++rrIndex_;
+        }
+    }
+
+    result_.cycles = cycles_;
+    return result_;
+}
+
+} // namespace tw

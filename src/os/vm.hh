@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The virtual memory system of the simulated OS.
+ *
+ * The Vm resolves first-touch page faults, shares text frames
+ * between tasks running the same program image (the case Table 1's
+ * reference-count discussion addresses), and makes the
+ * tw_register_page() / tw_remove_page() upcalls into the attached
+ * simulator for tasks whose simulate attribute is set — exactly the
+ * cooperation between VM system and Tapeworm that Section 3.2
+ * describes.
+ */
+
+#ifndef TW_OS_VM_HH
+#define TW_OS_VM_HH
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "os/frame_alloc.hh"
+#include "os/sim_client.hh"
+#include "os/task.hh"
+
+namespace tw
+{
+
+/** Counters the Vm exposes for experiments and tests. */
+struct VmStats
+{
+    Counter faults = 0;       //!< page faults resolved
+    Counter sharedMaps = 0;   //!< mappings that reused a frame
+    Counter framesFreed = 0;  //!< frames returned to the pool
+};
+
+/**
+ * Page-fault handling, frame sharing and simulator registration.
+ */
+class Vm
+{
+  public:
+    /**
+     * @param num_frames physical frames under management.
+     * @param policy frame selection policy.
+     * @param seed trial seed (Random policy).
+     * @param reserved_frames boot-time reservation (Tapeworm's).
+     * @param color_mask color bits for the Coloring policy.
+     */
+    Vm(std::uint64_t num_frames, AllocPolicy policy, std::uint64_t seed,
+       std::uint64_t reserved_frames = 64,
+       std::uint64_t color_mask = 0x7);
+
+    /** Attach the simulator receiving register/remove upcalls. */
+    void setClient(SimClient *client) { client_ = client; }
+
+    /**
+     * Resolve a page fault: allocate (or share) a frame, map it,
+     * and register the page with the simulator if the task is
+     * simulated. Fatal when physical memory is exhausted (the
+     * machine model never pages to disk; the paper's hosts were
+     * configured the same way).
+     */
+    Pfn fault(Task &task, Vpn vpn);
+
+    /**
+     * Tear down a task's address space: every page is unmapped,
+     * deregistered, and its frame freed once the last mapping is
+     * gone.
+     */
+    void removeTask(Task &task);
+
+    /** Registered-mapping count of a frame (tests). */
+    unsigned simRefCount(Pfn pfn) const;
+
+    /** Total mappings of a frame (tests). */
+    unsigned refCount(Pfn pfn) const;
+
+    /**
+     * Deterministically pick the @p k'th in-use frame for a DMA
+     * buffer invalidation (freed frames are skipped). Returns
+     * kNoFrame when nothing is allocated.
+     */
+    Pfn dmaVictim(std::uint64_t k) const;
+
+    const VmStats &stats() const { return stats_; }
+    FrameAllocator &allocator() { return alloc_; }
+
+  private:
+    struct FrameInfo
+    {
+        unsigned refs = 0;    //!< all mappings
+        unsigned simRefs = 0; //!< registered (simulated) mappings
+    };
+
+    FrameAllocator alloc_;
+    std::vector<FrameInfo> frames_;
+    SimClient *client_ = nullptr;
+    VmStats stats_;
+
+    /** Shared program images: text base -> (vpn -> pfn). */
+    std::map<Addr, std::unordered_map<Vpn, Pfn>> images_;
+
+    /** Allocation-ordered in-use list for dmaVictim(). */
+    std::vector<Pfn> inUseOrder_;
+};
+
+} // namespace tw
+
+#endif // TW_OS_VM_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Umbrella header: the full public API of the Tapeworm II
+ * reproduction.
+ *
+ * Downstream users can include this single header and work with:
+ *  - makeWorkload()/makeSuite() to build the paper's workload suite;
+ *  - System + SimScope to boot the simulated machine;
+ *  - Tapeworm / TapewormTlb / TapewormMultiLevel for trap-driven
+ *    simulation, PixieClient + Cache2000 for the trace-driven
+ *    baseline, HybridClient for annotation-based simulation,
+ *    OracleClient for validation;
+ *  - Runner / runTrials for one-call experiments with the paper's
+ *    slowdown metric;
+ *  - UserTapeworm for live mprotect/SIGSEGV simulation of the
+ *    calling process.
+ */
+
+#ifndef TW_TAPEWORM_HH
+#define TW_TAPEWORM_HH
+
+#include "base/logging.hh"
+#include "base/random.hh"
+#include "base/stats.hh"
+#include "base/table.hh"
+#include "base/types.hh"
+
+#include "mem/cache.hh"
+#include "mem/kessler.hh"
+#include "mem/set_sample.hh"
+#include "mem/stack_sim.hh"
+#include "mem/write_buffer.hh"
+
+#include "machine/clock.hh"
+#include "machine/ecc.hh"
+#include "machine/ecc_memory.hh"
+#include "machine/phys_mem.hh"
+
+#include "os/system.hh"
+
+#include "workload/fragmenting.hh"
+#include "workload/loop_nest.hh"
+#include "workload/spec.hh"
+
+#include "core/cost_model.hh"
+#include "core/multilevel.hh"
+#include "core/tapeworm.hh"
+#include "core/tapeworm_tlb.hh"
+
+#include "trace/cache2000.hh"
+#include "trace/hybrid.hh"
+#include "trace/pixie.hh"
+#include "trace/trace_buffer.hh"
+#include "trace/trace_io.hh"
+
+#include "harness/dilation.hh"
+#include "harness/mux_client.hh"
+#include "harness/oracle.hh"
+#include "harness/runner.hh"
+#include "harness/trials.hh"
+
+#include "utrap/utrap.hh"
+
+#endif // TW_TAPEWORM_HH

@@ -1,0 +1,157 @@
+#include "trace/trace_io.hh"
+
+#include <cstring>
+
+#include "base/logging.hh"
+
+namespace tw
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'T', 'W', 'T', 'R', 'A', 'C', 'E', '1'};
+constexpr std::size_t kBufBytes = 1 << 16;
+
+} // anonymous namespace
+
+TraceWriter::TraceWriter(const std::string &path)
+{
+    file_ = std::fopen(path.c_str(), "wb");
+    if (!file_)
+        fatal("cannot open trace file '%s' for writing", path.c_str());
+    buf_.reserve(kBufBytes + 16);
+    buf_.insert(buf_.end(), kMagic, kMagic + sizeof(kMagic));
+}
+
+TraceWriter::~TraceWriter()
+{
+    if (file_)
+        close();
+}
+
+void
+TraceWriter::putVarint(std::uint64_t v)
+{
+    while (v >= 0x80) {
+        buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void
+TraceWriter::put(const TraceRecord &rec)
+{
+    TW_ASSERT(file_ != nullptr, "put() after close()");
+    std::int64_t delta_words =
+        (static_cast<std::int64_t>(rec.va)
+         - static_cast<std::int64_t>(prevVa_))
+        / static_cast<std::int64_t>(kWordBytes);
+    bool tid_changed = rec.tid != prevTid_;
+    putVarint((zigzag(delta_words) << 1)
+              | static_cast<std::uint64_t>(tid_changed));
+    if (tid_changed)
+        putVarint(static_cast<std::uint64_t>(rec.tid));
+    prevVa_ = rec.va;
+    prevTid_ = rec.tid;
+    ++records_;
+    if (buf_.size() >= kBufBytes)
+        flush();
+}
+
+void
+TraceWriter::flush()
+{
+    if (buf_.empty())
+        return;
+    std::size_t wrote = std::fwrite(buf_.data(), 1, buf_.size(), file_);
+    if (wrote != buf_.size())
+        fatal("short write to trace file");
+    bytes_ += wrote;
+    buf_.clear();
+}
+
+void
+TraceWriter::close()
+{
+    flush();
+    std::fclose(file_);
+    file_ = nullptr;
+}
+
+TraceReader::TraceReader(const std::string &path)
+{
+    file_ = std::fopen(path.c_str(), "rb");
+    if (!file_)
+        fatal("cannot open trace file '%s'", path.c_str());
+    buf_.resize(kBufBytes);
+    char magic[8];
+    if (std::fread(magic, 1, sizeof(magic), file_) != sizeof(magic)
+        || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+        fatal("'%s' is not a Tapeworm trace file", path.c_str());
+    }
+}
+
+TraceReader::~TraceReader()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+bool
+TraceReader::fill()
+{
+    len_ = std::fread(buf_.data(), 1, buf_.size(), file_);
+    pos_ = 0;
+    return len_ > 0;
+}
+
+bool
+TraceReader::getByte(std::uint8_t &b)
+{
+    if (pos_ >= len_ && !fill())
+        return false;
+    b = buf_[pos_++];
+    return true;
+}
+
+bool
+TraceReader::getVarint(std::uint64_t &v)
+{
+    v = 0;
+    unsigned shift = 0;
+    std::uint8_t b;
+    do {
+        if (!getByte(b))
+            return false;
+        v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+        shift += 7;
+    } while (b & 0x80);
+    return true;
+}
+
+bool
+TraceReader::next(TraceRecord &rec)
+{
+    std::uint64_t key;
+    if (!getVarint(key))
+        return false;
+    bool tid_changed = key & 1;
+    std::int64_t delta_words = unzigzag(key >> 1);
+    prevVa_ = static_cast<Addr>(
+        static_cast<std::int64_t>(prevVa_)
+        + delta_words * static_cast<std::int64_t>(kWordBytes));
+    if (tid_changed) {
+        std::uint64_t tid;
+        if (!getVarint(tid))
+            fatal("truncated trace record");
+        prevTid_ = static_cast<TaskId>(tid);
+    }
+    rec.va = prevVa_;
+    rec.tid = prevTid_;
+    ++records_;
+    return true;
+}
+
+} // namespace tw

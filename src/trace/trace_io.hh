@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Address-trace records and compact binary trace files.
+ *
+ * Trace-driven simulation's classic workflow stores extracted
+ * traces in files and replays them (Section 2 of the paper cites a
+ * dozen trace extraction tools). This module provides the
+ * file-based path: a delta/varint-encoded binary format that keeps
+ * the (large) traces small, a buffered writer and a reader. The
+ * on-the-fly path (Pixie-style annotation feeding the simulator
+ * directly) lives in pixie.hh.
+ */
+
+#ifndef TW_TRACE_TRACE_IO_HH
+#define TW_TRACE_TRACE_IO_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace tw
+{
+
+/** One trace entry: a fetch address and the task that fetched. */
+struct TraceRecord
+{
+    Addr va = 0;
+    TaskId tid = 0;
+
+    bool
+    operator==(const TraceRecord &o) const
+    {
+        return va == o.va && tid == o.tid;
+    }
+};
+
+/** Anything that consumes a stream of trace records. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+    virtual void put(const TraceRecord &rec) = 0;
+};
+
+/**
+ * Buffered binary trace writer.
+ *
+ * Format: 8-byte header ("TWTRACE1"), then per record a varint key
+ * k = (zigzag(delta_words) << 1) | tid_changed, optionally followed
+ * by a varint task id. Sequential code costs one byte per fetch.
+ */
+class TraceWriter : public TraceSink
+{
+  public:
+    /** Open @p path for writing (fatal on failure). */
+    explicit TraceWriter(const std::string &path);
+    ~TraceWriter() override;
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    void put(const TraceRecord &rec) override;
+
+    /** Flush buffers and close; further put() is invalid. */
+    void close();
+
+    Counter records() const { return records_; }
+    /** Bytes written so far (compression diagnostics). */
+    std::uint64_t bytesWritten() const { return bytes_; }
+
+  private:
+    void putVarint(std::uint64_t v);
+    void flush();
+
+    std::FILE *file_ = nullptr;
+    std::vector<std::uint8_t> buf_;
+    Addr prevVa_ = 0;
+    TaskId prevTid_ = -1;
+    Counter records_ = 0;
+    std::uint64_t bytes_ = 0;
+};
+
+/**
+ * Streaming trace reader for files produced by TraceWriter.
+ */
+class TraceReader
+{
+  public:
+    /** Open @p path for reading (fatal on bad file). */
+    explicit TraceReader(const std::string &path);
+    ~TraceReader();
+
+    TraceReader(const TraceReader &) = delete;
+    TraceReader &operator=(const TraceReader &) = delete;
+
+    /** Read the next record; false at end of trace. */
+    bool next(TraceRecord &rec);
+
+    Counter records() const { return records_; }
+
+  private:
+    bool fill();
+    bool getByte(std::uint8_t &b);
+    bool getVarint(std::uint64_t &v);
+
+    std::FILE *file_ = nullptr;
+    std::vector<std::uint8_t> buf_;
+    std::size_t pos_ = 0;
+    std::size_t len_ = 0;
+    Addr prevVa_ = 0;
+    TaskId prevTid_ = -1;
+    Counter records_ = 0;
+};
+
+/** Zigzag encode a signed delta. */
+constexpr std::uint64_t
+zigzag(std::int64_t v)
+{
+    return (static_cast<std::uint64_t>(v) << 1)
+           ^ static_cast<std::uint64_t>(v >> 63);
+}
+
+/** Invert zigzag(). */
+constexpr std::int64_t
+unzigzag(std::uint64_t v)
+{
+    return static_cast<std::int64_t>(v >> 1)
+           ^ -static_cast<std::int64_t>(v & 1);
+}
+
+} // namespace tw
+
+#endif // TW_TRACE_TRACE_IO_HH

@@ -1,0 +1,286 @@
+#include "utrap/utrap.hh"
+
+#include <csignal>
+#include <cstring>
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include "base/bitops.hh"
+#include "base/logging.hh"
+
+namespace tw
+{
+
+namespace
+{
+
+/** The single active engine (SIGSEGV handler rendezvous). */
+UserTapeworm *g_engine = nullptr;
+
+struct sigaction g_prev_action;
+
+void
+sigsegvHandler(int sig, siginfo_t *info, void *ucontext)
+{
+    (void)ucontext;
+    if (g_engine && info && g_engine->handleFault(info->si_addr))
+        return;
+
+    // Not our fault: restore the previous disposition and re-raise
+    // so genuine crashes behave normally.
+    sigaction(sig, &g_prev_action, nullptr);
+    raise(sig);
+}
+
+void
+installHandler()
+{
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_sigaction = sigsegvHandler;
+    sa.sa_flags = SA_SIGINFO | SA_NODEFER;
+    sigemptyset(&sa.sa_mask);
+    if (sigaction(SIGSEGV, &sa, &g_prev_action) != 0)
+        fatal("utrap: cannot install SIGSEGV handler");
+}
+
+void
+removeHandler()
+{
+    sigaction(SIGSEGV, &g_prev_action, nullptr);
+}
+
+} // anonymous namespace
+
+UserTapeworm::UserTapeworm(const UtrapConfig &config)
+    : cfg_(config), lcg_(config.seed | 1)
+{
+    TW_ASSERT(g_engine == nullptr,
+              "only one UserTapeworm may be active");
+    TW_ASSERT(cfg_.entries > 0, "TLB needs at least one entry");
+
+    ways_ = cfg_.assoc == 0 ? cfg_.entries : cfg_.assoc;
+    TW_ASSERT(cfg_.entries % ways_ == 0,
+              "associativity must divide entry count");
+    sets_ = cfg_.entries / ways_;
+    TW_ASSERT(isPowerOf2(sets_), "set count must be a power of two");
+
+    pageBytes_ = sysconf(_SC_PAGESIZE);
+    TW_ASSERT(pageBytes_ > 0, "cannot determine page size");
+
+    tlb_ = new Entry[static_cast<std::size_t>(sets_) * ways_]();
+    fifoCursor_ = new unsigned[sets_]();
+
+    g_engine = this;
+    installHandler();
+}
+
+UserTapeworm::~UserTapeworm()
+{
+    for (auto &region : regions_) {
+        if (region.live)
+            releaseBuffer(reinterpret_cast<void *>(region.base));
+    }
+    removeHandler();
+    g_engine = nullptr;
+    delete[] tlb_;
+    delete[] fifoCursor_;
+}
+
+void *
+UserTapeworm::registerBuffer(std::size_t bytes)
+{
+    bytes = alignUp(bytes, static_cast<std::uint64_t>(pageBytes_));
+    Region *slot = nullptr;
+    for (auto &region : regions_) {
+        if (!region.live) {
+            slot = &region;
+            break;
+        }
+    }
+    if (!slot)
+        fatal("utrap: too many registered buffers (max %u)",
+              kMaxRegions);
+
+    // Start fully trapped: PROT_NONE means "not in the simulated
+    // TLB" for every page.
+    void *mem = mmap(nullptr, bytes, PROT_NONE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (mem == MAP_FAILED)
+        fatal("utrap: mmap of %zu bytes failed", bytes);
+
+    slot->base = reinterpret_cast<std::uintptr_t>(mem);
+    slot->bytes = bytes;
+    slot->live = true;
+    stats_.trapsSet += bytes / static_cast<std::size_t>(pageBytes_);
+    return mem;
+}
+
+void
+UserTapeworm::releaseBuffer(void *base)
+{
+    std::uintptr_t b = reinterpret_cast<std::uintptr_t>(base);
+    for (auto &region : regions_) {
+        if (region.live && region.base == b) {
+            // Flush resident pages of the region (tw_remove_page).
+            for (std::uintptr_t page = region.base;
+                 page < region.base + region.bytes;
+                 page += static_cast<std::uintptr_t>(pageBytes_)) {
+                flushPage(page);
+            }
+            munmap(base, region.bytes);
+            region.live = false;
+            return;
+        }
+    }
+    panic("utrap: releasing unregistered buffer %p", base);
+}
+
+void
+UserTapeworm::reset()
+{
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(sets_) * ways_; ++i) {
+        tlb_[i].pageBase = 0;
+    }
+    for (unsigned s = 0; s < sets_; ++s)
+        fifoCursor_[s] = 0;
+    for (const auto &region : regions_) {
+        if (!region.live)
+            continue;
+        if (mprotect(reinterpret_cast<void *>(region.base),
+                     region.bytes, PROT_NONE) != 0) {
+            fatal("utrap: mprotect(PROT_NONE) failed on reset");
+        }
+        stats_.trapsSet +=
+            region.bytes / static_cast<std::size_t>(pageBytes_);
+    }
+}
+
+void
+UserTapeworm::clearStats()
+{
+    stats_ = UtrapStats{};
+}
+
+unsigned
+UserTapeworm::residentPages() const
+{
+    unsigned n = 0;
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(sets_) * ways_; ++i) {
+        if (tlb_[i].pageBase != 0)
+            ++n;
+    }
+    return n;
+}
+
+bool
+UserTapeworm::owns(const void *addr) const
+{
+    std::uintptr_t a = reinterpret_cast<std::uintptr_t>(addr);
+    for (const auto &region : regions_) {
+        if (region.live && a >= region.base
+            && a < region.base + region.bytes) {
+            return true;
+        }
+    }
+    return false;
+}
+
+unsigned
+UserTapeworm::setOf(std::uintptr_t page_base) const
+{
+    std::uintptr_t vpn =
+        page_base / static_cast<std::uintptr_t>(pageBytes_);
+    return static_cast<unsigned>(vpn & (sets_ - 1));
+}
+
+void
+UserTapeworm::protectPage(std::uintptr_t page_base)
+{
+    if (mprotect(reinterpret_cast<void *>(page_base),
+                 static_cast<std::size_t>(pageBytes_),
+                 PROT_NONE) != 0) {
+        panic("utrap: mprotect(PROT_NONE) failed");
+    }
+    ++stats_.trapsSet;
+}
+
+void
+UserTapeworm::unprotectPage(std::uintptr_t page_base)
+{
+    if (mprotect(reinterpret_cast<void *>(page_base),
+                 static_cast<std::size_t>(pageBytes_),
+                 PROT_READ | PROT_WRITE) != 0) {
+        panic("utrap: mprotect(READ|WRITE) failed");
+    }
+    ++stats_.trapsCleared;
+}
+
+void
+UserTapeworm::flushPage(std::uintptr_t page_base)
+{
+    unsigned set = setOf(page_base);
+    Entry *base = tlb_ + static_cast<std::size_t>(set) * ways_;
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (base[w].pageBase == page_base)
+            base[w].pageBase = 0;
+    }
+}
+
+bool
+UserTapeworm::handleFault(void *addr)
+{
+    // Async-signal-safety: everything below is array indexing,
+    // mprotect(2) and arithmetic — no allocation, no locks, no
+    // stdio.
+    std::uintptr_t a = reinterpret_cast<std::uintptr_t>(addr);
+    bool ours = false;
+    for (const auto &region : regions_) {
+        if (region.live && a >= region.base
+            && a < region.base + region.bytes) {
+            ours = true;
+            break;
+        }
+    }
+    if (!ours)
+        return false;
+
+    std::uintptr_t page_base =
+        a & ~(static_cast<std::uintptr_t>(pageBytes_) - 1);
+    ++stats_.misses;
+    unprotectPage(page_base); // tw_clear_trap
+
+    // tw_replace: fill an invalid way, else FIFO/Random victim.
+    unsigned set = setOf(page_base);
+    Entry *base = tlb_ + static_cast<std::size_t>(set) * ways_;
+    unsigned victim = ways_;
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (base[w].pageBase == 0) {
+            victim = w;
+            break;
+        }
+    }
+    if (victim == ways_) {
+        if (cfg_.policy == UtrapPolicy::Fifo) {
+            victim = fifoCursor_[set];
+            fifoCursor_[set] = (fifoCursor_[set] + 1) % ways_;
+        } else {
+            lcg_ = lcg_ * 6364136223846793005ull
+                   + 1442695040888963407ull;
+            victim = static_cast<unsigned>((lcg_ >> 33) % ways_);
+        }
+        // tw_set_trap on the displaced page.
+        protectPage(base[victim].pageBase);
+        ++stats_.evictions;
+    } else if (cfg_.policy == UtrapPolicy::Fifo && ways_ > 1) {
+        // Keep FIFO order aligned with fill order in a filling set.
+        fifoCursor_[set] = (victim + 1) % ways_;
+    }
+    base[victim].pageBase = page_base;
+    return true;
+}
+
+} // namespace tw

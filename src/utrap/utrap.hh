@@ -1,0 +1,149 @@
+/**
+ * @file
+ * UserTapeworm: the trap-driven mechanism on real host hardware.
+ *
+ * The paper's Tapeworm flips ECC check bits through a privileged
+ * memory-controller interface and fields the resulting kernel
+ * traps. A userspace process cannot do that, but it has the exact
+ * analogue Table 2 lists as "Invalid Page Traps": mprotect(2) plus
+ * a SIGSEGV handler. UserTapeworm runs a live TLB simulation of the
+ * *current process*: every page of a registered buffer starts
+ * PROT_NONE (trap set = not resident in the simulated TLB); the
+ * first touch faults into the handler, which counts the miss,
+ * unprotects the page (tw_clear_trap), inserts it into the
+ * simulated TLB, and re-protects the displaced page (tw_set_trap).
+ * Hits on resident pages run at full hardware speed with zero
+ * instrumentation — the defining property of trap-driven
+ * simulation.
+ *
+ * Constraints inherited from the approach (and documented in the
+ * paper): replacement must not need hit information (FIFO or
+ * Random, not LRU), and the simulation granularity is the host page
+ * size. Single-threaded use only.
+ */
+
+#ifndef TW_UTRAP_UTRAP_HH
+#define TW_UTRAP_UTRAP_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "base/types.hh"
+
+namespace tw
+{
+
+/** Replacement policies a trap-driven TLB can implement (no LRU:
+ *  hits are never observed). */
+enum class UtrapPolicy { Fifo, Random };
+
+/** Configuration of the simulated TLB. */
+struct UtrapConfig
+{
+    /** Total TLB entries. */
+    unsigned entries = 64;
+    /** Ways per set; 0 = fully associative. */
+    unsigned assoc = 0;
+    UtrapPolicy policy = UtrapPolicy::Fifo;
+    /** Seed for the Random policy (LCG; async-signal-safe). */
+    std::uint64_t seed = 1;
+};
+
+/** Counters of a UserTapeworm session. */
+struct UtrapStats
+{
+    std::uint64_t misses = 0;      //!< simulated TLB misses (faults)
+    std::uint64_t evictions = 0;   //!< pages re-protected
+    std::uint64_t trapsSet = 0;
+    std::uint64_t trapsCleared = 0;
+};
+
+/**
+ * The live trap engine. One instance may be active at a time (the
+ * SIGSEGV handler needs a global rendezvous).
+ */
+class UserTapeworm
+{
+  public:
+    explicit UserTapeworm(const UtrapConfig &config = {});
+    ~UserTapeworm();
+
+    UserTapeworm(const UserTapeworm &) = delete;
+    UserTapeworm &operator=(const UserTapeworm &) = delete;
+
+    /**
+     * Allocate @p bytes of page-aligned memory and place it under
+     * trap-driven simulation (all pages initially trapped).
+     * Returns the buffer base; at most kMaxRegions live regions.
+     */
+    void *registerBuffer(std::size_t bytes);
+
+    /** Remove a buffer from simulation and unmap it. Resident pages
+     *  are flushed from the simulated TLB. */
+    void releaseBuffer(void *base);
+
+    /**
+     * Restart the simulation: flush the simulated TLB and re-trap
+     * every registered page. Counters are NOT cleared (use
+     * clearStats()).
+     */
+    void reset();
+
+    /** Zero the counters. */
+    void clearStats();
+
+    const UtrapStats &stats() const { return stats_; }
+    const UtrapConfig &config() const { return cfg_; }
+
+    /** Number of pages currently resident in the simulated TLB. */
+    unsigned residentPages() const;
+
+    /** Does the engine own the address (diagnostics)? */
+    bool owns(const void *addr) const;
+
+    /**
+     * Internal: called by the SIGSEGV handler. Returns false when
+     * the fault is not ours (the handler then re-raises with the
+     * default disposition so genuine crashes still crash).
+     */
+    bool handleFault(void *addr);
+
+    /** Maximum simultaneously registered buffers. */
+    static constexpr unsigned kMaxRegions = 16;
+
+  private:
+    struct Region
+    {
+        std::uintptr_t base = 0;
+        std::size_t bytes = 0;
+        bool live = false;
+    };
+
+    struct Entry
+    {
+        std::uintptr_t pageBase = 0; //!< 0 = invalid
+    };
+
+    void protectPage(std::uintptr_t page_base);
+    void unprotectPage(std::uintptr_t page_base);
+    unsigned setOf(std::uintptr_t page_base) const;
+    void flushPage(std::uintptr_t page_base);
+
+    UtrapConfig cfg_;
+    unsigned ways_;
+    unsigned sets_;
+    long pageBytes_;
+
+    Region regions_[kMaxRegions];
+    // TLB storage: sets_ x ways_, plus a FIFO cursor per set. Sized
+    // in the constructor; never reallocated afterwards (the fault
+    // handler must not allocate).
+    Entry *tlb_ = nullptr;
+    unsigned *fifoCursor_ = nullptr;
+    std::uint64_t lcg_;
+    UtrapStats stats_;
+};
+
+} // namespace tw
+
+#endif // TW_UTRAP_UTRAP_HH

@@ -1,0 +1,54 @@
+#include "workload/fragmenting.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace tw
+{
+
+FragmentingStream::FragmentingStream(const FragmentingParams &params)
+    : params_(params), rng_(params.seed), active_(params.basePages)
+{
+    TW_ASSERT(params.base % kHostPageBytes == 0,
+              "base must be page aligned");
+    TW_ASSERT(params.basePages >= 1
+                  && params.basePages <= params.maxPages,
+              "bad page-set bounds");
+    TW_ASSERT(params.refsPerNewPage > 0, "growth interval zero");
+}
+
+Addr
+FragmentingStream::next()
+{
+    ++emitted_;
+    if (emitted_ % params_.refsPerNewPage == 0)
+        active_ = std::min(active_ + 1, params_.maxPages);
+
+    // Pick a page, newest-first geometric: fragmentation keeps old
+    // pages alive but most traffic goes to fresh allocations.
+    std::uint64_t back = rng_.geometric(params_.recencyBias);
+    unsigned page = active_ - 1
+                    - static_cast<unsigned>(
+                          back % static_cast<std::uint64_t>(active_));
+    Addr offset = (rng_.below(kHostPageBytes / kWordBytes))
+                  * kWordBytes;
+    return params_.base
+           + static_cast<Addr>(page) * kHostPageBytes + offset;
+}
+
+void
+FragmentingStream::reset(std::uint64_t seed)
+{
+    rng_.reseed(seed);
+    active_ = params_.basePages;
+    emitted_ = 0;
+}
+
+std::unique_ptr<RefStream>
+FragmentingStream::clone() const
+{
+    return std::make_unique<FragmentingStream>(params_);
+}
+
+} // namespace tw

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * A reference stream whose page working set grows over time —
+ * modelling kernel/server memory fragmentation.
+ *
+ * Section 4.2: "we have observed gradual (but substantial)
+ * increases in TLB misses due to kernel and server memory
+ * fragmentation in a long-running system." As a long-lived kernel
+ * allocates and frees, its live data spreads over ever more pages;
+ * the per-reference page set grows even though the byte footprint
+ * does not. This stream reproduces that: references pick a page
+ * from an active set whose size grows linearly with references
+ * emitted, skewed toward recently-added pages (fresh allocations
+ * are hot).
+ */
+
+#ifndef TW_WORKLOAD_FRAGMENTING_HH
+#define TW_WORKLOAD_FRAGMENTING_HH
+
+#include "base/random.hh"
+#include "workload/ref_stream.hh"
+
+namespace tw
+{
+
+/** Parameters of a FragmentingStream. */
+struct FragmentingParams
+{
+    Addr base = 0x400000;    //!< page aligned
+    unsigned basePages = 8;  //!< pages live at time zero
+    unsigned maxPages = 512; //!< growth ceiling (sizes the window)
+    /** References between working-set growth steps (one page per
+     *  step). Smaller = faster fragmentation. */
+    std::uint64_t refsPerNewPage = 20000;
+    /** Recency skew: P(pick the k-th newest page) ~ geometric with
+     *  this parameter; smaller = flatter (more uniform) access. */
+    double recencyBias = 0.05;
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Growing-page-set reference stream (see file comment).
+ */
+class FragmentingStream : public RefStream
+{
+  public:
+    explicit FragmentingStream(const FragmentingParams &params);
+
+    Addr next() override;
+    void reset(std::uint64_t seed) override;
+    std::unique_ptr<RefStream> clone() const override;
+    Addr textBase() const override { return params_.base; }
+
+    std::uint64_t
+    textBytes() const override
+    {
+        return static_cast<std::uint64_t>(params_.maxPages)
+               * kHostPageBytes;
+    }
+
+    /** Pages currently in the active set. */
+    unsigned activePages() const { return active_; }
+
+  private:
+    FragmentingParams params_;
+    Rng rng_;
+    unsigned active_;
+    std::uint64_t emitted_ = 0;
+};
+
+} // namespace tw
+
+#endif // TW_WORKLOAD_FRAGMENTING_HH

@@ -1,0 +1,198 @@
+#include "workload/loop_nest.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/bitops.hh"
+#include "base/logging.hh"
+
+namespace tw
+{
+
+void
+StreamParams::validate() const
+{
+    if (textBytes < 256 || textBytes % kWordBytes != 0)
+        fatal("stream: text size %llu unusable",
+              static_cast<unsigned long long>(textBytes));
+    if (base % kHostPageBytes != 0)
+        fatal("stream: text base must be page aligned");
+    std::uint64_t prev = 0;
+    for (const auto &lvl : ladder) {
+        if (lvl.spanBytes <= prev)
+            fatal("stream: ladder spans must be strictly ascending");
+        if (lvl.spanBytes % kWordBytes != 0)
+            fatal("stream: span must be word aligned");
+        if (lvl.spanBytes > textBytes)
+            fatal("stream: span exceeds text size");
+        if (lvl.meanReps < 1.0)
+            fatal("stream: mean reps below 1");
+        prev = lvl.spanBytes;
+    }
+}
+
+std::vector<LoopLevel>
+ladderForMissTarget(double miss_at_4k, std::uint64_t text_bytes,
+                    double decay_per_doubling)
+{
+    TW_ASSERT(miss_at_4k > 0.0 && miss_at_4k <= 0.25,
+              "target 4K miss ratio %f out of (0, 0.25]", miss_at_4k);
+    std::vector<LoopLevel> ladder;
+
+    // Product of repeats needed so that, once the cache holds 4 KB,
+    // the miss ratio is miss_at_4k (sequential word fetches over
+    // 16-byte lines miss at 0.25 with no reuse).
+    double p4 = 0.25 / miss_at_4k;
+
+    std::vector<std::uint64_t> small_spans;
+    for (std::uint64_t s : {std::uint64_t(256), std::uint64_t(1024),
+                            std::uint64_t(4096)}) {
+        if (s < text_bytes)
+            small_spans.push_back(s);
+    }
+    if (!small_spans.empty()) {
+        double per =
+            std::pow(p4, 1.0 / static_cast<double>(small_spans.size()));
+        per = std::max(per, 1.0);
+        for (std::uint64_t s : small_spans)
+            ladder.push_back(LoopLevel{s, per});
+    }
+
+    // Above 4 KB, decay misses by decay_per_doubling per size
+    // doubling until the whole text fits.
+    for (std::uint64_t s = 8192; s < text_bytes; s *= 2)
+        ladder.push_back(LoopLevel{s, std::max(1.0, decay_per_doubling)});
+
+    ladder.push_back(LoopLevel{text_bytes, 1.0});
+    return ladder;
+}
+
+LoopNestStream::LoopNestStream(const StreamParams &params)
+    : params_(params), rng_(params.seed)
+{
+    params_.validate();
+    // Ensure a top level spanning the whole text.
+    if (params_.ladder.empty()
+        || params_.ladder.back().spanBytes < params_.textBytes) {
+        params_.ladder.push_back(LoopLevel{params_.textBytes, 1.0});
+    }
+    restart();
+}
+
+double
+LoopNestStream::drawReps(double mean)
+{
+    double floor_part = std::floor(mean);
+    double frac = mean - floor_part;
+    double reps = floor_part + (rng_.chance(frac) ? 1.0 : 0.0);
+    return std::max(reps, 1.0);
+}
+
+void
+LoopNestStream::restart()
+{
+    const auto &ladder = params_.ladder;
+    levels_.assign(ladder.size(), LevelState{});
+    for (std::size_t i = 0; i < ladder.size(); ++i) {
+        levels_[i].chunkBase = params_.base;
+        levels_[i].repsLeft = drawReps(ladder[i].meanReps);
+    }
+    cur_ = params_.base;
+    Addr text_end = params_.base + params_.textBytes;
+    runEnd_ = std::min(params_.base + ladder[0].spanBytes, text_end);
+    excursionLeft_ = 0;
+}
+
+void
+LoopNestStream::reset(std::uint64_t seed)
+{
+    rng_.reseed(seed);
+    restart();
+}
+
+std::unique_ptr<RefStream>
+LoopNestStream::clone() const
+{
+    return std::make_unique<LoopNestStream>(params_);
+}
+
+void
+LoopNestStream::advance()
+{
+    const auto &ladder = params_.ladder;
+    Addr text_end = params_.base + params_.textBytes;
+
+    std::size_t level = 0;
+    while (true) {
+        LevelState &st = levels_[level];
+        st.repsLeft -= 1.0;
+        if (st.repsLeft >= 0.5) {
+            // Re-sweep the same chunk from its start.
+            break;
+        }
+        // Chunk fully repeated; move to the next sibling chunk
+        // within the parent (or wrap at the top level).
+        if (level + 1 == ladder.size()) {
+            st.chunkBase = params_.base;
+            st.repsLeft = drawReps(ladder[level].meanReps);
+            break;
+        }
+        Addr next_base = st.chunkBase + ladder[level].spanBytes;
+        LevelState &parent = levels_[level + 1];
+        Addr parent_end =
+            std::min(parent.chunkBase + ladder[level + 1].spanBytes,
+                     text_end);
+        if (next_base < parent_end) {
+            st.chunkBase = next_base;
+            st.repsLeft = drawReps(ladder[level].meanReps);
+            break;
+        }
+        ++level;
+    }
+
+    // Reset all inner levels to the start of the (possibly new)
+    // level chunk.
+    for (std::size_t i = level; i-- > 0;) {
+        levels_[i].chunkBase = levels_[i + 1].chunkBase;
+        levels_[i].repsLeft = drawReps(ladder[i].meanReps);
+    }
+    cur_ = levels_[0].chunkBase;
+    runEnd_ = std::min(cur_ + ladder[0].spanBytes, text_end);
+
+    // Occasionally detour through a random spot in the text: models
+    // error paths, PLT stubs and data-dependent branches, and gives
+    // direct-mapped caches realistic conflict texture.
+    if (params_.excursionProb > 0.0
+        && rng_.chance(params_.excursionProb)) {
+        std::uint64_t words = params_.textBytes / kWordBytes;
+        Addr target =
+            params_.base + rng_.below(words) * kWordBytes;
+        resumeCur_ = cur_;
+        resumeEnd_ = runEnd_;
+        excursionLeft_ = 1;
+        cur_ = target;
+        runEnd_ = std::min(
+            target + static_cast<Addr>(params_.excursionWords)
+                         * kWordBytes,
+            text_end);
+    }
+}
+
+Addr
+LoopNestStream::next()
+{
+    Addr a = cur_;
+    cur_ += kWordBytes;
+    if (cur_ >= runEnd_) {
+        if (excursionLeft_) {
+            excursionLeft_ = 0;
+            cur_ = resumeCur_;
+            runEnd_ = resumeEnd_;
+        } else {
+            advance();
+        }
+    }
+    return a;
+}
+
+} // namespace tw

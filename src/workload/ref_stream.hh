@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Abstract instruction-reference streams.
+ *
+ * The paper's workloads are real binaries (SPEC92, SPEC SDM, Mach
+ * servers; Table 3). Those binaries and their traces are not
+ * available, so each task in the simulated system executes a
+ * synthetic RefStream whose locality structure is calibrated to the
+ * published per-workload miss ratios (Table 6, Figure 2) and whose
+ * instruction counts / OS-time splits follow Table 4. See
+ * DESIGN.md, "Reproduction strategy".
+ */
+
+#ifndef TW_WORKLOAD_REF_STREAM_HH
+#define TW_WORKLOAD_REF_STREAM_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "base/types.hh"
+
+namespace tw
+{
+
+/**
+ * An endless stream of instruction-fetch virtual addresses.
+ *
+ * Streams are deterministic functions of their seed: the same seed
+ * reproduces the same control flow, which is what lets experiments
+ * attribute run-to-run variation to OS effects (page allocation,
+ * interrupt interleaving) rather than to the workload itself.
+ */
+class RefStream
+{
+  public:
+    virtual ~RefStream() = default;
+
+    /** Produce the next fetch address. Streams never terminate; the
+     *  task's instruction budget bounds execution. */
+    virtual Addr next() = 0;
+
+    /** Restart the stream with a (possibly new) control-flow seed. */
+    virtual void reset(std::uint64_t seed) = 0;
+
+    /** Deep copy (used when a task forks: the child runs the same
+     *  program image). */
+    virtual std::unique_ptr<RefStream> clone() const = 0;
+
+    /** First byte of the stream's text region. */
+    virtual Addr textBase() const = 0;
+
+    /** Size of the stream's text region in bytes. */
+    virtual std::uint64_t textBytes() const = 0;
+};
+
+} // namespace tw
+
+#endif // TW_WORKLOAD_REF_STREAM_HH

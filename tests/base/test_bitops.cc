@@ -1,0 +1,80 @@
+/** @file Unit tests for power-of-two and alignment helpers. */
+
+#include <gtest/gtest.h>
+
+#include "base/bitops.hh"
+
+namespace tw
+{
+namespace
+{
+
+TEST(BitOps, IsPowerOf2)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_TRUE(isPowerOf2(1ull << 40));
+    EXPECT_FALSE(isPowerOf2((1ull << 40) + 1));
+}
+
+TEST(BitOps, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4), 2u);
+    EXPECT_EQ(floorLog2(4096), 12u);
+    EXPECT_EQ(floorLog2(~0ull), 63u);
+}
+
+TEST(BitOps, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(4), 2u);
+    EXPECT_EQ(ceilLog2(5), 3u);
+}
+
+TEST(BitOps, AlignDownUp)
+{
+    EXPECT_EQ(alignDown(0x1234, 0x100), 0x1200u);
+    EXPECT_EQ(alignUp(0x1234, 0x100), 0x1300u);
+    EXPECT_EQ(alignDown(0x1200, 0x100), 0x1200u);
+    EXPECT_EQ(alignUp(0x1200, 0x100), 0x1200u);
+    EXPECT_EQ(alignDown(15, 16), 0u);
+    EXPECT_EQ(alignUp(1, 16), 16u);
+}
+
+TEST(BitOps, DivCeil)
+{
+    EXPECT_EQ(divCeil(0, 4), 0u);
+    EXPECT_EQ(divCeil(1, 4), 1u);
+    EXPECT_EQ(divCeil(4, 4), 1u);
+    EXPECT_EQ(divCeil(5, 4), 2u);
+}
+
+/** Property: floorLog2/ceilLog2 agree exactly on powers of two and
+ *  differ by one elsewhere. */
+TEST(BitOps, LogRelationProperty)
+{
+    for (std::uint64_t v = 1; v < 4096; ++v) {
+        if (isPowerOf2(v)) {
+            EXPECT_EQ(floorLog2(v), ceilLog2(v)) << v;
+        } else {
+            EXPECT_EQ(floorLog2(v) + 1, ceilLog2(v)) << v;
+        }
+    }
+}
+
+TEST(Literals, KiBMiB)
+{
+    using namespace tw;
+    EXPECT_EQ(4_KiB, 4096u);
+    EXPECT_EQ(2_MiB, 2u * 1024 * 1024);
+}
+
+} // namespace
+} // namespace tw

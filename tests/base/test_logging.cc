@@ -1,0 +1,58 @@
+/** @file Unit tests for csprintf and the assertion machinery. */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+
+namespace tw
+{
+namespace
+{
+
+TEST(Csprintf, FormatsBasicTypes)
+{
+    EXPECT_EQ(csprintf("plain"), "plain");
+    EXPECT_EQ(csprintf("%d + %d = %d", 2, 3, 5), "2 + 3 = 5");
+    EXPECT_EQ(csprintf("%.3f", 1.0 / 3.0), "0.333");
+    EXPECT_EQ(csprintf("%s-%c", "ab", 'z'), "ab-z");
+}
+
+TEST(Csprintf, HandlesLongOutput)
+{
+    std::string big(5000, 'x');
+    std::string out = csprintf("[%s]", big.c_str());
+    EXPECT_EQ(out.size(), big.size() + 2);
+    EXPECT_EQ(out.front(), '[');
+    EXPECT_EQ(out.back(), ']');
+}
+
+TEST(Csprintf, EmptyFormat)
+{
+    EXPECT_EQ(csprintf("%s", ""), "");
+}
+
+TEST(AssertDeath, PanicsWithMessage)
+{
+    EXPECT_DEATH(
+        { TW_ASSERT(1 == 2, "math broke: %d", 42); }, "math broke: 42");
+}
+
+TEST(AssertDeath, PassesWhenTrue)
+{
+    TW_ASSERT(2 + 2 == 4, "should not fire");
+    SUCCEED();
+}
+
+TEST(PanicDeath, PanicAborts)
+{
+    EXPECT_DEATH(panic("boom %s", "now"), "boom now");
+}
+
+TEST(FatalDeath, FatalExits)
+{
+    EXPECT_EXIT(fatal("bad config %d", 7),
+                ::testing::ExitedWithCode(1), "bad config 7");
+}
+
+} // namespace
+} // namespace tw

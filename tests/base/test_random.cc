@@ -1,0 +1,144 @@
+/** @file Unit and statistical tests for the deterministic RNG. */
+
+#include <gtest/gtest.h>
+
+#include "base/random.hh"
+
+namespace tw
+{
+namespace
+{
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ReseedRestartsSequence)
+{
+    Rng a(7);
+    std::uint64_t first = a.next();
+    a.next();
+    a.reseed(7);
+    EXPECT_EQ(a.next(), first);
+}
+
+TEST(Rng, BelowStaysInBounds)
+{
+    Rng rng(3);
+    for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+        for (int i = 0; i < 1000; ++i)
+            ASSERT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, InRangeInclusive)
+{
+    Rng rng(3);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        std::uint64_t v = rng.inRange(5, 8);
+        ASSERT_GE(v, 5u);
+        ASSERT_LE(v, 8u);
+        saw_lo |= v == 5;
+        saw_hi |= v == 8;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng rng(11);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(5);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceFrequency)
+{
+    Rng rng(5);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, GeometricMean)
+{
+    Rng rng(9);
+    double sum = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(rng.geometric(0.01));
+    // E[failures before success] = (1-p)/p = 99.
+    EXPECT_NEAR(sum / n, 99.0, 3.0);
+}
+
+TEST(Rng, GeometricEdges)
+{
+    Rng rng(9);
+    EXPECT_EQ(rng.geometric(1.0), 0u);
+    EXPECT_EQ(rng.geometric(0.0), 1ull << 30);
+    EXPECT_EQ(rng.geometric(-1.0), 1ull << 30);
+}
+
+TEST(MixSeed, OrderSensitive)
+{
+    EXPECT_NE(mixSeed(1, 2), mixSeed(2, 1));
+    EXPECT_EQ(mixSeed(1, 2), mixSeed(1, 2));
+}
+
+TEST(SplitMix, KnownGoodProgression)
+{
+    std::uint64_t s = 0;
+    std::uint64_t a = splitMix64(s);
+    std::uint64_t b = splitMix64(s);
+    EXPECT_NE(a, b);
+    EXPECT_NE(a, 0u);
+}
+
+/** Statistical sanity: bits of next() are roughly balanced. */
+TEST(Rng, BitBalance)
+{
+    Rng rng(123);
+    int ones[64] = {};
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        std::uint64_t v = rng.next();
+        for (int bit = 0; bit < 64; ++bit)
+            ones[bit] += (v >> bit) & 1;
+    }
+    for (int bit = 0; bit < 64; ++bit) {
+        EXPECT_NEAR(static_cast<double>(ones[bit]) / n, 0.5, 0.02)
+            << "bit " << bit;
+    }
+}
+
+} // namespace
+} // namespace tw

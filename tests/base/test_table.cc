@@ -1,0 +1,85 @@
+/** @file Unit tests for the table renderer used by every bench. */
+
+#include <gtest/gtest.h>
+
+#include "base/table.hh"
+
+namespace tw
+{
+namespace
+{
+
+TEST(TextTable, RendersHeadersAndRows)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(TextTable, AlignmentRightForNumericColumns)
+{
+    TextTable t({"k", "v"});
+    t.addRow({"x", "1"});
+    t.addRow({"y", "100"});
+    std::string out = t.render();
+    // The short value must be right-aligned under the long one:
+    // look for two spaces before "1" on the x row.
+    EXPECT_NE(out.find("x    1"), std::string::npos) << out;
+}
+
+TEST(TextTable, RuleRows)
+{
+    TextTable t({"alpha"});
+    t.addRow({"1"});
+    t.addRule();
+    t.addRow({"2"});
+    EXPECT_EQ(t.rowCount(), 2u);
+    std::string out = t.render();
+    // Header rule + explicit rule, both as wide as the table.
+    size_t first = out.find("-----");
+    ASSERT_NE(first, std::string::npos);
+    EXPECT_NE(out.find("-----", first + 5), std::string::npos);
+}
+
+TEST(TextTable, CsvEscaping)
+{
+    TextTable t({"a", "b"});
+    t.addRow({"plain", "has,comma"});
+    t.addRow({"quote\"inside", "x"});
+    std::string csv = t.renderCsv();
+    EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+    EXPECT_NE(csv.find("\"quote\"\"inside\""), std::string::npos);
+}
+
+TEST(TextTable, MismatchedRowDies)
+{
+    TextTable t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "row has");
+}
+
+TEST(Formatters, FmtF)
+{
+    EXPECT_EQ(fmtF(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtF(-0.5, 1), "-0.5");
+}
+
+TEST(Formatters, MissAndRatio)
+{
+    // Paper style: "37.91 (0.027)".
+    EXPECT_EQ(fmtMissAndRatio(37.912, 0.0271), "37.91 (0.027)");
+}
+
+TEST(Formatters, ValAndPct)
+{
+    // Paper style: "2.53 (57%)".
+    EXPECT_EQ(fmtValAndPct(2.534, 57.2), "2.53 (57%)");
+    EXPECT_EQ(fmtValAndPct(9.876, 223.0, 1), "9.9 (223%)");
+}
+
+} // namespace
+} // namespace tw

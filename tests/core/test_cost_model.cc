@@ -1,0 +1,69 @@
+/** @file Tests of the Table 5 miss-handler cost model. */
+
+#include <gtest/gtest.h>
+
+#include "core/cost_model.hh"
+
+namespace tw
+{
+namespace
+{
+
+TEST(CostModel, Table5Baseline)
+{
+    TrapCostModel m;
+    // Table 5: 53 + 23 + 20 + 35 + 6 = 137 instructions, 246
+    // cycles, for a direct-mapped cache with 4-word (1 granule)
+    // lines.
+    EXPECT_EQ(m.missInstructions(1, 1), 137u);
+    EXPECT_EQ(m.missCycles(1, 1), 246u);
+}
+
+TEST(CostModel, AssociativityIncreasesReplaceOnly)
+{
+    TrapCostModel m;
+    unsigned dm = m.missInstructions(1, 1);
+    unsigned w2 = m.missInstructions(2, 1);
+    unsigned w4 = m.missInstructions(4, 1);
+    EXPECT_EQ(w2 - dm, m.twReplacePerWay);
+    EXPECT_EQ(w4 - dm, 3 * m.twReplacePerWay);
+}
+
+TEST(CostModel, LineSizeIncreasesTrapOps)
+{
+    TrapCostModel m;
+    unsigned g1 = m.missInstructions(1, 1);
+    unsigned g2 = m.missInstructions(1, 2); // 32-byte lines
+    unsigned g4 = m.missInstructions(1, 4); // 64-byte lines
+    EXPECT_EQ(g2 - g1,
+              m.twSetTrapPerGranule + m.twClearTrapPerGranule);
+    EXPECT_EQ(g4 - g1,
+              3 * (m.twSetTrapPerGranule + m.twClearTrapPerGranule));
+}
+
+TEST(CostModel, CyclesScaleWithInstructions)
+{
+    TrapCostModel m;
+    EXPECT_GT(m.missCycles(4, 4), m.missCycles(1, 1));
+    // "Simulating different cache sizes has little effect": size is
+    // not even a parameter.
+}
+
+TEST(CostModel, IdealHardwareNearFiftyCycles)
+{
+    TrapCostModel ideal = TrapCostModel::idealHardware();
+    // Section 4.3: "could reduce the total miss-handling time to
+    // about 50 cycles ... increasing Tapeworm's speed by another
+    // factor of 5".
+    Cycles c = ideal.missCycles(1, 1);
+    EXPECT_GE(c, 40u);
+    EXPECT_LE(c, 70u);
+    TrapCostModel stock;
+    double speedup = static_cast<double>(stock.missCycles(1, 1))
+                     / static_cast<double>(c);
+    EXPECT_GT(speedup, 3.5);
+    EXPECT_LT(speedup, 6.5);
+}
+
+} // namespace
+} // namespace tw

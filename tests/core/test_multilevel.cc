@@ -1,0 +1,214 @@
+/** @file Tests of trap-driven two-level cache simulation. */
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/multilevel.hh"
+#include "workload/loop_nest.hh"
+
+namespace tw
+{
+namespace
+{
+
+struct Rig
+{
+    explicit Rig(const MultiLevelConfig &cfg)
+        : phys(1 << 20), ml(phys, cfg)
+    {
+        StreamParams p;
+        p.base = 0x400000;
+        p.textBytes = 256 * 1024;
+        p.ladder = {{256, 2.0}};
+        task = std::make_unique<Task>(
+            1, "t", Component::User,
+            std::make_unique<LoopNestStream>(p), 1);
+        task->attr.simulate = true;
+    }
+
+    void
+    mapPage(Vpn vpn, Pfn pfn)
+    {
+        task->pageTable.map(vpn, pfn);
+        ml.onPageMapped(*task, vpn, pfn, false);
+    }
+
+    Cycles
+    touch(Addr va)
+    {
+        Pfn pfn = task->pageTable.lookup(va);
+        Addr pa = static_cast<Addr>(pfn) * kHostPageBytes
+                  + (va % kHostPageBytes);
+        return ml.onRef(*task, va, pa, false);
+    }
+
+    PhysMem phys;
+    TapewormMultiLevel ml;
+    std::unique_ptr<Task> task;
+};
+
+MultiLevelConfig
+config(std::uint64_t l1 = 1024, std::uint64_t l2 = 8192)
+{
+    MultiLevelConfig cfg;
+    cfg.l1 = CacheConfig::icache(l1);
+    cfg.l2 = CacheConfig::icache(l2);
+    return cfg;
+}
+
+TEST(MultiLevel, ColdMissGoesToMemory)
+{
+    Rig rig(config());
+    rig.mapPage(0x400, 10);
+    Cycles cost = rig.touch(0x400000);
+    EXPECT_EQ(cost, rig.ml.l2MissCost());
+    EXPECT_EQ(rig.ml.stats().totalL1(), 1u);
+    EXPECT_EQ(rig.ml.stats().totalL2(), 1u);
+    // Resident now: free.
+    EXPECT_EQ(rig.touch(0x400000), 0u);
+    EXPECT_TRUE(rig.ml.checkInvariants());
+}
+
+TEST(MultiLevel, L1ConflictHitsL2)
+{
+    // 1 KB DM L1: lines 1 KB apart collide in L1 but coexist in the
+    // 8 KB L2.
+    Rig rig(config());
+    rig.mapPage(0x400, 10);
+    rig.touch(0x400000); // A: L1+L2 miss
+    rig.touch(0x400400); // B: displaces A from L1, fills L2
+    Cycles cost = rig.touch(0x400000); // A again: L1 miss, L2 hit
+    EXPECT_EQ(cost, rig.ml.l1MissCost());
+    EXPECT_LT(rig.ml.l1MissCost(), rig.ml.l2MissCost());
+    EXPECT_EQ(rig.ml.stats().totalL1(), 3u);
+    EXPECT_EQ(rig.ml.stats().totalL2(), 2u);
+    EXPECT_TRUE(rig.ml.checkInvariants());
+}
+
+TEST(MultiLevel, L2MissesNeverExceedL1Misses)
+{
+    Rig rig(config());
+    for (Vpn v = 0; v < 16; ++v)
+        rig.mapPage(0x400 + v, static_cast<Pfn>(10 + v));
+    Rng rng(3);
+    for (int i = 0; i < 20000; ++i)
+        rig.touch(0x400000 + (rng.below(16 * 4096) & ~3ull));
+    EXPECT_GT(rig.ml.stats().totalL1(), 0u);
+    EXPECT_LE(rig.ml.stats().totalL2(), rig.ml.stats().totalL1());
+    EXPECT_TRUE(rig.ml.checkInvariants());
+}
+
+TEST(MultiLevel, InclusionMaintainedUnderPressure)
+{
+    // L2 only 2x L1: back-invalidations must occur and inclusion
+    // must survive them.
+    Rig rig(config(1024, 2048));
+    for (Vpn v = 0; v < 8; ++v)
+        rig.mapPage(0x400 + v, static_cast<Pfn>(10 + v));
+    Rng rng(7);
+    for (int i = 0; i < 20000; ++i)
+        rig.touch(0x400000 + (rng.below(8 * 4096) & ~3ull));
+    EXPECT_GT(rig.ml.stats().backInvalidates, 0u);
+    EXPECT_TRUE(rig.ml.checkInvariants());
+}
+
+TEST(MultiLevel, EquivalenceWithDirectTwoLevelModel)
+{
+    // Reference: trace-style two-level simulation of the same
+    // sequence must count identical L1/L2 misses (FIFO policies).
+    MultiLevelConfig cfg = config(1024, 4096);
+    Rig rig(cfg);
+    for (Vpn v = 0; v < 8; ++v)
+        rig.mapPage(0x400 + v, static_cast<Pfn>(10 + v));
+
+    Cache ref_l1(cfg.l1), ref_l2(cfg.l2);
+    Counter ref_l1_misses = 0, ref_l2_misses = 0;
+
+    Rng rng(11);
+    for (int i = 0; i < 30000; ++i) {
+        Addr va = 0x400000 + (rng.geometric(0.002) * 16) % (8 * 4096);
+        rig.touch(va);
+
+        Pfn pfn = rig.task->pageTable.lookup(va);
+        Addr pa = static_cast<Addr>(pfn) * kHostPageBytes
+                  + (va % kHostPageBytes);
+        LineRef ref{va >> 4, pa >> 4, 1};
+        if (!ref_l1.contains(ref)) {
+            ++ref_l1_misses;
+            if (!ref_l2.contains(ref)) {
+                ++ref_l2_misses;
+                auto victim = ref_l2.insert(ref);
+                if (victim)
+                    ref_l1.flushPhysLine(victim->paLine);
+            }
+            auto l1_victim = ref_l1.insert(ref);
+            (void)l1_victim;
+        }
+    }
+    EXPECT_EQ(rig.ml.stats().totalL1(), ref_l1_misses);
+    EXPECT_EQ(rig.ml.stats().totalL2(), ref_l2_misses);
+}
+
+TEST(MultiLevel, RemovePageFlushesBothLevels)
+{
+    Rig rig(config());
+    rig.mapPage(0x400, 10);
+    rig.touch(0x400000);
+    EXPECT_EQ(rig.ml.l1().validCount(), 1u);
+    EXPECT_EQ(rig.ml.l2().validCount(), 1u);
+    rig.ml.onPageRemoved(*rig.task, 0x400, 10, true);
+    EXPECT_EQ(rig.ml.l1().validCount(), 0u);
+    EXPECT_EQ(rig.ml.l2().validCount(), 0u);
+    EXPECT_EQ(rig.phys.countTrapped(), 0u);
+}
+
+TEST(MultiLevel, DmaInvalidateFlushesBothAndReArms)
+{
+    Rig rig(config());
+    rig.mapPage(0x400, 10);
+    rig.touch(0x400000);
+    rig.ml.onDmaInvalidate(10);
+    EXPECT_EQ(rig.ml.l1().validCount(), 0u);
+    EXPECT_EQ(rig.ml.l2().validCount(), 0u);
+    EXPECT_GT(rig.touch(0x400000), 0u); // misses again
+    EXPECT_TRUE(rig.ml.checkInvariants());
+}
+
+TEST(MultiLevel, MaskedBehaviour)
+{
+    MultiLevelConfig cfg = config();
+    cfg.compensateMasked = false;
+    PhysMem phys(1 << 20);
+    TapewormMultiLevel ml(phys, cfg);
+    StreamParams p;
+    p.base = 0x400000;
+    p.textBytes = 8192;
+    p.ladder = {{256, 2.0}};
+    Task t(1, "t", Component::Kernel,
+           std::make_unique<LoopNestStream>(p), 1);
+    t.pageTable.map(0x400, 10);
+    ml.onPageMapped(t, 0x400, 10, false);
+
+    EXPECT_EQ(ml.onRef(t, 0x400000, 10 * 4096, true), 0u);
+    EXPECT_EQ(ml.stats().lostMaskedMisses, 1u);
+    EXPECT_GT(ml.onRef(t, 0x400000, 10 * 4096, false), 0u);
+}
+
+TEST(MultiLevelDeath, L2SmallerThanL1)
+{
+    PhysMem phys(1 << 20);
+    MultiLevelConfig cfg = config(8192, 4096);
+    EXPECT_DEATH(TapewormMultiLevel(phys, cfg), "at least as large");
+}
+
+TEST(MultiLevelDeath, MismatchedLineSizes)
+{
+    PhysMem phys(1 << 20);
+    MultiLevelConfig cfg = config();
+    cfg.l2.lineBytes = 32;
+    EXPECT_DEATH(TapewormMultiLevel(phys, cfg), "line size");
+}
+
+} // namespace
+} // namespace tw

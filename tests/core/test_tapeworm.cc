@@ -1,0 +1,339 @@
+/**
+ * @file Unit tests of the Tapeworm trap-driven simulator, driven
+ * directly (no full System): a mini-VM maps pages by hand and
+ * issues references, exactly controlling the trap algebra.
+ */
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/tapeworm.hh"
+#include "workload/loop_nest.hh"
+
+namespace tw
+{
+namespace
+{
+
+/** Hand-driven machine around a Tapeworm instance. */
+struct Rig
+{
+    explicit Rig(const TapewormConfig &cfg,
+                 std::uint64_t mem_bytes = 1 << 20)
+        : phys(mem_bytes), tw(phys, cfg)
+    {
+    }
+
+    Task &
+    addTask(TaskId tid, Addr base, std::uint64_t text = 64 * 1024)
+    {
+        StreamParams p;
+        p.base = base;
+        p.textBytes = text;
+        p.ladder = {{256, 2.0}};
+        tasks.push_back(std::make_unique<Task>(
+            tid, csprintf("t%d", tid), Component::User,
+            std::make_unique<LoopNestStream>(p), 1));
+        tasks.back()->attr.simulate = true;
+        return *tasks.back();
+    }
+
+    /** Map + register one page. */
+    void
+    mapPage(Task &task, Vpn vpn, Pfn pfn, bool shared = false)
+    {
+        task.pageTable.map(vpn, pfn);
+        tw.onPageMapped(task, vpn, pfn, shared);
+    }
+
+    /** Reference va through the task's page table. */
+    Cycles
+    touch(Task &task, Addr va, bool masked = false)
+    {
+        Pfn pfn = task.pageTable.lookup(va);
+        EXPECT_GE(pfn, 0) << "touch of unmapped page";
+        Addr pa = static_cast<Addr>(pfn) * kHostPageBytes
+                  + (va % kHostPageBytes);
+        return tw.onRef(task, va, pa, masked);
+    }
+
+    PhysMem phys;
+    Tapeworm tw;
+    std::vector<std::unique_ptr<Task>> tasks;
+};
+
+TapewormConfig
+dmConfig(std::uint64_t size = 4096)
+{
+    TapewormConfig cfg;
+    cfg.cache = CacheConfig::icache(size);
+    return cfg;
+}
+
+TEST(Tapeworm, RegisterSetsTrapsOnWholePage)
+{
+    Rig rig(dmConfig());
+    Task &t = rig.addTask(1, 0x400000);
+    rig.mapPage(t, 0x400, 10);
+    // 4 KB page / 16 B lines = 256 trap granules.
+    EXPECT_EQ(rig.phys.countTrapped(), 256u);
+    EXPECT_EQ(rig.tw.stats().trapsSet, 256u);
+    EXPECT_EQ(rig.tw.registeredPages(), 1u);
+    EXPECT_TRUE(rig.tw.checkInvariants());
+}
+
+TEST(Tapeworm, FirstTouchMissesThenHits)
+{
+    Rig rig(dmConfig());
+    Task &t = rig.addTask(1, 0x400000);
+    rig.mapPage(t, 0x400, 10);
+
+    Cycles cost = rig.touch(t, 0x400000);
+    EXPECT_EQ(cost, 246u); // Table 5
+    EXPECT_EQ(rig.tw.stats().totalMisses(), 1u);
+    // Subsequent references to the same line are hardware hits.
+    EXPECT_EQ(rig.touch(t, 0x400004), 0u);
+    EXPECT_EQ(rig.touch(t, 0x40000c), 0u);
+    EXPECT_EQ(rig.tw.stats().totalMisses(), 1u);
+    // Next line misses again.
+    EXPECT_EQ(rig.touch(t, 0x400010), 246u);
+    EXPECT_TRUE(rig.tw.checkInvariants());
+}
+
+TEST(Tapeworm, UnregisteredTaskNeverTraps)
+{
+    Rig rig(dmConfig());
+    Task &t = rig.addTask(1, 0x400000);
+    t.attr.simulate = false;
+    // VM would not register this task: map the page table only.
+    t.pageTable.map(0x400, 10);
+    EXPECT_EQ(rig.touch(t, 0x400000), 0u);
+    EXPECT_EQ(rig.tw.stats().totalMisses(), 0u);
+}
+
+TEST(Tapeworm, DisplacementReArmsTrap)
+{
+    // 4 KB direct-mapped cache: lines one cache-size apart collide.
+    Rig rig(dmConfig());
+    Task &t = rig.addTask(1, 0x400000, 64 * 1024);
+    rig.mapPage(t, 0x400, 10);
+    rig.mapPage(t, 0x401, 11); // next virtual page
+
+    // Map pa of page 10 line 0 and pa of page 11 line 0: with
+    // physical indexing, frames 10 and 11 are 4 KB apart => same
+    // set for same offset.
+    EXPECT_EQ(rig.touch(t, 0x400000), 246u);
+    EXPECT_EQ(rig.touch(t, 0x400000), 0u);
+    EXPECT_EQ(rig.touch(t, 0x401000), 246u); // displaces the first
+    EXPECT_EQ(rig.touch(t, 0x400000), 246u); // misses again
+    EXPECT_EQ(rig.tw.stats().totalMisses(), 3u);
+    EXPECT_TRUE(rig.tw.checkInvariants());
+}
+
+TEST(Tapeworm, MissCountsPerComponent)
+{
+    Rig rig(dmConfig());
+    Task &user = rig.addTask(1, 0x400000);
+    rig.mapPage(user, 0x400, 10);
+    rig.touch(user, 0x400000);
+    EXPECT_EQ(rig.tw.stats()
+                  .misses[static_cast<unsigned>(Component::User)],
+              1u);
+    EXPECT_EQ(rig.tw.stats()
+                  .misses[static_cast<unsigned>(Component::Kernel)],
+              0u);
+}
+
+TEST(Tapeworm, SharedPageRefcount)
+{
+    Rig rig(dmConfig());
+    Task &a = rig.addTask(1, 0x400000);
+    Task &b = rig.addTask(2, 0x400000);
+    rig.mapPage(a, 0x400, 10, false);
+    std::uint64_t traps_after_first = rig.phys.countTrapped();
+    rig.mapPage(b, 0x400, 10, true);
+    // Second registration must not set new traps (Section 3.2).
+    EXPECT_EQ(rig.phys.countTrapped(), traps_after_first);
+    EXPECT_EQ(rig.tw.stats().sharedRegistrations, 1u);
+    EXPECT_EQ(rig.tw.registeredPages(), 1u);
+
+    // First removal keeps traps and cache contents.
+    rig.touch(a, 0x400000);
+    rig.tw.onPageRemoved(a, 0x400, 10, false);
+    EXPECT_EQ(rig.tw.registeredPages(), 1u);
+    EXPECT_GT(rig.phys.countTrapped(), 0u);
+
+    // Second (last) removal clears everything.
+    rig.tw.onPageRemoved(b, 0x400, 10, true);
+    EXPECT_EQ(rig.tw.registeredPages(), 0u);
+    EXPECT_EQ(rig.phys.countTrapped(), 0u);
+    EXPECT_EQ(rig.tw.cache().validCount(), 0u);
+}
+
+TEST(Tapeworm, SharedEntryBenefit)
+{
+    // "This enables a new task to benefit from shared entries
+    // brought into the cache by another task."
+    Rig rig(dmConfig());
+    Task &a = rig.addTask(1, 0x400000);
+    Task &b = rig.addTask(2, 0x400000);
+    rig.mapPage(a, 0x400, 10, false);
+    rig.mapPage(b, 0x400, 10, true);
+    EXPECT_EQ(rig.touch(a, 0x400000), 246u);
+    // b's access to the shared physical line proceeds at hardware
+    // speed — no trap, no miss.
+    EXPECT_EQ(rig.touch(b, 0x400000), 0u);
+    EXPECT_EQ(rig.tw.stats().totalMisses(), 1u);
+}
+
+TEST(Tapeworm, RemovePageFlushesSimulatedCache)
+{
+    Rig rig(dmConfig());
+    Task &t = rig.addTask(1, 0x400000);
+    rig.mapPage(t, 0x400, 10);
+    rig.touch(t, 0x400000);
+    EXPECT_EQ(rig.tw.cache().validCount(), 1u);
+    rig.tw.onPageRemoved(t, 0x400, 10, true);
+    EXPECT_EQ(rig.tw.cache().validCount(), 0u);
+    EXPECT_EQ(rig.phys.countTrapped(), 0u);
+    EXPECT_TRUE(rig.tw.checkInvariants());
+}
+
+TEST(Tapeworm, MaskedMissLostWithoutCompensation)
+{
+    TapewormConfig cfg = dmConfig();
+    cfg.compensateMasked = false;
+    Rig rig(cfg);
+    Task &t = rig.addTask(1, 0x400000);
+    rig.mapPage(t, 0x400, 10);
+
+    EXPECT_EQ(rig.touch(t, 0x400000, /*masked=*/true), 0u);
+    EXPECT_EQ(rig.tw.stats().totalMisses(), 0u);
+    EXPECT_EQ(rig.tw.stats().maskedTrapRefs, 1u);
+    EXPECT_EQ(rig.tw.stats().lostMaskedMisses, 1u);
+    // The trap stays set: an unmasked reference still misses.
+    EXPECT_EQ(rig.touch(t, 0x400000, false), 246u);
+}
+
+TEST(Tapeworm, MaskedMissCompensated)
+{
+    TapewormConfig cfg = dmConfig();
+    cfg.compensateMasked = true;
+    Rig rig(cfg);
+    Task &t = rig.addTask(1, 0x400000);
+    rig.mapPage(t, 0x400, 10);
+
+    EXPECT_EQ(rig.touch(t, 0x400000, true), 246u);
+    EXPECT_EQ(rig.tw.stats().totalMisses(), 1u);
+    EXPECT_EQ(rig.tw.stats().maskedTrapRefs, 1u);
+    EXPECT_EQ(rig.tw.stats().lostMaskedMisses, 0u);
+}
+
+TEST(Tapeworm, ChargeCostCanBeDisabled)
+{
+    TapewormConfig cfg = dmConfig();
+    cfg.chargeCost = false;
+    Rig rig(cfg);
+    Task &t = rig.addTask(1, 0x400000);
+    rig.mapPage(t, 0x400, 10);
+    EXPECT_EQ(rig.touch(t, 0x400000), 0u);
+    EXPECT_EQ(rig.tw.stats().totalMisses(), 1u);
+}
+
+TEST(Tapeworm, DmaInvalidateReArms)
+{
+    Rig rig(dmConfig());
+    Task &t = rig.addTask(1, 0x400000);
+    rig.mapPage(t, 0x400, 10);
+    rig.touch(t, 0x400000);
+    rig.touch(t, 0x400010);
+    EXPECT_EQ(rig.tw.cache().validCount(), 2u);
+
+    rig.tw.onDmaInvalidate(10);
+    EXPECT_EQ(rig.tw.cache().validCount(), 0u);
+    EXPECT_EQ(rig.tw.stats().dmaFlushedLines, 2u);
+    // Both lines miss again.
+    EXPECT_EQ(rig.touch(t, 0x400000), 246u);
+    EXPECT_EQ(rig.touch(t, 0x400010), 246u);
+    EXPECT_TRUE(rig.tw.checkInvariants());
+}
+
+TEST(Tapeworm, DmaInvalidateOfForeignFrameIgnored)
+{
+    Rig rig(dmConfig());
+    rig.tw.onDmaInvalidate(99);
+    EXPECT_EQ(rig.tw.stats().dmaFlushedLines, 0u);
+}
+
+TEST(Tapeworm, LongLinesClearWholeLineTrap)
+{
+    TapewormConfig cfg;
+    cfg.cache = CacheConfig::icache(4096, 64); // 4-granule lines
+    Rig rig(cfg);
+    Task &t = rig.addTask(1, 0x400000);
+    rig.mapPage(t, 0x400, 10);
+
+    Cycles cost = rig.touch(t, 0x400000);
+    // Table 5 adjustments: longer lines cost more in the trap ops.
+    EXPECT_GT(cost, 246u);
+    // The whole 64-byte line is now resident.
+    EXPECT_EQ(rig.touch(t, 0x400030), 0u);
+    EXPECT_EQ(rig.touch(t, 0x400040), cost); // next line
+}
+
+TEST(Tapeworm, VirtualIndexingUsesVa)
+{
+    TapewormConfig cfg;
+    cfg.cache = CacheConfig::icache(4096, 16, 1, Indexing::Virtual);
+    Rig rig(cfg);
+    Task &t = rig.addTask(1, 0x400000);
+    rig.mapPage(t, 0x400, 10);
+    rig.mapPage(t, 0x401, 20); // far-away frame
+
+    rig.touch(t, 0x400000);
+    // Virtually adjacent pages never collide in a 4 KB virtual
+    // cache at different offsets... same offset in adjacent 4 KB
+    // pages DOES collide (cache size == page size).
+    EXPECT_EQ(rig.touch(t, 0x401000), 246u);
+    EXPECT_EQ(rig.touch(t, 0x400000), 246u); // was displaced
+    EXPECT_TRUE(rig.tw.checkInvariants());
+}
+
+TEST(Tapeworm, InvariantHoldsUnderRandomWorkout)
+{
+    TapewormConfig cfg = dmConfig(1024);
+    Rig rig(cfg);
+    Task &t = rig.addTask(1, 0x400000, 32 * 1024);
+    for (Vpn v = 0; v < 8; ++v)
+        rig.mapPage(t, 0x400 + v, static_cast<Pfn>(10 + v));
+
+    Rng rng(3);
+    for (int i = 0; i < 5000; ++i) {
+        Addr va = 0x400000 + rng.below(8 * 4096);
+        rig.touch(t, va & ~3ull);
+    }
+    EXPECT_TRUE(rig.tw.checkInvariants());
+    EXPECT_GT(rig.tw.stats().totalMisses(), 100u);
+}
+
+TEST(TapewormDeath, LineBelowGranuleRejected)
+{
+    PhysMem phys(1 << 20);
+    TapewormConfig cfg;
+    cfg.cache.sizeBytes = 4096;
+    cfg.cache.lineBytes = 8; // below the 16-byte ECC granule
+    cfg.cache.assoc = 1;
+    EXPECT_DEATH(Tapeworm(phys, cfg), "granule");
+}
+
+TEST(TapewormDeath, RemovingUnknownPage)
+{
+    Rig rig(dmConfig());
+    Task &t = rig.addTask(1, 0x400000);
+    EXPECT_DEATH(rig.tw.onPageRemoved(t, 0x400, 10, true),
+                 "unregistered");
+}
+
+} // namespace
+} // namespace tw

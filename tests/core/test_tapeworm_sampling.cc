@@ -1,0 +1,207 @@
+/** @file Tests of Tapeworm set sampling (Section 3.2). */
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/tapeworm.hh"
+#include "workload/loop_nest.hh"
+
+namespace tw
+{
+namespace
+{
+
+struct Rig
+{
+    explicit Rig(const TapewormConfig &cfg) : phys(1 << 20), tw(phys, cfg)
+    {
+        StreamParams p;
+        p.base = 0x400000;
+        p.textBytes = 64 * 1024;
+        p.ladder = {{256, 2.0}};
+        task = std::make_unique<Task>(
+            1, "t", Component::User,
+            std::make_unique<LoopNestStream>(p), 1);
+        task->attr.simulate = true;
+    }
+
+    void
+    mapPage(Vpn vpn, Pfn pfn)
+    {
+        task->pageTable.map(vpn, pfn);
+        tw.onPageMapped(*task, vpn, pfn, false);
+    }
+
+    Cycles
+    touch(Addr va)
+    {
+        Pfn pfn = task->pageTable.lookup(va);
+        Addr pa = static_cast<Addr>(pfn) * kHostPageBytes
+                  + (va % kHostPageBytes);
+        return tw.onRef(*task, va, pa, false);
+    }
+
+    PhysMem phys;
+    Tapeworm tw;
+    std::unique_ptr<Task> task;
+};
+
+TapewormConfig
+sampled(unsigned denom, std::uint64_t seed = 1)
+{
+    TapewormConfig cfg;
+    cfg.cache = CacheConfig::icache(4096);
+    cfg.sampleNum = 1;
+    cfg.sampleDenom = denom;
+    cfg.sampleSeed = seed;
+    return cfg;
+}
+
+TEST(Sampling, TrapsOnlyOnSampledSets)
+{
+    Rig rig(sampled(8));
+    rig.mapPage(0x400, 10);
+    // 256 lines per page, 256 sets, 1/8 sampled => 32 traps.
+    EXPECT_EQ(rig.phys.countTrapped(), 32u);
+}
+
+TEST(Sampling, NonSampledLinesNeverMiss)
+{
+    Rig rig(sampled(8));
+    rig.mapPage(0x400, 10);
+    Counter misses = 0;
+    for (Addr off = 0; off < 4096; off += 16)
+        misses += rig.touch(0x400000 + off) > 0;
+    EXPECT_EQ(misses, 32u); // exactly the sampled lines
+    EXPECT_EQ(rig.tw.stats().totalMisses(), 32u);
+}
+
+TEST(Sampling, EstimatorScalesByInverseFraction)
+{
+    Rig rig(sampled(8));
+    rig.mapPage(0x400, 10);
+    for (Addr off = 0; off < 4096; off += 16)
+        rig.touch(0x400000 + off);
+    EXPECT_DOUBLE_EQ(rig.tw.estimatedTotalMisses(), 32.0 * 8);
+    EXPECT_DOUBLE_EQ(rig.tw.estimatedMisses(Component::User),
+                     32.0 * 8);
+}
+
+TEST(Sampling, FullSamplingIsIdentity)
+{
+    Rig rig(sampled(1));
+    rig.mapPage(0x400, 10);
+    for (Addr off = 0; off < 4096; off += 16)
+        rig.touch(0x400000 + off);
+    EXPECT_EQ(rig.tw.stats().totalMisses(), 256u);
+    EXPECT_DOUBLE_EQ(rig.tw.estimatedTotalMisses(), 256.0);
+}
+
+TEST(Sampling, DifferentSeedsDifferentSamples)
+{
+    Rig a(sampled(8, 1));
+    Rig b(sampled(8, 2));
+    a.mapPage(0x400, 10);
+    b.mapPage(0x400, 10);
+    // Compare which offsets trap.
+    int diffs = 0;
+    for (Addr off = 0; off < 4096; off += 16) {
+        bool ta = a.phys.isTrapped(10 * 4096 + off);
+        bool tb = b.phys.isTrapped(10 * 4096 + off);
+        diffs += ta != tb;
+    }
+    EXPECT_GT(diffs, 0);
+}
+
+TEST(Sampling, SlowdownProportionalToFraction)
+{
+    // Total handler cycles must fall in proportion to sampling:
+    // the Figure 3 speed claim at the mechanism level.
+    Cycles full = 0, eighth = 0;
+    {
+        Rig rig(sampled(1));
+        rig.mapPage(0x400, 10);
+        for (int rep = 0; rep < 4; ++rep)
+            for (Addr off = 0; off < 4096; off += 4)
+                full += rig.touch(0x400000 + off);
+    }
+    {
+        Rig rig(sampled(8));
+        rig.mapPage(0x400, 10);
+        for (int rep = 0; rep < 4; ++rep)
+            for (Addr off = 0; off < 4096; off += 4)
+                eighth += rig.touch(0x400000 + off);
+    }
+    EXPECT_NEAR(static_cast<double>(eighth),
+                static_cast<double>(full) / 8.0,
+                static_cast<double>(full) * 0.02);
+}
+
+TEST(Sampling, InvariantHoldsWhileSampled)
+{
+    Rig rig(sampled(4));
+    rig.mapPage(0x400, 10);
+    rig.mapPage(0x401, 11);
+    Rng rng(5);
+    for (int i = 0; i < 3000; ++i)
+        rig.touch(0x400000 + (rng.below(8192) & ~3ull));
+    EXPECT_TRUE(rig.tw.checkInvariants());
+}
+
+TEST(Sampling, DmaReArmsOnlySampledLines)
+{
+    Rig rig(sampled(8));
+    rig.mapPage(0x400, 10);
+    for (Addr off = 0; off < 4096; off += 16)
+        rig.touch(0x400000 + off);
+    EXPECT_EQ(rig.phys.countTrapped(), 0u); // all sampled lines in
+    rig.tw.onDmaInvalidate(10);
+    EXPECT_EQ(rig.phys.countTrapped(), 32u); // re-armed, sample only
+    EXPECT_TRUE(rig.tw.checkInvariants());
+}
+
+TEST(Sampling, ConstantBitsModeTrapsCongruenceClass)
+{
+    TapewormConfig cfg = sampled(8, /*seed=*/3);
+    cfg.sampleMode = SampleMode::ConstantBits;
+    Rig rig(cfg);
+    rig.mapPage(0x400, 10);
+    // 256 sets / 8 = 32 traps, exactly the sets == 3 (mod 8): with
+    // physical indexing, frame 10's lines map to sets 0..255 in
+    // order, so offsets 3,11,19,... are trapped.
+    EXPECT_EQ(rig.phys.countTrapped(), 32u);
+    for (Addr off = 0; off < 4096; off += 16) {
+        bool trapped = rig.phys.isTrapped(10 * 4096 + off);
+        EXPECT_EQ(trapped, (off / 16) % 8 == 3) << off;
+    }
+}
+
+TEST(Sampling, ConstantBitsClassesCoverDisjointSets)
+{
+    Counter total = 0;
+    for (unsigned congruence = 0; congruence < 4; ++congruence) {
+        TapewormConfig cfg = sampled(4, congruence);
+        cfg.sampleMode = SampleMode::ConstantBits;
+        Rig rig(cfg);
+        rig.mapPage(0x400, 10);
+        for (Addr off = 0; off < 4096; off += 16)
+            rig.touch(0x400000 + off);
+        total += rig.tw.stats().totalMisses();
+    }
+    // The four classes partition the page's 256 lines.
+    EXPECT_EQ(total, 256u);
+}
+
+TEST(SamplingDeath, BadFraction)
+{
+    PhysMem phys(1 << 20);
+    TapewormConfig cfg;
+    cfg.cache = CacheConfig::icache(4096);
+    cfg.sampleNum = 3;
+    cfg.sampleDenom = 2;
+    EXPECT_DEATH(Tapeworm(phys, cfg), "sampling fraction");
+}
+
+} // namespace
+} // namespace tw

@@ -1,0 +1,266 @@
+/** @file Tests of TLB-mode Tapeworm (page-valid-bit traps). */
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/tapeworm_tlb.hh"
+#include "mem/cache.hh"
+#include "workload/loop_nest.hh"
+
+namespace tw
+{
+namespace
+{
+
+struct Rig
+{
+    explicit Rig(unsigned entries = 4, unsigned assoc = 0)
+    {
+        TapewormTlbConfig cfg;
+        cfg.tlb = CacheConfig::tlb(entries, assoc);
+        tlb = std::make_unique<TapewormTlb>(cfg);
+    }
+
+    Task &
+    addTask(TaskId tid, Addr base = 0x400000)
+    {
+        StreamParams p;
+        p.base = base;
+        p.textBytes = 64 * 1024;
+        p.ladder = {{256, 2.0}};
+        tasks.push_back(std::make_unique<Task>(
+            tid, csprintf("t%d", tid), Component::User,
+            std::make_unique<LoopNestStream>(p), 1));
+        tasks.back()->attr.simulate = true;
+        return *tasks.back();
+    }
+
+    void
+    mapPage(Task &t, Vpn vpn, Pfn pfn)
+    {
+        t.pageTable.map(vpn, pfn);
+        tlb->onPageMapped(t, vpn, pfn, false);
+    }
+
+    Cycles
+    touch(Task &t, Addr va, bool masked = false)
+    {
+        Pfn pfn = t.pageTable.lookup(va);
+        Addr pa = static_cast<Addr>(pfn) * kHostPageBytes
+                  + (va % kHostPageBytes);
+        return tlb->onRef(t, va, pa, masked);
+    }
+
+    std::unique_ptr<TapewormTlb> tlb;
+    std::vector<std::unique_ptr<Task>> tasks;
+};
+
+TEST(TapewormTlb, FirstUseOfPageMisses)
+{
+    Rig rig;
+    Task &t = rig.addTask(1);
+    rig.mapPage(t, 0x400, 10);
+    EXPECT_GT(rig.touch(t, 0x400000), 0u);
+    EXPECT_EQ(rig.tlb->stats().totalMisses(), 1u);
+    // Anywhere in the page now hits.
+    EXPECT_EQ(rig.touch(t, 0x400ffc), 0u);
+    EXPECT_TRUE(rig.tlb->checkInvariants());
+}
+
+TEST(TapewormTlb, CapacityEviction)
+{
+    Rig rig(2); // 2-entry fully-associative FIFO TLB
+    Task &t = rig.addTask(1);
+    for (Vpn v = 0; v < 3; ++v)
+        rig.mapPage(t, 0x400 + v, static_cast<Pfn>(10 + v));
+
+    EXPECT_GT(rig.touch(t, 0x400000), 0u); // page 0 in
+    EXPECT_GT(rig.touch(t, 0x401000), 0u); // page 1 in
+    EXPECT_GT(rig.touch(t, 0x402000), 0u); // evicts page 0 (FIFO)
+    EXPECT_EQ(rig.touch(t, 0x401000), 0u); // page 1 still resident
+    EXPECT_GT(rig.touch(t, 0x400000), 0u); // page 0 misses again
+    EXPECT_EQ(rig.tlb->stats().totalMisses(), 4u);
+    EXPECT_TRUE(rig.tlb->checkInvariants());
+}
+
+TEST(TapewormTlb, PerTaskAddressSpaces)
+{
+    Rig rig(8);
+    Task &a = rig.addTask(1);
+    Task &b = rig.addTask(2);
+    rig.mapPage(a, 0x400, 10);
+    rig.mapPage(b, 0x400, 10); // same frame, own address space
+    EXPECT_GT(rig.touch(a, 0x400000), 0u);
+    // TLB entries are per address space: b misses separately.
+    EXPECT_GT(rig.touch(b, 0x400000), 0u);
+    EXPECT_EQ(rig.tlb->stats().totalMisses(), 2u);
+}
+
+TEST(TapewormTlb, RemovePageFlushesEntry)
+{
+    Rig rig(4);
+    Task &t = rig.addTask(1);
+    rig.mapPage(t, 0x400, 10);
+    rig.touch(t, 0x400000);
+    EXPECT_EQ(rig.tlb->tlb().validCount(), 1u);
+    rig.tlb->onPageRemoved(t, 0x400, 10, true);
+    EXPECT_EQ(rig.tlb->tlb().validCount(), 0u);
+    EXPECT_TRUE(rig.tlb->checkInvariants());
+}
+
+TEST(TapewormTlb, UnsimulatedTaskInvisible)
+{
+    Rig rig;
+    Task &t = rig.addTask(1);
+    t.pageTable.map(0x400, 10); // mapped but never registered
+    EXPECT_EQ(rig.touch(t, 0x400000), 0u);
+    EXPECT_EQ(rig.tlb->stats().totalMisses(), 0u);
+}
+
+TEST(TapewormTlb, MaskedMissBehaviour)
+{
+    TapewormTlbConfig cfg;
+    cfg.tlb = CacheConfig::tlb(4);
+    cfg.compensateMasked = false;
+    TapewormTlb tlb(cfg);
+
+    StreamParams p;
+    p.base = 0x400000;
+    p.textBytes = 8192;
+    p.ladder = {{256, 2.0}};
+    Task t(1, "t", Component::Kernel,
+           std::make_unique<LoopNestStream>(p), 1);
+    t.pageTable.map(0x400, 10);
+    tlb.onPageMapped(t, 0x400, 10, false);
+
+    EXPECT_EQ(tlb.onRef(t, 0x400000, 10 * 4096, true), 0u);
+    EXPECT_EQ(tlb.stats().lostMaskedMisses, 1u);
+    EXPECT_GT(tlb.onRef(t, 0x400000, 10 * 4096, false), 0u);
+}
+
+TEST(TapewormTlb, SetAssociativeIndexing)
+{
+    Rig rig(4, 1); // 4 sets, direct-mapped TLB
+    Task &t = rig.addTask(1);
+    // vpns 0x400 and 0x404 share set (4 sets); 0x401 does not.
+    rig.mapPage(t, 0x400, 10);
+    rig.mapPage(t, 0x401, 11);
+    rig.mapPage(t, 0x404, 12);
+    rig.touch(t, 0x400000);
+    rig.touch(t, 0x401000);
+    rig.touch(t, 0x404000); // evicts vpn 0x400
+    EXPECT_EQ(rig.touch(t, 0x401000), 0u);
+    EXPECT_GT(rig.touch(t, 0x400000), 0u);
+    EXPECT_TRUE(rig.tlb->checkInvariants());
+}
+
+TEST(TapewormTlb, MissCostComesFromModel)
+{
+    TapewormTlbConfig cfg;
+    cfg.tlb = CacheConfig::tlb(4);
+    cfg.cost.tlbMissCycles = 123;
+    TapewormTlb tlb(cfg);
+    EXPECT_EQ(tlb.missCost(), 123u);
+}
+
+TEST(TapewormTlbDeath, RejectsSubHostPageSize)
+{
+    TapewormTlbConfig cfg;
+    cfg.tlb = CacheConfig::tlb(4, 0, 2048); // below the host page
+    EXPECT_DEATH(TapewormTlb{cfg}, "multiple of the host page");
+}
+
+TEST(TapewormTlbSuperpage, OneMissCoversWholeSuperpage)
+{
+    // 16 KB simulated pages = 4 host pages per TLB entry (the
+    // Table 2 "Variable Page Size" primitive, cf. [Talluri94]).
+    Rig rig;
+    rig.tlb = std::make_unique<TapewormTlb>([] {
+        TapewormTlbConfig cfg;
+        cfg.tlb = CacheConfig::tlb(4, 0, 16384);
+        return cfg;
+    }());
+    Task &t = rig.addTask(1);
+    for (Vpn v = 0; v < 4; ++v)
+        rig.mapPage(t, 0x400 + v, static_cast<Pfn>(10 + v));
+
+    EXPECT_GT(rig.touch(t, 0x400000), 0u); // first host page: miss
+    // The other three host pages of the superpage are now covered.
+    EXPECT_EQ(rig.touch(t, 0x401000), 0u);
+    EXPECT_EQ(rig.touch(t, 0x402000), 0u);
+    EXPECT_EQ(rig.touch(t, 0x403000), 0u);
+    EXPECT_EQ(rig.tlb->stats().totalMisses(), 1u);
+    EXPECT_TRUE(rig.tlb->checkInvariants());
+}
+
+TEST(TapewormTlbSuperpage, SuperpagesReduceMissesOnSequentialSweep)
+{
+    auto sweep_misses = [](std::uint32_t page_bytes) {
+        Rig rig;
+        rig.tlb = std::make_unique<TapewormTlb>([&] {
+            TapewormTlbConfig cfg;
+            cfg.tlb = CacheConfig::tlb(2, 0, page_bytes);
+            return cfg;
+        }());
+        Task &t = rig.addTask(1);
+        for (Vpn v = 0; v < 16; ++v)
+            rig.mapPage(t, 0x400 + v, static_cast<Pfn>(10 + v));
+        for (int round = 0; round < 3; ++round) {
+            for (Vpn v = 0; v < 16; ++v)
+                rig.touch(t, 0x400000 + v * kHostPageBytes);
+        }
+        EXPECT_TRUE(rig.tlb->checkInvariants());
+        return rig.tlb->stats().totalMisses();
+    };
+    // 2 entries x 4K pages thrash on a 64K sweep; 2 x 32K cover it.
+    Counter small_pages = sweep_misses(4096);
+    Counter super_pages = sweep_misses(32768);
+    EXPECT_GT(small_pages, super_pages * 4);
+}
+
+TEST(TapewormTlbSuperpage, LateMappedSubpageJoinsResidentEntry)
+{
+    // Map only the first host page of a superpage, make it
+    // resident, then map a sibling: the sibling must be covered by
+    // the existing translation — no trap, no duplicate TLB entry.
+    Rig rig;
+    rig.tlb = std::make_unique<TapewormTlb>([] {
+        TapewormTlbConfig cfg;
+        cfg.tlb = CacheConfig::tlb(4, 0, 16384);
+        return cfg;
+    }());
+    Task &t = rig.addTask(1);
+    rig.mapPage(t, 0x400, 10);
+    EXPECT_GT(rig.touch(t, 0x400000), 0u);
+    EXPECT_EQ(rig.tlb->tlb().validCount(), 1u);
+
+    rig.mapPage(t, 0x401, 11); // sibling under the same superpage
+    EXPECT_EQ(rig.touch(t, 0x401000), 0u); // covered: no miss
+    EXPECT_EQ(rig.tlb->tlb().validCount(), 1u); // no duplicate
+    EXPECT_EQ(rig.tlb->stats().totalMisses(), 1u);
+    EXPECT_TRUE(rig.tlb->checkInvariants());
+}
+
+TEST(TapewormTlbSuperpage, EvictionReArmsAllSubpages)
+{
+    Rig rig;
+    rig.tlb = std::make_unique<TapewormTlb>([] {
+        TapewormTlbConfig cfg;
+        cfg.tlb = CacheConfig::tlb(1, 0, 8192); // one 8K entry
+        return cfg;
+    }());
+    Task &t = rig.addTask(1);
+    for (Vpn v = 0; v < 4; ++v)
+        rig.mapPage(t, 0x400 + v, static_cast<Pfn>(10 + v));
+
+    EXPECT_GT(rig.touch(t, 0x400000), 0u); // superpage 0 resident
+    EXPECT_EQ(rig.touch(t, 0x401000), 0u);
+    EXPECT_GT(rig.touch(t, 0x402000), 0u); // superpage 1 evicts 0
+    // Both host pages of superpage 0 trap again.
+    EXPECT_GT(rig.touch(t, 0x401000), 0u);
+    EXPECT_TRUE(rig.tlb->checkInvariants());
+}
+
+} // namespace
+} // namespace tw

@@ -1,0 +1,92 @@
+/** @file Tests of the time-dilation correction model. */
+
+#include <gtest/gtest.h>
+
+#include "base/random.hh"
+#include "harness/dilation.hh"
+
+namespace tw
+{
+namespace
+{
+
+/** Generate points from a known curve m0*(1 + a*d/(b+d)). */
+std::vector<std::pair<double, double>>
+synthetic(double m0, double a, double b,
+          const std::vector<double> &dilations, double noise = 0.0,
+          std::uint64_t seed = 1)
+{
+    Rng rng(seed);
+    std::vector<std::pair<double, double>> pts;
+    for (double d : dilations) {
+        double m = m0 * (1.0 + a * d / (b + d));
+        if (noise > 0.0)
+            m *= 1.0 + noise * (rng.uniform() - 0.5);
+        pts.emplace_back(d, m);
+    }
+    return pts;
+}
+
+TEST(Dilation, RecoversExactCurve)
+{
+    auto pts = synthetic(100.0, 0.2, 2.0, {0.5, 1, 2, 4, 8, 16});
+    DilationModel model = DilationModel::fit(pts);
+    EXPECT_NEAR(model.m0(), 100.0, 1.0);
+    EXPECT_NEAR(model.saturationInflation(), 0.2, 0.03);
+    EXPECT_LT(model.rmsError(), 0.01);
+}
+
+TEST(Dilation, PredictMatchesSamples)
+{
+    auto pts = synthetic(50.0, 0.15, 1.0, {0.5, 1, 3, 9});
+    DilationModel model = DilationModel::fit(pts);
+    for (const auto &[d, m] : pts)
+        EXPECT_NEAR(model.predict(d), m, m * 0.02);
+}
+
+TEST(Dilation, CorrectRemovesInflation)
+{
+    // The paper's use case: a measurement at slowdown 9 should be
+    // adjustable back to the undilated truth.
+    double m0 = 90.56; // Figure 4's base point (millions)
+    auto pts =
+        synthetic(m0, 0.16, 2.5, {0.43, 0.96, 2.08, 4.42, 9.29});
+    DilationModel model = DilationModel::fit(pts);
+    double measured_at_9 = pts.back().second;
+    EXPECT_GT(measured_at_9, m0 * 1.1); // visibly inflated
+    EXPECT_NEAR(model.correct(measured_at_9, 9.29), m0, m0 * 0.02);
+}
+
+TEST(Dilation, ToleratesNoise)
+{
+    auto pts = synthetic(200.0, 0.25, 1.5,
+                         {0.25, 0.5, 1, 2, 4, 8, 12}, 0.04, 9);
+    DilationModel model = DilationModel::fit(pts);
+    EXPECT_NEAR(model.m0(), 200.0, 200.0 * 0.06);
+}
+
+TEST(Dilation, ZeroDilationIsIdentity)
+{
+    auto pts = synthetic(10.0, 0.3, 1.0, {1, 2, 4});
+    DilationModel model = DilationModel::fit(pts);
+    EXPECT_DOUBLE_EQ(model.correct(123.0, 0.0), 123.0);
+    EXPECT_NEAR(model.predict(0.0), model.m0(), 1e-9);
+}
+
+TEST(Dilation, FlatDataFitsFlat)
+{
+    // No dilation effect: correction must be (near) a no-op.
+    std::vector<std::pair<double, double>> pts = {
+        {0.5, 42.0}, {2.0, 42.0}, {8.0, 42.0}};
+    DilationModel model = DilationModel::fit(pts);
+    EXPECT_NEAR(model.correct(42.0, 8.0), 42.0, 0.5);
+}
+
+TEST(DilationDeath, NeedsThreePoints)
+{
+    std::vector<std::pair<double, double>> two = {{1, 10}, {2, 11}};
+    EXPECT_DEATH(DilationModel::fit(two), "three points");
+}
+
+} // namespace
+} // namespace tw

@@ -1,0 +1,163 @@
+/** @file Tests of the fan-out MuxClient (split-structure runs). */
+
+#include <gtest/gtest.h>
+
+#include "core/tapeworm.hh"
+#include "core/tapeworm_tlb.hh"
+#include "harness/mux_client.hh"
+#include "harness/oracle.hh"
+#include "os/system.hh"
+#include "workload/spec.hh"
+
+namespace tw
+{
+namespace
+{
+
+TEST(Mux, CostsSumAcrossChildren)
+{
+    struct Fixed : public SimClient
+    {
+        explicit Fixed(Cycles c) : cost(c) {}
+        Cycles
+        onRef(const Task &, Addr, Addr, bool, AccessKind) override
+        {
+            return cost;
+        }
+        Cycles cost;
+    };
+    Fixed a(3), b(7);
+    MuxClient mux;
+    mux.add(&a);
+    mux.add(&b);
+
+    WorkloadSpec wl = makeWorkload("espresso", 8000);
+    SystemConfig cfg;
+    System plain(cfg, wl);
+    Cycles normal = plain.run().cycles;
+    System muxed(cfg, wl);
+    muxed.setClient(&mux);
+    Cycles with = muxed.run().cycles;
+    // 10 cycles per reference (fetch + data refs) on top of CPI 2.
+    EXPECT_GT(with, normal * 4);
+}
+
+TEST(Mux, SplitIAndDCachesEqualTheirSoloRuns)
+{
+    // One run driving an I-cache Tapeworm and a D-cache Tapeworm
+    // (each on its own trap plane — the per-structure trap bits
+    // Section 4.3 wishes hardware provided) must count the same
+    // misses as two separate cost-free solo runs.
+    WorkloadSpec wl = makeWorkload("espresso", 4000);
+    SystemConfig cfg;
+    cfg.trialSeed = 5;
+
+    auto solo = [&](SimCacheKind kind) {
+        System machine(cfg, wl);
+        TapewormConfig tw_cfg;
+        tw_cfg.cache = CacheConfig::icache(4096);
+        tw_cfg.kind = kind;
+        tw_cfg.chargeCost = false;
+        Tapeworm tapeworm(machine.physMem(), tw_cfg);
+        machine.setClient(&tapeworm);
+        machine.run();
+        return tapeworm.stats().totalMisses();
+    };
+    Counter solo_i = solo(SimCacheKind::Instruction);
+    Counter solo_d = solo(SimCacheKind::Data);
+
+    System machine(cfg, wl);
+    PhysMem iplane(machine.physMem().sizeBytes());
+    PhysMem dplane(machine.physMem().sizeBytes());
+    TapewormConfig icfg, dcfg;
+    icfg.cache = CacheConfig::icache(4096);
+    icfg.kind = SimCacheKind::Instruction;
+    icfg.chargeCost = false;
+    dcfg.cache = CacheConfig::icache(4096);
+    dcfg.kind = SimCacheKind::Data;
+    dcfg.chargeCost = false;
+    Tapeworm icache(iplane, icfg);
+    Tapeworm dcache(dplane, dcfg);
+    MuxClient mux;
+    mux.add(&icache);
+    mux.add(&dcache);
+    machine.setClient(&mux);
+    machine.run();
+
+    EXPECT_EQ(icache.stats().totalMisses(), solo_i);
+    EXPECT_EQ(dcache.stats().totalMisses(), solo_d);
+    EXPECT_TRUE(icache.checkInvariants());
+    EXPECT_TRUE(dcache.checkInvariants());
+}
+
+TEST(Mux, CacheAndTlbSimultaneously)
+{
+    WorkloadSpec wl = makeWorkload("ousterhout", 4000);
+    SystemConfig cfg;
+    cfg.trialSeed = 2;
+    System machine(cfg, wl);
+
+    PhysMem plane(machine.physMem().sizeBytes());
+    TapewormConfig ccfg;
+    ccfg.cache = CacheConfig::icache(4096);
+    ccfg.chargeCost = false;
+    Tapeworm cache(plane, ccfg);
+    TapewormTlbConfig tcfg;
+    tcfg.tlb = CacheConfig::tlb(32);
+    tcfg.chargeCost = false;
+    TapewormTlb tlb(tcfg);
+
+    MuxClient mux;
+    mux.add(&cache);
+    mux.add(&tlb);
+    machine.setClient(&mux);
+    machine.run();
+
+    EXPECT_GT(cache.stats().totalMisses(), 0u);
+    EXPECT_GT(tlb.stats().totalMisses(), 0u);
+    EXPECT_TRUE(cache.checkInvariants());
+    EXPECT_TRUE(tlb.checkInvariants());
+}
+
+TEST(Mux, PageHooksReachAllChildren)
+{
+    struct CountPages : public SimClient
+    {
+        Cycles
+        onRef(const Task &, Addr, Addr, bool, AccessKind) override
+        {
+            return 0;
+        }
+        void
+        onPageMapped(const Task &, Vpn, Pfn, bool) override
+        {
+            ++mapped;
+        }
+        void
+        onPageRemoved(const Task &, Vpn, Pfn, bool) override
+        {
+            ++removed;
+        }
+        void onDmaInvalidate(Pfn) override { ++dma; }
+        Counter mapped = 0, removed = 0, dma = 0;
+    };
+    CountPages a, b;
+    MuxClient mux;
+    mux.add(&a);
+    mux.add(&b);
+
+    WorkloadSpec wl = makeWorkload("sdet", 8000);
+    SystemConfig cfg;
+    System machine(cfg, wl);
+    machine.setClient(&mux);
+    machine.run();
+
+    EXPECT_GT(a.mapped, 0u);
+    EXPECT_GT(a.removed, 0u);
+    EXPECT_EQ(a.mapped, b.mapped);
+    EXPECT_EQ(a.removed, b.removed);
+    EXPECT_EQ(a.dma, b.dma);
+}
+
+} // namespace
+} // namespace tw

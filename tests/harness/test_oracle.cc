@@ -1,0 +1,113 @@
+/** @file Tests of the zero-cost oracle client. */
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "harness/oracle.hh"
+#include "workload/loop_nest.hh"
+
+namespace tw
+{
+namespace
+{
+
+std::unique_ptr<Task>
+makeTask(TaskId tid, Component comp = Component::User)
+{
+    StreamParams p;
+    p.base = 0x400000;
+    p.textBytes = 64 * 1024;
+    p.ladder = {{256, 2.0}};
+    auto t = std::make_unique<Task>(
+        tid, "t", comp, std::make_unique<LoopNestStream>(p), 1);
+    t->attr.simulate = true;
+    return t;
+}
+
+TEST(Oracle, CostsNothing)
+{
+    OracleClient oracle(CacheConfig::icache(4096), 256);
+    auto t = makeTask(1);
+    oracle.onPageMapped(*t, 0x400, 10, false);
+    EXPECT_EQ(oracle.onRef(*t, 0x400000, 10 * 4096, false), 0u);
+    EXPECT_EQ(oracle.totalMisses(), 1u);
+}
+
+TEST(Oracle, IgnoresUnregisteredFrames)
+{
+    OracleClient oracle(CacheConfig::icache(4096), 256);
+    auto t = makeTask(1);
+    oracle.onRef(*t, 0x400000, 10 * 4096, false);
+    EXPECT_EQ(oracle.totalMisses(), 0u);
+}
+
+TEST(Oracle, SeesMaskedReferences)
+{
+    // A perfect observer is immune to interrupt masking.
+    OracleClient oracle(CacheConfig::icache(4096), 256);
+    auto t = makeTask(1);
+    oracle.onPageMapped(*t, 0x400, 10, false);
+    oracle.onRef(*t, 0x400000, 10 * 4096, /*masked=*/true);
+    EXPECT_EQ(oracle.totalMisses(), 1u);
+}
+
+TEST(Oracle, CountsPerComponent)
+{
+    OracleClient oracle(CacheConfig::icache(4096), 256);
+    auto u = makeTask(1, Component::User);
+    auto k = makeTask(0, Component::Kernel);
+    oracle.onPageMapped(*u, 0x400, 10, false);
+    oracle.onPageMapped(*k, 0x400, 11, false);
+    oracle.onRef(*u, 0x400000, 10 * 4096, false);
+    oracle.onRef(*k, 0x400000, 11 * 4096, false);
+    EXPECT_EQ(oracle.misses(Component::User), 1u);
+    EXPECT_EQ(oracle.misses(Component::Kernel), 1u);
+}
+
+TEST(Oracle, RemovalFlushesOnLastMapping)
+{
+    OracleClient oracle(CacheConfig::icache(4096), 256);
+    auto a = makeTask(1);
+    auto b = makeTask(2);
+    oracle.onPageMapped(*a, 0x400, 10, false);
+    oracle.onPageMapped(*b, 0x400, 10, true);
+    oracle.onRef(*a, 0x400000, 10 * 4096, false);
+    EXPECT_EQ(oracle.cache().validCount(), 1u);
+
+    oracle.onPageRemoved(*a, 0x400, 10, false);
+    EXPECT_EQ(oracle.cache().validCount(), 1u); // b still maps it
+    // Frame still registered through b: references still simulate.
+    oracle.onRef(*b, 0x400010, 10 * 4096 + 16, false);
+    EXPECT_EQ(oracle.totalMisses(), 2u);
+
+    oracle.onPageRemoved(*b, 0x400, 10, true);
+    EXPECT_EQ(oracle.cache().validCount(), 0u);
+    oracle.onRef(*b, 0x400000, 10 * 4096, false);
+    EXPECT_EQ(oracle.totalMisses(), 2u); // unregistered now
+}
+
+TEST(Oracle, DmaInvalidateFlushes)
+{
+    OracleClient oracle(CacheConfig::icache(4096), 256);
+    auto t = makeTask(1);
+    oracle.onPageMapped(*t, 0x400, 10, false);
+    oracle.onRef(*t, 0x400000, 10 * 4096, false);
+    oracle.onDmaInvalidate(10);
+    oracle.onRef(*t, 0x400000, 10 * 4096, false);
+    EXPECT_EQ(oracle.totalMisses(), 2u);
+}
+
+TEST(Oracle, SamplingMatchesEstimator)
+{
+    OracleClient oracle(CacheConfig::icache(4096), 256, 1, 8, 42);
+    auto t = makeTask(1);
+    oracle.onPageMapped(*t, 0x400, 10, false);
+    for (Addr off = 0; off < 4096; off += 16)
+        oracle.onRef(*t, 0x400000 + off, 10 * 4096 + off, false);
+    EXPECT_EQ(oracle.totalMisses(), 32u);
+    EXPECT_DOUBLE_EQ(oracle.estimatedTotalMisses(), 256.0);
+}
+
+} // namespace
+} // namespace tw

@@ -1,0 +1,135 @@
+/** @file Tests of the experiment runner and slowdown computation. */
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.hh"
+#include "harness/trials.hh"
+
+namespace tw
+{
+namespace
+{
+
+RunSpec
+tapewormSpec(const char *workload = "espresso",
+             unsigned scale = 4000)
+{
+    RunSpec spec;
+    spec.workload = makeWorkload(workload, scale);
+    spec.sim = SimKind::Tapeworm;
+    spec.tw.cache = CacheConfig::icache(4096);
+    return spec;
+}
+
+TEST(Runner, TapewormRunProducesMisses)
+{
+    RunOutcome out = Runner::runOne(tapewormSpec(), 1);
+    EXPECT_GT(out.estMisses, 0.0);
+    EXPECT_EQ(out.rawMisses, out.estMisses); // no sampling
+    EXPECT_GT(out.run.totalInstr(), 0u);
+    EXPECT_GT(out.missRatioTotal(), 0.0);
+    EXPECT_LT(out.missRatioTotal(), 0.3);
+}
+
+TEST(Runner, SlowdownIsPositiveAndSane)
+{
+    Runner::clearBaselineCache();
+    RunOutcome out = Runner::runWithSlowdown(tapewormSpec(), 1);
+    EXPECT_GT(out.slowdown, 0.0);
+    EXPECT_LT(out.slowdown, 40.0);
+    EXPECT_GT(out.normalCycles, 0u);
+    EXPECT_GT(out.run.cycles, out.normalCycles);
+}
+
+TEST(Runner, BaselineIsMemoized)
+{
+    Runner::clearBaselineCache();
+    RunSpec spec = tapewormSpec();
+    RunOutcome a = Runner::runWithSlowdown(spec, 7);
+    RunOutcome b = Runner::runWithSlowdown(spec, 7);
+    EXPECT_EQ(a.normalCycles, b.normalCycles);
+    EXPECT_DOUBLE_EQ(a.slowdown, b.slowdown);
+}
+
+TEST(Runner, DeterministicPerSeed)
+{
+    RunSpec spec = tapewormSpec();
+    RunOutcome a = Runner::runOne(spec, 5);
+    RunOutcome b = Runner::runOne(spec, 5);
+    EXPECT_EQ(a.estMisses, b.estMisses);
+    EXPECT_EQ(a.run.cycles, b.run.cycles);
+}
+
+TEST(Runner, OracleAgreesWithUnsampledTapeworm)
+{
+    // Direct-mapped + full sampling + compensation + no cost
+    // charging (so both machines keep identical timing): the
+    // trap-driven simulator must equal the oracle exactly.
+    RunSpec spec = tapewormSpec();
+    spec.tw.chargeCost = false;
+    RunOutcome trap = Runner::runOne(spec, 3);
+    spec.sim = SimKind::Oracle;
+    RunOutcome oracle = Runner::runOne(spec, 3);
+    EXPECT_DOUBLE_EQ(trap.estMisses, oracle.estMisses);
+}
+
+TEST(Runner, TraceDrivenRuns)
+{
+    RunSpec spec = tapewormSpec();
+    spec.sim = SimKind::TraceDriven;
+    spec.c2k.cache = CacheConfig::icache(4096, 16, 1,
+                                         Indexing::Virtual);
+    RunOutcome out = Runner::runOne(spec, 3);
+    EXPECT_GT(out.estMisses, 0.0);
+    // Pixie only sees the user task.
+    EXPECT_EQ(out.missesByComp[static_cast<unsigned>(
+                  Component::Kernel)],
+              0.0);
+}
+
+TEST(Runner, SampledRunScalesEstimate)
+{
+    RunSpec spec = tapewormSpec();
+    spec.tw.sampleNum = 1;
+    spec.tw.sampleDenom = 8;
+    RunOutcome out = Runner::runOne(spec, 3);
+    EXPECT_DOUBLE_EQ(out.estMisses, out.rawMisses * 8.0);
+}
+
+TEST(Trials, RunsRequestedCount)
+{
+    RunSpec spec = tapewormSpec("espresso", 8000);
+    auto outcomes = runTrials(spec, 4, 100);
+    EXPECT_EQ(outcomes.size(), 4u);
+    Summary s = missSummary(outcomes);
+    EXPECT_EQ(s.n, 4u);
+    EXPECT_GT(s.mean, 0.0);
+}
+
+TEST(Trials, DistinctSeedsProduceVariation)
+{
+    // Physically-indexed cache + random page allocation => misses
+    // vary across trials (the Table 9 effect).
+    RunSpec spec = tapewormSpec("mpeg_play", 4000);
+    spec.tw.cache = CacheConfig::icache(16384, 16, 1,
+                                        Indexing::Physical);
+    auto outcomes = runTrials(spec, 4, 55);
+    Summary s = missSummary(outcomes);
+    EXPECT_GT(s.range, 0.0);
+}
+
+TEST(Trials, MeanOfHelper)
+{
+    RunSpec spec = tapewormSpec("espresso", 8000);
+    auto outcomes = runTrials(spec, 3, 9);
+    double mean = meanOf(outcomes, [](const RunOutcome &o) {
+        return o.estMisses;
+    });
+    EXPECT_GT(mean, 0.0);
+    EXPECT_EQ(meanOf(std::vector<RunOutcome>{},
+                     [](const RunOutcome &o) { return o.estMisses; }),
+              0.0);
+}
+
+} // namespace
+} // namespace tw

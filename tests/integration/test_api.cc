@@ -1,0 +1,110 @@
+/**
+ * @file Public-API smoke tests through the umbrella header — the
+ * flows a downstream adopter would write first.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tapeworm.hh"
+
+namespace tw
+{
+namespace
+{
+
+TEST(PublicApi, UmbrellaHeaderCoversTheQuickstartFlow)
+{
+    RunSpec spec;
+    spec.workload = makeWorkload("espresso", 8000);
+    spec.sim = SimKind::Tapeworm;
+    spec.tw.cache = CacheConfig::icache(4096);
+    RunOutcome out = Runner::runWithSlowdown(spec, 1);
+    EXPECT_GT(out.estMisses, 0.0);
+    EXPECT_GT(out.slowdown, 0.0);
+    EXPECT_GT(out.mpi(), 0.0);
+    EXPECT_DOUBLE_EQ(out.mpi(), out.missRatioTotal() * 1000.0);
+}
+
+TEST(PublicApi, ManualSystemAssembly)
+{
+    // The lower-level flow: build the machine, attach a simulator
+    // by hand, run, inspect.
+    WorkloadSpec wl = makeWorkload("eqntott", 8000);
+    SystemConfig cfg;
+    cfg.trialSeed = 4;
+    System system(cfg, wl);
+
+    TapewormConfig tw_cfg;
+    tw_cfg.cache = CacheConfig::icache(2048);
+    Tapeworm tapeworm(system.physMem(), tw_cfg);
+    system.setClient(&tapeworm);
+    RunResult r = system.run();
+
+    EXPECT_GT(r.totalInstr(), 0u);
+    EXPECT_GT(tapeworm.stats().totalMisses(), 0u);
+    EXPECT_TRUE(tapeworm.checkInvariants());
+}
+
+TEST(PublicApi, SuiteEnumerable)
+{
+    auto suite = makeSuite(8000);
+    EXPECT_EQ(suite.size(), suiteNames().size());
+    for (const auto &wl : suite)
+        EXPECT_GT(wl.totalInstr, 0u);
+}
+
+TEST(PublicApi, ConcurrencyClampedToTaskCount)
+{
+    WorkloadSpec wl = makeWorkload("espresso", 8000);
+    wl.concurrency = 99; // more than taskCount (1)
+    SystemConfig cfg;
+    System system(cfg, wl);
+    RunResult r = system.run();
+    EXPECT_EQ(r.tasksCreated, 1u);
+}
+
+TEST(PublicApi, BudgetRemainderDistributed)
+{
+    // userInstr not divisible by taskCount: totals still add up to
+    // within taskCount instructions.
+    WorkloadSpec wl = makeWorkload("ousterhout", 8000);
+    SystemConfig cfg;
+    System system(cfg, wl);
+    RunResult r = system.run();
+    Counter user = r.instr[static_cast<unsigned>(Component::User)];
+    Counter expect = (wl.userInstr() / wl.taskCount) * wl.taskCount;
+    EXPECT_EQ(user, expect);
+}
+
+TEST(PublicApi, DataPagesArePrivatePerTask)
+{
+    // Two tasks of the same binary share text frames but never data
+    // frames (driven directly through the VM).
+    WorkloadSpec wl = makeWorkload("ousterhout", 2000);
+    const StreamParams &bin = wl.binaries[0];
+    const StreamParams &data = wl.binaryData[0];
+
+    Vm vm(512, AllocPolicy::Sequential, 1, 0);
+    auto make = [&](TaskId tid) {
+        return std::make_unique<Task>(
+            tid, csprintf("t%d", tid), Component::User,
+            std::make_unique<LoopNestStream>(bin),
+            std::make_unique<LoopNestStream>(data), 1);
+    };
+    auto a = make(5);
+    auto b = make(6);
+
+    Vpn text_vpn = bin.base / kHostPageBytes;
+    Vpn data_vpn = data.base / kHostPageBytes;
+    Pfn text0 = vm.fault(*a, text_vpn);
+    Pfn text1 = vm.fault(*b, text_vpn);
+    Pfn data0 = vm.fault(*a, data_vpn);
+    Pfn data1 = vm.fault(*b, data_vpn);
+    EXPECT_EQ(text0, text1); // shared text
+    EXPECT_NE(data0, data1); // private data
+    EXPECT_EQ(vm.refCount(text0), 2u);
+    EXPECT_EQ(vm.refCount(data0), 1u);
+}
+
+} // namespace
+} // namespace tw

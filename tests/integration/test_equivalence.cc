@@ -1,0 +1,181 @@
+/**
+ * @file The core validation property (Section 4.2, DESIGN.md
+ * invariant 1): trap-driven simulation produces the same miss
+ * counts as direct (trace-style) simulation of the same run,
+ * across cache geometries, indexings and components.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.hh"
+
+namespace tw
+{
+namespace
+{
+
+struct Geometry
+{
+    std::uint64_t sizeBytes;
+    std::uint32_t lineBytes;
+    std::uint32_t assoc;
+    Indexing indexing;
+    ReplPolicy policy;
+};
+
+std::string
+geomName(const ::testing::TestParamInfo<Geometry> &info)
+{
+    const Geometry &g = info.param;
+    return csprintf(
+        "%lluB_line%u_w%u_%s_%s",
+        static_cast<unsigned long long>(g.sizeBytes), g.lineBytes,
+        g.assoc, g.indexing == Indexing::Virtual ? "virt" : "phys",
+        replPolicyName(g.policy));
+}
+
+class TrapVsOracle : public ::testing::TestWithParam<Geometry>
+{
+};
+
+TEST_P(TrapVsOracle, IdenticalMissCounts)
+{
+    const Geometry &g = GetParam();
+    RunSpec spec;
+    spec.workload = makeWorkload("mpeg_play", 4000);
+    spec.tw.cache = CacheConfig::icache(g.sizeBytes, g.lineBytes,
+                                        g.assoc, g.indexing);
+    spec.tw.cache.policy = g.policy;
+    spec.tw.cache.seed = 42;
+    spec.tw.sampleSeed = 9; // pin so Oracle and Tapeworm agree
+
+    spec.sim = SimKind::Tapeworm;
+    RunOutcome trap = Runner::runOne(spec, 17);
+    spec.sim = SimKind::Oracle;
+    RunOutcome oracle = Runner::runOne(spec, 17);
+
+    // Note: the trap-driven run dilates time (handler cycles), so
+    // tick-driven kernel activity differs slightly between the two
+    // runs. Disabling cost charging makes the machines identical.
+    RunSpec free_spec = spec;
+    free_spec.sim = SimKind::Tapeworm;
+    free_spec.tw.chargeCost = false;
+    RunOutcome trap_free = Runner::runOne(free_spec, 17);
+
+    EXPECT_DOUBLE_EQ(trap_free.estMisses, oracle.estMisses);
+    for (unsigned c = 0; c < kNumComponents; ++c) {
+        EXPECT_DOUBLE_EQ(trap_free.missesByComp[c],
+                         oracle.missesByComp[c])
+            << componentName(static_cast<Component>(c));
+    }
+    // With cost charging the counts shift via time dilation (the
+    // Figure 4 bias, up to ~15% for small caches under all-activity
+    // load) but must remain in the same ballpark.
+    EXPECT_NEAR(trap.estMisses, oracle.estMisses,
+                oracle.estMisses * 0.20 + 50);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, TrapVsOracle,
+    ::testing::Values(
+        Geometry{1024, 16, 1, Indexing::Physical, ReplPolicy::FIFO},
+        Geometry{4096, 16, 1, Indexing::Physical, ReplPolicy::FIFO},
+        Geometry{4096, 16, 1, Indexing::Virtual, ReplPolicy::FIFO},
+        Geometry{16384, 16, 1, Indexing::Physical, ReplPolicy::FIFO},
+        Geometry{8192, 32, 1, Indexing::Physical, ReplPolicy::FIFO},
+        Geometry{8192, 64, 1, Indexing::Virtual, ReplPolicy::FIFO},
+        Geometry{4096, 16, 2, Indexing::Physical, ReplPolicy::FIFO},
+        Geometry{4096, 16, 4, Indexing::Virtual, ReplPolicy::FIFO},
+        Geometry{16384, 32, 2, Indexing::Physical, ReplPolicy::FIFO},
+        Geometry{4096, 16, 2, Indexing::Physical,
+                 ReplPolicy::Random},
+        Geometry{8192, 16, 4, Indexing::Virtual, ReplPolicy::Random}),
+    geomName);
+
+/** Sampling equivalence: with the same pinned sample, trap-driven
+ *  raw misses equal oracle raw misses. */
+TEST(SampledEquivalence, SameSampleSameMisses)
+{
+    RunSpec spec;
+    spec.workload = makeWorkload("mpeg_play", 4000);
+    spec.tw.cache = CacheConfig::icache(4096);
+    spec.tw.sampleNum = 1;
+    spec.tw.sampleDenom = 8;
+    spec.tw.sampleSeed = 1234;
+    spec.tw.chargeCost = false;
+
+    spec.sim = SimKind::Tapeworm;
+    RunOutcome trap = Runner::runOne(spec, 3);
+    spec.sim = SimKind::Oracle;
+    RunOutcome oracle = Runner::runOne(spec, 3);
+    EXPECT_DOUBLE_EQ(trap.rawMisses, oracle.rawMisses);
+}
+
+/**
+ * The paper's own validation: "the Tapeworm miss counts for the
+ * user portion of the workload were nearly identical to those
+ * reported by Cache2000" for single-task workloads (Section 4.2).
+ */
+TEST(TraceValidation, PixieCache2000MatchesTapewormUserPortion)
+{
+    for (const char *name : {"espresso", "mpeg_play", "xlisp"}) {
+        RunSpec spec;
+        spec.workload = makeWorkload(name, 2000);
+        spec.sys.scope = SimScope::userOnly();
+        CacheConfig cache =
+            CacheConfig::icache(4096, 16, 1, Indexing::Virtual);
+
+        spec.sim = SimKind::Tapeworm;
+        spec.tw.cache = cache;
+        spec.tw.chargeCost = false;
+        RunOutcome trap = Runner::runOne(spec, 21);
+
+        spec.sim = SimKind::TraceDriven;
+        spec.c2k.cache = cache;
+        spec.pixie.genCycles = 0;
+        spec.c2k.hitCycles = 0;
+        spec.c2k.missExtraCycles = 0;
+        RunOutcome trace = Runner::runOne(spec, 21);
+
+        // "Nearly identical" (the paper's wording): the residual
+        // gap is real — Tapeworm sees DMA cache invalidations that
+        // an address trace cannot carry.
+        EXPECT_NEAR(trace.estMisses, trap.estMisses,
+                    trap.estMisses * 0.02)
+            << name;
+
+        // With DMA recycling disabled the two are bit-identical.
+        RunSpec exact = spec;
+        exact.sys.dmaFlushPeriod = 0;
+        exact.sim = SimKind::Tapeworm;
+        exact.tw.cache = cache;
+        exact.tw.chargeCost = false;
+        RunOutcome trap2 = Runner::runOne(exact, 21);
+        exact.sim = SimKind::TraceDriven;
+        RunOutcome trace2 = Runner::runOne(exact, 21);
+        EXPECT_DOUBLE_EQ(trace2.estMisses, trap2.estMisses) << name;
+    }
+}
+
+/** Multi-task sharing: misses with shared text never exceed the
+ *  sum of isolated per-task misses. */
+TEST(SharedText, SharingNeverAddsMisses)
+{
+    RunSpec spec;
+    spec.workload = makeWorkload("sdet", 8000);
+    spec.sys.scope = SimScope::userOnly();
+    spec.tw.cache = CacheConfig::icache(65536); // no capacity issue
+    spec.sim = SimKind::Tapeworm;
+    RunOutcome out = Runner::runOne(spec, 4);
+    // With a huge cache, misses == distinct lines touched; text
+    // sharing means far fewer than tasks x text-lines.
+    double distinct_upper = 0;
+    for (const auto &b : spec.workload.binaries)
+        distinct_upper += static_cast<double>(b.textBytes) / 16.0;
+    EXPECT_LE(out.missesByComp[static_cast<unsigned>(
+                  Component::User)],
+              distinct_upper * 1.05);
+}
+
+} // namespace
+} // namespace tw

@@ -1,0 +1,179 @@
+/**
+ * @file Randomized property suites: algebraic invariants of the
+ * cache model, VM refcounting under random fault/exit sequences,
+ * and LRU inclusion over arbitrary generated workload ladders.
+ */
+
+#include <map>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "base/random.hh"
+#include "mem/cache.hh"
+#include "mem/stack_sim.hh"
+#include "os/vm.hh"
+#include "workload/loop_nest.hh"
+
+namespace tw
+{
+namespace
+{
+
+/** Random cache geometries for the algebra sweep. */
+struct Geometry
+{
+    std::uint64_t size;
+    std::uint32_t line;
+    std::uint32_t assoc;
+};
+
+class CacheAlgebra : public ::testing::TestWithParam<Geometry>
+{
+};
+
+TEST_P(CacheAlgebra, AccessInsertContainsLaws)
+{
+    const Geometry &g = GetParam();
+    CacheConfig cfg = CacheConfig::icache(g.size, g.line, g.assoc);
+    cfg.policy = ReplPolicy::FIFO;
+    Cache cache(cfg);
+
+    Rng rng(g.size ^ g.line ^ g.assoc);
+    for (int i = 0; i < 20000; ++i) {
+        Addr line = rng.geometric(0.01);
+        LineRef ref{line, line, 1};
+        bool was_in = cache.contains(ref);
+        AccessResult res = cache.access(ref);
+        // Law 1: access() hits iff contains() said so.
+        ASSERT_EQ(res.hit, was_in);
+        // Law 2: after access the line is resident.
+        ASSERT_TRUE(cache.contains(ref));
+        // Law 3: a displaced line is no longer resident and is not
+        // the line just inserted.
+        if (res.displaced) {
+            LineRef gone{res.displaced->tagLine,
+                         res.displaced->paLine, res.displaced->tid};
+            ASSERT_FALSE(cache.contains(gone));
+            ASSERT_NE(res.displaced->paLine, ref.paLine);
+        }
+        // Law 4: occupancy never exceeds capacity.
+        ASSERT_LE(cache.validCount(), cfg.numLines());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheAlgebra,
+    ::testing::Values(Geometry{256, 16, 1}, Geometry{1024, 16, 4},
+                      Geometry{4096, 32, 2}, Geometry{4096, 64, 8},
+                      Geometry{16384, 16, 16},
+                      Geometry{512, 16, 32} /* fully assoc */));
+
+/** VM fuzz: random faults and exits across random tasks must keep
+ *  refcounts consistent with an independently tracked model. */
+TEST(VmFuzz, RefcountsMatchShadowModel)
+{
+    Rng rng(0xf00d);
+    for (int round = 0; round < 5; ++round) {
+        Vm vm(512, AllocPolicy::Random, rng.next(), 8);
+        std::vector<std::unique_ptr<Task>> tasks;
+        std::map<Pfn, unsigned> shadow; // frame -> live mappings
+
+        auto make_task = [&](int idx) {
+            StreamParams p;
+            // Three binaries shared across tasks.
+            p.base = 0x400000
+                     + static_cast<Addr>(idx % 3) * 0x100000;
+            p.textBytes = 32 * 1024;
+            p.ladder = {{256, 2.0}};
+            auto t = std::make_unique<Task>(
+                static_cast<TaskId>(10 + idx), csprintf("f%d", idx),
+                Component::User,
+                std::make_unique<LoopNestStream>(p), 1);
+            t->attr.simulate = true;
+            return t;
+        };
+        for (int i = 0; i < 12; ++i)
+            tasks.push_back(make_task(i));
+
+        for (int op = 0; op < 400; ++op) {
+            std::size_t pick = rng.below(tasks.size());
+            Task &t = *tasks[pick];
+            if (t.exited)
+                continue;
+            if (rng.chance(0.9)) {
+                Vpn vpn = t.pageTable.firstVpn()
+                          + rng.below(t.pageTable.numPages());
+                if (t.pageTable.mappedFrame(vpn) != kNoFrame)
+                    continue;
+                Pfn pfn = vm.fault(t, vpn);
+                ++shadow[pfn];
+            } else {
+                for (auto [vpn, pfn] : t.pageTable.mappings()) {
+                    (void)vpn;
+                    --shadow[pfn];
+                }
+                vm.removeTask(t);
+            }
+            for (const auto &[pfn, refs] : shadow)
+                ASSERT_EQ(vm.refCount(pfn), refs) << "frame " << pfn;
+        }
+    }
+}
+
+/** LRU inclusion holds for ANY loop-nest ladder: bigger
+ *  fully-associative LRU caches never miss more. */
+TEST(LadderFuzz, LruInclusionForRandomLadders)
+{
+    Rng rng(0x1adde5);
+    for (int round = 0; round < 10; ++round) {
+        StreamParams p;
+        p.base = 0x400000;
+        p.textBytes = 8192u << rng.below(4); // 8K..64K
+        std::uint64_t span = 256;
+        while (span < p.textBytes && p.ladder.size() < 6) {
+            p.ladder.push_back(
+                LoopLevel{span, 1.0 + rng.uniform() * 4.0});
+            span *= 2 + rng.below(3);
+        }
+        p.excursionProb = rng.uniform() * 0.05;
+        p.seed = rng.next();
+
+        LoopNestStream stream(p);
+        StackSim stack(16);
+        for (int i = 0; i < 100000; ++i)
+            stack.access(stream.next());
+
+        Counter prev = ~0ull;
+        for (std::uint64_t size = 256; size <= p.textBytes * 2;
+             size *= 2) {
+            Counter m = stack.missesForSize(size);
+            ASSERT_LE(m, prev) << "round " << round << " size "
+                               << size;
+            prev = m;
+        }
+        // Everything fits: only cold misses remain.
+        ASSERT_EQ(stack.missesForSize(p.textBytes * 2),
+                  stack.coldMisses());
+    }
+}
+
+/** Line-size halving property: for a purely sequential sweep,
+ *  doubling the line size halves the misses (the Figure 3 line-size
+ *  mechanism in its purest form). */
+TEST(LineSize, SequentialSweepHalvesMisses)
+{
+    for (std::uint32_t line : {16u, 32u, 64u, 128u}) {
+        CacheConfig cfg = CacheConfig::icache(4096, line, 1);
+        Cache cache(cfg);
+        Counter misses = 0;
+        for (Addr a = 0; a < 1 << 20; a += 4) {
+            LineRef ref{a >> floorLog2(line), a >> floorLog2(line), 1};
+            misses += !cache.access(ref).hit;
+        }
+        EXPECT_EQ(misses, (1u << 20) / line) << line;
+    }
+}
+
+} // namespace
+} // namespace tw

@@ -1,0 +1,133 @@
+/**
+ * @file Speed claims of Section 4.1 / Figure 2: Tapeworm slowdown
+ * tracks the miss ratio and vanishes for big caches; trace-driven
+ * slowdown has a high floor regardless of cache size.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.hh"
+
+namespace tw
+{
+namespace
+{
+
+RunSpec
+mpegTapeworm(std::uint64_t cache_bytes)
+{
+    RunSpec spec;
+    spec.workload = makeWorkload("mpeg_play", 1000);
+    spec.sys.scope = SimScope::userOnly();
+    spec.sim = SimKind::Tapeworm;
+    spec.tw.cache = CacheConfig::icache(cache_bytes, 16, 1,
+                                        Indexing::Virtual);
+    return spec;
+}
+
+TEST(Speed, TapewormSlowdownDecreasesWithCacheSize)
+{
+    Runner::clearBaselineCache();
+    double prev = 1e9;
+    for (std::uint64_t kb : {1, 4, 16, 64}) {
+        RunOutcome out =
+            Runner::runWithSlowdown(mpegTapeworm(kb * 1024), 5);
+        EXPECT_LT(out.slowdown, prev) << kb << "K";
+        prev = out.slowdown;
+    }
+    // Large caches: slowdown approaches zero (paper: 0.00-0.10 for
+    // 64K+).
+    EXPECT_LT(prev, 0.35);
+}
+
+TEST(Speed, TraceDrivenFloorRegardlessOfCacheSize)
+{
+    Runner::clearBaselineCache();
+    double smallest = 1e9, largest = 0.0;
+    for (std::uint64_t kb : {1, 64}) {
+        RunSpec spec = mpegTapeworm(kb * 1024);
+        spec.sim = SimKind::TraceDriven;
+        spec.c2k.cache = spec.tw.cache;
+        RunOutcome out = Runner::runWithSlowdown(spec, 5);
+        smallest = std::min(smallest, out.slowdown);
+        largest = std::max(largest, out.slowdown);
+    }
+    // Paper: Cache2000 never falls below ~20x. Calibration aims for
+    // the same floor; accept a broad band.
+    EXPECT_GT(smallest, 12.0);
+    EXPECT_LT(largest, 45.0);
+    // The floor barely moves with cache size.
+    EXPECT_LT(largest / smallest, 1.8);
+}
+
+TEST(Speed, TapewormBeatsTraceDrivenEvenAtOnePercentMissRatio)
+{
+    // Paper Figure 2: at the 1K cache (11.8% misses) Tapeworm still
+    // wins by ~3x.
+    Runner::clearBaselineCache();
+    RunOutcome trap =
+        Runner::runWithSlowdown(mpegTapeworm(1024), 5);
+    RunSpec spec = mpegTapeworm(1024);
+    spec.sim = SimKind::TraceDriven;
+    spec.c2k.cache = spec.tw.cache;
+    RunOutcome trace = Runner::runWithSlowdown(spec, 5);
+    EXPECT_LT(trap.slowdown, trace.slowdown / 2.0);
+}
+
+TEST(Speed, SamplingCutsSlowdownProportionally)
+{
+    Runner::clearBaselineCache();
+    RunSpec full = mpegTapeworm(1024);
+    RunOutcome f = Runner::runWithSlowdown(full, 5);
+
+    RunSpec eighth = mpegTapeworm(1024);
+    eighth.tw.sampleNum = 1;
+    eighth.tw.sampleDenom = 8;
+    RunOutcome e = Runner::runWithSlowdown(eighth, 5);
+
+    // "slowdowns decrease in direct proportion to the fraction of
+    // sets sampled" — allow generous tolerance for sample skew.
+    EXPECT_NEAR(e.slowdown, f.slowdown / 8.0, f.slowdown / 10.0);
+}
+
+TEST(Speed, HostWallClockAdvantage)
+{
+    // Not just simulated cycles: the trap-driven engine also does
+    // less *host* work per reference (bit test vs cache search).
+    // Compare host runtimes on a big simulated cache where Tapeworm
+    // handles almost no misses. Use generous margins: CI machines
+    // are noisy.
+    RunSpec trap = mpegTapeworm(64 * 1024);
+    RunSpec trace = mpegTapeworm(64 * 1024);
+    trace.sim = SimKind::TraceDriven;
+    trace.c2k.cache = trace.tw.cache;
+
+    // Warm both paths once.
+    Runner::runOne(trap, 6);
+    Runner::runOne(trace, 6);
+
+    // Min-of-N is robust against scheduler noise on busy CI hosts.
+    double trap_s = 1e9, trace_s = 1e9;
+    for (int i = 0; i < 5; ++i) {
+        trap_s = std::min(trap_s, Runner::runOne(trap, 7).hostSeconds);
+        trace_s =
+            std::min(trace_s, Runner::runOne(trace, 7).hostSeconds);
+    }
+    EXPECT_LT(trap_s, trace_s * 1.15);
+}
+
+TEST(Speed, BreakEvenRatioExists)
+{
+    // Section 4.1's first-order model: ~250-cycle misses vs ~53-60
+    // cycles per trace address implies a break-even miss ratio
+    // around 0.2-0.25 in *handler work per reference*.
+    TrapCostModel cost;
+    double per_miss = static_cast<double>(cost.missCycles(1, 1));
+    double per_addr = 60.0;
+    double break_even = per_addr / per_miss;
+    EXPECT_GT(break_even, 0.15);
+    EXPECT_LT(break_even, 0.30);
+}
+
+} // namespace
+} // namespace tw

@@ -1,0 +1,88 @@
+/**
+ * @file Breadth sweep: the core invariants hold on EVERY workload
+ * of the suite, not just the ones the focused tests use.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.hh"
+
+namespace tw
+{
+namespace
+{
+
+class EveryWorkload : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(EveryWorkload, TrapEqualsOracleExactly)
+{
+    RunSpec spec;
+    spec.workload = makeWorkload(GetParam(), 8000);
+    spec.tw.cache = CacheConfig::icache(4096);
+    spec.tw.chargeCost = false;
+    spec.sim = SimKind::Tapeworm;
+    RunOutcome trap = Runner::runOne(spec, 31);
+    spec.sim = SimKind::Oracle;
+    RunOutcome oracle = Runner::runOne(spec, 31);
+    EXPECT_DOUBLE_EQ(trap.estMisses, oracle.estMisses);
+    for (unsigned c = 0; c < kNumComponents; ++c)
+        EXPECT_DOUBLE_EQ(trap.missesByComp[c], oracle.missesByComp[c])
+            << componentName(static_cast<Component>(c));
+}
+
+TEST_P(EveryWorkload, RunsDeterministicallyPerSeed)
+{
+    RunSpec spec;
+    spec.workload = makeWorkload(GetParam(), 8000);
+    spec.sim = SimKind::Tapeworm;
+    spec.tw.cache = CacheConfig::icache(4096);
+    RunOutcome a = Runner::runOne(spec, 17);
+    RunOutcome b = Runner::runOne(spec, 17);
+    EXPECT_EQ(a.estMisses, b.estMisses);
+    EXPECT_EQ(a.run.cycles, b.run.cycles);
+}
+
+TEST_P(EveryWorkload, SampledEstimatorInRange)
+{
+    RunSpec spec;
+    spec.workload = makeWorkload(GetParam(), 4000);
+    spec.sim = SimKind::Tapeworm;
+    spec.tw.cache = CacheConfig::icache(4096, 16, 1,
+                                        Indexing::Virtual);
+    RunOutcome full = Runner::runOne(spec, 23);
+
+    spec.tw.sampleNum = 1;
+    spec.tw.sampleDenom = 8;
+    RunOutcome sampled = Runner::runOne(spec, 23);
+    EXPECT_DOUBLE_EQ(sampled.estMisses, sampled.rawMisses * 8);
+    // The estimator lands within 40% of the full simulation even on
+    // a single sample (tighter bounds need trial averaging).
+    EXPECT_NEAR(sampled.estMisses, full.estMisses,
+                full.estMisses * 0.4 + 100);
+}
+
+TEST_P(EveryWorkload, ComponentMissesSumToTotal)
+{
+    RunSpec spec;
+    spec.workload = makeWorkload(GetParam(), 8000);
+    spec.sim = SimKind::Tapeworm;
+    spec.tw.cache = CacheConfig::icache(4096);
+    RunOutcome out = Runner::runOne(spec, 11);
+    double sum = 0;
+    for (double m : out.missesByComp)
+        sum += m;
+    EXPECT_DOUBLE_EQ(sum, out.estMisses);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, EveryWorkload,
+    ::testing::Values("eqntott", "espresso", "jpeg_play", "kenbus",
+                      "mpeg_play", "ousterhout", "sdet", "xlisp"),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+} // namespace
+} // namespace tw

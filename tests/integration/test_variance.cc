@@ -1,0 +1,145 @@
+/**
+ * @file The measurement-variation mechanisms of Tables 7-10:
+ * page-allocation variance (physical indexing), sampling variance,
+ * and their removal by configuration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.hh"
+#include "harness/trials.hh"
+
+namespace tw
+{
+namespace
+{
+
+RunSpec
+mpegSpec(Indexing idx, unsigned sample_denom = 1)
+{
+    RunSpec spec;
+    spec.workload = makeWorkload("mpeg_play", 2000);
+    spec.sys.scope = SimScope::userOnly();
+    spec.sim = SimKind::Tapeworm;
+    spec.tw.cache = CacheConfig::icache(16384, 16, 1, idx);
+    spec.tw.sampleNum = 1;
+    spec.tw.sampleDenom = sample_denom;
+    return spec;
+}
+
+/** Table 9's core claim: virtually-indexed simulations of a single
+ *  task are (near-)deterministic across trials; physically-indexed
+ *  ones vary with page allocation. */
+TEST(Variance, PhysicalVariesVirtualDoesNot)
+{
+    auto virt = runTrials(mpegSpec(Indexing::Virtual), 6, 42);
+    auto phys = runTrials(mpegSpec(Indexing::Physical), 6, 42);
+    Summary sv = missSummary(virt);
+    Summary sp = missSummary(phys);
+
+    EXPECT_GT(sp.rangePct(), 1.0);
+    // Virtual variance only via interrupt-phase jitter: small (the
+    // paper's Table 10 shows 0-5% for the same configuration).
+    EXPECT_LT(sv.rangePct(), 5.0);
+    EXPECT_LT(sv.rangePct(), sp.rangePct() / 2.0);
+}
+
+/** At cache size == page size every allocation indexes identically
+ *  (Table 9: "the 4 K-byte physically-indexed cache simulation
+ *  results do not vary"). */
+TEST(Variance, PageSizedPhysicalCacheDoesNotVary)
+{
+    RunSpec spec = mpegSpec(Indexing::Physical);
+    spec.tw.cache = CacheConfig::icache(4096, 16, 1,
+                                        Indexing::Physical);
+    spec.sys.clockJitter = false; // isolate page allocation only
+    auto outcomes = runTrials(spec, 5, 42);
+    Summary s = missSummary(outcomes);
+    EXPECT_DOUBLE_EQ(s.range, 0.0);
+}
+
+/** Table 8: sampling introduces variance that is absent without
+ *  sampling (virtual indexing isolates the sampling effect). */
+TEST(Variance, SamplingAddsVariance)
+{
+    RunSpec unsampled = mpegSpec(Indexing::Virtual);
+    unsampled.sys.clockJitter = false;
+    RunSpec sampled = mpegSpec(Indexing::Virtual, 8);
+    sampled.sys.clockJitter = false;
+
+    auto u = runTrials(unsampled, 6, 77);
+    auto s = runTrials(sampled, 6, 77);
+    Summary su = missSummary(u);
+    Summary ss = missSummary(s);
+
+    EXPECT_DOUBLE_EQ(su.range, 0.0); // exact repeatability
+    EXPECT_GT(ss.rangePct(), 1.0);
+    // The estimator stays centered: sampled mean within 25% of the
+    // unsampled truth.
+    EXPECT_NEAR(ss.mean, su.mean, su.mean * 0.25);
+}
+
+/** Without jitter and with virtual indexing, trap-driven results
+ *  are bit-identical across trials — the "configured like a
+ *  trace-driven simulator" mode of Table 10. */
+TEST(Variance, FullyDeterministicConfiguration)
+{
+    RunSpec spec = mpegSpec(Indexing::Virtual);
+    spec.sys.clockJitter = false;
+    auto outcomes = runTrials(spec, 4, 3);
+    Summary s = missSummary(outcomes);
+    EXPECT_DOUBLE_EQ(s.range, 0.0);
+    for (const auto &o : outcomes)
+        EXPECT_EQ(o.run.cycles, outcomes[0].run.cycles);
+}
+
+/** Kessler-style page coloring removes most page-allocation
+ *  variance (ablation beyond the paper's Random policy). */
+TEST(Variance, ColoringReducesPageAllocationVariance)
+{
+    RunSpec random_alloc = mpegSpec(Indexing::Physical);
+    random_alloc.sys.clockJitter = false;
+    RunSpec colored = mpegSpec(Indexing::Physical);
+    colored.sys.clockJitter = false;
+    colored.sys.allocPolicy = AllocPolicy::Coloring;
+
+    Summary sr = missSummary(runTrials(random_alloc, 5, 11));
+    Summary sc = missSummary(runTrials(colored, 5, 11));
+    EXPECT_LT(sc.rangePct(), sr.rangePct() + 1e-9);
+    // Coloring is deterministic in our VM: zero variance.
+    EXPECT_DOUBLE_EQ(sc.range, 0.0);
+}
+
+/** Sequential allocation is deterministic too — variance really is
+ *  the *randomness* of the free list, not physical indexing per
+ *  se. */
+TEST(Variance, SequentialAllocationDeterministic)
+{
+    RunSpec spec = mpegSpec(Indexing::Physical);
+    spec.sys.clockJitter = false;
+    spec.sys.allocPolicy = AllocPolicy::Sequential;
+    Summary s = missSummary(runTrials(spec, 4, 19));
+    EXPECT_DOUBLE_EQ(s.range, 0.0);
+}
+
+/** Combined effects exceed either alone (Section 4.2: "the
+ *  combined effect of both sources of variance is greater than
+ *  either in isolation"). */
+TEST(Variance, CombinedEffectsAtLeastAsLarge)
+{
+    RunSpec phys_only = mpegSpec(Indexing::Physical);
+    phys_only.sys.clockJitter = false;
+    RunSpec both = mpegSpec(Indexing::Physical, 8);
+    both.sys.clockJitter = false;
+
+    Summary sp = missSummary(runTrials(phys_only, 6, 23));
+    Summary sb = missSummary(runTrials(both, 6, 23));
+    EXPECT_GT(sb.stddevPct(), 0.0);
+    EXPECT_GT(sp.stddevPct(), 0.0);
+    // Not a strict inequality trial-by-trial, but combined should
+    // not be dramatically smaller.
+    EXPECT_GT(sb.stddevPct(), sp.stddevPct() * 0.5);
+}
+
+} // namespace
+} // namespace tw

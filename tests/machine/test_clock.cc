@@ -1,0 +1,60 @@
+/** @file Tests of the clock-interrupt device. */
+
+#include <gtest/gtest.h>
+
+#include "machine/clock.hh"
+
+namespace tw
+{
+namespace
+{
+
+TEST(Clock, FiresAtInterval)
+{
+    ClockDevice clk(100);
+    EXPECT_FALSE(clk.due(99));
+    EXPECT_TRUE(clk.due(100));
+    clk.acknowledge(100);
+    EXPECT_EQ(clk.fired(), 1u);
+    EXPECT_FALSE(clk.due(199));
+    EXPECT_TRUE(clk.due(200));
+}
+
+TEST(Clock, PhaseOffset)
+{
+    ClockDevice clk(100, 30);
+    EXPECT_FALSE(clk.due(100));
+    EXPECT_TRUE(clk.due(130));
+    clk.acknowledge(130);
+    EXPECT_TRUE(clk.due(230));
+}
+
+TEST(Clock, CoalescesMissedTicks)
+{
+    ClockDevice clk(100);
+    // Handler ran very long: 5 periods passed.
+    clk.acknowledge(520);
+    EXPECT_EQ(clk.fired(), 1u); // one acknowledge, ticks coalesced
+    EXPECT_EQ(clk.nextAt(), 600u);
+    EXPECT_FALSE(clk.due(599));
+}
+
+TEST(Clock, CountsFires)
+{
+    ClockDevice clk(10);
+    Cycles now = 0;
+    for (int i = 0; i < 50; ++i) {
+        now += 10;
+        if (clk.due(now))
+            clk.acknowledge(now);
+    }
+    EXPECT_EQ(clk.fired(), 50u);
+}
+
+TEST(ClockDeath, RejectsZeroInterval)
+{
+    EXPECT_DEATH(ClockDevice(0), "nonzero");
+}
+
+} // namespace
+} // namespace tw

@@ -1,0 +1,144 @@
+/**
+ * @file Exhaustive tests of the SECDED codec and the paper's
+ * trap-versus-true-error discrimination (footnote 1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/random.hh"
+#include "machine/ecc.hh"
+
+namespace tw
+{
+namespace
+{
+
+TEST(Ecc, CleanCodewordDecodesOk)
+{
+    for (std::uint32_t data :
+         {0u, 1u, 0xffffffffu, 0xdeadbeefu, 0x55555555u}) {
+        std::uint64_t cw = EccCodec::encode(data);
+        EXPECT_EQ(EccCodec::decode(cw), EccCodec::Result::Ok);
+        EXPECT_EQ(EccCodec::extractData(cw), data);
+    }
+}
+
+TEST(Ecc, TrapBitFlipIsRecognized)
+{
+    std::uint64_t cw = EccCodec::encode(0xcafe1234);
+    std::uint64_t trapped = EccCodec::flipTrapBit(cw);
+    EXPECT_EQ(EccCodec::decode(trapped),
+              EccCodec::Result::TapewormTrap);
+    // Clearing the trap restores a clean word.
+    EXPECT_EQ(EccCodec::decode(EccCodec::flipTrapBit(trapped)),
+              EccCodec::Result::Ok);
+}
+
+TEST(Ecc, TrapPreservesData)
+{
+    std::uint64_t trapped =
+        EccCodec::flipTrapBit(EccCodec::encode(0x12345678));
+    EXPECT_EQ(EccCodec::extractData(trapped), 0x12345678u);
+}
+
+/** Footnote 1: a single-bit error in any of the *other* 38
+ *  positions must be recognized as a true error, not a trap. */
+class EccSingleFlip : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(EccSingleFlip, OtherPositionsAreTrueErrors)
+{
+    unsigned pos = GetParam();
+    std::uint64_t cw = EccCodec::encode(0xa5a5a5a5);
+    std::uint64_t bad = EccCodec::flipBit(cw, pos);
+    auto result = EccCodec::decode(bad);
+    if (pos == EccCodec::kTrapCheckBit) {
+        EXPECT_EQ(result, EccCodec::Result::TapewormTrap);
+    } else {
+        EXPECT_EQ(result, EccCodec::Result::SingleBitError)
+            << "position " << pos;
+    }
+    // Single errors are correctable: data survives.
+    EXPECT_EQ(EccCodec::extractData(bad), 0xa5a5a5a5u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPositions, EccSingleFlip,
+                         ::testing::Range(0u, EccCodec::kBits));
+
+/** Double-bit errors (including trap + real error) are detected as
+ *  uncorrectable true errors. */
+TEST(Ecc, DoubleBitErrorsDetected)
+{
+    std::uint64_t cw = EccCodec::encode(0x0f0f0f0f);
+    Rng rng(3);
+    for (int trial = 0; trial < 200; ++trial) {
+        unsigned p1 =
+            static_cast<unsigned>(rng.below(EccCodec::kBits));
+        unsigned p2 =
+            static_cast<unsigned>(rng.below(EccCodec::kBits));
+        if (p1 == p2)
+            continue;
+        std::uint64_t bad =
+            EccCodec::flipBit(EccCodec::flipBit(cw, p1), p2);
+        EXPECT_EQ(EccCodec::decode(bad),
+                  EccCodec::Result::DoubleBitError)
+            << p1 << "," << p2;
+    }
+}
+
+TEST(Ecc, TrapPlusTrueErrorIsDoubleError)
+{
+    // If a genuine single-bit error hits a trapped word, Tapeworm
+    // sees a double-bit error and knows something real happened.
+    std::uint64_t trapped =
+        EccCodec::flipTrapBit(EccCodec::encode(0x00ff00ff));
+    std::uint64_t bad = EccCodec::flipBit(trapped, 3);
+    EXPECT_EQ(EccCodec::decode(bad),
+              EccCodec::Result::DoubleBitError);
+}
+
+/** Exhaustive distinctness: no two single-bit flips produce the
+ *  same syndrome classification as the trap. */
+TEST(Ecc, TrapSignatureUnique)
+{
+    Rng rng(17);
+    for (int trial = 0; trial < 50; ++trial) {
+        std::uint32_t data = static_cast<std::uint32_t>(rng.next());
+        std::uint64_t cw = EccCodec::encode(data);
+        unsigned traps_seen = 0;
+        for (unsigned pos = 0; pos < EccCodec::kBits; ++pos) {
+            if (EccCodec::decode(EccCodec::flipBit(cw, pos))
+                == EccCodec::Result::TapewormTrap) {
+                ++traps_seen;
+                EXPECT_EQ(pos, EccCodec::kTrapCheckBit);
+            }
+        }
+        EXPECT_EQ(traps_seen, 1u);
+    }
+}
+
+TEST(Ecc, RoundTripAllByteValuesInEachLane)
+{
+    for (unsigned lane = 0; lane < 4; ++lane) {
+        for (std::uint32_t byte = 0; byte < 256; ++byte) {
+            std::uint32_t data = byte << (8 * lane);
+            EXPECT_EQ(EccCodec::extractData(EccCodec::encode(data)),
+                      data);
+        }
+    }
+}
+
+TEST(Ecc, ResultNames)
+{
+    EXPECT_STREQ(eccResultName(EccCodec::Result::Ok), "ok");
+    EXPECT_STREQ(eccResultName(EccCodec::Result::TapewormTrap),
+                 "tapeworm-trap");
+    EXPECT_STREQ(eccResultName(EccCodec::Result::SingleBitError),
+                 "single-bit-error");
+    EXPECT_STREQ(eccResultName(EccCodec::Result::DoubleBitError),
+                 "double-bit-error");
+}
+
+} // namespace
+} // namespace tw

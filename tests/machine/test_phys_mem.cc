@@ -1,0 +1,117 @@
+/** @file Tests of trap-bit physical memory (tw_set/clear_trap). */
+
+#include <gtest/gtest.h>
+
+#include "machine/phys_mem.hh"
+
+namespace tw
+{
+namespace
+{
+
+TEST(PhysMem, Geometry)
+{
+    PhysMem m(1 << 20);
+    EXPECT_EQ(m.sizeBytes(), 1u << 20);
+    EXPECT_EQ(m.granuleBytes(), 16u);
+    EXPECT_EQ(m.numGranules(), (1u << 20) / 16);
+    EXPECT_EQ(m.numFrames(), (1u << 20) / 4096);
+}
+
+TEST(PhysMem, SetAndClearSingleGranule)
+{
+    PhysMem m(1 << 16);
+    EXPECT_FALSE(m.isTrapped(0x100));
+    m.setTrap(0x100, 16);
+    EXPECT_TRUE(m.isTrapped(0x100));
+    EXPECT_TRUE(m.isTrapped(0x10f)); // same granule
+    EXPECT_FALSE(m.isTrapped(0x110));
+    EXPECT_FALSE(m.isTrapped(0xf0));
+    m.clearTrap(0x100, 16);
+    EXPECT_FALSE(m.isTrapped(0x100));
+}
+
+TEST(PhysMem, RangeCoversPartialGranules)
+{
+    PhysMem m(1 << 16);
+    // A range straddling granule boundaries traps every overlapped
+    // granule.
+    m.setTrap(0x108, 16); // touches granules at 0x100 and 0x110
+    EXPECT_TRUE(m.isTrapped(0x100));
+    EXPECT_TRUE(m.isTrapped(0x110));
+    EXPECT_FALSE(m.isTrapped(0x120));
+    EXPECT_EQ(m.countTrapped(), 2u);
+}
+
+TEST(PhysMem, LargeRange)
+{
+    PhysMem m(1 << 16);
+    m.setTrap(0, 4096);
+    EXPECT_EQ(m.countTrapped(), 256u);
+    m.clearTrap(16, 4096 - 32);
+    EXPECT_EQ(m.countTrapped(), 2u);
+    EXPECT_TRUE(m.isTrapped(0));
+    EXPECT_TRUE(m.isTrapped(4080));
+}
+
+TEST(PhysMem, AnyTrapped)
+{
+    PhysMem m(1 << 16);
+    m.setTrap(0x200, 16);
+    EXPECT_TRUE(m.anyTrapped(0x1f0, 32));
+    EXPECT_FALSE(m.anyTrapped(0x210, 32));
+    EXPECT_TRUE(m.anyTrapped(0x200, 1));
+}
+
+TEST(PhysMem, ClearAll)
+{
+    PhysMem m(1 << 16);
+    m.setTrap(0, 1 << 16);
+    EXPECT_EQ(m.countTrapped(), (1u << 16) / 16);
+    m.clearAll();
+    EXPECT_EQ(m.countTrapped(), 0u);
+}
+
+TEST(PhysMem, IdempotentOperations)
+{
+    PhysMem m(1 << 16);
+    m.setTrap(0x300, 16);
+    m.setTrap(0x300, 16);
+    EXPECT_EQ(m.countTrapped(), 1u);
+    m.clearTrap(0x300, 16);
+    m.clearTrap(0x300, 16);
+    EXPECT_EQ(m.countTrapped(), 0u);
+}
+
+TEST(PhysMem, CustomGranule)
+{
+    PhysMem m(1 << 16, 64);
+    m.setTrap(0, 16); // still traps a whole 64-byte granule
+    EXPECT_TRUE(m.isTrapped(63));
+    EXPECT_FALSE(m.isTrapped(64));
+}
+
+TEST(PhysMem, WordBoundary64Granules)
+{
+    // Granule index 63->64 crosses a bitset word boundary.
+    PhysMem m(1 << 16);
+    m.setTrap(63 * 16, 32);
+    EXPECT_TRUE(m.isTrapped(63 * 16));
+    EXPECT_TRUE(m.isTrapped(64 * 16));
+    EXPECT_FALSE(m.isTrapped(65 * 16));
+}
+
+TEST(PhysMemDeath, OutOfRangeTrap)
+{
+    PhysMem m(1 << 16);
+    EXPECT_DEATH(m.setTrap((1 << 16) - 8, 16), "outside memory");
+    EXPECT_DEATH(m.clearTrap(1 << 16, 16), "outside memory");
+}
+
+TEST(PhysMemDeath, BadGranule)
+{
+    EXPECT_DEATH(PhysMem(1 << 16, 24), "power of 2");
+}
+
+} // namespace
+} // namespace tw

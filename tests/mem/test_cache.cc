@@ -1,0 +1,215 @@
+/** @file Unit and property tests of the cache model. */
+
+#include <gtest/gtest.h>
+
+#include "base/random.hh"
+#include "mem/cache.hh"
+
+namespace tw
+{
+namespace
+{
+
+LineRef
+ref(Addr line, TaskId tid = 1)
+{
+    return LineRef{line, line, tid};
+}
+
+/** A reference whose virtual and physical lines differ. */
+LineRef
+refVp(Addr va_line, Addr pa_line, TaskId tid = 1)
+{
+    return LineRef{va_line, pa_line, tid};
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache c(CacheConfig::icache(4096));
+    EXPECT_FALSE(c.access(ref(10)).hit);
+    EXPECT_TRUE(c.access(ref(10)).hit);
+    EXPECT_EQ(c.validCount(), 1u);
+}
+
+TEST(Cache, DirectMappedConflict)
+{
+    // 4 KB direct-mapped, 16 B lines => 256 sets; lines 0 and 256
+    // collide, line 1 does not.
+    Cache c(CacheConfig::icache(4096));
+    EXPECT_FALSE(c.access(ref(0)).hit);
+    EXPECT_FALSE(c.access(ref(1)).hit);
+    auto res = c.access(ref(256));
+    EXPECT_FALSE(res.hit);
+    ASSERT_TRUE(res.displaced.has_value());
+    EXPECT_EQ(res.displaced->tagLine, 0u);
+    EXPECT_FALSE(c.access(ref(0)).hit); // got displaced
+    EXPECT_TRUE(c.access(ref(1)).hit);  // untouched
+}
+
+TEST(Cache, TwoWayAvoidsConflict)
+{
+    Cache c(CacheConfig::icache(4096, 16, 2));
+    // 128 sets; lines 0 and 128 share a set but fit in two ways.
+    EXPECT_FALSE(c.access(ref(0)).hit);
+    EXPECT_FALSE(c.access(ref(128)).hit);
+    EXPECT_TRUE(c.access(ref(0)).hit);
+    EXPECT_TRUE(c.access(ref(128)).hit);
+}
+
+TEST(Cache, InsertReturnsDisplaced)
+{
+    Cache c(CacheConfig::icache(256, 16, 1)); // 16 sets
+    EXPECT_FALSE(c.insert(ref(3)).has_value());
+    auto d = c.insert(ref(3 + 16));
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(d->tagLine, 3u);
+    EXPECT_EQ(d->tid, 1);
+}
+
+TEST(Cache, ContainsIsNonMutating)
+{
+    CacheConfig cfg = CacheConfig::icache(256, 16, 2);
+    cfg.policy = ReplPolicy::LRU;
+    Cache c(cfg);
+    c.access(ref(1));
+    c.access(ref(1 + 8)); // same set (8 sets)
+    // contains() must not refresh LRU: after probing line 1, line 1
+    // must still be the LRU victim.
+    EXPECT_TRUE(c.contains(ref(1)));
+    auto d = c.access(ref(1 + 16));
+    ASSERT_TRUE(d.displaced.has_value());
+    EXPECT_EQ(d.displaced->tagLine, 1u);
+}
+
+TEST(Cache, VirtualIndexTaskTag)
+{
+    CacheConfig cfg = CacheConfig::icache(4096, 16, 1,
+                                          Indexing::Virtual);
+    ASSERT_TRUE(cfg.tagIncludesTask);
+    Cache c(cfg);
+    EXPECT_FALSE(c.access(ref(5, 1)).hit);
+    // Same line, different task: a distinct entry (and a conflict
+    // in a direct-mapped cache).
+    EXPECT_FALSE(c.access(ref(5, 2)).hit);
+    EXPECT_FALSE(c.access(ref(5, 1)).hit);
+}
+
+TEST(Cache, VirtualIndexSharedWithoutTag)
+{
+    CacheConfig cfg = CacheConfig::icache(4096, 16, 1,
+                                          Indexing::Virtual);
+    cfg.tagIncludesTask = false;
+    Cache c(cfg);
+    EXPECT_FALSE(c.access(ref(5, 1)).hit);
+    EXPECT_TRUE(c.access(ref(5, 2)).hit); // shared text, same va
+}
+
+TEST(Cache, PhysicalIndexIgnoresVa)
+{
+    Cache c(CacheConfig::icache(4096, 16, 1, Indexing::Physical));
+    EXPECT_FALSE(c.access(refVp(100, 7)).hit);
+    // Different va, same pa: physical tag hits.
+    EXPECT_TRUE(c.access(refVp(900, 7)).hit);
+}
+
+TEST(Cache, FlushPhysPage)
+{
+    Cache c(CacheConfig::icache(4096));
+    // Page 0 covers lines 0..255 (16 B lines, 4 KB page).
+    c.access(refVp(0, 0));
+    c.access(refVp(1, 1));
+    c.access(refVp(300, 300)); // page 1 (line 300 => byte 4800)
+    EXPECT_EQ(c.flushPhysPage(0, kHostPageBytes), 2u);
+    EXPECT_FALSE(c.contains(refVp(0, 0)));
+    EXPECT_TRUE(c.contains(refVp(300, 300)));
+}
+
+TEST(Cache, FlushVirtPage)
+{
+    CacheConfig cfg = CacheConfig::icache(8192, 16, 2,
+                                          Indexing::Virtual);
+    Cache c(cfg);
+    c.access(ref(3, 1));
+    c.access(ref(3, 2));
+    // Flush task 1's page 0 only.
+    EXPECT_EQ(c.flushVirtPage(1, 0, kHostPageBytes), 1u);
+    EXPECT_FALSE(c.contains(ref(3, 1)));
+    EXPECT_TRUE(c.contains(ref(3, 2)));
+}
+
+TEST(Cache, FlushAll)
+{
+    Cache c(CacheConfig::icache(4096));
+    for (Addr l = 0; l < 100; ++l)
+        c.access(ref(l));
+    EXPECT_EQ(c.validCount(), 100u);
+    c.flushAll();
+    EXPECT_EQ(c.validCount(), 0u);
+}
+
+TEST(Cache, ValidLinesEnumerates)
+{
+    Cache c(CacheConfig::icache(4096));
+    c.access(refVp(10, 20, 3));
+    auto lines = c.validLines();
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_EQ(lines[0].tagLine, 20u); // physical tag
+    EXPECT_EQ(lines[0].paLine, 20u);
+    EXPECT_EQ(lines[0].tid, 3);
+}
+
+/** Property: access() and insert()-after-miss produce the same
+ *  final contents for FIFO (trap-driven equivalence at the model
+ *  level). */
+TEST(Cache, AccessVsProbeInsertEquivalence)
+{
+    CacheConfig cfg = CacheConfig::icache(1024, 16, 4);
+    cfg.policy = ReplPolicy::FIFO;
+    Cache trace_style(cfg);
+    Cache trap_style(cfg);
+
+    Rng rng(99);
+    Counter trace_misses = 0, trap_misses = 0;
+    for (int i = 0; i < 20000; ++i) {
+        LineRef r = ref(rng.below(256));
+        if (!trace_style.access(r).hit)
+            ++trace_misses;
+        if (!trap_style.contains(r)) {
+            ++trap_misses;
+            trap_style.insert(r);
+        }
+    }
+    EXPECT_EQ(trace_misses, trap_misses);
+    EXPECT_EQ(trace_style.validCount(), trap_style.validCount());
+}
+
+/** Bigger caches never miss more on the same stream (holds for LRU
+ *  with fixed line size and full associativity). */
+TEST(Cache, FullyAssocLruInclusion)
+{
+    std::vector<Addr> stream;
+    Rng rng(4);
+    for (int i = 0; i < 30000; ++i)
+        stream.push_back(rng.geometric(0.02));
+
+    Counter prev = ~0ull;
+    for (std::uint64_t size : {256, 512, 1024, 2048, 4096}) {
+        CacheConfig cfg;
+        cfg.sizeBytes = size;
+        cfg.lineBytes = 16;
+        cfg.assoc = static_cast<std::uint32_t>(size / 16);
+        cfg.policy = ReplPolicy::LRU;
+        cfg.validate();
+        Cache c(cfg);
+        Counter misses = 0;
+        for (Addr line : stream) {
+            if (!c.access(ref(line)).hit)
+                ++misses;
+        }
+        EXPECT_LE(misses, prev) << "size " << size;
+        prev = misses;
+    }
+}
+
+} // namespace
+} // namespace tw

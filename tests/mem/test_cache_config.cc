@@ -1,0 +1,89 @@
+/** @file Unit tests for cache geometry configuration. */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache_config.hh"
+
+namespace tw
+{
+namespace
+{
+
+TEST(CacheConfig, GeometryDerivation)
+{
+    CacheConfig c = CacheConfig::icache(4096, 16, 1);
+    EXPECT_EQ(c.numLines(), 256u);
+    EXPECT_EQ(c.numSets(), 256u);
+
+    c = CacheConfig::icache(4096, 16, 2);
+    EXPECT_EQ(c.numLines(), 256u);
+    EXPECT_EQ(c.numSets(), 128u);
+
+    c = CacheConfig::icache(8192, 32, 4);
+    EXPECT_EQ(c.numLines(), 256u);
+    EXPECT_EQ(c.numSets(), 64u);
+}
+
+TEST(CacheConfig, TlbFactory)
+{
+    CacheConfig t = CacheConfig::tlb(64);
+    EXPECT_EQ(t.numLines(), 64u);
+    EXPECT_EQ(t.assoc, 64u); // fully associative
+    EXPECT_EQ(t.numSets(), 1u);
+    EXPECT_EQ(t.lineBytes, kHostPageBytes);
+    EXPECT_EQ(t.indexing, Indexing::Virtual);
+    EXPECT_TRUE(t.tagIncludesTask);
+
+    CacheConfig t2 = CacheConfig::tlb(64, 4);
+    EXPECT_EQ(t2.numSets(), 16u);
+}
+
+TEST(CacheConfig, VirtualIcacheTagsTask)
+{
+    CacheConfig c =
+        CacheConfig::icache(4096, 16, 1, Indexing::Virtual);
+    EXPECT_TRUE(c.tagIncludesTask);
+    CacheConfig p =
+        CacheConfig::icache(4096, 16, 1, Indexing::Physical);
+    EXPECT_FALSE(p.tagIncludesTask);
+}
+
+TEST(CacheConfigDeath, RejectsNonPowerOf2)
+{
+    CacheConfig c;
+    c.sizeBytes = 3000;
+    c.lineBytes = 16;
+    EXPECT_EXIT(c.validate(), ::testing::ExitedWithCode(1),
+                "powers of 2");
+}
+
+TEST(CacheConfigDeath, RejectsLineLargerThanCache)
+{
+    CacheConfig c;
+    c.sizeBytes = 64;
+    c.lineBytes = 128;
+    EXPECT_EXIT(c.validate(), ::testing::ExitedWithCode(1),
+                "line larger");
+}
+
+TEST(CacheConfigDeath, RejectsBadAssociativity)
+{
+    CacheConfig c;
+    c.sizeBytes = 4096;
+    c.lineBytes = 16;
+    c.assoc = 3;
+    EXPECT_EXIT(c.validate(), ::testing::ExitedWithCode(1),
+                "associativity");
+}
+
+TEST(CacheConfig, Names)
+{
+    EXPECT_STREQ(replPolicyName(ReplPolicy::LRU), "LRU");
+    EXPECT_STREQ(replPolicyName(ReplPolicy::FIFO), "FIFO");
+    EXPECT_STREQ(replPolicyName(ReplPolicy::Random), "Random");
+    EXPECT_STREQ(indexingName(Indexing::Virtual), "virtual");
+    EXPECT_STREQ(indexingName(Indexing::Physical), "physical");
+}
+
+} // namespace
+} // namespace tw

@@ -1,0 +1,78 @@
+/** @file Tests of the Kessler page-conflict model. */
+
+#include <gtest/gtest.h>
+
+#include "mem/kessler.hh"
+
+namespace tw
+{
+namespace
+{
+
+TEST(Kessler, NoConflictsWithOnePage)
+{
+    EXPECT_DOUBLE_EQ(kesslerExpectedConflictPages(1, 8), 0.0);
+}
+
+TEST(Kessler, AllConflictWithOneColor)
+{
+    EXPECT_DOUBLE_EQ(kesslerExpectedConflictPages(5, 1), 5.0);
+}
+
+TEST(Kessler, ExpectationIncreasesWithPages)
+{
+    double prev = 0.0;
+    for (unsigned pages = 2; pages <= 64; pages *= 2) {
+        double e = kesslerExpectedConflictPages(pages, 16);
+        EXPECT_GT(e, prev);
+        prev = e;
+    }
+}
+
+TEST(Kessler, ExpectationDecreasesWithColors)
+{
+    double prev = 1e18;
+    for (unsigned colors = 2; colors <= 256; colors *= 2) {
+        double e = kesslerExpectedConflictPages(16, colors);
+        EXPECT_LT(e, prev);
+        prev = e;
+    }
+}
+
+TEST(Kessler, MonteCarloMatchesExpectation)
+{
+    auto est = kesslerMonteCarlo(16, 16, 20000, 7);
+    double analytic = kesslerExpectedConflictPages(16, 16);
+    EXPECT_NEAR(est.meanConflictPages, analytic, analytic * 0.03);
+}
+
+TEST(Kessler, MonteCarloDeterministicPerSeed)
+{
+    auto a = kesslerMonteCarlo(12, 8, 500, 42);
+    auto b = kesslerMonteCarlo(12, 8, 500, 42);
+    EXPECT_DOUBLE_EQ(a.meanConflictPages, b.meanConflictPages);
+    EXPECT_DOUBLE_EQ(a.sdConflictPages, b.sdConflictPages);
+}
+
+/** The paper's claim: relative variability peaks when the cache
+ *  (colors x page) is near the workload size (pages), and falls
+ *  off for much larger caches. */
+TEST(Kessler, VariabilityPeaksNearWorkingSetSize)
+{
+    const unsigned pages = 8; // a 32 KB text in 4 KB pages
+    double at_2 = kesslerMonteCarlo(pages, 2, 20000, 1).relSd;
+    double at_8 = kesslerMonteCarlo(pages, 8, 20000, 1).relSd;
+    double at_64 = kesslerMonteCarlo(pages, 64, 20000, 1).relSd;
+    // Peak in the middle; both extremes lower.
+    EXPECT_GT(at_8, at_2);
+    EXPECT_GT(at_8, at_64);
+}
+
+TEST(KesslerDeath, BadParameters)
+{
+    EXPECT_DEATH(kesslerExpectedConflictPages(4, 0), "colors");
+    EXPECT_DEATH(kesslerMonteCarlo(4, 4, 0), "parameters");
+}
+
+} // namespace
+} // namespace tw

@@ -1,0 +1,159 @@
+/** @file Replacement-policy behaviour tests (LRU / FIFO / Random). */
+
+#include <gtest/gtest.h>
+
+#include "base/random.hh"
+#include "mem/cache.hh"
+
+namespace tw
+{
+namespace
+{
+
+CacheConfig
+oneSet(ReplPolicy policy, unsigned ways = 4)
+{
+    CacheConfig cfg;
+    cfg.sizeBytes = 16ull * ways;
+    cfg.lineBytes = 16;
+    cfg.assoc = ways;
+    cfg.policy = policy;
+    cfg.validate();
+    return cfg;
+}
+
+LineRef
+ref(Addr line)
+{
+    return LineRef{line, line, 1};
+}
+
+TEST(Replacement, LruEvictsLeastRecentlyUsed)
+{
+    Cache c(oneSet(ReplPolicy::LRU));
+    for (Addr l = 0; l < 4; ++l)
+        c.access(ref(l));
+    c.access(ref(0)); // refresh 0; LRU is now 1
+    auto res = c.access(ref(9));
+    ASSERT_TRUE(res.displaced.has_value());
+    EXPECT_EQ(res.displaced->tagLine, 1u);
+}
+
+TEST(Replacement, FifoIgnoresHits)
+{
+    Cache c(oneSet(ReplPolicy::FIFO));
+    for (Addr l = 0; l < 4; ++l)
+        c.access(ref(l));
+    c.access(ref(0)); // hit must NOT refresh FIFO order
+    auto res = c.access(ref(9));
+    ASSERT_TRUE(res.displaced.has_value());
+    EXPECT_EQ(res.displaced->tagLine, 0u); // oldest insertion
+}
+
+TEST(Replacement, FifoCyclesInOrder)
+{
+    Cache c(oneSet(ReplPolicy::FIFO));
+    for (Addr l = 0; l < 4; ++l)
+        c.access(ref(l));
+    for (Addr l = 4; l < 12; ++l) {
+        auto res = c.access(ref(l));
+        ASSERT_TRUE(res.displaced.has_value());
+        EXPECT_EQ(res.displaced->tagLine, l - 4);
+    }
+}
+
+TEST(Replacement, RandomIsSeedDeterministic)
+{
+    CacheConfig cfg = oneSet(ReplPolicy::Random);
+    cfg.seed = 77;
+    Cache a(cfg), b(cfg);
+    Rng stream(5);
+    for (int i = 0; i < 5000; ++i) {
+        LineRef r = ref(stream.below(64));
+        auto ra = a.access(r);
+        auto rb = b.access(r);
+        ASSERT_EQ(ra.hit, rb.hit);
+    }
+    EXPECT_EQ(a.validCount(), b.validCount());
+}
+
+TEST(Replacement, RandomDiffersAcrossSeeds)
+{
+    CacheConfig ca = oneSet(ReplPolicy::Random);
+    ca.seed = 1;
+    CacheConfig cb = oneSet(ReplPolicy::Random);
+    cb.seed = 2;
+    Cache a(ca), b(cb);
+    Rng stream(5);
+    Counter ma = 0, mb = 0;
+    for (int i = 0; i < 20000; ++i) {
+        LineRef r = ref(stream.geometric(0.2));
+        ma += !a.access(r).hit;
+        mb += !b.access(r).hit;
+    }
+    EXPECT_NE(ma, mb);
+}
+
+TEST(Replacement, InvalidWaysFilledFirst)
+{
+    for (ReplPolicy p :
+         {ReplPolicy::LRU, ReplPolicy::FIFO, ReplPolicy::Random}) {
+        Cache c(oneSet(p));
+        EXPECT_FALSE(c.access(ref(0)).displaced.has_value());
+        EXPECT_FALSE(c.access(ref(1)).displaced.has_value());
+        EXPECT_FALSE(c.access(ref(2)).displaced.has_value());
+        EXPECT_FALSE(c.access(ref(3)).displaced.has_value());
+        EXPECT_TRUE(c.access(ref(4)).displaced.has_value());
+    }
+}
+
+/** LRU beats (or ties) FIFO on a loop slightly larger than one way
+ *  set? Actually on cyclic patterns FIFO==LRU; use a skewed reuse
+ *  pattern where LRU wins. */
+TEST(Replacement, LruBeatsFifoOnSkewedReuse)
+{
+    Cache lru(oneSet(ReplPolicy::LRU, 4));
+    Cache fifo(oneSet(ReplPolicy::FIFO, 4));
+    Rng rng(42);
+    Counter m_lru = 0, m_fifo = 0;
+    for (int i = 0; i < 50000; ++i) {
+        // 80% of references go to lines 0-2, 20% to a long tail:
+        // recency is informative, insertion order is not.
+        Addr line = rng.chance(0.8) ? rng.below(3) : 3 + rng.below(40);
+        m_lru += !lru.access(ref(line)).hit;
+        m_fifo += !fifo.access(ref(line)).hit;
+    }
+    EXPECT_LT(m_lru, m_fifo);
+}
+
+/** Parameterized sweep: every policy respects capacity (a stream of
+ *  W distinct lines in one set never misses after warmup when W <=
+ *  ways). */
+class PolicyCapacity
+    : public ::testing::TestWithParam<std::tuple<ReplPolicy, unsigned>>
+{
+};
+
+TEST_P(PolicyCapacity, NoMissesAfterWarmupWithinCapacity)
+{
+    auto [policy, ways] = GetParam();
+    Cache c(oneSet(policy, ways));
+    for (Addr l = 0; l < ways; ++l)
+        c.access(ref(l));
+    Counter misses = 0;
+    for (int round = 0; round < 100; ++round) {
+        for (Addr l = 0; l < ways; ++l)
+            misses += !c.access(ref(l)).hit;
+    }
+    EXPECT_EQ(misses, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicyCapacity,
+    ::testing::Combine(::testing::Values(ReplPolicy::LRU,
+                                         ReplPolicy::FIFO,
+                                         ReplPolicy::Random),
+                       ::testing::Values(1u, 2u, 4u, 8u)));
+
+} // namespace
+} // namespace tw

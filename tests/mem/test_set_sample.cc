@@ -1,0 +1,110 @@
+/** @file Tests of the shared set-sample selector. */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "mem/set_sample.hh"
+
+namespace tw
+{
+namespace
+{
+
+std::size_t
+countSampled(const std::vector<bool> &v)
+{
+    return static_cast<std::size_t>(
+        std::count(v.begin(), v.end(), true));
+}
+
+TEST(SetSample, ExactFractionSizes)
+{
+    EXPECT_EQ(countSampled(chooseSampledSets(256, 1, 2, 1)), 128u);
+    EXPECT_EQ(countSampled(chooseSampledSets(256, 1, 4, 1)), 64u);
+    EXPECT_EQ(countSampled(chooseSampledSets(256, 1, 8, 1)), 32u);
+    EXPECT_EQ(countSampled(chooseSampledSets(256, 1, 16, 1)), 16u);
+    EXPECT_EQ(countSampled(chooseSampledSets(256, 1, 1, 1)), 256u);
+}
+
+TEST(SetSample, AtLeastOneSet)
+{
+    EXPECT_EQ(countSampled(chooseSampledSets(4, 1, 16, 1)), 1u);
+}
+
+TEST(SetSample, DeterministicPerSeed)
+{
+    auto a = chooseSampledSets(512, 1, 8, 42);
+    auto b = chooseSampledSets(512, 1, 8, 42);
+    EXPECT_EQ(a, b);
+}
+
+TEST(SetSample, DifferentSeedsDifferentSamples)
+{
+    auto a = chooseSampledSets(512, 1, 8, 1);
+    auto b = chooseSampledSets(512, 1, 8, 2);
+    EXPECT_NE(a, b);
+}
+
+TEST(SetSample, CoversAllSetsAcrossSeeds)
+{
+    // With enough different samples every set should appear.
+    std::vector<bool> seen(128, false);
+    for (std::uint64_t seed = 0; seed < 192; ++seed) {
+        auto s = chooseSampledSets(128, 1, 8, seed);
+        for (std::size_t i = 0; i < s.size(); ++i)
+            if (s[i])
+                seen[i] = true;
+    }
+    EXPECT_EQ(countSampled(seen), 128u);
+}
+
+TEST(ConstantBits, ExactFractionAndSpacing)
+{
+    auto s = chooseConstantBitSets(256, 8, 3);
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i]) {
+            ++count;
+            EXPECT_EQ(i % 8, 3u);
+        }
+    }
+    EXPECT_EQ(count, 32u);
+}
+
+TEST(ConstantBits, CongruenceClassesPartitionTheSets)
+{
+    std::vector<bool> seen(64, false);
+    for (unsigned c = 0; c < 4; ++c) {
+        auto s = chooseConstantBitSets(64, 4, c);
+        for (std::size_t i = 0; i < 64; ++i) {
+            if (s[i]) {
+                EXPECT_FALSE(seen[i]) << i;
+                seen[i] = true;
+            }
+        }
+    }
+    EXPECT_EQ(countSampled(seen), 64u);
+}
+
+TEST(ConstantBits, CongruenceWraps)
+{
+    auto a = chooseConstantBitSets(16, 4, 1);
+    auto b = chooseConstantBitSets(16, 4, 5);
+    EXPECT_EQ(a, b);
+}
+
+TEST(ConstantBitsDeath, BadParameters)
+{
+    EXPECT_DEATH(chooseConstantBitSets(16, 3, 0), "power-of-two");
+    EXPECT_DEATH(chooseConstantBitSets(20, 8, 0), "divide");
+}
+
+TEST(SetSampleDeath, RejectsBadFraction)
+{
+    EXPECT_DEATH(chooseSampledSets(16, 0, 8, 1), "sample fraction");
+    EXPECT_DEATH(chooseSampledSets(16, 9, 8, 1), "sample fraction");
+}
+
+} // namespace
+} // namespace tw

@@ -1,0 +1,120 @@
+/** @file Tests of frame-allocation policies (the Table 9 mechanism). */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "os/frame_alloc.hh"
+
+namespace tw
+{
+namespace
+{
+
+TEST(FrameAlloc, SequentialIsLowestFirst)
+{
+    FrameAllocator fa(64, 8, AllocPolicy::Sequential, 1);
+    EXPECT_EQ(fa.alloc(0).value(), 8);
+    EXPECT_EQ(fa.alloc(0).value(), 9);
+    EXPECT_EQ(fa.alloc(0).value(), 10);
+}
+
+TEST(FrameAlloc, ReservationWithheld)
+{
+    FrameAllocator fa(64, 16, AllocPolicy::Random, 1);
+    EXPECT_EQ(fa.freeCount(), 48u);
+    for (int i = 0; i < 48; ++i) {
+        auto f = fa.alloc(0);
+        ASSERT_TRUE(f.has_value());
+        EXPECT_GE(*f, 16);
+    }
+    EXPECT_FALSE(fa.alloc(0).has_value()); // exhausted
+}
+
+TEST(FrameAlloc, NoDoubleAllocation)
+{
+    FrameAllocator fa(128, 0, AllocPolicy::Random, 7);
+    std::set<Pfn> seen;
+    for (int i = 0; i < 128; ++i) {
+        auto f = fa.alloc(0);
+        ASSERT_TRUE(f.has_value());
+        EXPECT_TRUE(seen.insert(*f).second) << "duplicate " << *f;
+    }
+}
+
+TEST(FrameAlloc, FreeMakesReallocatable)
+{
+    FrameAllocator fa(16, 0, AllocPolicy::Sequential, 1);
+    for (int i = 0; i < 16; ++i)
+        fa.alloc(0);
+    EXPECT_FALSE(fa.alloc(0).has_value());
+    fa.free(5);
+    EXPECT_TRUE(fa.isAllocated(6));
+    EXPECT_FALSE(fa.isAllocated(5));
+    EXPECT_EQ(fa.alloc(0).value(), 5);
+}
+
+TEST(FrameAlloc, RandomSeedDeterminism)
+{
+    FrameAllocator a(256, 0, AllocPolicy::Random, 42);
+    FrameAllocator b(256, 0, AllocPolicy::Random, 42);
+    for (int i = 0; i < 100; ++i)
+        ASSERT_EQ(a.alloc(0).value(), b.alloc(0).value());
+}
+
+TEST(FrameAlloc, RandomSeedsDiffer)
+{
+    FrameAllocator a(256, 0, AllocPolicy::Random, 1);
+    FrameAllocator b(256, 0, AllocPolicy::Random, 2);
+    int same = 0;
+    for (int i = 0; i < 50; ++i)
+        same += a.alloc(0).value() == b.alloc(0).value();
+    EXPECT_LT(same, 10);
+}
+
+TEST(FrameAlloc, ColoringMatchesColorBits)
+{
+    FrameAllocator fa(256, 0, AllocPolicy::Coloring, 1, 0x7);
+    for (Vpn vpn = 0; vpn < 32; ++vpn) {
+        auto f = fa.alloc(vpn);
+        ASSERT_TRUE(f.has_value());
+        EXPECT_EQ(static_cast<std::uint64_t>(*f) & 0x7, vpn & 0x7)
+            << "vpn " << vpn;
+    }
+}
+
+TEST(FrameAlloc, ColoringFallsBackWhenColorExhausted)
+{
+    // 16 frames, color mask 0x7: only two frames per color.
+    FrameAllocator fa(16, 0, AllocPolicy::Coloring, 1, 0x7);
+    EXPECT_TRUE(fa.alloc(0).has_value());
+    EXPECT_TRUE(fa.alloc(0).has_value());
+    auto third = fa.alloc(0); // color 0 exhausted, must still work
+    ASSERT_TRUE(third.has_value());
+    EXPECT_NE(static_cast<std::uint64_t>(*third) & 0x7, 0u);
+}
+
+TEST(FrameAllocDeath, DoubleFree)
+{
+    FrameAllocator fa(16, 0, AllocPolicy::Sequential, 1);
+    Pfn f = fa.alloc(0).value();
+    fa.free(f);
+    EXPECT_DEATH(fa.free(f), "double free");
+}
+
+TEST(FrameAllocDeath, FreeBadFrame)
+{
+    FrameAllocator fa(16, 0, AllocPolicy::Sequential, 1);
+    EXPECT_DEATH(fa.free(99), "bad frame");
+}
+
+TEST(FrameAlloc, PolicyNames)
+{
+    EXPECT_STREQ(allocPolicyName(AllocPolicy::Random), "random");
+    EXPECT_STREQ(allocPolicyName(AllocPolicy::Sequential),
+                 "sequential");
+    EXPECT_STREQ(allocPolicyName(AllocPolicy::Coloring), "coloring");
+}
+
+} // namespace
+} // namespace tw

@@ -1,0 +1,75 @@
+/** @file Tests of the dense per-task page table. */
+
+#include <gtest/gtest.h>
+
+#include "os/page_table.hh"
+
+namespace tw
+{
+namespace
+{
+
+TEST(PageTable, LookupFaultsWhenUnmapped)
+{
+    PageTable pt(0x400000, 64 * 1024);
+    EXPECT_EQ(pt.lookup(0x400000), kNoFrame);
+    EXPECT_EQ(pt.numPages(), 16u);
+}
+
+TEST(PageTable, MapAndTranslate)
+{
+    PageTable pt(0x400000, 64 * 1024);
+    Vpn vpn = 0x400000 / kHostPageBytes;
+    pt.map(vpn, 42);
+    EXPECT_EQ(pt.lookup(0x400000), 42);
+    EXPECT_EQ(pt.lookup(0x400fff), 42);
+    EXPECT_EQ(pt.lookup(0x401000), kNoFrame);
+}
+
+TEST(PageTable, UnmapReturnsFrame)
+{
+    PageTable pt(0x400000, 64 * 1024);
+    Vpn vpn = pt.firstVpn() + 3;
+    pt.map(vpn, 9);
+    EXPECT_EQ(pt.unmap(vpn), 9);
+    EXPECT_EQ(pt.mappedFrame(vpn), kNoFrame);
+}
+
+TEST(PageTable, MappingsEnumeration)
+{
+    PageTable pt(0x400000, 64 * 1024);
+    pt.map(pt.firstVpn() + 1, 10);
+    pt.map(pt.firstVpn() + 5, 11);
+    auto maps = pt.mappings();
+    ASSERT_EQ(maps.size(), 2u);
+    EXPECT_EQ(maps[0].first, pt.firstVpn() + 1);
+    EXPECT_EQ(maps[0].second, 10);
+    EXPECT_EQ(maps[1].first, pt.firstVpn() + 5);
+}
+
+TEST(PageTable, WindowRoundsUpToPages)
+{
+    PageTable pt(0x0, 100); // less than a page
+    EXPECT_EQ(pt.numPages(), 1u);
+}
+
+TEST(PageTableDeath, VpnOutsideWindow)
+{
+    PageTable pt(0x400000, 8 * 1024);
+    EXPECT_DEATH(pt.map(pt.firstVpn() + 2, 5), "outside window");
+    EXPECT_DEATH(pt.map(pt.firstVpn() - 1, 5), "outside window");
+}
+
+TEST(PageTableDeath, UnalignedBase)
+{
+    EXPECT_DEATH(PageTable(0x100, 4096), "page aligned");
+}
+
+TEST(PageTableDeath, MapInvalidFrame)
+{
+    PageTable pt(0, 4096);
+    EXPECT_DEATH(pt.map(0, kNoFrame), "invalid frame");
+}
+
+} // namespace
+} // namespace tw

@@ -1,0 +1,219 @@
+/** @file Integration tests of the simulated machine + OS. */
+
+#include <gtest/gtest.h>
+
+#include "os/system.hh"
+#include "trace/pixie.hh"
+#include "workload/spec.hh"
+
+namespace tw
+{
+namespace
+{
+
+WorkloadSpec
+tinyWorkload()
+{
+    WorkloadSpec wl = makeWorkload("espresso", 2000);
+    return wl;
+}
+
+SystemConfig
+baseConfig()
+{
+    SystemConfig cfg;
+    cfg.trialSeed = 11;
+    return cfg;
+}
+
+TEST(System, RunsToCompletion)
+{
+    System sys(baseConfig(), tinyWorkload());
+    RunResult r = sys.run();
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_GT(r.totalInstr(), 0u);
+    EXPECT_EQ(r.tasksCreated, 1u);
+    // All budgeted user instructions executed.
+    EXPECT_EQ(r.instr[static_cast<unsigned>(Component::User)],
+              tinyWorkload().userInstr());
+}
+
+TEST(System, ComponentFractionsRoughlyMatchSpec)
+{
+    WorkloadSpec wl = makeWorkload("ousterhout", 400);
+    System sys(baseConfig(), wl);
+    RunResult r = sys.run();
+    // Table 4 for ousterhout: kernel 48%, bsd 31.4%, user 20.6%.
+    EXPECT_NEAR(r.instrFrac(Component::Kernel), 0.48, 0.08);
+    EXPECT_NEAR(r.instrFrac(Component::Bsd), 0.314, 0.07);
+    EXPECT_NEAR(r.instrFrac(Component::User), 0.206, 0.05);
+}
+
+TEST(System, SameSeedIsDeterministic)
+{
+    WorkloadSpec wl = tinyWorkload();
+    System a(baseConfig(), wl);
+    System b(baseConfig(), wl);
+    RunResult ra = a.run();
+    RunResult rb = b.run();
+    EXPECT_EQ(ra.cycles, rb.cycles);
+    EXPECT_EQ(ra.totalInstr(), rb.totalInstr());
+    EXPECT_EQ(ra.ticks, rb.ticks);
+    EXPECT_EQ(ra.syscalls, rb.syscalls);
+    EXPECT_EQ(ra.faults, rb.faults);
+}
+
+TEST(System, DifferentSeedsStillRunSameWorkload)
+{
+    WorkloadSpec wl = tinyWorkload();
+    SystemConfig ca = baseConfig();
+    SystemConfig cb = baseConfig();
+    cb.trialSeed = 99;
+    System a(ca, wl);
+    System b(cb, wl);
+    RunResult ra = a.run();
+    RunResult rb = b.run();
+    // The workload itself (streams, budgets) is trial-independent.
+    EXPECT_EQ(ra.instr[static_cast<unsigned>(Component::User)],
+              rb.instr[static_cast<unsigned>(Component::User)]);
+}
+
+TEST(System, ClockTicksScaleWithRuntime)
+{
+    WorkloadSpec wl = tinyWorkload();
+    SystemConfig cfg = baseConfig();
+    cfg.clockJitter = false;
+    System sys(cfg, wl);
+    RunResult r = sys.run();
+    double expected = static_cast<double>(r.cycles)
+                      / static_cast<double>(cfg.clockInterval);
+    EXPECT_NEAR(static_cast<double>(r.ticks), expected, 2.0);
+}
+
+TEST(System, ForkTreeCreatesAllTasks)
+{
+    WorkloadSpec wl = makeWorkload("sdet", 2000);
+    System sys(baseConfig(), wl);
+    RunResult r = sys.run();
+    EXPECT_EQ(r.tasksCreated, wl.taskCount);
+    EXPECT_EQ(r.forks, wl.taskCount);
+    // Every user task exited and released its address space.
+    unsigned exited = 0;
+    for (const auto &t : sys.tasks()) {
+        if (t->component == Component::User && t->stream && t->exited)
+            ++exited;
+    }
+    EXPECT_EQ(exited, wl.taskCount);
+}
+
+TEST(System, ScopeSetsAttributes)
+{
+    WorkloadSpec wl = tinyWorkload();
+    SystemConfig cfg = baseConfig();
+    cfg.scope = SimScope::userOnly();
+    System sys(cfg, wl);
+    EXPECT_FALSE(sys.kernelTask()->attr.simulate);
+    EXPECT_FALSE(sys.bsdTask()->attr.simulate);
+    EXPECT_FALSE(sys.shellTask()->attr.simulate);
+    EXPECT_TRUE(sys.shellTask()->attr.inherit);
+
+    SystemConfig cfg2 = baseConfig();
+    cfg2.scope = SimScope::kernelOnly();
+    System sys2(cfg2, wl);
+    EXPECT_TRUE(sys2.kernelTask()->attr.simulate);
+    EXPECT_FALSE(sys2.shellTask()->attr.inherit);
+}
+
+TEST(System, FirstUserTaskGetsExpectedTid)
+{
+    WorkloadSpec wl = tinyWorkload();
+    System sys(baseConfig(), wl);
+    bool found = false;
+    for (const auto &t : sys.tasks()) {
+        if (t->tid == kFirstUserTaskId) {
+            EXPECT_EQ(t->component, Component::User);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(System, SyscallsHappenAtConfiguredRate)
+{
+    WorkloadSpec wl = tinyWorkload();
+    System sys(baseConfig(), wl);
+    RunResult r = sys.run();
+    double expected = static_cast<double>(wl.userInstr())
+                      * wl.syscallsPer1k / 1000.0;
+    EXPECT_NEAR(static_cast<double>(r.syscalls), expected,
+                expected * 0.2);
+}
+
+TEST(System, ServersExecuteOnlyWhenDriven)
+{
+    // eqntott barely touches X (xProb = 0): X server executes
+    // nothing.
+    WorkloadSpec wl = makeWorkload("eqntott", 2000);
+    System sys(baseConfig(), wl);
+    RunResult r = sys.run();
+    EXPECT_EQ(r.instr[static_cast<unsigned>(Component::X)], 0u);
+    EXPECT_GT(r.instr[static_cast<unsigned>(Component::Bsd)], 0u);
+}
+
+TEST(System, DmaFlushesHappen)
+{
+    WorkloadSpec wl = tinyWorkload();
+    SystemConfig cfg = baseConfig();
+    cfg.dmaFlushPeriod = 2;
+    System sys(cfg, wl);
+    RunResult r = sys.run();
+    EXPECT_GT(r.dmaFlushes, 0u);
+    EXPECT_LE(r.dmaFlushes, r.ticks / 2 + 1);
+}
+
+TEST(System, DmaCanBeDisabled)
+{
+    WorkloadSpec wl = tinyWorkload();
+    SystemConfig cfg = baseConfig();
+    cfg.dmaFlushPeriod = 0;
+    System sys(cfg, wl);
+    EXPECT_EQ(sys.run().dmaFlushes, 0u);
+}
+
+TEST(System, InstrumentationCostDilatesTime)
+{
+    // A client charging cycles per reference must stretch the run.
+    class CostClient : public SimClient
+    {
+      public:
+        Cycles
+        onRef(const Task &, Addr, Addr, bool, AccessKind) override
+        {
+            return 10;
+        }
+    };
+
+    WorkloadSpec wl = tinyWorkload();
+    System plain(baseConfig(), wl);
+    Cycles normal = plain.run().cycles;
+
+    System instr(baseConfig(), wl);
+    CostClient client;
+    instr.setClient(&client);
+    RunResult r = instr.run();
+    EXPECT_GT(r.cycles, normal * 5);
+    // More elapsed time at a fixed tick rate = more interrupts.
+    System plain2(baseConfig(), wl);
+    EXPECT_GT(r.ticks, plain2.run().ticks * 4);
+}
+
+TEST(SystemDeath, RunTwiceForbidden)
+{
+    WorkloadSpec wl = tinyWorkload();
+    System sys(baseConfig(), wl);
+    sys.run();
+    EXPECT_DEATH(sys.run(), "called twice");
+}
+
+} // namespace
+} // namespace tw

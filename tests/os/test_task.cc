@@ -1,0 +1,91 @@
+/** @file Tests of the task structure and attribute inheritance. */
+
+#include <gtest/gtest.h>
+
+#include "os/task.hh"
+#include "workload/loop_nest.hh"
+
+namespace tw
+{
+namespace
+{
+
+std::unique_ptr<RefStream>
+tinyStream()
+{
+    StreamParams p;
+    p.base = 0x400000;
+    p.textBytes = 4096;
+    p.ladder = {{256, 2.0}};
+    return std::make_unique<LoopNestStream>(p);
+}
+
+Task
+makeTask(TaskId tid)
+{
+    return Task(tid, "t", Component::User, tinyStream(), 1);
+}
+
+TEST(Task, PageTableWindowMatchesStream)
+{
+    Task t = makeTask(5);
+    EXPECT_EQ(t.pageTable.vaBase(), 0x400000u);
+    EXPECT_EQ(t.pageTable.numPages(), 1u);
+}
+
+/** The paper's inheritance rule:
+ *    child.simulate <- parent.inherit
+ *    child.inherit  <- parent.inherit */
+TEST(Task, InheritanceRule)
+{
+    Task parent = makeTask(1);
+    Task child = makeTask(2);
+
+    // (simulate=0, inherit=1): shell idiom — children simulated.
+    parent.attr = {false, true};
+    child.inheritFrom(parent);
+    EXPECT_TRUE(child.attr.simulate);
+    EXPECT_TRUE(child.attr.inherit);
+
+    // (simulate=1, inherit=0): task itself only (kernel idiom).
+    parent.attr = {true, false};
+    child.inheritFrom(parent);
+    EXPECT_FALSE(child.attr.simulate);
+    EXPECT_FALSE(child.attr.inherit);
+
+    // (simulate=0, inherit=0): nothing simulated.
+    parent.attr = {false, false};
+    child.inheritFrom(parent);
+    EXPECT_FALSE(child.attr.simulate);
+    EXPECT_FALSE(child.attr.inherit);
+}
+
+TEST(Task, GrandchildrenStaySimulated)
+{
+    Task shell = makeTask(1);
+    shell.attr = {false, true};
+    Task child = makeTask(2);
+    child.inheritFrom(shell);
+    Task grandchild = makeTask(3);
+    grandchild.inheritFrom(child);
+    EXPECT_TRUE(grandchild.attr.simulate);
+    EXPECT_TRUE(grandchild.attr.inherit);
+}
+
+TEST(Task, FinishedTracksBudget)
+{
+    Task t = makeTask(1);
+    t.budget = 10;
+    EXPECT_FALSE(t.finished());
+    t.executed = 10;
+    EXPECT_TRUE(t.finished());
+}
+
+TEST(Task, StreamlessTaskHasMinimalTable)
+{
+    Task shell(3, "shell", Component::User, nullptr, 0);
+    EXPECT_EQ(shell.pageTable.numPages(), 1u);
+}
+
+} // namespace
+} // namespace tw

@@ -1,0 +1,210 @@
+/** @file Tests of the VM system: faults, sharing, registration. */
+
+#include <gtest/gtest.h>
+
+#include "os/vm.hh"
+#include "workload/loop_nest.hh"
+
+namespace tw
+{
+namespace
+{
+
+std::unique_ptr<RefStream>
+streamAt(Addr base, std::uint64_t text = 16 * 1024)
+{
+    StreamParams p;
+    p.base = base;
+    p.textBytes = text;
+    p.ladder = {{256, 2.0}};
+    return std::make_unique<LoopNestStream>(p);
+}
+
+/** Records register/remove upcalls for inspection. */
+class RecordingClient : public SimClient
+{
+  public:
+    Cycles
+    onRef(const Task &, Addr, Addr, bool, AccessKind) override
+    {
+        return 0;
+    }
+
+    void
+    onPageMapped(const Task &, Vpn vpn, Pfn pfn, bool shared) override
+    {
+        mapped.push_back({vpn, pfn, shared});
+    }
+
+    void
+    onPageRemoved(const Task &, Vpn vpn, Pfn pfn, bool last) override
+    {
+        removed.push_back({vpn, pfn, last});
+    }
+
+    struct Event
+    {
+        Vpn vpn;
+        Pfn pfn;
+        bool flag;
+    };
+    std::vector<Event> mapped;
+    std::vector<Event> removed;
+};
+
+TEST(Vm, FaultMapsPage)
+{
+    Vm vm(256, AllocPolicy::Sequential, 1, 4);
+    Task t(5, "a", Component::User, streamAt(0x400000), 1);
+    Vpn vpn = t.pageTable.firstVpn();
+    Pfn pfn = vm.fault(t, vpn);
+    EXPECT_GE(pfn, 4);
+    EXPECT_EQ(t.pageTable.mappedFrame(vpn), pfn);
+    EXPECT_EQ(vm.refCount(pfn), 1u);
+    EXPECT_EQ(vm.stats().faults, 1u);
+}
+
+TEST(Vm, SameBinarySharesFrames)
+{
+    Vm vm(256, AllocPolicy::Sequential, 1, 0);
+    Task a(5, "a", Component::User, streamAt(0x400000), 1);
+    Task b(6, "b", Component::User, streamAt(0x400000), 2);
+    Vpn vpn = a.pageTable.firstVpn();
+    Pfn fa = vm.fault(a, vpn);
+    Pfn fb = vm.fault(b, vpn);
+    EXPECT_EQ(fa, fb);
+    EXPECT_EQ(vm.refCount(fa), 2u);
+    EXPECT_EQ(vm.stats().sharedMaps, 1u);
+}
+
+TEST(Vm, DifferentBinariesGetDifferentFrames)
+{
+    Vm vm(256, AllocPolicy::Sequential, 1, 0);
+    Task a(5, "a", Component::User, streamAt(0x400000), 1);
+    Task b(6, "b", Component::User, streamAt(0x500000), 2);
+    Pfn fa = vm.fault(a, a.pageTable.firstVpn());
+    Pfn fb = vm.fault(b, b.pageTable.firstVpn());
+    EXPECT_NE(fa, fb);
+}
+
+TEST(Vm, RegistersOnlySimulatedTasks)
+{
+    Vm vm(256, AllocPolicy::Sequential, 1, 0);
+    RecordingClient client;
+    vm.setClient(&client);
+
+    Task sim(5, "sim", Component::User, streamAt(0x400000), 1);
+    sim.attr.simulate = true;
+    Task plain(6, "plain", Component::User, streamAt(0x500000), 2);
+    plain.attr.simulate = false;
+
+    vm.fault(sim, sim.pageTable.firstVpn());
+    vm.fault(plain, plain.pageTable.firstVpn());
+    EXPECT_EQ(client.mapped.size(), 1u);
+    EXPECT_FALSE(client.mapped[0].flag); // not shared
+}
+
+TEST(Vm, SharedRegistrationFlagged)
+{
+    Vm vm(256, AllocPolicy::Sequential, 1, 0);
+    RecordingClient client;
+    vm.setClient(&client);
+
+    Task a(5, "a", Component::User, streamAt(0x400000), 1);
+    Task b(6, "b", Component::User, streamAt(0x400000), 2);
+    a.attr.simulate = true;
+    b.attr.simulate = true;
+    Vpn vpn = a.pageTable.firstVpn();
+    vm.fault(a, vpn);
+    vm.fault(b, vpn);
+    ASSERT_EQ(client.mapped.size(), 2u);
+    EXPECT_FALSE(client.mapped[0].flag);
+    EXPECT_TRUE(client.mapped[1].flag);
+    EXPECT_EQ(vm.simRefCount(client.mapped[0].pfn), 2u);
+}
+
+TEST(Vm, RemoveTaskFreesAndDeregisters)
+{
+    Vm vm(256, AllocPolicy::Sequential, 1, 0);
+    RecordingClient client;
+    vm.setClient(&client);
+
+    Task t(5, "t", Component::User, streamAt(0x400000), 1);
+    t.attr.simulate = true;
+    Vpn vpn = t.pageTable.firstVpn();
+    Pfn pfn = vm.fault(t, vpn);
+    vm.removeTask(t);
+    ASSERT_EQ(client.removed.size(), 1u);
+    EXPECT_TRUE(client.removed[0].flag); // last mapping
+    EXPECT_TRUE(t.exited);
+    EXPECT_EQ(vm.refCount(pfn), 0u);
+    EXPECT_EQ(vm.stats().framesFreed, 1u);
+    // The frame can be reused for a different image.
+    Task u(7, "u", Component::User, streamAt(0x600000), 1);
+    EXPECT_EQ(vm.fault(u, u.pageTable.firstVpn()), pfn);
+}
+
+TEST(Vm, SharedFrameSurvivesFirstExit)
+{
+    Vm vm(256, AllocPolicy::Sequential, 1, 0);
+    RecordingClient client;
+    vm.setClient(&client);
+
+    Task a(5, "a", Component::User, streamAt(0x400000), 1);
+    Task b(6, "b", Component::User, streamAt(0x400000), 2);
+    a.attr.simulate = true;
+    b.attr.simulate = true;
+    Vpn vpn = a.pageTable.firstVpn();
+    Pfn pfn = vm.fault(a, vpn);
+    vm.fault(b, vpn);
+
+    vm.removeTask(a);
+    ASSERT_EQ(client.removed.size(), 1u);
+    EXPECT_FALSE(client.removed[0].flag); // b still maps it
+    EXPECT_EQ(vm.refCount(pfn), 1u);
+
+    vm.removeTask(b);
+    ASSERT_EQ(client.removed.size(), 2u);
+    EXPECT_TRUE(client.removed[1].flag);
+    EXPECT_EQ(vm.refCount(pfn), 0u);
+}
+
+TEST(Vm, DmaVictimSkipsFreedFrames)
+{
+    Vm vm(256, AllocPolicy::Sequential, 1, 0);
+    Task a(5, "a", Component::User, streamAt(0x400000), 1);
+    Task b(6, "b", Component::User, streamAt(0x500000), 2);
+    Pfn fa = vm.fault(a, a.pageTable.firstVpn());
+    Pfn fb = vm.fault(b, b.pageTable.firstVpn());
+    EXPECT_EQ(vm.dmaVictim(0), fa);
+    EXPECT_EQ(vm.dmaVictim(1), fb);
+    vm.removeTask(a);
+    EXPECT_EQ(vm.dmaVictim(0), fb); // fa freed, skipped
+}
+
+TEST(Vm, DmaVictimEmpty)
+{
+    Vm vm(64, AllocPolicy::Sequential, 1, 0);
+    EXPECT_EQ(vm.dmaVictim(0), kNoFrame);
+}
+
+TEST(VmDeath, OutOfMemoryIsFatal)
+{
+    Vm vm(2, AllocPolicy::Sequential, 1, 1); // one usable frame
+    Task t(5, "t", Component::User, streamAt(0x400000), 1);
+    vm.fault(t, t.pageTable.firstVpn());
+    EXPECT_EXIT(vm.fault(t, t.pageTable.firstVpn() + 1),
+                ::testing::ExitedWithCode(1), "out of physical");
+}
+
+TEST(VmDeath, DoubleRemove)
+{
+    Vm vm(64, AllocPolicy::Sequential, 1, 0);
+    Task t(5, "t", Component::User, streamAt(0x400000), 1);
+    vm.fault(t, t.pageTable.firstVpn());
+    vm.removeTask(t);
+    EXPECT_DEATH(vm.removeTask(t), "double removeTask");
+}
+
+} // namespace
+} // namespace tw

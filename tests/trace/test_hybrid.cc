@@ -1,0 +1,120 @@
+/** @file Tests of the hybrid annotation-based simulator. */
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.hh"
+#include "os/system.hh"
+#include "trace/hybrid.hh"
+#include "trace/pixie.hh"
+
+namespace tw
+{
+namespace
+{
+
+HybridConfig
+config(std::uint64_t size = 4096)
+{
+    HybridConfig cfg;
+    cfg.cache = CacheConfig::icache(size, 16, 1, Indexing::Virtual);
+    return cfg;
+}
+
+TEST(Hybrid, EveryAnnotatedRefPaysNullHandler)
+{
+    WorkloadSpec wl = makeWorkload("espresso", 8000);
+    SystemConfig sys;
+    sys.trialSeed = 3;
+    System system(sys, wl);
+    HybridClient hybrid(kFirstUserTaskId, config());
+    system.setClient(&hybrid);
+    RunResult r = system.run();
+
+    EXPECT_EQ(hybrid.stats().refs,
+              r.instr[static_cast<unsigned>(Component::User)]);
+    // Floor: at least nullHandlerCycles per annotated ref.
+    EXPECT_GE(hybrid.stats().cycles, hybrid.stats().refs * 5);
+}
+
+TEST(Hybrid, MissCountsMatchTraceDriven)
+{
+    // Same machine, same task, same virtual cache: the hybrid and
+    // the Pixie+Cache2000 combination must count the same misses
+    // when neither charges cycles (identical interleaving).
+    WorkloadSpec wl = makeWorkload("mpeg_play", 8000);
+    SystemConfig sys;
+    sys.trialSeed = 5;
+
+    System a(sys, wl);
+    HybridConfig hcfg = config();
+    hcfg.nullHandlerCycles = 0;
+    hcfg.missHandlerCycles = 0;
+    HybridClient hybrid(kFirstUserTaskId, hcfg);
+    a.setClient(&hybrid);
+    a.run();
+
+    System b(sys, wl);
+    Cache2000Config ccfg;
+    ccfg.cache = config().cache;
+    ccfg.hitCycles = 0;
+    ccfg.missExtraCycles = 0;
+    Cache2000 c2k(ccfg);
+    PixieClient pixie(kFirstUserTaskId, &c2k, PixieConfig{0});
+    b.setClient(&pixie);
+    b.run();
+
+    EXPECT_EQ(hybrid.stats().misses, c2k.stats().misses);
+    EXPECT_EQ(hybrid.stats().refs, c2k.stats().refs);
+}
+
+TEST(Hybrid, OtherTasksInvisible)
+{
+    WorkloadSpec wl = makeWorkload("ousterhout", 4000);
+    SystemConfig sys;
+    System system(sys, wl);
+    HybridClient hybrid(kFirstUserTaskId, config());
+    system.setClient(&hybrid);
+    RunResult r = system.run();
+    // Kernel + servers + the other 14 user tasks never appear.
+    EXPECT_LT(hybrid.stats().refs, r.totalInstr() / 10);
+}
+
+TEST(Hybrid, CostRegimeBetweenTraceAndTrap)
+{
+    // At a large cache (miss ratio ~ 0) the hybrid's slowdown floor
+    // is its null handler — far below trace-driven, above
+    // trap-driven's ~zero.
+    WorkloadSpec wl = makeWorkload("mpeg_play", 4000);
+    SystemConfig sys;
+    sys.trialSeed = 9;
+
+    System plain(sys, wl);
+    double normal = static_cast<double>(plain.run().cycles);
+
+    System h(sys, wl);
+    HybridClient hybrid(kFirstUserTaskId, config(64 * 1024));
+    h.setClient(&hybrid);
+    double hybrid_slow =
+        (static_cast<double>(h.run().cycles) - normal) / normal;
+
+    // Floor ~ userFrac * null / cpi = 0.446 * 5 / 2 ~ 1.1.
+    EXPECT_GT(hybrid_slow, 0.5);
+    EXPECT_LT(hybrid_slow, 3.0);
+}
+
+TEST(Hybrid, NonFetchRefsIgnored)
+{
+    WorkloadSpec wl = makeWorkload("espresso", 8000);
+    SystemConfig sys;
+    System system(sys, wl);
+    HybridClient hybrid(kFirstUserTaskId, config());
+    system.setClient(&hybrid);
+    RunResult r = system.run();
+    EXPECT_GT(r.dataRefs, 0u);
+    // refs counted == fetches only.
+    EXPECT_EQ(hybrid.stats().refs,
+              r.instr[static_cast<unsigned>(Component::User)]);
+}
+
+} // namespace
+} // namespace tw

@@ -1,0 +1,125 @@
+/** @file Tests of the system-wide trace-buffer simulator. */
+
+#include <gtest/gtest.h>
+
+#include "harness/oracle.hh"
+#include "os/system.hh"
+#include "trace/trace_buffer.hh"
+#include "workload/spec.hh"
+
+namespace tw
+{
+namespace
+{
+
+TraceBufferConfig
+config(std::uint64_t cache = 4096, std::size_t entries = 4096)
+{
+    TraceBufferConfig cfg;
+    cfg.cache = CacheConfig::icache(cache, 16, 1, Indexing::Virtual);
+    cfg.bufferEntries = entries;
+    return cfg;
+}
+
+TEST(TraceBuffer, SeesEveryComponent)
+{
+    WorkloadSpec wl = makeWorkload("ousterhout", 4000);
+    SystemConfig sys;
+    sys.trialSeed = 3;
+    System machine(sys, wl);
+    TraceBufferClient client(config());
+    machine.setClient(&client);
+    RunResult r = machine.run();
+    client.drain();
+
+    // Completeness: every fetch of every component was traced.
+    EXPECT_EQ(client.stats().refs, r.totalInstr());
+    EXPECT_GT(client.stats().misses[static_cast<unsigned>(
+                  Component::Kernel)],
+              0u);
+    EXPECT_GT(client.stats().misses[static_cast<unsigned>(
+                  Component::Bsd)],
+              0u);
+    EXPECT_GT(client.stats().misses[static_cast<unsigned>(
+                  Component::User)],
+              0u);
+}
+
+TEST(TraceBuffer, DrainsWhenFull)
+{
+    WorkloadSpec wl = makeWorkload("espresso", 8000);
+    SystemConfig sys;
+    System machine(sys, wl);
+    TraceBufferClient client(config(4096, 1024));
+    machine.setClient(&client);
+    RunResult r = machine.run();
+    Counter expected_drains = r.totalInstr() / 1024;
+    EXPECT_NEAR(static_cast<double>(client.stats().drains),
+                static_cast<double>(expected_drains), 1.0);
+    EXPECT_LT(client.buffered(), 1024u);
+}
+
+TEST(TraceBuffer, MissesMatchOracleWhenFree)
+{
+    // With zero costs the machine timing is identical, and buffered
+    // simulation must count exactly what the oracle counts
+    // (virtually-indexed cache, tid tags).
+    WorkloadSpec wl = makeWorkload("mpeg_play", 8000);
+    SystemConfig sys;
+    sys.trialSeed = 9;
+    sys.dmaFlushPeriod = 0; // traces cannot carry DMA events
+
+    System a(sys, wl);
+    TraceBufferConfig cfg = config();
+    cfg.writeCycles = 0;
+    cfg.drainPerEntry = 0;
+    TraceBufferClient buffered(cfg);
+    a.setClient(&buffered);
+    a.run();
+    buffered.drain();
+
+    System b(sys, wl);
+    OracleClient oracle(cfg.cache, b.physMem().numFrames());
+    b.setClient(&oracle);
+    b.run();
+
+    EXPECT_EQ(buffered.stats().totalMisses(), oracle.totalMisses());
+}
+
+TEST(TraceBuffer, CostsAreChargedPerRefAndPerDrain)
+{
+    WorkloadSpec wl = makeWorkload("espresso", 8000);
+    SystemConfig sys;
+    System plain(sys, wl);
+    Cycles normal = plain.run().cycles;
+
+    System machine(sys, wl);
+    TraceBufferClient client(config());
+    machine.setClient(&client);
+    Cycles instrumented = machine.run().cycles;
+
+    // Expected: ~ (write + drain) cycles per fetch.
+    double per_ref = 10.0 + 55.0;
+    double expected = static_cast<double>(client.stats().refs)
+                      * per_ref;
+    EXPECT_NEAR(static_cast<double>(instrumented - normal), expected,
+                expected * 0.1);
+}
+
+TEST(TraceBuffer, TailDrainCountsRemainder)
+{
+    WorkloadSpec wl = makeWorkload("eqntott", 8000);
+    SystemConfig sys;
+    System machine(sys, wl);
+    TraceBufferClient client(config(4096, 1u << 20)); // never fills
+    machine.setClient(&client);
+    machine.run();
+    EXPECT_EQ(client.stats().totalMisses(), 0u); // nothing drained
+    EXPECT_GT(client.buffered(), 0u);
+    client.drain();
+    EXPECT_GT(client.stats().totalMisses(), 0u);
+    EXPECT_EQ(client.buffered(), 0u);
+}
+
+} // namespace
+} // namespace tw

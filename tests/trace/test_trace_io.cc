@@ -1,0 +1,156 @@
+/** @file Tests of binary trace files (writer/reader round trips). */
+
+#include <cstdio>
+#include <unistd.h>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/random.hh"
+#include "base/logging.hh"
+#include "trace/trace_io.hh"
+
+namespace tw
+{
+namespace
+{
+
+std::string
+tmpPath(const char *tag)
+{
+    return csprintf("%s/tw_trace_%s_%d.trc",
+                    ::testing::TempDir().c_str(), tag, getpid());
+}
+
+TEST(Zigzag, RoundTrip)
+{
+    for (std::int64_t v : {0ll, 1ll, -1ll, 100ll, -100ll,
+                           (1ll << 40), -(1ll << 40)}) {
+        EXPECT_EQ(unzigzag(zigzag(v)), v);
+    }
+    EXPECT_EQ(zigzag(0), 0u);
+    EXPECT_EQ(zigzag(-1), 1u);
+    EXPECT_EQ(zigzag(1), 2u);
+}
+
+TEST(TraceIo, EmptyTrace)
+{
+    std::string path = tmpPath("empty");
+    {
+        TraceWriter w(path);
+        w.close();
+    }
+    TraceReader r(path);
+    TraceRecord rec;
+    EXPECT_FALSE(r.next(rec));
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, SimpleRoundTrip)
+{
+    std::string path = tmpPath("simple");
+    std::vector<TraceRecord> in = {
+        {0x400000, 4}, {0x400004, 4}, {0x400008, 4},
+        {0x800000, 0}, {0x400010, 4},
+    };
+    {
+        TraceWriter w(path);
+        for (const auto &rec : in)
+            w.put(rec);
+        EXPECT_EQ(w.records(), in.size());
+        w.close();
+    }
+    TraceReader r(path);
+    TraceRecord rec;
+    std::vector<TraceRecord> out;
+    while (r.next(rec))
+        out.push_back(rec);
+    EXPECT_EQ(out, in);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, SequentialCodeCompressesToOneBytePerRef)
+{
+    std::string path = tmpPath("seq");
+    TraceWriter w(path);
+    for (Addr a = 0x400000; a < 0x400000 + 40000; a += 4)
+        w.put(TraceRecord{a, 1});
+    w.close();
+    // 10000 sequential records: first is larger, rest 1 byte each.
+    EXPECT_LT(w.bytesWritten(), 10100u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, RandomRoundTripProperty)
+{
+    std::string path = tmpPath("rand");
+    Rng rng(31);
+    std::vector<TraceRecord> in;
+    for (int i = 0; i < 50000; ++i) {
+        TraceRecord rec;
+        rec.va = (rng.below(1ull << 32)) & ~3ull;
+        rec.tid = static_cast<TaskId>(rng.below(300));
+        in.push_back(rec);
+    }
+    {
+        TraceWriter w(path);
+        for (const auto &rec : in)
+            w.put(rec);
+        w.close();
+    }
+    TraceReader r(path);
+    TraceRecord rec;
+    std::size_t i = 0;
+    while (r.next(rec)) {
+        ASSERT_LT(i, in.size());
+        ASSERT_EQ(rec, in[i]) << "record " << i;
+        ++i;
+    }
+    EXPECT_EQ(i, in.size());
+    EXPECT_EQ(r.records(), in.size());
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, LargeBackwardJumps)
+{
+    std::string path = tmpPath("jump");
+    std::vector<TraceRecord> in = {
+        {0xffffffff0000ull, 1},
+        {0x10ull, 1},
+        {0xffffffff0000ull, 1},
+    };
+    {
+        TraceWriter w(path);
+        for (const auto &rec : in)
+            w.put(rec);
+        w.close();
+    }
+    TraceReader r(path);
+    TraceRecord rec;
+    for (const auto &expect : in) {
+        ASSERT_TRUE(r.next(rec));
+        EXPECT_EQ(rec, expect);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoDeath, BadMagicRejected)
+{
+    std::string path = tmpPath("bad");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    std::fputs("NOTATRACE", f);
+    std::fclose(f);
+    EXPECT_EXIT(TraceReader{path}, ::testing::ExitedWithCode(1),
+                "not a Tapeworm trace");
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoDeath, MissingFile)
+{
+    EXPECT_EXIT(TraceReader{"/nonexistent/nope.trc"},
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+} // namespace
+} // namespace tw

@@ -1,0 +1,210 @@
+/**
+ * @file Tests of the live mprotect/SIGSEGV trap engine — real
+ * trap-driven simulation of this very test process.
+ */
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "base/random.hh"
+#include "mem/cache.hh"
+#include "utrap/utrap.hh"
+
+namespace tw
+{
+namespace
+{
+
+std::size_t
+pageBytes()
+{
+    return static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+}
+
+TEST(Utrap, FirstTouchFaultsOncePerPage)
+{
+    UserTapeworm engine(UtrapConfig{64, 0, UtrapPolicy::Fifo, 1});
+    const std::size_t pages = 8;
+    auto *buf = static_cast<volatile char *>(
+        engine.registerBuffer(pages * pageBytes()));
+
+    for (std::size_t p = 0; p < pages; ++p)
+        buf[p * pageBytes()] = 1; // write faults
+
+    EXPECT_EQ(engine.stats().misses, pages);
+    EXPECT_EQ(engine.residentPages(), pages);
+
+    // All pages resident: re-touching is trap-free.
+    for (std::size_t p = 0; p < pages; ++p)
+        buf[p * pageBytes() + 100] = 2;
+    EXPECT_EQ(engine.stats().misses, pages);
+}
+
+TEST(Utrap, ReadsAndWritesBothTrap)
+{
+    UserTapeworm engine;
+    auto *buf =
+        static_cast<volatile char *>(engine.registerBuffer(2 * pageBytes()));
+    volatile char sink = buf[0]; // read fault
+    (void)sink;
+    buf[pageBytes()] = 1; // write fault
+    EXPECT_EQ(engine.stats().misses, 2u);
+}
+
+TEST(Utrap, CapacityEvictionFifo)
+{
+    // 2-entry TLB over 3 pages: classic FIFO thrash.
+    UserTapeworm engine(UtrapConfig{2, 0, UtrapPolicy::Fifo, 1});
+    auto *buf = static_cast<volatile char *>(
+        engine.registerBuffer(3 * pageBytes()));
+
+    buf[0 * pageBytes()] = 1; // miss {0}
+    buf[1 * pageBytes()] = 1; // miss {0,1}
+    buf[2 * pageBytes()] = 1; // miss, evicts 0 -> {1,2}
+    EXPECT_EQ(engine.stats().misses, 3u);
+    EXPECT_EQ(engine.stats().evictions, 1u);
+
+    buf[1 * pageBytes()] = 2; // hit
+    EXPECT_EQ(engine.stats().misses, 3u);
+    buf[0 * pageBytes()] = 2; // miss again, evicts 1
+    EXPECT_EQ(engine.stats().misses, 4u);
+    buf[2 * pageBytes()] = 2; // still resident
+    EXPECT_EQ(engine.stats().misses, 4u);
+    EXPECT_EQ(engine.residentPages(), 2u);
+}
+
+TEST(Utrap, DataSurvivesProtectionChurn)
+{
+    UserTapeworm engine(UtrapConfig{2, 0, UtrapPolicy::Fifo, 1});
+    auto *buf = static_cast<unsigned char *>(
+        engine.registerBuffer(4 * pageBytes()));
+    for (std::size_t p = 0; p < 4; ++p)
+        buf[p * pageBytes()] = static_cast<unsigned char>(p + 10);
+    // Pages were evicted and re-protected; contents must persist.
+    for (std::size_t p = 0; p < 4; ++p)
+        EXPECT_EQ(buf[p * pageBytes()], p + 10);
+}
+
+TEST(Utrap, ResetReArmsEverything)
+{
+    UserTapeworm engine(UtrapConfig{8, 0, UtrapPolicy::Fifo, 1});
+    auto *buf = static_cast<volatile char *>(
+        engine.registerBuffer(4 * pageBytes()));
+    for (std::size_t p = 0; p < 4; ++p)
+        buf[p * pageBytes()] = 1;
+    EXPECT_EQ(engine.stats().misses, 4u);
+
+    engine.reset();
+    EXPECT_EQ(engine.residentPages(), 0u);
+    for (std::size_t p = 0; p < 4; ++p)
+        buf[p * pageBytes()] = 2;
+    EXPECT_EQ(engine.stats().misses, 8u);
+}
+
+TEST(Utrap, OwnsReportsRegisteredRanges)
+{
+    UserTapeworm engine;
+    void *buf = engine.registerBuffer(pageBytes());
+    EXPECT_TRUE(engine.owns(buf));
+    EXPECT_TRUE(
+        engine.owns(static_cast<char *>(buf) + pageBytes() - 1));
+    EXPECT_FALSE(engine.owns(&engine));
+    engine.releaseBuffer(buf);
+    EXPECT_FALSE(engine.owns(buf));
+}
+
+TEST(Utrap, MultipleRegions)
+{
+    UserTapeworm engine(UtrapConfig{16, 0, UtrapPolicy::Fifo, 1});
+    auto *a = static_cast<volatile char *>(
+        engine.registerBuffer(2 * pageBytes()));
+    auto *b = static_cast<volatile char *>(
+        engine.registerBuffer(2 * pageBytes()));
+    a[0] = 1;
+    b[0] = 1;
+    a[pageBytes()] = 1;
+    EXPECT_EQ(engine.stats().misses, 3u);
+    engine.releaseBuffer(const_cast<char *>(a));
+    b[pageBytes()] = 1;
+    EXPECT_EQ(engine.stats().misses, 4u);
+}
+
+/**
+ * The headline validation (DESIGN.md invariant 7): the live engine
+ * must count exactly the misses a software TLB model predicts for
+ * the same page-access sequence.
+ */
+class UtrapVsModel
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{
+};
+
+TEST_P(UtrapVsModel, MissCountMatchesReferenceReplay)
+{
+    auto [entries, assoc] = GetParam();
+    const std::size_t pages = 48;
+
+    // Generate a deterministic page-access sequence.
+    Rng rng(1234);
+    std::vector<std::size_t> sequence;
+    for (int i = 0; i < 3000; ++i)
+        sequence.push_back(rng.geometric(0.08) % pages);
+
+    UserTapeworm engine(
+        UtrapConfig{entries, assoc, UtrapPolicy::Fifo, 1});
+    auto *buf = static_cast<volatile char *>(
+        engine.registerBuffer(pages * pageBytes()));
+    for (std::size_t p : sequence)
+        buf[p * pageBytes()] = 1;
+
+    // Replay through the software TLB model.
+    CacheConfig tlb_cfg = CacheConfig::tlb(
+        entries, assoc, static_cast<std::uint32_t>(pageBytes()));
+    tlb_cfg.policy = ReplPolicy::FIFO;
+    Cache model(tlb_cfg);
+    std::uintptr_t base = reinterpret_cast<std::uintptr_t>(buf);
+    Counter model_misses = 0;
+    for (std::size_t p : sequence) {
+        std::uintptr_t vpn =
+            (base + p * pageBytes()) / pageBytes();
+        LineRef ref{vpn, vpn, 1};
+        if (!model.contains(ref)) {
+            ++model_misses;
+            model.insert(ref);
+        }
+    }
+    EXPECT_EQ(engine.stats().misses, model_misses);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, UtrapVsModel,
+    ::testing::Values(std::make_tuple(4u, 0u),
+                      std::make_tuple(16u, 0u),
+                      std::make_tuple(16u, 1u),
+                      std::make_tuple(32u, 4u)));
+
+TEST(Utrap, RandomPolicySeedDeterministic)
+{
+    Rng rng(7);
+    std::vector<std::size_t> sequence;
+    for (int i = 0; i < 1000; ++i)
+        sequence.push_back(rng.below(16));
+
+    std::uint64_t first_misses = 0;
+    for (int round = 0; round < 2; ++round) {
+        UserTapeworm engine(
+            UtrapConfig{4, 0, UtrapPolicy::Random, 99});
+        auto *buf = static_cast<volatile char *>(
+            engine.registerBuffer(16 * pageBytes()));
+        for (std::size_t p : sequence)
+            buf[p * pageBytes()] = 1;
+        if (round == 0)
+            first_misses = engine.stats().misses;
+        else
+            EXPECT_EQ(engine.stats().misses, first_misses);
+    }
+}
+
+} // namespace
+} // namespace tw

@@ -1,0 +1,121 @@
+/** @file Tests of the fragmentation-drift stream. */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "workload/fragmenting.hh"
+
+namespace tw
+{
+namespace
+{
+
+FragmentingParams
+params()
+{
+    FragmentingParams p;
+    p.base = 0x400000;
+    p.basePages = 4;
+    p.maxPages = 64;
+    p.refsPerNewPage = 1000;
+    p.seed = 3;
+    return p;
+}
+
+TEST(Fragmenting, AddressesStayInWindow)
+{
+    FragmentingStream s(params());
+    for (int i = 0; i < 100000; ++i) {
+        Addr a = s.next();
+        ASSERT_GE(a, 0x400000u);
+        ASSERT_LT(a, 0x400000u + 64 * kHostPageBytes);
+        ASSERT_EQ(a % kWordBytes, 0u);
+    }
+}
+
+TEST(Fragmenting, WorkingSetGrowsLinearlyToCeiling)
+{
+    FragmentingStream s(params());
+    EXPECT_EQ(s.activePages(), 4u);
+    for (int i = 0; i < 10000; ++i)
+        s.next();
+    EXPECT_EQ(s.activePages(), 14u);
+    for (int i = 0; i < 1000000; ++i)
+        s.next();
+    EXPECT_EQ(s.activePages(), 64u); // capped at maxPages
+}
+
+TEST(Fragmenting, DistinctPagesTouchedGrowOverTime)
+{
+    FragmentingStream s(params());
+    auto touched_in = [&](int refs) {
+        std::set<Addr> pages;
+        for (int i = 0; i < refs; ++i)
+            pages.insert(s.next() / kHostPageBytes);
+        return pages.size();
+    };
+    std::size_t early = touched_in(5000);
+    for (int i = 0; i < 40000; ++i)
+        s.next();
+    std::size_t late = touched_in(5000);
+    EXPECT_GT(late, early);
+}
+
+TEST(Fragmenting, RecencyBiasPrefersNewestPages)
+{
+    FragmentingParams p = params();
+    p.basePages = 32;
+    p.refsPerNewPage = 1u << 30; // no growth: isolate the skew
+    FragmentingStream s(p);
+    Counter newest_half = 0, total = 20000;
+    for (Counter i = 0; i < total; ++i) {
+        Addr page = (s.next() - p.base) / kHostPageBytes;
+        if (page >= 16)
+            ++newest_half;
+    }
+    EXPECT_GT(newest_half, total * 6 / 10);
+}
+
+TEST(Fragmenting, ResetRestartsGrowth)
+{
+    FragmentingStream s(params());
+    for (int i = 0; i < 50000; ++i)
+        s.next();
+    EXPECT_GT(s.activePages(), 4u);
+    s.reset(3);
+    EXPECT_EQ(s.activePages(), 4u);
+}
+
+TEST(Fragmenting, DeterministicPerSeed)
+{
+    FragmentingStream a(params()), b(params());
+    for (int i = 0; i < 50000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Fragmenting, CloneRestarts)
+{
+    FragmentingStream s(params());
+    for (int i = 0; i < 1000; ++i)
+        s.next();
+    auto c = s.clone();
+    EXPECT_EQ(c->textBase(), 0x400000u);
+    EXPECT_EQ(c->textBytes(), 64u * kHostPageBytes);
+}
+
+TEST(FragmentingDeath, BadParams)
+{
+    FragmentingParams p = params();
+    p.base = 0x400010;
+    EXPECT_DEATH(FragmentingStream{p}, "page aligned");
+    p = params();
+    p.basePages = 100; // above maxPages (64)
+    EXPECT_DEATH(FragmentingStream{p}, "page-set bounds");
+    p = params();
+    p.refsPerNewPage = 0;
+    EXPECT_DEATH(FragmentingStream{p}, "growth interval");
+}
+
+} // namespace
+} // namespace tw

@@ -1,0 +1,221 @@
+/** @file Tests of the loop-nest stream generator. */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+#include "mem/stack_sim.hh"
+#include "workload/loop_nest.hh"
+
+namespace tw
+{
+namespace
+{
+
+StreamParams
+simpleParams()
+{
+    StreamParams p;
+    p.base = 0x400000;
+    p.textBytes = 8192;
+    p.ladder = {{256, 2.0}, {1024, 3.0}};
+    p.excursionProb = 0.0;
+    p.seed = 5;
+    return p;
+}
+
+TEST(LoopNest, AddressesStayInText)
+{
+    StreamParams p = simpleParams();
+    p.excursionProb = 0.05;
+    LoopNestStream s(p);
+    for (int i = 0; i < 200000; ++i) {
+        Addr a = s.next();
+        ASSERT_GE(a, p.base);
+        ASSERT_LT(a, p.base + p.textBytes);
+        ASSERT_EQ(a % kWordBytes, 0u);
+    }
+}
+
+TEST(LoopNest, StartsSequential)
+{
+    LoopNestStream s(simpleParams());
+    EXPECT_EQ(s.next(), 0x400000u);
+    EXPECT_EQ(s.next(), 0x400004u);
+    EXPECT_EQ(s.next(), 0x400008u);
+}
+
+TEST(LoopNest, InnerLoopRepeats)
+{
+    // With integer reps=2 and no jitter, the first 256-byte chunk
+    // is swept exactly twice before moving on.
+    StreamParams p = simpleParams();
+    LoopNestStream s(p);
+    std::vector<Addr> first_sweep, second_sweep;
+    for (int i = 0; i < 64; ++i)
+        first_sweep.push_back(s.next());
+    for (int i = 0; i < 64; ++i)
+        second_sweep.push_back(s.next());
+    EXPECT_EQ(first_sweep, second_sweep);
+    // Third sweep moves to the next chunk.
+    EXPECT_EQ(s.next(), 0x400000u + 256);
+}
+
+TEST(LoopNest, DeterministicPerSeed)
+{
+    StreamParams p = simpleParams();
+    p.ladder = {{256, 1.5}, {1024, 2.5}}; // fractional: uses RNG
+    LoopNestStream a(p), b(p);
+    for (int i = 0; i < 100000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(LoopNest, ResetRestarts)
+{
+    StreamParams p = simpleParams();
+    LoopNestStream s(p);
+    Addr first = s.next();
+    for (int i = 0; i < 1000; ++i)
+        s.next();
+    s.reset(p.seed);
+    EXPECT_EQ(s.next(), first);
+}
+
+TEST(LoopNest, DifferentSeedsDiverge)
+{
+    StreamParams p = simpleParams();
+    p.ladder = {{256, 1.5}, {1024, 2.5}};
+    p.excursionProb = 0.05;
+    LoopNestStream a(p);
+    StreamParams p2 = p;
+    p2.seed = 77;
+    LoopNestStream b(p2);
+    int diffs = 0;
+    for (int i = 0; i < 100000; ++i)
+        diffs += a.next() != b.next();
+    EXPECT_GT(diffs, 0);
+}
+
+TEST(LoopNest, CloneIsIndependentCopy)
+{
+    StreamParams p = simpleParams();
+    LoopNestStream s(p);
+    for (int i = 0; i < 100; ++i)
+        s.next();
+    auto c = s.clone();
+    // Clone restarts from the beginning with the same params.
+    EXPECT_EQ(c->next(), p.base);
+    EXPECT_EQ(c->textBase(), p.base);
+    EXPECT_EQ(c->textBytes(), p.textBytes);
+}
+
+TEST(LoopNest, WrapsForever)
+{
+    StreamParams p;
+    p.base = 0x400000;
+    p.textBytes = 1024;
+    p.ladder = {{256, 1.0}};
+    p.excursionProb = 0.0;
+    LoopNestStream s(p);
+    // 1024 bytes = 256 words per full sweep; run 10 sweeps.
+    Counter count = 0;
+    for (int i = 0; i < 2560; ++i) {
+        if (s.next() == p.base)
+            ++count;
+    }
+    EXPECT_EQ(count, 10u);
+}
+
+/** The headline property: the ladder programs the miss-ratio curve.
+ *  m(C) ~ 0.25 / prod{n_i : span_i <= C} for fully-assoc LRU. */
+TEST(LoopNest, LadderProgramsMissCurve)
+{
+    StreamParams p;
+    p.base = 0x400000;
+    p.textBytes = 16384;
+    p.ladder = {{256, 4.0}, {1024, 2.0}, {4096, 5.0}};
+    p.excursionProb = 0.0;
+    p.seed = 9;
+    LoopNestStream s(p);
+
+    StackSim stack(16);
+    for (int i = 0; i < 400000; ++i)
+        stack.access(s.next());
+
+    double n = 400000;
+    double m1k = static_cast<double>(stack.missesForSize(1024)) / n;
+    double m4k = static_cast<double>(stack.missesForSize(4096)) / n;
+    double m16k = static_cast<double>(stack.missesForSize(16384)) / n;
+    // prod over levels with span <= C: at 1K both the 256B (x4)
+    // and 1K (x2) levels fit; at 4K the x5 level joins; at 16K the
+    // whole text fits so only cold misses remain.
+    EXPECT_NEAR(m1k, 0.25 / 8.0, 0.004);
+    EXPECT_NEAR(m4k, 0.25 / 40.0, 0.002);
+    EXPECT_LT(m16k, m4k);
+    EXPECT_GT(m1k, m4k);
+}
+
+TEST(LoopNest, LadderForMissTargetHitsTarget)
+{
+    for (double target : {0.01, 0.05, 0.12}) {
+        StreamParams p;
+        p.base = 0x400000;
+        p.textBytes = 64 * 1024;
+        p.ladder = ladderForMissTarget(target, p.textBytes);
+        p.excursionProb = 0.0;
+        p.seed = 3;
+        LoopNestStream s(p);
+        StackSim stack(16);
+        for (int i = 0; i < 500000; ++i)
+            stack.access(s.next());
+        double m4k =
+            static_cast<double>(stack.missesForSize(4096)) / 500000;
+        EXPECT_NEAR(m4k, target, target * 0.35) << "target " << target;
+    }
+}
+
+TEST(LoopNest, ExcursionsAddConflictTexture)
+{
+    StreamParams p = simpleParams();
+    LoopNestStream quiet(p);
+    StreamParams pe = p;
+    pe.excursionProb = 0.1;
+    LoopNestStream noisy(pe);
+
+    Cache cq(CacheConfig::icache(1024));
+    Cache cn(CacheConfig::icache(1024));
+    Counter mq = 0, mn = 0;
+    for (int i = 0; i < 200000; ++i) {
+        Addr a = quiet.next() >> 4;
+        mq += !cq.access(LineRef{a, a, 1}).hit;
+        Addr b = noisy.next() >> 4;
+        mn += !cn.access(LineRef{b, b, 1}).hit;
+    }
+    EXPECT_GT(mn, mq);
+}
+
+TEST(LoopNestDeath, RejectsBadLadders)
+{
+    StreamParams p = simpleParams();
+    p.ladder = {{1024, 2.0}, {256, 2.0}}; // not ascending
+    EXPECT_EXIT(LoopNestStream{p}, ::testing::ExitedWithCode(1),
+                "ascending");
+
+    p = simpleParams();
+    p.ladder = {{256, 0.5}}; // reps below 1
+    EXPECT_EXIT(LoopNestStream{p}, ::testing::ExitedWithCode(1),
+                "below 1");
+
+    p = simpleParams();
+    p.ladder = {{16384, 2.0}}; // span > text
+    EXPECT_EXIT(LoopNestStream{p}, ::testing::ExitedWithCode(1),
+                "exceeds text");
+}
+
+TEST(LoopNestDeath, LadderTargetBounds)
+{
+    EXPECT_DEATH(ladderForMissTarget(0.0, 4096), "out of");
+    EXPECT_DEATH(ladderForMissTarget(0.3, 4096), "out of");
+}
+
+} // namespace
+} // namespace tw
