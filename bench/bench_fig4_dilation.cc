@@ -30,14 +30,18 @@ const PaperRow kPaper[] = {
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv);
     unsigned scale = envScaleDiv(200);
     unsigned trials = 3;
     banner("Figure 4", "error due to time dilation "
                        "(mpeg_play, 4KB physical, all activity)",
            scale);
 
+    JsonReport json("fig4_dilation");
+    double total_misses = 0.0;
+    unsigned total_trials = 0;
     TextTable t({"sampling", "dilation", "misses(10^6)", "increase",
                  "paper.dil", "paper.incr"});
     double baseline = -1.0;
@@ -51,6 +55,8 @@ main()
         spec.tw.sampleDenom = denom;
 
         auto outcomes = runTrials(spec, trials, 0xd11a, true);
+        total_misses += totalEstMisses(outcomes);
+        total_trials += trials;
         double misses = meanOf(outcomes, [](const RunOutcome &o) {
             return o.estMisses;
         });
@@ -77,5 +83,7 @@ main()
     std::printf("Shape targets: miss inflation grows with dilation, "
                 "steeply at first and levelling off around "
                 "+10-15%% — systematic error, not noise.\n");
+    json.set("trials", total_trials);
+    json.set("total_est_misses", total_misses);
     return 0;
 }

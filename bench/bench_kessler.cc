@@ -19,12 +19,17 @@
 using namespace twbench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv);
     unsigned scale = envScaleDiv(400);
     unsigned trials = 6;
     banner("Section 4.2", "Kessler page-conflict model vs measured "
                           "page-allocation variance", scale);
+
+    JsonReport json("kessler");
+    double total_misses = 0.0;
+    unsigned total_trials = 0;
 
     const unsigned text_pages = 8; // mpeg_play's 32 KB text
 
@@ -46,7 +51,10 @@ main()
         spec.sim = SimKind::Tapeworm;
         spec.tw.cache = CacheConfig::icache(kb * 1024ull, 16, 1,
                                             Indexing::Physical);
-        Summary s = missSummary(runTrials(spec, trials, 0x935e));
+        auto outcomes = runTrials(spec, trials, 0x935e);
+        total_misses += totalEstMisses(outcomes);
+        total_trials += trials;
+        Summary s = missSummary(outcomes);
 
         t.addRow({
             csprintf("%lluK", (unsigned long long)kb),
@@ -62,5 +70,7 @@ main()
                 "cache size ~ text size (16-64K for an 8-page "
                 "program) and are zero/low at 4K (one color: every "
                 "placement identical).\n");
+    json.set("trials", total_trials);
+    json.set("total_est_misses", total_misses);
     return 0;
 }

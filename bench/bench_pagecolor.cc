@@ -14,13 +14,17 @@
 using namespace twbench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv);
     unsigned scale = envScaleDiv(400);
     unsigned trials = 6;
     banner("Section 4.2", "frame-allocation policy ablation "
                           "(mpeg_play, physical 16KB)", scale);
 
+    JsonReport json("pagecolor");
+    double total_misses = 0.0;
+    unsigned total_trials = 0;
     TextTable t({"policy", "mean misses", "s%", "range%"});
     for (AllocPolicy policy :
          {AllocPolicy::Random, AllocPolicy::Sequential,
@@ -31,7 +35,10 @@ main()
         spec.sys.allocPolicy = policy;
         spec.tw.cache = CacheConfig::icache(16384, 16, 1,
                                             Indexing::Physical);
-        Summary s = missSummary(runTrials(spec, trials, 0xc0105));
+        auto outcomes = runTrials(spec, trials, 0xc0105);
+        total_misses += totalEstMisses(outcomes);
+        total_trials += trials;
+        Summary s = missSummary(outcomes);
         t.addRow({
             allocPolicyName(policy),
             fmtF(s.mean, 0),
@@ -47,5 +54,7 @@ main()
         "AND conflict-free (vpn and pfn agree on index bits), so it\n"
         "gives the lowest miss count — the page-placement remedy of\n"
         "[Kessler92].\n");
+    json.set("trials", total_trials);
+    json.set("total_est_misses", total_misses);
     return 0;
 }

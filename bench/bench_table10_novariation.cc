@@ -32,14 +32,18 @@ const PaperRow kPaper[] = {
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv);
     unsigned scale = envScaleDiv(400);
     unsigned trials = 16;
     banner("Table 10", "variation removed "
                        "(virtual indexing, no sampling, 16KB)",
            scale);
 
+    JsonReport json("table10_novariation");
+    double total_misses = 0.0;
+    unsigned total_trials = 0;
     TextTable t({"workload", "mean(10^6)", "s", "min", "max",
                  "range", "paper.s%", "paper.range%"});
     for (const auto &paper : kPaper) {
@@ -47,6 +51,8 @@ main()
         spec.tw.cache = CacheConfig::icache(16384, 16, 1,
                                             Indexing::Virtual);
         auto outcomes = runTrials(spec, trials, 0xbead);
+        total_misses += totalEstMisses(outcomes);
+        total_trials += trials;
         Summary s = missSummary(outcomes);
         double to_m = static_cast<double>(scale) / 1e6;
         t.addRow({
@@ -63,5 +69,7 @@ main()
     std::printf("%s\n", t.render().c_str());
     std::printf("Shape target: relative deviations collapse from "
                 "Table 7's 7-76%% to ~0-5%%.\n");
+    json.set("trials", total_trials);
+    json.set("total_est_misses", total_misses);
     return 0;
 }

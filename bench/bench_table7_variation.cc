@@ -35,14 +35,18 @@ const PaperRow kPaper[] = {
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv);
     unsigned scale = envScaleDiv(400);
     unsigned trials = 16;
     banner("Table 7", "variation in measured performance "
                       "(16 trials, 1/8 sampling, 16KB physical)",
            scale);
 
+    JsonReport json("table7_variation");
+    double total_misses = 0.0;
+    unsigned total_trials = 0;
     TextTable t({"workload", "mean(10^6)", "s", "min", "max",
                  "range", "paper.s%", "paper.range%"});
     for (const auto &paper : kPaper) {
@@ -53,6 +57,8 @@ main()
         spec.tw.sampleDenom = 8;
 
         auto outcomes = runTrials(spec, trials, 0xbead);
+        total_misses += totalEstMisses(outcomes);
+        total_trials += trials;
         Summary s = missSummary(outcomes);
         double to_m = static_cast<double>(scale) / 1e6;
 
@@ -71,5 +77,7 @@ main()
     std::printf("Shape targets: double-digit relative deviations; "
                 "small-footprint SPEC workloads (eqntott, espresso, "
                 "xlisp) show the largest relative spread.\n");
+    json.set("trials", total_trials);
+    json.set("total_est_misses", total_misses);
     return 0;
 }

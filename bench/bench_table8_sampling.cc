@@ -12,14 +12,18 @@
 using namespace twbench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv);
     unsigned scale = envScaleDiv(200);
     unsigned trials = 16;
     banner("Table 8", "variation due to set sampling "
                       "(espresso, virtually-indexed, user only)",
            scale);
 
+    JsonReport json("table8_sampling");
+    double total_misses = 0.0;
+    unsigned total_trials = 0;
     TextTable t({"size", "sampled.mean", "sampled.s%",
                  "unsampled.mean", "unsampled.s%"});
     for (std::uint64_t kb : {1, 2, 4, 8, 16, 32}) {
@@ -31,8 +35,13 @@ main()
         RunSpec sampled = spec;
         sampled.tw.sampleNum = 1;
         sampled.tw.sampleDenom = 8;
-        Summary ss = missSummary(runTrials(sampled, trials, 0x5a));
-        Summary su = missSummary(runTrials(spec, trials, 0x5a));
+        auto sampled_out = runTrials(sampled, trials, 0x5a);
+        auto unsampled_out = runTrials(spec, trials, 0x5a);
+        total_misses += totalEstMisses(sampled_out)
+                        + totalEstMisses(unsampled_out);
+        total_trials += 2 * trials;
+        Summary ss = missSummary(sampled_out);
+        Summary su = missSummary(unsampled_out);
 
         double to_m = static_cast<double>(scale) / 1e6;
         t.addRow({
@@ -47,5 +56,7 @@ main()
     std::printf("Shape targets: unsampled variance ~0 (error bars "
                 "collapse); sampled estimates center on the "
                 "unsampled truth with visible spread.\n");
+    json.set("trials", total_trials);
+    json.set("total_est_misses", total_misses);
     return 0;
 }

@@ -30,14 +30,18 @@ const PaperRow kPaper[] = {
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv);
     unsigned scale = envScaleDiv(200);
     unsigned trials = 4;
     banner("Table 9", "variation due to page allocation "
                       "(mpeg_play, user only, no sampling)",
            scale);
 
+    JsonReport json("table9_pagealloc");
+    double total_misses = 0.0;
+    unsigned total_trials = 0;
     TextTable t({"size", "phys.mean", "phys.s", "virt.mean",
                  "virt.s", "paper.phys", "paper.virt"});
     for (const auto &paper : kPaper) {
@@ -47,11 +51,17 @@ main()
 
         spec.tw.cache = CacheConfig::icache(paper.kb * 1024ull, 16, 1,
                                             Indexing::Physical);
-        Summary sp = missSummary(runTrials(spec, trials, 0x9a9e));
+        auto phys_out = runTrials(spec, trials, 0x9a9e);
+        Summary sp = missSummary(phys_out);
 
         spec.tw.cache = CacheConfig::icache(paper.kb * 1024ull, 16, 1,
                                             Indexing::Virtual);
-        Summary sv = missSummary(runTrials(spec, trials, 0x9a9e));
+        auto virt_out = runTrials(spec, trials, 0x9a9e);
+        Summary sv = missSummary(virt_out);
+
+        total_misses += totalEstMisses(phys_out)
+                        + totalEstMisses(virt_out);
+        total_trials += 2 * trials;
 
         double to_m = static_cast<double>(scale) / 1e6;
         t.addRow({
@@ -69,5 +79,7 @@ main()
                 "physical variance 0 at 4K (cache == page), peaking "
                 "near the program's ~32K text size (Kessler's "
                 "conflict model), with phys mean >= virt mean.\n");
+    json.set("trials", total_trials);
+    json.set("total_est_misses", total_misses);
     return 0;
 }

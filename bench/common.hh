@@ -13,10 +13,16 @@
 #ifndef TW_BENCH_COMMON_HH
 #define TW_BENCH_COMMON_HH
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "base/table.hh"
+#include "base/thread_pool.hh"
 #include "harness/runner.hh"
 #include "harness/trials.hh"
 #include "workload/spec.hh"
@@ -25,6 +31,92 @@ namespace twbench
 {
 
 using namespace tw;
+
+/**
+ * Common bench CLI handling: `--threads N` (or `TW_THREADS`) sets
+ * the trial-dispatch width for every runTrials in the binary.
+ * Unrecognized arguments are ignored so the binaries stay drop-in
+ * compatible with plain invocation.
+ */
+inline void
+initBench(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--threads") == 0 && i + 1 < argc) {
+            setDefaultThreads(
+                static_cast<unsigned>(std::atoi(argv[++i])));
+        } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+            setDefaultThreads(
+                static_cast<unsigned>(std::atoi(arg + 10)));
+        }
+    }
+}
+
+/**
+ * Machine-readable companion to the printed tables: collects scalar
+ * metrics and writes BENCH_<name>.json on destruction (wall-clock
+ * covers the object's lifetime), so the perf trajectory of every
+ * bench is trackable across PRs.
+ */
+class JsonReport
+{
+  public:
+    explicit JsonReport(std::string name)
+        : name_(std::move(name)),
+          t0_(std::chrono::steady_clock::now())
+    {
+    }
+
+    JsonReport(const JsonReport &) = delete;
+    JsonReport &operator=(const JsonReport &) = delete;
+
+    /** Record one scalar metric (insertion order is kept). */
+    void
+    set(const std::string &key, double value)
+    {
+        metrics_.emplace_back(key, value);
+    }
+
+    ~JsonReport()
+    {
+        double wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0_)
+                          .count();
+        std::string path = "BENCH_" + name_ + ".json";
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "warn: cannot write %s\n",
+                         path.c_str());
+            return;
+        }
+        std::fprintf(f, "{\n  \"bench\": \"%s\",\n", name_.c_str());
+        std::fprintf(f, "  \"threads\": %u,\n", defaultThreads());
+        std::fprintf(f, "  \"wall_clock_s\": %.6f", wall);
+        for (const auto &[key, value] : metrics_)
+            std::fprintf(f, ",\n  \"%s\": %.17g", key.c_str(), value);
+        std::fprintf(f, "\n}\n");
+        std::fclose(f);
+        std::printf("[json] %s (%.2fs, %u threads)\n", path.c_str(),
+                    wall, defaultThreads());
+    }
+
+  private:
+    std::string name_;
+    std::chrono::steady_clock::time_point t0_;
+    std::vector<std::pair<std::string, double>> metrics_;
+};
+
+/** Total estimated misses across a set of outcomes (a JSON metric
+ *  shared by the trial benches). */
+inline double
+totalEstMisses(const std::vector<RunOutcome> &outcomes)
+{
+    double sum = 0.0;
+    for (const auto &o : outcomes)
+        sum += o.estMisses;
+    return sum;
+}
 
 /** Scale misses measured at 1/scale workload size back to the
  *  paper's full-size runs, in millions. */
@@ -55,7 +147,8 @@ banner(const char *artifact, const char *description,
                 "=================\n");
     std::printf("%s — %s\n", artifact, description);
     std::printf("workloads scaled 1/%u; miss columns extrapolated "
-                "to paper scale\n", scale_div);
+                "to paper scale; %u trial thread(s)\n", scale_div,
+                defaultThreads());
     std::printf("==============================================="
                 "=================\n");
 }

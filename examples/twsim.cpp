@@ -53,6 +53,9 @@ usage()
         "  --scope SCOPE     all|user|servers|kernel (default all)\n"
         "  --sample N        simulate 1/N of the sets (default 1)\n"
         "  --trials N        experimental trials (default 1)\n"
+        "  --threads N       trial-dispatch workers (default: \n"
+        "                    TW_THREADS, else hardware threads;\n"
+        "                    results identical for any N)\n"
         "  --seed N          base trial seed (default 1)\n"
         "  --scale N         divide paper instruction counts by N\n"
         "                    (default 200; also via TW_SCALE_DIV)\n"
@@ -139,6 +142,9 @@ main(int argc, char **argv)
         } else if (arg == "--trials") {
             trials =
                 static_cast<unsigned>(std::atoi(value().c_str()));
+        } else if (arg == "--threads") {
+            setDefaultThreads(
+                static_cast<unsigned>(std::atoi(value().c_str())));
         } else if (arg == "--seed") {
             seed = static_cast<std::uint64_t>(
                 std::atoll(value().c_str()));

@@ -1,11 +1,30 @@
 #!/bin/sh
-# Full verification pass: configure, build, run all tests, run every
-# bench binary. TW_SCALE_DIV can shrink the workloads for a quick
-# smoke run (e.g. TW_SCALE_DIV=2000 ./scripts/check.sh).
+# Full verification pass: configure, build, run all tests (serial
+# and with parallel trial dispatch), run a ThreadSanitizer build of
+# the parallel harness tests, then run every bench binary.
+# TW_SCALE_DIV can shrink the workloads for a quick smoke run
+# (e.g. TW_SCALE_DIV=2000 ./scripts/check.sh).
 set -e
 cmake -B build -G Ninja
 cmake --build build
-ctest --test-dir build --output-on-failure -j"$(nproc)"
+
+# Tier-1 suite twice: once serial, once dispatching trials across 4
+# workers — the results must agree bit-for-bit (the parallel_trials
+# suite asserts this directly; running everything both ways keeps
+# every other test honest about hidden shared state too).
+TW_THREADS=1 ctest --test-dir build --output-on-failure -j"$(nproc)"
+TW_THREADS=4 ctest --test-dir build --output-on-failure -j"$(nproc)"
+
+# ThreadSanitizer pass over the concurrency-bearing suites, so the
+# Runner baseline-memo race stays fixed. Death tests fork, which
+# TSan dislikes; the parallel/threading suites are what matter here.
+cmake -B build-tsan -G Ninja -DTW_SANITIZE=thread
+cmake --build build-tsan --target test_harness test_base
+TW_THREADS=4 ./build-tsan/tests/test_harness \
+    --gtest_filter='ParallelTrials.*'
+TW_THREADS=4 ./build-tsan/tests/test_base \
+    --gtest_filter='ThreadPool.*:ParallelFor.*'
+
 for b in build/bench/*; do
     [ -f "$b" ] && [ -x "$b" ] && "$b"
 done

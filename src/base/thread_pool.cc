@@ -1,0 +1,141 @@
+#include "base/thread_pool.hh"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace tw
+{
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = 1;
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    workReady_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::run(std::function<void()> task)
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+        ++pending_;
+    }
+    workReady_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    allDone_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        workReady_.wait(lock, [this] {
+            return stopping_ || !queue_.empty();
+        });
+        if (queue_.empty()) {
+            if (stopping_)
+                return;
+            continue;
+        }
+        std::function<void()> task = std::move(queue_.front());
+        queue_.pop_front();
+        lock.unlock();
+        task();
+        lock.lock();
+        if (--pending_ == 0)
+            allDone_.notify_all();
+    }
+}
+
+unsigned
+hardwareThreads()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : n;
+}
+
+namespace
+{
+
+std::atomic<unsigned> default_threads_override{0};
+
+unsigned
+envThreads()
+{
+    const char *env = std::getenv("TW_THREADS");
+    if (!env || !*env)
+        return 0;
+    long v = std::strtol(env, nullptr, 10);
+    return v > 0 ? static_cast<unsigned>(v) : 0;
+}
+
+} // anonymous namespace
+
+unsigned
+defaultThreads()
+{
+    unsigned n = default_threads_override.load(std::memory_order_relaxed);
+    if (n != 0)
+        return n;
+    n = envThreads();
+    return n != 0 ? n : hardwareThreads();
+}
+
+void
+setDefaultThreads(unsigned n)
+{
+    default_threads_override.store(n, std::memory_order_relaxed);
+}
+
+void
+parallelFor(std::uint64_t n,
+            const std::function<void(std::uint64_t)> &body,
+            unsigned threads)
+{
+    if (threads == 0)
+        threads = defaultThreads();
+    if (threads > n)
+        threads = static_cast<unsigned>(n);
+    if (threads <= 1) {
+        for (std::uint64_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+
+    std::atomic<std::uint64_t> next{0};
+    auto drain = [&next, n, &body] {
+        for (std::uint64_t i;
+             (i = next.fetch_add(1, std::memory_order_relaxed)) < n;)
+            body(i);
+    };
+
+    // The calling thread is one of the workers, so a width-t
+    // parallelFor spawns only t-1 threads.
+    ThreadPool pool(threads - 1);
+    for (unsigned w = 1; w < threads; ++w)
+        pool.run(drain);
+    drain();
+    pool.wait();
+}
+
+} // namespace tw

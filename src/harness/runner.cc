@@ -3,6 +3,8 @@
 #include <chrono>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 
 #include "base/logging.hh"
 #include "harness/oracle.hh"
@@ -13,7 +15,34 @@ namespace tw
 namespace
 {
 
-std::map<std::string, Cycles> baselines;
+/**
+ * One memoized baseline. The entry is created under the map lock but
+ * computed outside it under a per-key once_flag, so concurrent
+ * trials of the same spec+seed block only each other (one computes,
+ * the rest wait) and never serialize against different keys.
+ */
+struct BaselineEntry
+{
+    std::once_flag once;
+    Cycles cycles = 0;
+};
+
+std::shared_mutex baselinesMutex;
+std::map<std::string, std::shared_ptr<BaselineEntry>> baselines;
+
+std::shared_ptr<BaselineEntry>
+baselineEntry(const std::string &key)
+{
+    {
+        std::shared_lock<std::shared_mutex> rlock(baselinesMutex);
+        auto it = baselines.find(key);
+        if (it != baselines.end())
+            return it->second;
+    }
+    std::unique_lock<std::shared_mutex> wlock(baselinesMutex);
+    return baselines.try_emplace(key, std::make_shared<BaselineEntry>())
+        .first->second;
+}
 
 double
 hostNow()
@@ -140,15 +169,14 @@ Runner::runOne(const RunSpec &spec, std::uint64_t trial_seed)
 RunOutcome
 Runner::runWithSlowdown(const RunSpec &spec, std::uint64_t trial_seed)
 {
-    std::string key = baselineKey(spec, trial_seed);
-    auto it = baselines.find(key);
-    if (it == baselines.end()) {
+    std::shared_ptr<BaselineEntry> entry =
+        baselineEntry(baselineKey(spec, trial_seed));
+    std::call_once(entry->once, [&] {
         RunSpec normal = spec;
         normal.sim = SimKind::None;
-        RunOutcome base = runOne(normal, trial_seed);
-        it = baselines.emplace(key, base.run.cycles).first;
-    }
-    Cycles normal_cycles = it->second;
+        entry->cycles = runOne(normal, trial_seed).run.cycles;
+    });
+    Cycles normal_cycles = entry->cycles;
 
     RunOutcome out = runOne(spec, trial_seed);
     out.normalCycles = normal_cycles;
@@ -162,6 +190,7 @@ Runner::runWithSlowdown(const RunSpec &spec, std::uint64_t trial_seed)
 void
 Runner::clearBaselineCache()
 {
+    std::unique_lock<std::shared_mutex> wlock(baselinesMutex);
     baselines.clear();
 }
 

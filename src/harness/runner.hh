@@ -122,6 +122,11 @@ struct RunOutcome
 
 /**
  * Stateless run executor (normal-run memoization is internal).
+ *
+ * Thread-safe: concurrent trials may call runOne/runWithSlowdown
+ * freely. The baseline memo is guarded by a shared_mutex and each
+ * key is computed exactly once (concurrent requests for the same
+ * spec+seed wait for the first computation instead of redoing it).
  */
 class Runner
 {

@@ -1,22 +1,29 @@
 #include "harness/trials.hh"
 
 #include "base/random.hh"
+#include "base/thread_pool.hh"
 
 namespace tw
 {
 
 std::vector<RunOutcome>
 runTrials(const RunSpec &spec, unsigned n, std::uint64_t base_seed,
-          bool with_slowdown)
+          bool with_slowdown, unsigned threads)
 {
-    std::vector<RunOutcome> outcomes;
-    outcomes.reserve(n);
-    for (unsigned t = 0; t < n; ++t) {
-        std::uint64_t seed = mixSeed(base_seed, 1000 + t);
-        outcomes.push_back(with_slowdown
-                               ? Runner::runWithSlowdown(spec, seed)
-                               : Runner::runOne(spec, seed));
-    }
+    // Each trial derives its seed from its index alone and writes
+    // only its own slot, so the vector is bit-identical to a serial
+    // run for any thread count (completion order never matters).
+    std::vector<RunOutcome> outcomes(n);
+    parallelFor(
+        n,
+        [&](std::uint64_t t) {
+            std::uint64_t seed =
+                mixSeed(base_seed, 1000 + static_cast<unsigned>(t));
+            outcomes[t] = with_slowdown
+                              ? Runner::runWithSlowdown(spec, seed)
+                              : Runner::runOne(spec, seed);
+        },
+        threads);
     return outcomes;
 }
 

@@ -22,12 +22,20 @@ namespace tw
 /**
  * Run @p n trials of @p spec with seeds derived from @p base_seed.
  *
+ * Trials are dispatched across a thread pool (parallelism is across
+ * trials, never within a simulated machine). Outcomes land in the
+ * vector by trial index, and every field except the host wall-clock
+ * time (RunOutcome::hostSeconds) is bit-identical to a serial run
+ * regardless of @p threads.
+ *
  * @param with_slowdown also run (memoized) baselines and fill the
  *        slowdown fields.
+ * @param threads worker count; 0 = defaultThreads() (TW_THREADS).
  */
 std::vector<RunOutcome> runTrials(const RunSpec &spec, unsigned n,
                                   std::uint64_t base_seed,
-                                  bool with_slowdown = false);
+                                  bool with_slowdown = false,
+                                  unsigned threads = 0);
 
 /** Summary of estimated total misses across trials. */
 Summary missSummary(const std::vector<RunOutcome> &outcomes);

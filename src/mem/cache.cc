@@ -1,5 +1,7 @@
 #include "mem/cache.hh"
 
+#include <algorithm>
+
 #include "base/bitops.hh"
 #include "base/logging.hh"
 
@@ -64,6 +66,11 @@ CacheConfig
 CacheConfig::tlb(std::uint32_t entries, std::uint32_t assoc,
                  std::uint32_t page_bytes)
 {
+    // Guard before the assoc fallback below: entries == 0 would make
+    // the fully-associative default 0 ways and validate() would only
+    // report a confusing geometry error.
+    if (entries == 0)
+        fatal("tlb: entry count must be at least 1");
     CacheConfig c;
     c.name = "tlb";
     c.sizeBytes = static_cast<std::uint64_t>(entries) * page_bytes;
@@ -82,7 +89,11 @@ Cache::Cache(const CacheConfig &config)
     cfg_.validate();
     lineShift_ = floorLog2(cfg_.lineBytes);
     setMask_ = cfg_.numSets() - 1;
+    tidMask_ = cfg_.indexing == Indexing::Virtual && cfg_.tagIncludesTask
+                   ? ~std::uint32_t{0}
+                   : std::uint32_t{0};
     lines_.resize(cfg_.numLines());
+    setOcc_.assign(cfg_.numSets(), 0);
 }
 
 std::uint64_t
@@ -142,14 +153,15 @@ Cache::access(const LineRef &ref, bool is_store)
 {
     std::uint64_t set_index = setIndexOf(ref);
     Addr tag = tagLineOf(ref);
-    bool match_tid = cfg_.indexing == Indexing::Virtual
-                     && cfg_.tagIncludesTask;
     Line *set = setBase(set_index);
 
+    // tidMask_ folds the tag-includes-task configuration test into a
+    // branch-free compare (mask is 0 when tids are irrelevant).
     for (unsigned w = 0; w < cfg_.assoc; ++w) {
         Line &line = set[w];
         if (line.valid && line.tagLine == tag
-            && (!match_tid || line.tid == ref.tid)) {
+            && (static_cast<std::uint32_t>(line.tid ^ ref.tid)
+                & tidMask_) == 0) {
             if (cfg_.policy == ReplPolicy::LRU)
                 line.stamp = ++stampCounter_;
             line.dirty |= is_store;
@@ -166,6 +178,8 @@ Cache::access(const LineRef &ref, bool is_store)
                                  line.dirty};
         if (line.dirty)
             ++writebacks_;
+    } else {
+        ++setOcc_[set_index];
     }
     line.valid = true;
     line.dirty = is_store;
@@ -188,6 +202,8 @@ Cache::insert(const LineRef &ref, bool is_store)
                              line.dirty};
         if (line.dirty)
             ++writebacks_;
+    } else {
+        ++setOcc_[set_index];
     }
     line.valid = true;
     line.dirty = is_store;
@@ -203,46 +219,86 @@ Cache::contains(const LineRef &ref) const
 {
     std::uint64_t set_index = setIndexOf(ref);
     Addr tag = tagLineOf(ref);
-    bool match_tid = cfg_.indexing == Indexing::Virtual
-                     && cfg_.tagIncludesTask;
     const Line *set = setBase(set_index);
     for (unsigned w = 0; w < cfg_.assoc; ++w) {
         const Line &line = set[w];
         if (line.valid && line.tagLine == tag
-            && (!match_tid || line.tid == ref.tid)) {
+            && (static_cast<std::uint32_t>(line.tid ^ ref.tid)
+                & tidMask_) == 0) {
             return true;
         }
     }
     return false;
 }
 
-unsigned
-Cache::flushPhysPage(Addr pfn, std::uint32_t page_bytes)
+void
+Cache::invalidate(Line &line, std::uint64_t set_index)
 {
-    Addr first_line = pfn * (page_bytes >> lineShift_);
-    Addr last_line = first_line + (page_bytes >> lineShift_);
+    line.valid = false;
+    --setOcc_[set_index];
+}
+
+template <typename Pred>
+unsigned
+Cache::flushSetRange(std::uint64_t first_set, std::uint64_t span,
+                     Pred &&pred)
+{
     unsigned flushed = 0;
-    for (auto &line : lines_) {
-        if (line.valid && line.paLine >= first_line
-            && line.paLine < last_line) {
-            line.valid = false;
-            ++flushed;
+    for (std::uint64_t s = first_set; s < first_set + span; ++s) {
+        if (setOcc_[s] == 0)
+            continue;
+        Line *set = setBase(s);
+        for (unsigned w = 0; w < cfg_.assoc; ++w) {
+            if (set[w].valid && pred(set[w])) {
+                invalidate(set[w], s);
+                ++flushed;
+            }
         }
     }
     return flushed;
 }
 
+template <typename Pred>
+unsigned
+Cache::flushWhere(Pred &&pred)
+{
+    return flushSetRange(0, cfg_.numSets(), std::forward<Pred>(pred));
+}
+
+unsigned
+Cache::flushPhysPage(Addr pfn, std::uint32_t page_bytes)
+{
+    Addr lines_per_page = page_bytes >> lineShift_;
+    if (lines_per_page == 0)
+        return 0;
+    Addr first_line = pfn * lines_per_page;
+    Addr last_line = first_line + lines_per_page;
+    auto in_page = [=](const Line &l) {
+        return l.paLine >= first_line && l.paLine < last_line;
+    };
+    if (cfg_.indexing == Indexing::Physical) {
+        // Physically indexed: set = paLine & setMask_. first_line is
+        // page-aligned (a multiple of the power-of-two line count),
+        // so the page's lines occupy one aligned contiguous set
+        // range — the whole cache when a page spans more sets than
+        // exist. No wrap is possible.
+        std::uint64_t span =
+            std::min<std::uint64_t>(lines_per_page, cfg_.numSets());
+        return flushSetRange(first_line & setMask_, span, in_page);
+    }
+    // Virtually indexed: the page's contents may sit in any set
+    // (placement depends on the mapping), so scan everything but
+    // skip empty sets.
+    return flushWhere(in_page);
+}
+
 unsigned
 Cache::flushPhysLine(Addr pa_line)
 {
-    unsigned flushed = 0;
-    for (auto &line : lines_) {
-        if (line.valid && line.paLine == pa_line) {
-            line.valid = false;
-            ++flushed;
-        }
-    }
-    return flushed;
+    auto match = [=](const Line &l) { return l.paLine == pa_line; };
+    if (cfg_.indexing == Indexing::Physical)
+        return flushSetRange(pa_line & setMask_, 1, match);
+    return flushWhere(match);
 }
 
 unsigned
@@ -250,17 +306,21 @@ Cache::flushVirtPage(TaskId tid, Addr vpn, std::uint32_t page_bytes)
 {
     TW_ASSERT(cfg_.indexing == Indexing::Virtual,
               "virtual flush on a physically-indexed cache");
-    Addr first_line = vpn * (page_bytes >> lineShift_);
-    Addr last_line = first_line + (page_bytes >> lineShift_);
-    unsigned flushed = 0;
-    for (auto &line : lines_) {
-        if (line.valid && line.tid == tid && line.tagLine >= first_line
-            && line.tagLine < last_line) {
-            line.valid = false;
-            ++flushed;
-        }
-    }
-    return flushed;
+    Addr lines_per_page = page_bytes >> lineShift_;
+    if (lines_per_page == 0)
+        return 0;
+    Addr first_line = vpn * lines_per_page;
+    Addr last_line = first_line + lines_per_page;
+    // Virtual index + virtual tag: same aligned contiguous set range
+    // argument as the physical case above.
+    std::uint64_t span =
+        std::min<std::uint64_t>(lines_per_page, cfg_.numSets());
+    return flushSetRange(first_line & setMask_, span,
+                         [=](const Line &l) {
+                             return l.tid == tid
+                                    && l.tagLine >= first_line
+                                    && l.tagLine < last_line;
+                         });
 }
 
 void
@@ -268,16 +328,15 @@ Cache::flushAll()
 {
     for (auto &line : lines_)
         line.valid = false;
+    std::fill(setOcc_.begin(), setOcc_.end(), 0);
 }
 
 std::uint64_t
 Cache::validCount() const
 {
     std::uint64_t n = 0;
-    for (const auto &line : lines_) {
-        if (line.valid)
-            ++n;
-    }
+    for (auto occ : setOcc_)
+        n += occ;
     return n;
 }
 

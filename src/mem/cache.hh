@@ -111,18 +111,24 @@ class Cache
      * page @p pfn (page frame number over @p page_bytes pages).
      * Mirrors the flush performed by tw_remove_page(). Returns the
      * number of lines invalidated.
+     *
+     * Cost: for a physically-indexed cache the page maps to one
+     * contiguous power-of-two set range, so only those sets are
+     * scanned; a virtually-indexed cache is scanned whole, skipping
+     * sets with no valid lines.
      */
     unsigned flushPhysPage(Addr pfn, std::uint32_t page_bytes);
 
     /** Invalidate every line holding physical line @p pa_line
      *  (back-invalidation in inclusive hierarchies). Returns the
-     *  number invalidated. */
+     *  number invalidated. Scans one set when physically indexed. */
     unsigned flushPhysLine(Addr pa_line);
 
     /**
      * Invalidate every line tagged by task @p tid whose virtual line
      * falls in virtual page @p vpn (for virtually-indexed removal).
-     * Returns the number of lines invalidated.
+     * Returns the number of lines invalidated. Scans only the set
+     * range the page maps to.
      */
     unsigned flushVirtPage(TaskId tid, Addr vpn, std::uint32_t page_bytes);
 
@@ -153,10 +159,32 @@ class Cache
     const Line *setBase(std::uint64_t set_index) const;
     unsigned victimWay(std::uint64_t set_index);
 
+    /** Invalidate @p line, maintaining the set occupancy count. */
+    void invalidate(Line &line, std::uint64_t set_index);
+
+    /** Flush lines matching @p pred in every non-empty set. */
+    template <typename Pred>
+    unsigned flushWhere(Pred &&pred);
+
+    /** Flush lines matching @p pred in sets [first, first+span). */
+    template <typename Pred>
+    unsigned flushSetRange(std::uint64_t first_set, std::uint64_t span,
+                           Pred &&pred);
+
     CacheConfig cfg_;
     unsigned lineShift_;
     std::uint64_t setMask_;
+    /**
+     * 0 when the tag alone identifies a line, ~0 when the owning
+     * task id participates too (virtually-indexed, task-tagged).
+     * Folding the config test into a mask keeps the access()/
+     * contains() way loops branch-free on the tid comparison.
+     */
+    std::uint32_t tidMask_;
     std::vector<Line> lines_;
+    /** Valid lines per set; lets flushes skip empty sets and makes
+     *  validCount() O(sets). */
+    std::vector<std::uint32_t> setOcc_;
     std::uint64_t stampCounter_ = 0;
     Counter writebacks_ = 0;
     Rng rng_;

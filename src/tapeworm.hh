@@ -23,6 +23,7 @@
 #include "base/random.hh"
 #include "base/stats.hh"
 #include "base/table.hh"
+#include "base/thread_pool.hh"
 #include "base/types.hh"
 
 #include "mem/cache.hh"

@@ -1,0 +1,97 @@
+/** @file Unit tests for the thread pool and parallelFor. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "base/thread_pool.hh"
+
+namespace tw
+{
+namespace
+{
+
+TEST(ThreadPool, RunsEveryTask)
+{
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(4);
+        for (int i = 0; i < 100; ++i)
+            pool.run([&count] { ++count; });
+        pool.wait();
+        EXPECT_EQ(count.load(), 100);
+    }
+}
+
+TEST(ThreadPool, DestructorDrainsQueue)
+{
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 50; ++i)
+            pool.run([&count] { ++count; });
+        // No wait(): the destructor must still run everything queued.
+    }
+    EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, WaitIsReusable)
+{
+    std::atomic<int> count{0};
+    ThreadPool pool(3);
+    pool.run([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 1);
+    pool.run([&count] { ++count; });
+    pool.run([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce)
+{
+    for (unsigned threads : {1u, 2u, 4u, 7u}) {
+        std::vector<int> hits(1000, 0);
+        parallelFor(
+            hits.size(),
+            [&hits](std::uint64_t i) { ++hits[i]; },
+            threads);
+        EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 1000)
+            << "threads=" << threads;
+        for (int h : hits)
+            EXPECT_EQ(h, 1);
+    }
+}
+
+TEST(ParallelFor, ZeroIterationsIsANoop)
+{
+    int calls = 0;
+    parallelFor(0, [&calls](std::uint64_t) { ++calls; }, 4);
+    EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor, IndexOwnedWritesAreOrdered)
+{
+    // The determinism contract: writing slot i from iteration i
+    // yields the same vector regardless of width.
+    std::vector<std::uint64_t> serial(257), parallel(257);
+    parallelFor(serial.size(),
+                [&serial](std::uint64_t i) { serial[i] = i * i; }, 1);
+    parallelFor(parallel.size(),
+                [&parallel](std::uint64_t i) { parallel[i] = i * i; },
+                8);
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST(ParallelFor, DefaultWidthRespectsOverride)
+{
+    setDefaultThreads(3);
+    EXPECT_EQ(defaultThreads(), 3u);
+    setDefaultThreads(0); // restore TW_THREADS / hardware fallback
+    EXPECT_GE(defaultThreads(), 1u);
+}
+
+} // anonymous namespace
+} // namespace tw

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The determinism contract of the parallel trial harness: runTrials
+ * must produce outcome vectors bit-identical to the serial order for
+ * any thread count. Every field of RunOutcome participates except
+ * hostSeconds, which is host wall-clock time and differs between any
+ * two runs, serial or not.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.hh"
+#include "harness/trials.hh"
+
+namespace tw
+{
+namespace
+{
+
+RunSpec
+smallSpec(const char *workload, unsigned scale = 4000)
+{
+    RunSpec spec;
+    spec.workload = makeWorkload(workload, scale);
+    spec.sim = SimKind::Tapeworm;
+    spec.tw.cache = CacheConfig::icache(16384, 16, 1,
+                                        Indexing::Physical);
+    return spec;
+}
+
+void
+expectOutcomeBitIdentical(const RunOutcome &a, const RunOutcome &b)
+{
+    EXPECT_EQ(a.run.cycles, b.run.cycles);
+    EXPECT_EQ(a.run.instr, b.run.instr);
+    EXPECT_EQ(a.run.ticks, b.run.ticks);
+    EXPECT_EQ(a.run.dataRefs, b.run.dataRefs);
+    EXPECT_EQ(a.run.syscalls, b.run.syscalls);
+    EXPECT_EQ(a.run.forks, b.run.forks);
+    EXPECT_EQ(a.run.faults, b.run.faults);
+    EXPECT_EQ(a.run.dmaFlushes, b.run.dmaFlushes);
+    EXPECT_EQ(a.run.tasksCreated, b.run.tasksCreated);
+    EXPECT_EQ(a.rawMisses, b.rawMisses);
+    EXPECT_EQ(a.estMisses, b.estMisses);
+    EXPECT_EQ(a.missesByComp, b.missesByComp);
+    EXPECT_EQ(a.maskedTrapRefs, b.maskedTrapRefs);
+    EXPECT_EQ(a.lostMaskedMisses, b.lostMaskedMisses);
+    EXPECT_EQ(a.slowdown, b.slowdown);
+    EXPECT_EQ(a.normalCycles, b.normalCycles);
+}
+
+void
+expectAllBitIdentical(const std::vector<RunOutcome> &a,
+                      const std::vector<RunOutcome> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        SCOPED_TRACE(i);
+        expectOutcomeBitIdentical(a[i], b[i]);
+    }
+}
+
+TEST(ParallelTrials, BitIdenticalAcrossThreadCountsEspresso)
+{
+    RunSpec spec = smallSpec("espresso");
+    auto serial = runTrials(spec, 8, 0xbead, false, 1);
+    auto parallel = runTrials(spec, 8, 0xbead, false, 4);
+    expectAllBitIdentical(serial, parallel);
+}
+
+TEST(ParallelTrials, BitIdenticalAcrossThreadCountsMpeg)
+{
+    RunSpec spec = smallSpec("mpeg_play", 8000);
+    spec.tw.sampleNum = 1;
+    spec.tw.sampleDenom = 8;
+    auto serial = runTrials(spec, 8, 0x9a9e, false, 1);
+    auto parallel = runTrials(spec, 8, 0x9a9e, false, 4);
+    expectAllBitIdentical(serial, parallel);
+}
+
+TEST(ParallelTrials, SlowdownBaselinesIdenticalUnderConcurrency)
+{
+    // with_slowdown exercises the shared baseline memo: concurrent
+    // trials of the same spec race to compute per-seed baselines.
+    RunSpec spec = smallSpec("espresso", 8000);
+    Runner::clearBaselineCache();
+    auto serial = runTrials(spec, 6, 0x51de, true, 1);
+    Runner::clearBaselineCache();
+    auto parallel = runTrials(spec, 6, 0x51de, true, 4);
+    expectAllBitIdentical(serial, parallel);
+    for (const auto &o : parallel) {
+        EXPECT_GT(o.normalCycles, 0u);
+        EXPECT_GT(o.slowdown, 0.0);
+    }
+}
+
+TEST(ParallelTrials, WarmBaselineCacheGivesSameAnswers)
+{
+    // Re-running against the already-populated memo must not change
+    // anything (the memo is keyed by spec + trial seed).
+    RunSpec spec = smallSpec("espresso", 8000);
+    Runner::clearBaselineCache();
+    auto cold = runTrials(spec, 4, 0x7777, true, 4);
+    auto warm = runTrials(spec, 4, 0x7777, true, 4);
+    expectAllBitIdentical(cold, warm);
+}
+
+TEST(ParallelTrials, MoreThreadsThanTrials)
+{
+    RunSpec spec = smallSpec("espresso", 8000);
+    auto serial = runTrials(spec, 2, 0x44, false, 1);
+    auto wide = runTrials(spec, 2, 0x44, false, 16);
+    expectAllBitIdentical(serial, wide);
+}
+
+} // anonymous namespace
+} // namespace tw

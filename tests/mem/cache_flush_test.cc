@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Property tests for the set-range-bounded flush paths: on randomized
+ * geometries and contents, the optimized flushPhysPage /
+ * flushPhysLine / flushVirtPage must agree exactly with a naive
+ * full-scan reference computed from a validLines() snapshot, and the
+ * per-set occupancy bookkeeping behind validCount() must match a
+ * real enumeration at every step.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "base/random.hh"
+#include "mem/cache.hh"
+
+namespace tw
+{
+namespace
+{
+
+/** Lines per kHostPageBytes page for @p cfg. */
+Addr
+linesPerPage(const CacheConfig &cfg)
+{
+    return kHostPageBytes / cfg.lineBytes;
+}
+
+/** Naive reference: how many snapshot lines lie in physical page
+ *  @p pfn. */
+unsigned
+refPhysPageCount(const std::vector<LineInfo> &lines, Addr pfn,
+                 Addr lpp)
+{
+    Addr first = pfn * lpp, last = first + lpp;
+    return static_cast<unsigned>(std::count_if(
+        lines.begin(), lines.end(), [&](const LineInfo &l) {
+            return l.paLine >= first && l.paLine < last;
+        }));
+}
+
+unsigned
+refPhysLineCount(const std::vector<LineInfo> &lines, Addr pa_line)
+{
+    return static_cast<unsigned>(std::count_if(
+        lines.begin(), lines.end(),
+        [&](const LineInfo &l) { return l.paLine == pa_line; }));
+}
+
+unsigned
+refVirtPageCount(const std::vector<LineInfo> &lines, TaskId tid,
+                 Addr vpn, Addr lpp)
+{
+    Addr first = vpn * lpp, last = first + lpp;
+    return static_cast<unsigned>(std::count_if(
+        lines.begin(), lines.end(), [&](const LineInfo &l) {
+            return l.tid == tid && l.tagLine >= first
+                   && l.tagLine < last;
+        }));
+}
+
+/** Random geometry drawn from the divisibility-valid space. */
+CacheConfig
+randomConfig(Rng &rng)
+{
+    CacheConfig cfg;
+    cfg.lineBytes = 16u << rng.below(3);             // 16/32/64
+    std::uint64_t num_lines = 4ull << rng.below(9);  // 4..1024
+    cfg.sizeBytes = num_lines * cfg.lineBytes;
+    std::uint64_t assoc_choices[] = {1, 2, 4, num_lines};
+    cfg.assoc = static_cast<std::uint32_t>(
+        assoc_choices[rng.below(4)]);
+    cfg.indexing =
+        rng.chance(0.5) ? Indexing::Physical : Indexing::Virtual;
+    cfg.tagIncludesTask =
+        cfg.indexing == Indexing::Virtual && rng.chance(0.5);
+    cfg.policy = rng.chance(0.5) ? ReplPolicy::FIFO : ReplPolicy::LRU;
+    cfg.seed = rng.next();
+    return cfg;
+}
+
+TEST(CacheFlush, OptimizedPathsMatchNaiveReferenceOnRandomConfigs)
+{
+    Rng rng(0xf1a5);
+    for (int iter = 0; iter < 200; ++iter) {
+        CacheConfig cfg = randomConfig(rng);
+        SCOPED_TRACE(csprintf(
+            "iter %d: size=%llu line=%u assoc=%u %s", iter,
+            static_cast<unsigned long long>(cfg.sizeBytes),
+            cfg.lineBytes, cfg.assoc, indexingName(cfg.indexing)));
+        Cache cache(cfg);
+
+        // Populate with clustered references so flushed pages are
+        // frequently non-empty: lines from a handful of pages.
+        const Addr lpp = linesPerPage(cfg);
+        const Addr num_pages =
+            std::max<Addr>(2, 4 * cfg.sizeBytes / kHostPageBytes);
+        unsigned fills = static_cast<unsigned>(
+            rng.inRange(1, 2 * cfg.numLines()));
+        for (unsigned i = 0; i < fills; ++i) {
+            Addr va = rng.below(num_pages * lpp);
+            Addr pa = rng.below(num_pages * lpp);
+            TaskId tid = static_cast<TaskId>(rng.inRange(1, 3));
+            cache.insert(LineRef{va, pa, tid}, rng.chance(0.3));
+        }
+
+        auto snapshot = cache.validLines();
+        EXPECT_EQ(cache.validCount(), snapshot.size());
+
+        switch (rng.below(3)) {
+          case 0: {
+            Addr pfn = rng.below(num_pages);
+            unsigned expected =
+                refPhysPageCount(snapshot, pfn, lpp);
+            EXPECT_EQ(cache.flushPhysPage(pfn, kHostPageBytes),
+                      expected);
+            break;
+          }
+          case 1: {
+            Addr pa_line = rng.below(num_pages * lpp);
+            unsigned expected = refPhysLineCount(snapshot, pa_line);
+            EXPECT_EQ(cache.flushPhysLine(pa_line), expected);
+            break;
+          }
+          default: {
+            if (cfg.indexing != Indexing::Virtual)
+                continue; // flushVirtPage asserts virtual indexing
+            Addr vpn = rng.below(num_pages);
+            TaskId tid = static_cast<TaskId>(rng.inRange(1, 3));
+            unsigned expected =
+                refVirtPageCount(snapshot, tid, vpn, lpp);
+            EXPECT_EQ(cache.flushVirtPage(tid, vpn, kHostPageBytes),
+                      expected);
+            break;
+          }
+        }
+
+        // Occupancy bookkeeping stays exact after the flush.
+        EXPECT_EQ(cache.validCount(), cache.validLines().size());
+    }
+}
+
+TEST(CacheFlush, RepeatedFlushesDrainEverything)
+{
+    CacheConfig cfg = CacheConfig::icache(65536, 16, 2);
+    Cache cache(cfg);
+    const Addr lpp = linesPerPage(cfg);
+    const Addr pages = 2 * cfg.sizeBytes / kHostPageBytes;
+    for (Addr line = 0; line < pages * lpp; ++line)
+        cache.insert(LineRef{line, line, 1});
+    EXPECT_EQ(cache.validCount(), cfg.numLines());
+
+    unsigned flushed = 0;
+    for (Addr pfn = 0; pfn < pages; ++pfn)
+        flushed += cache.flushPhysPage(pfn, kHostPageBytes);
+    EXPECT_EQ(flushed, cfg.numLines());
+    EXPECT_EQ(cache.validCount(), 0u);
+    EXPECT_TRUE(cache.validLines().empty());
+
+    // Flushing an empty cache finds nothing and stays consistent.
+    EXPECT_EQ(cache.flushPhysPage(0, kHostPageBytes), 0u);
+    EXPECT_EQ(cache.flushPhysLine(17), 0u);
+}
+
+TEST(CacheFlush, PageLargerThanCacheFlushesWholeCache)
+{
+    // 1 KB cache, 4 KB pages: the page spans more sets than exist,
+    // so the bounded range must degrade to the whole cache.
+    CacheConfig cfg = CacheConfig::icache(1024, 16, 1);
+    Cache cache(cfg);
+    for (Addr line = 0; line < cfg.numLines(); ++line)
+        cache.insert(LineRef{line, line, 1});
+    EXPECT_EQ(cache.flushPhysPage(0, kHostPageBytes),
+              cfg.numLines());
+    EXPECT_EQ(cache.validCount(), 0u);
+}
+
+TEST(CacheFlush, FlushAllResetsOccupancy)
+{
+    Cache cache(CacheConfig::icache(4096, 16, 4));
+    for (Addr line = 0; line < 64; ++line)
+        cache.insert(LineRef{line, line, 1});
+    EXPECT_GT(cache.validCount(), 0u);
+    cache.flushAll();
+    EXPECT_EQ(cache.validCount(), 0u);
+    // And the cache is fully usable again afterwards.
+    cache.insert(LineRef{5, 5, 1});
+    EXPECT_EQ(cache.validCount(), 1u);
+    EXPECT_EQ(cache.flushPhysLine(5), 1u);
+}
+
+} // anonymous namespace
+} // namespace tw

@@ -48,6 +48,17 @@ TEST(CacheConfig, VirtualIcacheTagsTask)
     EXPECT_FALSE(p.tagIncludesTask);
 }
 
+TEST(CacheConfigDeath, TlbRejectsZeroEntries)
+{
+    // Regression: entries == 0 with the fully-associative default
+    // used to fall through to validate() and die with a confusing
+    // geometry message; the factory now reports the real problem.
+    EXPECT_EXIT(CacheConfig::tlb(0), ::testing::ExitedWithCode(1),
+                "at least 1");
+    EXPECT_EXIT(CacheConfig::tlb(0, 4), ::testing::ExitedWithCode(1),
+                "at least 1");
+}
+
 TEST(CacheConfigDeath, RejectsNonPowerOf2)
 {
     CacheConfig c;
