@@ -7,6 +7,8 @@
  * run time including them — exactly the paper's setup.
  */
 
+#include <memory>
+
 #include "common.hh"
 
 using namespace twbench;
@@ -33,15 +35,30 @@ const PaperRow kPaper[] = {
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv);
+    bool report = hasFlag(argc, argv, "--report");
     unsigned scale = envScaleDiv(200);
     banner("Figure 2", "trace-driven vs trap-driven slowdowns, "
                        "mpeg_play I-cache", scale);
 
+    // Restrict the sweep to one cache size (perf-smoke mode; the
+    // default full sweep and its table are unchanged).
+    unsigned only_kb = 0;
+    if (const char *only = std::getenv("TW_FIG2_ONLY_KB"))
+        only_kb = static_cast<unsigned>(std::atoi(only));
+
+    std::unique_ptr<JsonReport> json;
+    if (report)
+        json = std::make_unique<JsonReport>("fig2_slowdowns");
+
+    double tw_refs = 0.0, tw_secs = 0.0;
     TextTable t({"size", "missRatio", "c2000.slow", "tw.slow",
                  "paper.miss", "paper.c2000", "paper.tw"});
     for (const auto &paper : kPaper) {
+        if (only_kb != 0 && paper.kb != only_kb)
+            continue;
         RunSpec spec = defaultSpec("mpeg_play", scale);
         spec.sys.scope = SimScope::userOnly();
         CacheConfig cache = CacheConfig::icache(
@@ -54,6 +71,14 @@ main()
         spec.sim = SimKind::TraceDriven;
         spec.c2k.cache = cache;
         RunOutcome trace = Runner::runWithSlowdown(spec, 7);
+
+        tw_refs += static_cast<double>(trap.run.totalInstr()
+                                       + trap.run.dataRefs);
+        tw_secs += trap.hostSeconds;
+        if (json) {
+            json->set(csprintf("tw_refs_per_sec_%uK", paper.kb),
+                      refsPerSec(trap));
+        }
 
         t.addRow({
             csprintf("%uK", paper.kb),
@@ -69,5 +94,13 @@ main()
     std::printf("Shape targets: Tapeworm slowdown tracks the miss "
                 "ratio toward zero; Cache2000 floor ~22x; Tapeworm "
                 "wins ~3x even at the 1K cache.\n");
+    if (report) {
+        double rate = tw_secs > 0.0 ? tw_refs / tw_secs : 0.0;
+        std::printf("[report] tapeworm host rate: %.3fM refs/s "
+                    "(%.0f refs in %.3fs host)\n", rate / 1.0e6,
+                    tw_refs, tw_secs);
+        json->set("tw_refs_per_sec", rate);
+        json->set("tw_host_seconds", tw_secs);
+    }
     return 0;
 }

@@ -20,6 +20,8 @@
 #include "utrap/utrap.hh"
 #include "workload/loop_nest.hh"
 
+#include "common.hh"
+
 namespace
 {
 
@@ -287,6 +289,59 @@ BM_UtrapHit(benchmark::State &state)
 }
 BENCHMARK(BM_UtrapHit);
 
+/** End-to-end instrumented rate at a large cache (miss ratio well
+ *  under 1%) — the configuration where the hit fast path carries
+ *  the run. Written to BENCH_micro.json for cross-PR tracking. */
+void
+reportEndToEnd()
+{
+    using namespace twbench;
+    unsigned scale = envScaleDiv(200);
+    JsonReport json("micro");
+    RunSpec spec = defaultSpec("mpeg_play", scale);
+    spec.sys.scope = SimScope::userOnly();
+    spec.sim = SimKind::Tapeworm;
+    spec.tw.cache =
+        CacheConfig::icache(1024 * 1024, 16, 1, Indexing::Virtual);
+    RunOutcome o = Runner::runOne(spec, 7);
+    double rate = refsPerSec(o);
+    std::printf("[report] end-to-end tapeworm, 1M icache: %.3fM "
+                "refs/s (miss ratio %.5f)\n", rate / 1.0e6,
+                o.missRatioUser());
+    json.set("tw_refs_per_sec_1024K", rate);
+    json.set("tw_miss_ratio_1024K", o.missRatioUser());
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Accept the shared bench flags (--report, --threads) and keep
+    // them away from google-benchmark's flag parser.
+    bool report = false;
+    std::vector<char *> args;
+    for (int i = 0; i < argc; ++i) {
+        if (i > 0 && std::strcmp(argv[i], "--report") == 0) {
+            report = true;
+            continue;
+        }
+        if (i > 0 && std::strcmp(argv[i], "--threads") == 0
+            && i + 1 < argc) {
+            ++i;
+            continue;
+        }
+        if (i > 0 && std::strncmp(argv[i], "--threads=", 10) == 0)
+            continue;
+        args.push_back(argv[i]);
+    }
+    int bargc = static_cast<int>(args.size());
+    benchmark::Initialize(&bargc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(bargc, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    if (report)
+        reportEndToEnd();
+    return 0;
+}

@@ -107,6 +107,27 @@ class JsonReport
     std::vector<std::pair<std::string, double>> metrics_;
 };
 
+/** Was @p flag passed on the command line? */
+inline bool
+hasFlag(int argc, char **argv, const char *flag)
+{
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], flag) == 0)
+            return true;
+    return false;
+}
+
+/** Host-side simulation rate of one run: simulated references
+ *  (instructions + data refs) retired per real second. */
+inline double
+refsPerSec(const RunOutcome &o)
+{
+    if (o.hostSeconds <= 0.0)
+        return 0.0;
+    return static_cast<double>(o.run.totalInstr() + o.run.dataRefs)
+           / o.hostSeconds;
+}
+
 /** Total estimated misses across a set of outcomes (a JSON metric
  *  shared by the trial benches). */
 inline double

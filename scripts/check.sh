@@ -18,13 +18,23 @@ TW_THREADS=4 ctest --test-dir build --output-on-failure -j"$(nproc)"
 # ThreadSanitizer pass over the concurrency-bearing suites, so the
 # Runner baseline-memo race stays fixed. Death tests fork, which
 # TSan dislikes; the parallel/threading suites are what matter here.
+# The fast-path equivalence suite rides along: it toggles the
+# process environment around System construction, and its buffered
+# streams/filters must stay data-race-free under parallel trials.
 cmake -B build-tsan -G Ninja -DTW_SANITIZE=thread
-cmake --build build-tsan --target test_harness test_base
+cmake --build build-tsan --target test_harness test_base \
+    test_integration
 TW_THREADS=4 ./build-tsan/tests/test_harness \
     --gtest_filter='ParallelTrials.*'
 TW_THREADS=4 ./build-tsan/tests/test_base \
     --gtest_filter='ThreadPool.*:ParallelFor.*'
+./build-tsan/tests/test_integration --gtest_filter='FastPath.*'
 
 for b in build/bench/*; do
     [ -f "$b" ] && [ -x "$b" ] && "$b"
 done
+
+# Perf smoke: the instrumented large-cache fig2 row must not fall
+# below 70% of the checked-in baseline rate (refs/s). Catches a
+# lost fast path without being flaky about machine variation.
+./scripts/perf_smoke.sh

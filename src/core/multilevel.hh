@@ -109,6 +109,14 @@ class TapewormMultiLevel : public SimClient
                        bool last_mapping) override;
     void onDmaInvalidate(Pfn pfn) override;
 
+    /** Hits are filtered by the machine's trap bits, exactly as
+     *  onRef() itself would (its first test is isTrapped). */
+    TrapFilterView
+    trapFilter() const override
+    {
+        return {phys_.rawBits(), phys_.granuleShift()};
+    }
+
     const MultiLevelStats &stats() const { return stats_; }
     const Cache &l1() const { return l1_; }
     const Cache &l2() const { return l2_; }

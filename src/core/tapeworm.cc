@@ -77,14 +77,18 @@ Tapeworm::armPage(const PageReg &reg, Pfn pfn)
     // tw_register_page(): set traps on every line of the page that
     // maps to a sampled set. Non-sample lines never trap and are
     // filtered from the simulation by the hardware at zero cost.
+    // trapsSet counts lines that actually transition to trapped, so
+    // a re-arm (the onDmaInvalidate path) of a line that was already
+    // trapped — i.e. already non-resident — adds nothing.
     Addr page_pa = static_cast<Addr>(pfn) * kHostPageBytes;
     for (unsigned l = 0; l < linesPerPage_; ++l) {
         LineRef ref = lineRefFor(reg, pfn, l);
         if (!setSampled(cache_.setIndexOf(ref)))
             continue;
-        phys_.setTrap(page_pa + (static_cast<Addr>(l) << lineShift_),
-                      cfg_.cache.lineBytes);
-        ++stats_.trapsSet;
+        Addr line_pa = page_pa + (static_cast<Addr>(l) << lineShift_);
+        if (!phys_.anyTrapped(line_pa, cfg_.cache.lineBytes))
+            ++stats_.trapsSet;
+        phys_.setTrap(line_pa, cfg_.cache.lineBytes);
     }
 }
 
@@ -130,11 +134,17 @@ Tapeworm::onPageRemoved(const Task &task, Vpn vpn, Pfn pfn,
 
     // Last mapping gone: flush the page from the simulated cache
     // and clear all its traps — tw_remove_page() mimics what the VM
-    // does to the host's real cache.
+    // does to the host's real cache. trapsCleared counts per line
+    // (the unit armPage and handleMiss count in), so only lines that
+    // actually held a trap contribute.
     cache_.flushPhysPage(static_cast<Addr>(pfn), kHostPageBytes);
-    phys_.clearTrap(static_cast<Addr>(pfn) * kHostPageBytes,
-                    kHostPageBytes);
-    ++stats_.trapsCleared;
+    Addr page_pa = static_cast<Addr>(pfn) * kHostPageBytes;
+    for (unsigned l = 0; l < linesPerPage_; ++l) {
+        if (phys_.anyTrapped(page_pa + (static_cast<Addr>(l) << lineShift_),
+                             cfg_.cache.lineBytes))
+            ++stats_.trapsCleared;
+    }
+    phys_.clearTrap(page_pa, kHostPageBytes);
     pages_.erase(it);
 }
 

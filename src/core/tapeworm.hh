@@ -159,6 +159,30 @@ class Tapeworm : public SimClient
                        bool last_mapping) override;
     void onDmaInvalidate(Pfn pfn) override;
 
+    /** onRef()'s first act is the phys_.isTrapped(pa) test, so the
+     *  machine may perform exactly that test inline and skip the
+     *  call on hits — the trap bits ARE the dispatch filter. The
+     *  kind mask narrows delivery further: on a set bit, onRef()
+     *  only does anything for kinds the simulated cache consumes,
+     *  plus stores when the no-allocate-on-write host silently
+     *  clears their traps. Registration arms whole pages but only
+     *  consumed kinds ever refill them, so e.g. an I-cache run's
+     *  data pages stay trapped forever — the mask is what keeps
+     *  those loads out of the dispatch path. */
+    TrapFilterView
+    trapFilter() const override
+    {
+        unsigned kinds = 0;
+        for (AccessKind k : {AccessKind::Fetch, AccessKind::Load,
+                             AccessKind::Store}) {
+            if (consumes(k))
+                kinds |= TrapFilterView::kindBit(k);
+        }
+        if (cfg_.hostWrite == HostWritePolicy::NoAllocateOnWrite)
+            kinds |= TrapFilterView::kindBit(AccessKind::Store);
+        return {phys_.rawBits(), phys_.granuleShift(), kinds};
+    }
+
     const TapewormStats &stats() const { return stats_; }
     const TapewormConfig &config() const { return cfg_; }
 

@@ -1,5 +1,6 @@
 #include "core/tapeworm_tlb.hh"
 
+#include "base/bitops.hh"
 #include "base/logging.hh"
 
 namespace tw
@@ -8,6 +9,11 @@ namespace tw
 TapewormTlb::TapewormTlb(const TapewormTlbConfig &config)
     : cfg_(config), tlb_(config.tlb)
 {
+    if (cfg_.filterFrames > 0) {
+        trappedRefs_.assign(cfg_.filterFrames, 0);
+        filterBits_.assign(divCeil(cfg_.filterFrames, std::uint64_t(64)),
+                           0);
+    }
     TW_ASSERT(cfg_.tlb.lineBytes >= kHostPageBytes
                   && cfg_.tlb.lineBytes % kHostPageBytes == 0,
               "the simulated page size must be a multiple of the "
@@ -18,6 +24,40 @@ TapewormTlb::TapewormTlb(const TapewormTlbConfig &config)
                   && cfg_.tlb.tagIncludesTask,
               "a TLB is indexed by virtual page and tagged by task");
     pagesPer_ = cfg_.pagesPerEntry();
+}
+
+void
+TapewormTlb::setPageTrap(Space &space, std::uint64_t idx, bool on)
+{
+    std::uint8_t bit = on ? 1 : 0;
+    if (space.trapped[idx] == bit)
+        return;
+    space.trapped[idx] = bit;
+    if (trappedRefs_.empty())
+        return;
+    Pfn pfn = space.pfns[idx];
+    TW_ASSERT(pfn != kNoFrame, "trap transition on an unmapped page");
+    auto f = static_cast<std::uint64_t>(pfn);
+    TW_ASSERT(f < cfg_.filterFrames,
+              "frame %d outside the filter bitmap (filterFrames=%llu "
+              "undersized for this machine)", pfn,
+              static_cast<unsigned long long>(cfg_.filterFrames));
+    if (on) {
+        if (trappedRefs_[f]++ == 0)
+            filterBits_[f >> 6] |= 1ull << (f & 63);
+    } else {
+        TW_ASSERT(trappedRefs_[f] > 0, "filter refcount underflow");
+        if (--trappedRefs_[f] == 0)
+            filterBits_[f >> 6] &= ~(1ull << (f & 63));
+    }
+}
+
+TrapFilterView
+TapewormTlb::trapFilter() const
+{
+    if (filterBits_.empty())
+        return {};
+    return {filterBits_.data(), floorLog2(kHostPageBytes)};
 }
 
 void
@@ -33,7 +73,7 @@ TapewormTlb::armSuperpage(Space &space, Addr super_vpn, bool trapped)
         std::uint64_t idx = vpn - space.firstVpn;
         if (idx >= space.registered.size() || !space.registered[idx])
             continue;
-        space.trapped[idx] = trapped ? 1 : 0;
+        setPageTrap(space, idx, trapped);
     }
 }
 
@@ -72,7 +112,7 @@ TapewormTlb::onPageMapped(const Task &task, Vpn vpn, Pfn pfn,
     LineRef covering;
     covering.vaLine = vpn / pagesPer_;
     covering.tid = task.tid;
-    space.trapped[idx] = tlb_.contains(covering) ? 0 : 1;
+    setPageTrap(space, idx, !tlb_.contains(covering));
 }
 
 void
@@ -87,7 +127,7 @@ TapewormTlb::onPageRemoved(const Task &task, Vpn vpn, Pfn pfn,
     Space &space = it->second;
     std::uint64_t idx = vpn - space.firstVpn;
     TW_ASSERT(space.registered[idx], "removing unregistered page");
-    space.trapped[idx] = 0;
+    setPageTrap(space, idx, false);
     space.registered[idx] = 0;
     space.pfns[idx] = kNoFrame;
     // Flush the covering entry from the simulated TLB, as

@@ -45,6 +45,16 @@ struct TapewormTlbConfig
     bool compensateMasked = true;
     TrapCostModel cost;
 
+    /** Physical frames of the host machine. When nonzero, the
+     *  simulator maintains a conservative per-frame trap bitmap
+     *  (bit set iff ANY address space holds a valid-bit trap on a
+     *  registered page of that frame) and exposes it via
+     *  trapFilter(), so the machine can skip onRef() on hits.
+     *  Zero disables the filter (every reference is delivered, the
+     *  pre-filter behaviour). The harness fills this in from
+     *  PhysMem::numFrames(). */
+    std::uint64_t filterFrames = 0;
+
     /** Host pages per simulated TLB entry. */
     unsigned
     pagesPerEntry() const
@@ -87,6 +97,14 @@ class TapewormTlb : public SimClient
     void onPageRemoved(const Task &task, Vpn vpn, Pfn pfn,
                        bool last_mapping) override;
 
+    /** Page-granularity view of the per-frame trap bitmap (null
+     *  when cfg.filterFrames == 0). Conservative: a clear bit
+     *  guarantees no space traps any page of the frame, so onRef()
+     *  would return 0 without side effects; a set bit only means
+     *  SOME space does — delivery still resolves per address
+     *  space, exactly as without the filter. */
+    TrapFilterView trapFilter() const override;
+
     const TapewormTlbStats &stats() const { return stats_; }
     const Cache &tlb() const { return tlb_; }
     Cycles missCost() const { return cfg_.cost.tlbMissCycles; }
@@ -108,11 +126,23 @@ class TapewormTlb : public SimClient
     void handleMiss(const Task &task, Space &space, Vpn vpn, Pfn pfn);
     void armSuperpage(Space &space, Addr super_vpn, bool trapped);
 
+    /** The single choke point for valid-bit trap transitions: flips
+     *  space.trapped[idx] and keeps the per-frame filter counters
+     *  in sync. */
+    void setPageTrap(Space &space, std::uint64_t idx, bool on);
+
     TapewormTlbConfig cfg_;
     unsigned pagesPer_;
     Cache tlb_;
     std::unordered_map<TaskId, Space> spaces_;
     TapewormTlbStats stats_;
+
+    /** Per-frame filter: trappedRefs_[pfn] counts (space, page)
+     *  pairs holding a trap on the frame; filterBits_ mirrors
+     *  trappedRefs_[pfn] > 0, one bit per frame, page-granularity
+     *  shift. Empty when cfg_.filterFrames == 0. */
+    std::vector<std::uint32_t> trappedRefs_;
+    std::vector<std::uint64_t> filterBits_;
 };
 
 } // namespace tw

@@ -33,8 +33,14 @@ class MuxClient : public SimClient
   public:
     MuxClient() = default;
 
-    /** Append a child (not owned; must outlive the run). */
-    void add(SimClient *client) { children_.push_back(client); }
+    /** Append a child (not owned; must outlive the run). The
+     *  child's trap filter is captured here, so add after the child
+     *  is fully configured. */
+    void
+    add(SimClient *client)
+    {
+        children_.push_back({client, client->trapFilter()});
+    }
 
     std::size_t size() const { return children_.size(); }
 
@@ -43,36 +49,77 @@ class MuxClient : public SimClient
           AccessKind kind = AccessKind::Fetch) override
     {
         Cycles total = 0;
-        for (SimClient *child : children_)
-            total += child->onRef(task, va, pa, intr_masked, kind);
+        for (const Child &child : children_) {
+            // A child with a filter published a guarantee: when its
+            // bit is clear, or the kind is outside its mask, its
+            // onRef is a side-effect-free zero. Honour it per child,
+            // so a trace-driven sibling (no filter) still sees every
+            // reference.
+            if (child.filter.bits
+                && (!child.filter.wants(kind)
+                    || !child.filter.test(pa)))
+                continue;
+            total += child.client->onRef(task, va, pa, intr_masked,
+                                         kind);
+        }
         return total;
+    }
+
+    /** The mux is filterable only when every child publishes a view
+     *  over the SAME bit storage (e.g. several Tapeworms sharing one
+     *  PhysMem): then a clear bit silences all of them at once. The
+     *  composite kind mask is the union of the children's — a kind
+     *  any child wants must reach the mux, which then re-filters per
+     *  child above. Any filterless or differently-stored child makes
+     *  the composite null, and the per-child tests do the work. */
+    TrapFilterView
+    trapFilter() const override
+    {
+        if (children_.empty())
+            return {};
+        TrapFilterView common = children_.front().filter;
+        if (!common.bits)
+            return {};
+        for (const Child &child : children_) {
+            if (child.filter.bits != common.bits
+                || child.filter.shift != common.shift)
+                return {};
+            common.kinds |= child.filter.kinds;
+        }
+        return common;
     }
 
     void
     onPageMapped(const Task &task, Vpn vpn, Pfn pfn,
                  bool shared) override
     {
-        for (SimClient *child : children_)
-            child->onPageMapped(task, vpn, pfn, shared);
+        for (const Child &child : children_)
+            child.client->onPageMapped(task, vpn, pfn, shared);
     }
 
     void
     onPageRemoved(const Task &task, Vpn vpn, Pfn pfn,
                   bool last_mapping) override
     {
-        for (SimClient *child : children_)
-            child->onPageRemoved(task, vpn, pfn, last_mapping);
+        for (const Child &child : children_)
+            child.client->onPageRemoved(task, vpn, pfn, last_mapping);
     }
 
     void
     onDmaInvalidate(Pfn pfn) override
     {
-        for (SimClient *child : children_)
-            child->onDmaInvalidate(pfn);
+        for (const Child &child : children_)
+            child.client->onDmaInvalidate(pfn);
     }
 
   private:
-    std::vector<SimClient *> children_;
+    struct Child
+    {
+        SimClient *client;
+        TrapFilterView filter;
+    };
+
+    std::vector<Child> children_;
 };
 
 } // namespace tw

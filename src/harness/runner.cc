@@ -113,7 +113,10 @@ Runner::runOne(const RunSpec &spec, std::uint64_t trial_seed)
         break;
       }
       case SimKind::TapewormTlbSim: {
-        TapewormTlb tlb(spec.tlb);
+        TapewormTlbConfig cfg = spec.tlb;
+        if (cfg.filterFrames == 0)
+            cfg.filterFrames = system.physMem().numFrames();
+        TapewormTlb tlb(cfg);
         system.setClient(&tlb);
         out.run = system.run();
         out.rawMisses =

@@ -70,6 +70,15 @@ class PhysMem
     /** Any trap set in [pa, pa+size)? */
     bool anyTrapped(Addr pa, std::uint64_t size) const;
 
+    /** Raw trap-bit words (one bit per granule, granule g at word
+     *  g/64 bit g%64). The storage address is fixed for the life of
+     *  the PhysMem, which is what lets clients hand the machine a
+     *  TrapFilterView over it. */
+    const std::uint64_t *rawBits() const { return bits_.data(); }
+
+    /** log2 of the trap granule in bytes. */
+    unsigned granuleShift() const { return granuleShift_; }
+
     /** Total number of trapped granules (diagnostics). */
     std::uint64_t countTrapped() const;
 

@@ -91,6 +91,14 @@ class PageTable
     /** Frame mapped at @p vpn (kNoFrame if none). */
     Pfn mappedFrame(Vpn vpn) const { return frames_[index(vpn)]; }
 
+    /**
+     * Raw frame array for inlined hot-path translation. The array
+     * is sized at construction and never reallocates, so the
+     * pointer stays valid across map()/unmap() for the table's
+     * lifetime; entry i covers firstVpn() + i.
+     */
+    const Pfn *framesData() const { return frames_.data(); }
+
     /** Every (vpn, pfn) pair currently mapped. */
     std::vector<std::pair<Vpn, Pfn>>
     mappings() const

@@ -18,6 +18,8 @@
 #ifndef TW_OS_SIM_CLIENT_HH
 #define TW_OS_SIM_CLIENT_HH
 
+#include <cstdint>
+
 #include "base/types.hh"
 #include "os/page_table.hh"
 
@@ -27,12 +29,90 @@ namespace tw
 class Task;
 
 /**
+ * A read-only view of a client's trap bits, used by the machine to
+ * filter hit references out of the dispatch path — the software
+ * analogue of the paper's "host hardware filters hits" property.
+ *
+ * A client that returns a non-null view guarantees that onRef() is a
+ * side-effect-free no-op returning 0 cycles whenever the bit for the
+ * referenced physical address is clear OR the access kind is not in
+ * the view's kind mask, so the machine may skip the virtual call
+ * entirely. A null view (bits == nullptr) means the client must
+ * observe every reference.
+ *
+ * The kind mask matters because a trap bit only says "some client
+ * state watches this granule", not "this access kind can do
+ * anything": an instruction-cache Tapeworm arms a task's data pages
+ * too (registration is per page, residency is per line), yet a load
+ * to one of those forever-trapped granules is still a guaranteed
+ * no-op. Without the mask every data reference of an I-cache run
+ * would take the virtual call just to be ignored.
+ *
+ * The bit array must stay valid and at a fixed address for the
+ * lifetime of the run (the machine caches the view once at run()
+ * start); the bits themselves may change freely as traps are set and
+ * cleared. The kind mask is fixed for the run.
+ */
+/** Bit for one AccessKind in a TrapFilterView kind mask. */
+constexpr unsigned
+trapKindBit(AccessKind k)
+{
+    return 1u << static_cast<unsigned>(k);
+}
+
+struct TrapFilterView
+{
+    /** Bit for one AccessKind in TrapFilterView::kinds. */
+    static constexpr unsigned
+    kindBit(AccessKind k)
+    {
+        return trapKindBit(k);
+    }
+
+    /** Mask accepting every access kind. */
+    static constexpr unsigned kAllKinds =
+        trapKindBit(AccessKind::Fetch) | trapKindBit(AccessKind::Load)
+        | trapKindBit(AccessKind::Store);
+
+    const std::uint64_t *bits = nullptr;
+    unsigned shift = 0; //!< log2 of the trap granule in bytes
+    unsigned kinds = kAllKinds; //!< kinds needing delivery on a set bit
+
+    /** May a reference to @p pa need delivery? */
+    bool
+    test(Addr pa) const
+    {
+        std::uint64_t g = pa >> shift;
+        return (bits[g >> 6] >> (g & 63)) & 1;
+    }
+
+    /** Does @p k ever need delivery? */
+    bool wants(AccessKind k) const { return kinds & kindBit(k); }
+
+    /** Two views over the same storage filter identically. */
+    bool
+    same(const TrapFilterView &o) const
+    {
+        return bits == o.bits && shift == o.shift
+               && kinds == o.kinds;
+    }
+};
+
+/**
  * Observer/participant hooks for memory simulation.
  */
 class SimClient
 {
   public:
     virtual ~SimClient() = default;
+
+    /**
+     * The trap bits that gate onRef() delivery (see TrapFilterView).
+     * Trap-driven clients (Tapeworm and friends) return the bits
+     * they already test first thing in onRef(); trace-driven clients
+     * keep the null default because they must see every reference.
+     */
+    virtual TrapFilterView trapFilter() const { return {}; }
 
     /**
      * One memory reference was executed.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 
 #include "base/logging.hh"
 #include "workload/loop_nest.hh"
@@ -31,6 +33,12 @@ System::System(const SystemConfig &config, const WorkloadSpec &spec)
                  : 0)
 {
     TW_ASSERT(!spec_.binaries.empty(), "workload has no binaries");
+    // Escape hatch: TW_SLOW_PATH selects the legacy per-step
+    // execution path (the equivalence suite and before/after
+    // measurements run both paths from one binary).
+    const char *slow = std::getenv("TW_SLOW_PATH");
+    slowPath_ = slow != nullptr && *slow != '\0'
+                && std::strcmp(slow, "0") != 0;
     boot();
 }
 
@@ -177,6 +185,23 @@ System::translate(Task &task, Addr va)
            + (va & (kHostPageBytes - 1));
 }
 
+Addr
+System::translateFast(Task &task, Addr va, MicroTlb &tlb)
+{
+    // Translation cache over translate(). Translations never change
+    // while a task runs (mappings only grow; teardown and the DMA
+    // recycle path flush these entries), so a hit is exact.
+    Addr page = va & ~static_cast<Addr>(kHostPageBytes - 1);
+    MicroTlb::Entry &e = tlb.slot(page);
+    if (e.vaPage == page && e.gen == tlb.gen) [[likely]]
+        return e.paBase + (va & (kHostPageBytes - 1));
+    Addr pa = translate(task, va);
+    e.vaPage = page;
+    e.paBase = pa & ~static_cast<Addr>(kHostPageBytes - 1);
+    e.gen = tlb.gen;
+    return pa;
+}
+
 void
 System::dataStep(Task &task)
 {
@@ -216,7 +241,654 @@ System::step(Task &task)
 }
 
 void
+System::dataStepFast(Task &task)
+{
+    if (task.dataBuf.empty())
+        task.dataBuf.fill(*task.dataStream);
+    Addr va = task.dataBuf.take();
+    Addr pa = translateFast(task, va, task.dtlb);
+    ++task.dataRefCount;
+    AccessKind kind = task.dataRefCount % spec_.storeEvery == 0
+                          ? AccessKind::Store
+                          : AccessKind::Load;
+    ++result_.dataRefs;
+    if (client_
+        && (!hasFilter_
+            || (filter_.wants(kind) && filter_.test(pa))))
+        cycles_ += client_->onRef(task, va, pa, intrMasked_, kind);
+}
+
+void
+System::stepFast(Task &task)
+{
+    // step() with its three per-reference costs removed: the stream
+    // is consumed through a prefetched batch, the translation through
+    // a last-page cache, and the client is called only when its trap
+    // filter says the reference might miss — the software analogue of
+    // the paper's "hits run at full hardware speed".
+    if (task.fetchBuf.empty())
+        task.fetchBuf.fill(*task.stream);
+    Addr va = task.fetchBuf.take();
+    Addr pa = translateFast(task, va, task.itlb);
+    cycles_ += cfg_.cpiBase;
+    ++result_.instr[static_cast<unsigned>(task.component)];
+    ++task.executed;
+    if (client_
+        && (!hasFilter_
+            || (filter_.wants(AccessKind::Fetch)
+                && filter_.test(pa))))
+        cycles_ += client_->onRef(task, va, pa, intrMasked_,
+                                  AccessKind::Fetch);
+    if (task.dataStream) [[likely]] {
+        task.dataRefCredit += dataPerMille_;
+        while (task.dataRefCredit >= 1000) {
+            task.dataRefCredit -= 1000;
+            dataStepFast(task);
+        }
+    }
+}
+
+namespace
+{
+
+/**
+ * Any trap bit set in the host page starting at @p pa_base? ORs the
+ * filter words covering the page — when a word overhangs the page
+ * (granule words wider than a page) neighbouring pages' bits leak in
+ * and the answer is conservatively true, which only costs a per-ref
+ * probe, never a missed trap.
+ */
+inline bool
+pageSpanTrapped(const std::uint64_t *bits, unsigned shift,
+                Addr pa_base)
+{
+    std::uint64_t w0 = (pa_base >> shift) >> 6;
+    std::uint64_t w1 = ((pa_base + kHostPageBytes - 1) >> shift) >> 6;
+    std::uint64_t any = 0;
+    for (std::uint64_t w = w0; w <= w1; ++w)
+        any |= bits[w];
+    return any != 0;
+}
+
+} // namespace
+
+Counter
+System::runInner(Task &task, Counter h)
+{
+    // The event horizon: the caller guarantees no tick, syscall,
+    // budget or quantum boundary falls within the next h
+    // instructions PROVIDED each costs exactly cpiBase. A step that
+    // charges extra cycles (a page fault or a simulated miss) may
+    // have moved the tick boundary, so stop there and let the
+    // caller recompute.
+    //
+    // All per-step bookkeeping lives in locals and is settled once
+    // at exit. The out-of-line paths a step can take — stream
+    // refill, page-table walk, client miss handler — never read the
+    // deferred counters or the task's buffers/micro-TLBs (mappings
+    // only grow, and unmap paths flush between slices), so keeping
+    // them in registers is invisible; only the hot path's cost
+    // changes.
+    if (h == 0)
+        return 0;
+    // A client without a trap filter must observe every reference;
+    // take the generic loop with its per-ref virtual call.
+    if (client_ && !hasFilter_)
+        return runInnerObserved(task, h);
+    // A filter that can deliver data references (Load or Store in
+    // the kind mask) pins the fetch/data interleave: take the
+    // per-step filtered loop.
+    if (hasFilter_
+        && (filter_.wants(AccessKind::Load)
+            || filter_.wants(AccessKind::Store)))
+        return runInnerFiltered(task, h);
+
+    // Chunked specialization: data references can never be
+    // delivered here (no Load/Store in the kind mask — e.g. an
+    // icache Tapeworm — or no client at all). A fetch on a mapped,
+    // probe-free page then has NO observable side effect, so whole
+    // same-page spans of the prefetch buffer are consumed with one
+    // compare per address and accounted in bulk; per-step credit
+    // arithmetic collapses to one multiply per chunk. Data refs
+    // drain in their exact order at chunk end. The one observable
+    // mid-chunk event is a data-side page FAULT (it arms pages and
+    // may charge cycles): when one lands, the fetch position simply
+    // rewinds to the fault's owning step — the over-consumed
+    // fetches were probe-free, so there is nothing to undo but the
+    // pointer — and the loop resumes (or stops) exactly where the
+    // per-step path would.
+    SimClient *const cl = client_;
+    const unsigned fshift = filter_.shift;
+    const std::uint64_t *const fetch_bits =
+        (hasFilter_ && filter_.wants(AccessKind::Fetch))
+            ? filter_.bits
+            : nullptr;
+    const Addr off = kHostPageBytes - 1;
+    const bool masked = intrMasked_;
+
+    StreamBuf &fb = task.fetchBuf;
+    StreamBuf &db = task.dataBuf;
+    RefStream *const dstream = task.dataStream.get();
+    const Counter dpm = dstream ? dataPerMille_ : 0;
+    Addr *const fstart = fb.buf.data();
+    const Addr *fp = fstart + fb.pos;
+    const Addr *fend = fstart + fb.len;
+    Addr *const dstart = db.buf.data();
+    const Addr *dp = dstart + db.pos;
+    const Addr *dend = dstart + db.len;
+    const unsigned fpos0 = fb.pos;
+    Counter consumed_base = 0;
+    const Addr vaBase = task.pageTable.vaBase();
+    const Pfn *const frames = task.pageTable.framesData();
+    Addr ivaPage = kInvalidAddr, ipaBase = 0;
+    Addr dvaPage = kInvalidAddr;
+    bool fprobe = false;
+    Counter credit = task.dataRefCredit;
+    const unsigned store_every = dstream ? spec_.storeEvery : 1;
+    unsigned store_phase =
+        dstream ? static_cast<unsigned>(task.dataRefCount
+                                        % store_every)
+                : 0;
+
+    Counter data_refs = 0;
+    Counter left = h;
+    // An event that charges cycles makes its step the last of this
+    // call (legacy `extra` semantics).
+    bool stop_after = false;
+
+    for (;;) {
+        if (fp == fend) [[unlikely]] {
+            consumed_base += static_cast<Counter>(fp - fstart);
+            fb.fill(*task.stream);
+            fp = fstart;
+            fend = fstart + fb.len;
+        }
+        Addr va = *fp;
+        Addr page = va & ~off;
+        if (page != ivaPage) [[unlikely]] {
+            Pfn pfn = frames[(page - vaBase) / kHostPageBytes];
+            if (pfn >= 0) [[likely]] {
+                ipaBase = static_cast<Addr>(pfn) * kHostPageBytes;
+            } else {
+                Cycles c0 = cycles_;
+                ipaBase = translate(task, va) & ~off;
+                if (cycles_ != c0)
+                    stop_after = true;
+                // The fault armed freshly mapped pages.
+                dvaPage = kInvalidAddr;
+            }
+            ivaPage = page;
+            fprobe = fetch_bits
+                     && pageSpanTrapped(fetch_bits, fshift, ipaBase);
+        }
+        const Addr *const fp0 = fp;
+        const Counter credit0 = credit;
+        Counter n;
+        if (fprobe) [[unlikely]] {
+            // Trap bits on this page: single exact step.
+            ++fp;
+            n = 1;
+            Addr pa = ipaBase + (va & off);
+            std::uint64_t g = pa >> fshift;
+            if ((fetch_bits[g >> 6] >> (g & 63)) & 1) [[unlikely]] {
+                Cycles r = cl->onRef(task, va, pa, masked,
+                                     AccessKind::Fetch);
+                cycles_ += r;
+                if (r != 0)
+                    stop_after = true;
+                // The handler may have moved traps anywhere.
+                ivaPage = kInvalidAddr;
+                dvaPage = kInvalidAddr;
+            }
+        } else {
+            // Probe-free page: consume the same-page span, bounded
+            // by the buffer and the horizon. A pending fetch-fault
+            // charge limits the chunk to its own step.
+            Counter m = static_cast<Counter>(fend - fp);
+            if (m > left)
+                m = left;
+            if (stop_after) [[unlikely]]
+                m = 1;
+            const Addr *q = fp + 1;
+            const Addr *const qe = fp + m;
+            while (q != qe && (*q & ~off) == page)
+                ++q;
+            n = static_cast<Counter>(q - fp);
+            fp = q;
+        }
+        credit += n * dpm;
+        if (credit >= 1000) [[unlikely]] {
+            Counter drained = 0;
+            while (credit >= 1000) {
+                credit -= 1000;
+                ++drained;
+                if (dp == dend) [[unlikely]] {
+                    db.fill(*dstream);
+                    dp = dstart;
+                    dend = dstart + db.len;
+                }
+                Addr dva = *dp++;
+                Addr dpage = dva & ~off;
+                bool faulted = false;
+                if (dpage != dvaPage) [[unlikely]] {
+                    Pfn pfn =
+                        frames[(dpage - vaBase) / kHostPageBytes];
+                    if (pfn < 0) [[unlikely]] {
+                        Cycles c0 = cycles_;
+                        translate(task, dva);
+                        if (cycles_ != c0)
+                            stop_after = true;
+                        faulted = true;
+                    }
+                    dvaPage = dpage;
+                }
+                if (++store_phase == store_every)
+                    store_phase = 0;
+                ++data_refs;
+                if (faulted) [[unlikely]] {
+                    // The fault is observable (arming, cycles), so
+                    // the steps bulk-executed past its owner must
+                    // not have happened yet. Rewind the fetch
+                    // pointer to the owning step s, finish that
+                    // step's remaining data refs, and re-enter with
+                    // fresh probe state.
+                    Counter s = (drained * 1000 - credit0 + dpm - 1)
+                                / dpm;
+                    Counter total = (credit0 + s * dpm) / 1000;
+                    while (drained < total) {
+                        ++drained;
+                        if (dp == dend) [[unlikely]] {
+                            db.fill(*dstream);
+                            dp = dstart;
+                            dend = dstart + db.len;
+                        }
+                        Addr xva = *dp++;
+                        Addr xpage = xva & ~off;
+                        if (xpage != dvaPage) {
+                            Pfn xp = frames[(xpage - vaBase)
+                                            / kHostPageBytes];
+                            if (xp < 0) {
+                                Cycles c0 = cycles_;
+                                translate(task, xva);
+                                if (cycles_ != c0)
+                                    stop_after = true;
+                            }
+                            dvaPage = xpage;
+                        }
+                        if (++store_phase == store_every)
+                            store_phase = 0;
+                        ++data_refs;
+                    }
+                    fp = fp0 + s;
+                    credit = credit0 + s * dpm - total * 1000;
+                    n = s;
+                    ivaPage = kInvalidAddr;
+                    break;
+                }
+            }
+        }
+        left -= n;
+        if (stop_after || left == 0)
+            break;
+    }
+
+    const Counter done = consumed_base
+                         + static_cast<Counter>(fp - fstart) - fpos0;
+    fb.pos = static_cast<unsigned>(fp - fstart);
+    db.pos = static_cast<unsigned>(dp - dstart);
+    task.dataRefCredit = credit;
+    task.dataRefCount += data_refs;
+    result_.dataRefs += data_refs;
+    cycles_ += done * cfg_.cpiBase;
+    result_.instr[static_cast<unsigned>(task.component)] += done;
+    task.executed += done;
+    return done;
+}
+
+Counter
+System::runInnerFiltered(Task &task, Counter h)
+{
+    // Filtered per-step specialization. Beyond the generic
+    // loop's deferred counters, this one caches per L0 page whether
+    // ANY trap bit covers the page: trap bits can only change inside
+    // a client call or a page-fault, both of which invalidate the L0
+    // entries here, so between those events a clear page lets a ref
+    // skip the probe — and the physical address that feeds it —
+    // entirely. A steady-state hit is then a buffer load, a page
+    // compare and loop arithmetic: the software equivalent of the
+    // paper's hits-run-at-hardware-speed property.
+    SimClient *const cl = client_;
+    const unsigned fshift = filter_.shift;
+    const std::uint64_t *const fetch_bits =
+        (hasFilter_ && filter_.wants(AccessKind::Fetch))
+            ? filter_.bits
+            : nullptr;
+    const bool want_load = filter_.wants(AccessKind::Load);
+    const bool want_store = filter_.wants(AccessKind::Store);
+    const std::uint64_t *const data_bits =
+        (hasFilter_ && (want_load || want_store)) ? filter_.bits
+                                                  : nullptr;
+    const Addr off = kHostPageBytes - 1;
+    const bool masked = intrMasked_;
+
+    StreamBuf &fb = task.fetchBuf;
+    StreamBuf &db = task.dataBuf;
+    RefStream *const dstream = task.dataStream.get();
+    // dpm == 0 keeps the credit below the data-ref threshold, so a
+    // task without a data stream never reaches the drain loop and
+    // the per-iteration stream test disappears.
+    const Counter dpm = dstream ? dataPerMille_ : 0;
+    // Buffers walk by pointer: one compare doubles as both the
+    // bounds check and the refill trigger. Executed-step count is
+    // reconstructed from the pointer travel, so the steady-state
+    // iteration carries no counter but the countdown itself.
+    Addr *const fstart = fb.buf.data();
+    const Addr *fp = fstart + fb.pos;
+    const Addr *fend = fstart + fb.len;
+    Addr *const dstart = db.buf.data();
+    const Addr *dp = dstart + db.pos;
+    const Addr *dend = dstart + db.len;
+    const unsigned fpos0 = fb.pos;
+    Counter consumed_base = 0;
+    // Translation inlines the dense page-table walk: base pointer
+    // and window base are loop-invariant (the frame array never
+    // reallocates), and a last-page L0 in locals skips even the
+    // table load on sequential runs.
+    const Addr vaBase = task.pageTable.vaBase();
+    const Pfn *const frames = task.pageTable.framesData();
+    Addr ivaPage = kInvalidAddr, ipaBase = 0;
+    Addr dvaPage = kInvalidAddr, dpaBase = 0;
+    bool fprobe = false, dprobe = false;
+    Counter credit = task.dataRefCredit;
+    const unsigned store_every = dstream ? spec_.storeEvery : 1;
+    unsigned store_phase =
+        dstream ? static_cast<unsigned>(task.dataRefCount
+                                        % store_every)
+                : 0;
+
+    Counter data_refs = 0;
+    // Countdown to the horizon. A step that charges extra cycles
+    // must be the last one of this call (legacy `extra` semantics);
+    // every such site simply forces `left = 1` so the shared
+    // decrement at the bottom exits after the step completes —
+    // keeping a rare-event flag out of the per-step exit test.
+    Counter left = h;
+
+    for (;;) {
+        if (fp == fend) [[unlikely]] {
+            consumed_base += static_cast<Counter>(fp - fstart);
+            fb.fill(*task.stream);
+            fp = fstart;
+            fend = fstart + fb.len;
+        }
+        Addr va = *fp++;
+        Addr page = va & ~off;
+        if (page != ivaPage) [[unlikely]] {
+            Pfn pfn = frames[(page - vaBase) / kHostPageBytes];
+            if (pfn >= 0) [[likely]] {
+                ipaBase = static_cast<Addr>(pfn) * kHostPageBytes;
+            } else {
+                Cycles c0 = cycles_;
+                ipaBase = translate(task, va) & ~off;
+                if (cycles_ != c0)
+                    left = 1;
+                // The fault armed freshly mapped pages.
+                dvaPage = kInvalidAddr;
+            }
+            ivaPage = page;
+            fprobe = fetch_bits
+                     && pageSpanTrapped(fetch_bits, fshift, ipaBase);
+        }
+        if (fprobe) [[unlikely]] {
+            Addr pa = ipaBase + (va & off);
+            std::uint64_t g = pa >> fshift;
+            if ((fetch_bits[g >> 6] >> (g & 63)) & 1) [[unlikely]] {
+                Cycles r = cl->onRef(task, va, pa, masked,
+                                     AccessKind::Fetch);
+                cycles_ += r;
+                if (r != 0)
+                    left = 1;
+                // The handler may have moved traps anywhere.
+                ivaPage = kInvalidAddr;
+                dvaPage = kInvalidAddr;
+            }
+        }
+        credit += dpm;
+        while (credit >= 1000) [[unlikely]] {
+            credit -= 1000;
+            if (dp == dend) [[unlikely]] {
+                db.fill(*dstream);
+                dp = dstart;
+                dend = dstart + db.len;
+            }
+            Addr dva = *dp++;
+            Addr dpage = dva & ~off;
+            if (dpage != dvaPage) [[unlikely]] {
+                Pfn pfn = frames[(dpage - vaBase) / kHostPageBytes];
+                if (pfn >= 0) [[likely]] {
+                    dpaBase = static_cast<Addr>(pfn)
+                              * kHostPageBytes;
+                } else {
+                    Cycles c0 = cycles_;
+                    dpaBase = translate(task, dva) & ~off;
+                    if (cycles_ != c0)
+                        left = 1;
+                    ivaPage = kInvalidAddr;
+                }
+                dvaPage = dpage;
+                dprobe = data_bits
+                         && pageSpanTrapped(data_bits, fshift,
+                                            dpaBase);
+            }
+            if (++store_phase == store_every)
+                store_phase = 0;
+            ++data_refs;
+            if (dprobe) [[unlikely]] {
+                bool want = store_phase == 0 ? want_store
+                                             : want_load;
+                Addr dpa = dpaBase + (dva & off);
+                std::uint64_t g = dpa >> fshift;
+                if (want
+                    && ((data_bits[g >> 6] >> (g & 63)) & 1))
+                    [[unlikely]] {
+                    AccessKind kind = store_phase == 0
+                                          ? AccessKind::Store
+                                          : AccessKind::Load;
+                    Cycles r = cl->onRef(task, dva, dpa, masked,
+                                         kind);
+                    cycles_ += r;
+                    if (r != 0)
+                        left = 1;
+                    ivaPage = kInvalidAddr;
+                    dvaPage = kInvalidAddr;
+                }
+            }
+        }
+        if (--left == 0)
+            break;
+    }
+
+    const Counter done = consumed_base
+                         + static_cast<Counter>(fp - fstart) - fpos0;
+    fb.pos = static_cast<unsigned>(fp - fstart);
+    db.pos = static_cast<unsigned>(dp - dstart);
+    task.dataRefCredit = credit;
+    task.dataRefCount += data_refs;
+    result_.dataRefs += data_refs;
+    cycles_ += done * cfg_.cpiBase;
+    result_.instr[static_cast<unsigned>(task.component)] += done;
+    task.executed += done;
+    return done;
+}
+
+Counter
+System::runInnerObserved(Task &task, Counter h)
+{
+    // Generic event-horizon loop for clients that must see every
+    // reference (no trap filter). Unlike the filtered loops, an
+    // unfiltered client may legitimately read the machine state its
+    // callback can reach — System::now() (the write-buffer model
+    // does exactly that) or the task's public counters — so the
+    // architectural state is kept exact at every call, in legacy
+    // step() order: translate, charge cpiBase, bump the counters,
+    // then the call. Only fast-path-internal state (buffer
+    // positions, the per-slice instruction count) stays in locals.
+    SimClient *const cl = client_;
+    const std::uint64_t *const fbits = hasFilter_ ? filter_.bits
+                                                  : nullptr;
+    const unsigned fshift = filter_.shift;
+    const bool want_fetch = filter_.wants(AccessKind::Fetch);
+    const bool want_load = filter_.wants(AccessKind::Load);
+    const bool want_store = filter_.wants(AccessKind::Store);
+    const Addr off = kHostPageBytes - 1;
+    const Counter dpm = dataPerMille_;
+    const bool masked = intrMasked_;
+    const Cycles cpi = cfg_.cpiBase;
+
+    StreamBuf &fb = task.fetchBuf;
+    StreamBuf &db = task.dataBuf;
+    RefStream *const dstream = task.dataStream.get();
+    unsigned fpos = fb.pos, flen = fb.len;
+    unsigned dpos = db.pos, dlen = db.len;
+    const Addr vaBase = task.pageTable.vaBase();
+    const Pfn *const frames = task.pageTable.framesData();
+    Addr ivaPage = kInvalidAddr, ipaBase = 0;
+    Addr dvaPage = kInvalidAddr, dpaBase = 0;
+    const unsigned store_every = spec_.storeEvery;
+
+    Counter done = 0;
+    bool extra = false;
+
+    for (;;) {
+        if (fpos == flen) [[unlikely]] {
+            fb.fill(*task.stream);
+            fpos = 0;
+            flen = fb.len;
+        }
+        Addr va = fb.buf[fpos++];
+        Addr page = va & ~off;
+        Addr pa;
+        if (page == ivaPage) [[likely]] {
+            pa = ipaBase + (va & off);
+        } else {
+            Pfn pfn = frames[(page - vaBase) / kHostPageBytes];
+            if (pfn >= 0) [[likely]] {
+                pa = static_cast<Addr>(pfn) * kHostPageBytes
+                     + (va & off);
+            } else {
+                Cycles c0 = cycles_;
+                pa = translate(task, va);
+                extra |= cycles_ != c0;
+            }
+            ivaPage = page;
+            ipaBase = pa & ~off;
+        }
+        cycles_ += cpi;
+        ++done;
+        ++task.executed;
+        if (fbits) {
+            std::uint64_t g = pa >> fshift;
+            if (want_fetch
+                && ((fbits[g >> 6] >> (g & 63)) & 1)) [[unlikely]] {
+                Cycles r = cl->onRef(task, va, pa, masked,
+                                     AccessKind::Fetch);
+                cycles_ += r;
+                extra |= r != 0;
+            }
+        } else if (cl) {
+            Cycles r = cl->onRef(task, va, pa, masked,
+                                 AccessKind::Fetch);
+            cycles_ += r;
+            extra |= r != 0;
+        }
+        if (dstream) [[likely]] {
+            task.dataRefCredit += dpm;
+            while (task.dataRefCredit >= 1000) [[unlikely]] {
+                task.dataRefCredit -= 1000;
+                if (dpos == dlen) [[unlikely]] {
+                    db.fill(*dstream);
+                    dpos = 0;
+                    dlen = db.len;
+                }
+                Addr dva = db.buf[dpos++];
+                Addr dpage = dva & ~off;
+                Addr dpa;
+                if (dpage == dvaPage) [[likely]] {
+                    dpa = dpaBase + (dva & off);
+                } else {
+                    Pfn pfn =
+                        frames[(dpage - vaBase) / kHostPageBytes];
+                    if (pfn >= 0) [[likely]] {
+                        dpa = static_cast<Addr>(pfn)
+                                  * kHostPageBytes
+                              + (dva & off);
+                    } else {
+                        Cycles c0 = cycles_;
+                        dpa = translate(task, dva);
+                        extra |= cycles_ != c0;
+                    }
+                    dvaPage = dpage;
+                    dpaBase = dpa & ~off;
+                }
+                ++task.dataRefCount;
+                ++result_.dataRefs;
+                AccessKind kind =
+                    task.dataRefCount % store_every == 0
+                        ? AccessKind::Store
+                        : AccessKind::Load;
+                if (fbits) {
+                    bool want = kind == AccessKind::Store
+                                    ? want_store
+                                    : want_load;
+                    std::uint64_t g = dpa >> fshift;
+                    if (want && ((fbits[g >> 6] >> (g & 63)) & 1))
+                        [[unlikely]] {
+                        Cycles r = cl->onRef(task, dva, dpa,
+                                             masked, kind);
+                        cycles_ += r;
+                        extra |= r != 0;
+                    }
+                } else if (cl) {
+                    Cycles r = cl->onRef(task, dva, dpa, masked,
+                                         kind);
+                    cycles_ += r;
+                    extra |= r != 0;
+                }
+            }
+        }
+        if (extra || done == h)
+            break;
+    }
+
+    fb.pos = fpos;
+    db.pos = dpos;
+    result_.instr[static_cast<unsigned>(task.component)] += done;
+    return done;
+}
+
+Counter
+System::clockHorizon() const
+{
+    // Instructions that can run before the next tick becomes due,
+    // assuming each costs exactly cpiBase cycles.
+    if (clock_.due(cycles_))
+        return 0;
+    if (cfg_.cpiBase == 0)
+        return ~static_cast<Counter>(0);
+    return (clock_.nextAt() - cycles_ - 1) / cfg_.cpiBase;
+}
+
+void
 System::runBurst(Task &task, Counter len, Counter masked_prefix)
+{
+    if (slowPath_)
+        runBurstSlow(task, len, masked_prefix);
+    else
+        runBurstFast(task, len, masked_prefix);
+}
+
+void
+System::runBurstSlow(Task &task, Counter len, Counter masked_prefix)
 {
     bool outer_masked = intrMasked_;
     for (Counter i = 0; i < len; ++i) {
@@ -226,6 +898,44 @@ System::runBurst(Task &task, Counter len, Counter masked_prefix)
             clockTick();
     }
     intrMasked_ = outer_masked;
+}
+
+void
+System::runBurstFast(Task &task, Counter len, Counter masked_prefix)
+{
+    bool outer_masked = intrMasked_;
+    if (outer_masked) {
+        // The whole burst runs masked; the legacy loop never checks
+        // the clock here, so neither do we — runInner's early-out on
+        // extra cycles just means looping until the burst is done.
+        for (Counter i = 0; i < len;)
+            i += runInner(task, len - i);
+        return;
+    }
+
+    // Masked prefix (trap-frame setup): no tick checks.
+    Counter prefix = std::min(len, masked_prefix);
+    intrMasked_ = true;
+    for (Counter i = 0; i < prefix;)
+        i += runInner(task, prefix - i);
+    intrMasked_ = false;
+
+    // Unmasked remainder: batch to the tick horizon, exactly like
+    // runSliceFast but with no syscall countdown.
+    Counter i = prefix;
+    while (i < len) {
+        Counter h = std::min(len - i, clockHorizon());
+        if (h == 0) {
+            stepFast(task);
+            ++i;
+            if (clock_.due(cycles_))
+                clockTick();
+            continue;
+        }
+        i += runInner(task, h);
+        if (clock_.due(cycles_))
+            clockTick();
+    }
 }
 
 void
@@ -262,14 +972,34 @@ System::clockTick()
     // bias of Section 4.2).
     intrMasked_ = true;
     Addr base = spec_.kernelText.base;
-    for (Counter i = 0; i < cfg_.tickHandlerInstr; ++i) {
-        Addr va = base + handlerPos_;
-        handlerPos_ = (handlerPos_ + kWordBytes) % kHandlerBytes;
-        Addr pa = translate(*kernel_, va);
-        cycles_ += cfg_.cpiBase;
-        ++result_.instr[static_cast<unsigned>(Component::Kernel)];
-        if (client_)
-            cycles_ += client_->onRef(*kernel_, va, pa, intrMasked_);
+    if (slowPath_) {
+        for (Counter i = 0; i < cfg_.tickHandlerInstr; ++i) {
+            Addr va = base + handlerPos_;
+            handlerPos_ = (handlerPos_ + kWordBytes) % kHandlerBytes;
+            Addr pa = translate(*kernel_, va);
+            cycles_ += cfg_.cpiBase;
+            ++result_.instr[static_cast<unsigned>(Component::Kernel)];
+            if (client_)
+                cycles_ += client_->onRef(*kernel_, va, pa,
+                                          intrMasked_);
+        }
+    } else {
+        // Masked, no nested ticks: the base cycles and instruction
+        // counts can be settled in bulk — nothing inside the loop
+        // reads them, and integer sums are order-independent.
+        for (Counter i = 0; i < cfg_.tickHandlerInstr; ++i) {
+            Addr va = base + handlerPos_;
+            handlerPos_ = (handlerPos_ + kWordBytes) % kHandlerBytes;
+            Addr pa = translateFast(*kernel_, va, handlerTlb_);
+            if (client_
+                && (!hasFilter_
+                    || (filter_.wants(AccessKind::Fetch)
+                        && filter_.test(pa))))
+                cycles_ += client_->onRef(*kernel_, va, pa, true);
+        }
+        cycles_ += cfg_.tickHandlerInstr * cfg_.cpiBase;
+        result_.instr[static_cast<unsigned>(Component::Kernel)] +=
+            cfg_.tickHandlerInstr;
     }
     intrMasked_ = false;
 
@@ -283,12 +1013,28 @@ System::clockTick()
             ++result_.dmaFlushes;
             if (client_)
                 client_->onDmaInvalidate(victim);
+            // Host translations do not actually change on a DMA
+            // recycle, but drop the cached ones anyway: the recycled
+            // frame may be handed to a new task the moment the old
+            // one exits, and a one-entry cache is cheap to refill.
+            for (auto &t : tasks_)
+                t->flushTranslations();
+            handlerTlb_.flush();
         }
     }
 }
 
 void
 System::runSlice(Task &task)
+{
+    if (slowPath_)
+        runSliceSlow(task);
+    else
+        runSliceFast(task);
+}
+
+void
+System::runSliceSlow(Task &task)
 {
     preempt_ = false;
     Counter quantum = cfg_.quantumInstr;
@@ -301,11 +1047,51 @@ System::runSlice(Task &task)
     }
 }
 
+void
+System::runSliceFast(Task &task)
+{
+    // Event-horizon batching: compute how many instructions can
+    // retire before ANY event (tick due, syscall, budget end,
+    // quantum end) can fire, run them in a tight inner loop, and
+    // handle the boundary instruction with the full legacy checks.
+    // The legacy loop always steps first and checks after, so a
+    // horizon of zero degenerates to exactly its body.
+    preempt_ = false;
+    Counter quantum = cfg_.quantumInstr;
+    while (quantum > 0 && !task.finished() && !preempt_) {
+        Counter h = std::min(quantum, task.budget - task.executed);
+        h = std::min(h, task.nextSyscallIn - 1);
+        h = std::min(h, clockHorizon());
+        if (h == 0) {
+            stepFast(task);
+            --quantum;
+            if (--task.nextSyscallIn == 0)
+                doSyscall(task);
+            if (clock_.due(cycles_))
+                clockTick();
+            continue;
+        }
+        Counter done = runInner(task, h);
+        quantum -= done;
+        task.nextSyscallIn -= done;
+        if (clock_.due(cycles_))
+            clockTick();
+    }
+}
+
 RunResult
 System::run()
 {
     TW_ASSERT(!ran_, "System::run() called twice");
     ran_ = true;
+
+    // Cache the client's trap filter once: the view's storage is
+    // fixed for the run (TrapFilterView contract), only the bits
+    // change as traps are set and cleared.
+    if (client_ && !slowPath_) {
+        filter_ = client_->trapFilter();
+        hasFilter_ = filter_.bits != nullptr;
+    }
 
     // Charge the boot-time fork/exec kernel work for the initial
     // task batch now that the simulator client is attached.

@@ -179,6 +179,23 @@ class System
     void clockTick();
     void runSlice(Task &task);
 
+    // The hit fast path (see DESIGN.md, "Making simulated hits as
+    // cheap as hardware hits"). Produces bit-identical results to
+    // the per-step legacy path, which is kept verbatim as
+    // runSliceSlow/runBurstSlow/step/dataStep and selected by the
+    // TW_SLOW_PATH environment variable.
+    Addr translateFast(Task &task, Addr va, MicroTlb &tlb);
+    void stepFast(Task &task);
+    void dataStepFast(Task &task);
+    Counter runInner(Task &task, Counter h);
+    Counter runInnerFiltered(Task &task, Counter h);
+    Counter runInnerObserved(Task &task, Counter h);
+    Counter clockHorizon() const;
+    void runSliceFast(Task &task);
+    void runBurstFast(Task &task, Counter len, Counter masked_prefix);
+    void runSliceSlow(Task &task);
+    void runBurstSlow(Task &task, Counter len, Counter masked_prefix);
+
     SystemConfig cfg_;
     WorkloadSpec spec_;
     PhysMem phys_;
@@ -203,6 +220,16 @@ class System
     unsigned spawned_ = 0;
     unsigned initialSpawns_ = 0;
     bool ran_ = false;
+
+    /** TW_SLOW_PATH was set: run the legacy per-step path. */
+    bool slowPath_ = false;
+    /** Client's trap filter, cached once at run() start (the view's
+     *  storage address is stable for the run; see TrapFilterView). */
+    TrapFilterView filter_{};
+    bool hasFilter_ = false;
+    /** Translation cache for the clock handler's references, which
+     *  would otherwise thrash the kernel task's fetch entry. */
+    MicroTlb handlerTlb_;
 
     RunResult result_;
 };

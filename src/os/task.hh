@@ -18,6 +18,7 @@
 #ifndef TW_OS_TASK_HH
 #define TW_OS_TASK_HH
 
+#include <array>
 #include <memory>
 #include <string>
 
@@ -29,6 +30,69 @@
 
 namespace tw
 {
+
+/** Batch size of the per-task stream prefetch buffers. */
+constexpr unsigned kStreamBatch = 256;
+
+/**
+ * A small prefetch window over a RefStream. Streams are private to
+ * their task and deterministic, so pulling addresses a batch at a
+ * time changes nothing observable — the machine still consumes them
+ * strictly in order.
+ */
+struct StreamBuf
+{
+    std::array<Addr, kStreamBatch> buf;
+    unsigned pos = 0;
+    unsigned len = 0;
+
+    bool empty() const { return pos == len; }
+    Addr take() { return buf[pos++]; }
+
+    void
+    fill(RefStream &s)
+    {
+        s.nextBatch(buf.data(), kStreamBatch);
+        pos = 0;
+        len = kStreamBatch;
+    }
+};
+
+/** Direct-mapped micro-TLB size; loop-nest excursions hop pages
+ *  often enough that a single last-page entry misses ~10% of refs. */
+constexpr unsigned kMicroTlbEntries = 256;
+
+/**
+ * Small direct-mapped translation cache (a micro-TLB), indexed by
+ * virtual page number. An entry is valid only when its generation
+ * matches the TLB's, so flush() is O(1) — a generation bump — no
+ * matter how many tasks the DMA recycle path has to invalidate.
+ * vaPage holds a page-aligned address, so the kInvalidAddr reset
+ * value can never match and doubles as the invalid mark for
+ * never-written entries.
+ */
+struct MicroTlb
+{
+    struct Entry
+    {
+        Addr vaPage = kInvalidAddr;
+        Addr paBase = 0;
+        std::uint32_t gen = 0;
+    };
+
+    std::array<Entry, kMicroTlbEntries> entries{};
+    std::uint32_t gen = 1;
+
+    /** Slot for a page-aligned address. */
+    Entry &
+    slot(Addr page)
+    {
+        return entries[(page / kHostPageBytes)
+                       & (kMicroTlbEntries - 1)];
+    }
+
+    void flush() { ++gen; }
+};
 
 /** The (simulate, inherit) attribute pair of Table 1's
  *  tw_attributes() primitive. */
@@ -114,6 +178,24 @@ class Task
     unsigned binaryIndex = 0;
     /** Task has exited and its address space was torn down. */
     bool exited = false;
+
+    /** Prefetch windows over the fetch and data streams (fast-path
+     *  machinery; the slow path calls the streams directly). */
+    StreamBuf fetchBuf;
+    StreamBuf dataBuf;
+
+    /** Last-page translation caches, one per stream so text and
+     *  data references don't thrash a single entry. */
+    MicroTlb itlb;
+    MicroTlb dtlb;
+
+    /** Drop cached translations (unmap and DMA-recycle paths). */
+    void
+    flushTranslations()
+    {
+        itlb.flush();
+        dtlb.flush();
+    }
 
   private:
     /** Address-space window: text through end of data segment. */

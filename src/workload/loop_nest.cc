@@ -80,10 +80,13 @@ LoopNestStream::LoopNestStream(const StreamParams &params)
 }
 
 double
-LoopNestStream::drawReps(double mean)
+LoopNestStream::drawReps(std::size_t level)
 {
-    double floor_part = std::floor(mean);
-    double frac = mean - floor_part;
+    // floor/frac of each level's mean are precomputed in restart();
+    // std::floor is a libm call on baseline x86-64 and this draw
+    // sits on the batch-refill path.
+    double floor_part = repFloor_[level];
+    double frac = repFrac_[level];
     double reps = floor_part + (rng_.chance(frac) ? 1.0 : 0.0);
     return std::max(reps, 1.0);
 }
@@ -93,9 +96,15 @@ LoopNestStream::restart()
 {
     const auto &ladder = params_.ladder;
     levels_.assign(ladder.size(), LevelState{});
+    repFloor_.resize(ladder.size());
+    repFrac_.resize(ladder.size());
+    for (std::size_t i = 0; i < ladder.size(); ++i) {
+        repFloor_[i] = std::floor(ladder[i].meanReps);
+        repFrac_[i] = ladder[i].meanReps - repFloor_[i];
+    }
     for (std::size_t i = 0; i < ladder.size(); ++i) {
         levels_[i].chunkBase = params_.base;
-        levels_[i].repsLeft = drawReps(ladder[i].meanReps);
+        levels_[i].repsLeft = drawReps(i);
     }
     cur_ = params_.base;
     Addr text_end = params_.base + params_.textBytes;
@@ -119,6 +128,25 @@ LoopNestStream::clone() const
 void
 LoopNestStream::advance()
 {
+    // Fast path: the innermost chunk has repeats left. Rewind to
+    // its base — the run bounds don't move — and make exactly the
+    // RNG draws the general walk would (the excursion chance only).
+    LevelState &st0 = levels_[0];
+    st0.repsLeft -= 1.0;
+    if (st0.repsLeft >= 0.5) [[likely]] {
+        cur_ = st0.chunkBase;
+        maybeExcursion();
+        return;
+    }
+    // Exact undo: repsLeft is always integral, so +1 after -1
+    // reproduces the stored value bit for bit.
+    st0.repsLeft += 1.0;
+    advanceSlow();
+}
+
+void
+LoopNestStream::advanceSlow()
+{
     const auto &ladder = params_.ladder;
     Addr text_end = params_.base + params_.textBytes;
 
@@ -134,7 +162,7 @@ LoopNestStream::advance()
         // within the parent (or wrap at the top level).
         if (level + 1 == ladder.size()) {
             st.chunkBase = params_.base;
-            st.repsLeft = drawReps(ladder[level].meanReps);
+            st.repsLeft = drawReps(level);
             break;
         }
         Addr next_base = st.chunkBase + ladder[level].spanBytes;
@@ -144,7 +172,7 @@ LoopNestStream::advance()
                      text_end);
         if (next_base < parent_end) {
             st.chunkBase = next_base;
-            st.repsLeft = drawReps(ladder[level].meanReps);
+            st.repsLeft = drawReps(level);
             break;
         }
         ++level;
@@ -154,16 +182,23 @@ LoopNestStream::advance()
     // level chunk.
     for (std::size_t i = level; i-- > 0;) {
         levels_[i].chunkBase = levels_[i + 1].chunkBase;
-        levels_[i].repsLeft = drawReps(ladder[i].meanReps);
+        levels_[i].repsLeft = drawReps(i);
     }
     cur_ = levels_[0].chunkBase;
     runEnd_ = std::min(cur_ + ladder[0].spanBytes, text_end);
 
+    maybeExcursion();
+}
+
+void
+LoopNestStream::maybeExcursion()
+{
     // Occasionally detour through a random spot in the text: models
     // error paths, PLT stubs and data-dependent branches, and gives
     // direct-mapped caches realistic conflict texture.
     if (params_.excursionProb > 0.0
         && rng_.chance(params_.excursionProb)) {
+        Addr text_end = params_.base + params_.textBytes;
         std::uint64_t words = params_.textBytes / kWordBytes;
         Addr target =
             params_.base + rng_.below(words) * kWordBytes;
@@ -193,6 +228,51 @@ LoopNestStream::next()
         }
     }
     return a;
+}
+
+void
+LoopNestStream::nextBatch(Addr *out, unsigned n)
+{
+    // Same state machine as next(), but each sequential run is
+    // emitted as one tight loop. Invariant at loop entry: cur_ is
+    // inside the current run (next() and advance() both leave it
+    // there), so left >= 1 and progress is guaranteed.
+    unsigned i = 0;
+    while (i < n) {
+        std::uint64_t left = (runEnd_ - cur_) / kWordBytes;
+        unsigned take = static_cast<unsigned>(
+            std::min<std::uint64_t>(left, n - i));
+        Addr a = cur_;
+        Addr *o = out + i;
+        unsigned k = 0;
+#if defined(__GNUC__)
+        // Two 2-lane vector stores per iteration; the -O2 cost
+        // model refuses to vectorize the scalar form, and the fill
+        // is a measurable slice of the fast-path profile.
+        typedef Addr V2 __attribute__((vector_size(16)));
+        V2 v = {a, a + kWordBytes};
+        const V2 step2 = {2 * kWordBytes, 2 * kWordBytes};
+        for (; k + 4 <= take; k += 4) {
+            V2 v1 = v + step2;
+            __builtin_memcpy(o + k, &v, 16);
+            __builtin_memcpy(o + k + 2, &v1, 16);
+            v = v1 + step2;
+        }
+#endif
+        for (; k < take; ++k)
+            o[k] = a + static_cast<Addr>(k) * kWordBytes;
+        i += take;
+        cur_ = a + static_cast<Addr>(take) * kWordBytes;
+        if (cur_ >= runEnd_) {
+            if (excursionLeft_) {
+                excursionLeft_ = 0;
+                cur_ = resumeCur_;
+                runEnd_ = resumeEnd_;
+            } else {
+                advance();
+            }
+        }
+    }
 }
 
 } // namespace tw

@@ -77,6 +77,7 @@ class LoopNestStream : public RefStream
     explicit LoopNestStream(const StreamParams &params);
 
     Addr next() override;
+    void nextBatch(Addr *out, unsigned n) override;
     void reset(std::uint64_t seed) override;
     std::unique_ptr<RefStream> clone() const override;
     Addr textBase() const override { return params_.base; }
@@ -93,10 +94,15 @@ class LoopNestStream : public RefStream
 
     void restart();
     void advance();
-    double drawReps(double mean);
+    void advanceSlow();
+    void maybeExcursion();
+    double drawReps(std::size_t level);
 
     StreamParams params_;
     Rng rng_;
+    /** Precomputed floor/frac of each ladder level's meanReps. */
+    std::vector<double> repFloor_;
+    std::vector<double> repFrac_;
 
     // Hot-path state: the current sequential run.
     Addr cur_ = 0;      //!< next address to emit

@@ -39,6 +39,16 @@ class RefStream
      *  task's instruction budget bounds execution. */
     virtual Addr next() = 0;
 
+    /** Produce the next @p n addresses into @p out. Semantically
+     *  identical to n successive next() calls; streams with internal
+     *  run structure override this to emit sequential runs in bulk. */
+    virtual void
+    nextBatch(Addr *out, unsigned n)
+    {
+        for (unsigned i = 0; i < n; ++i)
+            out[i] = next();
+    }
+
     /** Restart the stream with a (possibly new) control-flow seed. */
     virtual void reset(std::uint64_t seed) = 0;
 

@@ -266,6 +266,43 @@ TEST(Tapeworm, DmaInvalidateOfForeignFrameIgnored)
     EXPECT_EQ(rig.tw.stats().dmaFlushedLines, 0u);
 }
 
+TEST(Tapeworm, DmaRearmCountsOnlyNewTraps)
+{
+    Rig rig(dmConfig());
+    Task &t = rig.addTask(1, 0x400000);
+    rig.mapPage(t, 0x400, 10);
+    EXPECT_EQ(rig.tw.stats().trapsSet, 256u);
+
+    // Nothing resident yet, so the re-arm is a no-op trap-wise:
+    // counting all 256 lines again would inflate trapsSet.
+    rig.tw.onDmaInvalidate(10);
+    EXPECT_EQ(rig.tw.stats().trapsSet, 256u);
+
+    // One miss clears one trap; re-arming transitions exactly that
+    // line back.
+    rig.touch(t, 0x400000);
+    EXPECT_EQ(rig.tw.stats().trapsCleared, 1u);
+    rig.tw.onDmaInvalidate(10);
+    EXPECT_EQ(rig.tw.stats().trapsSet, 257u);
+    EXPECT_TRUE(rig.tw.checkInvariants());
+}
+
+TEST(Tapeworm, RemovalCountsClearedTrapsPerLine)
+{
+    Rig rig(dmConfig());
+    Task &t = rig.addTask(1, 0x400000);
+    rig.mapPage(t, 0x400, 10);
+    rig.touch(t, 0x400000);
+    rig.touch(t, 0x400010);
+    EXPECT_EQ(rig.tw.stats().trapsCleared, 2u);
+
+    // 254 lines still hold traps; removal clears them per line (the
+    // unit trapsSet counts in), not one per page.
+    rig.tw.onPageRemoved(t, 0x400, 10, true);
+    EXPECT_EQ(rig.tw.stats().trapsCleared, 2u + 254u);
+    EXPECT_EQ(rig.tw.stats().trapsSet, 256u);
+}
+
 TEST(Tapeworm, LongLinesClearWholeLineTrap)
 {
     TapewormConfig cfg;

@@ -262,5 +262,53 @@ TEST(TapewormTlbSuperpage, EvictionReArmsAllSubpages)
     EXPECT_TRUE(rig.tlb->checkInvariants());
 }
 
+TEST(TapewormTlb, TrapFilterTracksFrameTraps)
+{
+    TapewormTlbConfig cfg;
+    cfg.tlb = CacheConfig::tlb(2);
+    cfg.filterFrames = 64;
+    TapewormTlb tlb(cfg);
+
+    StreamParams p;
+    p.base = 0x400000;
+    p.textBytes = 64 * 1024;
+    p.ladder = {{256, 2.0}};
+    Task a(1, "a", Component::User,
+           std::make_unique<LoopNestStream>(p), 1);
+    Task b(2, "b", Component::User,
+           std::make_unique<LoopNestStream>(p), 2);
+    a.attr.simulate = b.attr.simulate = true;
+
+    a.pageTable.map(0x400, 10);
+    tlb.onPageMapped(a, 0x400, 10, false);
+    TrapFilterView v = tlb.trapFilter();
+    ASSERT_NE(v.bits, nullptr);
+    Addr pa = 10ull * kHostPageBytes;
+    EXPECT_TRUE(v.test(pa));
+
+    // The miss clears a's valid-bit trap: no space traps the frame,
+    // so the filter marks it skippable — and the skip is exact.
+    EXPECT_GT(tlb.onRef(a, 0x400000, pa, false), 0u);
+    EXPECT_FALSE(v.test(pa));
+    EXPECT_EQ(tlb.onRef(a, 0x400000, pa, false), 0u);
+
+    // A second address space mapping the same frame arms its own
+    // trap: the frame must deliver again (conservative refcount).
+    b.pageTable.map(0x400, 10);
+    tlb.onPageMapped(b, 0x400, 10, true);
+    EXPECT_TRUE(v.test(pa));
+    EXPECT_GT(tlb.onRef(b, 0x400000, pa, false), 0u);
+    EXPECT_FALSE(v.test(pa));
+    EXPECT_TRUE(tlb.checkInvariants());
+}
+
+TEST(TapewormTlb, FilterDisabledWhenUnsized)
+{
+    TapewormTlbConfig cfg;
+    cfg.tlb = CacheConfig::tlb(4);
+    TapewormTlb tlb(cfg);
+    EXPECT_EQ(tlb.trapFilter().bits, nullptr);
+}
+
 } // namespace
 } // namespace tw

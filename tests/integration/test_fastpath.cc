@@ -1,0 +1,341 @@
+/**
+ * @file The fast-path equivalence suite: the trap-filtered,
+ * event-horizon-batched execution path must be BIT-IDENTICAL to the
+ * legacy per-step path (selected by TW_SLOW_PATH) — same RunResult,
+ * same simulator statistics, for every client kind, scope and
+ * sampling configuration. A simulated hit that got cheaper must not
+ * have gotten different.
+ */
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "core/tapeworm.hh"
+#include "core/tapeworm_tlb.hh"
+#include "harness/mux_client.hh"
+#include "harness/oracle.hh"
+#include "harness/runner.hh"
+#include "os/system.hh"
+
+namespace tw
+{
+namespace
+{
+
+/** Select the execution path for Systems constructed in scope. */
+class ScopedSlowPath
+{
+  public:
+    explicit ScopedSlowPath(bool slow)
+    {
+        if (slow)
+            ::setenv("TW_SLOW_PATH", "1", 1);
+        else
+            ::unsetenv("TW_SLOW_PATH");
+    }
+
+    ~ScopedSlowPath() { ::unsetenv("TW_SLOW_PATH"); }
+};
+
+void
+expectSameRun(const RunResult &fast, const RunResult &slow)
+{
+    EXPECT_EQ(fast.cycles, slow.cycles);
+    for (unsigned c = 0; c < kNumComponents; ++c)
+        EXPECT_EQ(fast.instr[c], slow.instr[c])
+            << componentName(static_cast<Component>(c));
+    EXPECT_EQ(fast.ticks, slow.ticks);
+    EXPECT_EQ(fast.dataRefs, slow.dataRefs);
+    EXPECT_EQ(fast.syscalls, slow.syscalls);
+    EXPECT_EQ(fast.forks, slow.forks);
+    EXPECT_EQ(fast.faults, slow.faults);
+    EXPECT_EQ(fast.dmaFlushes, slow.dmaFlushes);
+    EXPECT_EQ(fast.tasksCreated, slow.tasksCreated);
+}
+
+void
+expectSameStats(const TapewormStats &fast, const TapewormStats &slow)
+{
+    for (unsigned c = 0; c < kNumComponents; ++c)
+        EXPECT_EQ(fast.misses[c], slow.misses[c])
+            << componentName(static_cast<Component>(c));
+    for (unsigned k = 0; k < 3; ++k)
+        EXPECT_EQ(fast.missesByKind[k], slow.missesByKind[k]) << k;
+    EXPECT_EQ(fast.silentTrapClears, slow.silentTrapClears);
+    EXPECT_EQ(fast.maskedTrapRefs, slow.maskedTrapRefs);
+    EXPECT_EQ(fast.lostMaskedMisses, slow.lostMaskedMisses);
+    EXPECT_EQ(fast.trapsSet, slow.trapsSet);
+    EXPECT_EQ(fast.trapsCleared, slow.trapsCleared);
+    EXPECT_EQ(fast.pagesRegistered, slow.pagesRegistered);
+    EXPECT_EQ(fast.pagesRemoved, slow.pagesRemoved);
+    EXPECT_EQ(fast.sharedRegistrations, slow.sharedRegistrations);
+    EXPECT_EQ(fast.dmaFlushedLines, slow.dmaFlushedLines);
+}
+
+void
+expectSameTlbStats(const TapewormTlbStats &fast,
+                   const TapewormTlbStats &slow)
+{
+    for (unsigned c = 0; c < kNumComponents; ++c)
+        EXPECT_EQ(fast.misses[c], slow.misses[c])
+            << componentName(static_cast<Component>(c));
+    EXPECT_EQ(fast.maskedTrapRefs, slow.maskedTrapRefs);
+    EXPECT_EQ(fast.lostMaskedMisses, slow.lostMaskedMisses);
+    EXPECT_EQ(fast.pagesRegistered, slow.pagesRegistered);
+    EXPECT_EQ(fast.pagesRemoved, slow.pagesRemoved);
+}
+
+struct CacheRun
+{
+    RunResult run;
+    TapewormStats stats;
+};
+
+/** Replicates Runner's Tapeworm attachment but keeps the full
+ *  statistics block for comparison. */
+CacheRun
+runCache(const RunSpec &spec, std::uint64_t seed, bool slow)
+{
+    ScopedSlowPath sp(slow);
+    SystemConfig sys = spec.sys;
+    sys.trialSeed = seed;
+    System system(sys, spec.workload);
+    TapewormConfig cfg = spec.tw;
+    if (cfg.sampleSeed == 0)
+        cfg.sampleSeed = mixSeed(seed, 0x7e57);
+    Tapeworm tapeworm(system.physMem(), cfg);
+    system.setClient(&tapeworm);
+    CacheRun out;
+    out.run = system.run();
+    out.stats = tapeworm.stats();
+    EXPECT_TRUE(tapeworm.checkInvariants());
+    return out;
+}
+
+void
+expectCachePathsAgree(const RunSpec &spec, std::uint64_t seed)
+{
+    CacheRun fast = runCache(spec, seed, false);
+    CacheRun slow = runCache(spec, seed, true);
+    expectSameRun(fast.run, slow.run);
+    expectSameStats(fast.stats, slow.stats);
+}
+
+RunSpec
+baseSpec(const char *workload = "mpeg_play", unsigned scale = 4000)
+{
+    RunSpec spec;
+    spec.workload = makeWorkload(workload, scale);
+    spec.tw.cache = CacheConfig::icache(4096);
+    return spec;
+}
+
+TEST(FastPath, BitIdenticalAcrossScopes)
+{
+    for (SimScope scope :
+         {SimScope::all(), SimScope::userOnly(),
+          SimScope::kernelOnly(), SimScope::none()}) {
+        RunSpec spec = baseSpec();
+        spec.sys.scope = scope;
+        expectCachePathsAgree(spec, 17);
+    }
+}
+
+TEST(FastPath, BitIdenticalLargeCache)
+{
+    // Miss ratio well under 1%: the configuration the fast path is
+    // for — nearly every reference takes the filtered skip.
+    RunSpec spec = baseSpec();
+    spec.sys.scope = SimScope::all();
+    spec.tw.cache =
+        CacheConfig::icache(1024 * 1024, 16, 1, Indexing::Virtual);
+    expectCachePathsAgree(spec, 23);
+}
+
+TEST(FastPath, BitIdenticalWithSampling)
+{
+    RunSpec spec = baseSpec();
+    spec.tw.sampleNum = 1;
+    spec.tw.sampleDenom = 8;
+    spec.tw.sampleSeed = 1234;
+    expectCachePathsAgree(spec, 5);
+
+    spec.tw.sampleMode = SampleMode::ConstantBits;
+    expectCachePathsAgree(spec, 5);
+}
+
+TEST(FastPath, BitIdenticalDataCacheNoAllocateOnWrite)
+{
+    // The store-to-trapped-granule path CLEARS a trap as a side
+    // effect — the filter must deliver it (bit set means deliver).
+    RunSpec spec = baseSpec();
+    spec.tw.kind = SimCacheKind::Data;
+    spec.tw.hostWrite = HostWritePolicy::NoAllocateOnWrite;
+    expectCachePathsAgree(spec, 11);
+}
+
+TEST(FastPath, BitIdenticalUninstrumented)
+{
+    // No client at all: pure stream batching, micro-TLB and
+    // event-horizon math against the legacy stepper.
+    RunSpec spec = baseSpec();
+    spec.sim = SimKind::None;
+    RunOutcome fast, slow;
+    {
+        ScopedSlowPath sp(false);
+        fast = Runner::runOne(spec, 29);
+    }
+    {
+        ScopedSlowPath sp(true);
+        slow = Runner::runOne(spec, 29);
+    }
+    expectSameRun(fast.run, slow.run);
+}
+
+TEST(FastPath, BitIdenticalTraceDriven)
+{
+    // Trace clients publish no filter: the fast path must still
+    // deliver every reference to them.
+    RunSpec spec = baseSpec();
+    spec.sim = SimKind::TraceDriven;
+    spec.c2k.cache = CacheConfig::icache(4096, 16, 1,
+                                         Indexing::Virtual);
+    RunOutcome fast, slow;
+    {
+        ScopedSlowPath sp(false);
+        fast = Runner::runOne(spec, 13);
+    }
+    {
+        ScopedSlowPath sp(true);
+        slow = Runner::runOne(spec, 13);
+    }
+    expectSameRun(fast.run, slow.run);
+    EXPECT_DOUBLE_EQ(fast.rawMisses, slow.rawMisses);
+}
+
+struct TlbRun
+{
+    RunResult run;
+    TapewormTlbStats stats;
+};
+
+TlbRun
+runTlb(const RunSpec &spec, std::uint64_t seed, bool slow)
+{
+    ScopedSlowPath sp(slow);
+    SystemConfig sys = spec.sys;
+    sys.trialSeed = seed;
+    System system(sys, spec.workload);
+    TapewormTlbConfig cfg = spec.tlb;
+    if (cfg.filterFrames == 0)
+        cfg.filterFrames = system.physMem().numFrames();
+    TapewormTlb tlb(cfg);
+    system.setClient(&tlb);
+    TlbRun out;
+    out.run = system.run();
+    out.stats = tlb.stats();
+    EXPECT_TRUE(tlb.checkInvariants());
+    return out;
+}
+
+TEST(FastPath, BitIdenticalTlbMode)
+{
+    // The TLB filter is conservative (per-frame refcounts over
+    // per-space valid bits) — skips must still be exact.
+    RunSpec spec = baseSpec();
+    spec.sim = SimKind::TapewormTlbSim;
+    TlbRun fast = runTlb(spec, 7, false);
+    TlbRun slow = runTlb(spec, 7, true);
+    expectSameRun(fast.run, slow.run);
+    expectSameTlbStats(fast.stats, slow.stats);
+}
+
+struct MuxRun
+{
+    RunResult run;
+    TapewormStats cacheStats;
+    TapewormTlbStats tlbStats;
+    std::array<Counter, kNumComponents> oracleMisses{};
+};
+
+MuxRun
+runMux(const RunSpec &spec, std::uint64_t seed, bool slow)
+{
+    ScopedSlowPath sp(slow);
+    SystemConfig sys = spec.sys;
+    sys.trialSeed = seed;
+    System system(sys, spec.workload);
+
+    TapewormConfig twCfg = spec.tw;
+    twCfg.sampleSeed = 9;
+    Tapeworm tapeworm(system.physMem(), twCfg);
+
+    TapewormTlbConfig tlbCfg = spec.tlb;
+    tlbCfg.filterFrames = system.physMem().numFrames();
+    TapewormTlb tlb(tlbCfg);
+
+    OracleClient oracle(spec.tw.cache, system.physMem().numFrames());
+
+    MuxClient mux;
+    mux.add(&tapeworm);
+    mux.add(&tlb);
+    mux.add(&oracle);
+    // Mixed filters (oracle has none): the composite must be null
+    // and filtering fall back to the per-child tests.
+    EXPECT_EQ(mux.trapFilter().bits, nullptr);
+
+    system.setClient(&mux);
+    MuxRun out;
+    out.run = system.run();
+    out.cacheStats = tapeworm.stats();
+    out.tlbStats = tlb.stats();
+    for (unsigned c = 0; c < kNumComponents; ++c)
+        out.oracleMisses[c] = oracle.misses(static_cast<Component>(c));
+    return out;
+}
+
+TEST(FastPath, BitIdenticalMuxMixedClients)
+{
+    RunSpec spec = baseSpec();
+    MuxRun fast = runMux(spec, 19, false);
+    MuxRun slow = runMux(spec, 19, true);
+    expectSameRun(fast.run, slow.run);
+    expectSameStats(fast.cacheStats, slow.cacheStats);
+    expectSameTlbStats(fast.tlbStats, slow.tlbStats);
+    for (unsigned c = 0; c < kNumComponents; ++c)
+        EXPECT_EQ(fast.oracleMisses[c], slow.oracleMisses[c])
+            << componentName(static_cast<Component>(c));
+}
+
+TEST(FastPath, MuxOfIdenticalFiltersComposes)
+{
+    // Two Tapeworms over the same PhysMem publish the same view, so
+    // the mux itself becomes filterable.
+    PhysMem phys(1 << 20);
+    TapewormConfig cfg;
+    cfg.cache = CacheConfig::icache(4096);
+    Tapeworm a(phys, cfg);
+    cfg.cache = CacheConfig::icache(8192);
+    Tapeworm b(phys, cfg);
+    MuxClient mux;
+    mux.add(&a);
+    mux.add(&b);
+    TrapFilterView v = mux.trapFilter();
+    ASSERT_NE(v.bits, nullptr);
+    EXPECT_TRUE(v.same(a.trapFilter()));
+}
+
+TEST(FastPath, BitIdenticalUnderTaskChurnAndDma)
+{
+    // sdet churns tasks (exit -> unmap -> respawn over recycled
+    // frames) and an aggressive DMA period flushes translations —
+    // the micro-TLB invalidation paths must keep both runs aligned.
+    RunSpec spec = baseSpec("sdet", 8000);
+    spec.sys.scope = SimScope::all();
+    spec.sys.dmaFlushPeriod = 4;
+    expectCachePathsAgree(spec, 31);
+}
+
+} // namespace
+} // namespace tw
