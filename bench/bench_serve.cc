@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Throughput/latency of the twserved experiment service: sweep
+ * requests per second and per-request p50/p99, cold (every trial
+ * computed) vs cached (every trial a result-cache hit), at 1, 4 and
+ * 16 concurrent clients.
+ *
+ * The interesting ratio is cached/cold: Section 5's "resident
+ * simulator" pitch only holds if re-asking a warm server is orders
+ * of magnitude cheaper than recomputing. The 16-client row also
+ * exercises the admission path under real socket concurrency.
+ *
+ * `--report` writes BENCH_serve.json with rps and latency
+ * percentiles per configuration.
+ */
+
+#include <algorithm>
+#include <memory>
+#include <thread>
+
+#include <unistd.h>
+
+#include "common.hh"
+#include "serve/client.hh"
+#include "serve/server.hh"
+
+using namespace twbench;
+
+namespace
+{
+
+constexpr unsigned kSeedsPerRequest = 4;
+
+struct PhaseStats
+{
+    double rps = 0;
+    double p50Ms = 0;
+    double p99Ms = 0;
+    std::size_t requests = 0;
+};
+
+double
+percentileMs(std::vector<double> &sorted_us, double pct)
+{
+    if (sorted_us.empty())
+        return 0.0;
+    std::size_t idx = static_cast<std::size_t>(
+        pct / 100.0 * static_cast<double>(sorted_us.size()));
+    idx = std::min(idx, sorted_us.size() - 1);
+    return sorted_us[idx] / 1000.0;
+}
+
+/**
+ * Drive @p clients concurrent connections, each submitting
+ * @p reqs_per_client sweeps of kSeedsPerRequest seeds. Seeds are
+ * derived from @p seed_base, so calling twice with the same base
+ * makes the second pass all cache hits.
+ */
+PhaseStats
+runPhase(const std::string &path, const RunSpec &spec,
+         unsigned clients, unsigned reqs_per_client,
+         std::uint64_t seed_base, bool expect_cached)
+{
+    std::vector<std::vector<double>> latencies(clients);
+    std::vector<std::thread> threads;
+    auto wall0 = std::chrono::steady_clock::now();
+    for (unsigned c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            serve::Client client;
+            std::string err;
+            if (!client.connectUnix(path, &err))
+                fatal("bench_serve: connect: %s", err.c_str());
+            for (unsigned r = 0; r < reqs_per_client; ++r) {
+                std::vector<std::uint64_t> seeds;
+                for (unsigned i = 0; i < kSeedsPerRequest; ++i)
+                    seeds.push_back(seed_base + c * 100000
+                                    + r * kSeedsPerRequest + i);
+                auto t0 = std::chrono::steady_clock::now();
+                serve::SweepResult res =
+                    client.submitSweep(spec, seeds);
+                auto t1 = std::chrono::steady_clock::now();
+                if (!res.ok)
+                    fatal("bench_serve: submit rejected: %s (%s)",
+                          res.errorCode.c_str(),
+                          res.errorMsg.c_str());
+                if (expect_cached && res.cached != seeds.size())
+                    fatal("bench_serve: expected a fully cached "
+                          "sweep, got %llu/%zu hits",
+                          static_cast<unsigned long long>(
+                              res.cached),
+                          seeds.size());
+                latencies[c].push_back(
+                    std::chrono::duration<double, std::micro>(
+                        t1 - t0)
+                        .count());
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    double wall = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - wall0)
+                      .count();
+
+    std::vector<double> all;
+    for (auto &v : latencies)
+        all.insert(all.end(), v.begin(), v.end());
+    std::sort(all.begin(), all.end());
+
+    PhaseStats s;
+    s.requests = all.size();
+    s.rps = wall > 0 ? static_cast<double>(all.size()) / wall : 0;
+    s.p50Ms = percentileMs(all, 50.0);
+    s.p99Ms = percentileMs(all, 99.0);
+    return s;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    initBench(argc, argv);
+    bool report = hasFlag(argc, argv, "--report");
+    unsigned scale = envScaleDiv(4000);
+    banner("twserved", "experiment-service throughput: cold vs "
+                       "cached sweeps, 1/4/16 clients", scale);
+
+    std::unique_ptr<JsonReport> json;
+    if (report)
+        json = std::make_unique<JsonReport>("serve");
+
+    RunSpec spec;
+    spec.workload = makeWorkload("espresso", scale);
+    spec.sys.scope = SimScope::userOnly();
+    spec.sim = SimKind::Tapeworm;
+    spec.tw.cache = CacheConfig::icache(2048);
+
+    serve::ServerConfig cfg;
+    cfg.socketPath =
+        csprintf("/tmp/twserved-bench-%d.sock", getpid());
+    cfg.workers = defaultThreads();
+    cfg.queueCapacity = 4096;
+    cfg.cacheCapacity = 8192;
+    serve::Server server(cfg);
+    std::string err;
+    if (!server.start(&err))
+        fatal("bench_serve: %s", err.c_str());
+
+    const unsigned reqsPerClient = 8;
+    TextTable t({"clients", "phase", "requests", "req/s", "p50 ms",
+                 "p99 ms"});
+    std::uint64_t seedBase = 10'000'000;
+    for (unsigned clients : {1u, 4u, 16u}) {
+        // Distinct seed space per client count keeps the cold pass
+        // genuinely cold; the second pass replays it verbatim.
+        seedBase += 10'000'000;
+        PhaseStats cold = runPhase(cfg.socketPath, spec, clients,
+                                   reqsPerClient, seedBase, false);
+        PhaseStats cached = runPhase(cfg.socketPath, spec, clients,
+                                     reqsPerClient, seedBase, true);
+        for (const auto &[phase, s] :
+             {std::pair<const char *, PhaseStats &>{"cold", cold},
+              {"cached", cached}}) {
+            t.addRow({csprintf("%u", clients), phase,
+                      csprintf("%zu", s.requests), fmtF(s.rps, 1),
+                      fmtF(s.p50Ms, 3), fmtF(s.p99Ms, 3)});
+            if (json) {
+                std::string prefix =
+                    csprintf("%s_c%u_", phase, clients);
+                json->set(prefix + "rps", s.rps);
+                json->set(prefix + "p50_ms", s.p50Ms);
+                json->set(prefix + "p99_ms", s.p99Ms);
+            }
+        }
+        if (clients == 1 && cold.p50Ms > 0)
+            std::printf("[serve] cached/cold p50 speedup at 1 "
+                        "client: %.1fx\n",
+                        cold.p50Ms
+                            / (cached.p50Ms > 0 ? cached.p50Ms
+                                                : cold.p50Ms));
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf("Shape targets: cached sweeps should be far cheaper "
+                "than cold ones (no Runner work, just cache lookups "
+                "and wire I/O), and req/s should grow with client "
+                "count until the worker pool saturates.\n");
+
+    server.stop();
+    return 0;
+}

@@ -23,12 +23,21 @@ TW_THREADS=4 ctest --test-dir build --output-on-failure -j"$(nproc)"
 # streams/filters must stay data-race-free under parallel trials.
 cmake -B build-tsan -G Ninja -DTW_SANITIZE=thread
 cmake --build build-tsan --target test_harness test_base \
-    test_integration
+    test_integration test_serve
 TW_THREADS=4 ./build-tsan/tests/test_harness \
     --gtest_filter='ParallelTrials.*'
 TW_THREADS=4 ./build-tsan/tests/test_base \
-    --gtest_filter='ThreadPool.*:ParallelFor.*'
+    --gtest_filter='ThreadPool.*:ParallelFor.*:BoundedQueue.*'
 ./build-tsan/tests/test_integration --gtest_filter='FastPath.*'
+# The experiment service is concurrency all the way down: MPMC
+# queue, shared result cache, per-session writer locks, drain
+# ordering. Run the whole serve suite under TSan.
+TW_THREADS=4 ./build-tsan/tests/test_serve
+
+# End-to-end service smoke: daemon on a temp socket, served fig2
+# rows diffed bit-for-bit against in-process computation, cache-hit
+# resubmit, overload rejection, clean SIGTERM drain.
+./scripts/serve_smoke.sh
 
 for b in build/bench/*; do
     [ -f "$b" ] && [ -x "$b" ] && "$b"

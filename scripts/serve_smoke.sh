@@ -1,0 +1,100 @@
+#!/bin/sh
+# End-to-end smoke of the twserved experiment service.
+#
+# Starts a daemon on a temp socket, submits the fig2 1K and 32K
+# rows through twctl, and diffs each served sweep bit-for-bit
+# against the same spec computed in-process (twctl local, which
+# calls Runner::runWithSlowdown directly). Then resubmits and
+# asserts the rows came from the result cache, asserts a sweep
+# larger than the job queue is rejected `overloaded`, and finally
+# SIGTERMs the daemon and requires a clean drain (exit 0, socket
+# unlinked).
+#
+# Usage: scripts/serve_smoke.sh [build-dir]
+set -e
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+SERVED="$BUILD/tools/twserved"
+CTL="$BUILD/tools/twctl"
+
+if [ ! -x "$SERVED" ] || [ ! -x "$CTL" ]; then
+    echo "serve_smoke: tools not built, skipping" >&2
+    exit 0
+fi
+
+SOCK="/tmp/twserved-smoke-$$.sock"
+T=$(mktemp -d)
+PID=""
+cleanup() {
+    [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+    rm -f "$SOCK"
+    rm -rf "$T"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "serve_smoke: FAIL — $1" >&2
+    exit 1
+}
+
+# Queue of 4: big enough for the 3-trial sweeps below, small enough
+# to demonstrate admission control with an 8-seed sweep.
+"$SERVED" --socket "$SOCK" --workers 2 --queue 4 --quiet &
+PID=$!
+i=0
+while [ ! -S "$SOCK" ]; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && fail "daemon did not create $SOCK"
+    kill -0 "$PID" 2>/dev/null || fail "daemon died during startup"
+    sleep 0.05
+done
+
+SCALE="${TW_SCALE_DIV:-2000}"
+SPEC="--workload mpeg_play --indexing virtual --scope user \
+      --scale $SCALE --trials 3"
+
+# ---- Served rows must be bit-identical to direct computation ------
+for SZ in 1K 32K; do
+    # shellcheck disable=SC2086  # $SPEC is a word list
+    "$CTL" local $SPEC --cache "$SZ" --canonical \
+        > "$T/local_$SZ.txt"
+    # shellcheck disable=SC2086
+    "$CTL" --socket "$SOCK" submit $SPEC --cache "$SZ" --canonical \
+        > "$T/served_$SZ.txt" 2> "$T/served_$SZ.log"
+    diff -u "$T/local_$SZ.txt" "$T/served_$SZ.txt" \
+        || fail "served $SZ rows differ from direct Runner output"
+done
+echo "serve_smoke: fig2 1K/32K served rows bit-identical to local"
+
+# ---- Resubmitting an identical sweep must hit the cache -----------
+hits0=$("$CTL" --socket "$SOCK" stats --path cache.hits)
+# shellcheck disable=SC2086
+"$CTL" --socket "$SOCK" submit $SPEC --cache 1K --canonical \
+    > "$T/resub.txt" 2> "$T/resub.log"
+diff -u "$T/local_1K.txt" "$T/resub.txt" \
+    || fail "cached resubmit rows differ"
+hits1=$("$CTL" --socket "$SOCK" stats --path cache.hits)
+[ "$((hits1 - hits0))" -eq 3 ] \
+    || fail "resubmit produced $((hits1 - hits0)) cache hits, want 3"
+grep -q 'cached=3 computed=0' "$T/resub.log" \
+    || fail "resubmit summary is not fully cached: $(cat "$T/resub.log")"
+echo "serve_smoke: resubmit served from cache (hits $hits0 -> $hits1)"
+
+# ---- A sweep larger than the queue is rejected `overloaded` -------
+rc=0
+# shellcheck disable=SC2086
+"$CTL" --socket "$SOCK" submit $SPEC --cache 2K \
+    --seeds 1,2,3,4,5,6,7,8 > /dev/null 2> "$T/over.log" || rc=$?
+[ "$rc" -eq 2 ] || fail "oversized sweep exited $rc, want 2"
+grep -q overloaded "$T/over.log" \
+    || fail "oversized sweep not rejected overloaded: $(cat "$T/over.log")"
+echo "serve_smoke: oversized sweep rejected overloaded"
+
+# ---- SIGTERM must drain cleanly -----------------------------------
+kill -TERM "$PID"
+rc=0
+wait "$PID" || rc=$?
+PID=""
+[ "$rc" -eq 0 ] || fail "daemon exited $rc on SIGTERM, want 0"
+[ ! -S "$SOCK" ] || fail "daemon left $SOCK behind"
+echo "serve_smoke: OK (clean SIGTERM drain)"

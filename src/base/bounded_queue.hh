@@ -1,0 +1,196 @@
+/**
+ * @file
+ * A bounded multi-producer/multi-consumer FIFO with explicit
+ * backpressure.
+ *
+ * The experiment service admits work through this queue: session
+ * threads produce jobs, the worker pool consumes them, and when the
+ * queue is full a submission is REJECTED (the tryPush family returns
+ * false) instead of
+ * growing the queue or blocking the session — the "overloaded"
+ * admission-control policy of DESIGN.md §9. A whole sweep is admitted
+ * atomically via tryPushAll() so a client never observes half of its
+ * trials accepted and the rest refused.
+ *
+ * close() stops admission but lets consumers drain what was already
+ * accepted — the graceful-SIGTERM path: every admitted job still
+ * produces its result row before the daemon exits.
+ *
+ * Plain mutex + two condition variables. Jobs are whole simulator
+ * runs (milliseconds to seconds each), so queue overhead is
+ * irrelevant and the simplicity keeps the semantics auditable; the
+ * contention-heavy paths are exercised under TSan by
+ * tests/base/test_bounded_queue.cc.
+ */
+
+#ifndef TW_BASE_BOUNDED_QUEUE_HH
+#define TW_BASE_BOUNDED_QUEUE_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace tw
+{
+
+template <typename T>
+class BoundedQueue
+{
+  public:
+    /** A queue holding at most @p capacity items (at least 1). */
+    explicit BoundedQueue(std::size_t capacity)
+        : capacity_(capacity ? capacity : 1)
+    {
+    }
+
+    BoundedQueue(const BoundedQueue &) = delete;
+    BoundedQueue &operator=(const BoundedQueue &) = delete;
+
+    std::size_t capacity() const { return capacity_; }
+
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return items_.size();
+    }
+
+    bool
+    closed() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return closed_;
+    }
+
+    /**
+     * Admit one item if there is room; false when full or closed.
+     * Never blocks — this is the backpressure edge.
+     */
+    bool
+    tryPush(T item)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (closed_ || items_.size() >= capacity_)
+                return false;
+            items_.push_back(std::move(item));
+        }
+        itemReady_.notify_one();
+        return true;
+    }
+
+    /**
+     * Admit @p items atomically: all of them or none. False (and no
+     * queue change) when they don't all fit or the queue is closed.
+     * The batch must itself fit in the capacity.
+     */
+    bool
+    tryPushAll(std::vector<T> items)
+    {
+        if (items.empty())
+            return true;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (closed_
+                || capacity_ - items_.size() < items.size())
+                return false;
+            for (T &item : items)
+                items_.push_back(std::move(item));
+        }
+        if (items.size() == 1)
+            itemReady_.notify_one();
+        else
+            itemReady_.notify_all();
+        return true;
+    }
+
+    /**
+     * Blocking push for producers that want backpressure-by-waiting
+     * rather than rejection (tests, in-process tools). False when
+     * the queue is closed before space appears.
+     */
+    bool
+    push(T item)
+    {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            spaceReady_.wait(lock, [&] {
+                return closed_ || items_.size() < capacity_;
+            });
+            if (closed_)
+                return false;
+            items_.push_back(std::move(item));
+        }
+        itemReady_.notify_one();
+        return true;
+    }
+
+    /**
+     * Take the oldest item, blocking while the queue is open and
+     * empty. nullopt once the queue is closed AND drained — the
+     * consumer's termination signal.
+     */
+    std::optional<T>
+    pop()
+    {
+        std::optional<T> out;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            itemReady_.wait(lock,
+                            [&] { return closed_ || !items_.empty(); });
+            if (items_.empty())
+                return std::nullopt;
+            out.emplace(std::move(items_.front()));
+            items_.pop_front();
+        }
+        spaceReady_.notify_one();
+        return out;
+    }
+
+    /** Non-blocking take; nullopt when empty. */
+    std::optional<T>
+    tryPop()
+    {
+        std::optional<T> out;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (items_.empty())
+                return std::nullopt;
+            out.emplace(std::move(items_.front()));
+            items_.pop_front();
+        }
+        spaceReady_.notify_one();
+        return out;
+    }
+
+    /**
+     * Stop admission and wake every waiter. Items already admitted
+     * remain poppable (drain); push/tryPush fail from now on.
+     */
+    void
+    close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+        }
+        itemReady_.notify_all();
+        spaceReady_.notify_all();
+    }
+
+  private:
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable itemReady_;
+    std::condition_variable spaceReady_;
+    std::deque<T> items_;
+    bool closed_ = false;
+};
+
+} // namespace tw
+
+#endif // TW_BASE_BOUNDED_QUEUE_HH

@@ -1,12 +1,12 @@
 #include "harness/runner.hh"
 
 #include <chrono>
-#include <map>
+#include <cstdlib>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
 
 #include "base/logging.hh"
+#include "base/lru_map.hh"
 #include "harness/oracle.hh"
 
 namespace tw
@@ -19,7 +19,9 @@ namespace
  * One memoized baseline. The entry is created under the map lock but
  * computed outside it under a per-key once_flag, so concurrent
  * trials of the same spec+seed block only each other (one computes,
- * the rest wait) and never serialize against different keys.
+ * the rest wait) and never serialize against different keys. The
+ * shared_ptr keeps an entry alive for threads still computing or
+ * reading it even if the LRU evicts the key meanwhile.
  */
 struct BaselineEntry
 {
@@ -27,21 +29,42 @@ struct BaselineEntry
     Cycles cycles = 0;
 };
 
-std::shared_mutex baselinesMutex;
-std::map<std::string, std::shared_ptr<BaselineEntry>> baselines;
+constexpr std::size_t kDefaultBaselineCap = 4096;
+
+std::size_t
+envBaselineCap()
+{
+    if (const char *cap = std::getenv("TW_BASELINE_CAP")) {
+        long v = std::atol(cap);
+        if (v > 0)
+            return static_cast<std::size_t>(v);
+    }
+    return kDefaultBaselineCap;
+}
+
+std::mutex baselinesMutex;
+std::uint64_t baselineHits = 0;
+std::uint64_t baselineMisses = 0;
+
+LruMap<std::string, std::shared_ptr<BaselineEntry>> &
+baselines()
+{
+    static LruMap<std::string, std::shared_ptr<BaselineEntry>> map(
+        envBaselineCap());
+    return map;
+}
 
 std::shared_ptr<BaselineEntry>
 baselineEntry(const std::string &key)
 {
-    {
-        std::shared_lock<std::shared_mutex> rlock(baselinesMutex);
-        auto it = baselines.find(key);
-        if (it != baselines.end())
-            return it->second;
+    std::lock_guard<std::mutex> lock(baselinesMutex);
+    auto &map = baselines();
+    if (std::shared_ptr<BaselineEntry> *entry = map.find(key)) {
+        ++baselineHits;
+        return *entry;
     }
-    std::unique_lock<std::shared_mutex> wlock(baselinesMutex);
-    return baselines.try_emplace(key, std::make_shared<BaselineEntry>())
-        .first->second;
+    ++baselineMisses;
+    return map.insert(key, std::make_shared<BaselineEntry>());
 }
 
 double
@@ -193,8 +216,30 @@ Runner::runWithSlowdown(const RunSpec &spec, std::uint64_t trial_seed)
 void
 Runner::clearBaselineCache()
 {
-    std::unique_lock<std::shared_mutex> wlock(baselinesMutex);
-    baselines.clear();
+    std::lock_guard<std::mutex> lock(baselinesMutex);
+    baselines().clear();
+    baselineHits = 0;
+    baselineMisses = 0;
+}
+
+void
+Runner::setBaselineCacheCapacity(std::size_t entries)
+{
+    std::lock_guard<std::mutex> lock(baselinesMutex);
+    baselines().setCapacity(entries);
+}
+
+BaselineCacheStats
+Runner::baselineCacheStats()
+{
+    std::lock_guard<std::mutex> lock(baselinesMutex);
+    BaselineCacheStats s;
+    s.size = baselines().size();
+    s.capacity = baselines().capacity();
+    s.hits = baselineHits;
+    s.misses = baselineMisses;
+    s.evictions = baselines().evictions();
+    return s;
 }
 
 } // namespace tw

@@ -120,13 +120,26 @@ struct RunOutcome
     }
 };
 
+/** Occupancy/eviction counters of the baseline memo. */
+struct BaselineCacheStats
+{
+    std::size_t size = 0;
+    std::size_t capacity = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+};
+
 /**
  * Stateless run executor (normal-run memoization is internal).
  *
  * Thread-safe: concurrent trials may call runOne/runWithSlowdown
- * freely. The baseline memo is guarded by a shared_mutex and each
- * key is computed exactly once (concurrent requests for the same
- * spec+seed wait for the first computation instead of redoing it).
+ * freely. The baseline memo is an LRU map guarded by a mutex; each
+ * key is computed exactly once per residency (concurrent requests
+ * for the same spec+seed wait for the first computation instead of
+ * redoing it). The memo is BOUNDED — a long-lived daemon reruns an
+ * evicted baseline (bit-identically, since baselines are pure
+ * functions of spec+seed) instead of leaking memory.
  */
 class Runner
 {
@@ -142,6 +155,16 @@ class Runner
 
     /** Drop the memoized baselines (tests). */
     static void clearBaselineCache();
+
+    /**
+     * Cap the baseline memo at @p entries (>= 1). The default,
+     * overridable via TW_BASELINE_CAP, is 4096 — comfortably above
+     * any bench sweep (a sweep shares one baseline per trial seed)
+     * while bounding a resident daemon to a few hundred KB of memo.
+     */
+    static void setBaselineCacheCapacity(std::size_t entries);
+
+    static BaselineCacheStats baselineCacheStats();
 
   private:
     static std::string baselineKey(const RunSpec &spec,

@@ -1,0 +1,254 @@
+#include "serve/client.hh"
+
+#include <unistd.h>
+
+#include "harness/specio.hh"
+
+namespace tw
+{
+namespace serve
+{
+
+std::vector<RunOutcome>
+SweepResult::outcomes() const
+{
+    std::uint64_t maxTrial = 0;
+    for (const SweepRow &r : rows)
+        maxTrial = std::max(maxTrial, r.trial);
+    std::vector<RunOutcome> out(rows.empty() ? 0 : maxTrial + 1);
+    for (const SweepRow &r : rows)
+        if (!r.expired)
+            out[r.trial] = r.outcome;
+    return out;
+}
+
+Client::~Client()
+{
+    disconnect();
+}
+
+bool
+Client::connectUnix(const std::string &path, std::string *err)
+{
+    disconnect();
+    fd_ = connectUnixSocket(path, err);
+    if (fd_ < 0)
+        return false;
+    reader_.reset(fd_);
+    return true;
+}
+
+bool
+Client::connectTcp(const std::string &host, int port,
+                   std::string *err)
+{
+    disconnect();
+    fd_ = connectTcpSocket(host, port, err);
+    if (fd_ < 0)
+        return false;
+    reader_.reset(fd_);
+    return true;
+}
+
+void
+Client::disconnect()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+SweepResult
+Client::submitSweep(
+    const RunSpec &spec, const std::vector<std::uint64_t> &seeds,
+    bool with_slowdown, std::optional<std::uint64_t> deadline_ms,
+    const std::function<void(const SweepRow &)> &on_row)
+{
+    SweepResult result;
+    if (fd_ < 0) {
+        result.errorMsg = "not connected";
+        return result;
+    }
+    std::uint64_t id = nextId_++;
+
+    Json req = Json::object();
+    req.set("op", Json::str("submit"));
+    req.set("id", Json::number(id));
+    // Ship the spec as canonical text: the server parses it back
+    // with the same strict reader, so what was submitted is exactly
+    // what is fingerprinted.
+    req.set("spec", Json::str(formatRunSpec(spec)));
+    Json seedArr = Json::array();
+    for (std::uint64_t s : seeds)
+        seedArr.push(Json::number(s));
+    req.set("seeds", std::move(seedArr));
+    req.set("slowdown", Json::boolean(with_slowdown));
+    if (deadline_ms)
+        req.set("deadline_ms", Json::number(*deadline_ms));
+    if (!sendJsonLine(fd_, req)) {
+        result.errorMsg = "send failed";
+        return result;
+    }
+
+    std::string line;
+    while (true) {
+        LineReader::Status st = reader_.readLine(line);
+        if (st != LineReader::Status::Line) {
+            result.errorMsg = "connection closed mid-response";
+            return result;
+        }
+        Json frame;
+        std::string perr;
+        if (!Json::parse(line, frame, &perr) || !frame.isObject()) {
+            result.errorMsg = "bad frame from server: " + perr;
+            return result;
+        }
+        const Json *idj = frame.find("id");
+        if (!idj || idj->asU64() != id)
+            continue; // a frame for some other request id
+        const Json *evj = frame.find("ev");
+        const std::string &ev = evj ? evj->asString() : "";
+
+        if (ev == "row") {
+            SweepRow row;
+            if (const Json *j = frame.find("trial"))
+                row.trial = j->asU64();
+            if (const Json *j = frame.find("seed"))
+                row.seed = j->asU64();
+            if (const Json *j = frame.find("cached"))
+                row.cached = j->asBool();
+            if (const Json *j = frame.find("host_s"))
+                row.hostSeconds = j->asDouble();
+            if (frame.find("error")) {
+                row.expired = true;
+            } else if (const Json *j = frame.find("outcome")) {
+                std::string oerr;
+                if (!outcomeFromJson(*j, row.outcome, oerr)) {
+                    result.errorMsg = "bad outcome row: " + oerr;
+                    return result;
+                }
+                // hostSeconds travels outside the canonical text.
+                row.outcome.hostSeconds = row.hostSeconds;
+            }
+            if (on_row)
+                on_row(row);
+            result.rows.push_back(std::move(row));
+            continue;
+        }
+        if (ev == "done") {
+            if (const Json *j = frame.find("cached"))
+                result.cached = j->asU64();
+            if (const Json *j = frame.find("computed"))
+                result.computed = j->asU64();
+            if (const Json *j = frame.find("expired"))
+                result.expired = j->asU64();
+            result.ok = true;
+            return result;
+        }
+        if (ev == "error") {
+            if (const Json *j = frame.find("code"))
+                result.errorCode = j->asString();
+            if (const Json *j = frame.find("msg"))
+                result.errorMsg = j->asString();
+            return result;
+        }
+        // Unknown event for our id: protocol error.
+        result.errorMsg = "unexpected event '" + ev + "'";
+        return result;
+    }
+}
+
+bool
+Client::simpleOp(const char *op, const char *expect_ev, Json &resp,
+                 std::string *err)
+{
+    if (fd_ < 0) {
+        if (err)
+            *err = "not connected";
+        return false;
+    }
+    std::uint64_t id = nextId_++;
+    Json req = Json::object();
+    req.set("op", Json::str(op));
+    req.set("id", Json::number(id));
+    if (!sendJsonLine(fd_, req)) {
+        if (err)
+            *err = "send failed";
+        return false;
+    }
+    std::string line;
+    while (true) {
+        LineReader::Status st = reader_.readLine(line);
+        if (st != LineReader::Status::Line) {
+            if (err)
+                *err = "connection closed mid-response";
+            return false;
+        }
+        Json frame;
+        std::string perr;
+        if (!Json::parse(line, frame, &perr) || !frame.isObject()) {
+            if (err)
+                *err = "bad frame from server: " + perr;
+            return false;
+        }
+        const Json *idj = frame.find("id");
+        if (!idj || idj->asU64() != id)
+            continue;
+        const Json *evj = frame.find("ev");
+        const std::string &ev = evj ? evj->asString() : "";
+        if (ev == expect_ev) {
+            resp = std::move(frame);
+            return true;
+        }
+        if (ev == "error") {
+            if (err) {
+                const Json *m = frame.find("msg");
+                *err = m ? m->asString() : "server error";
+            }
+            return false;
+        }
+        if (err)
+            *err = "unexpected event '" + ev + "'";
+        return false;
+    }
+}
+
+bool
+Client::stats(Json &out, std::string *err)
+{
+    Json resp;
+    if (!simpleOp("stats", "stats", resp, err))
+        return false;
+    if (const Json *s = resp.find("stats")) {
+        out = *s;
+        return true;
+    }
+    if (err)
+        *err = "stats response missing payload";
+    return false;
+}
+
+bool
+Client::flushCache(std::string *err)
+{
+    Json resp;
+    return simpleOp("flush-cache", "ok", resp, err);
+}
+
+bool
+Client::shutdownServer(std::string *err)
+{
+    Json resp;
+    return simpleOp("shutdown", "ok", resp, err);
+}
+
+bool
+Client::ping(std::string *err)
+{
+    Json resp;
+    return simpleOp("ping", "pong", resp, err);
+}
+
+} // namespace serve
+} // namespace tw

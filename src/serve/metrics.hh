@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The experiment service's metrics registry: lock-free counters and
+ * log2-bucketed latency histograms behind the admin `stats` surface.
+ *
+ * Everything here is written from hot paths (session threads,
+ * workers) and read rarely (a `stats` request), so each metric is a
+ * relaxed atomic — stats output is a consistent-enough snapshot,
+ * not a linearizable one. Latency quantiles come from a 48-bucket
+ * power-of-two histogram over microseconds: factor-of-two
+ * resolution, which is plenty for spotting a saturated queue or a
+ * cold-vs-cached cliff (exact percentiles for the perf trajectory
+ * are computed client-side by bench_serve from per-request
+ * samples).
+ */
+
+#ifndef TW_SERVE_METRICS_HH
+#define TW_SERVE_METRICS_HH
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "base/json.hh"
+
+namespace tw
+{
+namespace serve
+{
+
+/** Thread-safe latency recorder (microseconds, log2 buckets). */
+class LatencyStat
+{
+  public:
+    void
+    record(double us)
+    {
+        if (us < 0.0)
+            us = 0.0;
+        auto u = static_cast<std::uint64_t>(us);
+        count_.fetch_add(1, std::memory_order_relaxed);
+        sumUs_.fetch_add(u, std::memory_order_relaxed);
+        std::uint64_t prev = maxUs_.load(std::memory_order_relaxed);
+        while (u > prev
+               && !maxUs_.compare_exchange_weak(
+                   prev, u, std::memory_order_relaxed)) {
+        }
+        buckets_[bucketOf(u)].fetch_add(1,
+                                        std::memory_order_relaxed);
+    }
+
+    struct Snapshot
+    {
+        std::uint64_t count = 0;
+        double meanUs = 0.0;
+        double p50Us = 0.0;
+        double p99Us = 0.0;
+        double maxUs = 0.0;
+    };
+
+    Snapshot snapshot() const;
+
+    /** As {"count":..,"mean_us":..,"p50_us":..,"p99_us":..,
+     *  "max_us":..}. */
+    Json toJson() const;
+
+  private:
+    static constexpr unsigned kBuckets = 48;
+
+    static unsigned
+    bucketOf(std::uint64_t us)
+    {
+        unsigned b = 0;
+        while (us > 1 && b < kBuckets - 1) {
+            us >>= 1;
+            ++b;
+        }
+        return b;
+    }
+
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> sumUs_{0};
+    std::atomic<std::uint64_t> maxUs_{0};
+};
+
+/** All counters the server exports (see Server::statsJson for the
+ *  assembled payload, which adds queue/cache/session state). */
+struct MetricsRegistry
+{
+    std::chrono::steady_clock::time_point started =
+        std::chrono::steady_clock::now();
+
+    // Requests by op.
+    std::atomic<std::uint64_t> submits{0};
+    std::atomic<std::uint64_t> statsReqs{0};
+    std::atomic<std::uint64_t> flushes{0};
+    std::atomic<std::uint64_t> pings{0};
+    std::atomic<std::uint64_t> shutdowns{0};
+    std::atomic<std::uint64_t> badRequests{0};
+
+    // Row outcomes.
+    std::atomic<std::uint64_t> rowsStreamed{0};
+    std::atomic<std::uint64_t> rowsCached{0};
+    std::atomic<std::uint64_t> rowsComputed{0};
+    std::atomic<std::uint64_t> rowsExpired{0};
+
+    // Admission control.
+    std::atomic<std::uint64_t> rejectedOverloaded{0};
+    std::atomic<std::uint64_t> rejectedShuttingDown{0};
+
+    // Live state.
+    std::atomic<std::uint64_t> jobsInFlight{0};
+    std::atomic<std::uint64_t> sessionsOpened{0};
+    std::atomic<std::uint64_t> sessionsClosed{0};
+
+    // Per-stage latencies.
+    LatencyStat queueWait; //!< admit -> worker pop
+    LatencyStat runStage;  //!< Runner execution alone
+    LatencyStat request;   //!< submit parse -> done emitted
+
+    double
+    uptimeSeconds() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - started)
+            .count();
+    }
+};
+
+} // namespace serve
+} // namespace tw
+
+#endif // TW_SERVE_METRICS_HH

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The experiment service's result cache: an LRU over canonical
+ * cache keys (harness/specio.hh) holding complete RunOutcomes.
+ *
+ * A sweep resubmitted by any client — the "resampling is just a new
+ * trap pattern" monitoring loop of the paper's Section 5, or the
+ * near-identical configuration points a parameter sweep emits
+ * [Bueno et al.] — is answered from here without touching the
+ * simulator. Keys are exact canonical bytes, so a hit is guaranteed
+ * to return a RunOutcome bit-identical to recomputation (the
+ * simulator is deterministic in spec+seed; the smoke test asserts
+ * this end to end).
+ *
+ * Thread-safe; one mutex. Lookup copies the outcome out under the
+ * lock — RunOutcome is a few hundred bytes, and copying beats
+ * handing references to evictable storage.
+ */
+
+#ifndef TW_SERVE_RESULT_CACHE_HH
+#define TW_SERVE_RESULT_CACHE_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "base/json.hh"
+#include "base/lru_map.hh"
+#include "harness/runner.hh"
+
+namespace tw
+{
+namespace serve
+{
+
+class ResultCache
+{
+  public:
+    explicit ResultCache(std::size_t capacity) : map_(capacity) {}
+
+    /** Copy the cached outcome for @p key into @p out; counts a
+     *  hit or a miss. */
+    bool
+    lookup(const std::string &key, RunOutcome &out)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (RunOutcome *hit = map_.find(key)) {
+            ++hits_;
+            out = *hit;
+            return true;
+        }
+        ++misses_;
+        return false;
+    }
+
+    void
+    insert(const std::string &key, const RunOutcome &outcome)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++insertions_;
+        map_.insert(key, outcome);
+    }
+
+    /** Drop everything (the admin flush-cache op). */
+    void
+    flush()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        map_.clear();
+        ++flushes_;
+    }
+
+    struct Stats
+    {
+        std::size_t size = 0;
+        std::size_t capacity = 0;
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t insertions = 0;
+        std::uint64_t evictions = 0;
+        std::uint64_t flushes = 0;
+    };
+
+    Stats
+    stats() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        Stats s;
+        s.size = map_.size();
+        s.capacity = map_.capacity();
+        s.hits = hits_;
+        s.misses = misses_;
+        s.insertions = insertions_;
+        s.evictions = map_.evictions();
+        s.flushes = flushes_;
+        return s;
+    }
+
+    /** Stats as a Json object (the `stats` admin payload). */
+    Json
+    statsJson() const
+    {
+        Stats s = stats();
+        Json j = Json::object();
+        j.set("size", Json::number(static_cast<std::uint64_t>(s.size)));
+        j.set("capacity",
+              Json::number(static_cast<std::uint64_t>(s.capacity)));
+        j.set("hits", Json::number(s.hits));
+        j.set("misses", Json::number(s.misses));
+        j.set("insertions", Json::number(s.insertions));
+        j.set("evictions", Json::number(s.evictions));
+        j.set("flushes", Json::number(s.flushes));
+        return j;
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    LruMap<std::string, RunOutcome> map_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t insertions_ = 0;
+    std::uint64_t flushes_ = 0;
+};
+
+} // namespace serve
+} // namespace tw
+
+#endif // TW_SERVE_RESULT_CACHE_HH

@@ -1,0 +1,683 @@
+#include "serve/server.hh"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <optional>
+
+#include "base/logging.hh"
+#include "base/thread_pool.hh"
+#include "harness/runner.hh"
+#include "harness/specio.hh"
+#include "serve/wire.hh"
+
+namespace tw
+{
+namespace serve
+{
+
+using Clock = std::chrono::steady_clock;
+
+namespace
+{
+
+double
+usSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double, std::micro>(Clock::now()
+                                                     - t0)
+        .count();
+}
+
+} // anonymous namespace
+
+/** One connected client. Row streaming happens from worker threads
+ *  while the session thread keeps reading requests, so every write
+ *  goes through send() under writeMutex. */
+struct Server::Session
+{
+    int fd = -1;
+    std::mutex writeMutex;
+    std::atomic<bool> dead{false};
+
+    bool
+    send(const Json &j)
+    {
+        std::lock_guard<std::mutex> lock(writeMutex);
+        if (dead.load(std::memory_order_relaxed))
+            return false;
+        if (!sendJsonLine(fd, j)) {
+            // Client vanished; stop wasting writes on it.
+            dead.store(true, std::memory_order_relaxed);
+            return false;
+        }
+        return true;
+    }
+};
+
+/** One submit request in flight: shared by every Job of its sweep.
+ *  remaining starts at jobs+1 — the extra count is held by the
+ *  session thread until it has streamed the cached rows, so "done"
+ *  can never outrun them. */
+struct Server::Request
+{
+    std::shared_ptr<Session> session;
+    std::uint64_t id = 0;
+    std::shared_ptr<const RunSpec> spec;
+    bool slowdown = true;
+    std::optional<Clock::time_point> deadline;
+    Clock::time_point start = Clock::now();
+
+    std::atomic<std::uint64_t> remaining{0};
+    std::atomic<std::uint64_t> rows{0};
+    std::atomic<std::uint64_t> cached{0};
+    std::atomic<std::uint64_t> computed{0};
+    std::atomic<std::uint64_t> expired{0};
+};
+
+/** One trial waiting on the bounded queue. */
+struct Server::Job
+{
+    std::shared_ptr<Request> req;
+    std::uint64_t seed = 0;
+    std::uint64_t trial = 0;
+    std::string key;
+    Clock::time_point enqueued;
+};
+
+Server::Server(ServerConfig cfg)
+    : cfg_(std::move(cfg)), cache_(cfg_.cacheCapacity),
+      queue_(cfg_.queueCapacity)
+{
+    if (cfg_.workers == 0)
+        cfg_.workers = defaultThreads();
+}
+
+Server::~Server()
+{
+    stop();
+}
+
+bool
+Server::start(std::string *err)
+{
+    if (started_.load()) {
+        if (err)
+            *err = "server already started";
+        return false;
+    }
+    if (cfg_.socketPath.empty()) {
+        if (err)
+            *err = "no socket path configured";
+        return false;
+    }
+    unixFd_ = listenUnixSocket(cfg_.socketPath, err);
+    if (unixFd_ < 0)
+        return false;
+    if (cfg_.tcpPort != 0) {
+        tcpFd_ = listenTcpSocket(cfg_.tcpBind, cfg_.tcpPort, err);
+        if (tcpFd_ < 0) {
+            ::close(unixFd_);
+            unixFd_ = -1;
+            ::unlink(cfg_.socketPath.c_str());
+            return false;
+        }
+    }
+    started_.store(true);
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+    workers_.reserve(cfg_.workers);
+    for (unsigned i = 0; i < cfg_.workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+    if (cfg_.verbose)
+        std::fprintf(stderr,
+                     "twserved: listening on %s (%u workers, "
+                     "queue %zu, cache %zu)\n",
+                     cfg_.socketPath.c_str(), cfg_.workers,
+                     queue_.capacity(), cfg_.cacheCapacity);
+    return true;
+}
+
+void
+Server::requestStop()
+{
+    bool expected = false;
+    if (!stopping_.compare_exchange_strong(expected, true))
+        return;
+    // New submits now bounce with shutting_down; admitted jobs
+    // keep draining because close() allows pops until empty.
+    queue_.close();
+    workCv_.notify_all();
+    {
+        std::lock_guard<std::mutex> lock(stopMutex_);
+        stopRequested_ = true;
+    }
+    stopCv_.notify_all();
+}
+
+void
+Server::join()
+{
+    if (!started_.load())
+        return;
+    {
+        std::unique_lock<std::mutex> lock(stopMutex_);
+        stopCv_.wait(lock, [this] { return stopRequested_; });
+        if (joined_)
+            return;
+        joined_ = true;
+    }
+
+    // Order matters: stop accepting, drain the queue (workers exit
+    // when pop() returns nullopt on the closed empty queue), and
+    // only then yank sessions — admitted sweeps finish streaming.
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    for (auto &w : workers_)
+        if (w.joinable())
+            w.join();
+
+    {
+        std::lock_guard<std::mutex> lock(sessionsMutex_);
+        for (auto &s : sessions_) {
+            s->dead.store(true);
+            // Unblocks the session thread's recv().
+            ::shutdown(s->fd, SHUT_RDWR);
+        }
+    }
+    for (auto &t : sessionThreads_)
+        if (t.joinable())
+            t.join();
+    {
+        std::lock_guard<std::mutex> lock(sessionsMutex_);
+        for (auto &s : sessions_)
+            ::close(s->fd);
+        sessions_.clear();
+        sessionThreads_.clear();
+    }
+
+    if (unixFd_ >= 0) {
+        ::close(unixFd_);
+        unixFd_ = -1;
+        ::unlink(cfg_.socketPath.c_str());
+    }
+    if (tcpFd_ >= 0) {
+        ::close(tcpFd_);
+        tcpFd_ = -1;
+    }
+    started_.store(false);
+    if (cfg_.verbose)
+        std::fprintf(stderr, "twserved: drained and stopped\n");
+}
+
+void
+Server::stop()
+{
+    if (!started_.load())
+        return;
+    requestStop();
+    join();
+}
+
+void
+Server::pauseWorkers()
+{
+    std::lock_guard<std::mutex> lock(workMutex_);
+    paused_ = true;
+}
+
+void
+Server::resumeWorkers()
+{
+    {
+        std::lock_guard<std::mutex> lock(workMutex_);
+        paused_ = false;
+    }
+    workCv_.notify_all();
+}
+
+std::optional<Server::Job>
+Server::nextJob()
+{
+    std::unique_lock<std::mutex> lock(workMutex_);
+    while (true) {
+        workCv_.wait(lock, [this] {
+            return !paused_
+                   && (queue_.size() > 0 || queue_.closed());
+        });
+        // tryPop under workMutex_: dequeue is serialized through
+        // this one place, so the paused predicate above is the
+        // whole truth — a paused server can never lose a job to a
+        // worker that was already waiting.
+        if (std::optional<Job> job = queue_.tryPop())
+            return job;
+        if (queue_.closed())
+            return std::nullopt; // closed and drained
+    }
+}
+
+void
+Server::acceptLoop()
+{
+    while (!stopping_.load()) {
+        pollfd fds[2];
+        nfds_t nfds = 0;
+        fds[nfds++] = {unixFd_, POLLIN, 0};
+        if (tcpFd_ >= 0)
+            fds[nfds++] = {tcpFd_, POLLIN, 0};
+        // Short timeout so a stop request is noticed promptly.
+        int ready = ::poll(fds, nfds, 100);
+        if (ready <= 0)
+            continue;
+        for (nfds_t i = 0; i < nfds; ++i) {
+            if (!(fds[i].revents & POLLIN))
+                continue;
+            int fd = ::accept(fds[i].fd, nullptr, nullptr);
+            if (fd < 0)
+                continue;
+            auto session = std::make_shared<Session>();
+            session->fd = fd;
+            metrics_.sessionsOpened.fetch_add(
+                1, std::memory_order_relaxed);
+            std::lock_guard<std::mutex> lock(sessionsMutex_);
+            sessions_.push_back(session);
+            sessionThreads_.emplace_back(
+                [this, session] { sessionLoop(session); });
+        }
+    }
+}
+
+void
+Server::sessionLoop(std::shared_ptr<Session> session)
+{
+    LineReader reader(session->fd);
+    std::string line;
+    while (true) {
+        LineReader::Status st = reader.readLine(line);
+        if (st != LineReader::Status::Line)
+            break;
+        if (line.empty())
+            continue;
+        handleLine(session, line);
+    }
+    session->dead.store(true);
+    metrics_.sessionsClosed.fetch_add(1, std::memory_order_relaxed);
+    // The fd stays open until join(): workers may still hold Jobs
+    // referencing this session (their sends fail fast on `dead`).
+}
+
+void
+Server::sendError(const std::shared_ptr<Session> &session,
+                  std::uint64_t id, const char *code,
+                  const std::string &msg)
+{
+    Json j = Json::object();
+    j.set("id", Json::number(id));
+    j.set("ev", Json::str("error"));
+    j.set("code", Json::str(code));
+    j.set("msg", Json::str(msg));
+    session->send(j);
+}
+
+void
+Server::handleLine(const std::shared_ptr<Session> &session,
+                   const std::string &line)
+{
+    Json req;
+    std::string err;
+    if (!Json::parse(line, req, &err) || !req.isObject()) {
+        metrics_.badRequests.fetch_add(1, std::memory_order_relaxed);
+        sendError(session, 0, kErrBadRequest,
+                  "unparseable request: " + err);
+        return;
+    }
+    std::uint64_t id = 0;
+    if (const Json *j = req.find("id"); j && j->isNumber())
+        id = j->asU64();
+    const Json *opj = req.find("op");
+    if (!opj || !opj->isString()) {
+        metrics_.badRequests.fetch_add(1, std::memory_order_relaxed);
+        sendError(session, id, kErrBadRequest, "missing op");
+        return;
+    }
+    const std::string &op = opj->asString();
+
+    if (op == "submit") {
+        handleSubmit(session, id, req);
+        return;
+    }
+    if (op == "stats") {
+        metrics_.statsReqs.fetch_add(1, std::memory_order_relaxed);
+        Json resp = Json::object();
+        resp.set("id", Json::number(id));
+        resp.set("ev", Json::str("stats"));
+        resp.set("stats", statsJson());
+        session->send(resp);
+        return;
+    }
+    if (op == "flush-cache") {
+        metrics_.flushes.fetch_add(1, std::memory_order_relaxed);
+        cache_.flush();
+        Json resp = Json::object();
+        resp.set("id", Json::number(id));
+        resp.set("ev", Json::str("ok"));
+        session->send(resp);
+        return;
+    }
+    if (op == "ping") {
+        metrics_.pings.fetch_add(1, std::memory_order_relaxed);
+        Json resp = Json::object();
+        resp.set("id", Json::number(id));
+        resp.set("ev", Json::str("pong"));
+        session->send(resp);
+        return;
+    }
+    if (op == "shutdown") {
+        metrics_.shutdowns.fetch_add(1, std::memory_order_relaxed);
+        Json resp = Json::object();
+        resp.set("id", Json::number(id));
+        resp.set("ev", Json::str("ok"));
+        session->send(resp);
+        requestStop();
+        return;
+    }
+    metrics_.badRequests.fetch_add(1, std::memory_order_relaxed);
+    sendError(session, id, kErrBadRequest, "unknown op '" + op + "'");
+}
+
+void
+Server::handleSubmit(const std::shared_ptr<Session> &session,
+                     std::uint64_t id, const Json &reqJson)
+{
+    metrics_.submits.fetch_add(1, std::memory_order_relaxed);
+
+    // ---- Parse ----------------------------------------------------
+    auto bad = [&](const std::string &msg) {
+        metrics_.badRequests.fetch_add(1, std::memory_order_relaxed);
+        sendError(session, id, kErrBadRequest, msg);
+    };
+
+    const Json *specj = reqJson.find("spec");
+    if (!specj)
+        return bad("missing spec");
+    auto spec = std::make_shared<RunSpec>();
+    std::string err;
+    if (specj->isString()) {
+        // Canonical text pass-through (what twctl sends).
+        if (!parseRunSpec(specj->asString(), *spec, err))
+            return bad("bad spec: " + err);
+    } else if (specj->isObject()) {
+        if (!specFromJson(*specj, *spec, err))
+            return bad("bad spec: " + err);
+    } else {
+        return bad("spec must be an object or canonical text");
+    }
+
+    const Json *seedsj = reqJson.find("seeds");
+    if (!seedsj || !seedsj->isArray() || seedsj->size() == 0)
+        return bad("seeds must be a non-empty array");
+    std::vector<std::uint64_t> seeds;
+    seeds.reserve(seedsj->size());
+    for (std::size_t i = 0; i < seedsj->size(); ++i) {
+        const Json &s = seedsj->at(i);
+        if (!s.isNumber())
+            return bad("seeds must be integers");
+        seeds.push_back(s.asU64());
+    }
+
+    bool slowdown = true;
+    if (const Json *j = reqJson.find("slowdown")) {
+        if (!j->isBool())
+            return bad("slowdown must be a bool");
+        slowdown = j->asBool();
+    }
+    std::optional<Clock::time_point> deadline;
+    if (const Json *j = reqJson.find("deadline_ms")) {
+        if (!j->isNumber())
+            return bad("deadline_ms must be a number");
+        deadline = Clock::now()
+                   + std::chrono::milliseconds(j->asU64());
+    }
+
+    // ---- Plan: cache hits vs jobs ---------------------------------
+    auto request = std::make_shared<Request>();
+    request->session = session;
+    request->id = id;
+    request->spec = spec;
+    request->slowdown = slowdown;
+    request->deadline = deadline;
+
+    struct CachedRow
+    {
+        std::uint64_t trial;
+        std::uint64_t seed;
+        RunOutcome outcome;
+    };
+    std::vector<CachedRow> hits;
+    std::vector<Job> jobs;
+    for (std::size_t t = 0; t < seeds.size(); ++t) {
+        std::string key = cacheKey(*spec, seeds[t], slowdown);
+        RunOutcome out;
+        if (cache_.lookup(key, out)) {
+            hits.push_back({t, seeds[t], std::move(out)});
+        } else {
+            Job job;
+            job.req = request;
+            job.seed = seeds[t];
+            job.trial = t;
+            job.key = std::move(key);
+            jobs.push_back(std::move(job));
+        }
+    }
+
+    // ---- Admit ATOMICALLY, before streaming anything --------------
+    // All-or-nothing: a sweep either fully fits the queue's free
+    // space or is rejected whole with `overloaded` — no partial
+    // sweeps wedged behind a full queue, and the client can simply
+    // retry the identical request later (the earlier trials will
+    // then be cache hits).
+    request->remaining.store(jobs.size() + 1);
+    if (!jobs.empty()) {
+        Clock::time_point now = Clock::now();
+        for (auto &j : jobs)
+            j.enqueued = now;
+        std::size_t n = jobs.size();
+        if (!queue_.tryPushAll(std::move(jobs))) {
+            if (stopping_.load()) {
+                metrics_.rejectedShuttingDown.fetch_add(
+                    1, std::memory_order_relaxed);
+                sendError(session, id, kErrShuttingDown,
+                          "server is draining");
+            } else {
+                metrics_.rejectedOverloaded.fetch_add(
+                    1, std::memory_order_relaxed);
+                sendError(session, id, kErrOverloaded,
+                          csprintf("queue full (%zu jobs would "
+                                   "exceed capacity %zu)",
+                                   n, queue_.capacity()));
+            }
+            return;
+        }
+        metrics_.jobsInFlight.fetch_add(n,
+                                        std::memory_order_relaxed);
+        // Wake workers parked in nextJob(): the queue has its own
+        // cv, but dequeues are serialized on workCv_ (pause gate).
+        workCv_.notify_all();
+    }
+
+    // ---- Stream cached rows, then release our +1 ------------------
+    for (const CachedRow &h : hits) {
+        Json row = Json::object();
+        row.set("id", Json::number(id));
+        row.set("ev", Json::str("row"));
+        row.set("trial", Json::number(h.trial));
+        row.set("seed", Json::number(h.seed));
+        row.set("cached", Json::boolean(true));
+        row.set("host_s", Json::number(h.outcome.hostSeconds));
+        row.set("outcome", outcomeToJson(h.outcome));
+        session->send(row);
+        request->rows.fetch_add(1, std::memory_order_relaxed);
+        request->cached.fetch_add(1, std::memory_order_relaxed);
+        metrics_.rowsStreamed.fetch_add(1,
+                                        std::memory_order_relaxed);
+        metrics_.rowsCached.fetch_add(1, std::memory_order_relaxed);
+    }
+    finishOne(request);
+}
+
+void
+Server::workerLoop()
+{
+    while (true) {
+        std::optional<Job> job = nextJob();
+        if (!job)
+            return; // closed and drained
+        metrics_.queueWait.record(usSince(job->enqueued));
+
+        const Request &req = *job->req;
+        Json row = Json::object();
+        row.set("id", Json::number(req.id));
+        row.set("ev", Json::str("row"));
+        row.set("trial", Json::number(job->trial));
+        row.set("seed", Json::number(job->seed));
+
+        bool expired =
+            req.deadline && Clock::now() > *req.deadline;
+        if (expired) {
+            row.set("cached", Json::boolean(false));
+            row.set("error", Json::str("deadline"));
+            job->req->expired.fetch_add(1,
+                                        std::memory_order_relaxed);
+            metrics_.rowsExpired.fetch_add(
+                1, std::memory_order_relaxed);
+        } else {
+            Clock::time_point t0 = Clock::now();
+            RunOutcome out =
+                req.slowdown
+                    ? Runner::runWithSlowdown(*req.spec, job->seed)
+                    : Runner::runOne(*req.spec, job->seed);
+            metrics_.runStage.record(usSince(t0));
+            cache_.insert(job->key, out);
+            row.set("cached", Json::boolean(false));
+            row.set("host_s", Json::number(out.hostSeconds));
+            row.set("outcome", outcomeToJson(out));
+            job->req->computed.fetch_add(
+                1, std::memory_order_relaxed);
+            metrics_.rowsComputed.fetch_add(
+                1, std::memory_order_relaxed);
+        }
+        req.session->send(row);
+        job->req->rows.fetch_add(1, std::memory_order_relaxed);
+        metrics_.rowsStreamed.fetch_add(1,
+                                        std::memory_order_relaxed);
+        metrics_.jobsInFlight.fetch_sub(1,
+                                        std::memory_order_relaxed);
+        finishOne(job->req);
+    }
+}
+
+void
+Server::finishOne(const std::shared_ptr<Request> &req)
+{
+    if (req->remaining.fetch_sub(1) != 1)
+        return;
+    Json done = Json::object();
+    done.set("id", Json::number(req->id));
+    done.set("ev", Json::str("done"));
+    done.set("rows",
+             Json::number(req->rows.load(std::memory_order_relaxed)));
+    done.set("cached",
+             Json::number(
+                 req->cached.load(std::memory_order_relaxed)));
+    done.set("computed",
+             Json::number(
+                 req->computed.load(std::memory_order_relaxed)));
+    done.set("expired",
+             Json::number(
+                 req->expired.load(std::memory_order_relaxed)));
+    // Record before sending: a client that reads `done` and then
+    // asks for stats must see this request in the latency counters.
+    metrics_.request.record(usSince(req->start));
+    req->session->send(done);
+    if (cfg_.verbose)
+        std::fprintf(
+            stderr,
+            "twserved: req %llu done (%llu rows, %llu cached)\n",
+            static_cast<unsigned long long>(req->id),
+            static_cast<unsigned long long>(req->rows.load()),
+            static_cast<unsigned long long>(req->cached.load()));
+}
+
+Json
+Server::statsJson()
+{
+    Json j = Json::object();
+    j.set("uptime_s", Json::number(metrics_.uptimeSeconds()));
+    j.set("workers", Json::number(
+                         static_cast<std::uint64_t>(cfg_.workers)));
+
+    Json q = Json::object();
+    q.set("depth", Json::number(
+                       static_cast<std::uint64_t>(queue_.size())));
+    q.set("capacity",
+          Json::number(
+              static_cast<std::uint64_t>(queue_.capacity())));
+    q.set("in_flight",
+          Json::number(metrics_.jobsInFlight.load(
+              std::memory_order_relaxed)));
+    j.set("queue", std::move(q));
+
+    j.set("cache", cache_.statsJson());
+
+    Json baseline = Json::object();
+    BaselineCacheStats b = Runner::baselineCacheStats();
+    baseline.set("size", Json::number(
+                             static_cast<std::uint64_t>(b.size)));
+    baseline.set("capacity",
+                 Json::number(
+                     static_cast<std::uint64_t>(b.capacity)));
+    baseline.set("hits", Json::number(b.hits));
+    baseline.set("misses", Json::number(b.misses));
+    baseline.set("evictions", Json::number(b.evictions));
+    j.set("baseline", std::move(baseline));
+
+    Json ops = Json::object();
+    auto n = [](const std::atomic<std::uint64_t> &a) {
+        return Json::number(a.load(std::memory_order_relaxed));
+    };
+    ops.set("submits", n(metrics_.submits));
+    ops.set("stats", n(metrics_.statsReqs));
+    ops.set("flushes", n(metrics_.flushes));
+    ops.set("pings", n(metrics_.pings));
+    ops.set("shutdowns", n(metrics_.shutdowns));
+    ops.set("bad_requests", n(metrics_.badRequests));
+    j.set("ops", std::move(ops));
+
+    Json rows = Json::object();
+    rows.set("streamed", n(metrics_.rowsStreamed));
+    rows.set("cached", n(metrics_.rowsCached));
+    rows.set("computed", n(metrics_.rowsComputed));
+    rows.set("expired", n(metrics_.rowsExpired));
+    j.set("rows", std::move(rows));
+
+    Json rej = Json::object();
+    rej.set("overloaded", n(metrics_.rejectedOverloaded));
+    rej.set("shutting_down", n(metrics_.rejectedShuttingDown));
+    j.set("rejected", std::move(rej));
+
+    Json sess = Json::object();
+    sess.set("opened", n(metrics_.sessionsOpened));
+    sess.set("closed", n(metrics_.sessionsClosed));
+    j.set("sessions", std::move(sess));
+
+    Json lat = Json::object();
+    lat.set("queue_wait", metrics_.queueWait.toJson());
+    lat.set("run", metrics_.runStage.toJson());
+    lat.set("request", metrics_.request.toJson());
+    j.set("latency", std::move(lat));
+    return j;
+}
+
+} // namespace serve
+} // namespace tw

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * twserved's engine: a persistent experiment service over the
+ * harness.
+ *
+ * Section 5 of the paper argues trap-driven simulation's real
+ * payoff is a simulator that LIVES with the machine — resident,
+ * warm, and cheap to re-ask (resampling is just a new trap
+ * pattern). This server is that, packaged the way Virtuoso-style
+ * frameworks are driven: many clients share one process whose
+ * baselines are memoized, whose results are cached, and whose
+ * capacity is explicit.
+ *
+ * Structure (one instance, several thread groups):
+ *
+ *   accept thread ──► session thread per connection
+ *                        │  parse line, answer admin ops inline
+ *                        │  submit: cache lookups, then admit the
+ *                        ▼  sweep ATOMICALLY or reject `overloaded`
+ *                 BoundedQueue<Job>  (backpressure edge)
+ *                        │
+ *                        ▼
+ *                 worker pool ──► Runner::runOne/runWithSlowdown
+ *                        │           (ThreadPool-equivalent width)
+ *                        ▼
+ *                 result cache insert + row streamed to session
+ *
+ * Graceful drain: requestStop() (SIGTERM, or the `shutdown` op)
+ * closes admission; join() then waits for workers to finish every
+ * admitted job — each one still streams its row — before sessions
+ * are torn down. A client whose sweep was admitted before the
+ * signal gets complete results; one submitting after gets
+ * `shutting_down`.
+ */
+
+#ifndef TW_SERVE_SERVER_HH
+#define TW_SERVE_SERVER_HH
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/bounded_queue.hh"
+#include "base/json.hh"
+#include "serve/metrics.hh"
+#include "serve/result_cache.hh"
+
+namespace tw
+{
+namespace serve
+{
+
+struct ServerConfig
+{
+    /** Unix-domain socket path (required). */
+    std::string socketPath;
+
+    /** Also listen on TCP when nonzero (loopback by default —
+     *  the protocol is unauthenticated). */
+    int tcpPort = 0;
+    std::string tcpBind = "127.0.0.1";
+
+    /** Worker threads; 0 = defaultThreads() (TW_THREADS). */
+    unsigned workers = 0;
+
+    /** Job-queue bound: the backpressure knob. A submit whose
+     *  uncached trials don't all fit is rejected `overloaded`. */
+    std::size_t queueCapacity = 256;
+
+    /** Result-cache entries. */
+    std::size_t cacheCapacity = 4096;
+
+    /** Log per-request lines to stderr. */
+    bool verbose = false;
+};
+
+class Server
+{
+  public:
+    explicit Server(ServerConfig cfg);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Bind listeners and start threads; false + @p err on bind
+     *  failure. */
+    bool start(std::string *err = nullptr);
+
+    /** Begin graceful drain (idempotent, signal-safe-adjacent:
+     *  called from session threads and signal-watcher threads). */
+    void requestStop();
+
+    /** Block until a requested stop has fully drained; then all
+     *  threads are joined and sockets closed. */
+    void join();
+
+    /** requestStop() + join(). */
+    void stop();
+
+    bool stopping() const { return stopping_.load(); }
+
+    const ServerConfig &config() const { return cfg_; }
+    ResultCache &cache() { return cache_; }
+    const MetricsRegistry &metrics() const { return metrics_; }
+
+    /** The admin `stats` payload. */
+    Json statsJson();
+
+    /**
+     * Test hooks. Every worker pop happens under the same mutex
+     * with a predicate that includes the pause flag, so after
+     * pauseWorkers() returns no job can be dequeued — even by a
+     * worker that was already blocked waiting for work. Tests use
+     * this to deterministically fill the queue (full-queue
+     * rejection) and to freeze admitted jobs across a requestStop.
+     * resumeWorkers() must be called before a drain can finish.
+     */
+    void pauseWorkers();
+    void resumeWorkers();
+
+  private:
+    struct Session;
+    struct Request;
+    struct Job;
+
+    void acceptLoop();
+    void sessionLoop(std::shared_ptr<Session> session);
+    void workerLoop();
+    /** The single dequeue point: blocks honoring the pause gate;
+     *  nullopt when the queue is closed and drained. */
+    std::optional<Job> nextJob();
+    void handleLine(const std::shared_ptr<Session> &session,
+                    const std::string &line);
+    void handleSubmit(const std::shared_ptr<Session> &session,
+                      std::uint64_t id, const Json &req);
+    void finishOne(const std::shared_ptr<Request> &req);
+    void sendError(const std::shared_ptr<Session> &session,
+                   std::uint64_t id, const char *code,
+                   const std::string &msg);
+
+    ServerConfig cfg_;
+    ResultCache cache_;
+    MetricsRegistry metrics_;
+    BoundedQueue<Job> queue_;
+
+    int unixFd_ = -1;
+    int tcpFd_ = -1;
+
+    std::atomic<bool> stopping_{false};
+    std::atomic<bool> started_{false};
+    std::mutex stopMutex_;
+    std::condition_variable stopCv_;
+    bool stopRequested_ = false;
+    bool joined_ = false;
+
+    std::thread acceptThread_;
+    std::vector<std::thread> workers_;
+    std::mutex sessionsMutex_;
+    std::vector<std::shared_ptr<Session>> sessions_;
+    std::vector<std::thread> sessionThreads_;
+
+    /** Guards worker dequeue + the pause flag (see pauseWorkers).
+     *  Producers notify workCv_ after admitting jobs. */
+    std::mutex workMutex_;
+    std::condition_variable workCv_;
+    bool paused_ = false;
+};
+
+} // namespace serve
+} // namespace tw
+
+#endif // TW_SERVE_SERVER_HH

@@ -13,7 +13,10 @@
  *  - Runner / runTrials for one-call experiments with the paper's
  *    slowdown metric;
  *  - UserTapeworm for live mprotect/SIGSEGV simulation of the
- *    calling process.
+ *    calling process;
+ *  - formatRunSpec()/parseRunSpec() canonical experiment text (the
+ *    twserved wire format and cache key; the service itself lives
+ *    in serve/ and is not pulled in here — it drags in sockets).
  */
 
 #ifndef TW_TAPEWORM_HH
@@ -58,6 +61,7 @@
 #include "harness/mux_client.hh"
 #include "harness/oracle.hh"
 #include "harness/runner.hh"
+#include "harness/specio.hh"
 #include "harness/trials.hh"
 
 #include "utrap/utrap.hh"

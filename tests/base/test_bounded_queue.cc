@@ -1,0 +1,173 @@
+/**
+ * @file
+ * The bounded MPMC queue behind the experiment service's admission
+ * control: capacity enforcement, all-or-nothing sweep admission,
+ * close-and-drain, and an MPMC stress run (meaningful under TSan —
+ * check.sh builds this suite with -fsanitize=thread).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "base/bounded_queue.hh"
+
+using namespace tw;
+
+namespace
+{
+
+TEST(BoundedQueue, FifoOrder)
+{
+    BoundedQueue<int> q(4);
+    EXPECT_TRUE(q.tryPush(1));
+    EXPECT_TRUE(q.tryPush(2));
+    EXPECT_TRUE(q.tryPush(3));
+    EXPECT_EQ(q.size(), 3u);
+    EXPECT_EQ(q.pop(), 1);
+    EXPECT_EQ(q.pop(), 2);
+    EXPECT_EQ(q.pop(), 3);
+    EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BoundedQueue, TryPushRejectsWhenFull)
+{
+    BoundedQueue<int> q(2);
+    EXPECT_TRUE(q.tryPush(1));
+    EXPECT_TRUE(q.tryPush(2));
+    EXPECT_FALSE(q.tryPush(3));
+    EXPECT_EQ(q.size(), 2u);
+    q.pop();
+    EXPECT_TRUE(q.tryPush(3));
+}
+
+TEST(BoundedQueue, TryPushAllIsAtomic)
+{
+    BoundedQueue<int> q(4);
+    ASSERT_TRUE(q.tryPush(0));
+
+    // Three fit beside the existing one...
+    EXPECT_TRUE(q.tryPushAll({1, 2, 3}));
+    EXPECT_EQ(q.size(), 4u);
+
+    q.pop();
+    q.pop();
+    // ...but three do not fit beside two, and NONE may land.
+    EXPECT_FALSE(q.tryPushAll({7, 8, 9}));
+    EXPECT_EQ(q.size(), 2u);
+    EXPECT_EQ(q.pop(), 2);
+    EXPECT_EQ(q.pop(), 3);
+}
+
+TEST(BoundedQueue, TryPopNonBlocking)
+{
+    BoundedQueue<int> q(2);
+    EXPECT_FALSE(q.tryPop().has_value());
+    q.tryPush(5);
+    auto v = q.tryPop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 5);
+}
+
+TEST(BoundedQueue, CloseStopsAdmissionButDrains)
+{
+    BoundedQueue<int> q(4);
+    q.tryPushAll({1, 2});
+    q.close();
+    EXPECT_TRUE(q.closed());
+    EXPECT_FALSE(q.tryPush(3));
+    EXPECT_FALSE(q.tryPushAll({3}));
+    // Admitted items remain poppable...
+    EXPECT_EQ(q.pop(), 1);
+    EXPECT_EQ(q.pop(), 2);
+    // ...and a pop on closed-empty reports end-of-stream.
+    EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BoundedQueue, CloseWakesBlockedConsumers)
+{
+    BoundedQueue<int> q(1);
+    std::thread consumer([&] {
+        EXPECT_FALSE(q.pop().has_value()); // blocks until close
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.close();
+    consumer.join();
+}
+
+TEST(BoundedQueue, BlockingPushWaitsForSpace)
+{
+    BoundedQueue<int> q(1);
+    ASSERT_TRUE(q.push(1));
+    std::atomic<bool> pushed{false};
+    std::thread producer([&] {
+        EXPECT_TRUE(q.push(2)); // blocks: queue is full
+        pushed.store(true);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(pushed.load());
+    EXPECT_EQ(q.pop(), 1);
+    producer.join();
+    EXPECT_TRUE(pushed.load());
+    EXPECT_EQ(q.pop(), 2);
+}
+
+TEST(BoundedQueue, MpmcStressConservesItems)
+{
+    // 4 producers x 4 consumers through a tiny queue: every pushed
+    // value is popped exactly once, no hangs, no races (TSan).
+    constexpr unsigned kProducers = 4, kConsumers = 4;
+    constexpr int kPerProducer = 2000;
+    BoundedQueue<int> q(8);
+
+    std::vector<std::thread> threads;
+    std::atomic<std::uint64_t> popSum{0};
+    std::atomic<std::uint64_t> popCount{0};
+    for (unsigned c = 0; c < kConsumers; ++c) {
+        threads.emplace_back([&] {
+            while (auto v = q.pop()) {
+                popSum.fetch_add(static_cast<std::uint64_t>(*v));
+                popCount.fetch_add(1);
+            }
+        });
+    }
+    std::vector<std::thread> producers;
+    for (unsigned p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&, p] {
+            for (int i = 0; i < kPerProducer; ++i) {
+                int v = static_cast<int>(p) * kPerProducer + i;
+                // Mix blocking and non-blocking admission.
+                if (i % 3 == 0) {
+                    while (!q.tryPush(v))
+                        std::this_thread::yield();
+                } else {
+                    ASSERT_TRUE(q.push(v));
+                }
+            }
+        });
+    }
+    for (auto &t : producers)
+        t.join();
+    q.close();
+    for (auto &t : threads)
+        t.join();
+
+    std::uint64_t n = kProducers * kPerProducer;
+    std::uint64_t expect = n * (n - 1) / 2; // sum 0..n-1
+    EXPECT_EQ(popCount.load(), n);
+    EXPECT_EQ(popSum.load(), expect);
+}
+
+TEST(BoundedQueue, MoveOnlyPayload)
+{
+    BoundedQueue<std::unique_ptr<int>> q(2);
+    EXPECT_TRUE(q.push(std::make_unique<int>(7)));
+    auto v = q.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(**v, 7);
+}
+
+} // namespace

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * The JSON value type: determinism of dump(), exactness of number
+ * lexemes, and strictness of the parser — all load-bearing for the
+ * wire protocol and the cache fingerprint.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "base/json.hh"
+
+using namespace tw;
+
+namespace
+{
+
+Json
+parsed(const std::string &text)
+{
+    Json j;
+    std::string err;
+    EXPECT_TRUE(Json::parse(text, j, &err)) << text << ": " << err;
+    return j;
+}
+
+TEST(Json, ScalarsDump)
+{
+    EXPECT_EQ(Json::null().dump(), "null");
+    EXPECT_EQ(Json::boolean(true).dump(), "true");
+    EXPECT_EQ(Json::boolean(false).dump(), "false");
+    EXPECT_EQ(Json::number(std::uint64_t(42)).dump(), "42");
+    EXPECT_EQ(Json::number(-7).dump(), "-7");
+    EXPECT_EQ(Json::str("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, ObjectKeepsInsertionOrder)
+{
+    Json o = Json::object();
+    o.set("zebra", Json::number(1));
+    o.set("alpha", Json::number(2));
+    o.set("mid", Json::number(3));
+    EXPECT_EQ(o.dump(), "{\"zebra\":1,\"alpha\":2,\"mid\":3}");
+    // Replacement keeps the original slot.
+    o.set("alpha", Json::number(9));
+    EXPECT_EQ(o.dump(), "{\"zebra\":1,\"alpha\":9,\"mid\":3}");
+}
+
+TEST(Json, U64FullRangeExact)
+{
+    // 2^64-1 does not fit a double mantissa; the lexeme must
+    // survive untouched.
+    std::uint64_t big = std::numeric_limits<std::uint64_t>::max();
+    Json j = Json::number(big);
+    EXPECT_EQ(j.dump(), "18446744073709551615");
+    Json back = parsed(j.dump());
+    EXPECT_EQ(back.asU64(), big);
+    EXPECT_EQ(back.dump(), j.dump());
+}
+
+TEST(Json, DoubleRoundTripsBitForBit)
+{
+    for (double v : {0.1, 1.0 / 3.0, 3.5431098547219024,
+                     1e-300, 6.02214076e23, -0.0}) {
+        Json j = Json::number(v);
+        Json back = parsed(j.dump());
+        EXPECT_EQ(back.asDouble(), v) << j.dump();
+        // And re-dumping the parsed value emits the same bytes
+        // (lexeme preserved).
+        EXPECT_EQ(back.dump(), j.dump());
+    }
+}
+
+TEST(Json, ParseScalars)
+{
+    EXPECT_TRUE(parsed("null").isNull());
+    EXPECT_TRUE(parsed("true").asBool());
+    EXPECT_FALSE(parsed("false").asBool());
+    EXPECT_EQ(parsed("123").asU64(), 123u);
+    EXPECT_EQ(parsed("-5").asI64(), -5);
+    EXPECT_DOUBLE_EQ(parsed("2.5e3").asDouble(), 2500.0);
+    EXPECT_EQ(parsed("\"x\\ny\"").asString(), "x\ny");
+}
+
+TEST(Json, ParseNested)
+{
+    Json j = parsed(
+        "{\"a\":[1,2,{\"b\":true}],\"c\":{\"d\":\"e\"}}");
+    ASSERT_TRUE(j.isObject());
+    const Json *a = j.find("a");
+    ASSERT_TRUE(a && a->isArray());
+    EXPECT_EQ(a->size(), 3u);
+    EXPECT_TRUE(a->at(2).find("b")->asBool());
+    EXPECT_EQ(j.findPath("c.d")->asString(), "e");
+    EXPECT_EQ(j.findPath("c.missing"), nullptr);
+    EXPECT_EQ(j.findPath("a.b"), nullptr);
+}
+
+TEST(Json, DumpParseDumpIsIdentity)
+{
+    const char *text =
+        "{\"v\":1,\"seeds\":[18446744073709551615,0],"
+        "\"x\":3.5431098547219024,\"s\":\"q\\\"uo\\\\te\","
+        "\"flag\":false,\"nothing\":null}";
+    Json j = parsed(text);
+    EXPECT_EQ(j.dump(), text);
+    Json j2 = parsed(j.dump());
+    EXPECT_EQ(j2.dump(), text);
+}
+
+TEST(Json, StringEscapes)
+{
+    Json j = parsed("\"\\u0041\\u00e9\\t\\u0001\"");
+    EXPECT_EQ(j.asString(), "A\xc3\xa9\t\x01");
+    // Control characters re-escape on dump.
+    EXPECT_EQ(Json::str(std::string("\x01")).dump(), "\"\\u0001\"");
+    EXPECT_EQ(Json::str("a\"b\\c\nd").dump(),
+              "\"a\\\"b\\\\c\\nd\"");
+}
+
+TEST(Json, RejectsMalformed)
+{
+    Json j;
+    for (const char *bad :
+         {"", "{", "[1,]", "{\"a\":}", "{\"a\" 1}", "tru",
+          "0x10", "1 2", "{\"a\":1}garbage", "\"unterminated",
+          "[1,2", "{\"dup\"}", "nan", "+1", "01"}) {
+        std::string err;
+        EXPECT_FALSE(Json::parse(bad, j, &err))
+            << "accepted: " << bad;
+        EXPECT_FALSE(err.empty()) << bad;
+    }
+}
+
+TEST(Json, RejectsRunawayDepth)
+{
+    std::string deep(100, '[');
+    Json j;
+    EXPECT_FALSE(Json::parse(deep, j, nullptr));
+}
+
+TEST(Json, WhitespaceTolerantOutsideLexemes)
+{
+    Json j = parsed("  { \"a\" : [ 1 , 2 ] }  ");
+    EXPECT_EQ(j.dump(), "{\"a\":[1,2]}");
+}
+
+} // namespace

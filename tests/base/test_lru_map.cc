@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The LRU map under the baseline memo and the result cache:
+ * recency-ordered eviction, capacity changes, and touch semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "base/lru_map.hh"
+
+using namespace tw;
+
+namespace
+{
+
+TEST(LruMap, InsertFindPeek)
+{
+    LruMap<std::string, int> m(4);
+    m.insert("a", 1);
+    m.insert("b", 2);
+    EXPECT_EQ(m.size(), 2u);
+    ASSERT_NE(m.find("a"), nullptr);
+    EXPECT_EQ(*m.find("a"), 1);
+    EXPECT_EQ(m.find("zzz"), nullptr);
+    ASSERT_NE(m.peek("b"), nullptr);
+    EXPECT_EQ(*m.peek("b"), 2);
+}
+
+TEST(LruMap, EvictsLeastRecentlyUsed)
+{
+    LruMap<int, int> m(3);
+    m.insert(1, 10);
+    m.insert(2, 20);
+    m.insert(3, 30);
+    // Touch 1: eviction order becomes 2, 3, 1.
+    EXPECT_NE(m.find(1), nullptr);
+    m.insert(4, 40);
+    EXPECT_EQ(m.find(2), nullptr); // 2 was LRU
+    EXPECT_NE(m.find(1), nullptr);
+    EXPECT_NE(m.find(3), nullptr);
+    EXPECT_NE(m.find(4), nullptr);
+    EXPECT_EQ(m.evictions(), 1u);
+}
+
+TEST(LruMap, PeekDoesNotTouch)
+{
+    LruMap<int, int> m(2);
+    m.insert(1, 10);
+    m.insert(2, 20);
+    // Peek at 1 must NOT protect it.
+    EXPECT_NE(m.peek(1), nullptr);
+    m.insert(3, 30);
+    EXPECT_EQ(m.find(1), nullptr);
+    EXPECT_NE(m.find(2), nullptr);
+}
+
+TEST(LruMap, OverwriteTouchesAndKeepsSize)
+{
+    LruMap<int, int> m(2);
+    m.insert(1, 10);
+    m.insert(2, 20);
+    m.insert(1, 11); // overwrite: now 2 is LRU
+    EXPECT_EQ(m.size(), 2u);
+    EXPECT_EQ(*m.find(1), 11);
+    m.insert(3, 30);
+    EXPECT_EQ(m.find(2), nullptr);
+    EXPECT_NE(m.find(1), nullptr);
+}
+
+TEST(LruMap, Erase)
+{
+    LruMap<int, int> m(2);
+    m.insert(1, 10);
+    EXPECT_TRUE(m.erase(1));
+    EXPECT_FALSE(m.erase(1));
+    EXPECT_EQ(m.size(), 0u);
+    EXPECT_EQ(m.find(1), nullptr);
+}
+
+TEST(LruMap, ShrinkEvictsImmediately)
+{
+    LruMap<int, int> m(4);
+    for (int i = 1; i <= 4; ++i)
+        m.insert(i, i);
+    m.find(1); // protect 1
+    m.setCapacity(2);
+    EXPECT_EQ(m.size(), 2u);
+    EXPECT_NE(m.find(1), nullptr);
+    EXPECT_NE(m.find(4), nullptr);
+    EXPECT_EQ(m.find(2), nullptr);
+    EXPECT_EQ(m.find(3), nullptr);
+    EXPECT_EQ(m.evictions(), 2u);
+}
+
+TEST(LruMap, CapacityFloorOfOne)
+{
+    LruMap<int, int> m(0); // clamped to 1
+    EXPECT_EQ(m.capacity(), 1u);
+    m.insert(1, 10);
+    m.insert(2, 20);
+    EXPECT_EQ(m.size(), 1u);
+    EXPECT_EQ(m.find(1), nullptr);
+    EXPECT_NE(m.find(2), nullptr);
+}
+
+TEST(LruMap, ClearKeepsEvictionCounter)
+{
+    LruMap<int, int> m(1);
+    m.insert(1, 10);
+    m.insert(2, 20); // evicts 1
+    m.clear();
+    EXPECT_EQ(m.size(), 0u);
+    EXPECT_EQ(m.evictions(), 1u);
+}
+
+} // namespace

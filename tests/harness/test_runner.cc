@@ -96,6 +96,60 @@ TEST(Runner, SampledRunScalesEstimate)
     EXPECT_DOUBLE_EQ(out.estMisses, out.rawMisses * 8.0);
 }
 
+TEST(Runner, BaselineEvictionRecomputesBitIdentically)
+{
+    // A resident daemon's memo is bounded; evicting a baseline must
+    // cost only time, never accuracy — the recomputation is a pure
+    // function of spec+seed.
+    Runner::clearBaselineCache();
+    Runner::setBaselineCacheCapacity(1);
+
+    // The baseline is the uninstrumented run, so its memo key is
+    // (baseline-relevant spec fields, seed) — a different seed is
+    // what forces a different entry, not a different simulated
+    // cache.
+    RunSpec spec = tapewormSpec();
+
+    RunOutcome first = Runner::runWithSlowdown(spec, 7);
+    // Different seed, same single-entry memo: evicts seed 7's
+    // baseline.
+    Runner::runWithSlowdown(spec, 8);
+    BaselineCacheStats st = Runner::baselineCacheStats();
+    EXPECT_EQ(st.capacity, 1u);
+    EXPECT_GE(st.evictions, 1u);
+
+    RunOutcome again = Runner::runWithSlowdown(spec, 7);
+    EXPECT_EQ(first.normalCycles, again.normalCycles);
+    EXPECT_EQ(first.run.cycles, again.run.cycles);
+    EXPECT_DOUBLE_EQ(first.slowdown, again.slowdown);
+    EXPECT_DOUBLE_EQ(first.estMisses, again.estMisses);
+
+    st = Runner::baselineCacheStats();
+    EXPECT_EQ(st.misses, 3u); // every compute missed the memo
+    EXPECT_EQ(st.hits, 0u);
+
+    // Restore the default for the rest of the suite.
+    Runner::setBaselineCacheCapacity(4096);
+    Runner::clearBaselineCache();
+}
+
+TEST(Runner, BaselineCapacityHonored)
+{
+    Runner::clearBaselineCache();
+    Runner::setBaselineCacheCapacity(2);
+    // The eviction counter survives clearBaselineCache (it tracks
+    // lifetime pressure), so assert the delta.
+    std::uint64_t before = Runner::baselineCacheStats().evictions;
+    RunSpec spec = tapewormSpec();
+    for (std::uint64_t seed = 1; seed <= 4; ++seed)
+        Runner::runWithSlowdown(spec, seed);
+    BaselineCacheStats st = Runner::baselineCacheStats();
+    EXPECT_EQ(st.size, 2u);
+    EXPECT_EQ(st.evictions - before, 2u);
+    Runner::setBaselineCacheCapacity(4096);
+    Runner::clearBaselineCache();
+}
+
 TEST(Trials, RunsRequestedCount)
 {
     RunSpec spec = tapewormSpec("espresso", 8000);

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Canonical (de)serialization of RunSpec/RunOutcome — the wire
+ * format AND the cache fingerprint share these bytes, so the
+ * round-trip must be exact and the parser strict (field drift shows
+ * up here, not as silent cache-key truncation).
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "harness/runner.hh"
+#include "harness/specio.hh"
+#include "workload/spec.hh"
+
+namespace tw
+{
+namespace
+{
+
+RunSpec
+sampleSpec()
+{
+    RunSpec spec;
+    spec.workload = makeWorkload("mpeg_play", 4000);
+    spec.sim = SimKind::Tapeworm;
+    spec.tw.cache =
+        CacheConfig::icache(1024, 16, 1, Indexing::Virtual);
+    spec.sys.scope = SimScope::userOnly();
+    return spec;
+}
+
+/** A spec with every enum off its default and odd values in the
+ *  corners the canonical form must carry exactly. */
+RunSpec
+contortedSpec()
+{
+    RunSpec spec = sampleSpec();
+    spec.sim = SimKind::TapewormTlbSim;
+    spec.sys.allocPolicy = AllocPolicy::Coloring;
+    spec.sys.clockJitter = !spec.sys.clockJitter;
+    spec.sys.trialSeed =
+        std::numeric_limits<std::uint64_t>::max();
+    spec.tw.cache.policy = ReplPolicy::Random;
+    spec.tw.cache.assoc = 4;
+    spec.tw.cache.tagIncludesTask = true;
+    spec.tw.kind = SimCacheKind::Unified;
+    spec.tw.hostWrite = HostWritePolicy::NoAllocateOnWrite;
+    spec.tw.sampleNum = 1;
+    spec.tw.sampleDenom = 16;
+    spec.tw.sampleMode = SampleMode::ConstantBits;
+    spec.tw.compensateMasked = false;
+    spec.tw.cost.cyclesPerInstr = 1.3333333333333333;
+    spec.tlb.tlb = CacheConfig::tlb(64, 0, 4096);
+    spec.tlb.filterFrames = 12345678901234567ull;
+    spec.c2k.sampleDenom = 7;
+    spec.pixie.genCycles = 99;
+    spec.traceTarget = kFirstUserTaskId + 3;
+    spec.workload.binaries.at(0).ladder.at(0).meanReps = 0.1;
+    return spec;
+}
+
+TEST(SpecIo, SpecRoundTripsToIdenticalBytes)
+{
+    for (const RunSpec &spec : {sampleSpec(), contortedSpec()}) {
+        std::string text = formatRunSpec(spec);
+        RunSpec back;
+        std::string err;
+        ASSERT_TRUE(parseRunSpec(text, back, err)) << err;
+        EXPECT_EQ(formatRunSpec(back), text);
+    }
+}
+
+TEST(SpecIo, ParsedSpecIsSemanticallyEqual)
+{
+    RunSpec spec = contortedSpec();
+    RunSpec back;
+    std::string err;
+    ASSERT_TRUE(parseRunSpec(formatRunSpec(spec), back, err)) << err;
+    EXPECT_EQ(back.sim, spec.sim);
+    EXPECT_EQ(back.sys.trialSeed, spec.sys.trialSeed);
+    EXPECT_EQ(back.sys.allocPolicy, spec.sys.allocPolicy);
+    EXPECT_EQ(back.tw.cache.sizeBytes, spec.tw.cache.sizeBytes);
+    EXPECT_EQ(back.tw.cache.policy, spec.tw.cache.policy);
+    EXPECT_EQ(back.tw.kind, spec.tw.kind);
+    EXPECT_EQ(back.tw.hostWrite, spec.tw.hostWrite);
+    EXPECT_EQ(back.tw.sampleMode, spec.tw.sampleMode);
+    EXPECT_EQ(back.tw.sampleDenom, spec.tw.sampleDenom);
+    EXPECT_DOUBLE_EQ(back.tw.cost.cyclesPerInstr,
+                     spec.tw.cost.cyclesPerInstr);
+    EXPECT_EQ(back.tlb.filterFrames, spec.tlb.filterFrames);
+    EXPECT_EQ(back.c2k.sampleDenom, spec.c2k.sampleDenom);
+    EXPECT_EQ(back.pixie.genCycles, spec.pixie.genCycles);
+    EXPECT_EQ(back.traceTarget, spec.traceTarget);
+    EXPECT_EQ(back.workload.name, spec.workload.name);
+    EXPECT_EQ(back.workload.binaries.size(),
+              spec.workload.binaries.size());
+    EXPECT_DOUBLE_EQ(
+        back.workload.binaries.at(0).ladder.at(0).meanReps,
+        spec.workload.binaries.at(0).ladder.at(0).meanReps);
+}
+
+TEST(SpecIo, OutcomeRoundTripsToIdenticalBytes)
+{
+    RunOutcome o = Runner::runWithSlowdown(sampleSpec(), 7);
+    ASSERT_GT(o.hostSeconds, 0.0);
+    std::string text = formatRunOutcome(o);
+    RunOutcome back;
+    std::string err;
+    ASSERT_TRUE(parseRunOutcome(text, back, err)) << err;
+    EXPECT_EQ(formatRunOutcome(back), text);
+    EXPECT_EQ(back.run.cycles, o.run.cycles);
+    EXPECT_EQ(back.run.instr, o.run.instr);
+    EXPECT_EQ(back.estMisses, o.estMisses);
+    EXPECT_EQ(back.missesByComp, o.missesByComp);
+    EXPECT_EQ(back.slowdown, o.slowdown);
+    EXPECT_EQ(back.normalCycles, o.normalCycles);
+}
+
+TEST(SpecIo, HostSecondsExcludedFromCanonicalText)
+{
+    // Two computations of the same row differ only in wall-clock;
+    // their canonical text must not.
+    RunOutcome a = Runner::runOne(sampleSpec(), 3);
+    RunOutcome b = a;
+    b.hostSeconds = a.hostSeconds + 1000.0;
+    EXPECT_EQ(formatRunOutcome(a), formatRunOutcome(b));
+    // And parsing zeroes it rather than inventing a value.
+    RunOutcome back;
+    std::string err;
+    ASSERT_TRUE(parseRunOutcome(formatRunOutcome(a), back, err));
+    EXPECT_EQ(back.hostSeconds, 0.0);
+}
+
+TEST(SpecIo, StrictParseRejectsMissingField)
+{
+    Json j = specToJson(sampleSpec());
+    // Rebuild the object without "sim".
+    Json pruned = Json::object();
+    for (const auto &[k, v] : j.members())
+        if (k != "sim")
+            pruned.set(k, v);
+    RunSpec out;
+    std::string err;
+    EXPECT_FALSE(specFromJson(pruned, out, err));
+    EXPECT_NE(err.find("sim"), std::string::npos) << err;
+}
+
+TEST(SpecIo, StrictParseRejectsUnknownField)
+{
+    Json j = specToJson(sampleSpec());
+    j.set("futureKnob", Json::number(1u));
+    RunSpec out;
+    std::string err;
+    EXPECT_FALSE(specFromJson(j, out, err));
+    EXPECT_NE(err.find("futureKnob"), std::string::npos) << err;
+}
+
+TEST(SpecIo, StrictParseRejectsNestedDrift)
+{
+    Json j = specToJson(sampleSpec());
+    // An unknown member three levels down must also be fatal.
+    Json tw = *j.find("tw");
+    Json cache = *tw.find("cache");
+    cache.set("victimBuffer", Json::boolean(true));
+    tw.set("cache", std::move(cache));
+    j.set("tw", std::move(tw));
+    RunSpec out;
+    std::string err;
+    EXPECT_FALSE(specFromJson(j, out, err));
+    EXPECT_NE(err.find("victimBuffer"), std::string::npos) << err;
+}
+
+TEST(SpecIo, StrictParseRejectsWrongVersion)
+{
+    Json j = specToJson(sampleSpec());
+    j.set("v", Json::number(2u));
+    RunSpec out;
+    std::string err;
+    EXPECT_FALSE(specFromJson(j, out, err));
+    EXPECT_NE(err.find("version"), std::string::npos) << err;
+}
+
+TEST(SpecIo, StrictParseRejectsBadEnumValue)
+{
+    Json j = specToJson(sampleSpec());
+    j.set("sim", Json::str("quantum"));
+    RunSpec out;
+    std::string err;
+    EXPECT_FALSE(specFromJson(j, out, err));
+    EXPECT_NE(err.find("quantum"), std::string::npos) << err;
+}
+
+TEST(SpecIo, CacheKeyNormalizesTrialSeed)
+{
+    RunSpec a = sampleSpec();
+    RunSpec b = sampleSpec();
+    a.sys.trialSeed = 0;
+    b.sys.trialSeed = 999; // Runner overwrites this per trial
+    EXPECT_EQ(cacheKey(a, 7, true), cacheKey(b, 7, true));
+}
+
+TEST(SpecIo, CacheKeySeparatesSeedAndSlowdown)
+{
+    RunSpec spec = sampleSpec();
+    EXPECT_NE(cacheKey(spec, 7, true), cacheKey(spec, 8, true));
+    EXPECT_NE(cacheKey(spec, 7, true), cacheKey(spec, 7, false));
+    RunSpec other = sampleSpec();
+    other.tw.cache.sizeBytes *= 2;
+    EXPECT_NE(cacheKey(spec, 7, true), cacheKey(other, 7, true));
+}
+
+TEST(SpecIo, FingerprintIsStableAndDiscriminating)
+{
+    RunSpec spec = sampleSpec();
+    std::uint64_t f1 = specFingerprint(spec, 7, true);
+    EXPECT_EQ(specFingerprint(spec, 7, true), f1);
+    EXPECT_NE(specFingerprint(spec, 8, true), f1);
+    // Known-answer for the underlying hash (standard FNV-1a
+    // vectors).
+    EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);
+    EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+}
+
+TEST(SpecIo, SimKindNamesRoundTrip)
+{
+    for (SimKind k : {SimKind::None, SimKind::Tapeworm,
+                      SimKind::TapewormTlbSim, SimKind::TraceDriven,
+                      SimKind::Oracle}) {
+        SimKind back{};
+        ASSERT_TRUE(simKindFromName(simKindName(k), back));
+        EXPECT_EQ(back, k);
+    }
+    SimKind out{};
+    EXPECT_FALSE(simKindFromName("bogus", out));
+}
+
+TEST(SpecIo, U64SeedSurvivesWireExactly)
+{
+    RunSpec spec = sampleSpec();
+    spec.tw.sampleSeed = std::numeric_limits<std::uint64_t>::max();
+    RunSpec back;
+    std::string err;
+    ASSERT_TRUE(parseRunSpec(formatRunSpec(spec), back, err)) << err;
+    EXPECT_EQ(back.tw.sampleSeed, spec.tw.sampleSeed);
+}
+
+} // namespace
+} // namespace tw

@@ -1,0 +1,469 @@
+/**
+ * @file
+ * End-to-end tests of twserved's engine over a real unix-domain
+ * socket: served results bit-identical to direct computation,
+ * resubmission served from cache, deterministic full-queue
+ * rejection, deadline expiry, graceful drain, and concurrent
+ * clients (the whole file is also built under TSan by check.sh).
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "harness/specio.hh"
+#include "harness/trials.hh"
+#include "serve/client.hh"
+#include "serve/server.hh"
+
+namespace tw
+{
+namespace
+{
+
+using serve::Client;
+using serve::Server;
+using serve::ServerConfig;
+using serve::SweepResult;
+
+RunSpec
+smallSpec(unsigned cache_bytes = 2048)
+{
+    RunSpec spec;
+    spec.workload = makeWorkload("espresso", 4000);
+    spec.sim = SimKind::Tapeworm;
+    spec.tw.cache = CacheConfig::icache(cache_bytes);
+    return spec;
+}
+
+/** Each test gets its own socket path (tests may run in parallel
+ *  processes on a shared /tmp). */
+std::string
+freshSocketPath(const char *tag)
+{
+    static std::atomic<unsigned> counter{0};
+    return "/tmp/tw_serve_test_" + std::to_string(::getpid()) + "_"
+           + tag + std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+ServerConfig
+baseConfig(const std::string &path)
+{
+    ServerConfig cfg;
+    cfg.socketPath = path;
+    cfg.workers = 2;
+    cfg.queueCapacity = 16;
+    cfg.cacheCapacity = 64;
+    return cfg;
+}
+
+TEST(Server, ServedRowsBitIdenticalToDirect)
+{
+    Runner::clearBaselineCache();
+    std::string path = freshSocketPath("direct");
+    Server server(baseConfig(path));
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+
+    RunSpec spec = smallSpec();
+    std::vector<std::uint64_t> seeds = {11, 22, 33};
+
+    Client client;
+    ASSERT_TRUE(client.connectUnix(path, &err)) << err;
+    SweepResult res = client.submitSweep(spec, seeds, true);
+    ASSERT_TRUE(res.ok) << res.errorMsg;
+    ASSERT_EQ(res.rows.size(), seeds.size());
+    EXPECT_EQ(res.computed, seeds.size());
+    EXPECT_EQ(res.cached, 0u);
+
+    std::vector<RunOutcome> served = res.outcomes();
+    for (std::size_t t = 0; t < seeds.size(); ++t) {
+        RunOutcome direct = Runner::runWithSlowdown(spec, seeds[t]);
+        EXPECT_EQ(formatRunOutcome(served[t]),
+                  formatRunOutcome(direct))
+            << "trial " << t;
+        EXPECT_GT(served[t].hostSeconds, 0.0); // wire carries it
+    }
+    server.stop();
+}
+
+TEST(Server, ResubmitIsServedFromCacheBitIdentically)
+{
+    std::string path = freshSocketPath("cache");
+    Server server(baseConfig(path));
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+
+    RunSpec spec = smallSpec();
+    std::vector<std::uint64_t> seeds = {5, 6};
+
+    Client client;
+    ASSERT_TRUE(client.connectUnix(path, &err)) << err;
+    SweepResult first = client.submitSweep(spec, seeds, true);
+    ASSERT_TRUE(first.ok) << first.errorMsg;
+    EXPECT_EQ(first.computed, 2u);
+
+    SweepResult second = client.submitSweep(spec, seeds, true);
+    ASSERT_TRUE(second.ok) << second.errorMsg;
+    EXPECT_EQ(second.cached, 2u);
+    EXPECT_EQ(second.computed, 0u); // no recompute
+    for (const serve::SweepRow &r : second.rows)
+        EXPECT_TRUE(r.cached);
+
+    std::vector<RunOutcome> a = first.outcomes();
+    std::vector<RunOutcome> b = second.outcomes();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t t = 0; t < a.size(); ++t)
+        EXPECT_EQ(formatRunOutcome(a[t]), formatRunOutcome(b[t]));
+
+    // The hit counter moved by exactly the resubmitted rows.
+    Json stats;
+    ASSERT_TRUE(client.stats(stats, &err)) << err;
+    EXPECT_EQ(stats.findPath("cache.hits")->asU64(), 2u);
+    EXPECT_EQ(stats.findPath("rows.computed")->asU64(), 2u);
+    EXPECT_EQ(stats.findPath("rows.cached")->asU64(), 2u);
+    server.stop();
+}
+
+TEST(Server, MixedSweepComputesOnlyTheMisses)
+{
+    std::string path = freshSocketPath("mixed");
+    Server server(baseConfig(path));
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+
+    RunSpec spec = smallSpec();
+    Client client;
+    ASSERT_TRUE(client.connectUnix(path, &err)) << err;
+    SweepResult warm = client.submitSweep(spec, {1, 2}, true);
+    ASSERT_TRUE(warm.ok) << warm.errorMsg;
+
+    // {1,2} cached; {3} fresh.
+    SweepResult mixed = client.submitSweep(spec, {1, 2, 3}, true);
+    ASSERT_TRUE(mixed.ok) << mixed.errorMsg;
+    EXPECT_EQ(mixed.cached, 2u);
+    EXPECT_EQ(mixed.computed, 1u);
+    EXPECT_EQ(mixed.rows.size(), 3u);
+    server.stop();
+}
+
+TEST(Server, FullQueueRejectsWholeSweepAsOverloaded)
+{
+    std::string path = freshSocketPath("overload");
+    ServerConfig cfg = baseConfig(path);
+    cfg.queueCapacity = 2;
+    Server server(cfg);
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+
+    // Deterministic: workers held BEFORE the queue pop, so admitted
+    // jobs stay queued.
+    server.pauseWorkers();
+
+    Client clientA;
+    ASSERT_TRUE(clientA.connectUnix(path, &err)) << err;
+    RunSpec spec = smallSpec();
+
+    std::thread submitter([&] {
+        // Fills the whole queue; blocks until workers resume.
+        SweepResult res = clientA.submitSweep(spec, {1, 2}, true);
+        EXPECT_TRUE(res.ok) << res.errorMsg;
+        EXPECT_EQ(res.rows.size(), 2u);
+    });
+    // Wait until both jobs are admitted.
+    while (server.metrics().jobsInFlight.load() < 2)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+    // A second client's sweep cannot fit: rejected whole, nothing
+    // admitted, and the queue is untouched.
+    Client clientB;
+    ASSERT_TRUE(clientB.connectUnix(path, &err)) << err;
+    SweepResult rejected =
+        clientB.submitSweep(smallSpec(4096), {9}, true);
+    EXPECT_FALSE(rejected.ok);
+    EXPECT_EQ(rejected.errorCode, serve::kErrOverloaded);
+    EXPECT_TRUE(rejected.rows.empty());
+    EXPECT_EQ(server.metrics().rejectedOverloaded.load(), 1u);
+
+    // An oversized sweep is rejected even against an empty queue.
+    server.resumeWorkers();
+    submitter.join();
+    SweepResult tooBig =
+        clientB.submitSweep(smallSpec(4096), {1, 2, 3}, true);
+    EXPECT_FALSE(tooBig.ok);
+    EXPECT_EQ(tooBig.errorCode, serve::kErrOverloaded);
+
+    // The overloaded client can simply retry once there is room.
+    SweepResult retry = clientB.submitSweep(smallSpec(4096), {9},
+                                            true);
+    EXPECT_TRUE(retry.ok) << retry.errorMsg;
+    server.stop();
+}
+
+TEST(Server, DrainCompletesAdmittedWorkThenRejectsNew)
+{
+    std::string path = freshSocketPath("drain");
+    Server server(baseConfig(path));
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+    server.pauseWorkers();
+
+    Client clientA;
+    ASSERT_TRUE(clientA.connectUnix(path, &err)) << err;
+    RunSpec spec = smallSpec();
+    SweepResult admitted;
+    std::thread submitter([&] {
+        admitted = clientA.submitSweep(spec, {41, 42}, true);
+    });
+    while (server.metrics().jobsInFlight.load() < 2)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+    // Connect before the stop: the accept loop exits once a stop
+    // is requested, but established sessions keep being served.
+    // The ping proves the session thread exists (connect alone only
+    // means the listen backlog took us).
+    Client clientB;
+    ASSERT_TRUE(clientB.connectUnix(path, &err)) << err;
+    ASSERT_TRUE(clientB.ping(&err)) << err;
+
+    // Stop while the sweep is queued: it was admitted, so it MUST
+    // still complete...
+    server.requestStop();
+
+    // ...while a post-stop submit is turned away.
+    SweepResult late = clientB.submitSweep(spec, {43}, true);
+    EXPECT_FALSE(late.ok);
+    EXPECT_EQ(late.errorCode, serve::kErrShuttingDown);
+
+    server.resumeWorkers();
+    submitter.join();
+    EXPECT_TRUE(admitted.ok) << admitted.errorMsg;
+    EXPECT_EQ(admitted.rows.size(), 2u);
+
+    server.join();
+    // Socket is gone after a completed drain.
+    Client clientC;
+    EXPECT_FALSE(clientC.connectUnix(path, &err));
+}
+
+TEST(Server, ShutdownOpDrains)
+{
+    std::string path = freshSocketPath("shutop");
+    Server server(baseConfig(path));
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+
+    Client client;
+    ASSERT_TRUE(client.connectUnix(path, &err)) << err;
+    ASSERT_TRUE(client.ping(&err)) << err;
+    ASSERT_TRUE(client.shutdownServer(&err)) << err;
+    server.join();
+    EXPECT_TRUE(server.stopping());
+}
+
+TEST(Server, DeadlineExpiresQueuedJobs)
+{
+    std::string path = freshSocketPath("deadline");
+    Server server(baseConfig(path));
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+    server.pauseWorkers();
+
+    Client client;
+    ASSERT_TRUE(client.connectUnix(path, &err)) << err;
+    RunSpec spec = smallSpec();
+    SweepResult res;
+    std::thread submitter([&] {
+        res = client.submitSweep(spec, {71, 72}, true, 1);
+    });
+    while (server.metrics().jobsInFlight.load() < 2)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    // Let the 1ms deadline lapse while the jobs sit in the queue.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    server.resumeWorkers();
+    submitter.join();
+
+    ASSERT_TRUE(res.ok) << res.errorMsg;
+    EXPECT_EQ(res.expired, 2u);
+    EXPECT_EQ(res.computed, 0u);
+    for (const serve::SweepRow &r : res.rows)
+        EXPECT_TRUE(r.expired);
+    // Expired rows were never cached: a fresh submit recomputes.
+    SweepResult fresh = client.submitSweep(spec, {71}, true);
+    ASSERT_TRUE(fresh.ok);
+    EXPECT_EQ(fresh.computed, 1u);
+    server.stop();
+}
+
+TEST(Server, MalformedRequestGetsBadRequest)
+{
+    std::string path = freshSocketPath("bad");
+    Server server(baseConfig(path));
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+
+    int fd = serve::connectUnixSocket(path, &err);
+    ASSERT_GE(fd, 0) << err;
+    serve::LineReader reader(fd);
+    std::string line;
+
+    auto expectError = [&](const std::string &req) {
+        ASSERT_TRUE(serve::sendLine(fd, req));
+        ASSERT_EQ(reader.readLine(line),
+                  serve::LineReader::Status::Line);
+        Json resp;
+        ASSERT_TRUE(Json::parse(line, resp, nullptr)) << line;
+        EXPECT_EQ(resp.find("ev")->asString(), "error");
+        EXPECT_EQ(resp.find("code")->asString(),
+                  serve::kErrBadRequest);
+    };
+    expectError("this is not json");
+    expectError("{\"id\":1}");
+    expectError("{\"id\":2,\"op\":\"warp\"}");
+    expectError("{\"id\":3,\"op\":\"submit\"}");
+    expectError("{\"id\":4,\"op\":\"submit\",\"spec\":\"{}\","
+                "\"seeds\":[1]}");
+    expectError("{\"id\":5,\"op\":\"submit\",\"spec\":7,"
+                "\"seeds\":[1]}");
+    ::close(fd);
+    server.stop();
+    EXPECT_EQ(server.metrics().badRequests.load(), 6u);
+}
+
+TEST(Server, ConcurrentClientsAllServedCorrectly)
+{
+    Runner::clearBaselineCache();
+    std::string path = freshSocketPath("mpmc");
+    ServerConfig cfg = baseConfig(path);
+    cfg.workers = 4;
+    Server server(cfg);
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+
+    // 4 clients x 3 sweeps over 2 distinct specs with overlapping
+    // seeds: concurrent sessions, shared cache entries, real
+    // contention on queue + cache + baseline memo.
+    constexpr unsigned kClients = 4;
+    std::atomic<unsigned> failures{0};
+    std::vector<std::thread> threads;
+    for (unsigned c = 0; c < kClients; ++c) {
+        threads.emplace_back([&, c] {
+            Client client;
+            std::string cerr;
+            if (!client.connectUnix(path, &cerr)) {
+                failures.fetch_add(1);
+                return;
+            }
+            RunSpec spec = smallSpec(c % 2 ? 2048 : 4096);
+            for (int round = 0; round < 3; ++round) {
+                SweepResult res = client.submitSweep(
+                    spec, {100 + c % 2, 200}, true);
+                if (!res.ok || res.rows.size() != 2)
+                    failures.fetch_add(1);
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(failures.load(), 0u);
+
+    // Every client's result must equal the direct computation.
+    Client checker;
+    ASSERT_TRUE(checker.connectUnix(path, &err)) << err;
+    RunSpec spec = smallSpec(2048);
+    SweepResult res = checker.submitSweep(spec, {101, 200}, true);
+    ASSERT_TRUE(res.ok);
+    std::vector<RunOutcome> served = res.outcomes();
+    EXPECT_EQ(formatRunOutcome(served[0]),
+              formatRunOutcome(Runner::runWithSlowdown(spec, 101)));
+    EXPECT_EQ(formatRunOutcome(served[1]),
+              formatRunOutcome(Runner::runWithSlowdown(spec, 200)));
+    server.stop();
+}
+
+TEST(Server, FlushCacheForcesRecompute)
+{
+    std::string path = freshSocketPath("flush");
+    Server server(baseConfig(path));
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+
+    Client client;
+    ASSERT_TRUE(client.connectUnix(path, &err)) << err;
+    RunSpec spec = smallSpec();
+    SweepResult a = client.submitSweep(spec, {3}, true);
+    ASSERT_TRUE(a.ok);
+    ASSERT_TRUE(client.flushCache(&err)) << err;
+    SweepResult b = client.submitSweep(spec, {3}, true);
+    ASSERT_TRUE(b.ok);
+    EXPECT_EQ(b.computed, 1u);
+    EXPECT_EQ(b.cached, 0u);
+    // Flush costs time, never accuracy.
+    EXPECT_EQ(formatRunOutcome(a.outcomes()[0]),
+              formatRunOutcome(b.outcomes()[0]));
+    server.stop();
+}
+
+TEST(Server, StatsSurfaceIsComplete)
+{
+    std::string path = freshSocketPath("stats");
+    Server server(baseConfig(path));
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+
+    Client client;
+    ASSERT_TRUE(client.connectUnix(path, &err)) << err;
+    client.submitSweep(smallSpec(), {1}, true);
+    Json stats;
+    ASSERT_TRUE(client.stats(stats, &err)) << err;
+    for (const char *p :
+         {"uptime_s", "workers", "queue.depth", "queue.capacity",
+          "queue.in_flight", "cache.hits", "cache.misses",
+          "cache.size", "baseline.size", "baseline.capacity",
+          "ops.submits", "rows.streamed", "rows.computed",
+          "rejected.overloaded", "sessions.opened",
+          "latency.queue_wait.count", "latency.run.p50_us",
+          "latency.request.p99_us"}) {
+        EXPECT_NE(stats.findPath(p), nullptr) << "missing " << p;
+    }
+    EXPECT_EQ(stats.findPath("queue.capacity")->asU64(), 16u);
+    EXPECT_EQ(stats.findPath("workers")->asU64(), 2u);
+    EXPECT_GE(stats.findPath("latency.request.count")->asU64(), 1u);
+    server.stop();
+}
+
+TEST(Server, TcpListenerServesToo)
+{
+    std::string path = freshSocketPath("tcp");
+    ServerConfig cfg = baseConfig(path);
+    // An ephemeral-ish port; retry a few in case of collision.
+    Server *started = nullptr;
+    Server *attempt = nullptr;
+    std::string err;
+    for (int port = 39771; port < 39781 && !started; ++port) {
+        cfg.tcpPort = port;
+        attempt = new Server(cfg);
+        if (attempt->start(&err))
+            started = attempt;
+        else
+            delete attempt;
+    }
+    ASSERT_NE(started, nullptr) << err;
+
+    Client client;
+    ASSERT_TRUE(client.connectTcp("127.0.0.1",
+                                  started->config().tcpPort, &err))
+        << err;
+    ASSERT_TRUE(client.ping(&err)) << err;
+    SweepResult res = client.submitSweep(smallSpec(), {77}, true);
+    EXPECT_TRUE(res.ok) << res.errorMsg;
+    started->stop();
+    delete started;
+}
+
+} // namespace
+} // namespace tw

@@ -1,0 +1,395 @@
+/**
+ * @file
+ * twctl — command-line client for twserved.
+ *
+ * Builds a RunSpec from the same flags twsim takes, derives the
+ * trial seed list exactly the way runTrials() does, and submits the
+ * sweep over the socket. `twctl local` computes the identical sweep
+ * in-process with no server — with --canonical both paths print one
+ * canonical RunOutcome line per trial, so
+ *
+ *   diff <(twctl local ...) <(twctl --socket S submit ...)
+ *
+ * is the bit-for-bit served-vs-direct check the smoke test runs.
+ *
+ * Examples:
+ *   twctl --socket /tmp/tw.sock ping
+ *   twctl --socket /tmp/tw.sock submit --workload mpeg_play \
+ *         --cache 1K --indexing virtual --scope user --trials 4
+ *   twctl --socket /tmp/tw.sock stats --path cache.hits
+ *   twctl --socket /tmp/tw.sock shutdown
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/client.hh"
+#include "tapeworm.hh"
+
+using namespace tw;
+using namespace tw::serve;
+
+namespace
+{
+
+void
+usage()
+{
+    std::printf(
+        "twctl — client for the twserved experiment service\n\n"
+        "usage: twctl [--socket PATH | --tcp HOST:PORT] COMMAND "
+        "[options]\n\n"
+        "commands:\n"
+        "  submit       submit a sweep and stream results\n"
+        "  local        run the same sweep in-process (no "
+        "server)\n"
+        "  stats        print server stats JSON\n"
+        "  flush-cache  drop the server's result cache\n"
+        "  ping         check liveness\n"
+        "  shutdown     ask the server to drain and exit\n\n"
+        "sweep options (submit and local):\n"
+        "  --workload NAME   (default mpeg_play)\n"
+        "  --cache SIZE      e.g. 1K, 32K (default 4K)\n"
+        "  --line BYTES      (default 16)\n"
+        "  --assoc N         (default 1)\n"
+        "  --indexing MODE   physical|virtual (default physical)\n"
+        "  --policy NAME     fifo|random|lru\n"
+        "  --sim KIND        tapeworm|tlb|trace|oracle (default "
+        "tapeworm)\n"
+        "  --kind KIND       instruction|data|unified\n"
+        "  --scope SCOPE     all|user|servers|kernel (default "
+        "all)\n"
+        "  --sample N        simulate 1/N of the sets\n"
+        "  --tlb-entries N   --tlb-page SIZE\n"
+        "  --scale N         divide instruction counts by N\n"
+        "                    (default 200; also TW_SCALE_DIV)\n"
+        "  --trials N        trials; seeds derived as runTrials "
+        "does\n"
+        "  --seed N          base trial seed (default 1)\n"
+        "  --seeds A,B,...   explicit seed list (overrides "
+        "--trials)\n"
+        "  --no-slowdown     skip the baseline/slowdown pairing\n"
+        "  --deadline MS     per-request deadline (server-side)\n"
+        "  --canonical       one canonical outcome line per trial\n"
+        "other:\n"
+        "  stats --path P    print one dotted-path value of the "
+        "stats\n"
+        "  --help            this text\n\n"
+        "exit status: 0 ok; 1 usage/transport; 2 server rejected "
+        "(the\ncode — e.g. 'overloaded' — is printed to "
+        "stderr).\n");
+}
+
+std::uint64_t
+parseSize(const std::string &text)
+{
+    char *end = nullptr;
+    double v = std::strtod(text.c_str(), &end);
+    if (end && (*end == 'K' || *end == 'k'))
+        v *= 1024;
+    else if (end && (*end == 'M' || *end == 'm'))
+        v *= 1024 * 1024;
+    if (v < 64)
+        fatal("unparseable size '%s'", text.c_str());
+    return static_cast<std::uint64_t>(v);
+}
+
+struct SweepArgs
+{
+    RunSpec spec;
+    std::vector<std::uint64_t> seeds;
+    bool slowdown = true;
+    std::optional<std::uint64_t> deadlineMs;
+    bool canonical = false;
+};
+
+void
+printRows(const std::vector<RunOutcome> &outcomes,
+          const std::vector<bool> &cached, bool canonical)
+{
+    if (canonical) {
+        for (const RunOutcome &o : outcomes)
+            std::printf("%s\n", formatRunOutcome(o).c_str());
+        return;
+    }
+    TextTable t({"trial", "misses", "missRatio", "MPI", "slowdown",
+                 "cached"});
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const RunOutcome &o = outcomes[i];
+        t.addRow({
+            csprintf("%zu", i + 1),
+            fmtF(o.estMisses, 0),
+            fmtF(o.missRatioTotal(), 4),
+            fmtF(o.mpi(), 2),
+            fmtF(o.slowdown, 2),
+            i < cached.size() && cached[i] ? "yes" : "no",
+        });
+    }
+    std::printf("%s", t.render().c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string socketPath, tcpHost;
+    int tcpPort = 0;
+    std::string command, statsPath;
+
+    std::string workload = "mpeg_play";
+    std::uint64_t cacheBytes = 4096, tlbPage = 4096;
+    unsigned line = 16, assoc = 1, sample = 1, trials = 1;
+    unsigned tlbEntries = 64;
+    std::uint64_t seed = 1;
+    unsigned scale = envScaleDiv(200);
+    Indexing indexing = Indexing::Physical;
+    std::string policy, sim = "tapeworm", kind = "instruction",
+                scope = "all";
+    SweepArgs sweep;
+    std::string seedList;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("%s needs a value", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--help") {
+            usage();
+            return 0;
+        } else if (arg == "--socket") {
+            socketPath = value();
+        } else if (arg == "--tcp") {
+            std::string hp = value();
+            std::size_t colon = hp.rfind(':');
+            if (colon == std::string::npos)
+                fatal("--tcp wants HOST:PORT");
+            tcpHost = hp.substr(0, colon);
+            tcpPort = std::atoi(hp.c_str() + colon + 1);
+        } else if (arg == "--workload") {
+            workload = value();
+        } else if (arg == "--cache") {
+            cacheBytes = parseSize(value());
+        } else if (arg == "--line") {
+            line = static_cast<unsigned>(std::atoi(value().c_str()));
+        } else if (arg == "--assoc") {
+            assoc = static_cast<unsigned>(std::atoi(value().c_str()));
+        } else if (arg == "--indexing") {
+            std::string v = value();
+            if (v == "virtual")
+                indexing = Indexing::Virtual;
+            else if (v == "physical")
+                indexing = Indexing::Physical;
+            else
+                fatal("bad indexing '%s'", v.c_str());
+        } else if (arg == "--policy") {
+            policy = value();
+        } else if (arg == "--sim") {
+            sim = value();
+        } else if (arg == "--kind") {
+            kind = value();
+        } else if (arg == "--scope") {
+            scope = value();
+        } else if (arg == "--sample") {
+            sample = static_cast<unsigned>(std::atoi(value().c_str()));
+        } else if (arg == "--tlb-entries") {
+            tlbEntries =
+                static_cast<unsigned>(std::atoi(value().c_str()));
+        } else if (arg == "--tlb-page") {
+            tlbPage = parseSize(value());
+        } else if (arg == "--scale") {
+            scale = static_cast<unsigned>(std::atoi(value().c_str()));
+        } else if (arg == "--trials") {
+            trials =
+                static_cast<unsigned>(std::atoi(value().c_str()));
+        } else if (arg == "--seed") {
+            seed = static_cast<std::uint64_t>(
+                std::atoll(value().c_str()));
+        } else if (arg == "--seeds") {
+            seedList = value();
+        } else if (arg == "--no-slowdown") {
+            sweep.slowdown = false;
+        } else if (arg == "--deadline") {
+            sweep.deadlineMs = static_cast<std::uint64_t>(
+                std::atoll(value().c_str()));
+        } else if (arg == "--canonical") {
+            sweep.canonical = true;
+        } else if (arg == "--path") {
+            statsPath = value();
+        } else if (!arg.empty() && arg[0] == '-') {
+            usage();
+            fatal("unknown option '%s'", arg.c_str());
+        } else if (command.empty()) {
+            command = arg;
+        } else {
+            usage();
+            fatal("extra argument '%s'", arg.c_str());
+        }
+    }
+    if (command.empty()) {
+        usage();
+        return 1;
+    }
+
+    // ---- Build the spec (mirrors twsim) ---------------------------
+    RunSpec &spec = sweep.spec;
+    spec.workload = makeWorkload(workload, scale);
+    spec.tw.cache =
+        CacheConfig::icache(cacheBytes, line, assoc, indexing);
+    if (policy == "fifo")
+        spec.tw.cache.policy = ReplPolicy::FIFO;
+    else if (policy == "random")
+        spec.tw.cache.policy = ReplPolicy::Random;
+    else if (policy == "lru")
+        spec.tw.cache.policy = ReplPolicy::LRU;
+    else if (!policy.empty())
+        fatal("bad policy '%s'", policy.c_str());
+    if (kind == "data")
+        spec.tw.kind = SimCacheKind::Data;
+    else if (kind == "unified")
+        spec.tw.kind = SimCacheKind::Unified;
+    else if (kind != "instruction")
+        fatal("bad kind '%s'", kind.c_str());
+    if (sim == "tapeworm") {
+        spec.sim = SimKind::Tapeworm;
+        if (spec.tw.cache.assoc > 1
+            && spec.tw.cache.policy == ReplPolicy::LRU) {
+            warn("trap-driven simulation cannot do LRU; using FIFO");
+            spec.tw.cache.policy = ReplPolicy::FIFO;
+        }
+    } else if (sim == "trace") {
+        spec.sim = SimKind::TraceDriven;
+        spec.c2k.cache = spec.tw.cache;
+        spec.c2k.cache.indexing = Indexing::Virtual;
+        spec.c2k.sampleNum = 1;
+        spec.c2k.sampleDenom = sample;
+    } else if (sim == "tlb") {
+        spec.sim = SimKind::TapewormTlbSim;
+        spec.tlb.tlb = CacheConfig::tlb(
+            tlbEntries, 0, static_cast<std::uint32_t>(tlbPage));
+    } else if (sim == "oracle") {
+        spec.sim = SimKind::Oracle;
+    } else {
+        fatal("bad sim '%s'", sim.c_str());
+    }
+    spec.tw.sampleNum = 1;
+    spec.tw.sampleDenom = sample;
+    if (scope == "all")
+        spec.sys.scope = SimScope::all();
+    else if (scope == "user")
+        spec.sys.scope = SimScope::userOnly();
+    else if (scope == "servers")
+        spec.sys.scope = SimScope::serversOnly();
+    else if (scope == "kernel")
+        spec.sys.scope = SimScope::kernelOnly();
+    else
+        fatal("bad scope '%s'", scope.c_str());
+
+    // ---- Seed list ------------------------------------------------
+    if (!seedList.empty()) {
+        const char *p = seedList.c_str();
+        while (*p) {
+            char *end = nullptr;
+            sweep.seeds.push_back(std::strtoull(p, &end, 10));
+            if (end == p)
+                fatal("bad --seeds list '%s'", seedList.c_str());
+            p = (*end == ',') ? end + 1 : end;
+        }
+    } else {
+        // Exactly runTrials()'s derivation: trial t gets
+        // mixSeed(base, 1000 + t).
+        for (unsigned t = 0; t < trials; ++t)
+            sweep.seeds.push_back(mixSeed(seed, 1000 + t));
+    }
+
+    // ---- local: no server involved --------------------------------
+    if (command == "local") {
+        std::vector<RunOutcome> outcomes(sweep.seeds.size());
+        for (std::size_t t = 0; t < sweep.seeds.size(); ++t)
+            outcomes[t] =
+                sweep.slowdown
+                    ? Runner::runWithSlowdown(spec, sweep.seeds[t])
+                    : Runner::runOne(spec, sweep.seeds[t]);
+        printRows(outcomes, {}, sweep.canonical);
+        return 0;
+    }
+
+    // ---- Everything else talks to a server ------------------------
+    Client client;
+    std::string err;
+    bool ok = !socketPath.empty()
+                  ? client.connectUnix(socketPath, &err)
+                  : (tcpPort != 0
+                         ? client.connectTcp(tcpHost, tcpPort, &err)
+                         : (err = "need --socket or --tcp", false));
+    if (!ok)
+        fatal("connect: %s", err.c_str());
+
+    if (command == "ping") {
+        if (!client.ping(&err))
+            fatal("ping: %s", err.c_str());
+        std::printf("pong\n");
+        return 0;
+    }
+    if (command == "stats") {
+        Json stats;
+        if (!client.stats(stats, &err))
+            fatal("stats: %s", err.c_str());
+        if (!statsPath.empty()) {
+            const Json *v = stats.findPath(statsPath);
+            if (!v)
+                fatal("no '%s' in stats", statsPath.c_str());
+            std::printf("%s\n", v->dump().c_str());
+        } else {
+            std::printf("%s\n", stats.dump().c_str());
+        }
+        return 0;
+    }
+    if (command == "flush-cache") {
+        if (!client.flushCache(&err))
+            fatal("flush-cache: %s", err.c_str());
+        std::printf("ok\n");
+        return 0;
+    }
+    if (command == "shutdown") {
+        if (!client.shutdownServer(&err))
+            fatal("shutdown: %s", err.c_str());
+        std::printf("ok\n");
+        return 0;
+    }
+    if (command != "submit") {
+        usage();
+        fatal("unknown command '%s'", command.c_str());
+    }
+
+    SweepResult result = client.submitSweep(
+        spec, sweep.seeds, sweep.slowdown, sweep.deadlineMs);
+    if (!result.ok) {
+        if (!result.errorCode.empty()) {
+            std::fprintf(stderr, "rejected: %s (%s)\n",
+                         result.errorCode.c_str(),
+                         result.errorMsg.c_str());
+            return 2;
+        }
+        fatal("submit: %s", result.errorMsg.c_str());
+    }
+    std::vector<RunOutcome> outcomes = result.outcomes();
+    std::vector<bool> cached(outcomes.size(), false);
+    for (const SweepRow &r : result.rows)
+        if (r.trial < cached.size())
+            cached[r.trial] = r.cached;
+    printRows(outcomes, cached, sweep.canonical);
+    std::fprintf(stderr,
+                 "rows=%zu cached=%llu computed=%llu expired=%llu\n",
+                 result.rows.size(),
+                 (unsigned long long)result.cached,
+                 (unsigned long long)result.computed,
+                 (unsigned long long)result.expired);
+    return 0;
+}

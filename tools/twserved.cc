@@ -1,0 +1,155 @@
+/**
+ * @file
+ * twserved — the persistent experiment daemon.
+ *
+ * Section 5 of the paper: a trap-driven simulator is cheap enough
+ * to leave RESIDENT, answering "what would an 8K cache do to this
+ * workload" queries as they arrive instead of rebooting a simulator
+ * per question. twserved is that residency: it keeps the Runner's
+ * baseline memo and a result cache warm across requests, bounds its
+ * appetite with an explicit job queue, and drains gracefully on
+ * SIGTERM so an operator can restart it without losing admitted
+ * work.
+ *
+ * Protocol and policy: DESIGN.md §9. Client: twctl (or anything
+ * that can write newline-delimited JSON to a socket).
+ *
+ *   twserved --socket /tmp/tw.sock
+ *   twserved --socket /tmp/tw.sock --tcp 7733 --workers 8 \
+ *            --queue 512 --cache 8192
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <pthread.h>
+#include <string>
+#include <thread>
+
+#include "base/logging.hh"
+#include "serve/server.hh"
+
+using namespace tw;
+using namespace tw::serve;
+
+namespace
+{
+
+void
+usage()
+{
+    std::printf(
+        "twserved — persistent Tapeworm II experiment service\n\n"
+        "usage: twserved --socket PATH [options]\n"
+        "  --socket PATH     unix-domain socket to listen on "
+        "(required)\n"
+        "  --tcp PORT        also listen on TCP PORT (loopback)\n"
+        "  --bind ADDR       TCP bind address (default "
+        "127.0.0.1)\n"
+        "  --workers N       simulation workers (default: "
+        "TW_THREADS,\n"
+        "                    else hardware threads)\n"
+        "  --queue N         job-queue bound; a sweep that does "
+        "not\n"
+        "                    fit is rejected 'overloaded' "
+        "(default 256)\n"
+        "  --cache N         result-cache entries (default 4096)\n"
+        "  --baseline-cap N  Runner baseline-memo entries "
+        "(default\n"
+        "                    4096, or TW_BASELINE_CAP)\n"
+        "  --quiet           no per-request logging\n"
+        "  --help            this text\n\n"
+        "Stop with SIGTERM/SIGINT (drains admitted jobs, then "
+        "exits 0)\nor with `twctl shutdown`.\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ServerConfig cfg;
+    cfg.verbose = true;
+    std::size_t baselineCap = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("%s needs a value", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--help") {
+            usage();
+            return 0;
+        } else if (arg == "--socket") {
+            cfg.socketPath = value();
+        } else if (arg == "--tcp") {
+            cfg.tcpPort = std::atoi(value().c_str());
+        } else if (arg == "--bind") {
+            cfg.tcpBind = value();
+        } else if (arg == "--workers") {
+            cfg.workers =
+                static_cast<unsigned>(std::atoi(value().c_str()));
+        } else if (arg == "--queue") {
+            cfg.queueCapacity = static_cast<std::size_t>(
+                std::atoll(value().c_str()));
+        } else if (arg == "--cache") {
+            cfg.cacheCapacity = static_cast<std::size_t>(
+                std::atoll(value().c_str()));
+        } else if (arg == "--baseline-cap") {
+            baselineCap = static_cast<std::size_t>(
+                std::atoll(value().c_str()));
+        } else if (arg == "--quiet") {
+            cfg.verbose = false;
+        } else {
+            usage();
+            fatal("unknown option '%s'", arg.c_str());
+        }
+    }
+    if (cfg.socketPath.empty()) {
+        usage();
+        fatal("--socket is required");
+    }
+    if (baselineCap)
+        Runner::setBaselineCacheCapacity(baselineCap);
+
+    // Signals are consumed synchronously by a watcher thread:
+    // requestStop() takes locks, so it must not run in handler
+    // context. Block them BEFORE any thread spawns so every thread
+    // inherits the mask.
+    sigset_t sigs;
+    sigemptyset(&sigs);
+    sigaddset(&sigs, SIGTERM);
+    sigaddset(&sigs, SIGINT);
+    sigaddset(&sigs, SIGUSR1);
+    pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+    Server server(cfg);
+    std::string err;
+    if (!server.start(&err))
+        fatal("cannot start: %s", err.c_str());
+
+    std::thread watcher([&] {
+        while (true) {
+            int sig = 0;
+            if (sigwait(&sigs, &sig) != 0)
+                continue;
+            if (sig == SIGUSR1)
+                return; // main is done; unblocked for join
+            if (cfg.verbose)
+                std::fprintf(stderr,
+                             "twserved: %s, draining...\n",
+                             strsignal(sig));
+            server.requestStop();
+        }
+    });
+
+    // Blocks until a SIGTERM/SIGINT or a `shutdown` op drains the
+    // server.
+    server.join();
+    pthread_kill(watcher.native_handle(), SIGUSR1);
+    watcher.join();
+    return 0;
+}
