@@ -98,6 +98,11 @@ Json::asU64() const
 {
     if (kind_ != Kind::Number)
         return 0;
+    // A negative lexeme must not wrap through strtoull ("-1" would
+    // read as UINT64_MAX) nor hit the undefined negative-double
+    // cast: clamp to 0, and let callers reject via isNegative().
+    if (!text_.empty() && text_[0] == '-')
+        return 0;
     // Integral lexemes parse exactly; scientific/fractional ones
     // fall back through the double path.
     if (text_.find_first_of(".eE") == std::string::npos)

@@ -66,6 +66,14 @@ class Json
     bool isString() const { return kind_ == Kind::String; }
     bool isArray() const { return kind_ == Kind::Array; }
     bool isObject() const { return kind_ == Kind::Object; }
+    /** True for a number with a negative lexeme (including "-0").
+     *  asU64() clamps these to 0 instead of wrapping, so code
+     *  reading an unsigned field must reject them explicitly. */
+    bool isNegative() const
+    {
+        return kind_ == Kind::Number && !text_.empty()
+               && text_[0] == '-';
+    }
 
     /** Value accessors; wrong-kind access returns the zero value
      *  (the parsers validate kinds before reading). */

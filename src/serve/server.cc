@@ -1,7 +1,9 @@
 #include "serve/server.hh"
 
+#include <cerrno>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <chrono>
@@ -35,12 +37,25 @@ usSince(Clock::time_point t0)
 
 /** One connected client. Row streaming happens from worker threads
  *  while the session thread keeps reading requests, so every write
- *  goes through send() under writeMutex. */
+ *  goes through send() under writeMutex. The socket carries
+ *  SO_SNDTIMEO (ServerConfig::sendTimeoutMs): a peer that stops
+ *  reading fails the send when the timeout lapses and the session
+ *  goes dead, instead of parking workers behind a full socket
+ *  buffer indefinitely. */
 struct Server::Session
 {
     int fd = -1;
     std::mutex writeMutex;
     std::atomic<bool> dead{false};
+
+    ~Session()
+    {
+        // Runs only when the LAST reference drops — session thread
+        // reaped, no worker Job pointing here — so the fd number
+        // cannot be recycled under a concurrent send().
+        if (fd >= 0)
+            ::close(fd);
+    }
 
     bool
     send(const Json &j)
@@ -49,12 +64,22 @@ struct Server::Session
         if (dead.load(std::memory_order_relaxed))
             return false;
         if (!sendJsonLine(fd, j)) {
-            // Client vanished; stop wasting writes on it.
+            // Client vanished (or timed out); stop wasting writes.
             dead.store(true, std::memory_order_relaxed);
             return false;
         }
         return true;
     }
+};
+
+/** Bookkeeping for one session thread. Lives in sessions_ (a
+ *  std::list, so the address stays valid for the thread to mark
+ *  itself finished); reaped by the accept loop, or at join(). */
+struct Server::SessionEntry
+{
+    std::shared_ptr<Session> session;
+    std::thread thread;
+    std::atomic<bool> finished{false};
 };
 
 /** One submit request in flight: shared by every Job of its sweep.
@@ -148,7 +173,7 @@ Server::requestStop()
     // New submits now bounce with shutting_down; admitted jobs
     // keep draining because close() allows pops until empty.
     queue_.close();
-    workCv_.notify_all();
+    wakeWorkers();
     {
         std::lock_guard<std::mutex> lock(stopMutex_);
         stopRequested_ = true;
@@ -180,22 +205,20 @@ Server::join()
 
     {
         std::lock_guard<std::mutex> lock(sessionsMutex_);
-        for (auto &s : sessions_) {
-            s->dead.store(true);
+        for (SessionEntry &e : sessions_) {
+            e.session->dead.store(true);
             // Unblocks the session thread's recv().
-            ::shutdown(s->fd, SHUT_RDWR);
+            ::shutdown(e.session->fd, SHUT_RDWR);
         }
     }
-    for (auto &t : sessionThreads_)
-        if (t.joinable())
-            t.join();
-    {
-        std::lock_guard<std::mutex> lock(sessionsMutex_);
-        for (auto &s : sessions_)
-            ::close(s->fd);
-        sessions_.clear();
-        sessionThreads_.clear();
-    }
+    // The accept thread (the only other mutator of sessions_) is
+    // already joined, so iterating without the lock is safe here.
+    for (SessionEntry &e : sessions_)
+        if (e.thread.joinable())
+            e.thread.join();
+    // Workers are drained too: dropping these last references
+    // closes every remaining fd (~Session).
+    sessions_.clear();
 
     if (unixFd_ >= 0) {
         ::close(unixFd_);
@@ -237,6 +260,22 @@ Server::resumeWorkers()
     workCv_.notify_all();
 }
 
+void
+Server::wakeWorkers()
+{
+    // Producers mutate queue state under the BoundedQueue's own
+    // mutex, but workers wait on workCv_/workMutex_ with a
+    // predicate over that state. Taking workMutex_ — even empty —
+    // before notifying closes the lost-wakeup window: a worker is
+    // either already blocked (the notify reaches it) or its next
+    // predicate check is ordered after this critical section and
+    // sees the new queue state. A bare notify_all() could land
+    // between a worker's predicate check and its block and be lost,
+    // stalling an admitted sweep forever.
+    { std::lock_guard<std::mutex> lock(workMutex_); }
+    workCv_.notify_all();
+}
+
 std::optional<Server::Job>
 Server::nextJob()
 {
@@ -261,6 +300,7 @@ void
 Server::acceptLoop()
 {
     while (!stopping_.load()) {
+        reapSessions();
         pollfd fds[2];
         nfds_t nfds = 0;
         fds[nfds++] = {unixFd_, POLLIN, 0};
@@ -274,23 +314,63 @@ Server::acceptLoop()
             if (!(fds[i].revents & POLLIN))
                 continue;
             int fd = ::accept(fds[i].fd, nullptr, nullptr);
-            if (fd < 0)
+            if (fd < 0) {
+                // EMFILE and friends leave the listen fd readable,
+                // so a bare continue would spin at 100% CPU. Back
+                // off; the next pass reaps finished sessions and
+                // may free fds.
+                if (errno != EINTR && errno != ECONNABORTED)
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(50));
                 continue;
+            }
+            if (cfg_.sendTimeoutMs > 0) {
+                timeval tv{};
+                tv.tv_sec = cfg_.sendTimeoutMs / 1000;
+                tv.tv_usec = static_cast<suseconds_t>(
+                    (cfg_.sendTimeoutMs % 1000) * 1000);
+                ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv,
+                             sizeof(tv));
+            }
             auto session = std::make_shared<Session>();
             session->fd = fd;
             metrics_.sessionsOpened.fetch_add(
                 1, std::memory_order_relaxed);
             std::lock_guard<std::mutex> lock(sessionsMutex_);
-            sessions_.push_back(session);
-            sessionThreads_.emplace_back(
-                [this, session] { sessionLoop(session); });
+            sessions_.emplace_back();
+            SessionEntry &entry = sessions_.back();
+            entry.session = std::move(session);
+            entry.thread = std::thread(
+                [this, e = &entry] { sessionLoop(e); });
         }
     }
 }
 
 void
-Server::sessionLoop(std::shared_ptr<Session> session)
+Server::reapSessions()
 {
+    std::lock_guard<std::mutex> lock(sessionsMutex_);
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+        if (it->finished.load(std::memory_order_acquire)) {
+            it->thread.join(); // already exited; returns at once
+            it = sessions_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+std::size_t
+Server::liveSessionCount()
+{
+    std::lock_guard<std::mutex> lock(sessionsMutex_);
+    return sessions_.size();
+}
+
+void
+Server::sessionLoop(SessionEntry *entry)
+{
+    std::shared_ptr<Session> session = entry->session;
     LineReader reader(session->fd);
     std::string line;
     while (true) {
@@ -303,8 +383,11 @@ Server::sessionLoop(std::shared_ptr<Session> session)
     }
     session->dead.store(true);
     metrics_.sessionsClosed.fetch_add(1, std::memory_order_relaxed);
-    // The fd stays open until join(): workers may still hold Jobs
-    // referencing this session (their sends fail fast on `dead`).
+    // Hand the entry to the accept loop's reaper: it joins this
+    // thread and drops the list's Session reference. The fd closes
+    // (~Session) once the last in-flight Job's reference goes too —
+    // workers' sends fail fast on `dead` in the meantime.
+    entry->finished.store(true, std::memory_order_release);
 }
 
 void
@@ -421,8 +504,11 @@ Server::handleSubmit(const std::shared_ptr<Session> &session,
     seeds.reserve(seedsj->size());
     for (std::size_t i = 0; i < seedsj->size(); ++i) {
         const Json &s = seedsj->at(i);
-        if (!s.isNumber())
-            return bad("seeds must be integers");
+        // asU64 clamps negative lexemes to 0 instead of wrapping;
+        // a clamped seed would silently compute the wrong trial, so
+        // reject it here.
+        if (!s.isNumber() || s.isNegative())
+            return bad("seeds must be non-negative integers");
         seeds.push_back(s.asU64());
     }
 
@@ -434,8 +520,8 @@ Server::handleSubmit(const std::shared_ptr<Session> &session,
     }
     std::optional<Clock::time_point> deadline;
     if (const Json *j = reqJson.find("deadline_ms")) {
-        if (!j->isNumber())
-            return bad("deadline_ms must be a number");
+        if (!j->isNumber() || j->isNegative())
+            return bad("deadline_ms must be a non-negative number");
         deadline = Clock::now()
                    + std::chrono::milliseconds(j->asU64());
     }
@@ -503,7 +589,7 @@ Server::handleSubmit(const std::shared_ptr<Session> &session,
                                         std::memory_order_relaxed);
         // Wake workers parked in nextJob(): the queue has its own
         // cv, but dequeues are serialized on workCv_ (pause gate).
-        workCv_.notify_all();
+        wakeWorkers();
     }
 
     // ---- Stream cached rows, then release our +1 ------------------

@@ -37,6 +37,7 @@
 #define TW_SERVE_SERVER_HH
 
 #include <condition_variable>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -73,6 +74,13 @@ struct ServerConfig
 
     /** Result-cache entries. */
     std::size_t cacheCapacity = 4096;
+
+    /** Per-connection send timeout (SO_SNDTIMEO), milliseconds.
+     *  A client that stops reading its rows fails the next send
+     *  once this lapses and its session is marked dead, so one
+     *  wedged peer cannot park the worker pool forever. 0 = never
+     *  time out. */
+    unsigned sendTimeoutMs = 30000;
 
     /** Log per-request lines to stderr. */
     bool verbose = false;
@@ -123,13 +131,23 @@ class Server
     void pauseWorkers();
     void resumeWorkers();
 
+    /** Test hook: sessions still tracked (not yet reaped). Closed
+     *  connections leave this within one accept-poll tick. */
+    std::size_t liveSessionCount();
+
   private:
     struct Session;
+    struct SessionEntry;
     struct Request;
     struct Job;
 
     void acceptLoop();
-    void sessionLoop(std::shared_ptr<Session> session);
+    void sessionLoop(SessionEntry *entry);
+    /** Join and forget session threads that have finished (accept
+     *  thread only); their fds close once the last Job reference
+     *  drops. Keeps a resident daemon from accumulating fds and
+     *  threads toward EMFILE. */
+    void reapSessions();
     void workerLoop();
     /** The single dequeue point: blocks honoring the pause gate;
      *  nullopt when the queue is closed and drained. */
@@ -142,6 +160,8 @@ class Server
     void sendError(const std::shared_ptr<Session> &session,
                    std::uint64_t id, const char *code,
                    const std::string &msg);
+    /** Notify workCv_ without losing the wakeup (see definition). */
+    void wakeWorkers();
 
     ServerConfig cfg_;
     ResultCache cache_;
@@ -161,8 +181,9 @@ class Server
     std::thread acceptThread_;
     std::vector<std::thread> workers_;
     std::mutex sessionsMutex_;
-    std::vector<std::shared_ptr<Session>> sessions_;
-    std::vector<std::thread> sessionThreads_;
+    /** A list so entries have stable addresses: each session thread
+     *  marks its own entry finished and the accept loop reaps it. */
+    std::list<SessionEntry> sessions_;
 
     /** Guards worker dequeue + the pause flag (see pauseWorkers).
      *  Producers notify workCv_ after admitting jobs. */

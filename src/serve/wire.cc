@@ -70,6 +70,8 @@ LineReader::readLine(std::string &out)
             }
             return Status::Line;
         }
+        if (buf_.size() - pos_ > kMaxLineBytes)
+            return Status::Error; // unframed flood; see kMaxLineBytes
         char chunk[4096];
         ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
         if (n < 0) {

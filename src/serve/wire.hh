@@ -49,6 +49,12 @@ class LineReader
   public:
     enum class Status { Line, Eof, Error };
 
+    /** Longest accepted line. A peer streaming bytes with no
+     *  newline (the listener is unauthenticated on loopback) must
+     *  hit a bound, not exhaust memory; 8 MiB is orders of
+     *  magnitude above any legitimate frame. */
+    static constexpr std::size_t kMaxLineBytes = 8u << 20;
+
     LineReader() = default;
     explicit LineReader(int fd) : fd_(fd) {}
 
@@ -58,7 +64,8 @@ class LineReader
      * Block for the next complete line (without the newline).
      * Eof after the final byte of an exactly-terminated stream;
      * a non-empty partial line at EOF is reported as Error (a
-     * truncated frame is a protocol violation, not a message).
+     * truncated frame is a protocol violation, not a message), and
+     * so is an unterminated line past kMaxLineBytes.
      */
     Status readLine(std::string &out);
 

@@ -60,6 +60,22 @@ TEST(Json, U64FullRangeExact)
     EXPECT_EQ(back.dump(), j.dump());
 }
 
+TEST(Json, NegativeNumbersClampToZeroAsU64)
+{
+    // "-1" must not wrap through strtoull to UINT64_MAX: a
+    // submitted seed of -1 has to be rejectable, not silently
+    // become the largest seed. Callers detect it via isNegative().
+    for (const char *lex : {"-1", "-0", "-9e4", "-0.5"}) {
+        Json j = parsed(lex);
+        EXPECT_TRUE(j.isNegative()) << lex;
+        EXPECT_EQ(j.asU64(), 0u) << lex;
+    }
+    EXPECT_FALSE(parsed("1").isNegative());
+    EXPECT_FALSE(parsed("0").isNegative());
+    EXPECT_FALSE(Json::str("-1").isNegative()); // numbers only
+    EXPECT_EQ(parsed("-5").asI64(), -5);        // i64 path intact
+}
+
 TEST(Json, DoubleRoundTripsBitForBit)
 {
     for (double v : {0.1, 1.0 / 3.0, 3.5431098547219024,

@@ -334,6 +334,110 @@ TEST(Server, MalformedRequestGetsBadRequest)
     EXPECT_EQ(server.metrics().badRequests.load(), 6u);
 }
 
+TEST(Server, NegativeSeedOrDeadlineIsRejected)
+{
+    std::string path = freshSocketPath("negseed");
+    Server server(baseConfig(path));
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+
+    int fd = serve::connectUnixSocket(path, &err);
+    ASSERT_GE(fd, 0) << err;
+    serve::LineReader reader(fd);
+    std::string line;
+
+    // A valid spec so validation reaches the seed/deadline fields:
+    // -1 must come back bad_request, not wrap to UINT64_MAX and
+    // compute a bogus trial.
+    auto expectBad = [&](Json req) {
+        ASSERT_TRUE(serve::sendJsonLine(fd, req));
+        ASSERT_EQ(reader.readLine(line),
+                  serve::LineReader::Status::Line);
+        Json resp;
+        ASSERT_TRUE(Json::parse(line, resp, nullptr)) << line;
+        EXPECT_EQ(resp.find("ev")->asString(), "error");
+        EXPECT_EQ(resp.find("code")->asString(),
+                  serve::kErrBadRequest);
+    };
+    Json req = Json::object();
+    req.set("id", Json::number(1));
+    req.set("op", Json::str("submit"));
+    req.set("spec", Json::str(formatRunSpec(smallSpec())));
+    Json seeds = Json::array();
+    seeds.push(Json::numberLexeme("-1"));
+    req.set("seeds", std::move(seeds));
+    expectBad(req);
+
+    Json okSeeds = Json::array();
+    okSeeds.push(Json::number(std::uint64_t{7}));
+    req.set("seeds", std::move(okSeeds));
+    req.set("deadline_ms", Json::numberLexeme("-50"));
+    expectBad(req);
+    ::close(fd);
+    server.stop();
+    EXPECT_EQ(server.metrics().rowsComputed.load(), 0u);
+}
+
+TEST(Server, ClosedSessionsAreReapedWhileRunning)
+{
+    std::string path = freshSocketPath("reap");
+    Server server(baseConfig(path));
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+
+    // Churn one-connection clients, as twctl does one per sweep: a
+    // resident daemon must reap each (thread joined, fd closed) as
+    // it disconnects, not park them all until shutdown and bleed
+    // fds toward EMFILE.
+    constexpr unsigned kConns = 8;
+    for (unsigned i = 0; i < kConns; ++i) {
+        Client client;
+        ASSERT_TRUE(client.connectUnix(path, &err)) << err;
+        ASSERT_TRUE(client.ping(&err)) << err;
+    } // ~Client disconnects
+    // The reaper runs once per accept-poll tick (<= 100ms).
+    for (int spin = 0;
+         spin < 200 && server.liveSessionCount() > 0; ++spin)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    EXPECT_EQ(server.liveSessionCount(), 0u);
+    EXPECT_EQ(server.metrics().sessionsClosed.load(), kConns);
+    server.stop();
+}
+
+TEST(Server, OversizedLineCutsTheSession)
+{
+    std::string path = freshSocketPath("flood");
+    Server server(baseConfig(path));
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+
+    int fd = serve::connectUnixSocket(path, &err);
+    ASSERT_GE(fd, 0) << err;
+    // Stream bytes with no newline well past the line cap: the
+    // server must cut the session instead of buffering forever.
+    std::string chunk(1u << 20, 'x');
+    std::size_t target = serve::LineReader::kMaxLineBytes
+                         + 2 * chunk.size();
+    bool peerClosed = false;
+    for (std::size_t sent = 0; sent < target;
+         sent += chunk.size()) {
+        if (!serve::sendAll(fd, chunk.data(), chunk.size())) {
+            peerClosed = true; // server already hung up on us
+            break;
+        }
+    }
+    if (!peerClosed) {
+        // Server closes without ever replying.
+        serve::LineReader reader(fd);
+        std::string line;
+        EXPECT_NE(reader.readLine(line),
+                  serve::LineReader::Status::Line);
+    }
+    ::close(fd);
+    server.stop();
+    EXPECT_EQ(server.metrics().badRequests.load(), 0u);
+}
+
 TEST(Server, ConcurrentClientsAllServedCorrectly)
 {
     Runner::clearBaselineCache();

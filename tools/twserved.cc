@@ -58,6 +58,12 @@ usage()
         "  --baseline-cap N  Runner baseline-memo entries "
         "(default\n"
         "                    4096, or TW_BASELINE_CAP)\n"
+        "  --send-timeout MS per-connection send timeout; a "
+        "client\n"
+        "                    that stops reading its rows is "
+        "dropped\n"
+        "                    after MS ms (default 30000, 0 = "
+        "never)\n"
         "  --quiet           no per-request logging\n"
         "  --help            this text\n\n"
         "Stop with SIGTERM/SIGINT (drains admitted jobs, then "
@@ -101,6 +107,9 @@ main(int argc, char **argv)
         } else if (arg == "--baseline-cap") {
             baselineCap = static_cast<std::size_t>(
                 std::atoll(value().c_str()));
+        } else if (arg == "--send-timeout") {
+            cfg.sendTimeoutMs =
+                static_cast<unsigned>(std::atoi(value().c_str()));
         } else if (arg == "--quiet") {
             cfg.verbose = false;
         } else {
