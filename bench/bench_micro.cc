@@ -297,7 +297,7 @@ reportEndToEnd()
 {
     using namespace twbench;
     unsigned scale = envScaleDiv(200);
-    JsonReport json("micro");
+    JsonReport json("micro", "bench_micro");
     RunSpec spec = defaultSpec("mpeg_play", scale);
     spec.sys.scope = SimScope::userOnly();
     spec.sim = SimKind::Tapeworm;

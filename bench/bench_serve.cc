@@ -128,7 +128,7 @@ main(int argc, char **argv)
 
     std::unique_ptr<JsonReport> json;
     if (report)
-        json = std::make_unique<JsonReport>("serve");
+        json = std::make_unique<JsonReport>("serve", "bench_serve");
 
     RunSpec spec;
     spec.workload = makeWorkload("espresso", scale);

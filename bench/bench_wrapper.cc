@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Thin legacy shim: each historical bench binary name (bench_fig2_
+ * slowdowns, bench_table7_variation, ...) compiles this file with
+ * -DTW_WRAP_EXPERIMENT="<name>" and simply runs that registry entry.
+ * Scripts and docs that call the old binaries keep working; the
+ * experiment itself lives in bench/experiments/.
+ *
+ * Flag handling matches the old initBench contract — `--threads N`
+ * is honoured, everything else is ignored — except that ignored
+ * flags now draw a one-time warning pointing at bench_driver, which
+ * validates its flags strictly.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "base/logging.hh"
+#include "base/thread_pool.hh"
+#include "harness/experiment.hh"
+
+#ifndef TW_WRAP_EXPERIMENT
+#error "compile with -DTW_WRAP_EXPERIMENT=\"<experiment name>\""
+#endif
+
+using namespace tw;
+
+int
+main(int argc, char **argv)
+{
+    bool report = false;
+    bool warned = false;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--threads") == 0 && i + 1 < argc) {
+            setDefaultThreads(
+                static_cast<unsigned>(std::atoi(argv[++i])));
+        } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+            setDefaultThreads(
+                static_cast<unsigned>(std::atoi(arg + 10)));
+        } else if (std::strcmp(arg, "--report") == 0) {
+            report = true;
+        } else if (!warned) {
+            std::fprintf(stderr,
+                         "%s: warning: ignoring unknown flag '%s' "
+                         "(bench_driver --run %s validates its "
+                         "flags)\n",
+                         argv[0], arg, TW_WRAP_EXPERIMENT);
+            warned = true;
+        }
+    }
+
+    const ExperimentDef *def =
+        ExperimentRegistry::instance().find(TW_WRAP_EXPERIMENT);
+    if (!def)
+        fatal("%s: experiment '%s' missing from registry", argv[0],
+              TW_WRAP_EXPERIMENT);
+
+    MultiSink sinks;
+    TablePrinterSink table(stdout);
+    sinks.add(&table);
+
+    std::unique_ptr<JsonReportSink> json;
+    if (report && !def->report.empty()) {
+        std::string tool = argv[0];
+        std::size_t slash = tool.find_last_of('/');
+        if (slash != std::string::npos)
+            tool = tool.substr(slash + 1);
+        json = std::make_unique<JsonReportSink>(def->report,
+                                                def->name, tool);
+        sinks.add(json.get());
+    }
+
+    RunExperimentOptions opts;
+    opts.report = report;
+    runExperiment(*def, sinks, opts);
+    return 0;
+}

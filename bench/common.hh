@@ -23,6 +23,7 @@
 
 #include "base/table.hh"
 #include "base/thread_pool.hh"
+#include "harness/experiment.hh"
 #include "harness/runner.hh"
 #include "harness/trials.hh"
 #include "workload/spec.hh"
@@ -56,14 +57,16 @@ initBench(int argc, char **argv)
 /**
  * Machine-readable companion to the printed tables: collects scalar
  * metrics and writes BENCH_<name>.json on destruction (wall-clock
- * covers the object's lifetime), so the perf trajectory of every
- * bench is trackable across PRs.
+ * covers the object's lifetime). Funnels through the experiment
+ * layer's writeBenchReport so non-registry benches (serve, micro)
+ * emit the same schema as bench_driver --report.
  */
 class JsonReport
 {
   public:
-    explicit JsonReport(std::string name)
+    JsonReport(std::string name, std::string generated_by)
         : name_(std::move(name)),
+          generatedBy_(std::move(generated_by)),
           t0_(std::chrono::steady_clock::now())
     {
     }
@@ -83,26 +86,12 @@ class JsonReport
         double wall = std::chrono::duration<double>(
                           std::chrono::steady_clock::now() - t0_)
                           .count();
-        std::string path = "BENCH_" + name_ + ".json";
-        std::FILE *f = std::fopen(path.c_str(), "w");
-        if (!f) {
-            std::fprintf(stderr, "warn: cannot write %s\n",
-                         path.c_str());
-            return;
-        }
-        std::fprintf(f, "{\n  \"bench\": \"%s\",\n", name_.c_str());
-        std::fprintf(f, "  \"threads\": %u,\n", defaultThreads());
-        std::fprintf(f, "  \"wall_clock_s\": %.6f", wall);
-        for (const auto &[key, value] : metrics_)
-            std::fprintf(f, ",\n  \"%s\": %.17g", key.c_str(), value);
-        std::fprintf(f, "\n}\n");
-        std::fclose(f);
-        std::printf("[json] %s (%.2fs, %u threads)\n", path.c_str(),
-                    wall, defaultThreads());
+        writeBenchReport(name_, name_, generatedBy_, wall, metrics_);
     }
 
   private:
     std::string name_;
+    std::string generatedBy_;
     std::chrono::steady_clock::time_point t0_;
     std::vector<std::pair<std::string, double>> metrics_;
 };

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Regenerates the Section 4.4 flexibility findings as an
+ * experiment:
+ *
+ *  (a) data-cache simulation on a no-allocate-on-write host loses
+ *      traps to silent store-clears and undercounts misses — the
+ *      reason the authors' D-cache attempts on the DECstation were
+ *      hindered, quantified per workload against an
+ *      allocate-on-write host (where trap-driven matches the
+ *      oracle exactly);
+ *  (b) a write buffer can be evaluated by a trace-style simulator
+ *      (which sees every store with a clock) but not by the
+ *      trap-driven algorithm — shown by sweeping buffer depth with
+ *      the oracle-side model.
+ */
+
+#include "util.hh"
+
+#include "harness/oracle.hh"
+#include "mem/write_buffer.hh"
+#include "os/system.hh"
+
+using namespace twbench;
+
+namespace
+{
+
+/** Trace-style D-cache client with a write buffer: possible only
+ *  because it observes EVERY reference with a clock. */
+class DcacheWithWriteBuffer : public OracleClient
+{
+  public:
+    DcacheWithWriteBuffer(const CacheConfig &cache,
+                          std::uint64_t num_frames, System *system,
+                          const WriteBufferConfig &wb)
+        : OracleClient(cache, num_frames, 1, 1, 0,
+                       SimCacheKind::Data),
+          system_(system), buffer_(wb),
+          lineShift_(floorLog2(cache.lineBytes))
+    {
+    }
+
+    Cycles
+    onRef(const Task &task, Addr va, Addr pa, bool intr_masked,
+          AccessKind kind = AccessKind::Fetch) override
+    {
+        Cycles cost =
+            OracleClient::onRef(task, va, pa, intr_masked, kind);
+        if (kind == AccessKind::Store)
+            cost += buffer_.store(pa >> lineShift_, system_->now());
+        else if (kind == AccessKind::Load)
+            buffer_.loadForward(pa >> lineShift_, system_->now());
+        return cost;
+    }
+
+    const WriteBuffer &buffer() const { return buffer_; }
+
+  private:
+    System *system_;
+    WriteBuffer buffer_;
+    unsigned lineShift_;
+};
+
+const char *const kWorkloads[] = {"espresso", "mpeg_play", "sdet"};
+
+RunSpec
+dcacheSpec(const char *name, unsigned scale)
+{
+    RunSpec spec;
+    spec.workload = makeWorkload(name, scale);
+    spec.tw.cache = CacheConfig::icache(8192);
+    spec.tw.cache.name = "dcache";
+    spec.tw.kind = SimCacheKind::Data;
+    spec.tw.chargeCost = false;
+    return spec;
+}
+
+ExperimentDef
+make()
+{
+    ExperimentDef def;
+    def.name = "dcache_writepolicy";
+    def.artifact = "Section 4.4";
+    def.description = "data-cache write-policy and write-buffer "
+                      "flexibility limits";
+    def.report = "dcache_writepolicy";
+    def.scaleDiv = 400;
+    def.grid = [](unsigned scale) {
+        std::vector<ExperimentUnit> units;
+        for (const char *name : kWorkloads) {
+            RunSpec spec = dcacheSpec(name, scale);
+            spec.sim = SimKind::Oracle;
+            units.push_back(unitOf(csprintf("oracle/%s", name), spec,
+                                   TrialPlan::one(5)));
+
+            spec.sim = SimKind::Tapeworm;
+            spec.tw.hostWrite = HostWritePolicy::AllocateOnWrite;
+            units.push_back(unitOf(csprintf("alloc/%s", name), spec,
+                                   TrialPlan::one(5)));
+
+            spec.tw.hostWrite = HostWritePolicy::NoAllocateOnWrite;
+            units.push_back(unitOf(csprintf("noalloc/%s", name),
+                                   spec, TrialPlan::one(5)));
+        }
+        return units;
+    };
+    def.present = [](ExperimentContext &ctx) {
+        // (a) host write policy ablation.
+        TextTable t({"workload", "oracle", "trap(alloc-on-write)",
+                     "trap(no-allocate)", "undercount"});
+        for (const char *name : kWorkloads) {
+            const RunOutcome &oracle =
+                ctx.outcome(csprintf("oracle/%s", name));
+            const RunOutcome &alloc =
+                ctx.outcome(csprintf("alloc/%s", name));
+            const RunOutcome &noalloc =
+                ctx.outcome(csprintf("noalloc/%s", name));
+
+            t.addRow({
+                name,
+                fmtF(oracle.estMisses, 0),
+                fmtF(alloc.estMisses, 0),
+                fmtF(noalloc.estMisses, 0),
+                csprintf("-%.0f%%", 100.0
+                                        * (alloc.estMisses
+                                           - noalloc.estMisses)
+                                        / alloc.estMisses),
+            });
+        }
+        ctx.print("8KB DM data cache, store traffic 1/3 of data "
+                  "refs:\n%s\n", t.render().c_str());
+        ctx.print("Shape targets: allocate-on-write == oracle exactly "
+                  "(data-cache simulation works, as on the WWT's "
+                  "SPARC); no-allocate loses a large fraction of "
+                  "misses — the DECstation finding.\n\n");
+
+        // (b) write-buffer sweep: trace-style only.
+        TextTable wb({"depth", "stores", "coalesced", "full stalls",
+                      "stall cycles", "forwards"});
+        for (unsigned depth : {1u, 2u, 4u, 8u}) {
+            WorkloadSpec wl = makeWorkload("mpeg_play", ctx.scale());
+            SystemConfig cfg;
+            cfg.trialSeed = 5;
+            System system(cfg, wl);
+            WriteBufferConfig wcfg;
+            wcfg.depth = depth;
+            wcfg.retireCycles = 18; // near the store arrival rate
+            DcacheWithWriteBuffer client(CacheConfig::icache(8192),
+                                         system.physMem().numFrames(),
+                                         &system, wcfg);
+            system.setClient(&client);
+            system.run();
+            const WriteBufferStats &s = client.buffer().stats();
+            wb.addRow({
+                csprintf("%u", depth),
+                csprintf("%llu", (unsigned long long)s.stores),
+                csprintf("%llu", (unsigned long long)s.coalesced),
+                csprintf("%llu", (unsigned long long)s.fullStalls),
+                csprintf("%llu", (unsigned long long)s.stallCycles),
+                csprintf("%llu", (unsigned long long)s.loadForwards),
+            });
+        }
+        ctx.print("write-buffer evaluation (trace-style simulation "
+                  "only):\n%s\n", wb.render().c_str());
+        ctx.print("The trap-driven column for this table does not "
+                  "exist: stores that hit and buffer drain timing "
+                  "never raise traps, so Tapeworm cannot observe a "
+                  "write buffer at all — Section 4.4's structural "
+                  "flexibility limit.\n");
+    };
+    return def;
+}
+
+const ExperimentRegistrar reg(make());
+
+} // namespace

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * The full Section 2 taxonomy in one table: all four simulation
+ * families measured on the same workload and cache —
+ *
+ *   trace-driven   Pixie+Cache2000: single user task, ~22x floor;
+ *   trace buffer   Mogul/Borg/Chen: complete, but every reference
+ *                  of every component pays annotation + drain;
+ *   hybrid         Fast-Cache-style null handlers: single task,
+ *                  low floor, cheap in-line miss handler;
+ *   trap-driven    Tapeworm: complete AND miss-proportional.
+ *
+ * Columns report the slowdown and what fraction of the true misses
+ * (oracle, all activity) each family can even see — the paper's
+ * two axes, speed and completeness, on one chart.
+ */
+
+#include "util.hh"
+
+#include "harness/oracle.hh"
+#include "os/system.hh"
+#include "trace/hybrid.hh"
+#include "trace/trace_buffer.hh"
+
+using namespace twbench;
+
+namespace
+{
+
+double
+slowdownOf(Cycles instrumented, Cycles normal)
+{
+    return (static_cast<double>(instrumented)
+            - static_cast<double>(normal))
+           / static_cast<double>(normal);
+}
+
+CacheConfig
+familyCache()
+{
+    return CacheConfig::icache(16384, 16, 1, Indexing::Virtual);
+}
+
+ExperimentDef
+make()
+{
+    ExperimentDef def;
+    def.name = "families";
+    def.artifact = "Section 2";
+    def.description = "the four simulation families, mpeg_play, "
+                      "16KB I-cache";
+    def.report = "families";
+    def.scaleDiv = 200;
+    def.grid = [](unsigned scale) {
+        std::vector<ExperimentUnit> units;
+        WorkloadSpec wl = makeWorkload("mpeg_play", scale);
+        SystemConfig sys;
+        sys.trialSeed = 7;
+
+        RunSpec trace;
+        trace.workload = wl;
+        trace.sys = sys;
+        trace.sim = SimKind::TraceDriven;
+        trace.c2k.cache = familyCache();
+        units.push_back(unitOf("trace", trace,
+                               TrialPlan::one(sys.trialSeed)));
+
+        RunSpec trap;
+        trap.workload = wl;
+        trap.sys = sys;
+        trap.sim = SimKind::Tapeworm;
+        trap.tw.cache = familyCache();
+        units.push_back(unitOf("trap", trap,
+                               TrialPlan::one(sys.trialSeed)));
+        return units;
+    };
+    def.present = [](ExperimentContext &ctx) {
+        WorkloadSpec wl = makeWorkload("mpeg_play", ctx.scale());
+        SystemConfig sys;
+        sys.trialSeed = 7;
+        CacheConfig cache = familyCache();
+
+        // Ground truth: all-activity misses, zero cost.
+        double truth = 0;
+        Cycles normal = 0;
+        {
+            System machine(sys, wl);
+            normal = machine.run().cycles;
+        }
+        {
+            System machine(sys, wl);
+            OracleClient oracle(cache, machine.physMem().numFrames());
+            machine.setClient(&oracle);
+            machine.run();
+            truth = static_cast<double>(oracle.totalMisses());
+        }
+
+        TextTable t({"family", "slowdown", "misses seen", "coverage",
+                     "scope"});
+
+        // Trace-driven (Pixie + Cache2000).
+        {
+            const RunOutcome &out = ctx.outcome("trace");
+            t.addRow({"trace-driven (Pixie+Cache2000)",
+                      fmtF(slowdownOf(out.run.cycles, normal), 2),
+                      fmtF(out.estMisses, 0),
+                      csprintf("%.0f%%", 100 * out.estMisses / truth),
+                      "one user task"});
+        }
+
+        // Trace buffer (Mogul/Borg/Chen).
+        {
+            System machine(sys, wl);
+            TraceBufferConfig cfg;
+            cfg.cache = cache;
+            TraceBufferClient client(cfg);
+            machine.setClient(&client);
+            Cycles cycles = machine.run().cycles;
+            client.drain();
+            double seen =
+                static_cast<double>(client.stats().totalMisses());
+            t.addRow({"trace buffer (Chen, complete)",
+                      fmtF(slowdownOf(cycles, normal), 2),
+                      fmtF(seen, 0),
+                      csprintf("%.0f%%", 100 * seen / truth),
+                      "all tasks + kernel"});
+        }
+
+        // Hybrid annotation (Fast-Cache style).
+        {
+            System machine(sys, wl);
+            HybridConfig cfg;
+            cfg.cache = cache;
+            HybridClient client(kFirstUserTaskId, cfg);
+            machine.setClient(&client);
+            Cycles cycles = machine.run().cycles;
+            double seen = static_cast<double>(client.stats().misses);
+            t.addRow({"hybrid null-handler (Fast-Cache)",
+                      fmtF(slowdownOf(cycles, normal), 2),
+                      fmtF(seen, 0),
+                      csprintf("%.0f%%", 100 * seen / truth),
+                      "one user task"});
+        }
+
+        // Trap-driven (Tapeworm).
+        {
+            const RunOutcome &out = ctx.outcome("trap");
+            t.addRow({"trap-driven (Tapeworm II)",
+                      fmtF(slowdownOf(out.run.cycles, normal), 2),
+                      fmtF(out.estMisses, 0),
+                      csprintf("%.0f%%", 100 * out.estMisses / truth),
+                      "all tasks + kernel"});
+        }
+
+        ctx.print("%s\n", t.render().c_str());
+        ctx.print(
+            "Reading the table: only the trace buffer and Tapeworm see\n"
+            "the whole system (~100%% coverage; small residue is the\n"
+            "dilation/DMA difference between runs); the single-task\n"
+            "families miss the majority of the activity (Table 6's\n"
+            "lesson). Among the complete ones, the buffer pays its\n"
+            "per-reference cost on every component — Tapeworm's\n"
+            "miss-proportional cost is the only one that is both\n"
+            "complete and cheap.\n");
+    };
+    return def;
+}
+
+const ExperimentRegistrar reg(make());
+
+} // namespace

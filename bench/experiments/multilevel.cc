@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Multi-level simulation (Section 3.2's "split, unified or
+ * multi-level caches" claim): a 4 KB L1 backed by a sweep of L2
+ * sizes, trap-driven. Traps follow the L1 complement, so only L1
+ * misses reach the handler and the slowdown stays bounded by the L1
+ * miss ratio even though two structures are simulated.
+ */
+
+#include "util.hh"
+
+#include "core/multilevel.hh"
+#include "os/system.hh"
+
+using namespace twbench;
+
+namespace
+{
+
+ExperimentDef
+make()
+{
+    ExperimentDef def;
+    def.name = "multilevel";
+    def.artifact = "Section 3.2";
+    def.description = "two-level trap-driven cache simulation, "
+                      "mpeg_play";
+    def.report = "multilevel";
+    def.scaleDiv = 200;
+    // The TapewormMultiLevel client drives the System directly, so
+    // there is nothing for the spec grid to enumerate.
+    def.grid = [](unsigned) {
+        return std::vector<ExperimentUnit>{};
+    };
+    def.present = [](ExperimentContext &ctx) {
+        TextTable t({"L2 size", "L1 misses", "L2 misses",
+                     "L2 local mr", "backinv", "slowdown"});
+        for (std::uint64_t l2_kb : {8, 16, 32, 64, 128, 256}) {
+            WorkloadSpec wl = makeWorkload("mpeg_play", ctx.scale());
+            SystemConfig cfg;
+            cfg.trialSeed = 7;
+
+            // Uninstrumented baseline for the slowdown metric.
+            System base(cfg, wl);
+            Cycles normal = base.run().cycles;
+
+            System system(cfg, wl);
+            MultiLevelConfig ml_cfg;
+            ml_cfg.l1 = CacheConfig::icache(4096);
+            ml_cfg.l2 = CacheConfig::icache(l2_kb * 1024ull, 16, 2);
+            ml_cfg.l2.policy = ReplPolicy::FIFO;
+            TapewormMultiLevel ml(system.physMem(), ml_cfg);
+            system.setClient(&ml);
+            RunResult r = system.run();
+
+            double slowdown = (static_cast<double>(r.cycles)
+                               - static_cast<double>(normal))
+                              / static_cast<double>(normal);
+            t.addRow({
+                csprintf("%lluK", (unsigned long long)l2_kb),
+                csprintf("%llu",
+                         (unsigned long long)ml.stats().totalL1()),
+                csprintf("%llu",
+                         (unsigned long long)ml.stats().totalL2()),
+                fmtF(ml.stats().l2LocalRatio(), 3),
+                csprintf("%llu",
+                         (unsigned long long)
+                             ml.stats().backInvalidates),
+                fmtF(slowdown, 2),
+            });
+        }
+        ctx.print("%s\n", t.render().c_str());
+        ctx.print(
+            "Reading the table: L1 misses are fixed by the 4K L1, so\n"
+            "the slowdown is flat across L2 sizes — the handler only\n"
+            "adds a software L2 search per L1 miss. L2 misses and its\n"
+            "local miss ratio fall as L2 grows; back-invalidations\n"
+            "appear when L2 is small enough to evict L1-resident\n"
+            "lines (inclusion).\n");
+    };
+    return def;
+}
+
+const ExperimentRegistrar reg(make());
+
+} // namespace

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Split versus unified cache organizations (Section 3.2's "split,
+ * unified" claim): one run drives an I-cache Tapeworm and a D-cache
+ * Tapeworm simultaneously (each on its own trap plane — the
+ * per-location trap bit Section 4.3 proposes as intentional
+ * hardware support); a second run simulates one unified cache of
+ * the combined size. Sweeping the size budget shows the classic
+ * trade: the unified cache adapts its I/D split dynamically, the
+ * split pair never suffers cross interference.
+ */
+
+#include "util.hh"
+
+#include "core/tapeworm.hh"
+#include "harness/mux_client.hh"
+#include "os/system.hh"
+
+using namespace twbench;
+
+namespace
+{
+
+ExperimentDef
+make()
+{
+    ExperimentDef def;
+    def.name = "split";
+    def.artifact = "Section 3.2";
+    def.description = "split I/D versus unified caches, "
+                      "mpeg_play all-activity";
+    def.report = "split";
+    def.scaleDiv = 200;
+    // Drives Tapeworm clients on the System directly (two trap
+    // planes at once) — nothing for the spec grid to enumerate.
+    def.grid = [](unsigned) {
+        return std::vector<ExperimentUnit>{};
+    };
+    def.present = [](ExperimentContext &ctx) {
+        TextTable t({"budget", "split I", "split D", "split total",
+                     "unified total"});
+        for (std::uint64_t kb : {2, 4, 8, 16, 32}) {
+            WorkloadSpec wl = makeWorkload("mpeg_play", ctx.scale());
+            SystemConfig cfg;
+            cfg.trialSeed = 7;
+
+            // Split: half the budget to each side.
+            Counter split_i = 0, split_d = 0;
+            {
+                System machine(cfg, wl);
+                PhysMem iplane(machine.physMem().sizeBytes());
+                PhysMem dplane(machine.physMem().sizeBytes());
+                TapewormConfig icfg, dcfg;
+                icfg.cache = CacheConfig::icache(kb * 512);
+                icfg.kind = SimCacheKind::Instruction;
+                dcfg.cache = CacheConfig::icache(kb * 512);
+                dcfg.cache.name = "dcache";
+                dcfg.kind = SimCacheKind::Data;
+                Tapeworm icache(iplane, icfg);
+                Tapeworm dcache(dplane, dcfg);
+                MuxClient mux;
+                mux.add(&icache);
+                mux.add(&dcache);
+                machine.setClient(&mux);
+                machine.run();
+                split_i = icache.stats().totalMisses();
+                split_d = dcache.stats().totalMisses();
+            }
+
+            // Unified: the whole budget, one structure.
+            Counter unified = 0;
+            {
+                System machine(cfg, wl);
+                TapewormConfig ucfg;
+                ucfg.cache = CacheConfig::icache(kb * 1024);
+                ucfg.cache.name = "unified";
+                ucfg.kind = SimCacheKind::Unified;
+                Tapeworm ucache(machine.physMem(), ucfg);
+                machine.setClient(&ucache);
+                machine.run();
+                unified = ucache.stats().totalMisses();
+            }
+
+            t.addRow({
+                csprintf("%lluK", (unsigned long long)kb),
+                csprintf("%llu", (unsigned long long)split_i),
+                csprintf("%llu", (unsigned long long)split_d),
+                csprintf("%llu",
+                         (unsigned long long)(split_i + split_d)),
+                csprintf("%llu", (unsigned long long)unified),
+            });
+        }
+        ctx.print("%s\n", t.render().c_str());
+        ctx.print(
+            "Reading the table: under heavy pressure the split pair\n"
+            "wins — instruction and data streams cannot evict each\n"
+            "other — while the unified cache pays cross-interference\n"
+            "on top of capacity misses. As the budget grows the two\n"
+            "organizations converge (interference fades before\n"
+            "capacity does). Both come from the same tw_replace()\n"
+            "machinery — the Section 3.2 flexibility claim.\n");
+    };
+    return def;
+}
+
+const ExperimentRegistrar reg(make());
+
+} // namespace

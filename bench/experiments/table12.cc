@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Regenerates Table 12: privileged operations useful for
+ * trap-driven simulation across 1994-era microprocessors (the
+ * paper's portability survey), and then probes the *current host*
+ * for the modern equivalents of Table 2's primitives — which is
+ * exactly the checklist one would run before porting Tapeworm.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include "util.hh"
+
+#include "utrap/utrap.hh"
+
+using namespace twbench;
+
+namespace
+{
+
+/** The published matrix. Rows: operation; columns: processors. */
+const char *kProcessors[] = {"R3000", "R4000", "SPARC", "Alpha",
+                             "Tera",  "i486",  "Pentium", "29050",
+                             "PA-RISC", "PowerPC"};
+
+struct OpRow
+{
+    const char *op;
+    const char *avail[10]; // Yes / No / "-" (unknown)
+};
+
+const OpRow kMatrix[] = {
+    {"Memory Parity or ECC Traps",
+     {"Yes", "Yes", "Yes", "Yes", "Yes", "-", "Yes", "-", "-", "-"}},
+    {"Instruction Breakpoint",
+     {"Yes", "Yes", "Yes", "Yes", "Yes", "Yes", "Yes", "Yes", "Yes",
+      "Yes"}},
+    {"Data Breakpoint",
+     {"No", "No", "No", "No", "Yes", "No", "No", "No", "No", "No"}},
+    {"Invalid Page Traps",
+     {"Yes", "Yes", "Yes", "Yes", "Yes", "Yes", "Yes", "Yes", "Yes",
+      "Yes"}},
+    {"Variable Page Size",
+     {"No", "Yes", "No", "Yes", "-", "No", "Yes", "Yes", "Yes",
+      "Yes"}},
+    {"Instruction Counters",
+     {"No", "No", "No", "Yes", "-", "No", "Yes", "No", "-", "No"}},
+};
+
+bool
+probeMprotectTrap()
+{
+    // Full round trip through the utrap engine: protect, fault,
+    // recover, count.
+    UserTapeworm engine(UtrapConfig{4, 0, UtrapPolicy::Fifo, 1});
+    auto *buf =
+        static_cast<volatile char *>(engine.registerBuffer(4096));
+    buf[0] = 1;
+    return engine.stats().misses == 1;
+}
+
+ExperimentDef
+make()
+{
+    ExperimentDef def;
+    def.name = "table12";
+    def.artifact = "Table 12";
+    def.description = "privileged operations survey + host probe";
+    def.report = "table12_primitives";
+    def.scaleDiv = 200;
+    def.banner = false; // prints its own header line
+    def.grid = [](unsigned) {
+        return std::vector<ExperimentUnit>{};
+    };
+    def.present = [](ExperimentContext &ctx) {
+        ctx.print("Table 12 — privileged operations on 1994 "
+                  "microprocessors (as published)\n");
+        std::vector<std::string> headers{"operation"};
+        for (const char *p : kProcessors)
+            headers.push_back(p);
+        TextTable t(headers);
+        for (const auto &row : kMatrix) {
+            std::vector<std::string> cells{row.op};
+            for (const char *a : row.avail)
+                cells.push_back(a);
+            t.addRow(cells);
+        }
+        ctx.print("%s\n", t.render().c_str());
+
+        ctx.print("Host probe — Table 2 primitives available to a "
+                  "userspace Tapeworm on this machine:\n");
+        TextTable host({"primitive", "mechanism", "available"});
+        long page = sysconf(_SC_PAGESIZE);
+        host.addRow({"Invalid Page Traps", "mprotect(2) + SIGSEGV",
+                     probeMprotectTrap() ? "Yes" : "No"});
+        host.addRow({"Variable Page Size",
+                     csprintf("base page %ld bytes", page),
+                     page > 0 ? "Yes" : "No"});
+        host.addRow({"Memory Parity/ECC Traps",
+                     "privileged (kernel/EDAC only)",
+                     "No (userspace)"});
+        host.addRow({"Data Breakpoint", "ptrace debug registers",
+                     "No (self-tracing)"});
+        host.addRow({"Instruction Counters", "perf_event_open(2)",
+                     "Kernel-dependent"});
+        ctx.print("%s\n", host.render().c_str());
+        ctx.print("Conclusion (Section 4.3): invalid-page traps are "
+                  "the universally available primitive, which is why "
+                  "the live demo (utrap) simulates TLBs at page "
+                  "granularity.\n");
+    };
+    return def;
+}
+
+const ExperimentRegistrar reg(make());
+
+} // namespace

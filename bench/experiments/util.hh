@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Shared helpers for the experiment registrations — the spec
+ * builders and paper-scale conversions the old per-binary bench
+ * glue carried in bench/common.hh, now serving ExperimentDef grid()
+ * and present() functions instead of main() bodies.
+ */
+
+#ifndef TW_BENCH_EXPERIMENTS_UTIL_HH
+#define TW_BENCH_EXPERIMENTS_UTIL_HH
+
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/table.hh"
+#include "harness/experiment.hh"
+#include "harness/runner.hh"
+#include "harness/trials.hh"
+#include "workload/spec.hh"
+
+namespace twbench
+{
+
+using namespace tw;
+
+/** Host-side simulation rate of one run: simulated references
+ *  (instructions + data refs) retired per real second. */
+inline double
+refsPerSec(const RunOutcome &o)
+{
+    if (o.hostSeconds <= 0.0)
+        return 0.0;
+    return static_cast<double>(o.run.totalInstr() + o.run.dataRefs)
+           / o.hostSeconds;
+}
+
+/** Total estimated misses across a set of outcomes (a JSON metric
+ *  shared by the trial experiments). */
+inline double
+totalEstMisses(const std::vector<RunOutcome> &outcomes)
+{
+    double sum = 0.0;
+    for (const auto &o : outcomes)
+        sum += o.estMisses;
+    return sum;
+}
+
+/** Scale misses measured at 1/scale workload size back to the
+ *  paper's full-size runs, in millions. */
+inline double
+paperMillions(double misses, unsigned scale_div)
+{
+    return misses * static_cast<double>(scale_div) / 1.0e6;
+}
+
+/** Default experiment spec: Tapeworm, all activity, 4 KB DM cache. */
+inline RunSpec
+defaultSpec(const std::string &workload, unsigned scale_div)
+{
+    RunSpec spec;
+    spec.workload = makeWorkload(workload, scale_div);
+    spec.sys.scope = SimScope::all();
+    spec.sim = SimKind::Tapeworm;
+    spec.tw.cache = CacheConfig::icache(4096);
+    return spec;
+}
+
+/** Convenience: a one-seed grid unit. */
+inline ExperimentUnit
+unitOf(std::string id, RunSpec spec, TrialPlan plan)
+{
+    ExperimentUnit unit;
+    unit.id = std::move(id);
+    unit.spec = std::move(spec);
+    unit.plan = std::move(plan);
+    return unit;
+}
+
+} // namespace twbench
+
+#endif // TW_BENCH_EXPERIMENTS_UTIL_HH

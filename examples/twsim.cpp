@@ -20,6 +20,7 @@
 #include <cstring>
 #include <string>
 
+#include "harness/experiment.hh"
 #include "tapeworm.hh"
 
 using namespace tw;
@@ -59,6 +60,10 @@ usage()
         "  --seed N          base trial seed (default 1)\n"
         "  --scale N         divide paper instruction counts by N\n"
         "                    (default 200; also via TW_SCALE_DIV)\n"
+        "  --experiment NAME run a registered paper experiment\n"
+        "                    (the registry bench_driver --list "
+        "shows)\n"
+        "                    instead of a hand-built sweep\n"
         "  --csv             CSV output\n"
         "  --help            this text\n");
 }
@@ -92,6 +97,8 @@ main(int argc, char **argv)
     Indexing indexing = Indexing::Physical;
     std::string policy, sim = "tapeworm", kind = "instruction",
                 scope = "all";
+    std::string experiment;
+    bool scaleSet = false;
     bool csv = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -150,12 +157,31 @@ main(int argc, char **argv)
                 std::atoll(value().c_str()));
         } else if (arg == "--scale") {
             scale = static_cast<unsigned>(std::atoi(value().c_str()));
+            scaleSet = true;
+        } else if (arg == "--experiment") {
+            experiment = value();
         } else if (arg == "--csv") {
             csv = true;
         } else {
             usage();
             fatal("unknown option '%s'", arg.c_str());
         }
+    }
+
+    // A registered experiment supersedes the hand-built sweep: the
+    // same registry entry bench_driver and twserved run.
+    if (!experiment.empty()) {
+        const ExperimentDef *def =
+            ExperimentRegistry::instance().find(experiment);
+        if (!def)
+            fatal("unknown experiment '%s' (bench_driver --list "
+                  "shows the registry)",
+                  experiment.c_str());
+        TablePrinterSink table(stdout);
+        RunExperimentOptions opts;
+        opts.scaleDiv = scaleSet ? scale : 0;
+        runExperiment(*def, table, opts);
+        return 0;
     }
 
     RunSpec spec;

@@ -36,10 +36,21 @@ TW_THREADS=4 ./build-tsan/tests/test_serve
 
 # End-to-end service smoke: daemon on a temp socket, served fig2
 # rows diffed bit-for-bit against in-process computation, cache-hit
-# resubmit, overload rejection, clean SIGTERM drain.
+# resubmit, served run_experiment bit-identity, overload rejection,
+# clean SIGTERM drain.
 ./scripts/serve_smoke.sh
 
+# Experiment-registry smoke: the driver must list the catalogue, and
+# every migrated experiment's masked output must still match the
+# checked-in pre-migration goldens (host-timing [json]/[report]
+# lines stripped; TW_SCALE_DIV=2000 TW_THREADS=2 pinned inside).
+./build/bench/bench_driver --list
+./scripts/migration_diff.sh all
+
 for b in build/bench/*; do
+    # bench_driver needs --run; migration_diff above already drives
+    # it across every registered experiment.
+    case "$b" in */bench_driver) continue ;; esac
     [ -f "$b" ] && [ -x "$b" ] && "$b"
 done
 

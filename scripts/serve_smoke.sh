@@ -6,9 +6,11 @@
 # against the same spec computed in-process (twctl local, which
 # calls Runner::runWithSlowdown directly). Then resubmits and
 # asserts the rows came from the result cache, asserts a sweep
-# larger than the job queue is rejected `overloaded`, and finally
-# SIGTERMs the daemon and requires a clean drain (exit 0, socket
-# unlinked).
+# larger than the job queue is rejected `overloaded`, runs the fig2
+# registry experiment served-vs-local (run_experiment op) and
+# requires bit-identical rows plus a fully-cached resubmit, and
+# finally SIGTERMs the daemons and requires a clean drain (exit 0,
+# socket unlinked).
 #
 # Usage: scripts/serve_smoke.sh [build-dir]
 set -e
@@ -25,9 +27,11 @@ fi
 SOCK="/tmp/twserved-smoke-$$.sock"
 T=$(mktemp -d)
 PID=""
+EPID=""
 cleanup() {
     [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
-    rm -f "$SOCK"
+    [ -n "$EPID" ] && kill "$EPID" 2>/dev/null || true
+    rm -f "$SOCK" "/tmp/twserved-smoke-exp-$$.sock"
     rm -rf "$T"
 }
 trap cleanup EXIT
@@ -89,6 +93,51 @@ rc=0
 grep -q overloaded "$T/over.log" \
     || fail "oversized sweep not rejected overloaded: $(cat "$T/over.log")"
 echo "serve_smoke: oversized sweep rejected overloaded"
+
+# ---- A served registry experiment is bit-identical to local -------
+# fig2 has more jobs than the admission-control daemon's queue of 4,
+# so this phase gets its own daemon with room for the full grid.
+ESOCK="/tmp/twserved-smoke-exp-$$.sock"
+"$SERVED" --socket "$ESOCK" --workers 2 --queue 64 --quiet &
+EPID=$!
+i=0
+while [ ! -S "$ESOCK" ]; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && fail "experiment daemon did not create $ESOCK"
+    kill -0 "$EPID" 2>/dev/null || fail "experiment daemon died"
+    sleep 0.05
+done
+
+"$CTL" local --experiment fig2 --scale "$SCALE" > "$T/exp_local.txt"
+"$CTL" --socket "$ESOCK" --experiment fig2 --scale "$SCALE" submit \
+    > "$T/exp_served.txt" 2> "$T/exp_served.log"
+diff -u "$T/exp_local.txt" "$T/exp_served.txt" \
+    || fail "served fig2 experiment rows differ from local run"
+grep -q 'cached=0' "$T/exp_served.log" \
+    || fail "first served fig2 unexpectedly cached: $(cat "$T/exp_served.log")"
+echo "serve_smoke: served fig2 experiment bit-identical to local"
+
+# Resubmitting the experiment must come entirely from the cache.
+"$CTL" --socket "$ESOCK" --experiment fig2 --scale "$SCALE" submit \
+    > "$T/exp_resub.txt" 2> "$T/exp_resub.log"
+diff -u "$T/exp_local.txt" "$T/exp_resub.txt" \
+    || fail "cached fig2 experiment rows differ"
+grep -q 'computed=0' "$T/exp_resub.log" \
+    || fail "fig2 resubmit recomputed: $(cat "$T/exp_resub.log")"
+
+# And the daemon must account for it per experiment.
+ehits=$("$CTL" --socket "$ESOCK" stats --path experiments.fig2.hits)
+emiss=$("$CTL" --socket "$ESOCK" stats --path experiments.fig2.misses)
+[ "$ehits" -eq "$emiss" ] && [ "$ehits" -gt 0 ] \
+    || fail "fig2 lookup stats hits=$ehits misses=$emiss, want equal > 0"
+echo "serve_smoke: fig2 resubmit fully cached (hits=$ehits misses=$emiss)"
+
+kill -TERM "$EPID"
+rc=0
+wait "$EPID" || rc=$?
+EPID=""
+[ "$rc" -eq 0 ] || fail "experiment daemon exited $rc on SIGTERM"
+rm -f "$ESOCK"
 
 # ---- SIGTERM must drain cleanly -----------------------------------
 kill -TERM "$PID"

@@ -1,0 +1,374 @@
+/**
+ * @file
+ * The experiment layer: every table and figure of the paper as a
+ * first-class value.
+ *
+ * A paper artifact is a *configured experiment* — a grid of RunSpecs,
+ * a trial plan per grid point, and a presentation that turns the
+ * outcomes into the published table. Encoding that as data
+ * (ExperimentDef) instead of as 26 near-identical main() functions
+ * buys three things at once:
+ *
+ *  - one driver (`bench_driver --run fig2`) replaces a binary per
+ *    artifact, and `--list` enumerates everything the reproduction
+ *    can regenerate;
+ *  - the service (twserved) can run the same registry entry with a
+ *    `run_experiment` op, reusing the same canonical spec text and
+ *    therefore the same ResultCache keys as hand-submitted sweeps —
+ *    a served run of `fig2` is bit-identical to a local one;
+ *  - output is a row PIPELINE (StatSink) rather than printf glue:
+ *    the same run can feed the human table, an NDJSON row stream,
+ *    the BENCH_*.json perf report, and the wire — without the
+ *    experiment knowing which are attached.
+ *
+ * Determinism contract: unit enumeration (experimentJobs) is a pure
+ * function of (def, scale); trials dispatch through parallelFor with
+ * per-index writes, so every outcome (minus hostSeconds) is
+ * bit-identical to a serial run at any thread count — the PR 2
+ * guarantee, inherited wholesale.
+ */
+
+#ifndef TW_HARNESS_EXPERIMENT_HH
+#define TW_HARNESS_EXPERIMENT_HH
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/json.hh"
+#include "harness/runner.hh"
+
+namespace tw
+{
+
+/**
+ * How many trials one grid point runs, with which seeds. Seeds are
+ * explicit so the serve layer can enumerate (and cache-key) every
+ * job without private knowledge of the derivation rule.
+ */
+struct TrialPlan
+{
+    std::vector<std::uint64_t> seeds;
+    /** Pair each trial with its memoized uninstrumented baseline
+     *  (fills RunOutcome::slowdown). */
+    bool withSlowdown = false;
+
+    /** A single run with @p seed. */
+    static TrialPlan one(std::uint64_t seed, bool with_slowdown = false);
+
+    /** @p n trials seeded the runTrials way: mixSeed(base, 1000+t). */
+    static TrialPlan derived(unsigned n, std::uint64_t base,
+                             bool with_slowdown = false);
+};
+
+/** The seeds TrialPlan::derived produces (shared with runTrials). */
+std::vector<std::uint64_t> derivedTrialSeeds(unsigned n,
+                                             std::uint64_t base);
+
+/** One grid point: an id unique within the experiment, a spec, and
+ *  the trials to run on it. */
+struct ExperimentUnit
+{
+    std::string id;
+    RunSpec spec;
+    TrialPlan plan;
+};
+
+struct ExperimentDef;
+class ExperimentContext;
+
+/**
+ * One declarative experiment. `grid` builds the servable part (may
+ * be empty for host-probe style artifacts); `present` renders the
+ * human table from the grid outcomes and may run bespoke
+ * non-Runner machinery of its own (write buffers, stack simulators,
+ * live code counting).
+ */
+struct ExperimentDef
+{
+    /** Registry key (`--run fig2`). Stable, unique, lowercase. */
+    std::string name;
+    /** The paper artifact regenerated ("Figure 2", "Table 7"...). */
+    std::string artifact;
+    /** One-line description (banner + --list). */
+    std::string description;
+    /** BENCH_<report>.json stem; empty = no machine report. */
+    std::string report;
+    /** Default workload scale divisor (before TW_SCALE_DIV). */
+    unsigned scaleDiv = 200;
+    /** false: the artifact ignores TW_SCALE_DIV (e.g. synthetic
+     *  streams that don't scale). */
+    bool envScale = true;
+    /** Print the standard banner before the run. */
+    bool banner = true;
+    /** Build the spec grid for @p scale. Null = no grid. */
+    std::function<std::vector<ExperimentUnit>(unsigned scale)> grid;
+    /** Render tables/metrics from the outcomes. Null = rows only. */
+    std::function<void(ExperimentContext &ctx)> present;
+};
+
+/** One flattened (unit, trial) job: the unit of caching, queueing
+ *  and row streaming. `seq` is the deterministic global row index. */
+struct ExperimentJob
+{
+    std::string unit;
+    std::uint64_t seq = 0;
+    std::uint64_t trial = 0;
+    std::uint64_t seed = 0;
+    bool withSlowdown = false;
+    RunSpec spec;
+};
+
+/**
+ * The deterministic job enumeration of @p def at @p scale: units in
+ * grid order, trials in plan order, seq densely increasing from 0.
+ * Local driver and server both run exactly this list, which is what
+ * makes their rows (and ResultCache keys) bit-identical.
+ */
+std::vector<ExperimentJob> experimentJobs(const ExperimentDef &def,
+                                          unsigned scale);
+
+/** One result row flowing through a StatSink. */
+struct ExperimentRow
+{
+    std::string experiment;
+    std::string unit;
+    std::uint64_t seq = 0;
+    std::uint64_t trial = 0;
+    std::uint64_t seed = 0;
+    const RunOutcome *outcome = nullptr;
+};
+
+/**
+ * The canonical row object: {experiment, unit, seq, trial, seed,
+ * outcome} with outcome rendered by outcomeToJson (hostSeconds
+ * excluded). Served rows re-render through this exact function, so
+ * `twctl --experiment` output diffs clean against
+ * `bench_driver --run X --rows -`.
+ */
+Json experimentRowJson(const std::string &experiment,
+                       const std::string &unit, std::uint64_t seq,
+                       std::uint64_t trial, std::uint64_t seed,
+                       const RunOutcome &outcome);
+
+/**
+ * Row pipeline stage. The engine drives every attached sink with
+ * the banner/table text, each result row, and the scalar metrics;
+ * sinks pick what they care about.
+ */
+class StatSink
+{
+  public:
+    virtual ~StatSink() = default;
+
+    /** Run is starting (after scale resolution). */
+    virtual void begin(const ExperimentDef &def, unsigned scale)
+    {
+        (void)def;
+        (void)scale;
+    }
+
+    /** Human-readable output chunk (banner, tables, notes). */
+    virtual void text(const std::string &chunk) { (void)chunk; }
+
+    /** One result row, in seq order. */
+    virtual void row(const ExperimentRow &r) { (void)r; }
+
+    /** One scalar metric (BENCH report channel). */
+    virtual void metric(const std::string &key, double value)
+    {
+        (void)key;
+        (void)value;
+    }
+
+    /** Run finished (presentation included). */
+    virtual void end(const ExperimentDef &def) { (void)def; }
+};
+
+/** Fan out to several sinks in order. Does not own them. */
+class MultiSink : public StatSink
+{
+  public:
+    void add(StatSink *sink) { sinks_.push_back(sink); }
+
+    void begin(const ExperimentDef &def, unsigned scale) override;
+    void text(const std::string &chunk) override;
+    void row(const ExperimentRow &r) override;
+    void metric(const std::string &key, double value) override;
+    void end(const ExperimentDef &def) override;
+
+  private:
+    std::vector<StatSink *> sinks_;
+};
+
+/** The human table channel: text chunks to a FILE* (stdout). */
+class TablePrinterSink : public StatSink
+{
+  public:
+    explicit TablePrinterSink(std::FILE *out = stdout) : out_(out) {}
+    void text(const std::string &chunk) override;
+
+  private:
+    std::FILE *out_;
+};
+
+/** Canonical row stream: one experimentRowJson line per row. */
+class NdjsonSink : public StatSink
+{
+  public:
+    explicit NdjsonSink(std::FILE *out) : out_(out) {}
+    void row(const ExperimentRow &r) override;
+
+  private:
+    std::FILE *out_;
+};
+
+/**
+ * The BENCH_<report>.json reporter (schema_version 2): collects
+ * metrics during the run and writes the report at end(), stamping
+ * schema_version / experiment / generated_by alongside the legacy
+ * bench / threads / wall_clock_s fields.
+ */
+/**
+ * Write BENCH_<report>.json in the unified schema (schema_version,
+ * bench, experiment, generated_by, threads, wall_clock_s, then the
+ * metrics in insertion order) and print the [json] stdout line.
+ * JsonReportSink and the legacy bench JsonReport wrapper both
+ * funnel through here so every checked-in report stays uniform.
+ */
+void writeBenchReport(
+    const std::string &report, const std::string &experiment,
+    const std::string &generated_by, double wall_clock_s,
+    const std::vector<std::pair<std::string, double>> &metrics);
+
+class JsonReportSink : public StatSink
+{
+  public:
+    /** @p generated_by names the producing tool (argv[0] basename). */
+    JsonReportSink(std::string report, std::string experiment,
+                   std::string generated_by);
+
+    void begin(const ExperimentDef &def, unsigned scale) override;
+    void metric(const std::string &key, double value) override;
+    void end(const ExperimentDef &def) override;
+
+  private:
+    std::string report_;
+    std::string experiment_;
+    std::string generatedBy_;
+    std::chrono::steady_clock::time_point t0_;
+    std::vector<std::pair<std::string, double>> metrics_;
+};
+
+/**
+ * What present() sees: the grid outcomes plus the output channels.
+ * Outcomes are indexed by unit id; missing ids are fatal (a typo in
+ * a registration is a bug, not a condition).
+ */
+class ExperimentContext
+{
+  public:
+    unsigned scale() const { return scale_; }
+    /** --report passed: emit the [report] stdout lines too. */
+    bool reportRequested() const { return report_; }
+
+    const std::vector<ExperimentUnit> &units() const { return units_; }
+
+    /** All trial outcomes of @p unit_id, in trial order. */
+    const std::vector<RunOutcome> &
+    outcomes(const std::string &unit_id) const;
+
+    /** The single/first outcome of @p unit_id. */
+    const RunOutcome &outcome(const std::string &unit_id) const;
+
+    /** printf to the text channel. */
+    void print(const char *fmt, ...)
+        __attribute__((format(printf, 2, 3)));
+
+    /** Record a scalar metric (BENCH report channel). */
+    void metric(const std::string &key, double value);
+
+  private:
+    friend void runExperiment(const ExperimentDef &,
+                              StatSink &,
+                              const struct RunExperimentOptions &);
+
+    ExperimentContext(StatSink &sink, unsigned scale, bool report)
+        : sink_(sink), scale_(scale), report_(report)
+    {
+    }
+
+    StatSink &sink_;
+    unsigned scale_;
+    bool report_;
+    std::vector<ExperimentUnit> units_;
+    std::map<std::string, std::vector<RunOutcome>> outcomes_;
+};
+
+struct RunExperimentOptions
+{
+    /** Override the scale divisor; 0 = envScaleDiv(def.scaleDiv)
+     *  (or def.scaleDiv verbatim when !def.envScale). */
+    unsigned scaleDiv = 0;
+    /** Emit the [report] presentation extras (the driver pairs this
+     *  with a JsonReportSink). */
+    bool report = false;
+};
+
+/** The scale a run of @p def uses under @p override_scale. */
+unsigned experimentScale(const ExperimentDef &def,
+                         unsigned override_scale);
+
+/**
+ * Run @p def: banner, grid (trials in parallel, rows streamed in
+ * seq order), then presentation. All output flows through @p sink.
+ */
+void runExperiment(const ExperimentDef &def, StatSink &sink,
+                   const RunExperimentOptions &opts = {});
+
+/**
+ * The process-wide experiment registry. Registration happens from
+ * static initializers (ExperimentRegistrar), so any binary linking
+ * the tw_experiments object library sees the full catalogue; the
+ * built-in `smoke` experiment registers from tw_harness itself.
+ */
+class ExperimentRegistry
+{
+  public:
+    static ExperimentRegistry &instance();
+
+    /** Fatal on duplicate name (two registrations colliding is a
+     *  build error, not a runtime condition). */
+    void add(ExperimentDef def);
+
+    /** Null when unknown. */
+    const ExperimentDef *find(const std::string &name) const;
+
+    /** All names, sorted (the --list order). */
+    std::vector<std::string> names() const;
+
+    std::size_t size() const { return defs_.size(); }
+
+  private:
+    ExperimentRegistry() = default;
+    std::map<std::string, ExperimentDef> defs_;
+};
+
+/** Registers @p def at static-init time. */
+struct ExperimentRegistrar
+{
+    explicit ExperimentRegistrar(ExperimentDef def)
+    {
+        ExperimentRegistry::instance().add(std::move(def));
+    }
+};
+
+} // namespace tw
+
+#endif // TW_HARNESS_EXPERIMENT_HH

@@ -1,5 +1,6 @@
 #include "serve/client.hh"
 
+#include <algorithm>
 #include <unistd.h>
 
 #include "harness/specio.hh"
@@ -154,6 +155,104 @@ Client::submitSweep(
             return result;
         }
         // Unknown event for our id: protocol error.
+        result.errorMsg = "unexpected event '" + ev + "'";
+        return result;
+    }
+}
+
+ExperimentResult
+Client::runExperiment(const std::string &name, unsigned scale_div)
+{
+    ExperimentResult result;
+    result.experiment = name;
+    if (fd_ < 0) {
+        result.errorMsg = "not connected";
+        return result;
+    }
+    std::uint64_t id = nextId_++;
+
+    Json req = Json::object();
+    req.set("op", Json::str("run_experiment"));
+    req.set("id", Json::number(id));
+    req.set("experiment", Json::str(name));
+    if (scale_div != 0)
+        req.set("scale", Json::number(
+                             static_cast<std::uint64_t>(scale_div)));
+    if (!sendJsonLine(fd_, req)) {
+        result.errorMsg = "send failed";
+        return result;
+    }
+
+    std::string line;
+    while (true) {
+        LineReader::Status st = reader_.readLine(line);
+        if (st != LineReader::Status::Line) {
+            result.errorMsg = "connection closed mid-response";
+            return result;
+        }
+        Json frame;
+        std::string perr;
+        if (!Json::parse(line, frame, &perr) || !frame.isObject()) {
+            result.errorMsg = "bad frame from server: " + perr;
+            return result;
+        }
+        const Json *idj = frame.find("id");
+        if (!idj || idj->asU64() != id)
+            continue;
+        const Json *evj = frame.find("ev");
+        const std::string &ev = evj ? evj->asString() : "";
+
+        if (ev == "row") {
+            ServedExperimentRow row;
+            if (const Json *j = frame.find("unit"))
+                row.unit = j->asString();
+            if (const Json *j = frame.find("seq"))
+                row.seq = j->asU64();
+            if (const Json *j = frame.find("trial"))
+                row.trial = j->asU64();
+            if (const Json *j = frame.find("seed"))
+                row.seed = j->asU64();
+            if (const Json *j = frame.find("cached"))
+                row.cached = j->asBool();
+            if (const Json *j = frame.find("host_s"))
+                row.hostSeconds = j->asDouble();
+            if (frame.find("error")) {
+                row.expired = true;
+            } else if (const Json *j = frame.find("outcome")) {
+                std::string oerr;
+                if (!outcomeFromJson(*j, row.outcome, oerr)) {
+                    result.errorMsg = "bad outcome row: " + oerr;
+                    return result;
+                }
+                row.outcome.hostSeconds = row.hostSeconds;
+            }
+            result.rows.push_back(std::move(row));
+            continue;
+        }
+        if (ev == "done") {
+            if (const Json *j = frame.find("cached"))
+                result.cached = j->asU64();
+            if (const Json *j = frame.find("computed"))
+                result.computed = j->asU64();
+            if (const Json *j = frame.find("expired"))
+                result.expired = j->asU64();
+            // Workers finish out of order; the registry's job order
+            // is by dense seq.
+            std::sort(result.rows.begin(), result.rows.end(),
+                      [](const ServedExperimentRow &a,
+                         const ServedExperimentRow &b) {
+                          return a.seq < b.seq;
+                      });
+            result.ok = true;
+            return result;
+        }
+        if (ev == "error") {
+            if (const Json *j = frame.find("code"))
+                result.errorCode = j->asString();
+            if (const Json *j = frame.find("msg"))
+                result.errorMsg = j->asString();
+            return result;
+        }
         result.errorMsg = "unexpected event '" + ev + "'";
         return result;
     }

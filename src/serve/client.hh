@@ -40,6 +40,36 @@ struct SweepRow
     RunOutcome outcome;
 };
 
+/** One streamed row of a served registry experiment. */
+struct ServedExperimentRow
+{
+    std::string unit;
+    std::uint64_t seq = 0;
+    std::uint64_t trial = 0;
+    std::uint64_t seed = 0;
+    bool cached = false;
+    bool expired = false;
+    double hostSeconds = 0.0;
+    RunOutcome outcome;
+};
+
+/** Everything a run_experiment returned. Rows are sorted by seq —
+ *  the registry's deterministic job order — so rendering them with
+ *  experimentRowJson reproduces a local `bench_driver --run --rows`
+ *  stream byte for byte. */
+struct ExperimentResult
+{
+    bool ok = false;
+    std::string errorCode;
+    std::string errorMsg;
+
+    std::string experiment;
+    std::vector<ServedExperimentRow> rows;
+    std::uint64_t cached = 0;
+    std::uint64_t computed = 0;
+    std::uint64_t expired = 0;
+};
+
 /** Everything a submit returned. */
 struct SweepResult
 {
@@ -87,6 +117,14 @@ class Client
         bool with_slowdown = true,
         std::optional<std::uint64_t> deadline_ms = std::nullopt,
         const std::function<void(const SweepRow &)> &on_row = {});
+
+    /**
+     * Run registry experiment @p name on the server (the
+     * run_experiment op) and collect every row. @p scale_div of 0
+     * lets the server resolve the experiment's own scale.
+     */
+    ExperimentResult runExperiment(const std::string &name,
+                                   unsigned scale_div = 0);
 
     /** Fetch the admin stats object into @p out. */
     bool stats(Json &out, std::string *err = nullptr);

@@ -57,5 +57,31 @@ LatencyStat::toJson() const
     return j;
 }
 
+void
+MetricsRegistry::recordCacheLookup(const std::string &experiment,
+                                   bool hit)
+{
+    std::lock_guard<std::mutex> lock(experimentsMutex_);
+    LookupCounts &c = experimentLookups_[experiment];
+    if (hit)
+        ++c.hits;
+    else
+        ++c.misses;
+}
+
+Json
+MetricsRegistry::experimentsJson() const
+{
+    std::lock_guard<std::mutex> lock(experimentsMutex_);
+    Json j = Json::object();
+    for (const auto &[name, counts] : experimentLookups_) {
+        Json e = Json::object();
+        e.set("hits", Json::number(counts.hits));
+        e.set("misses", Json::number(counts.misses));
+        j.set(name, std::move(e));
+    }
+    return j;
+}
+
 } // namespace serve
 } // namespace tw

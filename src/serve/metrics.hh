@@ -21,6 +21,9 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
 
 #include "base/json.hh"
 
@@ -94,6 +97,7 @@ struct MetricsRegistry
 
     // Requests by op.
     std::atomic<std::uint64_t> submits{0};
+    std::atomic<std::uint64_t> runExperiments{0};
     std::atomic<std::uint64_t> statsReqs{0};
     std::atomic<std::uint64_t> flushes{0};
     std::atomic<std::uint64_t> pings{0};
@@ -120,6 +124,19 @@ struct MetricsRegistry
     LatencyStat runStage;  //!< Runner execution alone
     LatencyStat request;   //!< submit parse -> done emitted
 
+    /**
+     * Result-cache hit/miss counts keyed by experiment name. Ad-hoc
+     * submits (no registry entry behind them) land under "_adhoc".
+     * Lookups happen once per trial at admission — cold relative to
+     * the row hot path — so a mutex-guarded map is the right tool;
+     * the existing rowsCached/rowsComputed totals stay the lock-free
+     * aggregates.
+     */
+    void recordCacheLookup(const std::string &experiment, bool hit);
+
+    /** {"<experiment>": {"hits": N, "misses": N}, ...} */
+    Json experimentsJson() const;
+
     double
     uptimeSeconds() const
     {
@@ -127,6 +144,15 @@ struct MetricsRegistry
                    std::chrono::steady_clock::now() - started)
             .count();
     }
+
+  private:
+    struct LookupCounts
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+    };
+    mutable std::mutex experimentsMutex_;
+    std::map<std::string, LookupCounts> experimentLookups_;
 };
 
 } // namespace serve

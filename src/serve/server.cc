@@ -11,6 +11,7 @@
 
 #include "base/logging.hh"
 #include "base/thread_pool.hh"
+#include "harness/experiment.hh"
 #include "harness/runner.hh"
 #include "harness/specio.hh"
 #include "serve/wire.hh"
@@ -91,6 +92,10 @@ struct Server::Request
     std::shared_ptr<Session> session;
     std::uint64_t id = 0;
     std::shared_ptr<const RunSpec> spec;
+    /** Registry entry behind a run_experiment request; empty for
+     *  ad-hoc submits. Rows of an experiment carry the name plus
+     *  the unit/seq coordinates of the registry's job enumeration. */
+    std::string experiment;
     bool slowdown = true;
     std::optional<Clock::time_point> deadline;
     Clock::time_point start = Clock::now();
@@ -102,15 +107,55 @@ struct Server::Request
     std::atomic<std::uint64_t> expired{0};
 };
 
-/** One trial waiting on the bounded queue. */
+/** One trial waiting on the bounded queue. Each job carries its own
+ *  spec and slowdown flag: a submit shares one spec across its
+ *  seeds, while an experiment's grid gives every unit a different
+ *  spec (and its trial plan may mix slowdown on and off). */
 struct Server::Job
 {
     std::shared_ptr<Request> req;
+    std::shared_ptr<const RunSpec> spec;
     std::uint64_t seed = 0;
     std::uint64_t trial = 0;
+    bool slowdown = true;
+    std::string unit;
+    std::uint64_t seq = 0;
     std::string key;
     Clock::time_point enqueued;
 };
+
+/** A trial answered straight from the result cache at admission. */
+struct Server::CachedHit
+{
+    std::string unit;
+    std::uint64_t seq = 0;
+    std::uint64_t trial = 0;
+    std::uint64_t seed = 0;
+    RunOutcome outcome;
+};
+
+namespace
+{
+
+/** The row-identity prefix shared by cached and computed rows. */
+void
+setRowIdentity(Json &row, const std::string &experiment,
+               std::uint64_t id, const std::string &unit,
+               std::uint64_t seq, std::uint64_t trial,
+               std::uint64_t seed)
+{
+    row.set("id", Json::number(id));
+    row.set("ev", Json::str("row"));
+    if (!experiment.empty()) {
+        row.set("experiment", Json::str(experiment));
+        row.set("unit", Json::str(unit));
+        row.set("seq", Json::number(seq));
+    }
+    row.set("trial", Json::number(trial));
+    row.set("seed", Json::number(seed));
+}
+
+} // anonymous namespace
 
 Server::Server(ServerConfig cfg)
     : cfg_(std::move(cfg)), cache_(cfg_.cacheCapacity),
@@ -430,6 +475,10 @@ Server::handleLine(const std::shared_ptr<Session> &session,
         handleSubmit(session, id, req);
         return;
     }
+    if (op == "run_experiment") {
+        handleRunExperiment(session, id, req);
+        return;
+    }
     if (op == "stats") {
         metrics_.statsReqs.fetch_add(1, std::memory_order_relaxed);
         Json resp = Json::object();
@@ -534,29 +583,101 @@ Server::handleSubmit(const std::shared_ptr<Session> &session,
     request->slowdown = slowdown;
     request->deadline = deadline;
 
-    struct CachedRow
-    {
-        std::uint64_t trial;
-        std::uint64_t seed;
-        RunOutcome outcome;
-    };
-    std::vector<CachedRow> hits;
+    std::vector<CachedHit> hits;
     std::vector<Job> jobs;
     for (std::size_t t = 0; t < seeds.size(); ++t) {
         std::string key = cacheKey(*spec, seeds[t], slowdown);
         RunOutcome out;
-        if (cache_.lookup(key, out)) {
-            hits.push_back({t, seeds[t], std::move(out)});
+        bool hit = cache_.lookup(key, out);
+        metrics_.recordCacheLookup("_adhoc", hit);
+        if (hit) {
+            hits.push_back({"", 0, t, seeds[t], std::move(out)});
         } else {
             Job job;
             job.req = request;
+            job.spec = spec;
             job.seed = seeds[t];
             job.trial = t;
+            job.slowdown = slowdown;
             job.key = std::move(key);
             jobs.push_back(std::move(job));
         }
     }
+    admitAndStream(session, id, request, std::move(jobs), hits);
+}
 
+void
+Server::handleRunExperiment(const std::shared_ptr<Session> &session,
+                            std::uint64_t id, const Json &reqJson)
+{
+    metrics_.runExperiments.fetch_add(1, std::memory_order_relaxed);
+
+    auto bad = [&](const std::string &msg) {
+        metrics_.badRequests.fetch_add(1, std::memory_order_relaxed);
+        sendError(session, id, kErrBadRequest, msg);
+    };
+
+    const Json *ej = reqJson.find("experiment");
+    if (!ej || !ej->isString())
+        return bad("missing experiment");
+    const ExperimentDef *def =
+        ExperimentRegistry::instance().find(ej->asString());
+    if (!def)
+        return bad("unknown experiment '" + ej->asString() + "'");
+
+    unsigned scaleOverride = 0;
+    if (const Json *j = reqJson.find("scale")) {
+        if (!j->isNumber() || j->isNegative())
+            return bad("scale must be a non-negative number");
+        scaleOverride = static_cast<unsigned>(j->asU64());
+    }
+    unsigned scale = experimentScale(*def, scaleOverride);
+
+    // The SAME deterministic enumeration bench_driver runs locally:
+    // units in grid order, trials in plan order, seq dense from 0.
+    // Each job's cache key is the one a local run would use, so a
+    // served experiment and a local one populate and hit the same
+    // ResultCache entries.
+    std::vector<ExperimentJob> plan = experimentJobs(*def, scale);
+
+    auto request = std::make_shared<Request>();
+    request->session = session;
+    request->id = id;
+    request->experiment = def->name;
+
+    std::vector<CachedHit> hits;
+    std::vector<Job> jobs;
+    for (ExperimentJob &pj : plan) {
+        std::string key = cacheKey(pj.spec, pj.seed, pj.withSlowdown);
+        RunOutcome out;
+        bool hit = cache_.lookup(key, out);
+        metrics_.recordCacheLookup(def->name, hit);
+        if (hit) {
+            hits.push_back({pj.unit, pj.seq, pj.trial, pj.seed,
+                            std::move(out)});
+        } else {
+            Job job;
+            job.req = request;
+            job.spec = std::make_shared<RunSpec>(std::move(pj.spec));
+            job.seed = pj.seed;
+            job.trial = pj.trial;
+            job.slowdown = pj.withSlowdown;
+            job.unit = std::move(pj.unit);
+            job.seq = pj.seq;
+            job.key = std::move(key);
+            jobs.push_back(std::move(job));
+        }
+    }
+    admitAndStream(session, id, request, std::move(jobs), hits);
+}
+
+void
+Server::admitAndStream(const std::shared_ptr<Session> &session,
+                       std::uint64_t id,
+                       const std::shared_ptr<Request> &request,
+                       std::vector<Job> jobs,
+                       const std::vector<CachedHit> &hits)
+{
     // ---- Admit ATOMICALLY, before streaming anything --------------
     // All-or-nothing: a sweep either fully fits the queue's free
     // space or is rejected whole with `overloaded` — no partial
@@ -593,12 +714,10 @@ Server::handleSubmit(const std::shared_ptr<Session> &session,
     }
 
     // ---- Stream cached rows, then release our +1 ------------------
-    for (const CachedRow &h : hits) {
+    for (const CachedHit &h : hits) {
         Json row = Json::object();
-        row.set("id", Json::number(id));
-        row.set("ev", Json::str("row"));
-        row.set("trial", Json::number(h.trial));
-        row.set("seed", Json::number(h.seed));
+        setRowIdentity(row, request->experiment, id, h.unit, h.seq,
+                       h.trial, h.seed);
         row.set("cached", Json::boolean(true));
         row.set("host_s", Json::number(h.outcome.hostSeconds));
         row.set("outcome", outcomeToJson(h.outcome));
@@ -623,10 +742,8 @@ Server::workerLoop()
 
         const Request &req = *job->req;
         Json row = Json::object();
-        row.set("id", Json::number(req.id));
-        row.set("ev", Json::str("row"));
-        row.set("trial", Json::number(job->trial));
-        row.set("seed", Json::number(job->seed));
+        setRowIdentity(row, req.experiment, req.id, job->unit,
+                       job->seq, job->trial, job->seed);
 
         bool expired =
             req.deadline && Clock::now() > *req.deadline;
@@ -640,9 +757,9 @@ Server::workerLoop()
         } else {
             Clock::time_point t0 = Clock::now();
             RunOutcome out =
-                req.slowdown
-                    ? Runner::runWithSlowdown(*req.spec, job->seed)
-                    : Runner::runOne(*req.spec, job->seed);
+                job->slowdown
+                    ? Runner::runWithSlowdown(*job->spec, job->seed)
+                    : Runner::runOne(*job->spec, job->seed);
             metrics_.runStage.record(usSince(t0));
             cache_.insert(job->key, out);
             row.set("cached", Json::boolean(false));
@@ -733,6 +850,7 @@ Server::statsJson()
         return Json::number(a.load(std::memory_order_relaxed));
     };
     ops.set("submits", n(metrics_.submits));
+    ops.set("run_experiments", n(metrics_.runExperiments));
     ops.set("stats", n(metrics_.statsReqs));
     ops.set("flushes", n(metrics_.flushes));
     ops.set("pings", n(metrics_.pings));
@@ -746,6 +864,10 @@ Server::statsJson()
     rows.set("computed", n(metrics_.rowsComputed));
     rows.set("expired", n(metrics_.rowsExpired));
     j.set("rows", std::move(rows));
+
+    // Result-cache hit/miss per experiment ("_adhoc" = plain
+    // submits), counted at admission time.
+    j.set("experiments", metrics_.experimentsJson());
 
     Json rej = Json::object();
     rej.set("overloaded", n(metrics_.rejectedOverloaded));

@@ -156,6 +156,16 @@ class Server
                     const std::string &line);
     void handleSubmit(const std::shared_ptr<Session> &session,
                       std::uint64_t id, const Json &req);
+    void handleRunExperiment(const std::shared_ptr<Session> &session,
+                             std::uint64_t id, const Json &req);
+    struct CachedHit;
+    /** Shared admission + cached-row streaming tail of submit and
+     *  run_experiment: all-or-nothing enqueue, then the hits. */
+    void admitAndStream(const std::shared_ptr<Session> &session,
+                        std::uint64_t id,
+                        const std::shared_ptr<Request> &request,
+                        std::vector<Job> jobs,
+                        const std::vector<CachedHit> &hits);
     void finishOne(const std::shared_ptr<Request> &req);
     void sendError(const std::shared_ptr<Session> &session,
                    std::uint64_t id, const char *code,

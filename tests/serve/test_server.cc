@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "harness/experiment.hh"
 #include "harness/specio.hh"
 #include "harness/trials.hh"
 #include "serve/client.hh"
@@ -537,6 +538,141 @@ TEST(Server, StatsSurfaceIsComplete)
     EXPECT_EQ(stats.findPath("queue.capacity")->asU64(), 16u);
     EXPECT_EQ(stats.findPath("workers")->asU64(), 2u);
     EXPECT_GE(stats.findPath("latency.request.count")->asU64(), 1u);
+    server.stop();
+}
+
+TEST(Server, RunExperimentRowsBitIdenticalToLocalEngine)
+{
+    Runner::clearBaselineCache();
+    std::string path = freshSocketPath("exp");
+    Server server(baseConfig(path));
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+
+    const ExperimentDef *def =
+        ExperimentRegistry::instance().find("smoke");
+    ASSERT_NE(def, nullptr); // registered by tw_harness itself
+
+    Client client;
+    ASSERT_TRUE(client.connectUnix(path, &err)) << err;
+    serve::ExperimentResult res = client.runExperiment("smoke", 4000);
+    ASSERT_TRUE(res.ok) << res.errorMsg;
+    EXPECT_EQ(res.cached, 0u);
+
+    // The server ran exactly the registry's job list; re-rendering
+    // its rows through experimentRowJson must reproduce the local
+    // engine's canonical row stream byte for byte.
+    std::vector<ExperimentJob> jobs = experimentJobs(*def, 4000);
+    ASSERT_EQ(res.rows.size(), jobs.size());
+    EXPECT_EQ(res.computed, jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const serve::ServedExperimentRow &row = res.rows[i];
+        const ExperimentJob &job = jobs[i];
+        EXPECT_EQ(row.seq, job.seq);
+        EXPECT_EQ(row.unit, job.unit);
+        RunOutcome local =
+            job.withSlowdown
+                ? Runner::runWithSlowdown(job.spec, job.seed)
+                : Runner::runOne(job.spec, job.seed);
+        EXPECT_EQ(experimentRowJson("smoke", row.unit, row.seq,
+                                    row.trial, row.seed, row.outcome)
+                      .dump(),
+                  experimentRowJson("smoke", job.unit, job.seq,
+                                    job.trial, job.seed, local)
+                      .dump())
+            << "row " << i;
+    }
+
+    // Rerun: every job is a cache hit, rows still identical.
+    serve::ExperimentResult again =
+        client.runExperiment("smoke", 4000);
+    ASSERT_TRUE(again.ok) << again.errorMsg;
+    EXPECT_EQ(again.cached, jobs.size());
+    EXPECT_EQ(again.computed, 0u);
+    ASSERT_EQ(again.rows.size(), res.rows.size());
+    for (std::size_t i = 0; i < res.rows.size(); ++i) {
+        EXPECT_TRUE(again.rows[i].cached);
+        EXPECT_EQ(formatRunOutcome(again.rows[i].outcome),
+                  formatRunOutcome(res.rows[i].outcome));
+    }
+    server.stop();
+}
+
+TEST(Server, RunExperimentSharesCacheWithAdHocSubmits)
+{
+    std::string path = freshSocketPath("expshare");
+    Server server(baseConfig(path));
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+
+    const ExperimentDef *def =
+        ExperimentRegistry::instance().find("smoke");
+    ASSERT_NE(def, nullptr);
+    std::vector<ExperimentJob> jobs = experimentJobs(*def, 4000);
+
+    Client client;
+    ASSERT_TRUE(client.connectUnix(path, &err)) << err;
+    // Warm the cache by hand-submitting the experiment's own jobs —
+    // same canonical spec text, same seeds, same slowdown flag.
+    for (const ExperimentJob &job : jobs) {
+        SweepResult r = client.submitSweep(job.spec, {job.seed},
+                                           job.withSlowdown);
+        ASSERT_TRUE(r.ok) << r.errorMsg;
+    }
+
+    serve::ExperimentResult res = client.runExperiment("smoke", 4000);
+    ASSERT_TRUE(res.ok) << res.errorMsg;
+    EXPECT_EQ(res.cached, jobs.size()); // keys matched exactly
+    EXPECT_EQ(res.computed, 0u);
+    server.stop();
+}
+
+TEST(Server, RunExperimentUnknownNameIsBadRequest)
+{
+    std::string path = freshSocketPath("expbad");
+    Server server(baseConfig(path));
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+
+    Client client;
+    ASSERT_TRUE(client.connectUnix(path, &err)) << err;
+    serve::ExperimentResult res = client.runExperiment("nosuch");
+    EXPECT_FALSE(res.ok);
+    EXPECT_EQ(res.errorCode, "bad_request");
+
+    // The connection survives a rejected request.
+    EXPECT_TRUE(client.ping(&err)) << err;
+    server.stop();
+}
+
+TEST(Server, StatsCountPerExperimentCacheLookups)
+{
+    std::string path = freshSocketPath("expstats");
+    Server server(baseConfig(path));
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+
+    const ExperimentDef *def =
+        ExperimentRegistry::instance().find("smoke");
+    ASSERT_NE(def, nullptr);
+    std::size_t jobCount = experimentJobs(*def, 4000).size();
+
+    Client client;
+    ASSERT_TRUE(client.connectUnix(path, &err)) << err;
+    ASSERT_TRUE(client.runExperiment("smoke", 4000).ok);
+    ASSERT_TRUE(client.runExperiment("smoke", 4000).ok);
+    client.submitSweep(smallSpec(), {1}, true);
+
+    Json stats;
+    ASSERT_TRUE(client.stats(stats, &err)) << err;
+    EXPECT_EQ(stats.findPath("ops.run_experiments")->asU64(), 2u);
+    const Json *smoke = stats.findPath("experiments.smoke");
+    ASSERT_NE(smoke, nullptr);
+    EXPECT_EQ(smoke->findPath("misses")->asU64(), jobCount);
+    EXPECT_EQ(smoke->findPath("hits")->asU64(), jobCount);
+    const Json *adhoc = stats.findPath("experiments._adhoc");
+    ASSERT_NE(adhoc, nullptr);
+    EXPECT_EQ(adhoc->findPath("misses")->asU64(), 1u);
     server.stop();
 }
 

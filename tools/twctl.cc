@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/experiment.hh"
 #include "serve/client.hh"
 #include "tapeworm.hh"
 
@@ -72,6 +73,12 @@ usage()
         "  --seed N          base trial seed (default 1)\n"
         "  --seeds A,B,...   explicit seed list (overrides "
         "--trials)\n"
+        "  --experiment NAME run a registry experiment instead of a\n"
+        "                    hand-built sweep: submit sends the\n"
+        "                    run_experiment op, local computes the\n"
+        "                    same jobs in-process; both print one\n"
+        "                    canonical row per trial (sorted by "
+        "seq)\n"
         "  --no-slowdown     skip the baseline/slowdown pairing\n"
         "  --deadline MS     per-request deadline (server-side)\n"
         "  --canonical       one canonical outcome line per trial\n"
@@ -147,6 +154,8 @@ main(int argc, char **argv)
     unsigned tlbEntries = 64;
     std::uint64_t seed = 1;
     unsigned scale = envScaleDiv(200);
+    bool scaleSet = false;
+    std::string experiment;
     Indexing indexing = Indexing::Physical;
     std::string policy, sim = "tapeworm", kind = "instruction",
                 scope = "all";
@@ -205,6 +214,9 @@ main(int argc, char **argv)
             tlbPage = parseSize(value());
         } else if (arg == "--scale") {
             scale = static_cast<unsigned>(std::atoi(value().c_str()));
+            scaleSet = true;
+        } else if (arg == "--experiment") {
+            experiment = value();
         } else if (arg == "--trials") {
             trials =
                 static_cast<unsigned>(std::atoi(value().c_str()));
@@ -306,6 +318,81 @@ main(int argc, char **argv)
         // mixSeed(base, 1000 + t).
         for (unsigned t = 0; t < trials; ++t)
             sweep.seeds.push_back(mixSeed(seed, 1000 + t));
+    }
+
+    // ---- Registry experiments -------------------------------------
+    // Both paths print the canonical experimentRowJson lines in seq
+    // order, so `diff <(twctl --experiment E local) <(twctl
+    // --socket S --experiment E submit)` is the served-vs-local
+    // bit-identity check (use an explicit --scale so client and
+    // daemon agree when their environments differ).
+    if (!experiment.empty()) {
+        if (command != "local" && command != "submit")
+            fatal("--experiment only applies to local/submit");
+        const ExperimentDef *def =
+            ExperimentRegistry::instance().find(experiment);
+        if (!def)
+            fatal("unknown experiment '%s' (bench_driver --list "
+                  "shows the registry)",
+                  experiment.c_str());
+        unsigned expScale =
+            experimentScale(*def, scaleSet ? scale : 0);
+        if (command == "local") {
+            for (const ExperimentJob &job :
+                 experimentJobs(*def, expScale)) {
+                RunOutcome out =
+                    job.withSlowdown
+                        ? Runner::runWithSlowdown(job.spec, job.seed)
+                        : Runner::runOne(job.spec, job.seed);
+                std::printf("%s\n",
+                            experimentRowJson(def->name, job.unit,
+                                              job.seq, job.trial,
+                                              job.seed, out)
+                                .dump()
+                                .c_str());
+            }
+            return 0;
+        }
+        Client client;
+        std::string err;
+        bool connected =
+            !socketPath.empty()
+                ? client.connectUnix(socketPath, &err)
+                : (tcpPort != 0
+                       ? client.connectTcp(tcpHost, tcpPort, &err)
+                       : (err = "need --socket or --tcp", false));
+        if (!connected)
+            fatal("connect: %s", err.c_str());
+        ExperimentResult result = client.runExperiment(
+            def->name, scaleSet ? scale : expScale);
+        if (!result.ok) {
+            if (!result.errorCode.empty()) {
+                std::fprintf(stderr, "rejected: %s (%s)\n",
+                             result.errorCode.c_str(),
+                             result.errorMsg.c_str());
+                return 2;
+            }
+            fatal("run_experiment: %s", result.errorMsg.c_str());
+        }
+        for (const ServedExperimentRow &row : result.rows) {
+            if (row.expired)
+                continue;
+            std::printf("%s\n",
+                        experimentRowJson(def->name, row.unit,
+                                          row.seq, row.trial,
+                                          row.seed, row.outcome)
+                            .dump()
+                            .c_str());
+        }
+        std::fprintf(
+            stderr,
+            "experiment=%s rows=%zu cached=%llu computed=%llu "
+            "expired=%llu\n",
+            def->name.c_str(), result.rows.size(),
+            (unsigned long long)result.cached,
+            (unsigned long long)result.computed,
+            (unsigned long long)result.expired);
+        return 0;
     }
 
     // ---- local: no server involved --------------------------------
