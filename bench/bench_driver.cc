@@ -20,6 +20,7 @@
 #include "base/logging.hh"
 #include "base/thread_pool.hh"
 #include "harness/experiment.hh"
+#include "obs/trace.hh"
 
 using namespace tw;
 
@@ -45,6 +46,11 @@ usage(std::FILE *out)
                  "print the [report] extras\n"
                  "  --rows <path>    stream canonical NDJSON result "
                  "rows to <path> ('-' = stdout)\n"
+                 "  --metrics        embed an obs-registry snapshot "
+                 "under \"metrics\" in the BENCH report "
+                 "(implies --report)\n"
+                 "  --trace-out <f>  write a Chrome trace-event JSON "
+                 "span trace (Perfetto-loadable) to <f>\n"
                  "  --help           this text\n");
 }
 
@@ -66,8 +72,10 @@ main(int argc, char **argv)
 {
     bool list = false;
     bool report = false;
+    bool metrics = false;
     std::string run_name;
     std::string rows_path;
+    std::string trace_path;
     unsigned scale_override = 0;
 
     auto value = [&](int &i, const char *flag) -> const char * {
@@ -95,6 +103,11 @@ main(int argc, char **argv)
             report = true;
         } else if (std::strcmp(arg, "--rows") == 0) {
             rows_path = value(i, "--rows");
+        } else if (std::strcmp(arg, "--metrics") == 0) {
+            metrics = true;
+            report = true;
+        } else if (std::strcmp(arg, "--trace-out") == 0) {
+            trace_path = value(i, "--trace-out");
         } else if (std::strcmp(arg, "--help") == 0
                    || std::strcmp(arg, "-h") == 0) {
             usage(stdout);
@@ -146,13 +159,22 @@ main(int argc, char **argv)
     if (report && !def->report.empty()) {
         json = std::make_unique<JsonReportSink>(
             def->report, def->name, "bench_driver");
+        json->setIncludeObsMetrics(metrics);
         sinks.add(json.get());
+    }
+
+    if (!trace_path.empty()) {
+        std::string err;
+        if (!obs::traceStart(trace_path, &err))
+            fatal("bench_driver: --trace-out: %s", err.c_str());
     }
 
     RunExperimentOptions opts;
     opts.scaleDiv = scale_override;
     opts.report = report;
     runExperiment(*def, sinks, opts);
+
+    obs::traceStop(); // writes --trace-out, if armed
 
     if (rows_file && rows_file != stdout)
         std::fclose(rows_file);

@@ -21,6 +21,7 @@
 #include <string>
 
 #include "harness/experiment.hh"
+#include "obs/trace.hh"
 #include "tapeworm.hh"
 
 using namespace tw;
@@ -65,6 +66,8 @@ usage()
         "shows)\n"
         "                    instead of a hand-built sweep\n"
         "  --csv             CSV output\n"
+        "  --trace-out FILE  write a Chrome trace-event JSON span\n"
+        "                    trace (Perfetto-loadable) to FILE\n"
         "  --help            this text\n");
 }
 
@@ -98,6 +101,7 @@ main(int argc, char **argv)
     std::string policy, sim = "tapeworm", kind = "instruction",
                 scope = "all";
     std::string experiment;
+    std::string tracePath;
     bool scaleSet = false;
     bool csv = false;
 
@@ -162,10 +166,18 @@ main(int argc, char **argv)
             experiment = value();
         } else if (arg == "--csv") {
             csv = true;
+        } else if (arg == "--trace-out") {
+            tracePath = value();
         } else {
             usage();
             fatal("unknown option '%s'", arg.c_str());
         }
+    }
+
+    if (!tracePath.empty()) {
+        std::string err;
+        if (!obs::traceStart(tracePath, &err))
+            fatal("--trace-out: %s", err.c_str());
     }
 
     // A registered experiment supersedes the hand-built sweep: the
@@ -181,6 +193,7 @@ main(int argc, char **argv)
         RunExperimentOptions opts;
         opts.scaleDiv = scaleSet ? scale : 0;
         runExperiment(*def, table, opts);
+        obs::traceStop(); // writes --trace-out, if armed
         return 0;
     }
 
@@ -242,6 +255,7 @@ main(int argc, char **argv)
         fatal("bad scope '%s'", scope.c_str());
 
     auto outcomes = runTrials(spec, trials, seed, true);
+    obs::traceStop(); // writes --trace-out, if armed
 
     TextTable t({"trial", "misses", "missRatio", "MPI", "slowdown",
                  "instr", "ticks", "host.s"});

@@ -23,7 +23,7 @@ TW_THREADS=4 ctest --test-dir build --output-on-failure -j"$(nproc)"
 # streams/filters must stay data-race-free under parallel trials.
 cmake -B build-tsan -G Ninja -DTW_SANITIZE=thread
 cmake --build build-tsan --target test_harness test_base \
-    test_integration test_serve
+    test_integration test_serve test_obs
 TW_THREADS=4 ./build-tsan/tests/test_harness \
     --gtest_filter='ParallelTrials.*'
 TW_THREADS=4 ./build-tsan/tests/test_base \
@@ -33,12 +33,21 @@ TW_THREADS=4 ./build-tsan/tests/test_base \
 # queue, shared result cache, per-session writer locks, drain
 # ordering. Run the whole serve suite under TSan.
 TW_THREADS=4 ./build-tsan/tests/test_serve
+# The sharded metric registry's whole point is lock-free hot-path
+# writes with exact, monotone reads — prove it race-free.
+./build-tsan/tests/test_obs
 
 # End-to-end service smoke: daemon on a temp socket, served fig2
 # rows diffed bit-for-bit against in-process computation, cache-hit
 # resubmit, served run_experiment bit-identity, overload rejection,
 # clean SIGTERM drain.
 ./scripts/serve_smoke.sh
+
+# Observability smoke: fig2 span trace lints with every phase
+# present, the BENCH report embeds engine counters, the prom
+# exposition is well-formed, and canonical rows stay bit-identical
+# with the spine on vs off.
+./scripts/obs_smoke.sh
 
 # Experiment-registry smoke: the driver must list the catalogue, and
 # every migrated experiment's masked output must still match the

@@ -70,6 +70,18 @@ for SZ in 1K 32K; do
 done
 echo "serve_smoke: fig2 1K/32K served rows bit-identical to local"
 
+# ---- stats reply identity fields ----------------------------------
+sv=$("$CTL" --socket "$SOCK" stats --path schema_version)
+[ "$sv" = "2" ] || fail "stats schema_version is '$sv', want 2"
+started=$("$CTL" --socket "$SOCK" stats --path started_at_s)
+[ -n "$started" ] || fail "stats reply lacks started_at_s"
+up=$("$CTL" --socket "$SOCK" stats --path uptime_s)
+# Monotonic uptime: must be a non-negative number.
+case "$up" in
+    -*|"") fail "stats uptime_s is '$up', want >= 0" ;;
+esac
+echo "serve_smoke: stats identity ok (schema=$sv uptime=${up}s)"
+
 # ---- Resubmitting an identical sweep must hit the cache -----------
 hits0=$("$CTL" --socket "$SOCK" stats --path cache.hits)
 # shellcheck disable=SC2086

@@ -50,6 +50,28 @@ void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 /** Report normal operating status to stderr. */
 void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
+/**
+ * Name this process's log component tag ("twserved", "bench", ...).
+ * Only visible in TW_LOG=json output; the default human format is
+ * unchanged. Call once at startup, before spawning threads.
+ */
+void setLogComponent(const char *name);
+
+/** True when TW_LOG=json selected structured log lines (the
+ *  environment is consulted once, at first log call). */
+bool logJsonEnabled();
+
+/**
+ * Render one structured log line (no trailing newline):
+ * {"ts":"<ISO-8601 UTC, ms>","level":..,"thread":..,
+ *  "component":..,"msg":..}. Pure function of its inputs so tests
+ * can pin the format; warn()/inform() feed it the current clock,
+ * a small per-thread ordinal, and the component tag.
+ */
+std::string logLineJson(const char *level, const char *component,
+                        unsigned thread_id, long long unix_ms,
+                        const std::string &msg);
+
 /** Panic if @p cond is false; message describes the invariant. */
 #define TW_ASSERT(cond, ...)                                            \
     do {                                                                \

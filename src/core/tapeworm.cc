@@ -8,6 +8,7 @@
 #include "base/logging.hh"
 #include "base/random.hh"
 #include "mem/set_sample.hh"
+#include "obs/metrics.hh"
 
 namespace tw
 {
@@ -52,6 +53,27 @@ Tapeworm::Tapeworm(PhysMem &phys, const TapewormConfig &config)
                                              cfg_.sampleSeed);
         }
     }
+}
+
+Tapeworm::~Tapeworm()
+{
+    static obs::Counter fetch =
+        obs::registry().counter("engine.traps.delivered.fetch");
+    static obs::Counter load =
+        obs::registry().counter("engine.traps.delivered.load");
+    static obs::Counter store =
+        obs::registry().counter("engine.traps.delivered.store");
+    static obs::Counter set = obs::registry().counter("engine.traps.set");
+    static obs::Counter cleared =
+        obs::registry().counter("engine.traps.cleared");
+    fetch.add(stats_.missesByKind[static_cast<unsigned>(
+        AccessKind::Fetch)]);
+    load.add(
+        stats_.missesByKind[static_cast<unsigned>(AccessKind::Load)]);
+    store.add(
+        stats_.missesByKind[static_cast<unsigned>(AccessKind::Store)]);
+    set.add(stats_.trapsSet);
+    cleared.add(stats_.trapsCleared);
 }
 
 bool

@@ -150,6 +150,9 @@ class Tapeworm : public SimClient
      */
     Tapeworm(PhysMem &phys, const TapewormConfig &config);
 
+    /** Folds trap-delivery tallies into the obs registry. */
+    ~Tapeworm() override;
+
     // SimClient interface (the machine drives these).
     Cycles onRef(const Task &task, Addr va, Addr pa, bool intr_masked,
                  AccessKind kind = AccessKind::Fetch) override;

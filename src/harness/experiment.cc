@@ -9,6 +9,8 @@
 #include "base/thread_pool.hh"
 #include "harness/specio.hh"
 #include "harness/trials.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "workload/spec.hh"
 
 namespace tw
@@ -172,7 +174,8 @@ void
 writeBenchReport(
     const std::string &report, const std::string &experiment,
     const std::string &generated_by, double wall_clock_s,
-    const std::vector<std::pair<std::string, double>> &metrics)
+    const std::vector<std::pair<std::string, double>> &metrics,
+    const Json *obs_metrics)
 {
     std::string path = "BENCH_" + report + ".json";
     std::FILE *f = std::fopen(path.c_str(), "w");
@@ -189,6 +192,10 @@ writeBenchReport(
     std::fprintf(f, "  \"wall_clock_s\": %.6f", wall_clock_s);
     for (const auto &[key, value] : metrics)
         std::fprintf(f, ",\n  \"%s\": %.17g", key.c_str(), value);
+    if (obs_metrics) {
+        std::string dumped = obs_metrics->dump();
+        std::fprintf(f, ",\n  \"metrics\": %s", dumped.c_str());
+    }
     std::fprintf(f, "\n}\n");
     std::fclose(f);
     std::printf("[json] %s (%.2fs, %u threads)\n", path.c_str(),
@@ -202,8 +209,14 @@ JsonReportSink::end(const ExperimentDef &def)
     double wall = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - t0_)
                       .count();
-    writeBenchReport(report_, experiment_, generatedBy_, wall,
-                     metrics_);
+    if (includeObsMetrics_) {
+        Json snap = obs::registry().snapshotJson();
+        writeBenchReport(report_, experiment_, generatedBy_, wall,
+                         metrics_, &snap);
+    } else {
+        writeBenchReport(report_, experiment_, generatedBy_, wall,
+                         metrics_);
+    }
 }
 
 // --------------------------------------------------------------------
@@ -259,6 +272,8 @@ void
 runExperiment(const ExperimentDef &def, StatSink &sink,
               const RunExperimentOptions &opts)
 {
+    obs::ScopedSpan expSpan(std::string("experiment:") + def.name,
+                            "harness");
     unsigned scale = experimentScale(def, opts.scaleDiv);
     sink.begin(def, scale);
 
@@ -291,15 +306,21 @@ runExperiment(const ExperimentDef &def, StatSink &sink,
             jobTrial.push_back(t);
         }
     }
-    parallelFor(jobUnit.size(), [&](std::size_t i) {
-        const ExperimentUnit &unit = *jobUnit[i];
-        std::size_t t = jobTrial[i];
-        std::uint64_t seed = unit.plan.seeds[t];
-        RunOutcome out = unit.plan.withSlowdown
-                             ? Runner::runWithSlowdown(unit.spec, seed)
-                             : Runner::runOne(unit.spec, seed);
-        ctx.outcomes_[unit.id][t] = std::move(out);
-    });
+    {
+        obs::ScopedSpan batchSpan("batch", "harness");
+        parallelFor(jobUnit.size(), [&](std::size_t i) {
+            const ExperimentUnit &unit = *jobUnit[i];
+            std::size_t t = jobTrial[i];
+            std::uint64_t seed = unit.plan.seeds[t];
+            obs::ScopedSpan unitSpan(std::string("unit:") + unit.id,
+                                     "harness");
+            RunOutcome out =
+                unit.plan.withSlowdown
+                    ? Runner::runWithSlowdown(unit.spec, seed)
+                    : Runner::runOne(unit.spec, seed);
+            ctx.outcomes_[unit.id][t] = std::move(out);
+        });
+    }
 
     // Stream rows in the deterministic seq order.
     std::uint64_t seq = 0;

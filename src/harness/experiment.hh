@@ -241,11 +241,17 @@ class NdjsonSink : public StatSink
  * metrics in insertion order) and print the [json] stdout line.
  * JsonReportSink and the legacy bench JsonReport wrapper both
  * funnel through here so every checked-in report stays uniform.
+ *
+ * @p obs_metrics optionally appends a `"metrics"` object — a
+ * snapshot of the process-wide obs registry (engine.* counters and
+ * friends). Host-side diagnostics only, like wall_clock_s: never
+ * part of the canonical result rows.
  */
 void writeBenchReport(
     const std::string &report, const std::string &experiment,
     const std::string &generated_by, double wall_clock_s,
-    const std::vector<std::pair<std::string, double>> &metrics);
+    const std::vector<std::pair<std::string, double>> &metrics,
+    const Json *obs_metrics = nullptr);
 
 class JsonReportSink : public StatSink
 {
@@ -258,12 +264,17 @@ class JsonReportSink : public StatSink
     void metric(const std::string &key, double value) override;
     void end(const ExperimentDef &def) override;
 
+    /** Also embed an obs-registry snapshot under `"metrics"` in the
+     *  report (bench_driver --metrics). */
+    void setIncludeObsMetrics(bool on) { includeObsMetrics_ = on; }
+
   private:
     std::string report_;
     std::string experiment_;
     std::string generatedBy_;
     std::chrono::steady_clock::time_point t0_;
     std::vector<std::pair<std::string, double>> metrics_;
+    bool includeObsMetrics_ = false;
 };
 
 /**

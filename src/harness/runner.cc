@@ -8,6 +8,8 @@
 #include "base/logging.hh"
 #include "base/lru_map.hh"
 #include "harness/oracle.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace tw
 {
@@ -57,13 +59,19 @@ baselines()
 std::shared_ptr<BaselineEntry>
 baselineEntry(const std::string &key)
 {
+    static obs::Counter obsHits =
+        obs::registry().counter("engine.baseline.hits");
+    static obs::Counter obsMisses =
+        obs::registry().counter("engine.baseline.misses");
     std::lock_guard<std::mutex> lock(baselinesMutex);
     auto &map = baselines();
     if (std::shared_ptr<BaselineEntry> *entry = map.find(key)) {
         ++baselineHits;
+        obsHits.inc();
         return *entry;
     }
     ++baselineMisses;
+    obsMisses.inc();
     return map.insert(key, std::make_shared<BaselineEntry>());
 }
 
@@ -103,6 +111,7 @@ Runner::baselineKey(const RunSpec &spec, std::uint64_t trial_seed)
 RunOutcome
 Runner::runOne(const RunSpec &spec, std::uint64_t trial_seed)
 {
+    obs::ScopedSpan span("trial", "harness");
     SystemConfig sys = spec.sys;
     sys.trialSeed = trial_seed;
     System system(sys, spec.workload);
@@ -198,6 +207,7 @@ Runner::runWithSlowdown(const RunSpec &spec, std::uint64_t trial_seed)
     std::shared_ptr<BaselineEntry> entry =
         baselineEntry(baselineKey(spec, trial_seed));
     std::call_once(entry->once, [&] {
+        obs::ScopedSpan span("baseline", "harness");
         RunSpec normal = spec;
         normal.sim = SimKind::None;
         entry->cycles = runOne(normal, trial_seed).run.cycles;

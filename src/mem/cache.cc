@@ -4,6 +4,8 @@
 
 #include "base/bitops.hh"
 #include "base/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace tw
 {
@@ -265,9 +267,20 @@ Cache::flushWhere(Pred &&pred)
     return flushSetRange(0, cfg_.numSets(), std::forward<Pred>(pred));
 }
 
+Cache::~Cache()
+{
+    static obs::Counter fast =
+        obs::registry().counter("engine.flush.ranged");
+    static obs::Counter slow =
+        obs::registry().counter("engine.flush.scan");
+    fast.add(flushFast_);
+    slow.add(flushSlow_);
+}
+
 unsigned
 Cache::flushPhysPage(Addr pfn, std::uint32_t page_bytes)
 {
+    obs::ScopedSpan flushSpan("flush", "mem");
     Addr lines_per_page = page_bytes >> lineShift_;
     if (lines_per_page == 0)
         return 0;
@@ -284,11 +297,13 @@ Cache::flushPhysPage(Addr pfn, std::uint32_t page_bytes)
         // exist. No wrap is possible.
         std::uint64_t span =
             std::min<std::uint64_t>(lines_per_page, cfg_.numSets());
+        ++flushFast_;
         return flushSetRange(first_line & setMask_, span, in_page);
     }
     // Virtually indexed: the page's contents may sit in any set
     // (placement depends on the mapping), so scan everything but
     // skip empty sets.
+    ++flushSlow_;
     return flushWhere(in_page);
 }
 
@@ -296,16 +311,21 @@ unsigned
 Cache::flushPhysLine(Addr pa_line)
 {
     auto match = [=](const Line &l) { return l.paLine == pa_line; };
-    if (cfg_.indexing == Indexing::Physical)
+    if (cfg_.indexing == Indexing::Physical) {
+        ++flushFast_;
         return flushSetRange(pa_line & setMask_, 1, match);
+    }
+    ++flushSlow_;
     return flushWhere(match);
 }
 
 unsigned
 Cache::flushVirtPage(TaskId tid, Addr vpn, std::uint32_t page_bytes)
 {
+    obs::ScopedSpan flushSpan("flush", "mem");
     TW_ASSERT(cfg_.indexing == Indexing::Virtual,
               "virtual flush on a physically-indexed cache");
+    ++flushFast_;
     Addr lines_per_page = page_bytes >> lineShift_;
     if (lines_per_page == 0)
         return 0;

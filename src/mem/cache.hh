@@ -69,6 +69,8 @@ class Cache
 {
   public:
     explicit Cache(const CacheConfig &config);
+    /** Folds the flush-path tallies into the obs registry. */
+    ~Cache();
 
     const CacheConfig &config() const { return cfg_; }
 
@@ -187,6 +189,11 @@ class Cache
     std::vector<std::uint32_t> setOcc_;
     std::uint64_t stampCounter_ = 0;
     Counter writebacks_ = 0;
+    /** Observability tallies, drained once by ~Cache(): page/line
+     *  flushes that scanned only the mapped set range vs. the whole
+     *  cache (the virtually-indexed fallback). */
+    Counter flushFast_ = 0;
+    Counter flushSlow_ = 0;
     Rng rng_;
 };
 

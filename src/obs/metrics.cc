@@ -1,0 +1,333 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace tw
+{
+namespace obs
+{
+
+// --------------------------------------------------------------------
+// LatencyStat.
+
+LatencyStat::Snapshot
+LatencyStat::snapshot() const
+{
+    Snapshot s;
+    s.count = count_.load(std::memory_order_relaxed);
+    if (s.count == 0)
+        return s;
+    s.sumUs = sumUs_.load(std::memory_order_relaxed);
+    s.meanUs = static_cast<double>(s.sumUs)
+               / static_cast<double>(s.count);
+    s.maxUs =
+        static_cast<double>(maxUs_.load(std::memory_order_relaxed));
+    s.overflow = overflow_.load(std::memory_order_relaxed);
+
+    // Quantiles from the histogram: the value reported for bucket b
+    // is 2^b us, its lower bound. A target that falls beyond the
+    // buckets — in the overflow region — reports the recorded max:
+    // the histogram knows nothing finer there, and folding it back
+    // to a 2^47 "bound" would fabricate precision.
+    std::array<std::uint64_t, kBuckets> counts;
+    std::uint64_t total = s.overflow;
+    for (unsigned i = 0; i < kBuckets; ++i) {
+        counts[i] = buckets_[i].load(std::memory_order_relaxed);
+        total += counts[i];
+    }
+    auto quantile = [&](double q) -> double {
+        if (total == 0)
+            return 0.0;
+        std::uint64_t target = static_cast<std::uint64_t>(
+            q * static_cast<double>(total - 1));
+        std::uint64_t seen = 0;
+        for (unsigned i = 0; i < kBuckets; ++i) {
+            seen += counts[i];
+            if (seen > target)
+                return static_cast<double>(1ull << i);
+        }
+        return s.maxUs;
+    };
+    s.p50Us = quantile(0.50);
+    s.p99Us = quantile(0.99);
+    return s;
+}
+
+Json
+LatencyStat::toJson() const
+{
+    Snapshot s = snapshot();
+    Json j = Json::object();
+    j.set("count", Json::number(s.count));
+    j.set("mean_us", Json::number(s.meanUs));
+    j.set("p50_us", Json::number(s.p50Us));
+    j.set("p99_us", Json::number(s.p99Us));
+    j.set("max_us", Json::number(s.maxUs));
+    j.set("overflow", Json::number(s.overflow));
+    return j;
+}
+
+// --------------------------------------------------------------------
+// Per-thread counter shards.
+
+/**
+ * One thread's private slots, one per counter id. The owning thread
+ * is the sole writer: add() is a relaxed load+store, no RMW. The
+ * deque never moves elements, so a reader holding the registry
+ * mutex can safely index slots the owner published via `ready`
+ * (growth also happens under the registry mutex). On thread exit
+ * the destructor folds the slots into the registry's retired totals
+ * under the same mutex, which is what makes drained totals exact
+ * and snapshots monotone.
+ */
+struct ThreadShard
+{
+    Registry *reg = nullptr;
+    std::deque<std::atomic<std::uint64_t>> slots;
+    /** Slots [0, ready) are allocated and safe to read. */
+    std::atomic<std::size_t> ready{0};
+
+    ~ThreadShard()
+    {
+        if (!reg)
+            return;
+        std::lock_guard<std::mutex> lock(reg->mutex_);
+        std::size_t n = ready.load(std::memory_order_relaxed);
+        for (std::size_t i = 0; i < n && i < reg->retired_.size();
+             ++i) {
+            reg->retired_[i] +=
+                slots[i].load(std::memory_order_relaxed);
+        }
+        auto &shards = reg->shards_;
+        shards.erase(std::remove(shards.begin(), shards.end(), this),
+                     shards.end());
+    }
+};
+
+namespace
+{
+
+ThreadShard &
+tlsShard(Registry *reg, std::mutex &mutex,
+         std::vector<ThreadShard *> &shards)
+{
+    thread_local ThreadShard shard;
+    if (!shard.reg) {
+        shard.reg = reg;
+        std::lock_guard<std::mutex> lock(mutex);
+        shards.push_back(&shard);
+    }
+    return shard;
+}
+
+/** Prometheus metric name: tw_ prefix, [a-zA-Z0-9_:] only. */
+std::string
+promName(const std::string &name)
+{
+    std::string out = "tw_";
+    for (char c : name) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+                  || (c >= '0' && c <= '9') || c == '_' || c == ':';
+        out.push_back(ok ? c : '_');
+    }
+    return out;
+}
+
+void
+appendProm(std::string &out, const std::string &name,
+           const char *type, const std::string &value)
+{
+    out += "# TYPE " + name + " " + type + "\n";
+    out += name + " " + value + "\n";
+}
+
+std::string
+fmtU64(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+std::string
+fmtF(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+} // anonymous namespace
+
+// --------------------------------------------------------------------
+// Registry.
+
+Registry &
+registry()
+{
+    // Leaked: thread_local shard destructors may run after static
+    // destruction, and they take the registry mutex.
+    static Registry *reg = new Registry;
+    return *reg;
+}
+
+Counter
+Registry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = counterIds_.find(name);
+    if (it != counterIds_.end())
+        return Counter(this, it->second);
+    unsigned id = static_cast<unsigned>(counterNames_.size());
+    counterIds_.emplace(name, id);
+    counterNames_.push_back(name);
+    retired_.push_back(0);
+    return Counter(this, id);
+}
+
+Gauge
+Registry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = gaugeIds_.find(name);
+    if (it != gaugeIds_.end())
+        return Gauge(&gaugeCells_[it->second]);
+    unsigned id = static_cast<unsigned>(gaugeCells_.size());
+    gaugeIds_.emplace(name, id);
+    gaugeCells_.emplace_back(0);
+    return Gauge(&gaugeCells_[id]);
+}
+
+LatencyStat &
+Registry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = histogramIds_.find(name);
+    if (it != histogramIds_.end())
+        return histograms_[it->second];
+    unsigned id = static_cast<unsigned>(histograms_.size());
+    histogramIds_.emplace(name, id);
+    histograms_.emplace_back();
+    return histograms_[id];
+}
+
+void
+Registry::addToShard(unsigned id, std::uint64_t n)
+{
+    ThreadShard &shard = tlsShard(this, mutex_, shards_);
+    if (id >= shard.ready.load(std::memory_order_relaxed)) {
+        // Grow under the registry mutex so concurrent snapshotters
+        // never race deque growth; publish the new size with
+        // release so their acquire read bounds what they index.
+        std::lock_guard<std::mutex> lock(mutex_);
+        while (shard.slots.size() <= id)
+            shard.slots.emplace_back(0);
+        shard.ready.store(shard.slots.size(),
+                          std::memory_order_release);
+    }
+    std::atomic<std::uint64_t> &slot = shard.slots[id];
+    // Owner-only writer: load+store beats fetch_add and stays
+    // atomic for concurrent snapshot readers.
+    slot.store(slot.load(std::memory_order_relaxed) + n,
+               std::memory_order_relaxed);
+}
+
+std::uint64_t
+Registry::counterTotalLocked(unsigned id) const
+{
+    std::uint64_t total = retired_[id];
+    for (const ThreadShard *shard : shards_) {
+        if (id < shard->ready.load(std::memory_order_acquire))
+            total += shard->slots[id].load(std::memory_order_relaxed);
+    }
+    return total;
+}
+
+std::vector<CounterValue>
+Registry::counterValues() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<CounterValue> out;
+    out.reserve(counterIds_.size());
+    for (const auto &[name, id] : counterIds_)
+        out.push_back({name, counterTotalLocked(id)});
+    return out;
+}
+
+Json
+Registry::snapshotJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Json j = Json::object();
+
+    Json counters = Json::object();
+    for (const auto &[name, id] : counterIds_)
+        counters.set(name, Json::number(counterTotalLocked(id)));
+    j.set("counters", std::move(counters));
+
+    Json gauges = Json::object();
+    for (const auto &[name, id] : gaugeIds_) {
+        gauges.set(name,
+                   Json::number(gaugeCells_[id].load(
+                       std::memory_order_relaxed)));
+    }
+    j.set("gauges", std::move(gauges));
+
+    Json hists = Json::object();
+    for (const auto &[name, id] : histogramIds_)
+        hists.set(name, histograms_[id].toJson());
+    j.set("histograms", std::move(hists));
+    return j;
+}
+
+std::string
+Registry::promText() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string out;
+    for (const auto &[name, id] : counterIds_) {
+        appendProm(out, promName(name), "counter",
+                   fmtU64(counterTotalLocked(id)));
+    }
+    for (const auto &[name, id] : gaugeIds_) {
+        appendProm(
+            out, promName(name), "gauge",
+            std::to_string(
+                gaugeCells_[id].load(std::memory_order_relaxed)));
+    }
+    for (const auto &[name, id] : histogramIds_) {
+        LatencyStat::Snapshot s = histograms_[id].snapshot();
+        std::string base = promName(name);
+        out += "# TYPE " + base + " summary\n";
+        out += base + "{quantile=\"0.5\"} " + fmtF(s.p50Us) + "\n";
+        out += base + "{quantile=\"0.99\"} " + fmtF(s.p99Us) + "\n";
+        out += base + "_sum " + fmtU64(s.sumUs) + "\n";
+        out += base + "_count " + fmtU64(s.count) + "\n";
+        appendProm(out, base + "_max", "gauge", fmtF(s.maxUs));
+        appendProm(out, base + "_overflow", "counter",
+                   fmtU64(s.overflow));
+    }
+    return out;
+}
+
+// --------------------------------------------------------------------
+// Counter handle.
+
+void
+Counter::add(std::uint64_t n)
+{
+    if (!reg_ || n == 0)
+        return;
+    reg_->addToShard(id_, n);
+}
+
+std::uint64_t
+Counter::value() const
+{
+    if (!reg_)
+        return 0;
+    std::lock_guard<std::mutex> lock(reg_->mutex_);
+    return reg_->counterTotalLocked(id_);
+}
+
+} // namespace obs
+} // namespace tw

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * The process-wide metric registry: named counters, gauges, and
+ * log2 latency histograms shared by the simulator core, the trial
+ * harness, the experiment engine, and the serve layer.
+ *
+ * Design constraints, in order:
+ *
+ *  1. Hot paths pay (at most) one relaxed per-thread increment.
+ *     Counters are SHARDED: each thread owns a private slot per
+ *     counter id, written with a relaxed store (the owning thread
+ *     is the only writer, so no RMW is needed), and a snapshot sums
+ *     the live slots plus a retired total folded in when threads
+ *     exit. The engine goes further still — System/Cache/Tapeworm
+ *     tally into plain members during a (single-threaded) trial and
+ *     flush here once per run — so the per-reference cost of
+ *     observability inside the PR 3 inner loops is zero.
+ *
+ *  2. Snapshots are EXACT once writers are quiescent, and MONOTONE
+ *     always: slots only grow, retirement happens under the same
+ *     mutex as reads, so two successive snapshots can never observe
+ *     a counter shrinking.
+ *
+ *  3. One namespace. serve's request counters and the engine's
+ *     ref/probe/TLB counters live in the same registry, so one
+ *     `metrics` op (or `twctl metrics --prom`) shows the whole
+ *     process. Names are dotted ("engine.refs.chunked"); the
+ *     Prometheus renderer mangles them to tw_engine_refs_chunked.
+ *
+ * The registry is a leaked singleton: thread_local shard
+ * destructors run during thread teardown, potentially after static
+ * destructors, so the registry must never be destroyed.
+ */
+
+#ifndef TW_OBS_METRICS_HH
+#define TW_OBS_METRICS_HH
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "base/json.hh"
+
+namespace tw
+{
+namespace obs
+{
+
+class Registry;
+struct ThreadShard;
+
+/** Handle to one registered counter. Cheap to copy; add() is the
+ *  hot-path entry point (per-thread sharded, relaxed). A
+ *  default-constructed handle is a no-op sink. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void add(std::uint64_t n);
+    void inc() { add(1); }
+
+    /** Exact total across retired and live shards (locks). */
+    std::uint64_t value() const;
+
+  private:
+    friend class Registry;
+    Counter(Registry *reg, unsigned id) : reg_(reg), id_(id) {}
+
+    Registry *reg_ = nullptr;
+    unsigned id_ = 0;
+};
+
+/** Handle to one registered gauge: a shared relaxed atomic, for
+ *  up/down live state (queue depth, jobs in flight). */
+class Gauge
+{
+  public:
+    Gauge() = default;
+
+    void
+    set(std::int64_t v)
+    {
+        if (cell_)
+            cell_->store(v, std::memory_order_relaxed);
+    }
+
+    void
+    add(std::int64_t d)
+    {
+        if (cell_)
+            cell_->fetch_add(d, std::memory_order_relaxed);
+    }
+
+    std::int64_t
+    value() const
+    {
+        return cell_ ? cell_->load(std::memory_order_relaxed) : 0;
+    }
+
+  private:
+    friend class Registry;
+    explicit Gauge(std::atomic<std::int64_t> *cell) : cell_(cell) {}
+
+    std::atomic<std::int64_t> *cell_ = nullptr;
+};
+
+/**
+ * Thread-safe latency recorder (microseconds, log2 buckets).
+ * Shared relaxed atomics rather than shards: record() sits on cold
+ * paths (once per request/trial, not per reference), where four
+ * relaxed RMWs are cheap and exact bucket totals keep quantiles
+ * honest.
+ *
+ * Values at or above 2^47 us (~4.5 years) do not fit the histogram
+ * and are counted in an explicit `overflow` bucket instead of being
+ * silently folded into the top bucket; quantiles that land in the
+ * overflow region report the recorded max rather than a fabricated
+ * 2^47 bound.
+ */
+class LatencyStat
+{
+  public:
+    static constexpr unsigned kBuckets = 48;
+    /** First value that no longer fits a bucket. */
+    static constexpr std::uint64_t kOverflowUs = 1ull
+                                                 << (kBuckets - 1);
+
+    void
+    record(double us)
+    {
+        if (us < 0.0)
+            us = 0.0;
+        auto u = static_cast<std::uint64_t>(us);
+        count_.fetch_add(1, std::memory_order_relaxed);
+        sumUs_.fetch_add(u, std::memory_order_relaxed);
+        std::uint64_t prev = maxUs_.load(std::memory_order_relaxed);
+        while (u > prev
+               && !maxUs_.compare_exchange_weak(
+                   prev, u, std::memory_order_relaxed)) {
+        }
+        if (u >= kOverflowUs)
+            overflow_.fetch_add(1, std::memory_order_relaxed);
+        else
+            buckets_[bucketOf(u)].fetch_add(
+                1, std::memory_order_relaxed);
+    }
+
+    /** Bucket index of @p us: 0 holds {0,1}, bucket b>=1 holds
+     *  [2^b, 2^(b+1)). Only defined below kOverflowUs. */
+    static unsigned
+    bucketOf(std::uint64_t us)
+    {
+        unsigned b = 0;
+        while (us > 1 && b < kBuckets - 1) {
+            us >>= 1;
+            ++b;
+        }
+        return b;
+    }
+
+    struct Snapshot
+    {
+        std::uint64_t count = 0;
+        std::uint64_t sumUs = 0;
+        double meanUs = 0.0;
+        double p50Us = 0.0;
+        double p99Us = 0.0;
+        double maxUs = 0.0;
+        std::uint64_t overflow = 0;
+    };
+
+    Snapshot snapshot() const;
+
+    /** As {"count":..,"mean_us":..,"p50_us":..,"p99_us":..,
+     *  "max_us":..,"overflow":..}. */
+    Json toJson() const;
+
+  private:
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> sumUs_{0};
+    std::atomic<std::uint64_t> maxUs_{0};
+    std::atomic<std::uint64_t> overflow_{0};
+};
+
+/** One named counter total, in sorted-name order. */
+struct CounterValue
+{
+    std::string name;
+    std::uint64_t value = 0;
+};
+
+/** The process-wide registry (see file comment). Obtain with
+ *  registry(); never constructed elsewhere. */
+class Registry
+{
+  public:
+    /** Find-or-create; handles to the same name share one total. */
+    Counter counter(const std::string &name);
+    Gauge gauge(const std::string &name);
+    /** The reference stays valid forever (registry is leaked and
+     *  histograms are never removed). */
+    LatencyStat &histogram(const std::string &name);
+
+    /** Every counter's exact-at-quiescence total, sorted by name. */
+    std::vector<CounterValue> counterValues() const;
+
+    /** {"counters":{..},"gauges":{..},"histograms":{..}} with keys
+     *  sorted — deterministic output for diffs and tests. */
+    Json snapshotJson() const;
+
+    /** Prometheus text exposition format (# TYPE lines, tw_
+     *  prefix, dots mangled to underscores). */
+    std::string promText() const;
+
+  private:
+    friend Registry &registry();
+    friend class Counter;
+    friend struct ThreadShard;
+
+    Registry() = default;
+    Registry(const Registry &) = delete;
+    Registry &operator=(const Registry &) = delete;
+
+    /** Hot path: bump this thread's slot for counter @p id. */
+    void addToShard(unsigned id, std::uint64_t n);
+    /** Retired + live-shard sum for one id; caller holds mutex_. */
+    std::uint64_t counterTotalLocked(unsigned id) const;
+
+    mutable std::mutex mutex_;
+    std::map<std::string, unsigned> counterIds_;
+    std::vector<std::string> counterNames_;
+    /** Folded totals of exited threads, indexed by counter id. */
+    std::vector<std::uint64_t> retired_;
+    std::vector<ThreadShard *> shards_;
+
+    /** Deque: grows without moving, so Gauge handles stay valid. */
+    std::map<std::string, unsigned> gaugeIds_;
+    std::deque<std::atomic<std::int64_t>> gaugeCells_;
+
+    std::map<std::string, unsigned> histogramIds_;
+    std::deque<LatencyStat> histograms_;
+};
+
+/** The process-wide instance (leaked; see file comment). */
+Registry &registry();
+
+} // namespace obs
+} // namespace tw
+
+#endif // TW_OBS_METRICS_HH

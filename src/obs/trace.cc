@@ -1,0 +1,309 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace tw
+{
+namespace obs
+{
+
+namespace detail
+{
+std::atomic<bool> traceOn{false};
+} // namespace detail
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+struct TraceEvent
+{
+    std::string name;
+    const char *cat = "";
+    double tsUs = 0.0;
+    double durUs = 0.0;
+    std::uint32_t tid = 0;
+};
+
+/** Cap per thread: a runaway span site drops events (counted)
+ *  instead of eating the heap. 64K events ≈ a few MB. */
+constexpr std::size_t kMaxEventsPerThread = 1 << 16;
+
+/**
+ * One thread's span buffer. Appends take the buffer's own mutex —
+ * uncontended in steady state (the only other locker is the final
+ * drain, or this thread's own exit fold). Registered with the
+ * collector on first use; on thread exit the events move into the
+ * collector's retired list so short-lived threads (serve sessions)
+ * don't lose their spans.
+ */
+struct TraceBuf
+{
+    std::mutex mutex;
+    std::vector<TraceEvent> events;
+    std::uint64_t dropped = 0;
+    std::uint32_t tid = 0;
+
+    ~TraceBuf();
+};
+
+struct Collector
+{
+    std::mutex mutex;
+    std::vector<TraceBuf *> bufs;
+    std::vector<TraceEvent> retired;
+    std::uint64_t retiredDropped = 0;
+    std::uint32_t nextTid = 1;
+    std::string path;
+};
+
+/** traceStart time as raw steady-clock nanoseconds, readable from
+ *  span hot paths without the collector mutex. */
+std::atomic<std::int64_t> epochNs{0};
+
+double
+nowUs()
+{
+    std::int64_t ns = std::chrono::duration_cast<
+                          std::chrono::nanoseconds>(
+                          Clock::now().time_since_epoch())
+                          .count();
+    return static_cast<double>(
+               ns - epochNs.load(std::memory_order_relaxed))
+           / 1e3;
+}
+
+Collector &
+collector()
+{
+    // Leaked for the same reason as the metric registry: TraceBuf
+    // thread_local destructors may run arbitrarily late.
+    static Collector *c = new Collector;
+    return *c;
+}
+
+TraceBuf::~TraceBuf()
+{
+    Collector &c = collector();
+    std::lock_guard<std::mutex> clock_(c.mutex);
+    {
+        std::lock_guard<std::mutex> block(mutex);
+        c.retired.insert(c.retired.end(),
+                         std::make_move_iterator(events.begin()),
+                         std::make_move_iterator(events.end()));
+        events.clear();
+        c.retiredDropped += dropped;
+    }
+    c.bufs.erase(std::remove(c.bufs.begin(), c.bufs.end(), this),
+                 c.bufs.end());
+}
+
+TraceBuf &
+tlsBuf()
+{
+    thread_local TraceBuf buf;
+    if (buf.tid == 0) {
+        Collector &c = collector();
+        std::lock_guard<std::mutex> lock(c.mutex);
+        buf.tid = c.nextTid++;
+        c.bufs.push_back(&buf);
+    }
+    return buf;
+}
+
+void
+appendJsonEscaped(std::string &out, const std::string &s)
+{
+    for (char ch : s) {
+        switch (ch) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+                out += buf;
+            } else {
+                out.push_back(ch);
+            }
+        }
+    }
+}
+
+} // anonymous namespace
+
+bool
+traceStart(const std::string &path, std::string *err)
+{
+    Collector &c = collector();
+    traceStop(); // flush any previous arm first
+    std::FILE *probe = std::fopen(path.c_str(), "w");
+    if (!probe) {
+        if (err)
+            *err = "cannot open " + path;
+        return false;
+    }
+    std::fclose(probe);
+    {
+        std::lock_guard<std::mutex> lock(c.mutex);
+        c.path = path;
+        epochNs.store(std::chrono::duration_cast<
+                          std::chrono::nanoseconds>(
+                          Clock::now().time_since_epoch())
+                          .count(),
+                      std::memory_order_relaxed);
+        c.retired.clear();
+        c.retiredDropped = 0;
+        for (TraceBuf *buf : c.bufs) {
+            std::lock_guard<std::mutex> block(buf->mutex);
+            buf->events.clear();
+            buf->dropped = 0;
+        }
+    }
+    detail::traceOn.store(true, std::memory_order_relaxed);
+    return true;
+}
+
+void
+traceStop()
+{
+    if (!traceEnabled())
+        return;
+    // Disarm first: spans that begin after this line are dropped at
+    // their ScopedSpan constructor; in-flight ones may still land
+    // below because the drain holds each buffer's mutex.
+    detail::traceOn.store(false, std::memory_order_relaxed);
+
+    Collector &c = collector();
+    std::vector<TraceEvent> events;
+    std::uint64_t dropped = 0;
+    std::string path;
+    {
+        std::lock_guard<std::mutex> lock(c.mutex);
+        path = c.path;
+        c.path.clear();
+        events = std::move(c.retired);
+        c.retired.clear();
+        dropped = c.retiredDropped;
+        c.retiredDropped = 0;
+        for (TraceBuf *buf : c.bufs) {
+            std::lock_guard<std::mutex> block(buf->mutex);
+            events.insert(
+                events.end(),
+                std::make_move_iterator(buf->events.begin()),
+                std::make_move_iterator(buf->events.end()));
+            buf->events.clear();
+            dropped += buf->dropped;
+            buf->dropped = 0;
+        }
+    }
+    if (path.empty())
+        return;
+
+    std::sort(events.begin(), events.end(),
+              [](const TraceEvent &a, const TraceEvent &b) {
+                  return a.tsUs < b.tsUs;
+              });
+
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        warn("trace: cannot write %s", path.c_str());
+        return;
+    }
+    std::string out = "{\"traceEvents\":[";
+    bool first = true;
+    for (const TraceEvent &e : events) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "\n{\"name\":\"";
+        appendJsonEscaped(out, e.name);
+        out += "\",\"cat\":\"";
+        appendJsonEscaped(out, e.cat);
+        char buf[128];
+        std::snprintf(buf, sizeof(buf),
+                      "\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+                      "\"pid\":1,\"tid\":%u}",
+                      e.tsUs, e.durUs, e.tid);
+        out += buf;
+    }
+    out += "\n],\"displayTimeUnit\":\"ms\"";
+    if (dropped) {
+        out += ",\"otherData\":{\"dropped_events\":\""
+               + std::to_string(dropped) + "\"}";
+    }
+    out += "}\n";
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+    inform("trace: wrote %zu span(s) to %s%s", events.size(),
+           path.c_str(), dropped ? " (some dropped)" : "");
+}
+
+std::uint64_t
+traceNowUs()
+{
+    if (!traceEnabled())
+        return 0;
+    double us = nowUs();
+    return us > 0.0 ? static_cast<std::uint64_t>(us) : 0;
+}
+
+void
+traceRecord(std::string name, const char *cat, double ts_us,
+            double dur_us)
+{
+    if (!traceEnabled())
+        return;
+    TraceBuf &buf = tlsBuf();
+    std::lock_guard<std::mutex> lock(buf.mutex);
+    if (buf.events.size() >= kMaxEventsPerThread) {
+        ++buf.dropped;
+        return;
+    }
+    TraceEvent e;
+    e.name = std::move(name);
+    e.cat = cat;
+    e.tsUs = ts_us;
+    e.durUs = dur_us;
+    e.tid = buf.tid;
+    buf.events.push_back(std::move(e));
+}
+
+void
+ScopedSpan::arm(std::string name, const char *cat)
+{
+    name_ = std::move(name);
+    cat_ = cat;
+    t0Us_ = nowUs();
+    armed_ = true;
+}
+
+void
+ScopedSpan::finish()
+{
+    if (!traceEnabled())
+        return;
+    traceRecord(std::move(name_), cat_, t0Us_,
+                std::max(0.0, nowUs() - t0Us_));
+}
+
+} // namespace obs
+} // namespace tw

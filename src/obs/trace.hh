@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Lightweight span tracing with Chrome trace-event export.
+ *
+ * Spans are begin/end intervals recorded into per-thread buffers
+ * and drained post-run into one JSON file that chrome://tracing or
+ * Perfetto loads directly. The design center is "off costs
+ * nothing, on costs little":
+ *
+ *  - Disabled (the default), ScopedSpan's constructor is one
+ *    relaxed atomic load and a branch. No clock reads, no
+ *    allocation. Instrumentation can therefore live permanently in
+ *    the harness, the experiment engine, the cache flush paths and
+ *    the serve request pipeline.
+ *  - Enabled (--trace-out / TW_TRACE), each span costs two
+ *    steady_clock reads and one buffered append under a per-thread
+ *    mutex (uncontended except during the final drain). Buffers
+ *    are bounded; overflow drops events and reports the count in
+ *    the exported file rather than growing without bound.
+ *
+ * Spans deliberately do NOT appear in any canonical output — the
+ * trace file is a host-side artifact exactly like hostSeconds, so
+ * tracing on vs off cannot perturb bit-identical results.
+ */
+
+#ifndef TW_OBS_TRACE_HH
+#define TW_OBS_TRACE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace tw
+{
+namespace obs
+{
+
+namespace detail
+{
+extern std::atomic<bool> traceOn;
+} // namespace detail
+
+/** True between traceStart() and traceStop(). Hot-path gate. */
+inline bool
+traceEnabled()
+{
+    return detail::traceOn.load(std::memory_order_relaxed);
+}
+
+/**
+ * Arm tracing: spans recorded from now on are written to @p path
+ * at traceStop(). False (with @p err) if the path is not writable.
+ * Restarting discards any spans left from a previous arm.
+ */
+bool traceStart(const std::string &path, std::string *err = nullptr);
+
+/** Drain every thread's buffer, write the Chrome trace-event JSON,
+ *  and disarm. No-op when not armed. */
+void traceStop();
+
+/** Microseconds since traceStart (0 when disabled). For events
+ *  whose begin predates the recording call (queue waits). */
+std::uint64_t traceNowUs();
+
+/** Record one complete span explicitly (begin @p ts_us on the
+ *  trace timebase, lasting @p dur_us). */
+void traceRecord(std::string name, const char *cat,
+                 double ts_us, double dur_us);
+
+/** RAII span: records [construction, destruction) when tracing is
+ *  enabled at construction time. */
+class ScopedSpan
+{
+  public:
+    explicit ScopedSpan(const char *name, const char *cat = "tw")
+    {
+        if (traceEnabled())
+            arm(name, cat);
+    }
+
+    ScopedSpan(std::string name, const char *cat = "tw")
+    {
+        if (traceEnabled())
+            arm(std::move(name), cat);
+    }
+
+    ~ScopedSpan()
+    {
+        if (armed_)
+            finish();
+    }
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+  private:
+    void arm(std::string name, const char *cat);
+    void finish();
+
+    std::string name_;
+    const char *cat_ = "";
+    double t0Us_ = 0.0;
+    bool armed_ = false;
+};
+
+} // namespace obs
+} // namespace tw
+
+#endif // TW_OBS_TRACE_HH

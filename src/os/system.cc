@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "base/logging.hh"
+#include "obs/metrics.hh"
 #include "workload/loop_nest.hh"
 
 namespace tw
@@ -193,8 +194,11 @@ System::translateFast(Task &task, Addr va, MicroTlb &tlb)
     // recycle path flush these entries), so a hit is exact.
     Addr page = va & ~static_cast<Addr>(kHostPageBytes - 1);
     MicroTlb::Entry &e = tlb.slot(page);
-    if (e.vaPage == page && e.gen == tlb.gen) [[likely]]
+    if (e.vaPage == page && e.gen == tlb.gen) [[likely]] {
+        ++obsUtlbHits_;
         return e.paBase + (va & (kHostPageBytes - 1));
+    }
+    ++obsUtlbMisses_;
     Addr pa = translate(task, va);
     e.vaPage = page;
     e.paBase = pa & ~static_cast<Addr>(kHostPageBytes - 1);
@@ -391,6 +395,7 @@ System::runInner(Task &task, Counter h)
                 : 0;
 
     Counter data_refs = 0;
+    Counter probed = 0;
     Counter left = h;
     // An event that charges cycles makes its step the last of this
     // call (legacy `extra` semantics).
@@ -428,6 +433,7 @@ System::runInner(Task &task, Counter h)
             // Trap bits on this page: single exact step.
             ++fp;
             n = 1;
+            ++probed;
             Addr pa = ipaBase + (va & off);
             std::uint64_t g = pa >> fshift;
             if ((fetch_bits[g >> 6] >> (g & 63)) & 1) [[unlikely]] {
@@ -542,6 +548,9 @@ System::runInner(Task &task, Counter h)
     cycles_ += done * cfg_.cpiBase;
     result_.instr[static_cast<unsigned>(task.component)] += done;
     task.executed += done;
+    obsRefsChunked_ += done + data_refs;
+    obsProbeHits_ += probed;
+    obsProbeSkips_ += done + data_refs - probed;
     return done;
 }
 
@@ -607,6 +616,7 @@ System::runInnerFiltered(Task &task, Counter h)
                 : 0;
 
     Counter data_refs = 0;
+    Counter probed = 0;
     // Countdown to the horizon. A step that charges extra cycles
     // must be the last one of this call (legacy `extra` semantics);
     // every such site simply forces `left = 1` so the shared
@@ -640,6 +650,7 @@ System::runInnerFiltered(Task &task, Counter h)
                      && pageSpanTrapped(fetch_bits, fshift, ipaBase);
         }
         if (fprobe) [[unlikely]] {
+            ++probed;
             Addr pa = ipaBase + (va & off);
             std::uint64_t g = pa >> fshift;
             if ((fetch_bits[g >> 6] >> (g & 63)) & 1) [[unlikely]] {
@@ -684,6 +695,7 @@ System::runInnerFiltered(Task &task, Counter h)
                 store_phase = 0;
             ++data_refs;
             if (dprobe) [[unlikely]] {
+                ++probed;
                 bool want = store_phase == 0 ? want_store
                                              : want_load;
                 Addr dpa = dpaBase + (dva & off);
@@ -718,6 +730,9 @@ System::runInnerFiltered(Task &task, Counter h)
     cycles_ += done * cfg_.cpiBase;
     result_.instr[static_cast<unsigned>(task.component)] += done;
     task.executed += done;
+    obsRefsFiltered_ += done + data_refs;
+    obsProbeHits_ += probed;
+    obsProbeSkips_ += done + data_refs - probed;
     return done;
 }
 
@@ -758,6 +773,7 @@ System::runInnerObserved(Task &task, Counter h)
 
     Counter done = 0;
     bool extra = false;
+    const Counter dataRefs0 = result_.dataRefs;
 
     for (;;) {
         if (fpos == flen) [[unlikely]] {
@@ -863,6 +879,7 @@ System::runInnerObserved(Task &task, Counter h)
     fb.pos = fpos;
     db.pos = dpos;
     result_.instr[static_cast<unsigned>(task.component)] += done;
+    obsRefsObserved_ += done + (result_.dataRefs - dataRefs0);
     return done;
 }
 
@@ -1114,7 +1131,37 @@ System::run()
     }
 
     result_.cycles = cycles_;
+    flushObsCounters();
     return result_;
+}
+
+void
+System::flushObsCounters()
+{
+    // Function-local statics: one registry lookup per process, then
+    // each run costs a handful of relaxed sharded adds (add() is a
+    // no-op for zero tallies).
+    static obs::Counter chunked =
+        obs::registry().counter("engine.refs.chunked");
+    static obs::Counter filtered =
+        obs::registry().counter("engine.refs.filtered");
+    static obs::Counter observed =
+        obs::registry().counter("engine.refs.observed");
+    static obs::Counter probeHits =
+        obs::registry().counter("engine.probe.hits");
+    static obs::Counter probeSkips =
+        obs::registry().counter("engine.probe.skips");
+    static obs::Counter utlbHits =
+        obs::registry().counter("engine.utlb.hits");
+    static obs::Counter utlbMisses =
+        obs::registry().counter("engine.utlb.misses");
+    chunked.add(obsRefsChunked_);
+    filtered.add(obsRefsFiltered_);
+    observed.add(obsRefsObserved_);
+    probeHits.add(obsProbeHits_);
+    probeSkips.add(obsProbeSkips_);
+    utlbHits.add(obsUtlbHits_);
+    utlbMisses.add(obsUtlbMisses_);
 }
 
 } // namespace tw

@@ -184,6 +184,10 @@ class System
     // the per-step legacy path, which is kept verbatim as
     // runSliceSlow/runBurstSlow/step/dataStep and selected by the
     // TW_SLOW_PATH environment variable.
+    /** Fold the run's observability tallies into the process-wide
+     *  obs registry (once, at the end of run()). */
+    void flushObsCounters();
+
     Addr translateFast(Task &task, Addr va, MicroTlb &tlb);
     void stepFast(Task &task);
     void dataStepFast(Task &task);
@@ -230,6 +234,18 @@ class System
     /** Translation cache for the clock handler's references, which
      *  would otherwise thrash the kernel task's fetch entry. */
     MicroTlb handlerTlb_;
+
+    // Observability tallies. Plain members summed from inner-loop
+    // locals at loop exit and flushed into the obs registry once at
+    // the end of run() — the reference hot paths never touch shared
+    // state for these.
+    Counter obsRefsChunked_ = 0;
+    Counter obsRefsFiltered_ = 0;
+    Counter obsRefsObserved_ = 0;
+    Counter obsProbeHits_ = 0;
+    Counter obsProbeSkips_ = 0;
+    Counter obsUtlbHits_ = 0;
+    Counter obsUtlbMisses_ = 0;
 
     RunResult result_;
 };

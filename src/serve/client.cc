@@ -262,14 +262,21 @@ bool
 Client::simpleOp(const char *op, const char *expect_ev, Json &resp,
                  std::string *err)
 {
+    Json req = Json::object();
+    req.set("op", Json::str(op));
+    return requestResponse(std::move(req), expect_ev, resp, err);
+}
+
+bool
+Client::requestResponse(Json req, const char *expect_ev, Json &resp,
+                        std::string *err)
+{
     if (fd_ < 0) {
         if (err)
             *err = "not connected";
         return false;
     }
     std::uint64_t id = nextId_++;
-    Json req = Json::object();
-    req.set("op", Json::str(op));
     req.set("id", Json::number(id));
     if (!sendJsonLine(fd_, req)) {
         if (err)
@@ -325,6 +332,37 @@ Client::stats(Json &out, std::string *err)
     }
     if (err)
         *err = "stats response missing payload";
+    return false;
+}
+
+bool
+Client::metrics(Json &out, std::string *prom_text, bool prom,
+                std::string *err)
+{
+    Json req = Json::object();
+    req.set("op", Json::str("metrics"));
+    if (prom)
+        req.set("format", Json::str("prom"));
+    Json resp;
+    if (!requestResponse(std::move(req), "metrics", resp, err))
+        return false;
+    if (prom) {
+        const Json *p = resp.find("prom");
+        if (!p || !p->isString()) {
+            if (err)
+                *err = "metrics response missing prom payload";
+            return false;
+        }
+        if (prom_text)
+            *prom_text = p->asString();
+        return true;
+    }
+    if (const Json *m = resp.find("metrics")) {
+        out = *m;
+        return true;
+    }
+    if (err)
+        *err = "metrics response missing payload";
     return false;
 }
 

@@ -129,6 +129,16 @@ class Client
     /** Fetch the admin stats object into @p out. */
     bool stats(Json &out, std::string *err = nullptr);
 
+    /**
+     * Fetch the process-wide metric registry. With @p prom false,
+     * @p out is the structured snapshot
+     * {"counters":..,"gauges":..,"histograms":..} and @p prom_text
+     * is untouched; with @p prom true, @p prom_text receives the
+     * Prometheus text exposition instead.
+     */
+    bool metrics(Json &out, std::string *prom_text,
+                 bool prom = false, std::string *err = nullptr);
+
     bool flushCache(std::string *err = nullptr);
 
     /** Ask the server to drain and exit. */
@@ -140,6 +150,10 @@ class Client
     /** Send one request and read frames until a terminal event. */
     bool simpleOp(const char *op, const char *expect_ev, Json &resp,
                   std::string *err);
+    /** Like simpleOp, but the caller supplies extra request fields
+     *  (op/id are filled in here). */
+    bool requestResponse(Json req, const char *expect_ev,
+                         Json &resp, std::string *err);
 
     int fd_ = -1;
     LineReader reader_;

@@ -5,58 +5,6 @@ namespace tw
 namespace serve
 {
 
-LatencyStat::Snapshot
-LatencyStat::snapshot() const
-{
-    Snapshot s;
-    s.count = count_.load(std::memory_order_relaxed);
-    if (s.count == 0)
-        return s;
-    s.meanUs = static_cast<double>(
-                   sumUs_.load(std::memory_order_relaxed))
-               / static_cast<double>(s.count);
-    s.maxUs = static_cast<double>(
-        maxUs_.load(std::memory_order_relaxed));
-
-    // Quantiles from the histogram: the value reported for a
-    // bucket is its upper bound 2^i us (conservative).
-    std::array<std::uint64_t, kBuckets> counts;
-    std::uint64_t total = 0;
-    for (unsigned i = 0; i < kBuckets; ++i) {
-        counts[i] = buckets_[i].load(std::memory_order_relaxed);
-        total += counts[i];
-    }
-    auto quantile = [&](double q) -> double {
-        if (total == 0)
-            return 0.0;
-        std::uint64_t target = static_cast<std::uint64_t>(
-            q * static_cast<double>(total - 1));
-        std::uint64_t seen = 0;
-        for (unsigned i = 0; i < kBuckets; ++i) {
-            seen += counts[i];
-            if (seen > target)
-                return static_cast<double>(1ull << i);
-        }
-        return static_cast<double>(1ull << (kBuckets - 1));
-    };
-    s.p50Us = quantile(0.50);
-    s.p99Us = quantile(0.99);
-    return s;
-}
-
-Json
-LatencyStat::toJson() const
-{
-    Snapshot s = snapshot();
-    Json j = Json::object();
-    j.set("count", Json::number(s.count));
-    j.set("mean_us", Json::number(s.meanUs));
-    j.set("p50_us", Json::number(s.p50Us));
-    j.set("p99_us", Json::number(s.p99Us));
-    j.set("max_us", Json::number(s.maxUs));
-    return j;
-}
-
 void
 MetricsRegistry::recordCacheLookup(const std::string &experiment,
                                    bool hit)

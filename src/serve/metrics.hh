@@ -1,24 +1,31 @@
 /**
  * @file
- * The experiment service's metrics registry: lock-free counters and
- * log2-bucketed latency histograms behind the admin `stats` surface.
+ * The experiment service's metrics, as a per-server VIEW over the
+ * process-wide obs registry.
  *
- * Everything here is written from hot paths (session threads,
- * workers) and read rarely (a `stats` request), so each metric is a
- * relaxed atomic — stats output is a consistent-enough snapshot,
- * not a linearizable one. Latency quantiles come from a 48-bucket
- * power-of-two histogram over microseconds: factor-of-two
- * resolution, which is plenty for spotting a saturated queue or a
- * cold-vs-cached cliff (exact percentiles for the perf trajectory
- * are computed client-side by bench_serve from per-request
- * samples).
+ * PR 6 moved the actual storage into obs::Registry so served stats
+ * and engine stats are one namespace: a `metrics` wire op (or
+ * `twctl metrics --prom`) dumps serve.* request counters next to
+ * the engine.* simulation counters the same process accumulated.
+ * What stays here is serve policy:
+ *
+ *  - the `stats` reply is PER SERVER (tests run several servers in
+ *    one process), so each counter keeps the registry total at
+ *    construction as a base and reports the delta;
+ *  - result-cache lookups per experiment stay a mutex-guarded map
+ *    keyed by experiment name — cold path, dynamic key set;
+ *  - uptime/started-at come from a steady (monotonic) clock so
+ *    they never jump with wall-clock adjustments.
+ *
+ * Latency histograms are shared registry objects (they cannot be
+ * base-subtracted); their stats are cumulative for the process,
+ * which only matters to tests that therefore assert >= rather
+ * than ==.
  */
 
 #ifndef TW_SERVE_METRICS_HH
 #define TW_SERVE_METRICS_HH
 
-#include <array>
-#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <map>
@@ -26,66 +33,53 @@
 #include <string>
 
 #include "base/json.hh"
+#include "obs/metrics.hh"
 
 namespace tw
 {
 namespace serve
 {
 
-/** Thread-safe latency recorder (microseconds, log2 buckets). */
-class LatencyStat
+using obs::LatencyStat;
+
+/** One serve counter: writes go to the process registry, value()
+ *  reads this server's contribution. */
+class ServeCounter
 {
   public:
-    void
-    record(double us)
+    explicit ServeCounter(const char *name)
+        : counter_(obs::registry().counter(name)),
+          base_(counter_.value())
     {
-        if (us < 0.0)
-            us = 0.0;
-        auto u = static_cast<std::uint64_t>(us);
-        count_.fetch_add(1, std::memory_order_relaxed);
-        sumUs_.fetch_add(u, std::memory_order_relaxed);
-        std::uint64_t prev = maxUs_.load(std::memory_order_relaxed);
-        while (u > prev
-               && !maxUs_.compare_exchange_weak(
-                   prev, u, std::memory_order_relaxed)) {
-        }
-        buckets_[bucketOf(u)].fetch_add(1,
-                                        std::memory_order_relaxed);
     }
 
-    struct Snapshot
-    {
-        std::uint64_t count = 0;
-        double meanUs = 0.0;
-        double p50Us = 0.0;
-        double p99Us = 0.0;
-        double maxUs = 0.0;
-    };
+    void inc() { counter_.inc(); }
+    void add(std::uint64_t n) { counter_.add(n); }
 
-    Snapshot snapshot() const;
-
-    /** As {"count":..,"mean_us":..,"p50_us":..,"p99_us":..,
-     *  "max_us":..}. */
-    Json toJson() const;
+    /** This server's count (registry total minus construction
+     *  base). */
+    std::uint64_t value() const { return counter_.value() - base_; }
 
   private:
-    static constexpr unsigned kBuckets = 48;
+    obs::Counter counter_;
+    std::uint64_t base_ = 0;
+};
 
-    static unsigned
-    bucketOf(std::uint64_t us)
+/** Up/down live state (jobs in flight). No base: a drained server
+ *  always returns its gauge contribution to zero. */
+class ServeGauge
+{
+  public:
+    explicit ServeGauge(const char *name)
+        : gauge_(obs::registry().gauge(name))
     {
-        unsigned b = 0;
-        while (us > 1 && b < kBuckets - 1) {
-            us >>= 1;
-            ++b;
-        }
-        return b;
     }
 
-    std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
-    std::atomic<std::uint64_t> count_{0};
-    std::atomic<std::uint64_t> sumUs_{0};
-    std::atomic<std::uint64_t> maxUs_{0};
+    void add(std::int64_t d) { gauge_.add(d); }
+    std::int64_t value() const { return gauge_.value(); }
+
+  private:
+    obs::Gauge gauge_;
 };
 
 /** All counters the server exports (see Server::statsJson for the
@@ -96,33 +90,38 @@ struct MetricsRegistry
         std::chrono::steady_clock::now();
 
     // Requests by op.
-    std::atomic<std::uint64_t> submits{0};
-    std::atomic<std::uint64_t> runExperiments{0};
-    std::atomic<std::uint64_t> statsReqs{0};
-    std::atomic<std::uint64_t> flushes{0};
-    std::atomic<std::uint64_t> pings{0};
-    std::atomic<std::uint64_t> shutdowns{0};
-    std::atomic<std::uint64_t> badRequests{0};
+    ServeCounter submits{"serve.ops.submits"};
+    ServeCounter runExperiments{"serve.ops.run_experiments"};
+    ServeCounter statsReqs{"serve.ops.stats"};
+    ServeCounter metricsReqs{"serve.ops.metrics"};
+    ServeCounter flushes{"serve.ops.flushes"};
+    ServeCounter pings{"serve.ops.pings"};
+    ServeCounter shutdowns{"serve.ops.shutdowns"};
+    ServeCounter badRequests{"serve.ops.bad_requests"};
 
     // Row outcomes.
-    std::atomic<std::uint64_t> rowsStreamed{0};
-    std::atomic<std::uint64_t> rowsCached{0};
-    std::atomic<std::uint64_t> rowsComputed{0};
-    std::atomic<std::uint64_t> rowsExpired{0};
+    ServeCounter rowsStreamed{"serve.rows.streamed"};
+    ServeCounter rowsCached{"serve.rows.cached"};
+    ServeCounter rowsComputed{"serve.rows.computed"};
+    ServeCounter rowsExpired{"serve.rows.expired"};
 
     // Admission control.
-    std::atomic<std::uint64_t> rejectedOverloaded{0};
-    std::atomic<std::uint64_t> rejectedShuttingDown{0};
+    ServeCounter rejectedOverloaded{"serve.rejected.overloaded"};
+    ServeCounter rejectedShuttingDown{
+        "serve.rejected.shutting_down"};
 
     // Live state.
-    std::atomic<std::uint64_t> jobsInFlight{0};
-    std::atomic<std::uint64_t> sessionsOpened{0};
-    std::atomic<std::uint64_t> sessionsClosed{0};
+    ServeGauge jobsInFlight{"serve.jobs_in_flight"};
+    ServeCounter sessionsOpened{"serve.sessions.opened"};
+    ServeCounter sessionsClosed{"serve.sessions.closed"};
 
-    // Per-stage latencies.
-    LatencyStat queueWait; //!< admit -> worker pop
-    LatencyStat runStage;  //!< Runner execution alone
-    LatencyStat request;   //!< submit parse -> done emitted
+    // Per-stage latencies (process-cumulative; see file comment).
+    LatencyStat &queueWait =
+        obs::registry().histogram("serve.latency.queue_wait_us");
+    LatencyStat &runStage =
+        obs::registry().histogram("serve.latency.run_us");
+    LatencyStat &request =
+        obs::registry().histogram("serve.latency.request_us");
 
     /**
      * Result-cache hit/miss counts keyed by experiment name. Ad-hoc
@@ -142,6 +141,17 @@ struct MetricsRegistry
     {
         return std::chrono::duration<double>(
                    std::chrono::steady_clock::now() - started)
+            .count();
+    }
+
+    /** Monotonic (steady-clock) timestamp of server construction,
+     *  seconds. Pairs with uptime_s: started_at_s + uptime_s is
+     *  "now" on the same clock, immune to wall-clock steps. */
+    double
+    startedAtSeconds() const
+    {
+        return std::chrono::duration<double>(
+                   started.time_since_epoch())
             .count();
     }
 

@@ -14,6 +14,7 @@
 #include "harness/experiment.hh"
 #include "harness/runner.hh"
 #include "harness/specio.hh"
+#include "obs/trace.hh"
 #include "serve/wire.hh"
 
 namespace tw
@@ -25,6 +26,11 @@ using Clock = std::chrono::steady_clock;
 
 namespace
 {
+
+/** Version of the `stats` reply payload. 1 was the unversioned
+ *  PR 4 shape; 2 adds schema_version itself, started_at_s, and
+ *  ops.metrics. Bump on any field removal or meaning change. */
+constexpr unsigned kStatsSchemaVersion = 2;
 
 double
 usSince(Clock::time_point t0)
@@ -379,8 +385,7 @@ Server::acceptLoop()
             }
             auto session = std::make_shared<Session>();
             session->fd = fd;
-            metrics_.sessionsOpened.fetch_add(
-                1, std::memory_order_relaxed);
+            metrics_.sessionsOpened.inc();
             std::lock_guard<std::mutex> lock(sessionsMutex_);
             sessions_.emplace_back();
             SessionEntry &entry = sessions_.back();
@@ -427,7 +432,7 @@ Server::sessionLoop(SessionEntry *entry)
         handleLine(session, line);
     }
     session->dead.store(true);
-    metrics_.sessionsClosed.fetch_add(1, std::memory_order_relaxed);
+    metrics_.sessionsClosed.inc();
     // Hand the entry to the accept loop's reaper: it joins this
     // thread and drops the list's Session reference. The fd closes
     // (~Session) once the last in-flight Job's reference goes too —
@@ -454,8 +459,13 @@ Server::handleLine(const std::shared_ptr<Session> &session,
 {
     Json req;
     std::string err;
-    if (!Json::parse(line, req, &err) || !req.isObject()) {
-        metrics_.badRequests.fetch_add(1, std::memory_order_relaxed);
+    bool parsed;
+    {
+        obs::ScopedSpan span("parse", "serve");
+        parsed = Json::parse(line, req, &err) && req.isObject();
+    }
+    if (!parsed) {
+        metrics_.badRequests.inc();
         sendError(session, 0, kErrBadRequest,
                   "unparseable request: " + err);
         return;
@@ -465,7 +475,7 @@ Server::handleLine(const std::shared_ptr<Session> &session,
         id = j->asU64();
     const Json *opj = req.find("op");
     if (!opj || !opj->isString()) {
-        metrics_.badRequests.fetch_add(1, std::memory_order_relaxed);
+        metrics_.badRequests.inc();
         sendError(session, id, kErrBadRequest, "missing op");
         return;
     }
@@ -480,7 +490,7 @@ Server::handleLine(const std::shared_ptr<Session> &session,
         return;
     }
     if (op == "stats") {
-        metrics_.statsReqs.fetch_add(1, std::memory_order_relaxed);
+        metrics_.statsReqs.inc();
         Json resp = Json::object();
         resp.set("id", Json::number(id));
         resp.set("ev", Json::str("stats"));
@@ -488,8 +498,25 @@ Server::handleLine(const std::shared_ptr<Session> &session,
         session->send(resp);
         return;
     }
+    if (op == "metrics") {
+        // The whole-process registry — engine counters next to
+        // serve counters — not the per-server stats view.
+        metrics_.metricsReqs.inc();
+        Json resp = Json::object();
+        resp.set("id", Json::number(id));
+        resp.set("ev", Json::str("metrics"));
+        bool prom = false;
+        if (const Json *j = req.find("format"); j && j->isString())
+            prom = j->asString() == "prom";
+        if (prom)
+            resp.set("prom", Json::str(obs::registry().promText()));
+        else
+            resp.set("metrics", obs::registry().snapshotJson());
+        session->send(resp);
+        return;
+    }
     if (op == "flush-cache") {
-        metrics_.flushes.fetch_add(1, std::memory_order_relaxed);
+        metrics_.flushes.inc();
         cache_.flush();
         Json resp = Json::object();
         resp.set("id", Json::number(id));
@@ -498,7 +525,7 @@ Server::handleLine(const std::shared_ptr<Session> &session,
         return;
     }
     if (op == "ping") {
-        metrics_.pings.fetch_add(1, std::memory_order_relaxed);
+        metrics_.pings.inc();
         Json resp = Json::object();
         resp.set("id", Json::number(id));
         resp.set("ev", Json::str("pong"));
@@ -506,7 +533,7 @@ Server::handleLine(const std::shared_ptr<Session> &session,
         return;
     }
     if (op == "shutdown") {
-        metrics_.shutdowns.fetch_add(1, std::memory_order_relaxed);
+        metrics_.shutdowns.inc();
         Json resp = Json::object();
         resp.set("id", Json::number(id));
         resp.set("ev", Json::str("ok"));
@@ -514,7 +541,7 @@ Server::handleLine(const std::shared_ptr<Session> &session,
         requestStop();
         return;
     }
-    metrics_.badRequests.fetch_add(1, std::memory_order_relaxed);
+    metrics_.badRequests.inc();
     sendError(session, id, kErrBadRequest, "unknown op '" + op + "'");
 }
 
@@ -522,11 +549,11 @@ void
 Server::handleSubmit(const std::shared_ptr<Session> &session,
                      std::uint64_t id, const Json &reqJson)
 {
-    metrics_.submits.fetch_add(1, std::memory_order_relaxed);
+    metrics_.submits.inc();
 
     // ---- Parse ----------------------------------------------------
     auto bad = [&](const std::string &msg) {
-        metrics_.badRequests.fetch_add(1, std::memory_order_relaxed);
+        metrics_.badRequests.inc();
         sendError(session, id, kErrBadRequest, msg);
     };
 
@@ -610,10 +637,10 @@ void
 Server::handleRunExperiment(const std::shared_ptr<Session> &session,
                             std::uint64_t id, const Json &reqJson)
 {
-    metrics_.runExperiments.fetch_add(1, std::memory_order_relaxed);
+    metrics_.runExperiments.inc();
 
     auto bad = [&](const std::string &msg) {
-        metrics_.badRequests.fetch_add(1, std::memory_order_relaxed);
+        metrics_.badRequests.inc();
         sendError(session, id, kErrBadRequest, msg);
     };
 
@@ -686,19 +713,18 @@ Server::admitAndStream(const std::shared_ptr<Session> &session,
     // then be cache hits).
     request->remaining.store(jobs.size() + 1);
     if (!jobs.empty()) {
+        obs::ScopedSpan span("admit", "serve");
         Clock::time_point now = Clock::now();
         for (auto &j : jobs)
             j.enqueued = now;
         std::size_t n = jobs.size();
         if (!queue_.tryPushAll(std::move(jobs))) {
             if (stopping_.load()) {
-                metrics_.rejectedShuttingDown.fetch_add(
-                    1, std::memory_order_relaxed);
+                metrics_.rejectedShuttingDown.inc();
                 sendError(session, id, kErrShuttingDown,
                           "server is draining");
             } else {
-                metrics_.rejectedOverloaded.fetch_add(
-                    1, std::memory_order_relaxed);
+                metrics_.rejectedOverloaded.inc();
                 sendError(session, id, kErrOverloaded,
                           csprintf("queue full (%zu jobs would "
                                    "exceed capacity %zu)",
@@ -706,27 +732,28 @@ Server::admitAndStream(const std::shared_ptr<Session> &session,
             }
             return;
         }
-        metrics_.jobsInFlight.fetch_add(n,
-                                        std::memory_order_relaxed);
+        metrics_.jobsInFlight.add(static_cast<std::int64_t>(n));
         // Wake workers parked in nextJob(): the queue has its own
         // cv, but dequeues are serialized on workCv_ (pause gate).
         wakeWorkers();
     }
 
     // ---- Stream cached rows, then release our +1 ------------------
-    for (const CachedHit &h : hits) {
-        Json row = Json::object();
-        setRowIdentity(row, request->experiment, id, h.unit, h.seq,
-                       h.trial, h.seed);
-        row.set("cached", Json::boolean(true));
-        row.set("host_s", Json::number(h.outcome.hostSeconds));
-        row.set("outcome", outcomeToJson(h.outcome));
-        session->send(row);
-        request->rows.fetch_add(1, std::memory_order_relaxed);
-        request->cached.fetch_add(1, std::memory_order_relaxed);
-        metrics_.rowsStreamed.fetch_add(1,
-                                        std::memory_order_relaxed);
-        metrics_.rowsCached.fetch_add(1, std::memory_order_relaxed);
+    if (!hits.empty()) {
+        obs::ScopedSpan span("stream", "serve");
+        for (const CachedHit &h : hits) {
+            Json row = Json::object();
+            setRowIdentity(row, request->experiment, id, h.unit,
+                           h.seq, h.trial, h.seed);
+            row.set("cached", Json::boolean(true));
+            row.set("host_s", Json::number(h.outcome.hostSeconds));
+            row.set("outcome", outcomeToJson(h.outcome));
+            session->send(row);
+            request->rows.fetch_add(1, std::memory_order_relaxed);
+            request->cached.fetch_add(1, std::memory_order_relaxed);
+            metrics_.rowsStreamed.inc();
+            metrics_.rowsCached.inc();
+        }
     }
     finishOne(request);
 }
@@ -738,7 +765,17 @@ Server::workerLoop()
         std::optional<Job> job = nextJob();
         if (!job)
             return; // closed and drained
-        metrics_.queueWait.record(usSince(job->enqueued));
+        double waitUs = usSince(job->enqueued);
+        metrics_.queueWait.record(waitUs);
+        if (obs::traceEnabled()) {
+            // The wait already happened; backdate its begin so the
+            // span covers [enqueue, dequeue).
+            double nowUs =
+                static_cast<double>(obs::traceNowUs());
+            obs::traceRecord("queue", "serve",
+                             std::max(0.0, nowUs - waitUs),
+                             waitUs);
+        }
 
         const Request &req = *job->req;
         Json row = Json::object();
@@ -752,14 +789,17 @@ Server::workerLoop()
             row.set("error", Json::str("deadline"));
             job->req->expired.fetch_add(1,
                                         std::memory_order_relaxed);
-            metrics_.rowsExpired.fetch_add(
-                1, std::memory_order_relaxed);
+            metrics_.rowsExpired.inc();
         } else {
             Clock::time_point t0 = Clock::now();
-            RunOutcome out =
-                job->slowdown
-                    ? Runner::runWithSlowdown(*job->spec, job->seed)
-                    : Runner::runOne(*job->spec, job->seed);
+            RunOutcome out;
+            {
+                obs::ScopedSpan span("run", "serve");
+                out = job->slowdown
+                          ? Runner::runWithSlowdown(*job->spec,
+                                                    job->seed)
+                          : Runner::runOne(*job->spec, job->seed);
+            }
             metrics_.runStage.record(usSince(t0));
             cache_.insert(job->key, out);
             row.set("cached", Json::boolean(false));
@@ -767,15 +807,15 @@ Server::workerLoop()
             row.set("outcome", outcomeToJson(out));
             job->req->computed.fetch_add(
                 1, std::memory_order_relaxed);
-            metrics_.rowsComputed.fetch_add(
-                1, std::memory_order_relaxed);
+            metrics_.rowsComputed.inc();
         }
-        req.session->send(row);
+        {
+            obs::ScopedSpan span("stream", "serve");
+            req.session->send(row);
+        }
         job->req->rows.fetch_add(1, std::memory_order_relaxed);
-        metrics_.rowsStreamed.fetch_add(1,
-                                        std::memory_order_relaxed);
-        metrics_.jobsInFlight.fetch_sub(1,
-                                        std::memory_order_relaxed);
+        metrics_.rowsStreamed.inc();
+        metrics_.jobsInFlight.add(-1);
         finishOne(job->req);
     }
 }
@@ -816,7 +856,12 @@ Json
 Server::statsJson()
 {
     Json j = Json::object();
+    j.set("schema_version",
+          Json::number(static_cast<std::uint64_t>(
+              kStatsSchemaVersion)));
     j.set("uptime_s", Json::number(metrics_.uptimeSeconds()));
+    j.set("started_at_s",
+          Json::number(metrics_.startedAtSeconds()));
     j.set("workers", Json::number(
                          static_cast<std::uint64_t>(cfg_.workers)));
 
@@ -827,8 +872,7 @@ Server::statsJson()
           Json::number(
               static_cast<std::uint64_t>(queue_.capacity())));
     q.set("in_flight",
-          Json::number(metrics_.jobsInFlight.load(
-              std::memory_order_relaxed)));
+          Json::number(metrics_.jobsInFlight.value()));
     j.set("queue", std::move(q));
 
     j.set("cache", cache_.statsJson());
@@ -846,12 +890,13 @@ Server::statsJson()
     j.set("baseline", std::move(baseline));
 
     Json ops = Json::object();
-    auto n = [](const std::atomic<std::uint64_t> &a) {
-        return Json::number(a.load(std::memory_order_relaxed));
+    auto n = [](const ServeCounter &c) {
+        return Json::number(c.value());
     };
     ops.set("submits", n(metrics_.submits));
     ops.set("run_experiments", n(metrics_.runExperiments));
     ops.set("stats", n(metrics_.statsReqs));
+    ops.set("metrics", n(metrics_.metricsReqs));
     ops.set("flushes", n(metrics_.flushes));
     ops.set("pings", n(metrics_.pings));
     ops.set("shutdowns", n(metrics_.shutdowns));

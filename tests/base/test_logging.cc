@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "base/json.hh"
 #include "base/logging.hh"
 
 namespace tw
@@ -52,6 +53,41 @@ TEST(FatalDeath, FatalExits)
 {
     EXPECT_EXIT(fatal("bad config %d", 7),
                 ::testing::ExitedWithCode(1), "bad config 7");
+}
+
+TEST(LogJson, LinePinnedAtEpoch)
+{
+    // The exact line for a known instant: the TW_LOG=json format is
+    // a contract with log scrapers, so a change here is a breaking
+    // change, not a refactor.
+    EXPECT_EQ(logLineJson("warn", "twserved", 3, 0, "hello"),
+              "{\"ts\":\"1970-01-01T00:00:00.000Z\",\"level\":"
+              "\"warn\",\"thread\":3,\"component\":\"twserved\","
+              "\"msg\":\"hello\"}");
+}
+
+TEST(LogJson, EscapesAndParsesBack)
+{
+    std::string line = logLineJson(
+        "info", "tw", 12, 1717171717123, "quo\"te\nnewline\ttab");
+    Json j;
+    std::string err;
+    ASSERT_TRUE(Json::parse(line, j, &err)) << err;
+    ASSERT_TRUE(j.isObject());
+    // Field order is insertion order — pinned.
+    const auto &m = j.members();
+    ASSERT_EQ(m.size(), 5u);
+    EXPECT_EQ(m[0].first, "ts");
+    EXPECT_EQ(m[1].first, "level");
+    EXPECT_EQ(m[2].first, "thread");
+    EXPECT_EQ(m[3].first, "component");
+    EXPECT_EQ(m[4].first, "msg");
+    EXPECT_EQ(j.find("level")->asString(), "info");
+    EXPECT_EQ(j.find("thread")->asU64(), 12u);
+    EXPECT_EQ(j.find("component")->asString(), "tw");
+    EXPECT_EQ(j.find("msg")->asString(), "quo\"te\nnewline\ttab");
+    // 1717171717123 ms = 2024-05-31T16:08:37.123Z.
+    EXPECT_EQ(j.find("ts")->asString(), "2024-05-31T16:08:37.123Z");
 }
 
 } // namespace

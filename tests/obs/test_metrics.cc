@@ -1,0 +1,291 @@
+/** @file Unit tests for the obs metric registry and span tracer. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/json.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace tw
+{
+namespace
+{
+
+// Counter names are process-global (one registry per binary), so
+// every test uses its own namespace prefix.
+
+TEST(ObsCounter, ExactTotalsAndSharedHandles)
+{
+    obs::Counter a = obs::registry().counter("test.counter.exact");
+    obs::Counter b = obs::registry().counter("test.counter.exact");
+    EXPECT_EQ(a.value(), 0u);
+    a.add(41);
+    b.inc();
+    // Two handles to one name share one total.
+    EXPECT_EQ(a.value(), 42u);
+    EXPECT_EQ(b.value(), 42u);
+}
+
+TEST(ObsCounter, DefaultHandleIsNoopSink)
+{
+    obs::Counter none;
+    none.add(7);
+    none.inc();
+    EXPECT_EQ(none.value(), 0u);
+}
+
+TEST(ObsGauge, SetAddValue)
+{
+    obs::Gauge g = obs::registry().gauge("test.gauge.basic");
+    g.set(5);
+    EXPECT_EQ(g.value(), 5);
+    g.add(-2);
+    EXPECT_EQ(g.value(), 3);
+    obs::Gauge none;
+    none.set(9);
+    EXPECT_EQ(none.value(), 0);
+}
+
+TEST(ObsLatency, BucketBoundaries)
+{
+    using L = obs::LatencyStat;
+    // Bucket 0 holds {0, 1}; bucket b >= 1 holds [2^b, 2^(b+1)).
+    EXPECT_EQ(L::bucketOf(0), 0u);
+    EXPECT_EQ(L::bucketOf(1), 0u);
+    EXPECT_EQ(L::bucketOf(2), 1u);
+    EXPECT_EQ(L::bucketOf(3), 1u);
+    for (unsigned k = 2; k < L::kBuckets - 1; ++k) {
+        std::uint64_t lo = std::uint64_t{1} << k;
+        EXPECT_EQ(L::bucketOf(lo), k) << "2^" << k;
+        EXPECT_EQ(L::bucketOf(lo - 1), k - 1) << "2^" << k << "-1";
+        EXPECT_EQ(L::bucketOf(2 * lo - 1), k) << "2^" << (k + 1)
+                                              << "-1";
+    }
+    // The largest value that still fits a bucket: kOverflowUs =
+    // 2^(kBuckets-1), so kOverflowUs-1 has kBuckets-1 bits and
+    // lands in bucket kBuckets-2; the final index is only reachable
+    // through bucketOf's clamp, never via record().
+    EXPECT_EQ(L::bucketOf(L::kOverflowUs - 1), L::kBuckets - 2);
+}
+
+TEST(ObsLatency, QuantilesStayInsideBucketBounds)
+{
+    obs::LatencyStat h;
+    for (int i = 0; i < 100; ++i)
+        h.record(1000.0); // bucket 9: [512, 1024)
+    obs::LatencyStat::Snapshot s = h.snapshot();
+    EXPECT_EQ(s.count, 100u);
+    EXPECT_EQ(s.overflow, 0u);
+    EXPECT_DOUBLE_EQ(s.meanUs, 1000.0);
+    EXPECT_DOUBLE_EQ(s.maxUs, 1000.0);
+    EXPECT_GE(s.p50Us, 512.0);
+    EXPECT_LE(s.p50Us, 1024.0);
+    EXPECT_GE(s.p99Us, 512.0);
+    EXPECT_LE(s.p99Us, 1024.0);
+}
+
+TEST(ObsLatency, OverflowBucketAndTopQuantile)
+{
+    obs::LatencyStat h;
+    h.record(1.0);
+    // Far beyond kOverflowUs (2^47 us): must land in the explicit
+    // overflow bucket, not the top log2 bucket.
+    double huge = 4.0e15;
+    for (int i = 0; i < 99; ++i)
+        h.record(huge);
+    obs::LatencyStat::Snapshot s = h.snapshot();
+    EXPECT_EQ(s.count, 100u);
+    EXPECT_EQ(s.overflow, 99u);
+    // Quantiles landing in the overflow region report the recorded
+    // max, not a fabricated 2^47 bound.
+    EXPECT_DOUBLE_EQ(s.maxUs, huge);
+    EXPECT_DOUBLE_EQ(s.p50Us, huge);
+    EXPECT_DOUBLE_EQ(s.p99Us, huge);
+}
+
+TEST(ObsLatency, NegativeClampedToZero)
+{
+    obs::LatencyStat h;
+    h.record(-5.0);
+    obs::LatencyStat::Snapshot s = h.snapshot();
+    EXPECT_EQ(s.count, 1u);
+    EXPECT_DOUBLE_EQ(s.maxUs, 0.0);
+}
+
+TEST(ObsRegistry, SnapshotJsonShape)
+{
+    obs::registry().counter("test.snapshot.c").add(3);
+    obs::registry().gauge("test.snapshot.g").set(-4);
+    obs::registry().histogram("test.snapshot.h").record(10.0);
+    Json j = obs::registry().snapshotJson();
+    ASSERT_TRUE(j.isObject());
+    const Json *c = j.findPath("counters.test.snapshot.c");
+    // Dotted metric names are literal keys, not nested objects.
+    ASSERT_EQ(c, nullptr);
+    const Json *counters = j.find("counters");
+    ASSERT_NE(counters, nullptr);
+    const Json *mine = counters->find("test.snapshot.c");
+    ASSERT_NE(mine, nullptr);
+    EXPECT_EQ(mine->asU64(), 3u);
+    const Json *g = j.find("gauges")->find("test.snapshot.g");
+    ASSERT_NE(g, nullptr);
+    EXPECT_EQ(g->asI64(), -4);
+    const Json *h = j.find("histograms")->find("test.snapshot.h");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->find("count")->asU64(), 1u);
+}
+
+TEST(ObsRegistry, PromTextMangling)
+{
+    obs::registry().counter("test.prom.counter").add(12);
+    std::string prom = obs::registry().promText();
+    EXPECT_NE(prom.find("# TYPE tw_test_prom_counter counter"),
+              std::string::npos);
+    EXPECT_NE(prom.find("tw_test_prom_counter 12"),
+              std::string::npos);
+}
+
+/**
+ * The satellite stress test (run under TSan in check.sh): writer
+ * threads hammer one counter and one histogram while a reader takes
+ * snapshots. The reader must see monotone values; the drained total
+ * must be exact.
+ */
+TEST(ObsStress, ConcurrentWritersExactAndMonotone)
+{
+    constexpr unsigned kThreads = 4;
+    constexpr unsigned kIters = 20000;
+    obs::Counter c = obs::registry().counter("test.stress.counter");
+    obs::LatencyStat &h =
+        obs::registry().histogram("test.stress.hist");
+    const std::uint64_t base = c.value();
+    const std::uint64_t histBase = h.snapshot().count;
+
+    std::atomic<bool> done{false};
+    std::thread reader([&] {
+        std::uint64_t prev = 0;
+        while (!done.load(std::memory_order_acquire)) {
+            std::uint64_t now = c.value();
+            ASSERT_GE(now, prev) << "snapshot went backwards";
+            prev = now;
+            std::uint64_t hc = h.snapshot().count;
+            ASSERT_GE(hc, histBase);
+        }
+    });
+
+    std::vector<std::thread> writers;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        writers.emplace_back([&] {
+            obs::Counter mine =
+                obs::registry().counter("test.stress.counter");
+            for (unsigned i = 0; i < kIters; ++i) {
+                mine.inc();
+                h.record(static_cast<double>(i % 4096));
+            }
+        });
+    }
+    for (auto &w : writers)
+        w.join();
+    done.store(true, std::memory_order_release);
+    reader.join();
+
+    // Writers joined (shards folded or quiescent): total is exact.
+    EXPECT_EQ(c.value(), base + kThreads * std::uint64_t{kIters});
+    EXPECT_EQ(h.snapshot().count,
+              histBase + kThreads * std::uint64_t{kIters});
+}
+
+TEST(ObsTrace, DisabledByDefaultAndScopedSpanIsNoop)
+{
+    EXPECT_FALSE(obs::traceEnabled());
+    { obs::ScopedSpan s("noop", "test"); }
+    obs::traceStop(); // no-op when not armed
+}
+
+TEST(ObsTrace, ExportRoundTrip)
+{
+    std::string path = "obs_trace_test.json";
+    std::string err;
+    ASSERT_TRUE(obs::traceStart(path, &err)) << err;
+    EXPECT_TRUE(obs::traceEnabled());
+    {
+        obs::ScopedSpan outer("outer", "test");
+        obs::ScopedSpan inner(std::string("inner:abc"), "test");
+    }
+    std::thread other([] {
+        obs::ScopedSpan s("worker", "test");
+    });
+    other.join();
+    obs::traceRecord("queue", "test", 0.0, 5.0);
+    obs::traceStop();
+    EXPECT_FALSE(obs::traceEnabled());
+
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::string text;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+    std::remove(path.c_str());
+
+    Json j;
+    ASSERT_TRUE(Json::parse(text, j, &err)) << err;
+    const Json *events = j.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+    ASSERT_EQ(events->size(), 4u);
+    unsigned seen = 0;
+    for (std::size_t i = 0; i < events->size(); ++i) {
+        const Json &e = events->at(i);
+        ASSERT_NE(e.find("name"), nullptr);
+        EXPECT_EQ(e.find("ph")->asString(), "X");
+        ASSERT_NE(e.find("ts"), nullptr);
+        ASSERT_NE(e.find("dur"), nullptr);
+        std::string name = e.find("name")->asString();
+        if (name == "outer" || name == "inner:abc"
+            || name == "worker" || name == "queue") {
+            ++seen;
+        }
+    }
+    EXPECT_EQ(seen, 4u);
+    // Events are drained in timestamp order.
+    for (std::size_t i = 1; i < events->size(); ++i) {
+        EXPECT_LE(events->at(i - 1).find("ts")->asDouble(),
+                  events->at(i).find("ts")->asDouble());
+    }
+}
+
+TEST(ObsTrace, RestartDiscardsOldSpans)
+{
+    std::string path = "obs_trace_restart.json";
+    ASSERT_TRUE(obs::traceStart(path));
+    { obs::ScopedSpan s("stale", "test"); }
+    // Re-arming discards anything recorded under the previous arm.
+    ASSERT_TRUE(obs::traceStart(path));
+    { obs::ScopedSpan s("fresh", "test"); }
+    obs::traceStop();
+
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::string text;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+    std::remove(path.c_str());
+
+    EXPECT_NE(text.find("fresh"), std::string::npos);
+    EXPECT_EQ(text.find("stale"), std::string::npos);
+}
+
+} // namespace
+} // namespace tw

@@ -176,7 +176,7 @@ TEST(Server, FullQueueRejectsWholeSweepAsOverloaded)
         EXPECT_EQ(res.rows.size(), 2u);
     });
     // Wait until both jobs are admitted.
-    while (server.metrics().jobsInFlight.load() < 2)
+    while (server.metrics().jobsInFlight.value() < 2)
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
 
     // A second client's sweep cannot fit: rejected whole, nothing
@@ -188,7 +188,7 @@ TEST(Server, FullQueueRejectsWholeSweepAsOverloaded)
     EXPECT_FALSE(rejected.ok);
     EXPECT_EQ(rejected.errorCode, serve::kErrOverloaded);
     EXPECT_TRUE(rejected.rows.empty());
-    EXPECT_EQ(server.metrics().rejectedOverloaded.load(), 1u);
+    EXPECT_EQ(server.metrics().rejectedOverloaded.value(), 1u);
 
     // An oversized sweep is rejected even against an empty queue.
     server.resumeWorkers();
@@ -220,7 +220,7 @@ TEST(Server, DrainCompletesAdmittedWorkThenRejectsNew)
     std::thread submitter([&] {
         admitted = clientA.submitSweep(spec, {41, 42}, true);
     });
-    while (server.metrics().jobsInFlight.load() < 2)
+    while (server.metrics().jobsInFlight.value() < 2)
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
 
     // Connect before the stop: the accept loop exits once a stop
@@ -281,7 +281,7 @@ TEST(Server, DeadlineExpiresQueuedJobs)
     std::thread submitter([&] {
         res = client.submitSweep(spec, {71, 72}, true, 1);
     });
-    while (server.metrics().jobsInFlight.load() < 2)
+    while (server.metrics().jobsInFlight.value() < 2)
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
     // Let the 1ms deadline lapse while the jobs sit in the queue.
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
@@ -332,7 +332,7 @@ TEST(Server, MalformedRequestGetsBadRequest)
                 "\"seeds\":[1]}");
     ::close(fd);
     server.stop();
-    EXPECT_EQ(server.metrics().badRequests.load(), 6u);
+    EXPECT_EQ(server.metrics().badRequests.value(), 6u);
 }
 
 TEST(Server, NegativeSeedOrDeadlineIsRejected)
@@ -376,7 +376,7 @@ TEST(Server, NegativeSeedOrDeadlineIsRejected)
     expectBad(req);
     ::close(fd);
     server.stop();
-    EXPECT_EQ(server.metrics().rowsComputed.load(), 0u);
+    EXPECT_EQ(server.metrics().rowsComputed.value(), 0u);
 }
 
 TEST(Server, ClosedSessionsAreReapedWhileRunning)
@@ -401,7 +401,7 @@ TEST(Server, ClosedSessionsAreReapedWhileRunning)
          spin < 200 && server.liveSessionCount() > 0; ++spin)
         std::this_thread::sleep_for(std::chrono::milliseconds(10));
     EXPECT_EQ(server.liveSessionCount(), 0u);
-    EXPECT_EQ(server.metrics().sessionsClosed.load(), kConns);
+    EXPECT_EQ(server.metrics().sessionsClosed.value(), kConns);
     server.stop();
 }
 
@@ -436,7 +436,7 @@ TEST(Server, OversizedLineCutsTheSession)
     }
     ::close(fd);
     server.stop();
-    EXPECT_EQ(server.metrics().badRequests.load(), 0u);
+    EXPECT_EQ(server.metrics().badRequests.value(), 0u);
 }
 
 TEST(Server, ConcurrentClientsAllServedCorrectly)

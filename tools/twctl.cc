@@ -49,6 +49,11 @@ usage()
         "  local        run the same sweep in-process (no "
         "server)\n"
         "  stats        print server stats JSON\n"
+        "  metrics      print the process-wide metric registry\n"
+        "               (--prom for Prometheus text format)\n"
+        "  trace-lint FILE  validate a --trace-out / TW_TRACE\n"
+        "               file (Chrome trace-event JSON); with\n"
+        "               --require A,B each name must appear\n"
         "  flush-cache  drop the server's result cache\n"
         "  ping         check liveness\n"
         "  shutdown     ask the server to drain and exit\n\n"
@@ -85,6 +90,7 @@ usage()
         "other:\n"
         "  stats --path P    print one dotted-path value of the "
         "stats\n"
+        "  metrics --path P  same, over the metrics snapshot\n"
         "  --help            this text\n\n"
         "exit status: 0 ok; 1 usage/transport; 2 server rejected "
         "(the\ncode — e.g. 'overloaded' — is printed to "
@@ -139,6 +145,83 @@ printRows(const std::vector<RunOutcome> &outcomes,
     std::printf("%s", t.render().c_str());
 }
 
+/**
+ * Validate a trace file offline: strict-parse the JSON, check every
+ * event is a complete-span record, and (optionally) demand that
+ * each required name appears at least once. A required token R
+ * matches an event named R exactly or "R:<anything>" — so
+ * --require unit matches the per-unit spans "unit:4K" etc.
+ * Returns the process exit status.
+ */
+int
+lintTraceFile(const std::string &path, const std::string &required)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (!f)
+        fatal("trace-lint: cannot open %s", path.c_str());
+    std::string text;
+    char buf[65536];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+
+    Json root;
+    std::string err;
+    if (!Json::parse(text, root, &err))
+        fatal("trace-lint: %s: not valid JSON: %s", path.c_str(),
+              err.c_str());
+    const Json *events =
+        root.isObject() ? root.find("traceEvents") : nullptr;
+    if (!events || !events->isArray())
+        fatal("trace-lint: %s: no traceEvents array", path.c_str());
+
+    std::vector<std::string> names;
+    for (std::size_t i = 0; i < events->size(); ++i) {
+        const Json &e = events->at(i);
+        const Json *name = e.isObject() ? e.find("name") : nullptr;
+        const Json *ph = e.isObject() ? e.find("ph") : nullptr;
+        const Json *ts = e.isObject() ? e.find("ts") : nullptr;
+        const Json *dur = e.isObject() ? e.find("dur") : nullptr;
+        const Json *tid = e.isObject() ? e.find("tid") : nullptr;
+        if (!name || !name->isString() || !ph || !ph->isString()
+            || ph->asString() != "X" || !ts || !ts->isNumber()
+            || !dur || !dur->isNumber() || !tid || !tid->isNumber())
+            fatal("trace-lint: %s: event %zu is not a complete "
+                  "span record",
+                  path.c_str(), i);
+        names.push_back(name->asString());
+    }
+
+    bool ok = true;
+    const char *p = required.c_str();
+    while (*p) {
+        const char *comma = std::strchr(p, ',');
+        std::string want =
+            comma ? std::string(p, comma - p) : std::string(p);
+        p = comma ? comma + 1 : p + want.size();
+        if (want.empty())
+            continue;
+        std::size_t count = 0;
+        for (const std::string &got : names)
+            if (got == want
+                || (got.size() > want.size() + 1
+                    && got.compare(0, want.size(), want) == 0
+                    && got[want.size()] == ':'))
+                ++count;
+        std::printf("span %-12s count=%zu\n", want.c_str(), count);
+        if (count == 0) {
+            std::fprintf(stderr,
+                         "trace-lint: %s: no '%s' span\n",
+                         path.c_str(), want.c_str());
+            ok = false;
+        }
+    }
+    std::printf("trace-lint: %s: %zu span(s) ok\n", path.c_str(),
+                names.size());
+    return ok ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -146,7 +229,8 @@ main(int argc, char **argv)
 {
     std::string socketPath, tcpHost;
     int tcpPort = 0;
-    std::string command, statsPath;
+    std::string command, statsPath, traceFile, requireList;
+    bool promFormat = false;
 
     std::string workload = "mpeg_play";
     std::uint64_t cacheBytes = 4096, tlbPage = 4096;
@@ -234,11 +318,17 @@ main(int argc, char **argv)
             sweep.canonical = true;
         } else if (arg == "--path") {
             statsPath = value();
+        } else if (arg == "--prom") {
+            promFormat = true;
+        } else if (arg == "--require") {
+            requireList = value();
         } else if (!arg.empty() && arg[0] == '-') {
             usage();
             fatal("unknown option '%s'", arg.c_str());
         } else if (command.empty()) {
             command = arg;
+        } else if (command == "trace-lint" && traceFile.empty()) {
+            traceFile = arg;
         } else {
             usage();
             fatal("extra argument '%s'", arg.c_str());
@@ -395,6 +485,13 @@ main(int argc, char **argv)
         return 0;
     }
 
+    // ---- trace-lint: offline, no server ---------------------------
+    if (command == "trace-lint") {
+        if (traceFile.empty())
+            fatal("trace-lint wants a FILE argument");
+        return lintTraceFile(traceFile, requireList);
+    }
+
     // ---- local: no server involved --------------------------------
     if (command == "local") {
         std::vector<RunOutcome> outcomes(sweep.seeds.size());
@@ -435,6 +532,28 @@ main(int argc, char **argv)
             std::printf("%s\n", v->dump().c_str());
         } else {
             std::printf("%s\n", stats.dump().c_str());
+        }
+        return 0;
+    }
+    if (command == "metrics") {
+        if (promFormat) {
+            Json unused;
+            std::string prom;
+            if (!client.metrics(unused, &prom, true, &err))
+                fatal("metrics: %s", err.c_str());
+            std::fputs(prom.c_str(), stdout);
+            return 0;
+        }
+        Json m;
+        if (!client.metrics(m, nullptr, false, &err))
+            fatal("metrics: %s", err.c_str());
+        if (!statsPath.empty()) {
+            const Json *v = m.findPath(statsPath);
+            if (!v)
+                fatal("no '%s' in metrics", statsPath.c_str());
+            std::printf("%s\n", v->dump().c_str());
+        } else {
+            std::printf("%s\n", m.dump().c_str());
         }
         return 0;
     }

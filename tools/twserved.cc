@@ -28,6 +28,7 @@
 #include <thread>
 
 #include "base/logging.hh"
+#include "obs/trace.hh"
 #include "serve/server.hh"
 
 using namespace tw;
@@ -66,6 +67,12 @@ usage()
         "never)\n"
         "  --quiet           no per-request logging\n"
         "  --help            this text\n\n"
+        "environment:\n"
+        "  TW_TRACE=FILE     record request-phase spans; the "
+        "Chrome\n"
+        "                    trace-event JSON is written at "
+        "drain\n"
+        "  TW_LOG=json       structured log lines on stderr\n\n"
         "Stop with SIGTERM/SIGINT (drains admitted jobs, then "
         "exits 0)\nor with `twctl shutdown`.\n");
 }
@@ -75,6 +82,7 @@ usage()
 int
 main(int argc, char **argv)
 {
+    setLogComponent("twserved");
     ServerConfig cfg;
     cfg.verbose = true;
     std::size_t baselineCap = 0;
@@ -124,6 +132,13 @@ main(int argc, char **argv)
     if (baselineCap)
         Runner::setBaselineCacheCapacity(baselineCap);
 
+    if (const char *tracePath = std::getenv("TW_TRACE");
+        tracePath && *tracePath) {
+        std::string terr;
+        if (!obs::traceStart(tracePath, &terr))
+            fatal("TW_TRACE: %s", terr.c_str());
+    }
+
     // Signals are consumed synchronously by a watcher thread:
     // requestStop() takes locks, so it must not run in handler
     // context. Block them BEFORE any thread spawns so every thread
@@ -160,5 +175,6 @@ main(int argc, char **argv)
     server.join();
     pthread_kill(watcher.native_handle(), SIGUSR1);
     watcher.join();
+    obs::traceStop(); // writes TW_TRACE, if armed
     return 0;
 }
