@@ -18,6 +18,7 @@
 #include <string>
 
 #include "base/logging.hh"
+#include "base/simd.hh"
 #include "base/thread_pool.hh"
 #include "harness/experiment.hh"
 #include "obs/trace.hh"
@@ -49,6 +50,9 @@ usage(std::FILE *out)
                  "  --metrics        embed an obs-registry snapshot "
                  "under \"metrics\" in the BENCH report "
                  "(implies --report)\n"
+                 "  --no-simd        force the scalar trap-bitmap "
+                 "scans (same results, host-speed A/B; equivalent "
+                 "to TW_NO_SIMD=1)\n"
                  "  --trace-out <f>  write a Chrome trace-event JSON "
                  "span trace (Perfetto-loadable) to <f>\n"
                  "  --help           this text\n");
@@ -106,6 +110,8 @@ main(int argc, char **argv)
         } else if (std::strcmp(arg, "--metrics") == 0) {
             metrics = true;
             report = true;
+        } else if (std::strcmp(arg, "--no-simd") == 0) {
+            simd::setEnabled(false);
         } else if (std::strcmp(arg, "--trace-out") == 0) {
             trace_path = value(i, "--trace-out");
         } else if (std::strcmp(arg, "--help") == 0

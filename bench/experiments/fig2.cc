@@ -9,6 +9,7 @@
 
 #include <cstdlib>
 
+#include "base/simd.hh"
 #include "util.hh"
 
 using namespace twbench;
@@ -42,6 +43,17 @@ onlyKb()
     return 0;
 }
 
+/** TW_FIG2_DCACHE=1 adds a unified-kind Tapeworm row per size. An
+ *  I-cache run exercises the probe-free chunked inner loop; a
+ *  unified cache delivers loads/stores too and so runs the filtered
+ *  per-reference loop — the perf smoke measures both engines. */
+bool
+wantDcache()
+{
+    const char *env = std::getenv("TW_FIG2_DCACHE");
+    return env && *env && *env != '0';
+}
+
 ExperimentDef
 make()
 {
@@ -68,6 +80,13 @@ make()
             units.push_back(unitOf(csprintf("tw/%uK", paper.kb), spec,
                                    TrialPlan::one(7, true)));
 
+            if (wantDcache()) {
+                RunSpec uni = spec;
+                uni.tw.kind = SimCacheKind::Unified;
+                units.push_back(unitOf(csprintf("twd/%uK", paper.kb),
+                                       uni, TrialPlan::one(7, true)));
+            }
+
             spec.sim = SimKind::TraceDriven;
             spec.c2k.cache = cache;
             units.push_back(unitOf(csprintf("c2k/%uK", paper.kb),
@@ -78,6 +97,7 @@ make()
     def.present = [](ExperimentContext &ctx) {
         unsigned only_kb = onlyKb();
         double tw_refs = 0.0, tw_secs = 0.0;
+        double twd_refs = 0.0, twd_secs = 0.0;
         TextTable t({"size", "missRatio", "c2000.slow", "tw.slow",
                      "paper.miss", "paper.c2000", "paper.tw"});
         for (const auto &paper : kPaper) {
@@ -94,6 +114,13 @@ make()
             if (ctx.reportRequested()) {
                 ctx.metric(csprintf("tw_refs_per_sec_%uK", paper.kb),
                            refsPerSec(trap));
+            }
+            if (wantDcache()) {
+                const RunOutcome &uni =
+                    ctx.outcome(csprintf("twd/%uK", paper.kb));
+                twd_refs += static_cast<double>(uni.run.totalInstr()
+                                                + uni.run.dataRefs);
+                twd_secs += uni.hostSeconds;
             }
 
             t.addRow({
@@ -117,6 +144,15 @@ make()
                       tw_refs, tw_secs);
             ctx.metric("tw_refs_per_sec", rate);
             ctx.metric("tw_host_seconds", tw_secs);
+            if (wantDcache()) {
+                double drate =
+                    twd_secs > 0.0 ? twd_refs / twd_secs : 0.0;
+                ctx.print("[report] tapeworm unified (filtered loop) "
+                          "host rate: %.3fM refs/s\n", drate / 1.0e6);
+                ctx.metric("twd_refs_per_sec", drate);
+                ctx.metric("twd_host_seconds", twd_secs);
+            }
+            ctx.note("simd", simd::levelName(simd::activeLevel()));
         }
     };
     return def;

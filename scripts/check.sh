@@ -8,12 +8,16 @@ set -e
 cmake -B build -G Ninja
 cmake --build build
 
-# Tier-1 suite twice: once serial, once dispatching trials across 4
-# workers — the results must agree bit-for-bit (the parallel_trials
-# suite asserts this directly; running everything both ways keeps
-# every other test honest about hidden shared state too).
+# Tier-1 suite three ways: once serial, once dispatching trials
+# across 4 workers (which also exercises the NUMA-sharded dispatch
+# path on multi-node hosts), and once with the wide trap-bitmap
+# scans forced scalar — the results must agree bit-for-bit in every
+# mode (the parallel_trials and fast-path suites assert this
+# directly; running everything each way keeps every other test
+# honest about hidden shared state and SIMD/scalar divergence too).
 TW_THREADS=1 ctest --test-dir build --output-on-failure -j"$(nproc)"
 TW_THREADS=4 ctest --test-dir build --output-on-failure -j"$(nproc)"
+TW_NO_SIMD=1 ctest --test-dir build --output-on-failure -j"$(nproc)"
 
 # ThreadSanitizer pass over the concurrency-bearing suites, so the
 # Runner baseline-memo race stays fixed. Death tests fork, which
@@ -28,6 +32,12 @@ TW_THREADS=4 ./build-tsan/tests/test_harness \
     --gtest_filter='ParallelTrials.*'
 TW_THREADS=4 ./build-tsan/tests/test_base \
     --gtest_filter='ThreadPool.*:ParallelFor.*:BoundedQueue.*'
+# The SIMD span scans and per-worker arenas are new shared state on
+# the trial hot path: prove the dispatch pointers, the granule
+# bitmaps under concurrent scans, and the thread-local arena
+# lifecycle race-free with 4 workers.
+TW_THREADS=4 ./build-tsan/tests/test_base \
+    --gtest_filter='Simd*.*:Arena*.*'
 ./build-tsan/tests/test_integration --gtest_filter='FastPath.*'
 # The experiment service is concurrency all the way down: MPMC
 # queue, shared result cache, per-session writer locks, drain

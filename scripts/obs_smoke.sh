@@ -62,6 +62,21 @@ grep -q '"metrics"' "$BENCH" \
     || fail "BENCH report has no metrics block"
 grep -q 'engine\.refs\.' "$BENCH" \
     || fail "BENCH metrics block lacks engine.refs.* counters"
+grep -q 'engine\.simd\.wide_spans' "$BENCH" \
+    || fail "BENCH metrics block lacks engine.simd.wide_spans"
+grep -q 'engine\.simd\.scalar_tail' "$BENCH" \
+    || fail "BENCH metrics block lacks engine.simd.scalar_tail"
+grep -q 'engine\.arena\.bytes_reserved' "$BENCH" \
+    || fail "BENCH metrics block lacks engine.arena.bytes_reserved"
+grep -q 'engine\.arena\.trials_served' "$BENCH" \
+    || fail "BENCH metrics block lacks engine.arena.trials_served"
+# The trials of this sweep must have been arena-served: nonzero is
+# part of the contract (the snapshot is compact JSON, so extract the
+# key:value pair rather than parsing lines).
+trials=$(grep -oE '"engine\.arena\.trials_served"[: ]+[0-9.]+' "$BENCH" \
+    | grep -oE '[0-9.]+$')
+[ -n "$trials" ] && [ "$(awk -v t="$trials" 'BEGIN { print (t > 0) }')" = 1 ] \
+    || fail "engine.arena.trials_served is '$trials' — trials bypassed the arena"
 echo "obs_smoke: BENCH report carries engine counters under metrics"
 
 # ---- bit-identity: same rows with the spine off -------------------

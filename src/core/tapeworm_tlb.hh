@@ -18,9 +18,11 @@
 #define TW_CORE_TAPEWORM_TLB_HH
 
 #include <array>
+#include <memory_resource>
 #include <unordered_map>
 #include <vector>
 
+#include "base/arena.hh"
 #include "base/types.hh"
 #include "core/cost_model.hh"
 #include "mem/cache.hh"
@@ -140,9 +142,12 @@ class TapewormTlb : public SimClient
     /** Per-frame filter: trappedRefs_[pfn] counts (space, page)
      *  pairs holding a trap on the frame; filterBits_ mirrors
      *  trappedRefs_[pfn] > 0, one bit per frame, page-granularity
-     *  shift. Empty when cfg_.filterFrames == 0. */
-    std::vector<std::uint32_t> trappedRefs_;
-    std::vector<std::uint64_t> filterBits_;
+     *  shift. Empty when cfg_.filterFrames == 0. Arena-backed under
+     *  an ArenaScope, like the machine's granule bitmap. Note the
+     *  bitmap is NOT padded: wide scans must stay exactly in range
+     *  (simd::anyBitsInWords guarantees no overread). */
+    std::pmr::vector<std::uint32_t> trappedRefs_{arenaResource()};
+    std::pmr::vector<std::uint64_t> filterBits_{arenaResource()};
 };
 
 } // namespace tw

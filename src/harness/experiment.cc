@@ -123,6 +123,13 @@ MultiSink::metric(const std::string &key, double value)
 }
 
 void
+MultiSink::note(const std::string &key, const std::string &value)
+{
+    for (StatSink *s : sinks_)
+        s->note(key, value);
+}
+
+void
 MultiSink::end(const ExperimentDef &def)
 {
     for (StatSink *s : sinks_)
@@ -171,11 +178,18 @@ JsonReportSink::metric(const std::string &key, double value)
 }
 
 void
+JsonReportSink::note(const std::string &key, const std::string &value)
+{
+    notes_.emplace_back(key, value);
+}
+
+void
 writeBenchReport(
     const std::string &report, const std::string &experiment,
     const std::string &generated_by, double wall_clock_s,
     const std::vector<std::pair<std::string, double>> &metrics,
-    const Json *obs_metrics)
+    const Json *obs_metrics,
+    const std::vector<std::pair<std::string, std::string>> &notes)
 {
     std::string path = "BENCH_" + report + ".json";
     std::FILE *f = std::fopen(path.c_str(), "w");
@@ -192,6 +206,9 @@ writeBenchReport(
     std::fprintf(f, "  \"wall_clock_s\": %.6f", wall_clock_s);
     for (const auto &[key, value] : metrics)
         std::fprintf(f, ",\n  \"%s\": %.17g", key.c_str(), value);
+    for (const auto &[key, value] : notes)
+        std::fprintf(f, ",\n  \"%s\": \"%s\"", key.c_str(),
+                     value.c_str());
     if (obs_metrics) {
         std::string dumped = obs_metrics->dump();
         std::fprintf(f, ",\n  \"metrics\": %s", dumped.c_str());
@@ -212,10 +229,10 @@ JsonReportSink::end(const ExperimentDef &def)
     if (includeObsMetrics_) {
         Json snap = obs::registry().snapshotJson();
         writeBenchReport(report_, experiment_, generatedBy_, wall,
-                         metrics_, &snap);
+                         metrics_, &snap, notes_);
     } else {
         writeBenchReport(report_, experiment_, generatedBy_, wall,
-                         metrics_);
+                         metrics_, nullptr, notes_);
     }
 }
 
@@ -255,6 +272,12 @@ void
 ExperimentContext::metric(const std::string &key, double value)
 {
     sink_.metric(key, value);
+}
+
+void
+ExperimentContext::note(const std::string &key, const std::string &value)
+{
+    sink_.note(key, value);
 }
 
 // --------------------------------------------------------------------

@@ -187,6 +187,16 @@ class StatSink
         (void)value;
     }
 
+    /** One string annotation (BENCH report channel) — host facts
+     *  that are labels, not measurements (e.g. the SIMD level the
+     *  run used). Kept apart from metric() so numeric consumers
+     *  never see non-numeric fields. */
+    virtual void note(const std::string &key, const std::string &value)
+    {
+        (void)key;
+        (void)value;
+    }
+
     /** Run finished (presentation included). */
     virtual void end(const ExperimentDef &def) { (void)def; }
 };
@@ -201,6 +211,7 @@ class MultiSink : public StatSink
     void text(const std::string &chunk) override;
     void row(const ExperimentRow &r) override;
     void metric(const std::string &key, double value) override;
+    void note(const std::string &key, const std::string &value) override;
     void end(const ExperimentDef &def) override;
 
   private:
@@ -251,7 +262,8 @@ void writeBenchReport(
     const std::string &report, const std::string &experiment,
     const std::string &generated_by, double wall_clock_s,
     const std::vector<std::pair<std::string, double>> &metrics,
-    const Json *obs_metrics = nullptr);
+    const Json *obs_metrics = nullptr,
+    const std::vector<std::pair<std::string, std::string>> &notes = {});
 
 class JsonReportSink : public StatSink
 {
@@ -262,6 +274,7 @@ class JsonReportSink : public StatSink
 
     void begin(const ExperimentDef &def, unsigned scale) override;
     void metric(const std::string &key, double value) override;
+    void note(const std::string &key, const std::string &value) override;
     void end(const ExperimentDef &def) override;
 
     /** Also embed an obs-registry snapshot under `"metrics"` in the
@@ -274,6 +287,7 @@ class JsonReportSink : public StatSink
     std::string generatedBy_;
     std::chrono::steady_clock::time_point t0_;
     std::vector<std::pair<std::string, double>> metrics_;
+    std::vector<std::pair<std::string, std::string>> notes_;
     bool includeObsMetrics_ = false;
 };
 
@@ -304,6 +318,9 @@ class ExperimentContext
 
     /** Record a scalar metric (BENCH report channel). */
     void metric(const std::string &key, double value);
+
+    /** Record a string annotation (BENCH report channel). */
+    void note(const std::string &key, const std::string &value);
 
   private:
     friend void runExperiment(const ExperimentDef &,

@@ -5,6 +5,7 @@
 #include <memory>
 #include <mutex>
 
+#include "base/arena.hh"
 #include "base/logging.hh"
 #include "base/lru_map.hh"
 #include "harness/oracle.hh"
@@ -112,6 +113,13 @@ RunOutcome
 Runner::runOne(const RunSpec &spec, std::uint64_t trial_seed)
 {
     obs::ScopedSpan span("trial", "harness");
+    // Every trial-lifetime allocation below (page tables, cache
+    // line arrays, trap bitmaps) lands in this worker's retained
+    // bump arena; the scope rewinds it on exit, so in steady state
+    // a trial costs zero malloc/free. Declared first so the System
+    // and clients are destroyed before the rewind.
+    ArenaScope arenaScope;
+    const std::size_t reserved0 = arenaScope.arena().reservedBytes();
     SystemConfig sys = spec.sys;
     sys.trialSeed = trial_seed;
     System system(sys, spec.workload);
@@ -198,6 +206,15 @@ Runner::runOne(const RunSpec &spec, std::uint64_t trial_seed)
     }
 
     out.hostSeconds = hostNow() - t0;
+
+    // All allocations have happened by now; account the arena's
+    // growth (zero once a worker's chunks are warm) and the trial.
+    static obs::Counter obsArenaBytes =
+        obs::registry().counter("engine.arena.bytes_reserved");
+    static obs::Counter obsArenaTrials =
+        obs::registry().counter("engine.arena.trials_served");
+    obsArenaBytes.add(arenaScope.arena().reservedBytes() - reserved0);
+    obsArenaTrials.inc();
     return out;
 }
 

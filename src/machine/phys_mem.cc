@@ -1,19 +1,35 @@
 #include "machine/phys_mem.hh"
 
 #include <bit>
+#include <cstring>
+
+#include "base/arena.hh"
 
 namespace tw
 {
 
 PhysMem::PhysMem(std::uint64_t size_bytes, std::uint32_t granule_bytes)
-    : sizeBytes_(size_bytes), granuleBytes_(granule_bytes)
+    : sizeBytes_(size_bytes), granuleBytes_(granule_bytes),
+      mr_(arenaResource())
 {
     TW_ASSERT(isPowerOf2(granule_bytes), "granule must be a power of 2");
     TW_ASSERT(size_bytes % granule_bytes == 0,
               "memory size must be granule aligned");
     granuleShift_ = floorLog2(granule_bytes);
     numGranules_ = size_bytes >> granuleShift_;
-    bits_.assign(divCeil(numGranules_, 64), 0);
+    wordsUsed_ = divCeil(numGranules_, 64);
+    // Round the allocation up to whole 64-byte blocks so a wide
+    // scan's widest load never leaves the array, and 64-byte-align
+    // the base so no block straddles two cache lines.
+    wordsAlloc_ = (wordsUsed_ + 7) & ~std::uint64_t(7);
+    bits_ = static_cast<std::uint64_t *>(
+        mr_->allocate(wordsAlloc_ * sizeof(std::uint64_t), 64));
+    std::memset(bits_, 0, wordsAlloc_ * sizeof(std::uint64_t));
+}
+
+PhysMem::~PhysMem()
+{
+    mr_->deallocate(bits_, wordsAlloc_ * sizeof(std::uint64_t), 64);
 }
 
 void
@@ -58,15 +74,15 @@ std::uint64_t
 PhysMem::countTrapped() const
 {
     std::uint64_t n = 0;
-    for (std::uint64_t word : bits_)
-        n += static_cast<std::uint64_t>(std::popcount(word));
+    for (std::uint64_t w = 0; w < wordsUsed_; ++w)
+        n += static_cast<std::uint64_t>(std::popcount(bits_[w]));
     return n;
 }
 
 void
 PhysMem::clearAll()
 {
-    std::fill(bits_.begin(), bits_.end(), 0);
+    std::memset(bits_, 0, wordsUsed_ * sizeof(std::uint64_t));
 }
 
 } // namespace tw

@@ -20,7 +20,7 @@
 #define TW_MACHINE_PHYS_MEM_HH
 
 #include <cstdint>
-#include <vector>
+#include <memory_resource>
 
 #include "base/bitops.hh"
 #include "base/logging.hh"
@@ -42,6 +42,10 @@ class PhysMem
      */
     explicit PhysMem(std::uint64_t size_bytes,
                      std::uint32_t granule_bytes = kTrapGranuleBytes);
+    ~PhysMem();
+
+    PhysMem(const PhysMem &) = delete;
+    PhysMem &operator=(const PhysMem &) = delete;
 
     std::uint64_t sizeBytes() const { return sizeBytes_; }
     std::uint32_t granuleBytes() const { return granuleBytes_; }
@@ -73,8 +77,11 @@ class PhysMem
     /** Raw trap-bit words (one bit per granule, granule g at word
      *  g/64 bit g%64). The storage address is fixed for the life of
      *  the PhysMem, which is what lets clients hand the machine a
-     *  TrapFilterView over it. */
-    const std::uint64_t *rawBits() const { return bits_.data(); }
+     *  TrapFilterView over it. The array is 64-byte aligned and
+     *  padded (with always-zero words) to a multiple of 8 words, so
+     *  cache-line-wide scans of any word range stay in bounds and
+     *  never split a block across lines. */
+    const std::uint64_t *rawBits() const { return bits_; }
 
     /** log2 of the trap granule in bytes. */
     unsigned granuleShift() const { return granuleShift_; }
@@ -90,7 +97,15 @@ class PhysMem
     std::uint32_t granuleBytes_;
     unsigned granuleShift_;
     std::uint64_t numGranules_;
-    std::vector<std::uint64_t> bits_;
+    /** Bitmap words: wordsUsed_ live ones, allocated (and zeroed)
+     *  out to wordsAlloc_ — a multiple of 8 — from mr_. Under an
+     *  ArenaScope mr_ is the trial arena (freeing is a no-op and
+     *  the chunk is reused next trial); otherwise the default
+     *  new/delete resource. */
+    std::pmr::memory_resource *mr_;
+    std::uint64_t *bits_;
+    std::uint64_t wordsUsed_;
+    std::uint64_t wordsAlloc_;
 };
 
 } // namespace tw

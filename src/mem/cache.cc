@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "base/arena.hh"
 #include "base/bitops.hh"
 #include "base/logging.hh"
 #include "obs/metrics.hh"
@@ -86,7 +87,8 @@ CacheConfig::tlb(std::uint32_t entries, std::uint32_t assoc,
 }
 
 Cache::Cache(const CacheConfig &config)
-    : cfg_(config), rng_(config.seed)
+    : cfg_(config), lines_(arenaResource()), setOcc_(arenaResource()),
+      rng_(config.seed)
 {
     cfg_.validate();
     lineShift_ = floorLog2(cfg_.lineBytes);

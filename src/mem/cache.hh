@@ -22,6 +22,7 @@
 #define TW_MEM_CACHE_HH
 
 #include <cstdint>
+#include <memory_resource>
 #include <optional>
 #include <vector>
 
@@ -183,10 +184,12 @@ class Cache
      * contains() way loops branch-free on the tid comparison.
      */
     std::uint32_t tidMask_;
-    std::vector<Line> lines_;
+    /** The big per-trial arrays: arena-backed under an ArenaScope
+     *  (see base/arena.hh), heap otherwise. */
+    std::pmr::vector<Line> lines_;
     /** Valid lines per set; lets flushes skip empty sets and makes
      *  validCount() O(sets). */
-    std::vector<std::uint32_t> setOcc_;
+    std::pmr::vector<std::uint32_t> setOcc_;
     std::uint64_t stampCounter_ = 0;
     Counter writebacks_ = 0;
     /** Observability tallies, drained once by ~Cache(): page/line

@@ -13,8 +13,10 @@
 #define TW_OS_PAGE_TABLE_HH
 
 #include <cstdint>
+#include <memory_resource>
 #include <vector>
 
+#include "base/arena.hh"
 #include "base/bitops.hh"
 #include "base/logging.hh"
 #include "base/types.hh"
@@ -44,7 +46,7 @@ class PageTable
     PageTable(Addr va_base, std::uint64_t window_bytes)
         : vaBase_(va_base),
           numPages_(divCeil(window_bytes, kHostPageBytes)),
-          frames_(numPages_, kNoFrame)
+          frames_(numPages_, kNoFrame, arenaResource())
     {
         TW_ASSERT(va_base % kHostPageBytes == 0,
                   "window base must be page aligned");
@@ -123,7 +125,9 @@ class PageTable
 
     Addr vaBase_;
     std::uint64_t numPages_;
-    std::vector<Pfn> frames_;
+    /** Trial-lifetime dense table: backed by the active arena when
+     *  the trial runs under an ArenaScope (see base/arena.hh). */
+    std::pmr::vector<Pfn> frames_;
 };
 
 } // namespace tw

@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "base/logging.hh"
+#include "base/simd.hh"
 #include "obs/metrics.hh"
 #include "workload/loop_nest.hh"
 
@@ -296,8 +297,10 @@ namespace
 {
 
 /**
- * Any trap bit set in the host page starting at @p pa_base? ORs the
- * filter words covering the page — when a word overhangs the page
+ * Any trap bit set in the host page starting at @p pa_base? Tests
+ * the filter words covering the page with one wide all-zero scan
+ * (simd::anyBitsInWords — AVX-512/AVX2 vptest-style blocks, scalar
+ * word loop under TW_NO_SIMD) — when a word overhangs the page
  * (granule words wider than a page) neighbouring pages' bits leak in
  * and the answer is conservatively true, which only costs a per-ref
  * probe, never a missed trap.
@@ -308,10 +311,7 @@ pageSpanTrapped(const std::uint64_t *bits, unsigned shift,
 {
     std::uint64_t w0 = (pa_base >> shift) >> 6;
     std::uint64_t w1 = ((pa_base + kHostPageBytes - 1) >> shift) >> 6;
-    std::uint64_t any = 0;
-    for (std::uint64_t w = w0; w <= w1; ++w)
-        any |= bits[w];
-    return any != 0;
+    return simd::anyBitsInWords(bits, w0, w1);
 }
 
 } // namespace
@@ -388,14 +388,13 @@ System::runInner(Task &task, Counter h)
     Addr dvaPage = kInvalidAddr;
     bool fprobe = false;
     Counter credit = task.dataRefCredit;
-    const unsigned store_every = dstream ? spec_.storeEvery : 1;
-    unsigned store_phase =
-        dstream ? static_cast<unsigned>(task.dataRefCount
-                                        % store_every)
-                : 0;
+    // No store phase here: data kinds can never be delivered in
+    // this loop, and the load/store split is derived from
+    // dataRefCount whenever a per-step path needs it next.
 
     Counter data_refs = 0;
     Counter probed = 0;
+    Counter span_ops = 0;
     Counter left = h;
     // An event that charges cycles makes its step the last of this
     // call (legacy `extra` semantics).
@@ -423,6 +422,7 @@ System::runInner(Task &task, Counter h)
                 dvaPage = kInvalidAddr;
             }
             ivaPage = page;
+            span_ops += fetch_bits != nullptr;
             fprobe = fetch_bits
                      && pageSpanTrapped(fetch_bits, fshift, ipaBase);
         }
@@ -447,91 +447,136 @@ System::runInner(Task &task, Counter h)
                 dvaPage = kInvalidAddr;
             }
         } else {
-            // Probe-free page: consume the same-page span, bounded
-            // by the buffer and the horizon. A pending fetch-fault
-            // charge limits the chunk to its own step.
+            // Probe-free page: consume the same-page span with one
+            // wide scan, bounded by the buffer and the horizon —
+            // then keep extending across page boundaries as long as
+            // the next page is already MAPPED and also probe-free.
+            // A fetch there has no observable side effect either, so
+            // whole clear regions collapse into one bulk-accounted
+            // chunk instead of page steps. An unmapped or trapped
+            // page ends the merge: its fault/probe must happen in
+            // exact legacy order, which the top of the loop
+            // provides. (A data fault mid-drain still rewinds to its
+            // owning step and invalidates the page cache, so merged
+            // spans undo just like single-page ones.) A pending
+            // fetch-fault charge limits the chunk to its own step.
             Counter m = static_cast<Counter>(fend - fp);
             if (m > left)
                 m = left;
             if (stop_after) [[unlikely]]
                 m = 1;
-            const Addr *q = fp + 1;
             const Addr *const qe = fp + m;
-            while (q != qe && (*q & ~off) == page)
+            const Addr *q = fp + 1;
+            ++span_ops;
+            q += simd::samePageSpan(q, qe, ~off, page);
+            while (q != qe) {
+                Addr npage = *q & ~off;
+                Pfn pfn = frames[(npage - vaBase) / kHostPageBytes];
+                if (pfn < 0) [[unlikely]]
+                    break;
+                Addr npaBase =
+                    static_cast<Addr>(pfn) * kHostPageBytes;
+                if (fetch_bits) {
+                    ++span_ops;
+                    if (pageSpanTrapped(fetch_bits, fshift, npaBase))
+                        break;
+                }
+                // Adopt the clear page as the cached one and extend.
+                page = npage;
+                ivaPage = npage;
+                ipaBase = npaBase;
                 ++q;
+                ++span_ops;
+                q += simd::samePageSpan(q, qe, ~off, page);
+            }
             n = static_cast<Counter>(q - fp);
             fp = q;
         }
         credit += n * dpm;
         if (credit >= 1000) [[unlikely]] {
+            // Drain the owed data refs in same-page spans: a ref on
+            // the cached (mapped) data page has no observable side
+            // effect here — data kinds are never deliverable — so a
+            // whole run of them is one wide scan plus pointer math.
+            // Only page transitions are handled singly, and only an
+            // unmapped one (a FAULT: arming, cycles) rewinds the
+            // fetch pointer to its owning step, exactly like the
+            // per-ref drain did.
+            Counter pending = credit / 1000;
+            credit -= pending * 1000;
             Counter drained = 0;
-            while (credit >= 1000) {
-                credit -= 1000;
-                ++drained;
+            while (drained < pending) {
                 if (dp == dend) [[unlikely]] {
                     db.fill(*dstream);
                     dp = dstart;
                     dend = dstart + db.len;
                 }
-                Addr dva = *dp++;
+                Counter avail = pending - drained;
+                if (avail > static_cast<Counter>(dend - dp))
+                    avail = static_cast<Counter>(dend - dp);
+                Addr dva = *dp;
                 Addr dpage = dva & ~off;
-                bool faulted = false;
-                if (dpage != dvaPage) [[unlikely]] {
-                    Pfn pfn =
-                        frames[(dpage - vaBase) / kHostPageBytes];
-                    if (pfn < 0) [[unlikely]] {
-                        Cycles c0 = cycles_;
-                        translate(task, dva);
-                        if (cycles_ != c0)
-                            stop_after = true;
-                        faulted = true;
-                    }
+                if (dpage == dvaPage) [[likely]] {
+                    ++span_ops;
+                    Counter k = 1
+                                + static_cast<Counter>(
+                                    simd::samePageSpan(
+                                        dp + 1, dp + avail, ~off,
+                                        dvaPage));
+                    dp += k;
+                    drained += k;
+                    continue;
+                }
+                Pfn pfn = frames[(dpage - vaBase) / kHostPageBytes];
+                if (pfn >= 0) [[likely]] {
+                    // Mapped page transition: adopt it; the next
+                    // iteration consumes the ref inside a span.
                     dvaPage = dpage;
+                    continue;
                 }
-                if (++store_phase == store_every)
-                    store_phase = 0;
-                ++data_refs;
-                if (faulted) [[unlikely]] {
-                    // The fault is observable (arming, cycles), so
-                    // the steps bulk-executed past its owner must
-                    // not have happened yet. Rewind the fetch
-                    // pointer to the owning step s, finish that
-                    // step's remaining data refs, and re-enter with
-                    // fresh probe state.
-                    Counter s = (drained * 1000 - credit0 + dpm - 1)
-                                / dpm;
-                    Counter total = (credit0 + s * dpm) / 1000;
-                    while (drained < total) {
-                        ++drained;
-                        if (dp == dend) [[unlikely]] {
-                            db.fill(*dstream);
-                            dp = dstart;
-                            dend = dstart + db.len;
-                        }
-                        Addr xva = *dp++;
-                        Addr xpage = xva & ~off;
-                        if (xpage != dvaPage) {
-                            Pfn xp = frames[(xpage - vaBase)
-                                            / kHostPageBytes];
-                            if (xp < 0) {
-                                Cycles c0 = cycles_;
-                                translate(task, xva);
-                                if (cycles_ != c0)
-                                    stop_after = true;
-                            }
-                            dvaPage = xpage;
-                        }
-                        if (++store_phase == store_every)
-                            store_phase = 0;
-                        ++data_refs;
+                // The fault is observable (arming, cycles), so the
+                // steps bulk-executed past its owner must not have
+                // happened yet. Rewind the fetch pointer to the
+                // owning step s, finish that step's remaining data
+                // refs, and re-enter with fresh probe state.
+                Cycles c0 = cycles_;
+                translate(task, dva);
+                if (cycles_ != c0)
+                    stop_after = true;
+                dvaPage = dpage;
+                ++dp;
+                ++drained;
+                Counter s = (drained * 1000 - credit0 + dpm - 1)
+                            / dpm;
+                Counter total = (credit0 + s * dpm) / 1000;
+                while (drained < total) {
+                    ++drained;
+                    if (dp == dend) [[unlikely]] {
+                        db.fill(*dstream);
+                        dp = dstart;
+                        dend = dstart + db.len;
                     }
-                    fp = fp0 + s;
-                    credit = credit0 + s * dpm - total * 1000;
-                    n = s;
-                    ivaPage = kInvalidAddr;
-                    break;
+                    Addr xva = *dp++;
+                    Addr xpage = xva & ~off;
+                    if (xpage != dvaPage) {
+                        Pfn xp = frames[(xpage - vaBase)
+                                        / kHostPageBytes];
+                        if (xp < 0) {
+                            Cycles cc = cycles_;
+                            translate(task, xva);
+                            if (cycles_ != cc)
+                                stop_after = true;
+                        }
+                        dvaPage = xpage;
+                    }
                 }
+                fp = fp0 + s;
+                credit = credit0 + s * dpm - total * 1000;
+                n = s;
+                ivaPage = kInvalidAddr;
+                break;
             }
+            data_refs += drained;
         }
         left -= n;
         if (stop_after || left == 0)
@@ -551,6 +596,7 @@ System::runInner(Task &task, Counter h)
     obsRefsChunked_ += done + data_refs;
     obsProbeHits_ += probed;
     obsProbeSkips_ += done + data_refs - probed;
+    (simdWide_ ? obsSimdWide_ : obsSimdScalar_) += span_ops;
     return done;
 }
 
@@ -617,6 +663,7 @@ System::runInnerFiltered(Task &task, Counter h)
 
     Counter data_refs = 0;
     Counter probed = 0;
+    Counter span_ops = 0;
     // Countdown to the horizon. A step that charges extra cycles
     // must be the last one of this call (legacy `extra` semantics);
     // every such site simply forces `left = 1` so the shared
@@ -646,6 +693,7 @@ System::runInnerFiltered(Task &task, Counter h)
                 dvaPage = kInvalidAddr;
             }
             ivaPage = page;
+            span_ops += fetch_bits != nullptr;
             fprobe = fetch_bits
                      && pageSpanTrapped(fetch_bits, fshift, ipaBase);
         }
@@ -687,6 +735,7 @@ System::runInnerFiltered(Task &task, Counter h)
                     ivaPage = kInvalidAddr;
                 }
                 dvaPage = dpage;
+                span_ops += data_bits != nullptr;
                 dprobe = data_bits
                          && pageSpanTrapped(data_bits, fshift,
                                             dpaBase);
@@ -733,6 +782,7 @@ System::runInnerFiltered(Task &task, Counter h)
     obsRefsFiltered_ += done + data_refs;
     obsProbeHits_ += probed;
     obsProbeSkips_ += done + data_refs - probed;
+    (simdWide_ ? obsSimdWide_ : obsSimdScalar_) += span_ops;
     return done;
 }
 
@@ -1104,11 +1154,14 @@ System::run()
 
     // Cache the client's trap filter once: the view's storage is
     // fixed for the run (TrapFilterView contract), only the bits
-    // change as traps are set and cleared.
+    // change as traps are set and cleared. The SIMD dispatch level
+    // is pinned per run too, so the wide/scalar span tallies stay
+    // coherent even if a test flips simd::setEnabled mid-process.
     if (client_ && !slowPath_) {
         filter_ = client_->trapFilter();
         hasFilter_ = filter_.bits != nullptr;
     }
+    simdWide_ = simd::wide();
 
     // Charge the boot-time fork/exec kernel work for the initial
     // task batch now that the simulator client is attached.
@@ -1155,6 +1208,10 @@ System::flushObsCounters()
         obs::registry().counter("engine.utlb.hits");
     static obs::Counter utlbMisses =
         obs::registry().counter("engine.utlb.misses");
+    static obs::Counter simdWide =
+        obs::registry().counter("engine.simd.wide_spans");
+    static obs::Counter simdScalar =
+        obs::registry().counter("engine.simd.scalar_tail");
     chunked.add(obsRefsChunked_);
     filtered.add(obsRefsFiltered_);
     observed.add(obsRefsObserved_);
@@ -1162,6 +1219,8 @@ System::flushObsCounters()
     probeSkips.add(obsProbeSkips_);
     utlbHits.add(obsUtlbHits_);
     utlbMisses.add(obsUtlbMisses_);
+    simdWide.add(obsSimdWide_);
+    simdScalar.add(obsSimdScalar_);
 }
 
 } // namespace tw

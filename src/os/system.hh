@@ -227,6 +227,11 @@ class System
 
     /** TW_SLOW_PATH was set: run the legacy per-step path. */
     bool slowPath_ = false;
+    /** simd::wide() at run() start: whether the span scans of this
+     *  run dispatch to a wide (AVX2/AVX-512) implementation — only
+     *  the wide/scalar obs attribution, never the results, depends
+     *  on it. */
+    bool simdWide_ = false;
     /** Client's trap filter, cached once at run() start (the view's
      *  storage address is stable for the run; see TrapFilterView). */
     TrapFilterView filter_{};
@@ -246,6 +251,10 @@ class System
     Counter obsProbeSkips_ = 0;
     Counter obsUtlbHits_ = 0;
     Counter obsUtlbMisses_ = 0;
+    /** Bitmap/span scans served by a wide implementation vs the
+     *  scalar fallback (TW_NO_SIMD or an unsupporting host). */
+    Counter obsSimdWide_ = 0;
+    Counter obsSimdScalar_ = 0;
 
     RunResult result_;
 };

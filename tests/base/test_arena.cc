@@ -1,0 +1,163 @@
+/**
+ * @file
+ * The trial arena's lifetime rules: bump allocation from retained
+ * chunks, rewind-not-free on scope exit, steady-state zero growth,
+ * thread-local isolation, and the pmr plumbing the simulator state
+ * (caches, page tables, trap bitmaps) rides on.
+ */
+
+#include <cstdint>
+#include <cstring>
+#include <memory_resource>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/arena.hh"
+
+namespace tw
+{
+namespace
+{
+
+TEST(Arena, BumpAllocAlignsAndGrows)
+{
+    Arena arena(4096);
+    EXPECT_EQ(arena.reservedBytes(), 0u);
+
+    void *a = arena.allocate(100, 8);
+    void *b = arena.allocate(1, 64);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % 8, 0u);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 64, 0u);
+    EXPECT_GE(arena.reservedBytes(), 4096u);
+    EXPECT_GE(arena.usedBytes(), 101u);
+
+    // Larger than the chunk: the arena must mint a bigger one, not
+    // fail or split.
+    void *big = arena.allocate(3 * 4096, 16);
+    ASSERT_NE(big, nullptr);
+    std::memset(big, 0xab, 3 * 4096);
+    EXPECT_GE(arena.chunkCount(), 2u);
+}
+
+TEST(Arena, ResetRetainsChunksAndReusesThem)
+{
+    Arena arena(4096);
+    for (int trial = 0; trial < 5; ++trial) {
+        for (int i = 0; i < 32; ++i) {
+            void *p = arena.allocate(512, 16);
+            std::memset(p, trial, 512);
+        }
+        arena.reset();
+        EXPECT_EQ(arena.usedBytes(), 0u);
+    }
+    // Steady state: the second and later passes allocate no new
+    // chunks (this is the zero-malloc-per-trial property).
+    std::size_t reserved = arena.reservedBytes();
+    for (int i = 0; i < 32; ++i)
+        (void)arena.allocate(512, 16);
+    EXPECT_EQ(arena.reservedBytes(), reserved);
+    arena.release();
+    EXPECT_EQ(arena.reservedBytes(), 0u);
+    EXPECT_EQ(arena.chunkCount(), 0u);
+    // Usable again after release.
+    EXPECT_NE(arena.allocate(64, 8), nullptr);
+}
+
+TEST(Arena, DeallocateIsANoOp)
+{
+    Arena arena(4096);
+    void *p = arena.allocate(256, 16);
+    std::size_t used = arena.usedBytes();
+    arena.deallocate(p, 256, 16);
+    EXPECT_EQ(arena.usedBytes(), used);
+}
+
+TEST(ArenaScope, BindsRewindsAndNests)
+{
+    EXPECT_EQ(activeArena(), nullptr);
+    EXPECT_EQ(arenaResource(), std::pmr::new_delete_resource());
+    {
+        ArenaScope outer;
+        Arena *bound = activeArena();
+        ASSERT_NE(bound, nullptr);
+        EXPECT_EQ(bound, &outer.arena());
+        EXPECT_EQ(arenaResource(), bound);
+        (void)bound->allocate(1000, 8);
+        {
+            // Nested scope: passthrough, same arena, no rewind on
+            // inner exit.
+            ArenaScope inner;
+            EXPECT_EQ(activeArena(), bound);
+            EXPECT_EQ(&inner.arena(), bound);
+            (void)inner.arena().allocate(1000, 8);
+        }
+        EXPECT_EQ(activeArena(), bound);
+        EXPECT_GE(bound->usedBytes(), 2000u);
+    }
+    EXPECT_EQ(activeArena(), nullptr);
+    // The worker arena is retained across scopes on this thread:
+    // reopening must not have to re-reserve.
+    {
+        ArenaScope again;
+        EXPECT_EQ(again.arena().usedBytes(), 0u);
+        EXPECT_GT(again.arena().reservedBytes(), 0u);
+    }
+}
+
+TEST(ArenaScope, PmrContainersLandInTheArena)
+{
+    ArenaScope scope;
+    std::size_t used0 = scope.arena().usedBytes();
+    {
+        std::pmr::vector<std::uint64_t> v(arenaResource());
+        v.resize(10000);
+        v[9999] = 42;
+        EXPECT_GE(scope.arena().usedBytes(),
+                  used0 + 10000 * sizeof(std::uint64_t));
+    }
+    // Vector destruction deallocated nothing (bump arena): the
+    // cursor stays put until the scope rewinds.
+    EXPECT_GE(scope.arena().usedBytes(),
+              used0 + 10000 * sizeof(std::uint64_t));
+}
+
+TEST(ArenaThreads, PerThreadArenasAreIsolated)
+{
+    // Four threads each run "trials" against their own thread-local
+    // arena; the bindings, allocations and rewinds never touch
+    // another thread's arena (TSan hardens this claim).
+    constexpr int kThreads = 4;
+    std::vector<std::thread> threads;
+    std::vector<Arena *> seen(kThreads, nullptr);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (int trial = 0; trial < 50; ++trial) {
+                ArenaScope scope;
+                seen[t] = &scope.arena();
+                auto *p = static_cast<std::uint64_t *>(
+                    scope.arena().allocate(8 * 1024, 64));
+                for (int i = 0; i < 1024; ++i)
+                    p[i] = static_cast<std::uint64_t>(t) << 32 | i;
+                for (int i = 0; i < 1024; ++i) {
+                    if (p[i] != (static_cast<std::uint64_t>(t) << 32
+                                 | i))
+                        ADD_FAILURE() << "corrupted arena, thread "
+                                      << t;
+                }
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    for (int a = 0; a < kThreads; ++a) {
+        for (int b = a + 1; b < kThreads; ++b)
+            EXPECT_NE(seen[a], seen[b]);
+    }
+}
+
+} // namespace
+} // namespace tw

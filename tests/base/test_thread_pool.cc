@@ -6,6 +6,7 @@
 #include <numeric>
 #include <vector>
 
+#include "base/numa.hh"
 #include "base/thread_pool.hh"
 
 namespace tw
@@ -91,6 +92,86 @@ TEST(ParallelFor, DefaultWidthRespectsOverride)
     EXPECT_EQ(defaultThreads(), 3u);
     setDefaultThreads(0); // restore TW_THREADS / hardware fallback
     EXPECT_GE(defaultThreads(), 1u);
+}
+
+/** Inject a fake multi-node topology for one test, restoring the
+ *  host map after — lets a single-node CI box run the NUMA-sharded
+ *  dispatch path for real. */
+class ScopedFakeTopology
+{
+  public:
+    explicit ScopedFakeTopology(numa::Topology topo)
+    {
+        numa::setTopologyForTest(std::move(topo));
+    }
+
+    ~ScopedFakeTopology() { numa::setTopologyForTest({}); }
+};
+
+TEST(ParallelForNuma, ShardedDispatchCoversEveryIndexOnce)
+{
+    // Two fake nodes splitting the host CPUs: parallelFor takes the
+    // shard-then-steal path. The exactly-once contract must hold
+    // regardless of which shard an index lands in or who steals it.
+    numa::Topology topo;
+    topo.nodeCpus = {{0}, {0}};
+    ScopedFakeTopology fake(std::move(topo));
+    ASSERT_EQ(numa::topology().nodes(), 2u);
+
+    for (unsigned threads : {2u, 3u, 4u, 8u}) {
+        std::vector<std::atomic<int>> hits(1003);
+        for (auto &h : hits)
+            h.store(0);
+        parallelFor(
+            hits.size(),
+            [&hits](std::uint64_t i) {
+                hits[i].fetch_add(1, std::memory_order_relaxed);
+            },
+            threads);
+        for (std::size_t i = 0; i < hits.size(); ++i)
+            EXPECT_EQ(hits[i].load(), 1)
+                << "index " << i << " threads " << threads;
+    }
+}
+
+TEST(ParallelForNuma, ImbalancedShardsDrainViaStealing)
+{
+    // Skewed node sizes with more workers than one node's share:
+    // finished workers must steal the remainder of the other shard
+    // rather than idle, and still never double-run an index.
+    numa::Topology topo;
+    topo.nodeCpus = {{0}, {0}, {0}};
+    ScopedFakeTopology fake(std::move(topo));
+
+    std::vector<std::atomic<int>> hits(97);
+    for (auto &h : hits)
+        h.store(0);
+    parallelFor(
+        hits.size(),
+        [&hits](std::uint64_t i) {
+            hits[i].fetch_add(1, std::memory_order_relaxed);
+        },
+        4);
+    int total = 0;
+    for (auto &h : hits)
+        total += h.load();
+    EXPECT_EQ(total, 97);
+}
+
+TEST(ParallelForNuma, ShardedMatchesSerialBitForBit)
+{
+    numa::Topology topo;
+    topo.nodeCpus = {{0}, {0}};
+    ScopedFakeTopology fake(std::move(topo));
+
+    std::vector<std::uint64_t> serial(513), sharded(513);
+    parallelFor(serial.size(),
+                [&serial](std::uint64_t i) { serial[i] = i * 31 + 7; },
+                1);
+    parallelFor(
+        sharded.size(),
+        [&sharded](std::uint64_t i) { sharded[i] = i * 31 + 7; }, 6);
+    EXPECT_EQ(serial, sharded);
 }
 
 } // anonymous namespace

@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include "base/simd.hh"
 #include "core/tapeworm.hh"
 #include "core/tapeworm_tlb.hh"
 #include "harness/mux_client.hh"
@@ -335,6 +336,136 @@ TEST(FastPath, BitIdenticalUnderTaskChurnAndDma)
     spec.sys.scope = SimScope::all();
     spec.sys.dmaFlushPeriod = 4;
     expectCachePathsAgree(spec, 31);
+}
+
+/** Force the scalar trap-bitmap scans for a scope, restoring the
+ *  previous enablement after (mirrors TW_NO_SIMD / --no-simd). */
+class ScopedNoSimd
+{
+  public:
+    ScopedNoSimd() : wasWide_(simd::wide()) { simd::setEnabled(false); }
+    ~ScopedNoSimd() { simd::setEnabled(wasWide_); }
+
+  private:
+    bool wasWide_;
+};
+
+void
+expectSameOutcome(const RunOutcome &a, const RunOutcome &b)
+{
+    expectSameRun(a.run, b.run);
+    EXPECT_DOUBLE_EQ(a.rawMisses, b.rawMisses);
+    EXPECT_DOUBLE_EQ(a.estMisses, b.estMisses);
+    for (unsigned c = 0; c < kNumComponents; ++c)
+        EXPECT_DOUBLE_EQ(a.missesByComp[c], b.missesByComp[c])
+            << componentName(static_cast<Component>(c));
+    EXPECT_EQ(a.maskedTrapRefs, b.maskedTrapRefs);
+    EXPECT_EQ(a.lostMaskedMisses, b.lostMaskedMisses);
+}
+
+TEST(FastPath, TriPathBitIdentityAcrossTenConfigs)
+{
+    // The full equivalence triangle on ten configurations spanning
+    // every engine loop: fast path with wide scans, fast path
+    // forced scalar (TW_NO_SIMD), and the legacy per-step path
+    // (TW_SLOW_PATH=1) must all produce identical outcomes. SIMD is
+    // an implementation detail of the probe, never of the result.
+    struct Config
+    {
+        const char *label;
+        RunSpec spec;
+        std::uint64_t seed;
+    };
+    std::vector<Config> configs;
+
+    {
+        // 1: small icache, everything instrumented (chunked loop,
+        // frequent traps).
+        RunSpec s = baseSpec();
+        s.sys.scope = SimScope::all();
+        configs.push_back({"icache-4K-all", s, 101});
+    }
+    {
+        // 2: large icache (hit-dominated chunked loop, long spans).
+        RunSpec s = baseSpec();
+        s.tw.cache =
+            CacheConfig::icache(1024 * 1024, 16, 1, Indexing::Virtual);
+        configs.push_back({"icache-1M", s, 102});
+    }
+    {
+        // 3: user-only scope (mid-chunk scope exits).
+        RunSpec s = baseSpec();
+        s.sys.scope = SimScope::userOnly();
+        configs.push_back({"icache-user-only", s, 103});
+    }
+    {
+        // 4: data cache (filtered loop, dprobe spans).
+        RunSpec s = baseSpec();
+        s.tw.kind = SimCacheKind::Data;
+        configs.push_back({"dcache", s, 104});
+    }
+    {
+        // 5: unified cache (filtered loop, fetch+data probes).
+        RunSpec s = baseSpec();
+        s.tw.kind = SimCacheKind::Unified;
+        configs.push_back({"unified", s, 105});
+    }
+    {
+        // 6: no-allocate-on-write stores (trap-clear side effects).
+        RunSpec s = baseSpec();
+        s.tw.kind = SimCacheKind::Data;
+        s.tw.hostWrite = HostWritePolicy::NoAllocateOnWrite;
+        configs.push_back({"dcache-noalloc", s, 106});
+    }
+    {
+        // 7: set sampling (partial filter coverage).
+        RunSpec s = baseSpec();
+        s.tw.sampleNum = 1;
+        s.tw.sampleDenom = 8;
+        s.tw.sampleSeed = 1234;
+        configs.push_back({"sampled-1-8", s, 107});
+    }
+    {
+        // 8: TLB mode (page-granularity filter bitmap — the
+        // unpadded one, exercising exact scan bounds).
+        RunSpec s = baseSpec();
+        s.sim = SimKind::TapewormTlbSim;
+        configs.push_back({"tlb", s, 108});
+    }
+    {
+        // 9: task churn + DMA flushes over recycled frames.
+        RunSpec s = baseSpec("sdet", 8000);
+        s.sys.scope = SimScope::all();
+        s.sys.dmaFlushPeriod = 4;
+        configs.push_back({"sdet-churn-dma", s, 109});
+    }
+    {
+        // 10: uninstrumented (pure stream batching + span math).
+        RunSpec s = baseSpec();
+        s.sim = SimKind::None;
+        configs.push_back({"uninstrumented", s, 110});
+    }
+
+    ASSERT_EQ(configs.size(), 10u);
+    for (const Config &cfg : configs) {
+        SCOPED_TRACE(cfg.label);
+        RunOutcome wide, scalar, slow;
+        {
+            ScopedSlowPath sp(false);
+            wide = Runner::runOne(cfg.spec, cfg.seed);
+        }
+        {
+            ScopedSlowPath sp(false);
+            ScopedNoSimd noSimd;
+            scalar = Runner::runOne(cfg.spec, cfg.seed);
+        }
+        {
+            ScopedSlowPath sp(true);
+            slow = Runner::runOne(cfg.spec, cfg.seed);
+        }
+        expectSameOutcome(wide, scalar);
+        expectSameOutcome(wide, slow);
+    }
 }
 
 } // namespace
