@@ -53,6 +53,12 @@ usage(std::FILE *out)
                  "  --no-simd        force the scalar trap-bitmap "
                  "scans (same results, host-speed A/B; equivalent "
                  "to TW_NO_SIMD=1)\n"
+                 "  --sample         representative-interval "
+                 "sampling on eligible units (equivalent to "
+                 "TW_SAMPLE=1; TW_SAMPLE_* tune it)\n"
+                 "  --ci-target <r>  stop each unit's trials once "
+                 "the relative CI half-width reaches <r> "
+                 "(equivalent to TW_CI_TARGET=<r>)\n"
                  "  --trace-out <f>  write a Chrome trace-event JSON "
                  "span trace (Perfetto-loadable) to <f>\n"
                  "  --help           this text\n");
@@ -112,6 +118,12 @@ main(int argc, char **argv)
             report = true;
         } else if (std::strcmp(arg, "--no-simd") == 0) {
             simd::setEnabled(false);
+        } else if (std::strcmp(arg, "--sample") == 0) {
+            // Grids read the environment (applySampleEnv), so the
+            // flag and TW_SAMPLE=1 are the same switch.
+            setenv("TW_SAMPLE", "1", 1);
+        } else if (std::strcmp(arg, "--ci-target") == 0) {
+            setenv("TW_CI_TARGET", value(i, "--ci-target"), 1);
         } else if (std::strcmp(arg, "--trace-out") == 0) {
             trace_path = value(i, "--trace-out");
         } else if (std::strcmp(arg, "--help") == 0

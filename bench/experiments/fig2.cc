@@ -77,8 +77,13 @@ make()
 
             spec.sim = SimKind::Tapeworm;
             spec.tw.cache = cache;
-            units.push_back(unitOf(csprintf("tw/%uK", paper.kb), spec,
-                                   TrialPlan::one(7, true)));
+            RunSpec tw = spec;
+            applySampleEnv(tw);
+            // Sampled estimates carry no slowdown (no instrumented
+            // machine runs), so skip the baseline pairing then.
+            units.push_back(unitOf(
+                csprintf("tw/%uK", paper.kb), tw,
+                TrialPlan::one(7, !tw.sample.enabled)));
 
             if (wantDcache()) {
                 RunSpec uni = spec;
@@ -98,6 +103,8 @@ make()
         unsigned only_kb = onlyKb();
         double tw_refs = 0.0, tw_secs = 0.0;
         double twd_refs = 0.0, twd_secs = 0.0;
+        double sample_refs_sim = 0.0, sample_refs_total = 0.0;
+        double sample_ci = 0.0;
         TextTable t({"size", "missRatio", "c2000.slow", "tw.slow",
                      "paper.miss", "paper.c2000", "paper.tw"});
         for (const auto &paper : kPaper) {
@@ -108,9 +115,22 @@ make()
             const RunOutcome &trace =
                 ctx.outcome(csprintf("c2k/%uK", paper.kb));
 
-            tw_refs += static_cast<double>(trap.run.totalInstr()
-                                           + trap.run.dataRefs);
+            // A sampled run's simulated-work figure is the refs it
+            // actually replayed, not the budget it estimated for.
+            tw_refs += trap.sample.used
+                           ? static_cast<double>(
+                                 trap.sample.refsSimulated)
+                           : static_cast<double>(
+                                 trap.run.totalInstr()
+                                 + trap.run.dataRefs);
             tw_secs += trap.hostSeconds;
+            if (trap.sample.used) {
+                sample_refs_sim += static_cast<double>(
+                    trap.sample.refsSimulated);
+                sample_refs_total += static_cast<double>(
+                    trap.sample.refsTotal);
+                sample_ci += trap.sample.ciHalfWidth;
+            }
             if (ctx.reportRequested()) {
                 ctx.metric(csprintf("tw_refs_per_sec_%uK", paper.kb),
                            refsPerSec(trap));
@@ -153,6 +173,11 @@ make()
                 ctx.metric("twd_host_seconds", twd_secs);
             }
             ctx.note("simd", simd::levelName(simd::activeLevel()));
+        }
+        if (sample_refs_total > 0.0) {
+            ctx.metric("sample_refs_simulated", sample_refs_sim);
+            ctx.metric("sample_refs_total", sample_refs_total);
+            ctx.metric("sample_ci_half_total", sample_ci);
         }
     };
     return def;

@@ -7,6 +7,7 @@
  * trials without sampling are exactly repeatable.
  */
 
+#include "sample/stopping.hh"
 #include "util.hh"
 
 using namespace twbench;
@@ -16,6 +17,29 @@ namespace
 
 const unsigned kTrials = 16;
 const std::uint64_t kSizesKb[] = {1, 2, 4, 8, 16, 32};
+
+/** Per-(size, fraction) sampling metrics for the BENCH report:
+ *  fraction, estimate, CI half-width over trials, and interval-
+ *  sampler refs actually simulated. */
+void
+sampleMetrics(ExperimentContext &ctx, const char *kind,
+              std::uint64_t kb, double fraction,
+              const std::vector<RunOutcome> &outs)
+{
+    RunningStat rs;
+    double refs_sim = 0.0;
+    for (const auto &o : outs) {
+        rs.push(o.estMisses);
+        refs_sim += static_cast<double>(o.sample.refsSimulated);
+    }
+    std::string stem = csprintf("%s_%lluK", kind,
+                                (unsigned long long)kb);
+    ctx.metric(stem + "_fraction", fraction);
+    ctx.metric(stem + "_estimate", rs.mean());
+    ctx.metric(stem + "_ci_half", tHalfWidth(rs, 0.95));
+    ctx.metric(stem + "_refs_simulated", refs_sim);
+    ctx.metric(stem + "_trials", static_cast<double>(outs.size()));
+}
 
 ExperimentDef
 make()
@@ -35,15 +59,20 @@ make()
             spec.tw.cache = CacheConfig::icache(kb * 1024, 16, 1,
                                                 Indexing::Virtual);
 
+            // TW_SAMPLE composes: interval sampling replicates the
+            // per-trial set sample, so both columns keep their
+            // meaning. TW_CI_TARGET turns the fixed 16-trial plan
+            // into an up-to-16 adaptive one.
+            applySampleEnv(spec);
             RunSpec sampled = spec;
             sampled.tw.sampleNum = 1;
             sampled.tw.sampleDenom = 8;
             units.push_back(unitOf(
                 csprintf("sampled/%lluK", (unsigned long long)kb),
-                sampled, TrialPlan::derived(kTrials, 0x5a)));
+                sampled, variationPlan(kTrials, 0x5a)));
             units.push_back(unitOf(
                 csprintf("unsampled/%lluK", (unsigned long long)kb),
-                spec, TrialPlan::derived(kTrials, 0x5a)));
+                spec, variationPlan(kTrials, 0x5a)));
         }
         return units;
     };
@@ -59,7 +88,12 @@ make()
                 csprintf("unsampled/%lluK", (unsigned long long)kb));
             total_misses += totalEstMisses(sampled_out)
                             + totalEstMisses(unsampled_out);
-            total_trials += 2 * kTrials;
+            total_trials += sampled_out.size()
+                            + unsampled_out.size();
+            sampleMetrics(ctx, "sampled", kb, 1.0 / 8.0,
+                          sampled_out);
+            sampleMetrics(ctx, "unsampled", kb, 1.0,
+                          unsampled_out);
             Summary ss = missSummary(sampled_out);
             Summary su = missSummary(unsampled_out);
 

@@ -9,6 +9,7 @@
 #ifndef TW_BENCH_EXPERIMENTS_UTIL_HH
 #define TW_BENCH_EXPERIMENTS_UTIL_HH
 
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,7 @@
 #include "harness/experiment.hh"
 #include "harness/runner.hh"
 #include "harness/trials.hh"
+#include "sample/config.hh"
 #include "workload/spec.hh"
 
 namespace twbench
@@ -64,6 +66,55 @@ defaultSpec(const std::string &workload, unsigned scale_div)
     spec.sim = SimKind::Tapeworm;
     spec.tw.cache = CacheConfig::icache(4096);
     return spec;
+}
+
+/**
+ * Apply the TW_SAMPLE / TW_SAMPLE_* environment (set by
+ * `bench_driver --sample`) to one grid spec, plus TW_NO_DMA — the
+ * comparison protocol that runs both the sampled and the full side
+ * without DMA frame recycling (an OS perturbation the stream-driven
+ * estimator deliberately does not model). Call only on units whose
+ * geometry can be eligible (Tapeworm, direct-mapped, virtual); a
+ * spec that ends up ineligible anyway just falls back to the full
+ * run (engine.sample.fallbacks counts it).
+ */
+inline void
+applySampleEnv(RunSpec &spec)
+{
+    spec.sample = sampleConfigFromEnv();
+    if (envNoDma())
+        spec.sys.dmaFlushPeriod = 0;
+}
+
+/**
+ * TW_CI_TARGET (set by `bench_driver --ci-target`): an adaptive
+ * trial-stopping rule at that relative CI half-width; disabled when
+ * unset or non-positive.
+ */
+inline StopRule
+stopRuleFromEnv()
+{
+    StopRule rule;
+    if (const char *env = std::getenv("TW_CI_TARGET")) {
+        double target = std::atof(env);
+        if (target > 0.0) {
+            rule.enabled = true;
+            rule.ciRelTarget = target;
+        }
+    }
+    return rule;
+}
+
+/** The trial plan a variation sweep uses: the fixed @p n-trial plan,
+ *  or up to @p n trials stopping at TW_CI_TARGET when that is set. */
+inline TrialPlan
+variationPlan(unsigned n, std::uint64_t base,
+              bool with_slowdown = false)
+{
+    StopRule rule = stopRuleFromEnv();
+    if (rule.enabled)
+        return TrialPlan::adaptive(n, base, rule, with_slowdown);
+    return TrialPlan::derived(n, base, with_slowdown);
 }
 
 /** Convenience: a one-seed grid unit. */

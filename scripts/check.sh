@@ -15,7 +15,9 @@ cmake --build build
 # mode (the parallel_trials and fast-path suites assert this
 # directly; running everything each way keeps every other test
 # honest about hidden shared state and SIMD/scalar divergence too).
-TW_THREADS=1 ctest --test-dir build --output-on-failure -j"$(nproc)"
+# The serial leg pins TW_SAMPLE=0: an explicit sampling-off
+# environment must be byte-identical to the pre-sampling default.
+TW_SAMPLE=0 TW_THREADS=1 ctest --test-dir build --output-on-failure -j"$(nproc)"
 TW_THREADS=4 ctest --test-dir build --output-on-failure -j"$(nproc)"
 TW_NO_SIMD=1 ctest --test-dir build --output-on-failure -j"$(nproc)"
 
@@ -30,6 +32,11 @@ cmake --build build-tsan --target test_harness test_base \
     test_integration test_serve test_obs
 TW_THREADS=4 ./build-tsan/tests/test_harness \
     --gtest_filter='ParallelTrials.*'
+# Adaptive stopping batches trials through the same pool and then
+# reads the prefix back on the coordinating thread — prove the
+# batch barrier and the per-index outcome writes race-free.
+TW_THREADS=4 ./build-tsan/tests/test_harness \
+    --gtest_filter='AdaptiveTrials.*:ExperimentAdaptive.*'
 TW_THREADS=4 ./build-tsan/tests/test_base \
     --gtest_filter='ThreadPool.*:ParallelFor.*:BoundedQueue.*'
 # The SIMD span scans and per-worker arenas are new shared state on
@@ -58,6 +65,11 @@ TW_THREADS=4 ./build-tsan/tests/test_serve
 # exposition is well-formed, and canonical rows stay bit-identical
 # with the spine on vs off.
 ./scripts/obs_smoke.sh
+
+# Sampling smoke: interval-sampled fig2 estimates within 2% of the
+# full run while replaying >=10x fewer refs; TW_CI_TARGET turns
+# table8 adaptive and the trial count actually drops.
+./scripts/sample_smoke.sh
 
 # Experiment-registry smoke: the driver must list the catalogue, and
 # every migrated experiment's masked output must still match the

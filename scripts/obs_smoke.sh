@@ -77,6 +77,13 @@ trials=$(grep -oE '"engine\.arena\.trials_served"[: ]+[0-9.]+' "$BENCH" \
     | grep -oE '[0-9.]+$')
 [ -n "$trials" ] && [ "$(awk -v t="$trials" 'BEGIN { print (t > 0) }')" = 1 ] \
     || fail "engine.arena.trials_served is '$trials' — trials bypassed the arena"
+# Every trial the experiment engine dispatches must tick trials.run
+# (the sampling subsystem's adaptive stopping reads the same
+# counter, so a sweep that bypasses it would hide early stops).
+run_ctr=$(grep -oE '"trials\.run"[: ]+[0-9.]+' "$BENCH" \
+    | grep -oE '[0-9.]+$')
+[ -n "$run_ctr" ] && [ "$(awk -v r="$run_ctr" 'BEGIN { print (r > 0) }')" = 1 ] \
+    || fail "trials.run is '$run_ctr' — trial dispatch bypassed the obs registry"
 echo "obs_smoke: BENCH report carries engine counters under metrics"
 
 # ---- bit-identity: same rows with the spine off -------------------

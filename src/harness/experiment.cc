@@ -37,6 +37,16 @@ TrialPlan::derived(unsigned n, std::uint64_t base, bool with_slowdown)
     return plan;
 }
 
+TrialPlan
+TrialPlan::adaptive(unsigned max_n, std::uint64_t base,
+                    StopRule rule, bool with_slowdown)
+{
+    TrialPlan plan = derived(max_n, base, with_slowdown);
+    rule.enabled = true;
+    plan.stopWhen = rule;
+    return plan;
+}
+
 std::vector<std::uint64_t>
 derivedTrialSeeds(unsigned n, std::uint64_t base)
 {
@@ -317,12 +327,21 @@ runExperiment(const ExperimentDef &def, StatSink &sink,
     if (def.grid)
         ctx.units_ = def.grid(scale);
 
-    // Flatten every (unit, trial) into one parallelFor so a sweep
-    // saturates the pool even when units run few trials. Per-index
-    // writes keep the result bit-identical to a serial loop.
+    // Flatten every fixed-plan (unit, trial) into one parallelFor so
+    // a sweep saturates the pool even when units run few trials.
+    // Per-index writes keep the result bit-identical to a serial
+    // loop. Adaptive units run afterwards, one batched sweep each:
+    // their trial count is a run-time quantity, so they cannot join
+    // a pre-sized flatten.
+    static obs::Counter obsTrialsRun =
+        obs::registry().counter("trials.run");
     std::vector<const ExperimentUnit *> jobUnit;
     std::vector<std::size_t> jobTrial;
     for (const auto &unit : ctx.units_) {
+        if (unit.plan.stopWhen.enabled) {
+            (void)ctx.outcomes_[unit.id]; // materialize the entry
+            continue;
+        }
         ctx.outcomes_[unit.id].resize(unit.plan.seeds.size());
         for (std::size_t t = 0; t < unit.plan.seeds.size(); ++t) {
             jobUnit.push_back(&unit);
@@ -343,9 +362,23 @@ runExperiment(const ExperimentDef &def, StatSink &sink,
                     : Runner::runOne(unit.spec, seed);
             ctx.outcomes_[unit.id][t] = std::move(out);
         });
+        obsTrialsRun.add(jobUnit.size());
+    }
+    for (const auto &unit : ctx.units_) {
+        if (!unit.plan.stopWhen.enabled)
+            continue;
+        obs::ScopedSpan unitSpan(std::string("unit:") + unit.id,
+                                 "harness");
+        AdaptiveTrialsResult res = runTrialsAdaptive(
+            unit.spec, unit.plan.seeds, unit.plan.stopWhen,
+            unit.plan.withSlowdown);
+        ctx.outcomes_[unit.id] = std::move(res.outcomes);
     }
 
-    // Stream rows in the deterministic seq order.
+    // Stream rows in the deterministic seq order. seq advances by
+    // the FULL enumeration (experimentJobs' numbering) even when an
+    // adaptive unit stopped early: executed rows keep the seq they
+    // would have under the full plan, skipped tails leave gaps.
     std::uint64_t seq = 0;
     for (const auto &unit : ctx.units_) {
         const auto &outs = ctx.outcomes_[unit.id];
@@ -353,12 +386,13 @@ runExperiment(const ExperimentDef &def, StatSink &sink,
             ExperimentRow r;
             r.experiment = def.name;
             r.unit = unit.id;
-            r.seq = seq++;
+            r.seq = seq + t;
             r.trial = t;
             r.seed = unit.plan.seeds[t];
             r.outcome = &outs[t];
             sink.row(r);
         }
+        seq += unit.plan.seeds.size();
     }
 
     if (def.present)

@@ -43,6 +43,7 @@
 
 #include "base/json.hh"
 #include "harness/runner.hh"
+#include "harness/trials.hh"
 
 namespace tw
 {
@@ -51,6 +52,12 @@ namespace tw
  * How many trials one grid point runs, with which seeds. Seeds are
  * explicit so the serve layer can enumerate (and cache-key) every
  * job without private knowledge of the derivation rule.
+ *
+ * `seeds` is always the full enumeration — the UPPER BOUND an
+ * adaptive plan may run. Job enumeration (experimentJobs) and
+ * therefore server admission always see the full list; a run-time
+ * stop merely leaves the tail unexecuted (rows keep their
+ * full-enumeration seq values, so the emitted prefix is unchanged).
  */
 struct TrialPlan
 {
@@ -58,6 +65,11 @@ struct TrialPlan
     /** Pair each trial with its memoized uninstrumented baseline
      *  (fills RunOutcome::slowdown). */
     bool withSlowdown = false;
+    /** CI-driven early stopping (disabled by default: classic fixed
+     *  plan). Deliberately NOT serialized into specs or cache keys —
+     *  adaptive trials hit the very same ResultCache entries the
+     *  full plan would. */
+    StopRule stopWhen;
 
     /** A single run with @p seed. */
     static TrialPlan one(std::uint64_t seed, bool with_slowdown = false);
@@ -65,6 +77,12 @@ struct TrialPlan
     /** @p n trials seeded the runTrials way: mixSeed(base, 1000+t). */
     static TrialPlan derived(unsigned n, std::uint64_t base,
                              bool with_slowdown = false);
+
+    /** Up to @p max_n derived trials, stopping early per @p rule
+     *  (rule.enabled is forced on). */
+    static TrialPlan adaptive(unsigned max_n, std::uint64_t base,
+                              StopRule rule,
+                              bool with_slowdown = false);
 };
 
 /** The seeds TrialPlan::derived produces (shared with runTrials). */

@@ -11,6 +11,8 @@
 #include "harness/oracle.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "sample/interval_sim.hh"
+#include "sample/profile.hh"
 
 namespace tw
 {
@@ -109,6 +111,92 @@ Runner::baselineKey(const RunSpec &spec, std::uint64_t trial_seed)
         static_cast<unsigned long long>(trial_seed));
 }
 
+bool
+Runner::sampleEligible(const RunSpec &spec)
+{
+    if (!spec.sample.enabled || spec.sim != SimKind::Tapeworm)
+        return false;
+    const TapewormConfig &tw = spec.tw;
+    if (tw.kind != SimCacheKind::Instruction)
+        return false;
+    // Exact boundary reconstruction holds only for direct-mapped
+    // virtually-indexed caches (the resident line of a set is the
+    // most recently referenced line mapping to it).
+    if (tw.cache.assoc != 1 || tw.cache.indexing != Indexing::Virtual)
+        return false;
+    // The estimator replays one user stream: the full run must trace
+    // exactly that stream and nothing else.
+    const SimScope &scope = spec.sys.scope;
+    if (!scope.user || scope.servers || scope.kernel)
+        return false;
+    if (spec.workload.taskCount != 1
+        || spec.workload.concurrency != 1
+        || spec.workload.binaries.size() != 1)
+        return false;
+    // DMA buffer recycling flushes lines at times the stream replay
+    // cannot see; such specs run in full.
+    if (spec.sys.dmaFlushPeriod != 0)
+        return false;
+    // Below four intervals sampling cannot pay for itself.
+    return spec.workload.userInstr()
+           >= 4 * static_cast<Counter>(spec.sample.intervalRefs);
+}
+
+namespace
+{
+
+/** The sampled Tapeworm estimate, in place of a machine run. */
+void
+runSampled(const RunSpec &spec, const TapewormConfig &cfg,
+           RunOutcome &out)
+{
+    static obs::Counter obsRuns =
+        obs::registry().counter("engine.sample.runs");
+    static obs::Counter obsIntervalsTotal =
+        obs::registry().counter("engine.sample.intervals_total");
+    static obs::Counter obsIntervalsSim =
+        obs::registry().counter("engine.sample.intervals_simulated");
+    static obs::Counter obsRefsSim =
+        obs::registry().counter("engine.sample.refs_simulated");
+    static obs::Counter obsRefsSkipped =
+        obs::registry().counter("engine.sample.refs_skipped");
+
+    const StreamParams &params = spec.workload.binaries[0];
+    // Replicate how the OS seeds and budgets the first (only) user
+    // task: see System::spawnNextUser.
+    std::uint64_t reset_seed = mixSeed(params.seed, 0x5eed00);
+    Counter budget =
+        std::max<Counter>(1, spec.workload.userInstr()
+                                 / spec.workload.taskCount);
+
+    std::shared_ptr<const SamplePlan> plan = getSamplePlan(
+        params, reset_seed, budget, spec.sample, cfg.cache);
+    IntervalEstimate est =
+        estimateByIntervals(*plan, cfg, spec.sample);
+
+    out.run.instr[static_cast<unsigned>(Component::User)] = budget;
+    out.run.tasksCreated = 1;
+    out.rawMisses = est.rawMisses;
+    out.estMisses = est.estMisses;
+    out.missesByComp[static_cast<unsigned>(Component::User)] =
+        est.estMisses;
+    out.sample.used = true;
+    out.sample.intervalsTotal = est.intervalsTotal;
+    out.sample.intervalsSimulated = est.intervalsSimulated;
+    out.sample.refsSimulated = est.refsSimulated;
+    out.sample.refsTotal = est.refsTotal;
+    out.sample.ciHalfWidth = est.ciHalfWidth;
+
+    obsRuns.inc();
+    obsIntervalsTotal.add(est.intervalsTotal);
+    obsIntervalsSim.add(est.intervalsSimulated);
+    obsRefsSim.add(est.refsSimulated);
+    obsRefsSkipped.add(est.refsTotal - std::min(est.refsTotal,
+                                                est.refsSimulated));
+}
+
+} // anonymous namespace
+
 RunOutcome
 Runner::runOne(const RunSpec &spec, std::uint64_t trial_seed)
 {
@@ -120,6 +208,23 @@ Runner::runOne(const RunSpec &spec, std::uint64_t trial_seed)
     // and clients are destroyed before the rewind.
     ArenaScope arenaScope;
     const std::size_t reserved0 = arenaScope.arena().reservedBytes();
+
+    if (spec.sample.enabled && spec.sim == SimKind::Tapeworm) {
+        if (sampleEligible(spec)) {
+            RunOutcome out;
+            double t0 = hostNow();
+            TapewormConfig cfg = spec.tw;
+            if (cfg.sampleSeed == 0)
+                cfg.sampleSeed = mixSeed(trial_seed, 0x7e57);
+            runSampled(spec, cfg, out);
+            out.hostSeconds = hostNow() - t0;
+            return out;
+        }
+        static obs::Counter obsSampleFallbacks =
+            obs::registry().counter("engine.sample.fallbacks");
+        obsSampleFallbacks.inc();
+    }
+
     SystemConfig sys = spec.sys;
     sys.trialSeed = trial_seed;
     System system(sys, spec.workload);

@@ -25,6 +25,7 @@
 #include "core/tapeworm.hh"
 #include "core/tapeworm_tlb.hh"
 #include "os/system.hh"
+#include "sample/config.hh"
 #include "trace/cache2000.hh"
 #include "trace/pixie.hh"
 #include "workload/spec.hh"
@@ -54,6 +55,16 @@ struct RunSpec
     PixieConfig pixie;
     /** The single task Pixie annotates. */
     TaskId traceTarget = kFirstUserTaskId;
+
+    /**
+     * Representative-interval sampling (Tapeworm runs only). When
+     * enabled AND the spec is eligible (direct-mapped virtual
+     * I-cache, user-only scope, single task, no DMA flushes — see
+     * Runner::sampleEligible), the run replays only representative
+     * stream intervals instead of executing the machine. Ineligible
+     * specs fall back to a full run.
+     */
+    SampleConfig sample;
 };
 
 /** Everything measured in one run. */
@@ -79,6 +90,10 @@ struct RunOutcome
     double slowdown = 0.0;
     /** The uninstrumented baseline's cycles (0 unless paired). */
     Cycles normalCycles = 0;
+
+    /** How the estimate was produced when interval sampling ran
+     *  (sample.used == false for a conventional full run). */
+    SampleOutcome sample;
 
     /** Estimated misses per total workload instruction (the
      *  Table 6 metric). */
@@ -147,6 +162,16 @@ class Runner
     /** Execute one instrumented run. */
     static RunOutcome runOne(const RunSpec &spec,
                              std::uint64_t trial_seed);
+
+    /**
+     * Whether spec.sample (if enabled) can honor the exactness
+     * contract of the interval estimator: a direct-mapped
+     * virtually-indexed instruction cache simulated over a single
+     * user task with user-only scope, no DMA flushes, and a budget
+     * of at least four intervals. Anything else falls back to a
+     * full run (counted in engine.sample.fallbacks).
+     */
+    static bool sampleEligible(const RunSpec &spec);
 
     /** Execute the instrumented run plus (memoized) uninstrumented
      *  baseline; fills slowdown and normalCycles. */

@@ -136,6 +136,18 @@ class Fields
         return v;
     }
 
+    /** Like get(), but absence is not an error (fields added after
+     *  v1 are emitted conditionally and parsed optionally so old
+     *  producers and consumers interoperate). */
+    const Json *
+    maybe(const char *key)
+    {
+        if (!ok_)
+            return nullptr;
+        consumed_.push_back(key);
+        return obj_.find(key);
+    }
+
     void
     u64(const char *key, std::uint64_t &out)
     {
@@ -627,6 +639,34 @@ c2kCfgFromJson(const Json &j, Cache2000Config &out, std::string &err)
     return f.finish();
 }
 
+Json
+sampleCfgToJson(const SampleConfig &s)
+{
+    Json j = Json::object();
+    j.set("enabled", Json::boolean(s.enabled));
+    j.set("intervalRefs", Json::number(s.intervalRefs));
+    j.set("warmupRefs", Json::number(s.warmupRefs));
+    j.set("clusters", Json::number(s.clusters));
+    j.set("perCluster", Json::number(s.perCluster));
+    j.set("seed", Json::number(s.seed));
+    j.set("ciRelFloor", Json::number(s.ciRelFloor));
+    return j;
+}
+
+bool
+sampleCfgFromJson(const Json &j, SampleConfig &out, std::string &err)
+{
+    Fields f(j, "SampleConfig", err);
+    f.bln("enabled", out.enabled);
+    f.u64("intervalRefs", out.intervalRefs);
+    f.u64("warmupRefs", out.warmupRefs);
+    f.uns("clusters", out.clusters);
+    f.uns("perCluster", out.perCluster);
+    f.u64("seed", out.seed);
+    f.dbl("ciRelFloor", out.ciRelFloor);
+    return f.finish();
+}
+
 } // anonymous namespace
 
 const char *
@@ -681,6 +721,11 @@ specToJson(const RunSpec &spec)
     j.set("pixie", std::move(pixie));
     j.set("traceTarget", Json::number(
         static_cast<std::int64_t>(spec.traceTarget)));
+    // Emitted only when enabled: a spec with sampling off keeps
+    // every byte (and therefore every cache key) of the
+    // pre-sampling schema.
+    if (spec.sample.enabled)
+        j.set("sample", sampleCfgToJson(spec.sample));
     return j;
 }
 
@@ -728,6 +773,12 @@ specFromJson(const Json &j, RunSpec &out, std::string &err)
             f.fail("RunSpec: %s", err.c_str());
     }
     f.i32("traceTarget", out.traceTarget);
+    if (const Json *s = f.maybe("sample")) {
+        if (!sampleCfgFromJson(*s, out.sample, err))
+            f.fail("RunSpec: %s", err.c_str());
+    } else {
+        out.sample = SampleConfig{};
+    }
     return f.finish();
 }
 
@@ -769,6 +820,16 @@ outcomeToJson(const RunOutcome &o)
     // hostSeconds deliberately absent: see specio.hh.
     j.set("slowdown", Json::number(o.slowdown));
     j.set("normalCycles", Json::number(o.normalCycles));
+    if (o.sample.used) {
+        Json s = Json::object();
+        s.set("intervalsTotal", Json::number(o.sample.intervalsTotal));
+        s.set("intervalsSimulated",
+              Json::number(o.sample.intervalsSimulated));
+        s.set("refsSimulated", Json::number(o.sample.refsSimulated));
+        s.set("refsTotal", Json::number(o.sample.refsTotal));
+        s.set("ciHalfWidth", Json::number(o.sample.ciHalfWidth));
+        j.set("sample", std::move(s));
+    }
     return j;
 }
 
@@ -822,6 +883,19 @@ outcomeFromJson(const Json &j, RunOutcome &out, std::string &err)
     f.u64("lostMaskedMisses", out.lostMaskedMisses);
     f.dbl("slowdown", out.slowdown);
     f.u64("normalCycles", out.normalCycles);
+    if (const Json *s = f.maybe("sample")) {
+        Fields sf(*s, "SampleOutcome", err);
+        out.sample.used = true;
+        sf.u64("intervalsTotal", out.sample.intervalsTotal);
+        sf.u64("intervalsSimulated", out.sample.intervalsSimulated);
+        sf.u64("refsSimulated", out.sample.refsSimulated);
+        sf.u64("refsTotal", out.sample.refsTotal);
+        sf.dbl("ciHalfWidth", out.sample.ciHalfWidth);
+        if (!sf.finish())
+            f.fail("RunOutcome: %s", err.c_str());
+    } else {
+        out.sample = SampleOutcome{};
+    }
     out.hostSeconds = 0.0;
     return f.finish();
 }

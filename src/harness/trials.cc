@@ -1,10 +1,27 @@
 #include "harness/trials.hh"
 
+#include <algorithm>
+#include <cmath>
+
 #include "base/random.hh"
 #include "base/thread_pool.hh"
+#include "obs/metrics.hh"
+#include "sample/stopping.hh"
 
 namespace tw
 {
+
+namespace
+{
+
+obs::Counter &
+obsTrialsRun()
+{
+    static obs::Counter c = obs::registry().counter("trials.run");
+    return c;
+}
+
+} // anonymous namespace
 
 std::vector<RunOutcome>
 runTrials(const RunSpec &spec, unsigned n, std::uint64_t base_seed,
@@ -24,7 +41,85 @@ runTrials(const RunSpec &spec, unsigned n, std::uint64_t base_seed,
                               : Runner::runOne(spec, seed);
         },
         threads);
+    obsTrialsRun().add(n);
     return outcomes;
+}
+
+AdaptiveTrialsResult
+runTrialsAdaptive(const RunSpec &spec,
+                  const std::vector<std::uint64_t> &seeds,
+                  const StopRule &rule, bool with_slowdown,
+                  unsigned threads)
+{
+    static obs::Counter obsStoppedEarly =
+        obs::registry().counter("trials.stopped_early");
+
+    AdaptiveTrialsResult res;
+    res.plannedTrials = static_cast<unsigned>(seeds.size());
+    const unsigned total = res.plannedTrials;
+
+    if (!rule.enabled) {
+        res.outcomes.resize(total);
+        parallelFor(
+            total,
+            [&](std::uint64_t t) {
+                res.outcomes[t] =
+                    with_slowdown
+                        ? Runner::runWithSlowdown(spec, seeds[t])
+                        : Runner::runOne(spec, seeds[t]);
+            },
+            threads);
+        obsTrialsRun().add(total);
+        RunningStat rs;
+        for (const auto &o : res.outcomes)
+            rs.push(o.estMisses);
+        res.mean = rs.mean();
+        res.ciHalfWidth = tHalfWidth(rs, 0.95);
+        return res;
+    }
+
+    const unsigned batch = std::max(1u, rule.batch);
+    res.outcomes.resize(total);
+    unsigned done = 0;
+    while (done < total) {
+        // First batch covers minTrials so the first CI evaluation
+        // already has a usable df.
+        unsigned want = done == 0 ? std::max(rule.minTrials, batch)
+                                  : batch;
+        unsigned stop = std::min(total, done + want);
+        parallelFor(
+            stop - done,
+            [&](std::uint64_t i) {
+                unsigned t = done + static_cast<unsigned>(i);
+                res.outcomes[t] =
+                    with_slowdown
+                        ? Runner::runWithSlowdown(spec, seeds[t])
+                        : Runner::runOne(spec, seeds[t]);
+            },
+            threads);
+        obsTrialsRun().add(stop - done);
+        done = stop;
+
+        // Evaluate in trial order over the completed prefix: the
+        // stopping decision is a pure function of the prefix, never
+        // of thread scheduling.
+        RunningStat rs;
+        for (unsigned t = 0; t < done; ++t)
+            rs.push(res.outcomes[t].estMisses);
+        res.mean = rs.mean();
+        res.ciHalfWidth = tHalfWidth(rs, rule.confidence);
+        if (done >= rule.minTrials && done >= 2) {
+            double rel = tRelHalfWidth(rs, rule.confidence);
+            if (rel <= rule.ciRelTarget) {
+                res.stoppedEarly = done < total;
+                break;
+            }
+        }
+    }
+    res.outcomes.resize(done);
+    if (res.stoppedEarly)
+        obsStoppedEarly.inc();
+    return res;
 }
 
 Summary

@@ -20,6 +20,57 @@ namespace tw
 {
 
 /**
+ * CI-driven adaptive trial stopping (the other half of the sampling
+ * subsystem, applied across trials instead of within a stream).
+ *
+ * Trials run in batches; after each batch the Student-t confidence
+ * interval of the per-trial miss estimates is evaluated IN TRIAL
+ * ORDER over the completed prefix, and the sweep stops as soon as
+ * the relative half-width reaches the target. Because the decision
+ * looks only at a deterministic prefix, an adaptive sweep is
+ * bit-identical to the same-length prefix of the full sweep at any
+ * thread count — and its per-trial cache keys are the full plan's
+ * keys (TrialPlan never enters the key), so a later full sweep
+ * reuses every trial an adaptive sweep already paid for.
+ */
+struct StopRule
+{
+    /** false: run every planned trial (the classic fixed plan). */
+    bool enabled = false;
+
+    /** Stop when t-CI half-width / |mean| <= this. */
+    double ciRelTarget = 0.05;
+
+    /** Confidence level of the interval (two-sided). */
+    double confidence = 0.95;
+
+    /** Never stop before this many trials (a variance estimate from
+     *  2-3 trials is too noisy to trust). */
+    unsigned minTrials = 4;
+
+    /** Trials launched per batch between CI evaluations. */
+    unsigned batch = 4;
+};
+
+/** What an adaptive sweep ran and concluded. */
+struct AdaptiveTrialsResult
+{
+    /** Completed trials, in trial order: a prefix of the planned
+     *  seed list, bit-identical to the full sweep's prefix. */
+    std::vector<RunOutcome> outcomes;
+
+    /** The CI target was met before the plan was exhausted. */
+    bool stoppedEarly = false;
+
+    /** Mean and t half-width of estMisses over the prefix. */
+    double mean = 0.0;
+    double ciHalfWidth = 0.0;
+
+    /** Trials the full plan would have run. */
+    unsigned plannedTrials = 0;
+};
+
+/**
  * Run @p n trials of @p spec with seeds derived from @p base_seed.
  *
  * Trials are dispatched across a thread pool (parallelism is across
@@ -36,6 +87,19 @@ std::vector<RunOutcome> runTrials(const RunSpec &spec, unsigned n,
                                   std::uint64_t base_seed,
                                   bool with_slowdown = false,
                                   unsigned threads = 0);
+
+/**
+ * Run at most seeds.size() trials of @p spec, stopping early once
+ * @p rule's CI target is met (see StopRule). With rule.enabled ==
+ * false this degenerates to runTrials over all seeds. Batches
+ * dispatch through the same thread pool as runTrials; outcomes are
+ * written per-index, so the returned prefix is bit-identical to the
+ * full sweep's prefix regardless of @p threads.
+ */
+AdaptiveTrialsResult runTrialsAdaptive(
+    const RunSpec &spec, const std::vector<std::uint64_t> &seeds,
+    const StopRule &rule, bool with_slowdown = false,
+    unsigned threads = 0);
 
 /** Summary of estimated total misses across trials. */
 Summary missSummary(const std::vector<RunOutcome> &outcomes);

@@ -1,0 +1,65 @@
+#include "sample/config.hh"
+
+#include <cstdlib>
+
+namespace tw
+{
+
+namespace
+{
+
+bool
+envFlag(const char *name)
+{
+    const char *v = std::getenv(name);
+    return v && *v && *v != '0';
+}
+
+void
+envU64(const char *name, std::uint64_t &out)
+{
+    if (const char *v = std::getenv(name)) {
+        char *end = nullptr;
+        unsigned long long parsed = std::strtoull(v, &end, 10);
+        if (end != v)
+            out = parsed;
+    }
+}
+
+void
+envUns(const char *name, unsigned &out)
+{
+    std::uint64_t v = out;
+    envU64(name, v);
+    out = static_cast<unsigned>(v);
+}
+
+} // anonymous namespace
+
+SampleConfig
+sampleConfigFromEnv()
+{
+    SampleConfig cfg;
+    if (!envFlag("TW_SAMPLE"))
+        return cfg;
+    cfg.enabled = true;
+    envU64("TW_SAMPLE_INTERVAL", cfg.intervalRefs);
+    envU64("TW_SAMPLE_WARMUP", cfg.warmupRefs);
+    envUns("TW_SAMPLE_CLUSTERS", cfg.clusters);
+    envUns("TW_SAMPLE_PER_CLUSTER", cfg.perCluster);
+    if (cfg.intervalRefs == 0)
+        cfg.intervalRefs = 16384;
+    if (cfg.clusters == 0)
+        cfg.clusters = 1;
+    if (cfg.perCluster == 0)
+        cfg.perCluster = 1;
+    return cfg;
+}
+
+bool
+envNoDma()
+{
+    return envFlag("TW_NO_DMA");
+}
+
+} // namespace tw

@@ -1,0 +1,77 @@
+#include "sample/features.hh"
+
+#include "base/bitops.hh"
+#include "base/random.hh"
+
+namespace tw
+{
+
+namespace
+{
+
+unsigned
+shiftFor(std::uint32_t bytes)
+{
+    unsigned s = 0;
+    while ((1u << s) < bytes)
+        ++s;
+    return s;
+}
+
+} // anonymous namespace
+
+FeatureAccum::FeatureAccum(Addr text_base, std::uint32_t line_bytes)
+    : base_(text_base), lineShift_(shiftFor(line_bytes))
+{
+}
+
+void
+FeatureAccum::add(Addr va)
+{
+    // Page bin: hash the text-relative page number so workloads
+    // with more than kFeaturePageBins pages spread instead of
+    // aliasing neighbours together.
+    std::uint64_t page = (va - base_) >> 12;
+    std::uint64_t h = page;
+    h = splitMix64(h);
+    ++counts_[h % kFeaturePageBins];
+
+    // Stride bin: log2 of the line-distance from the previous
+    // fetch. Bin 0 = same/adjacent line (sequential execution),
+    // higher bins = progressively longer jumps (loop backedges,
+    // excursions).
+    std::uint64_t line = va >> lineShift_;
+    if (prevLine_ != ~0ull) {
+        std::uint64_t d = line > prevLine_ ? line - prevLine_
+                                           : prevLine_ - line;
+        unsigned bin = 0;
+        while (d > 1 && bin + 1 < kFeatureStrideBins) {
+            d >>= 1;
+            ++bin;
+        }
+        ++counts_[kFeaturePageBins + bin];
+    }
+    prevLine_ = line;
+}
+
+std::vector<double>
+FeatureAccum::finish()
+{
+    std::vector<double> v(kFeatureDims, 0.0);
+    std::uint64_t total = 0;
+    for (std::uint64_t c : counts_)
+        total += c;
+    if (total > 0) {
+        for (unsigned i = 0; i < kFeatureDims; ++i) {
+            v[i] = static_cast<double>(counts_[i])
+                   / static_cast<double>(total);
+        }
+    }
+    for (auto &c : counts_)
+        c = 0;
+    // prevLine_ deliberately persists: strides are continuous across
+    // interval boundaries.
+    return v;
+}
+
+} // namespace tw

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * SimPoint-style feature vectors over reference-stream intervals.
+ *
+ * Each fixed-size interval of the fetch stream is summarized as an
+ * L1-normalized histogram: 32 page-touch bins (which 4 KB text
+ * pages the interval visits, hashed into the bin space) followed by
+ * 16 line-stride bins (log2 of the jump distance between successive
+ * line addresses — the loop-phase signature). Both halves are pure
+ * functions of the addresses, so the profiling pass computes them
+ * from the RefStream alone without running the machine; intervals
+ * with similar histograms execute similar code phases and therefore
+ * miss similarly, which is what the k-means clustering exploits.
+ */
+
+#ifndef TW_SAMPLE_FEATURES_HH
+#define TW_SAMPLE_FEATURES_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace tw
+{
+
+/** Page-touch histogram bins (first half of the vector). */
+constexpr unsigned kFeaturePageBins = 32;
+/** Line-stride histogram bins (second half). */
+constexpr unsigned kFeatureStrideBins = 16;
+/** Total feature dimensionality. */
+constexpr unsigned kFeatureDims = kFeaturePageBins + kFeatureStrideBins;
+
+/**
+ * Accumulates one interval's histogram. Feed every address of the
+ * interval in stream order, then finish() to obtain the normalized
+ * vector and reset for the next interval (the previous-line state
+ * carries across the boundary so stride features are seamless).
+ */
+class FeatureAccum
+{
+  public:
+    explicit FeatureAccum(Addr text_base, std::uint32_t line_bytes);
+
+    void add(Addr va);
+
+    /** Normalize (L1), emit, and clear the counts. */
+    std::vector<double> finish();
+
+  private:
+    Addr base_;
+    unsigned lineShift_;
+    std::uint64_t prevLine_ = ~0ull;
+    std::uint64_t counts_[kFeatureDims] = {};
+};
+
+} // namespace tw
+
+#endif // TW_SAMPLE_FEATURES_HH

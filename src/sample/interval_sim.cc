@@ -1,0 +1,249 @@
+#include "sample/interval_sim.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "base/logging.hh"
+#include "mem/set_sample.hh"
+#include "sample/stopping.hh"
+
+namespace tw
+{
+
+namespace
+{
+
+constexpr unsigned kBatch = 4096;
+
+/** The single task of an eligible workload; the value only has to
+ *  be self-consistent between boundary inserts and replayed refs. */
+constexpr TaskId kSampleTid = 4;
+
+unsigned
+lineShiftOf(std::uint32_t bytes)
+{
+    unsigned s = 0;
+    while ((1u << s) < bytes)
+        ++s;
+    return s;
+}
+
+/**
+ * Replay one representative interval and return its miss count
+ * restricted to the sampled sets.
+ */
+double
+simulateRep(const SampleRep &rep, Cache &cache,
+            const std::vector<bool> &sampled, bool all_sampled,
+            const SamplePlan &plan)
+{
+    const unsigned shift = lineShiftOf(plan.lineBytes);
+    const std::uint64_t num_sets = cache.config().numSets();
+    cache.flushAll();
+
+    if (!rep.boundary.empty()) {
+        // Exact mode: the resident line of each set is the most
+        // recently referenced line mapping to it (direct-mapped
+        // trap-driven coupling; see profile.hh). One pass over the
+        // text lines finds each set's argmax stamp.
+        std::vector<std::uint32_t> bestStamp(num_sets, 0);
+        std::vector<std::uint64_t> bestLine(num_sets, 0);
+        for (std::size_t i = 0; i < plan.textLines; ++i) {
+            std::uint32_t stamp = rep.boundary[i];
+            if (stamp == 0)
+                continue;
+            std::uint64_t va_line = plan.baseLine + i;
+            std::uint64_t set = va_line & (num_sets - 1);
+            if (stamp > bestStamp[set]) {
+                bestStamp[set] = stamp;
+                bestLine[set] = va_line;
+            }
+        }
+        for (std::uint64_t s = 0; s < num_sets; ++s) {
+            if (bestStamp[s] == 0)
+                continue;
+            if (!all_sampled && !sampled[s])
+                continue;
+            cache.insert(LineRef{bestLine[s], bestLine[s],
+                                 kSampleTid});
+        }
+    }
+
+    std::unique_ptr<RefStream> stream = rep.stream->clone();
+    Addr buf[kBatch];
+    double misses = 0.0;
+
+    auto replay = [&](std::uint64_t refs, bool count) {
+        std::uint64_t done = 0;
+        while (done < refs) {
+            unsigned n = static_cast<unsigned>(
+                std::min<std::uint64_t>(kBatch, refs - done));
+            stream->nextBatch(buf, n);
+            for (unsigned i = 0; i < n; ++i) {
+                LineRef ref{buf[i] >> shift, buf[i] >> shift,
+                            kSampleTid};
+                std::uint64_t set = ref.vaLine & (num_sets - 1);
+                if (!all_sampled && !sampled[set])
+                    continue;
+                if (!cache.contains(ref)) {
+                    cache.insert(ref);
+                    if (count)
+                        misses += 1.0;
+                }
+            }
+            done += n;
+        }
+    };
+    replay(rep.warmupRefs, false);
+    replay(rep.countRefs, true);
+    return misses;
+}
+
+} // anonymous namespace
+
+IntervalEstimate
+estimateByIntervals(const SamplePlan &plan,
+                    const TapewormConfig &cfg,
+                    const SampleConfig &sample)
+{
+    TW_ASSERT(cfg.cache.assoc == 1,
+              "interval sampling requires a direct-mapped cache");
+    TW_ASSERT(cfg.cache.indexing == Indexing::Virtual,
+              "interval sampling replays virtual addresses only");
+
+    // Mirror Tapeworm's own sampled-set selection exactly so the
+    // per-interval misses line up with what a full run would trap.
+    const std::uint64_t num_sets = cfg.cache.numSets();
+    const bool all_sampled = cfg.sampleNum == cfg.sampleDenom;
+    std::vector<bool> sampled;
+    if (!all_sampled) {
+        if (cfg.sampleMode == SampleMode::ConstantBits) {
+            TW_ASSERT(cfg.sampleNum == 1,
+                      "constant-bits sampling takes 1/denom");
+            sampled = chooseConstantBitSets(
+                num_sets, cfg.sampleDenom,
+                static_cast<unsigned>(cfg.sampleSeed));
+        } else {
+            sampled = chooseSampledSets(num_sets, cfg.sampleNum,
+                                        cfg.sampleDenom,
+                                        cfg.sampleSeed);
+        }
+    }
+
+    Cache cache(cfg.cache);
+
+    IntervalEstimate est;
+    est.intervalsTotal = plan.numIntervals;
+    est.intervalsSimulated = plan.reps.size();
+    est.refsTotal = plan.budget;
+
+    std::vector<double> y(plan.reps.size(), 0.0);
+    for (std::size_t r = 0; r < plan.reps.size(); ++r) {
+        y[r] = simulateRep(plan.reps[r], cache, sampled,
+                           all_sampled, plan);
+        est.refsSimulated +=
+            plan.reps[r].warmupRefs + plan.reps[r].countRefs;
+    }
+
+    const double frac = cfg.sampledFraction();
+
+    // Separate ratio estimator per stratum. In exact mode the
+    // profiling pass measured every interval's full-set miss count
+    // x_j, and a replayed representative's count y_j is x_j
+    // restricted to the trial's sampled sets (direct-mapped sets are
+    // independent), so the known stratum total X_h scaled by the
+    // measured ratio ȳ/x̄ is a far tighter estimate than expanding
+    // the mean: with 1/1 set sampling y_j == x_j, the ratio is 1 and
+    // the estimate is exact with zero variance. Classic-warmup mode
+    // has no exact x_j relation (state error) and keeps the plain
+    // mean-per-stratum expansion.
+    const bool ratio =
+        plan.warmupRefs == 0 && !plan.profileMisses.empty();
+
+    double raw = 0.0;
+    double var = 0.0;
+    unsigned df = 0;
+    for (const SampleStratum &s : plan.strata) {
+        if (s.exact) {
+            for (unsigned r : s.reps)
+                raw += y[r];
+            continue;
+        }
+        const double n = static_cast<double>(s.reps.size());
+        const double pop = static_cast<double>(s.population);
+        double ySum = 0.0;
+        double xSum = 0.0;
+        for (unsigned r : s.reps) {
+            ySum += y[r];
+            if (ratio) {
+                xSum += static_cast<double>(
+                    plan.profileMisses[plan.reps[r].interval]);
+            }
+        }
+        if (ratio) {
+            if (s.profileMisses == 0)
+                continue; // x_j == 0 ∀j ⇒ y_j == 0: exactly zero
+            if (xSum == 0.0) {
+                // Unlucky draw: all reps hit zero-miss intervals of
+                // a stratum that does miss. No measured ratio; take
+                // the expected sampled fraction (raw is divided by
+                // frac below).
+                raw += static_cast<double>(s.profileMisses) * frac;
+                continue;
+            }
+            const double xTot =
+                static_cast<double>(s.profileMisses);
+            const double r_hat = ySum / xSum;
+            raw += r_hat * xTot;
+            if (s.reps.size() >= 2) {
+                double s2 = 0.0;
+                for (unsigned r : s.reps) {
+                    double d = y[r]
+                               - r_hat
+                                     * static_cast<double>(
+                                         plan.profileMisses
+                                             [plan.reps[r]
+                                                  .interval]);
+                    s2 += d * d;
+                }
+                s2 /= n - 1.0;
+                if (s2 > 0.0) {
+                    // X_h / x̄ is the population size implied by the
+                    // auxiliary totals (Taylor linearization of the
+                    // ratio estimator).
+                    const double neff = xTot / (xSum / n);
+                    var += neff * neff * (1.0 - n / pop) * s2 / n;
+                    df += static_cast<unsigned>(s.reps.size()) - 1;
+                }
+            }
+            continue;
+        }
+        const double mean = ySum / n;
+        raw += pop * mean;
+        if (s.reps.size() >= 2) {
+            double s2 = 0.0;
+            for (unsigned r : s.reps) {
+                double d = y[r] - mean;
+                s2 += d * d;
+            }
+            s2 /= n - 1.0;
+            var += pop * pop * (1.0 - n / pop) * s2 / n;
+            df += static_cast<unsigned>(s.reps.size()) - 1;
+        }
+    }
+
+    est.rawMisses = raw;
+    est.estMisses = raw / frac;
+    if (var > 0.0 && df >= 1) {
+        est.ciHalfWidth =
+            tCritical(df, 0.95) * std::sqrt(var) / frac;
+    }
+    if (sample.ciRelFloor > 0.0) {
+        est.ciHalfWidth = std::max(
+            est.ciHalfWidth, sample.ciRelFloor * est.estMisses);
+    }
+    return est;
+}
+
+} // namespace tw

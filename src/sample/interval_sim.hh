@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Trial-time replay of a SamplePlan's representative intervals.
+ *
+ * For each representative the simulator clones the plan's stream
+ * snapshot, reconstructs the cache state at the interval boundary
+ * (exact mode) or warms an empty cache (classic mode), and replays
+ * the interval against a direct-mapped trap-driven cache — counting
+ * a miss exactly when Tapeworm would have taken a trap. Per-stratum
+ * means combine into a stratified miss estimate with a Student-t
+ * confidence half-width covering the sampling variance; both are
+ * scaled by the inverse set-sampled fraction, mirroring Tapeworm's
+ * own estimate scaling.
+ */
+
+#ifndef TW_SAMPLE_INTERVAL_SIM_HH
+#define TW_SAMPLE_INTERVAL_SIM_HH
+
+#include <cstdint>
+
+#include "core/tapeworm.hh"
+#include "sample/profile.hh"
+
+namespace tw
+{
+
+/** Stratified miss estimate for one trial. */
+struct IntervalEstimate
+{
+    /** Stratified estimate of misses in the sampled sets. */
+    double rawMisses = 0.0;
+    /** rawMisses scaled by the inverse sampled fraction. */
+    double estMisses = 0.0;
+    /** 95% CI half-width on estMisses (sampling variance only). */
+    double ciHalfWidth = 0.0;
+
+    std::uint64_t intervalsTotal = 0;
+    std::uint64_t intervalsSimulated = 0;
+    /** Refs replayed this trial, warmup included. */
+    std::uint64_t refsSimulated = 0;
+    /** Refs the full run would have simulated (the task budget). */
+    std::uint64_t refsTotal = 0;
+};
+
+/**
+ * Estimate one trial's misses from the plan.
+ *
+ * @param cfg Tapeworm configuration with the set-sample seed already
+ *            resolved (the runner substitutes the trial seed the
+ *            same way it does for a full run).
+ */
+IntervalEstimate estimateByIntervals(const SamplePlan &plan,
+                                     const TapewormConfig &cfg,
+                                     const SampleConfig &sample);
+
+} // namespace tw
+
+#endif // TW_SAMPLE_INTERVAL_SIM_HH

@@ -1,0 +1,141 @@
+#include "sample/kmeans.hh"
+
+#include <limits>
+
+#include "base/logging.hh"
+#include "base/random.hh"
+
+namespace tw
+{
+
+namespace
+{
+
+double
+dist2(const std::vector<double> &a, const std::vector<double> &b)
+{
+    double d = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        double x = a[i] - b[i];
+        d += x * x;
+    }
+    return d;
+}
+
+} // anonymous namespace
+
+KMeansResult
+kmeansCluster(const std::vector<std::vector<double>> &points,
+              unsigned k, std::uint64_t seed,
+              unsigned max_iterations)
+{
+    KMeansResult res;
+    const std::size_t n = points.size();
+    if (n == 0)
+        return res;
+    if (k > n)
+        k = static_cast<unsigned>(n);
+    if (k == 0)
+        k = 1;
+    const std::size_t dims = points[0].size();
+    for (const auto &p : points)
+        TW_ASSERT(p.size() == dims, "kmeans: ragged point set");
+
+    // k-means++ seeding: first centroid uniform, the rest drawn
+    // proportionally to squared distance from the nearest chosen
+    // centroid. All draws come from one seeded Rng in a fixed
+    // order, so the seeding is deterministic.
+    Rng pick(mixSeed(seed, 0x5eedc1));
+    res.centroids.reserve(k);
+    res.centroids.push_back(points[pick.below(n)]);
+    std::vector<double> best(n,
+                             std::numeric_limits<double>::infinity());
+    while (res.centroids.size() < k) {
+        const auto &latest = res.centroids.back();
+        double total = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            double d = dist2(points[i], latest);
+            if (d < best[i])
+                best[i] = d;
+            total += best[i];
+        }
+        std::size_t chosen = 0;
+        if (total > 0.0) {
+            double r = pick.uniform() * total;
+            double acc = 0.0;
+            for (std::size_t i = 0; i < n; ++i) {
+                acc += best[i];
+                if (r < acc) {
+                    chosen = i;
+                    break;
+                }
+            }
+        } else {
+            chosen = pick.below(n);
+        }
+        res.centroids.push_back(points[chosen]);
+    }
+
+    // Lloyd iterations, serial and order-stable.
+    res.assignment.assign(n, 0);
+    for (unsigned iter = 0; iter < max_iterations; ++iter) {
+        bool moved = false;
+        for (std::size_t i = 0; i < n; ++i) {
+            unsigned bestC = 0;
+            double bestD = std::numeric_limits<double>::infinity();
+            for (unsigned c = 0; c < res.centroids.size(); ++c) {
+                double d = dist2(points[i], res.centroids[c]);
+                if (d < bestD) {
+                    bestD = d;
+                    bestC = c;
+                }
+            }
+            if (res.assignment[i] != bestC) {
+                res.assignment[i] = bestC;
+                moved = true;
+            }
+        }
+        res.iterations = iter + 1;
+        if (!moved && iter > 0)
+            break;
+
+        // Recompute centroids; an emptied cluster re-seeds to the
+        // point farthest from its current assignment's centroid
+        // (lowest index on ties) so k stays meaningful.
+        std::vector<std::vector<double>> sums(
+            res.centroids.size(), std::vector<double>(dims, 0.0));
+        std::vector<std::uint64_t> counts(res.centroids.size(), 0);
+        for (std::size_t i = 0; i < n; ++i) {
+            unsigned c = res.assignment[i];
+            ++counts[c];
+            for (std::size_t d = 0; d < dims; ++d)
+                sums[c][d] += points[i][d];
+        }
+        for (unsigned c = 0; c < res.centroids.size(); ++c) {
+            if (counts[c] == 0) {
+                std::size_t far = 0;
+                double farD = -1.0;
+                for (std::size_t i = 0; i < n; ++i) {
+                    double d = dist2(
+                        points[i],
+                        res.centroids[res.assignment[i]]);
+                    if (d > farD) {
+                        farD = d;
+                        far = i;
+                    }
+                }
+                res.centroids[c] = points[far];
+                continue;
+            }
+            for (std::size_t d = 0; d < dims; ++d) {
+                res.centroids[c][d] =
+                    sums[c][d] / static_cast<double>(counts[c]);
+            }
+        }
+        if (!moved)
+            break;
+    }
+    return res;
+}
+
+} // namespace tw

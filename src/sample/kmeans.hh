@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Deterministic k-means for interval feature vectors.
+ *
+ * Single-threaded Lloyd iterations over k-means++ seeding from an
+ * explicit Rng seed: the assignment is a pure function of (points,
+ * k, seed), bit-identical across runs, hosts and thread counts —
+ * the same determinism contract every other seeded component of the
+ * simulator honors. Ties (equidistant centroids, equal-count argmax)
+ * always resolve to the lowest index.
+ */
+
+#ifndef TW_SAMPLE_KMEANS_HH
+#define TW_SAMPLE_KMEANS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace tw
+{
+
+struct KMeansResult
+{
+    /** Cluster index per point. */
+    std::vector<unsigned> assignment;
+    /** Final centroids (k or fewer if points < k). */
+    std::vector<std::vector<double>> centroids;
+    /** Lloyd iterations performed. */
+    unsigned iterations = 0;
+};
+
+/**
+ * Cluster @p points into at most @p k groups. Points must share a
+ * dimension; k is clamped to the point count; empty input yields an
+ * empty result.
+ */
+KMeansResult kmeansCluster(
+    const std::vector<std::vector<double>> &points, unsigned k,
+    std::uint64_t seed, unsigned max_iterations = 64);
+
+} // namespace tw
+
+#endif // TW_SAMPLE_KMEANS_HH

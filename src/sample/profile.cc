@@ -1,0 +1,434 @@
+#include "sample/profile.hh"
+
+#include <algorithm>
+#include <limits>
+#include <mutex>
+
+#include "base/logging.hh"
+#include "base/lru_map.hh"
+#include "base/random.hh"
+#include "obs/metrics.hh"
+#include "sample/features.hh"
+#include "sample/kmeans.hh"
+
+namespace tw
+{
+
+namespace
+{
+
+constexpr unsigned kBatch = 4096;
+
+unsigned
+lineShiftOf(std::uint32_t bytes)
+{
+    unsigned s = 0;
+    while ((1u << s) < bytes)
+        ++s;
+    return s;
+}
+
+/**
+ * Weight of the appended miss-density feature relative to the
+ * L1-normalized address histograms. Distances between histograms
+ * fall in [0, sqrt(2)]; scaling the (max-normalized) miss density
+ * by this factor lets it dominate the clustering — miss level IS
+ * the quantity the strata must be homogeneous in — while the
+ * histograms still separate phases of equal miss level.
+ */
+constexpr double kMissFeatureWeight = 4.0;
+
+std::string
+planKey(const StreamParams &p, std::uint64_t reset_seed,
+        std::uint64_t budget, const SampleConfig &cfg,
+        const CacheConfig &cache)
+{
+    std::string key = csprintf(
+        "%llx|%llu|%.17g|%u|%llu|%llu|%llu|%llu|%llu|%u|%u|%llu|%u|%llu",
+        static_cast<unsigned long long>(p.base),
+        static_cast<unsigned long long>(p.textBytes),
+        p.excursionProb, p.excursionWords,
+        static_cast<unsigned long long>(p.seed),
+        static_cast<unsigned long long>(reset_seed),
+        static_cast<unsigned long long>(budget),
+        static_cast<unsigned long long>(cfg.intervalRefs),
+        static_cast<unsigned long long>(cfg.warmupRefs),
+        cfg.clusters, cfg.perCluster,
+        static_cast<unsigned long long>(cfg.seed), cache.lineBytes,
+        static_cast<unsigned long long>(cache.sizeBytes));
+    for (const LoopLevel &l : p.ladder) {
+        key += csprintf("|%llu:%.17g",
+                        static_cast<unsigned long long>(l.spanBytes),
+                        l.meanReps);
+    }
+    return key;
+}
+
+/**
+ * Pass 1: stream the whole budget once, accumulating one feature
+ * vector per interval — the address histograms plus one appended
+ * dimension: the interval's exact miss density against the
+ * (unsampled) direct-mapped tag array, max-normalized over all
+ * intervals and weighted by kMissFeatureWeight. The tag array costs
+ * one compare-and-store per ref on a pass that streams every
+ * address anyway.
+ */
+std::vector<std::vector<double>>
+featurePass(const StreamParams &params, std::uint64_t reset_seed,
+            std::uint64_t budget, std::uint64_t interval_refs,
+            const CacheConfig &cache,
+            std::vector<std::uint64_t> &miss_counts)
+{
+    LoopNestStream stream(params);
+    stream.reset(reset_seed);
+    FeatureAccum accum(params.base, cache.lineBytes);
+    const unsigned shift = lineShiftOf(cache.lineBytes);
+    const std::uint64_t num_sets = cache.numSets();
+    constexpr std::uint64_t kEmpty = ~0ull;
+    std::vector<std::uint64_t> resident(num_sets, kEmpty);
+
+    std::vector<std::vector<double>> features;
+    std::vector<double> missDensity;
+    Addr buf[kBatch];
+    std::uint64_t done = 0;
+    std::uint64_t intervalMisses = 0;
+    std::uint64_t intervalStart = 0;
+    std::uint64_t boundary = std::min<std::uint64_t>(interval_refs,
+                                                     budget);
+    while (done < budget) {
+        unsigned n = static_cast<unsigned>(std::min<std::uint64_t>(
+            kBatch, std::min(budget - done, boundary - done)));
+        stream.nextBatch(buf, n);
+        for (unsigned i = 0; i < n; ++i) {
+            accum.add(buf[i]);
+            std::uint64_t line = buf[i] >> shift;
+            std::uint64_t set = line & (num_sets - 1);
+            if (resident[set] != line) {
+                resident[set] = line;
+                ++intervalMisses;
+            }
+        }
+        done += n;
+        if (done == boundary) {
+            features.push_back(accum.finish());
+            miss_counts.push_back(intervalMisses);
+            missDensity.push_back(
+                static_cast<double>(intervalMisses)
+                / static_cast<double>(done - intervalStart));
+            intervalMisses = 0;
+            intervalStart = done;
+            boundary = std::min(boundary + interval_refs, budget);
+        }
+    }
+
+    double maxDensity = 0.0;
+    for (double d : missDensity)
+        maxDensity = std::max(maxDensity, d);
+    for (std::size_t i = 0; i < features.size(); ++i) {
+        features[i].push_back(
+            maxDensity > 0.0
+                ? kMissFeatureWeight * missDensity[i] / maxDensity
+                : 0.0);
+    }
+    return features;
+}
+
+/**
+ * Pass 2: stream again, cloning the stream at each representative's
+ * start position and (exact mode) copying the rolling last-touch
+ * stamps at each representative's counting boundary.
+ */
+void
+capturePass(SamplePlan &plan, const StreamParams &params,
+            std::uint64_t reset_seed)
+{
+    struct Event
+    {
+        std::uint64_t pos;
+        unsigned rep;
+        bool isClone; //!< else: record boundary stamps
+    };
+    std::vector<Event> events;
+    const bool exact = plan.warmupRefs == 0;
+    for (unsigned r = 0; r < plan.reps.size(); ++r) {
+        events.push_back({plan.reps[r].startRef, r, true});
+        if (exact) {
+            events.push_back(
+                {plan.reps[r].interval * plan.intervalRefs, r,
+                 false});
+        }
+    }
+    std::sort(events.begin(), events.end(),
+              [](const Event &a, const Event &b) {
+                  return a.pos < b.pos;
+              });
+
+    LoopNestStream stream(params);
+    stream.reset(reset_seed);
+    const unsigned shift = lineShiftOf(plan.lineBytes);
+    std::vector<std::uint32_t> touch;
+    if (exact)
+        touch.assign(plan.textLines, 0);
+
+    Addr buf[kBatch];
+    std::uint64_t done = 0;
+    std::size_t ev = 0;
+    while (done < plan.budget) {
+        while (ev < events.size() && events[ev].pos == done) {
+            SampleRep &rep = plan.reps[events[ev].rep];
+            if (events[ev].isClone)
+                rep.stream = stream.clone();
+            else
+                rep.boundary = touch;
+            ++ev;
+        }
+        if (ev >= events.size())
+            break; // nothing left to capture
+        std::uint64_t stop = std::min(plan.budget, events[ev].pos);
+        unsigned n = static_cast<unsigned>(
+            std::min<std::uint64_t>(kBatch, stop - done));
+        stream.nextBatch(buf, n);
+        if (exact) {
+            for (unsigned i = 0; i < n; ++i) {
+                std::uint64_t idx =
+                    (buf[i] >> shift) - plan.baseLine;
+                TW_ASSERT(idx < plan.textLines,
+                          "sample profile: ref outside text");
+                touch[idx] =
+                    static_cast<std::uint32_t>(done + i + 1);
+            }
+        }
+        done += n;
+    }
+    while (ev < events.size() && events[ev].pos == done) {
+        SampleRep &rep = plan.reps[events[ev].rep];
+        if (events[ev].isClone)
+            rep.stream = stream.clone();
+        else
+            rep.boundary = touch;
+        ++ev;
+    }
+    TW_ASSERT(ev == events.size(),
+              "sample profile: capture events beyond budget");
+}
+
+std::shared_ptr<const SamplePlan>
+buildPlan(const StreamParams &params, std::uint64_t reset_seed,
+          std::uint64_t budget, const SampleConfig &cfg,
+          const CacheConfig &cache)
+{
+    const std::uint32_t line_bytes = cache.lineBytes;
+    auto plan = std::make_shared<SamplePlan>();
+    plan->intervalRefs = cfg.intervalRefs;
+    plan->budget = budget;
+    plan->warmupRefs = std::min<std::uint64_t>(cfg.warmupRefs,
+                                               cfg.intervalRefs);
+    plan->base = params.base;
+    plan->lineBytes = line_bytes;
+    plan->cacheBytes = cache.sizeBytes;
+    const unsigned shift = lineShiftOf(line_bytes);
+    plan->baseLine = params.base >> shift;
+    // Streams never leave their text (excursion targets are clipped
+    // to the text end), so the last text byte bounds the line index.
+    plan->textLines = static_cast<std::size_t>(
+        ((params.base + params.textBytes - 1) >> shift)
+        - plan->baseLine + 1);
+    TW_ASSERT(budget + 1
+                  < std::numeric_limits<std::uint32_t>::max(),
+              "sample profile: budget overflows 32-bit stamps");
+
+    plan->numIntervals = static_cast<unsigned>(
+        (budget + cfg.intervalRefs - 1) / cfg.intervalRefs);
+    const unsigned n = plan->numIntervals;
+
+    auto lengthOf = [&](unsigned j) -> std::uint64_t {
+        std::uint64_t start = j * plan->intervalRefs;
+        return std::min(plan->intervalRefs, budget - start);
+    };
+    auto addRep = [&](unsigned j) -> unsigned {
+        SampleRep rep;
+        rep.interval = j;
+        std::uint64_t start = j * plan->intervalRefs;
+        rep.warmupRefs =
+            std::min<std::uint64_t>(plan->warmupRefs, start);
+        rep.startRef = start - rep.warmupRefs;
+        rep.countRefs = lengthOf(j);
+        plan->reps.push_back(std::move(rep));
+        return static_cast<unsigned>(plan->reps.size() - 1);
+    };
+
+    const std::uint64_t capacity =
+        static_cast<std::uint64_t>(cfg.clusters) * cfg.perCluster
+        + 2;
+    if (n <= capacity || n < 4) {
+        // Too few intervals to be worth stratifying: simulate all
+        // of them; the estimate is exact and the CI is zero.
+        SampleStratum all;
+        all.population = n;
+        all.exact = true;
+        for (unsigned j = 0; j < n; ++j)
+            all.reps.push_back(addRep(j));
+        plan->strata.push_back(std::move(all));
+    } else {
+        std::vector<std::vector<double>> features = featurePass(
+            params, reset_seed, budget, cfg.intervalRefs, cache,
+            plan->profileMisses);
+        TW_ASSERT(features.size() == n,
+                  "sample profile: interval count mismatch");
+        plan->profileRefs += budget;
+
+        // First and last intervals are always simulated exactly:
+        // the first carries the cold start, the last is (usually)
+        // partial — neither belongs in a stratum.
+        for (unsigned j : {0u, n - 1}) {
+            SampleStratum s;
+            s.population = 1;
+            s.exact = true;
+            s.reps.push_back(addRep(j));
+            plan->strata.push_back(std::move(s));
+        }
+
+        // Cluster the interior.
+        std::vector<std::vector<double>> interior(
+            features.begin() + 1, features.end() - 1);
+        KMeansResult km = kmeansCluster(interior, cfg.clusters,
+                                        cfg.seed);
+        const unsigned k =
+            static_cast<unsigned>(km.centroids.size());
+        for (unsigned c = 0; c < k; ++c) {
+            std::vector<unsigned> members; // interval indices
+            for (std::size_t i = 0; i < interior.size(); ++i) {
+                if (km.assignment[i] == c)
+                    members.push_back(static_cast<unsigned>(i) + 1);
+            }
+            if (members.empty())
+                continue;
+            // Representatives: a SEEDED RANDOM draw without
+            // replacement. Random within-stratum selection is what
+            // makes the stratified estimate unbiased — picking,
+            // say, the members nearest the centroid would
+            // systematically prefer one side of any within-cluster
+            // miss spread and bias the total.
+            SampleStratum s;
+            s.population = members.size();
+            for (unsigned j : members)
+                s.profileMisses += plan->profileMisses[j];
+            unsigned take = std::min<unsigned>(
+                cfg.perCluster,
+                static_cast<unsigned>(members.size()));
+            Rng draw(mixSeed(cfg.seed, 0xc1000 + c));
+            for (unsigned i = 0; i < take; ++i) {
+                std::size_t j =
+                    i + draw.below(members.size() - i);
+                std::swap(members[i], members[j]);
+            }
+            std::vector<unsigned> chosen(members.begin(),
+                                         members.begin() + take);
+            std::sort(chosen.begin(), chosen.end());
+            for (unsigned j : chosen)
+                s.reps.push_back(addRep(j));
+            s.exact = take == members.size();
+            plan->strata.push_back(std::move(s));
+        }
+    }
+
+    // Keep reps ascending by interval so the capture pass is one
+    // forward walk. Strata index into reps, so remap after sorting.
+    std::vector<unsigned> order(plan->reps.size());
+    for (unsigned i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](unsigned a, unsigned b) {
+                  return plan->reps[a].interval
+                         < plan->reps[b].interval;
+              });
+    std::vector<unsigned> where(order.size());
+    for (unsigned i = 0; i < order.size(); ++i)
+        where[order[i]] = i;
+    std::vector<SampleRep> sorted;
+    sorted.reserve(plan->reps.size());
+    for (unsigned i : order)
+        sorted.push_back(std::move(plan->reps[i]));
+    plan->reps = std::move(sorted);
+    for (SampleStratum &s : plan->strata)
+        for (unsigned &r : s.reps)
+            r = where[r];
+
+    capturePass(*plan, params, reset_seed);
+    plan->profileRefs += plan->budget;
+    for (const SampleRep &rep : plan->reps) {
+        TW_ASSERT(rep.stream != nullptr,
+                  "sample profile: missing stream snapshot");
+        TW_ASSERT(plan->warmupRefs != 0 || !rep.boundary.empty()
+                      || rep.interval == 0,
+                  "sample profile: missing boundary state");
+    }
+    return plan;
+}
+
+/** Memo entry: computed once per key under its own flag. */
+struct PlanEntry
+{
+    std::once_flag once;
+    std::shared_ptr<const SamplePlan> plan;
+};
+
+constexpr std::size_t kPlanCap = 64;
+
+std::mutex plansMutex;
+
+LruMap<std::string, std::shared_ptr<PlanEntry>> &
+plans()
+{
+    static LruMap<std::string, std::shared_ptr<PlanEntry>> map(
+        kPlanCap);
+    return map;
+}
+
+} // anonymous namespace
+
+std::shared_ptr<const SamplePlan>
+getSamplePlan(const StreamParams &params, std::uint64_t reset_seed,
+              std::uint64_t budget, const SampleConfig &cfg,
+              const CacheConfig &cache)
+{
+    static obs::Counter obsHits =
+        obs::registry().counter("engine.sample.plan_hits");
+    static obs::Counter obsBuilds =
+        obs::registry().counter("engine.sample.plan_builds");
+    static obs::Counter obsProfileRefs =
+        obs::registry().counter("engine.sample.profile_refs");
+
+    std::string key = planKey(params, reset_seed, budget, cfg,
+                              cache);
+    std::shared_ptr<PlanEntry> entry;
+    bool hit = false;
+    {
+        std::lock_guard<std::mutex> lock(plansMutex);
+        auto &map = plans();
+        if (std::shared_ptr<PlanEntry> *found = map.find(key)) {
+            entry = *found;
+            hit = true;
+        } else {
+            entry = map.insert(key, std::make_shared<PlanEntry>());
+        }
+    }
+    if (hit)
+        obsHits.inc();
+    std::call_once(entry->once, [&] {
+        obsBuilds.inc();
+        entry->plan =
+            buildPlan(params, reset_seed, budget, cfg, cache);
+        obsProfileRefs.add(entry->plan->profileRefs);
+    });
+    return entry->plan;
+}
+
+void
+clearSamplePlanCache()
+{
+    std::lock_guard<std::mutex> lock(plansMutex);
+    plans().clear();
+}
+
+} // namespace tw

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Representative-interval sampling plans.
+ *
+ * A SamplePlan slices one task's fetch stream into fixed-size
+ * intervals, summarizes each interval as a feature vector
+ * (sample/features.hh) augmented with the interval's exact
+ * full-cache miss density — the profiling pass streams every
+ * address anyway, so running the direct-mapped tag array alongside
+ * costs one compare per ref and makes the clustering see the one
+ * thing address histograms cannot: whether the interval re-sweeps
+ * the resident working set or displaces it. k-means clusters the
+ * interior intervals and a SEEDED RANDOM draw picks a handful of
+ * representatives per cluster (random within-stratum selection is
+ * what makes the stratified estimate unbiased and its confidence
+ * interval honest; nearest-to-centroid picks would bias it). The plan also captures everything a trial needs to
+ * replay just those intervals:
+ *
+ *  - a RefStream clone positioned at each representative's start
+ *    (minus warmup, when classic warmup is configured), and
+ *  - in exact mode (warmupRefs == 0), the per-line last-touch stamps
+ *    at the interval boundary. For a direct-mapped trap-driven
+ *    cache — insert on miss only, no recency update on hits — the
+ *    resident line of a set at any point in the stream is exactly
+ *    the most recently referenced line mapping to that set, so the
+ *    stamps reconstruct the precise cache state at the boundary and
+ *    per-interval miss counts are exact (the confidence interval
+ *    then covers only stratified-sampling variance, not state
+ *    error). This coupling breaks for assoc > 1; callers gate on
+ *    direct-mapped configurations.
+ *
+ * Plans are pure functions of (stream, reset seed, budget, sample
+ * config, line size) — trial-independent — and are memoized behind a
+ * bounded LRU exactly like the runner's baseline memo, so a whole
+ * trial sweep amortizes the two profiling passes.
+ */
+
+#ifndef TW_SAMPLE_PROFILE_HH
+#define TW_SAMPLE_PROFILE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mem/cache_config.hh"
+#include "sample/config.hh"
+#include "workload/loop_nest.hh"
+
+namespace tw
+{
+
+/** One interval selected for simulation. */
+struct SampleRep
+{
+    unsigned interval = 0;        //!< interval index j
+    std::uint64_t startRef = 0;   //!< stream position of the clone
+    std::uint64_t warmupRefs = 0; //!< uncounted refs before counting
+    std::uint64_t countRefs = 0;  //!< counted refs (interval length)
+    /** Stream positioned at startRef; clone before replaying. */
+    std::unique_ptr<RefStream> stream;
+    /**
+     * Exact mode only: last-touch stamp per text line (refIndex+1,
+     * 0 = never touched) at the interval's first ref. Empty in
+     * classic-warmup mode.
+     */
+    std::vector<std::uint32_t> boundary;
+};
+
+/** One stratum of the estimator (an exact interval or a cluster). */
+struct SampleStratum
+{
+    std::uint64_t population = 0;  //!< N_h, intervals in the stratum
+    std::vector<unsigned> reps;    //!< indices into SamplePlan::reps
+    /** Σ profileMisses over ALL members (the ratio estimator's known
+     *  auxiliary total). 0 when profiling was skipped. */
+    std::uint64_t profileMisses = 0;
+    /** reps cover the whole stratum: contributes its exact sum and
+     *  no variance. */
+    bool exact = false;
+};
+
+struct SamplePlan
+{
+    // Geometry.
+    std::uint64_t intervalRefs = 0;
+    std::uint64_t budget = 0;       //!< total stream refs
+    unsigned numIntervals = 0;
+    std::uint64_t warmupRefs = 0;
+    Addr base = 0;
+    std::uint64_t baseLine = 0;     //!< base >> log2(lineBytes)
+    std::uint32_t lineBytes = 0;
+    std::uint64_t cacheBytes = 0;   //!< profiled cache capacity
+    std::size_t textLines = 0;
+
+    std::vector<SampleStratum> strata;
+    std::vector<SampleRep> reps;    //!< ascending by interval
+
+    /**
+     * Exact full-set miss count of EVERY interval, measured by the
+     * profiling pass's tag array (empty when the plan is
+     * exhaustive and the feature pass was skipped). The estimator
+     * uses these as the known auxiliary totals of a ratio
+     * estimator: a trial's replayed sampled-set count y_j relates
+     * to x_j by exactly the trial's set-sample, so scaling the
+     * known stratum totals by the measured y/x ratio removes the
+     * between-interval variance component entirely.
+     */
+    std::vector<std::uint64_t> profileMisses;
+
+    /** Refs streamed to build this plan (two profiling passes). */
+    std::uint64_t profileRefs = 0;
+};
+
+/**
+ * Build (or fetch memoized) the plan for one stream.
+ *
+ * @param params     the binary's stream parameters.
+ * @param reset_seed the seed the OS resets the task's stream with.
+ * @param budget     the task's instruction budget.
+ * @param cfg        sampling knobs (interval size, clusters, ...).
+ * @param cache      simulated cache geometry (must be direct
+ *                   mapped): line size sets the boundary-state
+ *                   granularity, capacity the miss-density feature.
+ */
+std::shared_ptr<const SamplePlan> getSamplePlan(
+    const StreamParams &params, std::uint64_t reset_seed,
+    std::uint64_t budget, const SampleConfig &cfg,
+    const CacheConfig &cache);
+
+/** Drop the plan memo (tests). */
+void clearSamplePlanCache();
+
+} // namespace tw
+
+#endif // TW_SAMPLE_PROFILE_HH

@@ -1,0 +1,105 @@
+#include "sample/stopping.hh"
+
+#include <cmath>
+
+namespace tw
+{
+
+namespace
+{
+
+struct TRow
+{
+    unsigned df;
+    double t90, t95, t99;
+};
+
+// Two-sided critical values (alpha/2 = 0.05, 0.025, 0.005).
+const TRow kTTable[] = {
+    {1, 6.314, 12.706, 63.657}, {2, 2.920, 4.303, 9.925},
+    {3, 2.353, 3.182, 5.841},   {4, 2.132, 2.776, 4.604},
+    {5, 2.015, 2.571, 4.032},   {6, 1.943, 2.447, 3.707},
+    {7, 1.895, 2.365, 3.499},   {8, 1.860, 2.306, 3.355},
+    {9, 1.833, 2.262, 3.250},   {10, 1.812, 2.228, 3.169},
+    {11, 1.796, 2.201, 3.106},  {12, 1.782, 2.179, 3.055},
+    {13, 1.771, 2.160, 3.012},  {14, 1.761, 2.145, 2.977},
+    {15, 1.753, 2.131, 2.947},  {16, 1.746, 2.120, 2.921},
+    {17, 1.740, 2.110, 2.898},  {18, 1.734, 2.101, 2.878},
+    {19, 1.729, 2.093, 2.861},  {20, 1.725, 2.086, 2.845},
+    {21, 1.721, 2.080, 2.831},  {22, 1.717, 2.074, 2.819},
+    {23, 1.714, 2.069, 2.807},  {24, 1.711, 2.064, 2.797},
+    {25, 1.708, 2.060, 2.787},  {26, 1.706, 2.056, 2.779},
+    {27, 1.703, 2.052, 2.771},  {28, 1.701, 2.048, 2.763},
+    {29, 1.699, 2.045, 2.756},  {30, 1.697, 2.042, 2.750},
+    {40, 1.684, 2.021, 2.704},  {60, 1.671, 2.000, 2.660},
+    {120, 1.658, 1.980, 2.617},
+};
+
+// The df -> infinity (normal) limit.
+const TRow kTInf = {0, 1.645, 1.960, 2.576};
+
+double
+rowValue(const TRow &row, double confidence)
+{
+    if (confidence >= 0.97)
+        return row.t99;
+    if (confidence >= 0.925)
+        return row.t95;
+    return row.t90;
+}
+
+} // anonymous namespace
+
+double
+tCritical(unsigned df, double confidence)
+{
+    if (df < 1)
+        df = 1;
+    constexpr std::size_t n = sizeof(kTTable) / sizeof(kTTable[0]);
+    if (df >= kTTable[n - 1].df + 1) {
+        // Interpolate between 120 and infinity in 1/df.
+        double lo = rowValue(kTTable[n - 1], confidence);
+        double hi = rowValue(kTInf, confidence);
+        double w = 120.0 / static_cast<double>(df);
+        return hi + (lo - hi) * w;
+    }
+    const TRow *prev = &kTTable[0];
+    for (std::size_t i = 0; i < n; ++i) {
+        if (kTTable[i].df == df)
+            return rowValue(kTTable[i], confidence);
+        if (kTTable[i].df > df) {
+            // Linear interpolation in 1/df between bracketing rows.
+            double x = 1.0 / static_cast<double>(df);
+            double x0 = 1.0 / static_cast<double>(prev->df);
+            double x1 = 1.0 / static_cast<double>(kTTable[i].df);
+            double y0 = rowValue(*prev, confidence);
+            double y1 = rowValue(kTTable[i], confidence);
+            return y1 + (y0 - y1) * (x - x1) / (x0 - x1);
+        }
+        prev = &kTTable[i];
+    }
+    return rowValue(kTInf, confidence);
+}
+
+double
+tHalfWidth(const RunningStat &rs, double confidence)
+{
+    if (rs.count() < 2)
+        return 0.0;
+    double se = std::sqrt(rs.variance()
+                          / static_cast<double>(rs.count()));
+    return tCritical(static_cast<unsigned>(rs.count() - 1),
+                     confidence)
+           * se;
+}
+
+double
+tRelHalfWidth(const RunningStat &rs, double confidence)
+{
+    double mean = rs.mean();
+    if (mean == 0.0)
+        return 0.0;
+    return tHalfWidth(rs, confidence) / std::fabs(mean);
+}
+
+} // namespace tw

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Student-t confidence machinery shared by the interval estimator
+ * and the adaptive trial-stopping rule.
+ *
+ * Tables 7-10 of the paper report trial variation as mean and
+ * standard deviation; the sampling subsystem turns the same
+ * accumulators (Welford, base/stats.hh) into confidence intervals:
+ * half-width = t(df, conf) * s / sqrt(n). The critical values come
+ * from the standard two-sided t table with linear interpolation in
+ * 1/df above 30 degrees of freedom.
+ */
+
+#ifndef TW_SAMPLE_STOPPING_HH
+#define TW_SAMPLE_STOPPING_HH
+
+#include "base/stats.hh"
+
+namespace tw
+{
+
+/**
+ * Two-sided Student-t critical value for @p df degrees of freedom
+ * at @p confidence. Supported confidence levels are 0.90, 0.95 and
+ * 0.99 (the nearest is used); df < 1 is treated as 1, df > 120 as
+ * the normal limit.
+ */
+double tCritical(unsigned df, double confidence = 0.95);
+
+/** Half-width of the t confidence interval for the mean of @p rs
+ *  (0 when fewer than two observations). */
+double tHalfWidth(const RunningStat &rs, double confidence = 0.95);
+
+/** tHalfWidth relative to |mean| (0 when the mean is 0). */
+double tRelHalfWidth(const RunningStat &rs, double confidence = 0.95);
+
+} // namespace tw
+
+#endif // TW_SAMPLE_STOPPING_HH

@@ -664,7 +664,12 @@ Server::handleRunExperiment(const std::shared_ptr<Session> &session,
     // units in grid order, trials in plan order, seq dense from 0.
     // Each job's cache key is the one a local run would use, so a
     // served experiment and a local one populate and hit the same
-    // ResultCache entries.
+    // ResultCache entries. Adaptive plans (TrialPlan::stopWhen) do
+    // not perturb this: experimentJobs always enumerates the FULL
+    // seed list — the upper bound an adaptive local run may stop
+    // short of — so all-or-nothing admission sizes against a known
+    // worst case, and every key a stopped-early local sweep wrote is
+    // a prefix of the keys enumerated here.
     std::vector<ExperimentJob> plan = experimentJobs(*def, scale);
 
     auto request = std::make_shared<Request>();

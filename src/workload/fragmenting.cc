@@ -48,7 +48,8 @@ FragmentingStream::reset(std::uint64_t seed)
 std::unique_ptr<RefStream>
 FragmentingStream::clone() const
 {
-    return std::make_unique<FragmentingStream>(params_);
+    // True snapshot (see RefStream::clone): state carries over.
+    return std::make_unique<FragmentingStream>(*this);
 }
 
 } // namespace tw

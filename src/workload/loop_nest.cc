@@ -122,7 +122,10 @@ LoopNestStream::reset(std::uint64_t seed)
 std::unique_ptr<RefStream>
 LoopNestStream::clone() const
 {
-    return std::make_unique<LoopNestStream>(params_);
+    // True snapshot: position, loop-ladder state and RNG carry
+    // over, so the copy continues the sequence exactly where the
+    // original stands (the interval sampler replays from these).
+    return std::make_unique<LoopNestStream>(*this);
 }
 
 void

@@ -52,8 +52,10 @@ class RefStream
     /** Restart the stream with a (possibly new) control-flow seed. */
     virtual void reset(std::uint64_t seed) = 0;
 
-    /** Deep copy (used when a task forks: the child runs the same
-     *  program image). */
+    /** Deep copy preserving position and RNG state: the copy emits
+     *  exactly the sequence the original would have emitted next.
+     *  (Used for snapshots — e.g. the interval sampler's boundary
+     *  clones; a forking task calls reset() on its copy.) */
     virtual std::unique_ptr<RefStream> clone() const = 0;
 
     /** First byte of the stream's text region. */

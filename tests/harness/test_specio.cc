@@ -236,6 +236,71 @@ TEST(SpecIo, SimKindNamesRoundTrip)
     EXPECT_FALSE(simKindFromName("bogus", out));
 }
 
+TEST(SpecIo, SampleBlockOmittedWhenDisabled)
+{
+    // A spec with sampling off must serialize byte-identically to
+    // the pre-sampling schema — same wire text, same cache keys.
+    RunSpec spec = sampleSpec();
+    EXPECT_FALSE(spec.sample.enabled);
+    std::string text = formatRunSpec(spec);
+    EXPECT_EQ(text.find("\"sample\""), std::string::npos);
+
+    RunSpec enabled = spec;
+    enabled.sample.enabled = true;
+    EXPECT_NE(formatRunSpec(enabled).find("\"sample\""),
+              std::string::npos);
+    EXPECT_NE(cacheKey(spec, 7, false), cacheKey(enabled, 7, false));
+}
+
+TEST(SpecIo, SampleBlockRoundTrips)
+{
+    RunSpec spec = sampleSpec();
+    spec.sample.enabled = true;
+    spec.sample.intervalRefs = 4096;
+    spec.sample.warmupRefs = 128;
+    spec.sample.clusters = 12;
+    spec.sample.perCluster = 3;
+    spec.sample.seed = 0xabcdef;
+    spec.sample.ciRelFloor = 0.015;
+    std::string text = formatRunSpec(spec);
+    RunSpec back;
+    std::string err;
+    ASSERT_TRUE(parseRunSpec(text, back, err)) << err;
+    EXPECT_EQ(formatRunSpec(back), text);
+    EXPECT_TRUE(back.sample == spec.sample);
+
+    // A parser fed pre-sampling text resets to the default config.
+    RunSpec reuse = back;
+    ASSERT_TRUE(
+        parseRunSpec(formatRunSpec(sampleSpec()), reuse, err))
+        << err;
+    EXPECT_TRUE(reuse.sample == SampleConfig{});
+}
+
+TEST(SpecIo, SampleOutcomeRoundTripsAndOmits)
+{
+    RunOutcome o = Runner::runOne(sampleSpec(), 3);
+    EXPECT_FALSE(o.sample.used);
+    EXPECT_EQ(formatRunOutcome(o).find("\"sample\""),
+              std::string::npos);
+
+    o.sample.used = true;
+    o.sample.intervalsTotal = 61;
+    o.sample.intervalsSimulated = 18;
+    o.sample.refsSimulated = 294912;
+    o.sample.refsTotal = 1000000;
+    o.sample.ciHalfWidth = 12.5;
+    std::string text = formatRunOutcome(o);
+    RunOutcome back;
+    std::string err;
+    ASSERT_TRUE(parseRunOutcome(text, back, err)) << err;
+    EXPECT_EQ(formatRunOutcome(back), text);
+    EXPECT_TRUE(back.sample.used);
+    EXPECT_EQ(back.sample.intervalsTotal, o.sample.intervalsTotal);
+    EXPECT_EQ(back.sample.refsSimulated, o.sample.refsSimulated);
+    EXPECT_DOUBLE_EQ(back.sample.ciHalfWidth, o.sample.ciHalfWidth);
+}
+
 TEST(SpecIo, U64SeedSurvivesWireExactly)
 {
     RunSpec spec = sampleSpec();

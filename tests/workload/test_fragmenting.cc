@@ -94,7 +94,7 @@ TEST(Fragmenting, DeterministicPerSeed)
         ASSERT_EQ(a.next(), b.next());
 }
 
-TEST(Fragmenting, CloneRestarts)
+TEST(Fragmenting, CloneResumesInLockstep)
 {
     FragmentingStream s(params());
     for (int i = 0; i < 1000; ++i)
@@ -102,6 +102,9 @@ TEST(Fragmenting, CloneRestarts)
     auto c = s.clone();
     EXPECT_EQ(c->textBase(), 0x400000u);
     EXPECT_EQ(c->textBytes(), 64u * kHostPageBytes);
+    // Deep copy: same position, same RNG and page-set state.
+    for (int i = 0; i < 5000; ++i)
+        ASSERT_EQ(c->next(), s.next()) << "draw " << i;
 }
 
 TEST(FragmentingDeath, BadParams)

@@ -102,10 +102,20 @@ TEST(LoopNest, CloneIsIndependentCopy)
     for (int i = 0; i < 100; ++i)
         s.next();
     auto c = s.clone();
-    // Clone restarts from the beginning with the same params.
-    EXPECT_EQ(c->next(), p.base);
+    // The clone resumes mid-stream — same position, same RNG state
+    // (the interval sampler captures boundary streams this way) —
+    // and advancing it never disturbs the original.
     EXPECT_EQ(c->textBase(), p.base);
     EXPECT_EQ(c->textBytes(), p.textBytes);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(c->next(), s.next()) << "draw " << i;
+    for (int i = 0; i < 50; ++i)
+        c->next();
+    Addr resync = s.next();
+    s.reset(p.seed);
+    for (int i = 0; i < 1100; ++i)
+        s.next();
+    EXPECT_EQ(resync, s.next());
 }
 
 TEST(LoopNest, WrapsForever)
