@@ -11,7 +11,17 @@
  * exercises the admission path under real socket concurrency.
  *
  * `--report` writes BENCH_serve.json with rps and latency
- * percentiles per configuration.
+ * percentiles per configuration, plus the row-write coalescing
+ * ratio (rows carried per send() syscall on the row path).
+ *
+ * `--pooled` benches the sharded pool instead: 1, 2 and 3 workers
+ * behind a Router, cold and cached phases through the front door.
+ * With `--report` it writes BENCH_serve_shard.json; the headline is
+ * cached req/s scaling with worker count (each shard answers from
+ * its own cache slice, so hits parallelize across workers). The
+ * report records host_cpus alongside the scaling ratios: on a
+ * single-core host every pool size shares the same core and the
+ * curve is necessarily flat.
  */
 
 #include <algorithm>
@@ -23,6 +33,7 @@
 #include "common.hh"
 #include "serve/client.hh"
 #include "serve/server.hh"
+#include "serve/shard/router.hh"
 
 using namespace twbench;
 
@@ -59,7 +70,8 @@ percentileMs(std::vector<double> &sorted_us, double pct)
 PhaseStats
 runPhase(const std::string &path, const RunSpec &spec,
          unsigned clients, unsigned reqs_per_client,
-         std::uint64_t seed_base, bool expect_cached)
+         std::uint64_t seed_base, bool expect_cached,
+         unsigned seeds_per_request = kSeedsPerRequest)
 {
     std::vector<std::vector<double>> latencies(clients);
     std::vector<std::thread> threads;
@@ -72,9 +84,9 @@ runPhase(const std::string &path, const RunSpec &spec,
                 fatal("bench_serve: connect: %s", err.c_str());
             for (unsigned r = 0; r < reqs_per_client; ++r) {
                 std::vector<std::uint64_t> seeds;
-                for (unsigned i = 0; i < kSeedsPerRequest; ++i)
+                for (unsigned i = 0; i < seeds_per_request; ++i)
                     seeds.push_back(seed_base + c * 100000
-                                    + r * kSeedsPerRequest + i);
+                                    + r * seeds_per_request + i);
                 auto t0 = std::chrono::steady_clock::now();
                 serve::SweepResult res =
                     client.submitSweep(spec, seeds);
@@ -115,6 +127,59 @@ runPhase(const std::string &path, const RunSpec &spec,
     return s;
 }
 
+/**
+ * The sharded-pool variant: @p pool_size workers behind one Router,
+ * phases driven through the front door. Returns {cold, cached}.
+ */
+std::pair<PhaseStats, PhaseStats>
+runPooled(const RunSpec &spec, unsigned pool_size, unsigned clients,
+          unsigned reqs_per_client, std::uint64_t seed_base,
+          unsigned seeds_per_request)
+{
+    std::vector<std::unique_ptr<serve::Server>> workers;
+    serve::RouterConfig rcfg;
+    for (unsigned i = 0; i < pool_size; ++i) {
+        serve::ServerConfig cfg;
+        cfg.socketPath = csprintf("/tmp/twserved-bench-%d-w%u.sock",
+                                  getpid(), i);
+        // Fixed per-worker compute: a pool of N models N hosts, so
+        // total simulation capacity grows with pool size. Dividing
+        // defaultThreads() across the pool would hold capacity
+        // constant and hide the scaling we're measuring.
+        cfg.workers = 2;
+        cfg.queueCapacity = 4096;
+        cfg.cacheCapacity = 8192;
+        rcfg.shards.push_back(cfg.socketPath);
+        workers.push_back(std::make_unique<serve::Server>(cfg));
+        std::string err;
+        if (!workers.back()->start(&err))
+            fatal("bench_serve: worker %u: %s", i, err.c_str());
+    }
+    rcfg.socketPath =
+        csprintf("/tmp/twserved-bench-%d-router.sock", getpid());
+    rcfg.healthIntervalMs = 500;
+    serve::Router router(rcfg);
+    std::string err;
+    if (!router.start(&err))
+        fatal("bench_serve: router: %s", err.c_str());
+    for (int spins = 0;
+         router.upShardCount() < pool_size && spins < 500; ++spins)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    if (router.upShardCount() < pool_size)
+        fatal("bench_serve: pool never came up");
+
+    PhaseStats cold =
+        runPhase(rcfg.socketPath, spec, clients, reqs_per_client,
+                 seed_base, false, seeds_per_request);
+    PhaseStats cached =
+        runPhase(rcfg.socketPath, spec, clients, reqs_per_client,
+                 seed_base, true, seeds_per_request);
+    router.stop();
+    for (auto &w : workers)
+        w->stop();
+    return {cold, cached};
+}
+
 } // namespace
 
 int
@@ -122,7 +187,76 @@ main(int argc, char **argv)
 {
     initBench(argc, argv);
     bool report = hasFlag(argc, argv, "--report");
+    bool pooled = hasFlag(argc, argv, "--pooled");
     unsigned scale = envScaleDiv(4000);
+
+    if (pooled) {
+        banner("twserved pool",
+               "sharded service: cold vs cached sweeps through the "
+               "router at 1/2/3 workers",
+               scale);
+        std::unique_ptr<JsonReport> json;
+        if (report)
+            json = std::make_unique<JsonReport>("serve_shard",
+                                                "bench_serve");
+        RunSpec spec;
+        spec.workload = makeWorkload("espresso", scale);
+        spec.sys.scope = SimScope::userOnly();
+        spec.sim = SimKind::Tapeworm;
+        spec.tw.cache = CacheConfig::icache(2048);
+
+        // Wide sweeps (32 seeds/request) keep per-request work on
+        // the owner shards — spec parsing, cache probes, row dumps —
+        // large relative to the router's per-row retag, so the pool,
+        // not the single front-door thread, sets the ceiling.
+        const unsigned clients = 8, reqsPerClient = 4;
+        const unsigned seedsPerRequest = 32;
+        TextTable t({"workers", "phase", "requests", "req/s",
+                     "p50 ms", "p99 ms"});
+        std::uint64_t seedBase = 40'000'000;
+        double cached1 = 0;
+        const unsigned hostCpus =
+            std::max(1u, std::thread::hardware_concurrency());
+        if (json)
+            json->set("host_cpus",
+                      static_cast<std::uint64_t>(hostCpus));
+        for (unsigned pool : {1u, 2u, 3u}) {
+            seedBase += 10'000'000;
+            auto [cold, cached] =
+                runPooled(spec, pool, clients, reqsPerClient,
+                          seedBase, seedsPerRequest);
+            for (const auto &[phase, s] :
+                 {std::pair<const char *, PhaseStats &>{"cold",
+                                                        cold},
+                  {"cached", cached}}) {
+                t.addRow({csprintf("%u", pool), phase,
+                          csprintf("%zu", s.requests),
+                          fmtF(s.rps, 1), fmtF(s.p50Ms, 3),
+                          fmtF(s.p99Ms, 3)});
+                if (json) {
+                    std::string prefix =
+                        csprintf("%s_w%u_", phase, pool);
+                    json->set(prefix + "rps", s.rps);
+                    json->set(prefix + "p50_ms", s.p50Ms);
+                    json->set(prefix + "p99_ms", s.p99Ms);
+                }
+            }
+            if (pool == 1)
+                cached1 = cached.rps;
+            else if (json && cached1 > 0)
+                json->set(csprintf("cached_scaling_w%u", pool),
+                          cached.rps / cached1);
+        }
+        std::printf("%s\n", t.render().c_str());
+        std::printf(
+            "Shape targets: cached req/s should grow with worker "
+            "count — every shard owns its slice of the key space, "
+            "so hits never leave the owning worker's cache. That "
+            "needs cores for the pool to spread over: this host "
+            "has %u CPU(s), so expect scaling ~%s.\n",
+            hostCpus, hostCpus >= 6 ? ">1" : "flat (CPU-bound)");
+        return 0;
+    }
     banner("twserved", "experiment-service throughput: cold vs "
                        "cached sweeps, 1/4/16 clients", scale);
 
@@ -181,6 +315,34 @@ main(int argc, char **argv)
                                                 : cold.p50Ms));
     }
     std::printf("%s\n", t.render().c_str());
+
+    // Row-write coalescing: without batching every row is its own
+    // send(); with it, cached sweeps ride one flush per batch. The
+    // rows-per-flush ratio is the syscall reduction on the row path.
+    std::uint64_t flushes = server.metrics().netFlushes.value();
+    std::uint64_t streamed = server.metrics().rowsStreamed.value();
+    std::uint64_t batched = server.metrics().netBatchedRows.value();
+    double rowsPerFlush =
+        flushes ? static_cast<double>(streamed)
+                      / static_cast<double>(flushes)
+                : 0.0;
+    std::printf("[serve] row-path writes: %llu rows in %llu "
+                "flushes (%.2f rows/syscall; %llu rode a shared "
+                "batch)\n",
+                static_cast<unsigned long long>(streamed),
+                static_cast<unsigned long long>(flushes),
+                rowsPerFlush,
+                static_cast<unsigned long long>(batched));
+    if (json) {
+        json->set("net_flushes",
+                  static_cast<double>(flushes));
+        json->set("net_rows_streamed",
+                  static_cast<double>(streamed));
+        json->set("net_batched_rows",
+                  static_cast<double>(batched));
+        json->set("rows_per_flush", rowsPerFlush);
+    }
+
     std::printf("Shape targets: cached sweeps should be far cheaper "
                 "than cold ones (no Runner work, just cache lookups "
                 "and wire I/O), and req/s should grow with client "

@@ -29,7 +29,7 @@ TW_NO_SIMD=1 ctest --test-dir build --output-on-failure -j"$(nproc)"
 # streams/filters must stay data-race-free under parallel trials.
 cmake -B build-tsan -G Ninja -DTW_SANITIZE=thread
 cmake --build build-tsan --target test_harness test_base \
-    test_integration test_serve test_obs
+    test_integration test_serve test_obs test_shard
 TW_THREADS=4 ./build-tsan/tests/test_harness \
     --gtest_filter='ParallelTrials.*'
 # Adaptive stopping batches trials through the same pool and then
@@ -53,12 +53,23 @@ TW_THREADS=4 ./build-tsan/tests/test_serve
 # The sharded metric registry's whole point is lock-free hot-path
 # writes with exact, monotone reads — prove it race-free.
 ./build-tsan/tests/test_obs
+# The distribution layer adds an epoll loop thread, per-link health
+# state, and reservation handoff between the router thread and the
+# worker sessions — run the ring/poller suites (and the in-process
+# 3-worker pool tests) under TSan too.
+TW_THREADS=2 ./build-tsan/tests/test_shard
 
 # End-to-end service smoke: daemon on a temp socket, served fig2
 # rows diffed bit-for-bit against in-process computation, cache-hit
 # resubmit, served run_experiment bit-identity, overload rejection,
 # clean SIGTERM drain.
 ./scripts/serve_smoke.sh
+
+# Sharded-pool smoke: 3 workers + router, pooled fig2 bit-identical
+# to local, resubmit fully cached across shard-local caches, a
+# SIGKILLed worker mid-request fails typed (never hangs), survivors
+# serve the remapped sweep, clean router drain.
+./scripts/shard_smoke.sh
 
 # Observability smoke: fig2 span trace lints with every phase
 # present, the BENCH report embeds engine counters, the prom

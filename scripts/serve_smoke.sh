@@ -45,13 +45,8 @@ fail() {
 # to demonstrate admission control with an 8-seed sweep.
 "$SERVED" --socket "$SOCK" --workers 2 --queue 4 --quiet &
 PID=$!
-i=0
-while [ ! -S "$SOCK" ]; do
-    i=$((i + 1))
-    [ "$i" -gt 100 ] && fail "daemon did not create $SOCK"
-    kill -0 "$PID" 2>/dev/null || fail "daemon died during startup"
-    sleep 0.05
-done
+"$CTL" --socket "$SOCK" ping --retry 100 --retry-delay-ms 50 \
+    > /dev/null 2>&1 || fail "daemon did not answer ping on $SOCK"
 
 SCALE="${TW_SCALE_DIV:-2000}"
 SPEC="--workload mpeg_play --indexing virtual --scope user \
@@ -112,13 +107,8 @@ echo "serve_smoke: oversized sweep rejected overloaded"
 ESOCK="/tmp/twserved-smoke-exp-$$.sock"
 "$SERVED" --socket "$ESOCK" --workers 2 --queue 64 --quiet &
 EPID=$!
-i=0
-while [ ! -S "$ESOCK" ]; do
-    i=$((i + 1))
-    [ "$i" -gt 100 ] && fail "experiment daemon did not create $ESOCK"
-    kill -0 "$EPID" 2>/dev/null || fail "experiment daemon died"
-    sleep 0.05
-done
+"$CTL" --socket "$ESOCK" ping --retry 100 --retry-delay-ms 50 \
+    > /dev/null 2>&1 || fail "experiment daemon did not answer ping"
 
 "$CTL" local --experiment fig2 --scale "$SCALE" > "$T/exp_local.txt"
 "$CTL" --socket "$ESOCK" --experiment fig2 --scale "$SCALE" submit \

@@ -16,6 +16,20 @@
  * accepted — the graceful-SIGTERM path: every admitted job still
  * produces its result row before the daemon exits.
  *
+ * Distribution adds RESERVATIONS (two-phase admission): a router
+ * fanning one sweep across several shards must know every shard has
+ * room before committing any of them. tryReserve(n) claims n slots
+ * of free space without enqueuing anything; pushReserved() later
+ * consumes the claim (returning any excess — cache hits discovered
+ * at commit need fewer slots than were reserved), and
+ * releaseReserved() abandons it. Reserved space counts against
+ * capacity for every admission path, so an ordinary tryPushAll
+ * cannot steal slots out from under a committed-to reservation.
+ * close() voids all reservations: a reservation is a claim on
+ * FUTURE admission, and PR 4's drain contract only protects work
+ * already admitted — the router sees its commit fail shutting_down
+ * and reports a clean typed error upstream.
+ *
  * Plain mutex + two condition variables. Jobs are whole simulator
  * runs (milliseconds to seconds each), so queue overhead is
  * irrelevant and the simplicity keeps the semantics auditable; the
@@ -75,11 +89,86 @@ class BoundedQueue
     {
         {
             std::lock_guard<std::mutex> lock(mutex_);
-            if (closed_ || items_.size() >= capacity_)
+            if (closed_ || items_.size() + reserved_ >= capacity_)
                 return false;
             items_.push_back(std::move(item));
         }
         itemReady_.notify_one();
+        return true;
+    }
+
+    /** Free slots a reservation could claim right now. */
+    std::size_t
+    freeSlots() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        std::size_t used = items_.size() + reserved_;
+        return used >= capacity_ ? 0 : capacity_ - used;
+    }
+
+    /** Reserved-but-uncommitted slots (tests, stats). */
+    std::size_t
+    reserved() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return reserved_;
+    }
+
+    /**
+     * Claim @p n slots of free space atomically, without enqueuing.
+     * False when they don't all fit (counting existing reservations)
+     * or the queue is closed. n of 0 succeeds trivially.
+     */
+    bool
+    tryReserve(std::size_t n)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        std::size_t used = items_.size() + reserved_;
+        if (closed_ || used > capacity_ || capacity_ - used < n)
+            return false;
+        reserved_ += n;
+        return true;
+    }
+
+    /**
+     * Return @p n reserved slots unused. Clamped — releasing after
+     * close() (which voids all reservations) is a harmless no-op.
+     */
+    void
+    releaseReserved(std::size_t n)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            reserved_ -= std::min(n, reserved_);
+        }
+        spaceReady_.notify_all();
+    }
+
+    /**
+     * Consume a reservation of @p reserved slots with @p items
+     * (items.size() <= reserved; the difference — trials that
+     * turned out to be cache hits at commit — is released). False
+     * without queue change when the queue is closed (the
+     * reservation was already voided) or when the items exceed the
+     * surviving reservation.
+     */
+    bool
+    pushReserved(std::vector<T> items, std::size_t reserved)
+    {
+        std::size_t n = items.size();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (closed_ || n > reserved || reserved_ < n)
+                return false;
+            reserved_ -= std::min(reserved, reserved_);
+            for (T &item : items)
+                items_.push_back(std::move(item));
+        }
+        if (n == 1)
+            itemReady_.notify_one();
+        else if (n > 1)
+            itemReady_.notify_all();
+        spaceReady_.notify_all();
         return true;
     }
 
@@ -95,8 +184,9 @@ class BoundedQueue
             return true;
         {
             std::lock_guard<std::mutex> lock(mutex_);
-            if (closed_
-                || capacity_ - items_.size() < items.size())
+            std::size_t used = items_.size() + reserved_;
+            if (closed_ || used > capacity_
+                || capacity_ - used < items.size())
                 return false;
             for (T &item : items)
                 items_.push_back(std::move(item));
@@ -119,7 +209,8 @@ class BoundedQueue
         {
             std::unique_lock<std::mutex> lock(mutex_);
             spaceReady_.wait(lock, [&] {
-                return closed_ || items_.size() < capacity_;
+                return closed_
+                       || items_.size() + reserved_ < capacity_;
             });
             if (closed_)
                 return false;
@@ -177,6 +268,9 @@ class BoundedQueue
         {
             std::lock_guard<std::mutex> lock(mutex_);
             closed_ = true;
+            // Reservations are claims on future admission; a
+            // closing queue voids them (see file comment).
+            reserved_ = 0;
         }
         itemReady_.notify_all();
         spaceReady_.notify_all();
@@ -188,6 +282,7 @@ class BoundedQueue
     std::condition_variable itemReady_;
     std::condition_variable spaceReady_;
     std::deque<T> items_;
+    std::size_t reserved_ = 0;
     bool closed_ = false;
 };
 

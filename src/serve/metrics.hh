@@ -110,6 +110,19 @@ struct MetricsRegistry
     ServeCounter rejectedShuttingDown{
         "serve.rejected.shutting_down"};
 
+    // Distribution ops (two-phase admission; see DESIGN.md §14).
+    ServeCounter reserves{"serve.shard.reserves"};
+    ServeCounter reserveRejects{"serve.shard.reserve_rejects"};
+    ServeCounter releases{"serve.shard.releases"};
+    ServeCounter runJobsReqs{"serve.shard.run_jobs"};
+
+    // Wire write coalescing: flushes counts send() syscalls on row
+    // paths, batchedRows counts rows that rode a shared flush — the
+    // syscall-per-row ratio BENCH_serve.json reports.
+    ServeCounter netFlushes{"serve.net.flushes"};
+    ServeCounter netFlushedBytes{"serve.net.flushed_bytes"};
+    ServeCounter netBatchedRows{"serve.net.batched_rows"};
+
     // Live state.
     ServeGauge jobsInFlight{"serve.jobs_in_flight"};
     ServeCounter sessionsOpened{"serve.sessions.opened"};

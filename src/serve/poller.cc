@@ -1,0 +1,255 @@
+#include "serve/poller.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "obs/metrics.hh"
+
+namespace tw
+{
+namespace serve
+{
+
+namespace
+{
+
+/** One send() per flushOut pass regardless of queued frame count;
+ *  these two counters make the syscall-vs-row ratio observable
+ *  (BENCH_serve.json reports it). */
+obs::Counter &
+netFlushes()
+{
+    static obs::Counter c =
+        obs::registry().counter("serve.net.flushes");
+    return c;
+}
+
+obs::Counter &
+netFlushedBytes()
+{
+    static obs::Counter c =
+        obs::registry().counter("serve.net.flushed_bytes");
+    return c;
+}
+
+} // anonymous namespace
+
+bool
+setNonBlocking(int fd)
+{
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0)
+        return false;
+    return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+void
+Conn::queueLine(const std::string &line)
+{
+    if (dead)
+        return;
+    if (pendingOut() + line.size() + 1 > kMaxBufferBytes) {
+        dead = true; // wedged peer; the loop will cut it
+        return;
+    }
+    out.append(line);
+    if (line.empty() || line.back() != '\n')
+        out.push_back('\n');
+    wantWrite = true;
+}
+
+void
+Conn::queueBytes(const char *data, std::size_t len)
+{
+    if (dead)
+        return;
+    if (pendingOut() + len > kMaxBufferBytes) {
+        dead = true;
+        return;
+    }
+    out.append(data, len);
+    wantWrite = true;
+}
+
+bool
+Conn::flushOut()
+{
+    while (outPos < out.size()) {
+        ssize_t n = ::send(fd, out.data() + outPos,
+                           out.size() - outPos, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                break; // socket full; EPOLLOUT will call us back
+            dead = true;
+            return false;
+        }
+        netFlushes().inc();
+        netFlushedBytes().add(static_cast<std::uint64_t>(n));
+        outPos += static_cast<std::size_t>(n);
+    }
+    if (outPos == out.size()) {
+        out.clear();
+        outPos = 0;
+        wantWrite = false;
+    } else {
+        // Compact once the flushed prefix dominates.
+        if (outPos > (1u << 20) && outPos > out.size() / 2) {
+            out.erase(0, outPos);
+            outPos = 0;
+        }
+        wantWrite = true;
+    }
+    return true;
+}
+
+bool
+Conn::readReady()
+{
+    char chunk[16384];
+    while (true) {
+        ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                return true;
+            dead = true;
+            return false;
+        }
+        if (n == 0) {
+            dead = true;
+            return false; // clean EOF; caller fails in-flight work
+        }
+        if (in.size() - inPos + static_cast<std::size_t>(n)
+            > kMaxBufferBytes) {
+            dead = true;
+            return false;
+        }
+        in.append(chunk, static_cast<std::size_t>(n));
+        // Keep draining: level-triggered epoll would re-arm anyway,
+        // but finishing the socket now saves wait() round trips.
+        if (static_cast<std::size_t>(n) < sizeof(chunk))
+            return true;
+    }
+}
+
+bool
+Conn::extractLine(std::string &line)
+{
+    std::size_t nl = in.find('\n', inPos);
+    if (nl == std::string::npos) {
+        if (in.size() - inPos > kMaxLineBytes)
+            dead = true; // unframed flood (LineReader's policy)
+        return false;
+    }
+    line.assign(in, inPos, nl - inPos);
+    inPos = nl + 1;
+    if (inPos > 64 * 1024 && inPos > in.size() / 2) {
+        in.erase(0, inPos);
+        inPos = 0;
+    }
+    return true;
+}
+
+void
+Conn::closeFd()
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+Poller::Poller()
+{
+    epfd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    wakeFd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (epfd_ >= 0 && wakeFd_ >= 0) {
+        epoll_event ev{};
+        ev.events = EPOLLIN;
+        ev.data.ptr = nullptr; // nullptr tag = the wake fd
+        if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, wakeFd_, &ev) != 0) {
+            ::close(epfd_);
+            epfd_ = -1;
+        }
+    }
+}
+
+Poller::~Poller()
+{
+    if (epfd_ >= 0)
+        ::close(epfd_);
+    if (wakeFd_ >= 0)
+        ::close(wakeFd_);
+}
+
+bool
+Poller::add(int fd, void *tag, bool want_write)
+{
+    epoll_event ev{};
+    ev.events = EPOLLIN | (want_write ? EPOLLOUT : 0u);
+    ev.data.ptr = tag;
+    return ::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) == 0;
+}
+
+bool
+Poller::mod(int fd, void *tag, bool want_write)
+{
+    epoll_event ev{};
+    ev.events = EPOLLIN | (want_write ? EPOLLOUT : 0u);
+    ev.data.ptr = tag;
+    return ::epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev) == 0;
+}
+
+void
+Poller::del(int fd)
+{
+    ::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+bool
+Poller::wait(int timeout_ms, std::vector<Event> &events)
+{
+    events.clear();
+    epoll_event raw[64];
+    int n = ::epoll_wait(epfd_, raw, 64, timeout_ms);
+    if (n < 0)
+        return errno == EINTR;
+    for (int i = 0; i < n; ++i) {
+        if (raw[i].data.ptr == nullptr) {
+            // Drain the eventfd; the wakeup's only job is to make
+            // epoll_wait return.
+            std::uint64_t v;
+            while (::read(wakeFd_, &v, sizeof(v)) > 0) {
+            }
+            continue;
+        }
+        Event e;
+        e.tag = raw[i].data.ptr;
+        e.readable = (raw[i].events & (EPOLLIN | EPOLLHUP
+                                       | EPOLLERR)) != 0;
+        e.writable = (raw[i].events & EPOLLOUT) != 0;
+        e.hangup = (raw[i].events & (EPOLLHUP | EPOLLERR)) != 0;
+        events.push_back(e);
+    }
+    return true;
+}
+
+void
+Poller::wake()
+{
+    std::uint64_t one = 1;
+    // A full eventfd counter still wakes the loop; ignore EAGAIN.
+    [[maybe_unused]] ssize_t n =
+        ::write(wakeFd_, &one, sizeof(one));
+}
+
+} // namespace serve
+} // namespace tw

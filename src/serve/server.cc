@@ -77,6 +77,22 @@ struct Server::Session
         }
         return true;
     }
+
+    /** Send pre-framed ('\n'-terminated) bytes in ONE write: the
+     *  row-batching path — a sweep's cached rows cost one syscall
+     *  instead of one per row. */
+    bool
+    sendRaw(const std::string &framed)
+    {
+        std::lock_guard<std::mutex> lock(writeMutex);
+        if (dead.load(std::memory_order_relaxed))
+            return false;
+        if (!sendAll(fd, framed.data(), framed.size())) {
+            dead.store(true, std::memory_order_relaxed);
+            return false;
+        }
+        return true;
+    }
 };
 
 /** Bookkeeping for one session thread. Lives in sessions_ (a
@@ -432,6 +448,9 @@ Server::sessionLoop(SessionEntry *entry)
         handleLine(session, line);
     }
     session->dead.store(true);
+    // Void any two-phase reservations the peer (a router, usually)
+    // still held: a dead router must not leak queue slots.
+    releaseSessionReservations(session.get());
     metrics_.sessionsClosed.inc();
     // Hand the entry to the accept loop's reaper: it joins this
     // thread and drops the list's Session reference. The fd closes
@@ -487,6 +506,18 @@ Server::handleLine(const std::shared_ptr<Session> &session,
     }
     if (op == "run_experiment") {
         handleRunExperiment(session, id, req);
+        return;
+    }
+    if (op == "reserve") {
+        handleReserve(session, id, req);
+        return;
+    }
+    if (op == "release") {
+        handleRelease(session, id, req);
+        return;
+    }
+    if (op == "run_jobs") {
+        handleRunJobs(session, id, req);
         return;
     }
     if (op == "stats") {
@@ -704,26 +735,287 @@ Server::handleRunExperiment(const std::shared_ptr<Session> &session,
 }
 
 void
+Server::handleReserve(const std::shared_ptr<Session> &session,
+                      std::uint64_t id, const Json &reqJson)
+{
+    metrics_.reserves.inc();
+    const Json *j = reqJson.find("jobs");
+    if (!j || !j->isNumber() || j->isNegative()
+        || j->asU64() == 0) {
+        metrics_.badRequests.inc();
+        sendError(session, id, kErrBadRequest,
+                  "jobs must be a positive integer");
+        return;
+    }
+    auto n = static_cast<std::size_t>(j->asU64());
+    if (!queue_.tryReserve(n)) {
+        metrics_.reserveRejects.inc();
+        if (stopping_.load()) {
+            metrics_.rejectedShuttingDown.inc();
+            sendError(session, id, kErrShuttingDown,
+                      "server is draining");
+        } else {
+            metrics_.rejectedOverloaded.inc();
+            sendError(session, id, kErrOverloaded,
+                      csprintf("cannot reserve %zu slots "
+                               "(capacity %zu)",
+                               n, queue_.capacity()));
+        }
+        return;
+    }
+    std::uint64_t token;
+    {
+        std::lock_guard<std::mutex> lock(reservationsMutex_);
+        token = nextReservation_++;
+        reservations_[token] = {n, session.get()};
+    }
+    Json resp = Json::object();
+    resp.set("id", Json::number(id));
+    resp.set("ev", Json::str("reserved"));
+    resp.set("reservation", Json::number(token));
+    resp.set("jobs", Json::number(static_cast<std::uint64_t>(n)));
+    session->send(resp);
+}
+
+void
+Server::handleRelease(const std::shared_ptr<Session> &session,
+                      std::uint64_t id, const Json &reqJson)
+{
+    metrics_.releases.inc();
+    const Json *j = reqJson.find("reservation");
+    if (!j || !j->isNumber() || j->isNegative()) {
+        metrics_.badRequests.inc();
+        sendError(session, id, kErrBadRequest,
+                  "reservation must be a non-negative integer");
+        return;
+    }
+    // Idempotent: releasing a settled (or never-issued) token
+    // releases 0 — a router retrying a release after a timeout must
+    // not get an error storm.
+    std::size_t slots = takeReservation(j->asU64(), session.get());
+    if (slots > 0)
+        queue_.releaseReserved(slots);
+    Json resp = Json::object();
+    resp.set("id", Json::number(id));
+    resp.set("ev", Json::str("ok"));
+    resp.set("released",
+             Json::number(static_cast<std::uint64_t>(slots)));
+    session->send(resp);
+}
+
+void
+Server::handleRunJobs(const std::shared_ptr<Session> &session,
+                      std::uint64_t id, const Json &reqJson)
+{
+    metrics_.runJobsReqs.inc();
+
+    auto bad = [&](const std::string &msg) {
+        metrics_.badRequests.inc();
+        sendError(session, id, kErrBadRequest, msg);
+    };
+
+    std::uint64_t reservation = 0;
+    if (const Json *j = reqJson.find("reservation")) {
+        if (!j->isNumber() || j->isNegative())
+            return bad("reservation must be a non-negative integer");
+        reservation = j->asU64();
+    }
+    std::string experiment;
+    if (const Json *j = reqJson.find("experiment")) {
+        if (!j->isString())
+            return bad("experiment must be a string");
+        experiment = j->asString();
+    }
+    std::optional<Clock::time_point> deadline;
+    if (const Json *j = reqJson.find("deadline_ms")) {
+        if (!j->isNumber() || j->isNegative())
+            return bad("deadline_ms must be a non-negative number");
+        deadline = Clock::now()
+                   + std::chrono::milliseconds(j->asU64());
+    }
+    // Batch-level default spec: jobs that omit their own "spec"
+    // share this one, parsed once. A fan-out batch is usually one
+    // sweep's slice, so this turns O(jobs) copies of the ~6 KB
+    // canonical text into one per request.
+    std::shared_ptr<RunSpec> defaultSpec;
+    if (const Json *j = reqJson.find("spec")) {
+        if (!j->isString())
+            return bad("spec must be canonical spec text");
+        defaultSpec = std::make_shared<RunSpec>();
+        std::string err;
+        if (!parseRunSpec(j->asString(), *defaultSpec, err))
+            return bad("bad spec: " + err);
+    }
+    const Json *jobsj = reqJson.find("jobs");
+    if (!jobsj || !jobsj->isArray() || jobsj->size() == 0)
+        return bad("jobs must be a non-empty array");
+
+    auto request = std::make_shared<Request>();
+    request->session = session;
+    request->id = id;
+    request->experiment = experiment;
+    request->deadline = deadline;
+
+    // Each entry names its trial explicitly (spec canonical text,
+    // seed, slowdown, unit/seq/trial coordinates), so the cache key
+    // computed here is byte-identical to the one a single-node
+    // submit or run_experiment of the same trial would use — the
+    // property that makes shard-local caches line up with the ring.
+    std::vector<CachedHit> hits;
+    std::vector<Job> jobs;
+    for (std::size_t i = 0; i < jobsj->size(); ++i) {
+        const Json &jj = jobsj->at(i);
+        if (!jj.isObject())
+            return bad("jobs entries must be objects");
+        std::shared_ptr<RunSpec> spec;
+        if (const Json *specj = jj.find("spec")) {
+            if (!specj->isString())
+                return bad("job spec must be canonical spec text");
+            spec = std::make_shared<RunSpec>();
+            std::string err;
+            if (!parseRunSpec(specj->asString(), *spec, err))
+                return bad("bad job spec: " + err);
+        } else if (defaultSpec) {
+            spec = defaultSpec;
+        } else {
+            return bad("job has no spec and the request has no "
+                       "default spec");
+        }
+        const Json *seedj = jj.find("seed");
+        if (!seedj || !seedj->isNumber() || seedj->isNegative())
+            return bad("job seed must be a non-negative integer");
+        std::uint64_t seed = seedj->asU64();
+        bool slowdown = true;
+        if (const Json *j = jj.find("slowdown")) {
+            if (!j->isBool())
+                return bad("job slowdown must be a bool");
+            slowdown = j->asBool();
+        }
+        std::uint64_t trial = i;
+        if (const Json *j = jj.find("trial")) {
+            if (!j->isNumber() || j->isNegative())
+                return bad("job trial must be a non-negative "
+                           "integer");
+            trial = j->asU64();
+        }
+        std::string unit;
+        if (const Json *j = jj.find("unit")) {
+            if (!j->isString())
+                return bad("job unit must be a string");
+            unit = j->asString();
+        }
+        std::uint64_t seq = trial;
+        if (const Json *j = jj.find("seq")) {
+            if (!j->isNumber() || j->isNegative())
+                return bad("job seq must be a non-negative integer");
+            seq = j->asU64();
+        }
+
+        std::string key = cacheKey(*spec, seed, slowdown);
+        RunOutcome out;
+        bool hit = cache_.lookup(key, out);
+        metrics_.recordCacheLookup(
+            experiment.empty() ? "_adhoc" : experiment, hit);
+        if (hit) {
+            hits.push_back(
+                {std::move(unit), seq, trial, seed, std::move(out)});
+        } else {
+            Job job;
+            job.req = request;
+            job.spec = std::move(spec);
+            job.seed = seed;
+            job.trial = trial;
+            job.slowdown = slowdown;
+            job.unit = std::move(unit);
+            job.seq = seq;
+            job.key = std::move(key);
+            jobs.push_back(std::move(job));
+        }
+    }
+    admitAndStream(session, id, request, std::move(jobs), hits,
+                   reservation);
+}
+
+std::size_t
+Server::takeReservation(std::uint64_t token, const Session *owner)
+{
+    std::lock_guard<std::mutex> lock(reservationsMutex_);
+    auto it = reservations_.find(token);
+    if (it == reservations_.end() || it->second.owner != owner)
+        return 0;
+    std::size_t slots = it->second.slots;
+    reservations_.erase(it);
+    return slots;
+}
+
+void
+Server::releaseSessionReservations(const Session *owner)
+{
+    std::size_t slots = 0;
+    {
+        std::lock_guard<std::mutex> lock(reservationsMutex_);
+        for (auto it = reservations_.begin();
+             it != reservations_.end();) {
+            if (it->second.owner == owner) {
+                slots += it->second.slots;
+                it = reservations_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+    if (slots > 0)
+        queue_.releaseReserved(slots);
+}
+
+void
 Server::admitAndStream(const std::shared_ptr<Session> &session,
                        std::uint64_t id,
                        const std::shared_ptr<Request> &request,
                        std::vector<Job> jobs,
-                       const std::vector<CachedHit> &hits)
+                       const std::vector<CachedHit> &hits,
+                       std::uint64_t reservation)
 {
     // ---- Admit ATOMICALLY, before streaming anything --------------
     // All-or-nothing: a sweep either fully fits the queue's free
     // space or is rejected whole with `overloaded` — no partial
     // sweeps wedged behind a full queue, and the client can simply
     // retry the identical request later (the earlier trials will
-    // then be cache hits).
+    // then be cache hits). A committed reservation substitutes its
+    // pre-claimed slots for the free-space check.
     request->remaining.store(jobs.size() + 1);
+    std::size_t reservedSlots = 0;
+    if (reservation != 0) {
+        reservedSlots = takeReservation(reservation, session.get());
+        if (reservedSlots == 0) {
+            // Never issued, another session's, or already settled
+            // (committed, released, or voided at disconnect).
+            metrics_.badRequests.inc();
+            sendError(session, id, kErrBadRequest,
+                      "unknown reservation");
+            return;
+        }
+        if (jobs.size() > reservedSlots) {
+            queue_.releaseReserved(reservedSlots);
+            metrics_.badRequests.inc();
+            sendError(session, id, kErrBadRequest,
+                      csprintf("%zu jobs exceed reservation of %zu "
+                               "slots",
+                               jobs.size(), reservedSlots));
+            return;
+        }
+    }
     if (!jobs.empty()) {
         obs::ScopedSpan span("admit", "serve");
         Clock::time_point now = Clock::now();
         for (auto &j : jobs)
             j.enqueued = now;
         std::size_t n = jobs.size();
-        if (!queue_.tryPushAll(std::move(jobs))) {
+        bool admitted =
+            reservation != 0
+                ? queue_.pushReserved(std::move(jobs), reservedSlots)
+                : queue_.tryPushAll(std::move(jobs));
+        if (!admitted) {
             if (stopping_.load()) {
                 metrics_.rejectedShuttingDown.inc();
                 sendError(session, id, kErrShuttingDown,
@@ -741,11 +1033,18 @@ Server::admitAndStream(const std::shared_ptr<Session> &session,
         // Wake workers parked in nextJob(): the queue has its own
         // cv, but dequeues are serialized on workCv_ (pause gate).
         wakeWorkers();
+    } else if (reservedSlots > 0) {
+        // Every reserved trial became a cache hit between reserve
+        // and commit; hand the slots straight back.
+        queue_.releaseReserved(reservedSlots);
     }
 
     // ---- Stream cached rows, then release our +1 ------------------
     if (!hits.empty()) {
         obs::ScopedSpan span("stream", "serve");
+        // One coalesced write for the whole cached prefix: at high
+        // hit rates the send() syscall per row WAS the serve cost.
+        std::string batch;
         for (const CachedHit &h : hits) {
             Json row = Json::object();
             setRowIdentity(row, request->experiment, id, h.unit,
@@ -753,12 +1052,17 @@ Server::admitAndStream(const std::shared_ptr<Session> &session,
             row.set("cached", Json::boolean(true));
             row.set("host_s", Json::number(h.outcome.hostSeconds));
             row.set("outcome", outcomeToJson(h.outcome));
-            session->send(row);
+            batch += row.dump();
+            batch.push_back('\n');
             request->rows.fetch_add(1, std::memory_order_relaxed);
             request->cached.fetch_add(1, std::memory_order_relaxed);
             metrics_.rowsStreamed.inc();
             metrics_.rowsCached.inc();
         }
+        session->sendRaw(batch);
+        metrics_.netFlushes.inc();
+        metrics_.netFlushedBytes.add(batch.size());
+        metrics_.netBatchedRows.add(hits.size());
     }
     finishOne(request);
 }
@@ -816,7 +1120,11 @@ Server::workerLoop()
         }
         {
             obs::ScopedSpan span("stream", "serve");
-            req.session->send(row);
+            std::string framed = row.dump();
+            framed.push_back('\n');
+            req.session->sendRaw(framed);
+            metrics_.netFlushes.inc();
+            metrics_.netFlushedBytes.add(framed.size());
         }
         job->req->rows.fetch_add(1, std::memory_order_relaxed);
         metrics_.rowsStreamed.inc();
@@ -923,6 +1231,28 @@ Server::statsJson()
     rej.set("overloaded", n(metrics_.rejectedOverloaded));
     rej.set("shutting_down", n(metrics_.rejectedShuttingDown));
     j.set("rejected", std::move(rej));
+
+    Json shard = Json::object();
+    {
+        std::lock_guard<std::mutex> lock(reservationsMutex_);
+        shard.set("reservations",
+                  Json::number(static_cast<std::uint64_t>(
+                      reservations_.size())));
+    }
+    shard.set("reserved_slots",
+              Json::number(static_cast<std::uint64_t>(
+                  queue_.reserved())));
+    shard.set("reserves", n(metrics_.reserves));
+    shard.set("reserve_rejects", n(metrics_.reserveRejects));
+    shard.set("releases", n(metrics_.releases));
+    shard.set("run_jobs", n(metrics_.runJobsReqs));
+    j.set("shard", std::move(shard));
+
+    Json net = Json::object();
+    net.set("flushes", n(metrics_.netFlushes));
+    net.set("flushed_bytes", n(metrics_.netFlushedBytes));
+    net.set("batched_rows", n(metrics_.netBatchedRows));
+    j.set("net", std::move(net));
 
     Json sess = Json::object();
     sess.set("opened", n(metrics_.sessionsOpened));

@@ -37,7 +37,9 @@
 #define TW_SERVE_SERVER_HH
 
 #include <condition_variable>
+#include <cstdint>
 #include <list>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -158,14 +160,38 @@ class Server
                       std::uint64_t id, const Json &req);
     void handleRunExperiment(const std::shared_ptr<Session> &session,
                              std::uint64_t id, const Json &req);
+    void handleReserve(const std::shared_ptr<Session> &session,
+                       std::uint64_t id, const Json &req);
+    void handleRelease(const std::shared_ptr<Session> &session,
+                       std::uint64_t id, const Json &req);
+    void handleRunJobs(const std::shared_ptr<Session> &session,
+                       std::uint64_t id, const Json &req);
     struct CachedHit;
-    /** Shared admission + cached-row streaming tail of submit and
-     *  run_experiment: all-or-nothing enqueue, then the hits. */
+    /**
+     * Shared admission + cached-row streaming tail of submit,
+     * run_experiment, and run_jobs: all-or-nothing enqueue, then
+     * the hits in ONE coalesced write. A nonzero @p reservation is
+     * a token from `reserve` — the jobs consume its slots instead
+     * of competing for free space (two-phase commit; any excess,
+     * trials that became cache hits since the reserve, is
+     * released).
+     */
     void admitAndStream(const std::shared_ptr<Session> &session,
                         std::uint64_t id,
                         const std::shared_ptr<Request> &request,
                         std::vector<Job> jobs,
-                        const std::vector<CachedHit> &hits);
+                        const std::vector<CachedHit> &hits,
+                        std::uint64_t reservation = 0);
+    /** Remove reservation @p token owned by @p owner from the map,
+     *  returning its slot count (0 when unknown/not-owned). Does
+     *  NOT touch the queue's reserved space — callers either
+     *  pushReserved or releaseReserved with the result. */
+    std::size_t takeReservation(std::uint64_t token,
+                                const Session *owner);
+    /** Session-close cleanup: void and release every reservation
+     *  the session still holds (a dead router cannot leak queue
+     *  slots). */
+    void releaseSessionReservations(const Session *owner);
     void finishOne(const std::shared_ptr<Request> &req);
     void sendError(const std::shared_ptr<Session> &session,
                    std::uint64_t id, const char *code,
@@ -200,6 +226,19 @@ class Server
     std::mutex workMutex_;
     std::condition_variable workCv_;
     bool paused_ = false;
+
+    /** Outstanding two-phase reservations: token -> (slots, owning
+     *  session). The queue holds the aggregate reserved count; this
+     *  map attributes it so commit/release/disconnect settle the
+     *  right amount. */
+    struct ReservationInfo
+    {
+        std::size_t slots = 0;
+        const Session *owner = nullptr;
+    };
+    std::mutex reservationsMutex_;
+    std::map<std::uint64_t, ReservationInfo> reservations_;
+    std::uint64_t nextReservation_ = 1;
 };
 
 } // namespace serve

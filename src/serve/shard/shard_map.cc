@@ -1,0 +1,125 @@
+#include "serve/shard/shard_map.hh"
+
+#include <algorithm>
+#include <string_view>
+
+namespace tw
+{
+namespace serve
+{
+
+namespace
+{
+
+/** FNV-1a, locally: the ring must not depend on std::hash (which
+ *  varies by libc++ and would break cross-process determinism). */
+std::uint64_t
+fnv(std::string_view bytes)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned char c : bytes) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+/** splitmix64 finalizer: FNV's low bits avalanche poorly for short
+ *  inputs like "name#7"; this spreads every input bit over the
+ *  whole word so vnode points land uniformly on the circle. */
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // anonymous namespace
+
+ShardMap::ShardMap(const std::vector<std::string> &members,
+                   unsigned vnodes)
+    : vnodes_(vnodes ? vnodes : 1)
+{
+    members_ = members;
+    std::sort(members_.begin(), members_.end());
+    members_.erase(std::unique(members_.begin(), members_.end()),
+                   members_.end());
+    rebuild();
+}
+
+std::uint64_t
+ShardMap::pointHash(const std::string &m, unsigned v)
+{
+    std::string tagged = m;
+    tagged.push_back('#');
+    tagged += std::to_string(v);
+    return mix(fnv(tagged));
+}
+
+void
+ShardMap::add(const std::string &member)
+{
+    auto it = std::lower_bound(members_.begin(), members_.end(),
+                               member);
+    if (it != members_.end() && *it == member)
+        return;
+    members_.insert(it, member);
+    rebuild();
+}
+
+void
+ShardMap::remove(const std::string &member)
+{
+    auto it = std::lower_bound(members_.begin(), members_.end(),
+                               member);
+    if (it == members_.end() || *it != member)
+        return;
+    members_.erase(it);
+    rebuild();
+}
+
+bool
+ShardMap::contains(const std::string &member) const
+{
+    return std::binary_search(members_.begin(), members_.end(),
+                              member);
+}
+
+void
+ShardMap::rebuild()
+{
+    ring_.clear();
+    ring_.reserve(members_.size() * vnodes_);
+    for (std::uint32_t m = 0;
+         m < static_cast<std::uint32_t>(members_.size()); ++m)
+        for (unsigned v = 0; v < vnodes_; ++v)
+            ring_.push_back({pointHash(members_[m], v), m});
+    std::sort(ring_.begin(), ring_.end());
+}
+
+std::size_t
+ShardMap::ownerIndex(std::uint64_t key) const
+{
+    if (ring_.empty())
+        return members_.size();
+    // First point clockwise from the key; wrap to the ring start.
+    auto it = std::lower_bound(
+        ring_.begin(), ring_.end(), key,
+        [](const Point &p, std::uint64_t k) { return p.hash < k; });
+    if (it == ring_.end())
+        it = ring_.begin();
+    return it->member;
+}
+
+const std::string &
+ShardMap::owner(std::uint64_t key) const
+{
+    static const std::string empty;
+    std::size_t idx = ownerIndex(key);
+    return idx < members_.size() ? members_[idx] : empty;
+}
+
+} // namespace serve
+} // namespace tw

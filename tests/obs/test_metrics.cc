@@ -151,6 +151,82 @@ TEST(ObsRegistry, PromTextMangling)
               std::string::npos);
 }
 
+TEST(ObsRegistry, EveryServeAndRouterCounterPromMangledValidly)
+{
+    // The full dotted-name surface the serve layer and the shard
+    // router register (keep in sync with serve/metrics.hh and
+    // serve/shard/router.cc — this is the scrape-side contract a
+    // Prometheus pipeline depends on). Each must mangle to a valid,
+    // UNIQUE tw_ metric name: [a-zA-Z_][a-zA-Z0-9_]*.
+    static const char *kNames[] = {
+        "serve.jobs_in_flight",
+        "serve.net.batched_rows",
+        "serve.net.flushed_bytes",
+        "serve.net.flushes",
+        "serve.ops.bad_requests",
+        "serve.ops.flushes",
+        "serve.ops.metrics",
+        "serve.ops.pings",
+        "serve.ops.run_experiments",
+        "serve.ops.shutdowns",
+        "serve.ops.stats",
+        "serve.ops.submits",
+        "serve.rejected.overloaded",
+        "serve.rejected.shutting_down",
+        "serve.rows.cached",
+        "serve.rows.computed",
+        "serve.rows.expired",
+        "serve.rows.streamed",
+        "serve.sessions.closed",
+        "serve.sessions.opened",
+        "serve.shard.releases",
+        "serve.shard.reserve_rejects",
+        "serve.shard.reserves",
+        "serve.shard.run_jobs",
+        "router.clients.accepted",
+        "router.fanout.commits",
+        "router.fanout.releases",
+        "router.fanout.reserves",
+        "router.health.pings",
+        "router.requests.bad",
+        "router.requests.rejected",
+        "router.requests.run_experiments",
+        "router.requests.submits",
+        "router.rows.buffered",
+        "router.rows.merged",
+        "router.shards.failures",
+    };
+    for (const char *name : kNames)
+        obs::registry().counter(name); // find-or-create, value 0 ok
+
+    std::string prom = obs::registry().promText();
+    std::vector<std::string> seen;
+    for (const char *name : kNames) {
+        // Mirror the registry's mangling rule: tw_ + dots->_ .
+        std::string mangled = "tw_";
+        for (const char *p = name; *p; ++p)
+            mangled += (*p == '.' || *p == '-') ? '_' : *p;
+        // Valid Prometheus metric name.
+        for (char c : mangled)
+            ASSERT_TRUE((c >= 'a' && c <= 'z')
+                        || (c >= 'A' && c <= 'Z')
+                        || (c >= '0' && c <= '9') || c == '_')
+                << name << " -> " << mangled;
+        ASSERT_TRUE(mangled[0] == '_'
+                    || (mangled[0] >= 'a' && mangled[0] <= 'z'))
+            << mangled;
+        // Present in the scrape text, with a TYPE line.
+        EXPECT_NE(prom.find("# TYPE " + mangled + " counter"),
+                  std::string::npos)
+            << name << " missing from promText as " << mangled;
+        // Unique after mangling: two dotted names must never fold
+        // into one scrape series.
+        for (const std::string &prior : seen)
+            ASSERT_NE(prior, mangled) << "mangling collision";
+        seen.push_back(mangled);
+    }
+}
+
 /**
  * The satellite stress test (run under TSan in check.sh): writer
  * threads hammer one counter and one histogram while a reader takes

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Poller and Conn unit tests over socketpairs: line framing and the
+ * 8 MiB cap, batched flush (the syscall-coalescing edge), backpressure
+ * buffering with EPOLLOUT re-arm, cross-thread wake, and hangup
+ * delivery. Runs under the TSan leg in check.sh — wake() is the one
+ * cross-thread entry point and must be clean.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/poller.hh"
+
+namespace tw
+{
+namespace
+{
+
+using serve::Conn;
+using serve::Poller;
+using serve::setNonBlocking;
+
+struct Pair
+{
+    int a = -1, b = -1;
+    Pair()
+    {
+        int fds[2];
+        EXPECT_EQ(
+            ::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+        a = fds[0];
+        b = fds[1];
+        setNonBlocking(a);
+        setNonBlocking(b);
+    }
+    ~Pair()
+    {
+        if (a >= 0)
+            ::close(a);
+        if (b >= 0)
+            ::close(b);
+    }
+};
+
+TEST(Conn, ExtractsFrames)
+{
+    Pair p;
+    Conn c;
+    c.fd = p.a;
+    ASSERT_EQ(::send(p.b, "one\ntwo\nthr", 11, 0), 11);
+    ASSERT_TRUE(c.readReady());
+    std::string line;
+    ASSERT_TRUE(c.extractLine(line));
+    EXPECT_EQ(line, "one");
+    ASSERT_TRUE(c.extractLine(line));
+    EXPECT_EQ(line, "two");
+    EXPECT_FALSE(c.extractLine(line)); // partial stays buffered
+    ASSERT_EQ(::send(p.b, "ee\n", 3, 0), 3);
+    ASSERT_TRUE(c.readReady());
+    ASSERT_TRUE(c.extractLine(line));
+    EXPECT_EQ(line, "three");
+    c.fd = -1; // Pair owns the fds
+}
+
+TEST(Conn, PeerCloseSetsDead)
+{
+    Pair p;
+    Conn c;
+    c.fd = p.a;
+    ::close(p.b);
+    p.b = -1;
+    EXPECT_FALSE(c.readReady());
+    EXPECT_TRUE(c.dead);
+    c.fd = -1;
+}
+
+TEST(Conn, OversizedLineIsCut)
+{
+    Pair p;
+    Conn c;
+    c.fd = p.a;
+    // Feed > kMaxLineBytes with no newline through the buffer
+    // directly (sending 8 MiB through a socketpair just to test a
+    // bound would be slow): emulate what readReady accumulates.
+    c.in.assign(Conn::kMaxLineBytes + 1, 'x');
+    std::string line;
+    EXPECT_FALSE(c.extractLine(line));
+    EXPECT_TRUE(c.dead);
+    c.fd = -1;
+}
+
+TEST(Conn, BatchedFlushCoalescesFrames)
+{
+    Pair p;
+    Conn c;
+    c.fd = p.a;
+    for (int i = 0; i < 100; ++i)
+        c.queueLine("row-" + std::to_string(i));
+    EXPECT_GT(c.pendingOut(), 0u);
+    ASSERT_TRUE(c.flushOut());
+    EXPECT_EQ(c.pendingOut(), 0u);
+    EXPECT_FALSE(c.wantWrite);
+
+    // The peer sees every frame, in order, newline-terminated.
+    std::string got;
+    char buf[65536];
+    ssize_t n;
+    while ((n = ::recv(p.b, buf, sizeof(buf), 0)) > 0)
+        got.append(buf, static_cast<std::size_t>(n));
+    std::size_t frames = 0, at = 0;
+    while ((at = got.find('\n', at)) != std::string::npos) {
+        ++frames;
+        ++at;
+    }
+    EXPECT_EQ(frames, 100u);
+    EXPECT_EQ(got.compare(0, 6, "row-0\n"), 0);
+    c.fd = -1;
+}
+
+TEST(Conn, BackpressureBuffersAndDrains)
+{
+    Pair p;
+    Conn c;
+    c.fd = p.a;
+    // Queue far more than the socketpair buffer holds; flushOut
+    // must take what fits, keep the rest, and raise wantWrite.
+    std::string big(64 * 1024, 'y');
+    for (int i = 0; i < 64; ++i)
+        c.queueLine(big);
+    ASSERT_TRUE(c.flushOut());
+    EXPECT_TRUE(c.wantWrite);
+    EXPECT_GT(c.pendingOut(), 0u);
+
+    // Drain the peer side in parallel with repeated flushes.
+    std::thread drainer([&] {
+        char buf[65536];
+        std::size_t total = 0,
+                    want = 64 * (big.size() + 1);
+        while (total < want) {
+            ssize_t n = ::recv(p.b, buf, sizeof(buf), 0);
+            if (n > 0)
+                total += static_cast<std::size_t>(n);
+            else
+                std::this_thread::yield();
+        }
+    });
+    while (c.pendingOut() > 0 && !c.dead) {
+        ASSERT_TRUE(c.flushOut());
+        std::this_thread::yield();
+    }
+    drainer.join();
+    EXPECT_FALSE(c.dead);
+    EXPECT_FALSE(c.wantWrite);
+    c.fd = -1;
+}
+
+TEST(Poller, ReadableEventCarriesTag)
+{
+    Pair p;
+    Poller poller;
+    ASSERT_TRUE(poller.valid());
+    int tagValue = 42;
+    ASSERT_TRUE(poller.add(p.a, &tagValue));
+
+    std::vector<Poller::Event> events;
+    ASSERT_TRUE(poller.wait(0, events));
+    EXPECT_TRUE(events.empty()); // idle: nothing fires
+
+    ASSERT_EQ(::send(p.b, "x\n", 2, 0), 2);
+    ASSERT_TRUE(poller.wait(1000, events));
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].tag, &tagValue);
+    EXPECT_TRUE(events[0].readable);
+    poller.del(p.a);
+}
+
+TEST(Poller, ModTogglesWriteInterest)
+{
+    Pair p;
+    Poller poller;
+    int tag = 1;
+    ASSERT_TRUE(poller.add(p.a, &tag, false));
+    std::vector<Poller::Event> events;
+    // A writable socket with EPOLLOUT armed fires immediately.
+    ASSERT_TRUE(poller.mod(p.a, &tag, true));
+    ASSERT_TRUE(poller.wait(1000, events));
+    bool sawWrite = false;
+    for (const auto &e : events)
+        sawWrite = sawWrite || e.writable;
+    EXPECT_TRUE(sawWrite);
+    // Disarmed again: idle.
+    ASSERT_TRUE(poller.mod(p.a, &tag, false));
+    ASSERT_TRUE(poller.wait(0, events));
+    EXPECT_TRUE(events.empty());
+    poller.del(p.a);
+}
+
+TEST(Poller, HangupSurfaces)
+{
+    Pair p;
+    Poller poller;
+    int tag = 7;
+    ASSERT_TRUE(poller.add(p.a, &tag));
+    ::close(p.b);
+    p.b = -1;
+    std::vector<Poller::Event> events;
+    ASSERT_TRUE(poller.wait(1000, events));
+    ASSERT_FALSE(events.empty());
+    EXPECT_EQ(events[0].tag, &tag);
+    EXPECT_TRUE(events[0].hangup || events[0].readable);
+    poller.del(p.a);
+}
+
+TEST(Poller, WakeInterruptsBlockedWait)
+{
+    Poller poller;
+    std::thread waker([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        poller.wake();
+    });
+    std::vector<Poller::Event> events;
+    auto t0 = std::chrono::steady_clock::now();
+    // Without the wake this blocks the full 10 s.
+    ASSERT_TRUE(poller.wait(10000, events));
+    auto elapsed = std::chrono::steady_clock::now() - t0;
+    EXPECT_LT(elapsed, std::chrono::seconds(5));
+    // The wake eventfd is serviced internally, never surfaced.
+    for (const auto &e : events)
+        EXPECT_NE(e.tag, nullptr);
+    waker.join();
+}
+
+} // namespace
+} // namespace tw

@@ -1,0 +1,353 @@
+/**
+ * @file
+ * End-to-end router tests: three in-process twserved workers behind
+ * one Router, all over real unix sockets. Pins the distribution
+ * contract — pooled results bit-identical to single-node AND in seq
+ * order, resubmission served entirely from shard-local caches,
+ * all-or-nothing admission across shards, typed failure when a
+ * shard dies mid-request, graceful drain. The whole file runs under
+ * the TSan leg in check.sh.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "harness/specio.hh"
+#include "harness/trials.hh"
+#include "serve/client.hh"
+#include "serve/server.hh"
+#include "serve/shard/router.hh"
+
+namespace tw
+{
+namespace
+{
+
+using serve::Client;
+using serve::ExperimentResult;
+using serve::Router;
+using serve::RouterConfig;
+using serve::Server;
+using serve::ServerConfig;
+using serve::SweepResult;
+
+RunSpec
+smallSpec(unsigned cache_bytes = 2048)
+{
+    RunSpec spec;
+    spec.workload = makeWorkload("espresso", 4000);
+    spec.sim = SimKind::Tapeworm;
+    spec.tw.cache = CacheConfig::icache(cache_bytes);
+    return spec;
+}
+
+std::string
+freshPath(const char *tag)
+{
+    static std::atomic<unsigned> counter{0};
+    return "/tmp/tw_router_test_" + std::to_string(::getpid()) + "_"
+           + tag + std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+/** A pool of N in-process workers plus a router fronting them. */
+struct Pool
+{
+    std::vector<std::unique_ptr<Server>> workers;
+    std::vector<std::string> workerPaths;
+    std::unique_ptr<Router> router;
+    std::string routerPath;
+
+    explicit Pool(unsigned n, std::size_t queue_capacity = 64,
+                  unsigned health_interval_ms = 100)
+    {
+        for (unsigned i = 0; i < n; ++i) {
+            ServerConfig cfg;
+            cfg.socketPath = freshPath("w");
+            cfg.workers = 2;
+            cfg.queueCapacity = queue_capacity;
+            cfg.cacheCapacity = 256;
+            workerPaths.push_back(cfg.socketPath);
+            workers.push_back(std::make_unique<Server>(cfg));
+            std::string err;
+            EXPECT_TRUE(workers.back()->start(&err)) << err;
+        }
+        RouterConfig rcfg;
+        rcfg.socketPath = routerPath = freshPath("r");
+        rcfg.shards = workerPaths;
+        rcfg.healthIntervalMs = health_interval_ms;
+        router = std::make_unique<Router>(rcfg);
+        std::string err;
+        EXPECT_TRUE(router->start(&err)) << err;
+        // Worker links come up on the first tick; wait for all.
+        for (int spins = 0;
+             router->upShardCount() < n && spins < 200; ++spins)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(10));
+        EXPECT_EQ(router->upShardCount(), n);
+    }
+
+    ~Pool()
+    {
+        if (router)
+            router->stop();
+        for (auto &w : workers)
+            w->stop();
+    }
+};
+
+TEST(Router, PooledSweepBitIdenticalAndSeqOrdered)
+{
+    Runner::clearBaselineCache();
+    Pool pool(3);
+
+    RunSpec spec = smallSpec();
+    std::vector<std::uint64_t> seeds;
+    for (unsigned t = 0; t < 6; ++t)
+        seeds.push_back(mixSeed(1, 1000 + t));
+
+    Client client;
+    std::string err;
+    ASSERT_TRUE(client.connectUnix(pool.routerPath, &err)) << err;
+    SweepResult res = client.submitSweep(spec, seeds, true);
+    ASSERT_TRUE(res.ok) << res.errorCode << " " << res.errorMsg;
+    ASSERT_EQ(res.rows.size(), seeds.size());
+    EXPECT_EQ(res.computed, seeds.size());
+    EXPECT_EQ(res.cached, 0u);
+
+    // The streaming merge delivers rows in trial order — stronger
+    // than the single node's completion order.
+    for (std::size_t i = 0; i < res.rows.size(); ++i)
+        EXPECT_EQ(res.rows[i].trial, i) << "merge out of order";
+
+    // Bit-identical to direct computation, trial by trial.
+    std::vector<RunOutcome> served = res.outcomes();
+    for (std::size_t t = 0; t < seeds.size(); ++t) {
+        RunOutcome direct = Runner::runWithSlowdown(spec, seeds[t]);
+        EXPECT_EQ(formatRunOutcome(served[t]),
+                  formatRunOutcome(direct))
+            << "trial " << t;
+    }
+}
+
+TEST(Router, ResubmitServedEntirelyFromShardCaches)
+{
+    Pool pool(3);
+    RunSpec spec = smallSpec(4096);
+    std::vector<std::uint64_t> seeds = {101, 202, 303, 404, 505};
+
+    Client client;
+    std::string err;
+    ASSERT_TRUE(client.connectUnix(pool.routerPath, &err)) << err;
+    SweepResult first = client.submitSweep(spec, seeds, true);
+    ASSERT_TRUE(first.ok) << first.errorMsg;
+    EXPECT_EQ(first.computed, seeds.size());
+
+    SweepResult second = client.submitSweep(spec, seeds, true);
+    ASSERT_TRUE(second.ok) << second.errorMsg;
+    EXPECT_EQ(second.cached, seeds.size());
+    EXPECT_EQ(second.computed, 0u);
+    for (const serve::SweepRow &r : second.rows)
+        EXPECT_TRUE(r.cached);
+
+    ASSERT_EQ(first.rows.size(), second.rows.size());
+    for (std::size_t i = 0; i < first.rows.size(); ++i)
+        EXPECT_EQ(formatRunOutcome(first.rows[i].outcome),
+                  formatRunOutcome(second.rows[i].outcome));
+}
+
+TEST(Router, ExperimentMatchesSingleNodeRowForRow)
+{
+    Pool pool(3);
+
+    // A standalone single node computes the reference.
+    ServerConfig scfg;
+    scfg.socketPath = freshPath("single");
+    scfg.workers = 2;
+    scfg.queueCapacity = 64;
+    scfg.cacheCapacity = 256;
+    Server single(scfg);
+    std::string err;
+    ASSERT_TRUE(single.start(&err)) << err;
+
+    Client pooled, direct;
+    ASSERT_TRUE(pooled.connectUnix(pool.routerPath, &err)) << err;
+    ASSERT_TRUE(direct.connectUnix(scfg.socketPath, &err)) << err;
+
+    ExperimentResult a = pooled.runExperiment("smoke", 4000);
+    ExperimentResult b = direct.runExperiment("smoke", 4000);
+    ASSERT_TRUE(a.ok) << a.errorCode << " " << a.errorMsg;
+    ASSERT_TRUE(b.ok) << b.errorMsg;
+    ASSERT_EQ(a.rows.size(), b.rows.size());
+    for (std::size_t i = 0; i < a.rows.size(); ++i) {
+        EXPECT_EQ(a.rows[i].seq, b.rows[i].seq);
+        EXPECT_EQ(a.rows[i].unit, b.rows[i].unit);
+        EXPECT_EQ(a.rows[i].seed, b.rows[i].seed);
+        EXPECT_EQ(formatRunOutcome(a.rows[i].outcome),
+                  formatRunOutcome(b.rows[i].outcome));
+    }
+    single.stop();
+}
+
+TEST(Router, OverloadIsAllOrNothingAcrossShards)
+{
+    // Tiny per-worker queues: a sweep bigger than the POOL can
+    // admit must reject atomically — no shard keeps its share.
+    Pool pool(3, /*queue_capacity=*/2);
+    RunSpec spec = smallSpec(8192);
+    std::vector<std::uint64_t> seeds;
+    for (unsigned t = 0; t < 24; ++t)
+        seeds.push_back(900 + t);
+
+    Client client;
+    std::string err;
+    ASSERT_TRUE(client.connectUnix(pool.routerPath, &err)) << err;
+    SweepResult res = client.submitSweep(spec, seeds, true);
+    ASSERT_FALSE(res.ok);
+    EXPECT_EQ(res.errorCode, serve::kErrOverloaded);
+
+    // Nothing ran anywhere: a per-trial resubmit computes every
+    // row fresh (any shard that had executed its share would
+    // answer from cache).
+    std::uint64_t cachedTotal = 0;
+    for (std::uint64_t s : seeds) {
+        SweepResult one = client.submitSweep(spec, {s}, true);
+        ASSERT_TRUE(one.ok) << one.errorMsg;
+        cachedTotal += one.cached;
+    }
+    EXPECT_EQ(cachedTotal, 0u) << "a shard ran part of a rejected "
+                                  "sweep";
+}
+
+TEST(Router, DeadShardFailsRequestWithTypedError)
+{
+    // Health interval long enough that the router still believes
+    // the worker is up when the request arrives: this exercises the
+    // in-flight failure path (link EOF mid-op), not the health-check
+    // remap.
+    Pool pool(3, 64, /*health_interval_ms=*/60000);
+
+    // Kill one worker abruptly (stop() completes its drain, then
+    // its socket goes away).
+    pool.workers[1]->stop();
+
+    RunSpec spec = smallSpec(16384);
+    std::vector<std::uint64_t> seeds;
+    for (unsigned t = 0; t < 12; ++t)
+        seeds.push_back(7000 + t);
+
+    Client client;
+    std::string err;
+    ASSERT_TRUE(client.connectUnix(pool.routerPath, &err)) << err;
+    SweepResult res = client.submitSweep(spec, seeds, true);
+    // Either every trial happened to land on the two survivors
+    // (possible but unlikely with 12 seeds) or the request failed
+    // with the typed shard error — never a hang, never a garbled
+    // partial success.
+    if (!res.ok) {
+        EXPECT_TRUE(res.errorCode == serve::kErrShardFailed
+                    || res.errorCode == serve::kErrShuttingDown)
+            << res.errorCode;
+    } else {
+        EXPECT_EQ(res.rows.size(), seeds.size());
+    }
+
+    // The router cut the dead link; a retry remaps onto survivors
+    // and completes.
+    for (int spins = 0;
+         pool.router->upShardCount() > 2 && spins < 100; ++spins)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    SweepResult retry = client.submitSweep(spec, seeds, true);
+    ASSERT_TRUE(retry.ok) << retry.errorCode << " "
+                          << retry.errorMsg;
+    EXPECT_EQ(retry.rows.size(), seeds.size());
+}
+
+TEST(Router, StatsAggregatesShards)
+{
+    Pool pool(3);
+    RunSpec spec = smallSpec();
+    std::vector<std::uint64_t> seeds = {31, 32, 33, 34};
+
+    Client client;
+    std::string err;
+    ASSERT_TRUE(client.connectUnix(pool.routerPath, &err)) << err;
+    SweepResult warm = client.submitSweep(spec, seeds, true);
+    ASSERT_TRUE(warm.ok);
+    SweepResult hit = client.submitSweep(spec, seeds, true);
+    ASSERT_TRUE(hit.ok);
+    EXPECT_EQ(hit.cached, seeds.size());
+
+    Json stats;
+    ASSERT_TRUE(client.stats(stats, &err)) << err;
+    const Json *role = stats.find("role");
+    ASSERT_NE(role, nullptr);
+    EXPECT_EQ(role->asString(), "router");
+    // Per-shard stats keyed by worker address.
+    const Json *shards = stats.find("shards");
+    ASSERT_NE(shards, nullptr);
+    ASSERT_TRUE(shards->isObject());
+    EXPECT_EQ(shards->members().size(), 3u);
+
+    // Cross-shard cache aggregation: the pool-wide adhoc hit count
+    // covers the whole resubmitted sweep.
+    const Json *hits = stats.findPath("experiments._adhoc.hits");
+    ASSERT_NE(hits, nullptr);
+    EXPECT_GE(hits->asU64(), seeds.size());
+
+    const Json *up = stats.findPath("router.shards_up");
+    ASSERT_NE(up, nullptr);
+    EXPECT_EQ(up->asU64(), 3u);
+}
+
+TEST(Router, GracefulStopDrainsAndRejectsNewWork)
+{
+    Pool pool(2);
+    Client client;
+    std::string err;
+    ASSERT_TRUE(client.connectUnix(pool.routerPath, &err)) << err;
+    ASSERT_TRUE(client.ping(&err)) << err;
+
+    pool.router->requestStop();
+    pool.router->join();
+
+    // The front door is gone: a fresh connect fails cleanly.
+    Client late;
+    EXPECT_FALSE(late.connectUnix(pool.routerPath, &err));
+
+    // Workers are untouched by the router's drain — they answer
+    // directly.
+    Client w;
+    ASSERT_TRUE(w.connectUnix(pool.workerPaths[0], &err)) << err;
+    EXPECT_TRUE(w.ping(&err)) << err;
+}
+
+TEST(Router, EmptyRingRejectsInsteadOfHanging)
+{
+    // A router whose every worker is down must answer — typed
+    // error — not queue forever.
+    Pool pool(1, 64, 60000);
+    pool.workers[0]->stop();
+    // Give the link EOF a moment to surface.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+    Client client;
+    std::string err;
+    ASSERT_TRUE(client.connectUnix(pool.routerPath, &err)) << err;
+    SweepResult res =
+        client.submitSweep(smallSpec(), {1, 2}, true);
+    ASSERT_FALSE(res.ok);
+    EXPECT_TRUE(res.errorCode == serve::kErrShardFailed
+                || res.errorCode == serve::kErrShuttingDown)
+        << res.errorCode;
+}
+
+} // namespace
+} // namespace tw

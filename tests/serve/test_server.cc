@@ -676,6 +676,345 @@ TEST(Server, StatsCountPerExperimentCacheLookups)
     server.stop();
 }
 
+// ---- The distributed-admission wire ops (reserve / release /
+// run_jobs) the router drives. Raw NDJSON here: these tests pin the
+// worker-side protocol a router of any version must be able to
+// speak.
+
+namespace
+{
+
+/** Send one request, read events until a terminal one; returns all
+ *  parsed events. */
+std::vector<Json>
+roundTrip(int fd, serve::LineReader &reader, const Json &req)
+{
+    EXPECT_TRUE(serve::sendJsonLine(fd, req));
+    std::vector<Json> events;
+    std::string line;
+    while (reader.readLine(line) == serve::LineReader::Status::Line) {
+        Json e;
+        EXPECT_TRUE(Json::parse(line, e, nullptr)) << line;
+        std::string ev = e.find("ev")->asString();
+        events.push_back(std::move(e));
+        if (ev != "row")
+            break; // reserved/ok/done/error are all terminal
+    }
+    return events;
+}
+
+Json
+makeJob(const RunSpec &spec, std::uint64_t seed, std::uint64_t trial)
+{
+    Json j = Json::object();
+    j.set("spec", Json::str(formatRunSpec(spec)));
+    j.set("seed", Json::number(seed));
+    j.set("slowdown", Json::boolean(true));
+    j.set("trial", Json::number(trial));
+    j.set("seq", Json::number(trial));
+    return j;
+}
+
+} // namespace
+
+TEST(Server, ReserveReleaseRoundTripAndIdempotence)
+{
+    std::string path = freshSocketPath("resv");
+    Server server(baseConfig(path));
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+
+    int fd = serve::connectUnixSocket(path, &err);
+    ASSERT_GE(fd, 0) << err;
+    serve::LineReader reader(fd);
+
+    Json req = Json::object();
+    req.set("id", Json::number(std::uint64_t{1}));
+    req.set("op", Json::str("reserve"));
+    req.set("jobs", Json::number(std::uint64_t{4}));
+    auto evs = roundTrip(fd, reader, req);
+    ASSERT_EQ(evs.size(), 1u);
+    EXPECT_EQ(evs[0].find("ev")->asString(), "reserved");
+    EXPECT_EQ(evs[0].find("jobs")->asU64(), 4u);
+    std::uint64_t token = evs[0].find("reservation")->asU64();
+    EXPECT_GT(token, 0u);
+
+    Json rel = Json::object();
+    rel.set("id", Json::number(std::uint64_t{2}));
+    rel.set("op", Json::str("release"));
+    rel.set("reservation", Json::number(token));
+    evs = roundTrip(fd, reader, rel);
+    ASSERT_EQ(evs.size(), 1u);
+    EXPECT_EQ(evs[0].find("ev")->asString(), "ok");
+    EXPECT_EQ(evs[0].find("released")->asU64(), 4u);
+
+    // Releasing a settled token is not an error — it releases 0.
+    rel.set("id", Json::number(std::uint64_t{3}));
+    evs = roundTrip(fd, reader, rel);
+    ASSERT_EQ(evs.size(), 1u);
+    EXPECT_EQ(evs[0].find("ev")->asString(), "ok");
+    EXPECT_EQ(evs[0].find("released")->asU64(), 0u);
+
+    ::close(fd);
+    server.stop();
+}
+
+TEST(Server, ReservationHoldsCapacityAgainstOtherAdmission)
+{
+    std::string path = freshSocketPath("resvcap");
+    ServerConfig cfg = baseConfig(path); // queueCapacity = 16
+    Server server(cfg);
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+
+    int fd = serve::connectUnixSocket(path, &err);
+    ASSERT_GE(fd, 0) << err;
+    serve::LineReader reader(fd);
+    Json req = Json::object();
+    req.set("id", Json::number(std::uint64_t{1}));
+    req.set("op", Json::str("reserve"));
+    req.set("jobs",
+            Json::number(std::uint64_t{cfg.queueCapacity}));
+    auto evs = roundTrip(fd, reader, req);
+    ASSERT_EQ(evs[0].find("ev")->asString(), "reserved");
+    std::uint64_t token = evs[0].find("reservation")->asU64();
+
+    // The whole queue is claimed: an ordinary submit is refused.
+    Client other;
+    ASSERT_TRUE(other.connectUnix(path, &err)) << err;
+    SweepResult res = other.submitSweep(smallSpec(), {1}, true);
+    ASSERT_FALSE(res.ok);
+    EXPECT_EQ(res.errorCode, serve::kErrOverloaded);
+
+    // A second overlapping reservation is refused the same way.
+    Json again = Json::object();
+    again.set("id", Json::number(std::uint64_t{2}));
+    again.set("op", Json::str("reserve"));
+    again.set("jobs", Json::number(std::uint64_t{1}));
+    evs = roundTrip(fd, reader, again);
+    EXPECT_EQ(evs[0].find("ev")->asString(), "error");
+    EXPECT_EQ(evs[0].find("code")->asString(),
+              serve::kErrOverloaded);
+
+    // Release and the lane reopens.
+    Json rel = Json::object();
+    rel.set("id", Json::number(std::uint64_t{3}));
+    rel.set("op", Json::str("release"));
+    rel.set("reservation", Json::number(token));
+    roundTrip(fd, reader, rel);
+    res = other.submitSweep(smallSpec(), {1}, true);
+    EXPECT_TRUE(res.ok) << res.errorCode;
+
+    ::close(fd);
+    server.stop();
+}
+
+TEST(Server, RunJobsWithReservationStreamsRowsAndWarmsCache)
+{
+    std::string path = freshSocketPath("runjobs");
+    Server server(baseConfig(path));
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+
+    RunSpec spec = smallSpec();
+    int fd = serve::connectUnixSocket(path, &err);
+    ASSERT_GE(fd, 0) << err;
+    serve::LineReader reader(fd);
+
+    Json resv = Json::object();
+    resv.set("id", Json::number(std::uint64_t{1}));
+    resv.set("op", Json::str("reserve"));
+    resv.set("jobs", Json::number(std::uint64_t{2}));
+    auto evs = roundTrip(fd, reader, resv);
+    std::uint64_t token = evs[0].find("reservation")->asU64();
+
+    Json run = Json::object();
+    run.set("id", Json::number(std::uint64_t{2}));
+    run.set("op", Json::str("run_jobs"));
+    run.set("reservation", Json::number(token));
+    Json jobs = Json::array();
+    jobs.push(makeJob(spec, 41, 0));
+    jobs.push(makeJob(spec, 42, 1));
+    run.set("jobs", jobs);
+    evs = roundTrip(fd, reader, run);
+    ASSERT_EQ(evs.size(), 3u); // 2 rows + done
+    EXPECT_EQ(evs[0].find("ev")->asString(), "row");
+    EXPECT_EQ(evs[1].find("ev")->asString(), "row");
+    EXPECT_EQ(evs[2].find("ev")->asString(), "done");
+    EXPECT_EQ(evs[2].find("computed")->asU64(), 2u);
+
+    // The computed rows went through the SAME cache a plain submit
+    // reads — the shard-local cache-locality contract.
+    Client client;
+    ASSERT_TRUE(client.connectUnix(path, &err)) << err;
+    SweepResult res = client.submitSweep(spec, {41, 42}, true);
+    ASSERT_TRUE(res.ok) << res.errorMsg;
+    EXPECT_EQ(res.cached, 2u);
+    EXPECT_EQ(res.computed, 0u);
+
+    ::close(fd);
+    server.stop();
+}
+
+TEST(Server, RunJobsBatchDefaultSpecSharedAcrossJobs)
+{
+    std::string path = freshSocketPath("runjobsdef");
+    Server server(baseConfig(path));
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+
+    RunSpec spec = smallSpec();
+    int fd = serve::connectUnixSocket(path, &err);
+    ASSERT_GE(fd, 0) << err;
+    serve::LineReader reader(fd);
+
+    // Jobs omit their per-job spec; the batch-level default covers
+    // them. This is the wire shape the router emits for fan-out.
+    Json run = Json::object();
+    run.set("id", Json::number(std::uint64_t{1}));
+    run.set("op", Json::str("run_jobs"));
+    run.set("spec", Json::str(formatRunSpec(spec)));
+    Json jobs = Json::array();
+    for (std::uint64_t t = 0; t < 2; ++t) {
+        Json j = Json::object();
+        j.set("seed", Json::number(std::uint64_t{51 + t}));
+        j.set("slowdown", Json::boolean(true));
+        j.set("trial", Json::number(t));
+        j.set("seq", Json::number(t));
+        jobs.push(std::move(j));
+    }
+    run.set("jobs", jobs);
+    auto evs = roundTrip(fd, reader, run);
+    ASSERT_EQ(evs.size(), 3u) << "2 rows + done";
+    EXPECT_EQ(evs[2].find("ev")->asString(), "done");
+    EXPECT_EQ(evs[2].find("computed")->asU64(), 2u);
+
+    // Cache keys must match what a plain submit of the same sweep
+    // computes — the default-spec path can't change identity.
+    Client client;
+    ASSERT_TRUE(client.connectUnix(path, &err)) << err;
+    SweepResult res = client.submitSweep(spec, {51, 52}, true);
+    ASSERT_TRUE(res.ok) << res.errorMsg;
+    EXPECT_EQ(res.cached, 2u);
+
+    // No per-job spec AND no default: typed bad_request.
+    Json bad = Json::object();
+    bad.set("id", Json::number(std::uint64_t{2}));
+    bad.set("op", Json::str("run_jobs"));
+    Json bj = Json::array();
+    Json j = Json::object();
+    j.set("seed", Json::number(std::uint64_t{53}));
+    bj.push(std::move(j));
+    bad.set("jobs", bj);
+    evs = roundTrip(fd, reader, bad);
+    ASSERT_EQ(evs.size(), 1u);
+    EXPECT_EQ(evs[0].find("ev")->asString(), "error");
+    EXPECT_EQ(evs[0].find("code")->asString(),
+              serve::kErrBadRequest);
+
+    ::close(fd);
+    server.stop();
+}
+
+TEST(Server, RunJobsRejectsUnknownOrOverCommittedReservation)
+{
+    std::string path = freshSocketPath("runbad");
+    Server server(baseConfig(path));
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+
+    RunSpec spec = smallSpec();
+    int fd = serve::connectUnixSocket(path, &err);
+    ASSERT_GE(fd, 0) << err;
+    serve::LineReader reader(fd);
+
+    // Unknown token: typed bad_request, nothing runs.
+    Json run = Json::object();
+    run.set("id", Json::number(std::uint64_t{1}));
+    run.set("op", Json::str("run_jobs"));
+    run.set("reservation", Json::number(std::uint64_t{999999}));
+    Json jobs = Json::array();
+    jobs.push(makeJob(spec, 51, 0));
+    run.set("jobs", jobs);
+    auto evs = roundTrip(fd, reader, run);
+    ASSERT_EQ(evs.size(), 1u);
+    EXPECT_EQ(evs[0].find("ev")->asString(), "error");
+    EXPECT_EQ(evs[0].find("code")->asString(),
+              serve::kErrBadRequest);
+
+    // Committing MORE jobs than were reserved is refused and the
+    // reservation is settled (a broken router must not leak slots).
+    Json resv = Json::object();
+    resv.set("id", Json::number(std::uint64_t{2}));
+    resv.set("op", Json::str("reserve"));
+    resv.set("jobs", Json::number(std::uint64_t{1}));
+    evs = roundTrip(fd, reader, resv);
+    std::uint64_t token = evs[0].find("reservation")->asU64();
+    Json over = Json::object();
+    over.set("id", Json::number(std::uint64_t{3}));
+    over.set("op", Json::str("run_jobs"));
+    over.set("reservation", Json::number(token));
+    Json two = Json::array();
+    two.push(makeJob(spec, 52, 0));
+    two.push(makeJob(spec, 53, 1));
+    over.set("jobs", two);
+    evs = roundTrip(fd, reader, over);
+    ASSERT_EQ(evs.size(), 1u);
+    EXPECT_EQ(evs[0].find("ev")->asString(), "error");
+
+    // All slots are back: the full queue is reservable again.
+    Json all = Json::object();
+    all.set("id", Json::number(std::uint64_t{4}));
+    all.set("op", Json::str("reserve"));
+    all.set("jobs", Json::number(
+                        std::uint64_t{server.config().queueCapacity}));
+    evs = roundTrip(fd, reader, all);
+    EXPECT_EQ(evs[0].find("ev")->asString(), "reserved");
+
+    ::close(fd);
+    server.stop();
+}
+
+TEST(Server, DisconnectReleasesSessionReservations)
+{
+    std::string path = freshSocketPath("resvdrop");
+    ServerConfig cfg = baseConfig(path);
+    Server server(cfg);
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+
+    // Claim the whole queue, then vanish without releasing.
+    int fd = serve::connectUnixSocket(path, &err);
+    ASSERT_GE(fd, 0) << err;
+    {
+        serve::LineReader reader(fd);
+        Json req = Json::object();
+        req.set("id", Json::number(std::uint64_t{1}));
+        req.set("op", Json::str("reserve"));
+        req.set("jobs",
+                Json::number(std::uint64_t{cfg.queueCapacity}));
+        auto evs = roundTrip(fd, reader, req);
+        ASSERT_EQ(evs[0].find("ev")->asString(), "reserved");
+    }
+    ::close(fd);
+
+    // The session reaper returns the slots; a healthy client can
+    // reserve the full queue again shortly after.
+    Client client;
+    ASSERT_TRUE(client.connectUnix(path, &err)) << err;
+    bool reopened = false;
+    for (int spins = 0; spins < 200 && !reopened; ++spins) {
+        SweepResult res = client.submitSweep(smallSpec(), {9}, true);
+        reopened = res.ok;
+        if (!reopened)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(10));
+    }
+    EXPECT_TRUE(reopened)
+        << "disconnected session's reservation never released";
+    server.stop();
+}
+
 TEST(Server, TcpListenerServesToo)
 {
     std::string path = freshSocketPath("tcp");

@@ -20,15 +20,19 @@
  *   twctl --socket /tmp/tw.sock shutdown
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "harness/experiment.hh"
+#include "harness/specio.hh"
 #include "serve/client.hh"
+#include "serve/shard/shard_map.hh"
 #include "tapeworm.hh"
 
 using namespace tw;
@@ -55,7 +59,16 @@ usage()
         "               file (Chrome trace-event JSON); with\n"
         "               --require A,B each name must appear\n"
         "  flush-cache  drop the server's result cache\n"
-        "  ping         check liveness\n"
+        "  ping         check liveness; --retry N --retry-delay-ms "
+        "M\n"
+        "               retries connect+ping until the server (or\n"
+        "               router pool) answers — the startup wait\n"
+        "               primitive the smoke scripts use\n"
+        "  shard-owner  no server: print which pool member owns "
+        "each\n"
+        "               trial of the sweep (--pool A,B,C plus the\n"
+        "               usual sweep flags; --vnodes N to match a\n"
+        "               non-default ring)\n"
         "  shutdown     ask the server to drain and exit\n\n"
         "sweep options (submit and local):\n"
         "  --workload NAME   (default mpeg_play)\n"
@@ -231,6 +244,9 @@ main(int argc, char **argv)
     int tcpPort = 0;
     std::string command, statsPath, traceFile, requireList;
     bool promFormat = false;
+    unsigned pingRetries = 0, pingRetryDelayMs = 100;
+    std::string poolList;
+    unsigned poolVnodes = 0;
 
     std::string workload = "mpeg_play";
     std::uint64_t cacheBytes = 4096, tlbPage = 4096;
@@ -322,6 +338,17 @@ main(int argc, char **argv)
             promFormat = true;
         } else if (arg == "--require") {
             requireList = value();
+        } else if (arg == "--retry") {
+            pingRetries =
+                static_cast<unsigned>(std::atoi(value().c_str()));
+        } else if (arg == "--retry-delay-ms") {
+            pingRetryDelayMs =
+                static_cast<unsigned>(std::atoi(value().c_str()));
+        } else if (arg == "--pool") {
+            poolList = value();
+        } else if (arg == "--vnodes") {
+            poolVnodes =
+                static_cast<unsigned>(std::atoi(value().c_str()));
         } else if (!arg.empty() && arg[0] == '-') {
             usage();
             fatal("unknown option '%s'", arg.c_str());
@@ -492,6 +519,37 @@ main(int argc, char **argv)
         return lintTraceFile(traceFile, requireList);
     }
 
+    // ---- shard-owner: no server involved --------------------------
+    // Predict routing for a pool: build the identical ShardMap the
+    // router builds from the same member strings, fingerprint each
+    // trial the way both the router and the ResultCache do, and
+    // print the owner. Lets an operator (or shard_smoke.sh) verify
+    // placement without standing up a single process.
+    if (command == "shard-owner") {
+        if (poolList.empty())
+            fatal("shard-owner wants --pool A,B,...");
+        std::vector<std::string> members;
+        for (std::size_t at = 0; at < poolList.size();) {
+            std::size_t comma = poolList.find(',', at);
+            if (comma == std::string::npos)
+                comma = poolList.size();
+            if (comma > at)
+                members.push_back(poolList.substr(at, comma - at));
+            at = comma + 1;
+        }
+        ShardMap map(members, poolVnodes ? poolVnodes
+                                         : ShardMap::kDefaultVnodes);
+        for (std::uint64_t s : sweep.seeds) {
+            std::uint64_t fp =
+                specFingerprint(spec, s, sweep.slowdown);
+            std::printf("seed=%llu fingerprint=%016llx owner=%s\n",
+                        (unsigned long long)s,
+                        (unsigned long long)fp,
+                        map.owner(fp).c_str());
+        }
+        return 0;
+    }
+
     // ---- local: no server involved --------------------------------
     if (command == "local") {
         std::vector<RunOutcome> outcomes(sweep.seeds.size());
@@ -502,6 +560,36 @@ main(int argc, char **argv)
                     : Runner::runOne(spec, sweep.seeds[t]);
         printRows(outcomes, {}, sweep.canonical);
         return 0;
+    }
+
+    // ---- ping with retries: the startup-wait primitive ------------
+    // Each attempt is a fresh connect + ping, because a server mid-
+    // startup can accept the connect and still die before replying.
+    // Total attempts = 1 + --retry.
+    if (command == "ping" && pingRetries > 0) {
+        std::string perr;
+        for (unsigned attempt = 0; attempt <= pingRetries;
+             ++attempt) {
+            if (attempt)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(pingRetryDelayMs));
+            Client c;
+            bool connected =
+                !socketPath.empty()
+                    ? c.connectUnix(socketPath, &perr)
+                    : (tcpPort != 0
+                           ? c.connectTcp(tcpHost, tcpPort, &perr)
+                           : (perr = "need --socket or --tcp",
+                              false));
+            if (!connected)
+                continue;
+            if (c.ping(&perr)) {
+                std::printf("pong\n");
+                return 0;
+            }
+        }
+        fatal("ping: no answer after %u attempt(s): %s",
+              pingRetries + 1, perr.c_str());
     }
 
     // ---- Everything else talks to a server ------------------------

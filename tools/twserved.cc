@@ -30,6 +30,7 @@
 #include "base/logging.hh"
 #include "obs/trace.hh"
 #include "serve/server.hh"
+#include "serve/shard/router.hh"
 
 using namespace tw;
 using namespace tw::serve;
@@ -67,6 +68,19 @@ usage()
         "never)\n"
         "  --quiet           no per-request logging\n"
         "  --help            this text\n\n"
+        "router mode (MANUAL.md §10):\n"
+        "  --router          run as the pool's async front door\n"
+        "                    instead of a worker; requires "
+        "--shards\n"
+        "  --shards A,B,...  worker addresses (unix socket paths "
+        "or\n"
+        "                    host:port); the address strings are "
+        "the\n"
+        "                    consistent-hash ring members\n"
+        "  --vnodes N        virtual nodes per shard (default "
+        "64)\n"
+        "  --health-interval MS   worker ping cadence (default "
+        "1000)\n\n"
         "environment:\n"
         "  TW_TRACE=FILE     record request-phase spans; the "
         "Chrome\n"
@@ -86,6 +100,10 @@ main(int argc, char **argv)
     ServerConfig cfg;
     cfg.verbose = true;
     std::size_t baselineCap = 0;
+    bool routerMode = false;
+    std::string shardsArg;
+    unsigned vnodes = 0;
+    unsigned healthIntervalMs = 1000;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -118,6 +136,16 @@ main(int argc, char **argv)
         } else if (arg == "--send-timeout") {
             cfg.sendTimeoutMs =
                 static_cast<unsigned>(std::atoi(value().c_str()));
+        } else if (arg == "--router") {
+            routerMode = true;
+        } else if (arg == "--shards") {
+            shardsArg = value();
+        } else if (arg == "--vnodes") {
+            vnodes =
+                static_cast<unsigned>(std::atoi(value().c_str()));
+        } else if (arg == "--health-interval") {
+            healthIntervalMs =
+                static_cast<unsigned>(std::atoi(value().c_str()));
         } else if (arg == "--quiet") {
             cfg.verbose = false;
         } else {
@@ -149,6 +177,56 @@ main(int argc, char **argv)
     sigaddset(&sigs, SIGINT);
     sigaddset(&sigs, SIGUSR1);
     pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+    if (routerMode) {
+        RouterConfig rcfg;
+        rcfg.socketPath = cfg.socketPath;
+        rcfg.tcpPort = cfg.tcpPort;
+        rcfg.tcpBind = cfg.tcpBind;
+        rcfg.verbose = cfg.verbose;
+        if (vnodes)
+            rcfg.vnodes = vnodes;
+        rcfg.healthIntervalMs = healthIntervalMs;
+        for (std::size_t at = 0; at < shardsArg.size();) {
+            std::size_t comma = shardsArg.find(',', at);
+            if (comma == std::string::npos)
+                comma = shardsArg.size();
+            if (comma > at)
+                rcfg.shards.push_back(
+                    shardsArg.substr(at, comma - at));
+            at = comma + 1;
+        }
+        if (rcfg.shards.empty()) {
+            usage();
+            fatal("--router requires --shards A,B,...");
+        }
+
+        Router router(rcfg);
+        std::string err;
+        if (!router.start(&err))
+            fatal("cannot start router: %s", err.c_str());
+
+        std::thread watcher([&] {
+            while (true) {
+                int sig = 0;
+                if (sigwait(&sigs, &sig) != 0)
+                    continue;
+                if (sig == SIGUSR1)
+                    return;
+                if (cfg.verbose)
+                    std::fprintf(stderr,
+                                 "twserved: %s, draining...\n",
+                                 strsignal(sig));
+                router.requestStop();
+            }
+        });
+
+        router.join();
+        pthread_kill(watcher.native_handle(), SIGUSR1);
+        watcher.join();
+        obs::traceStop();
+        return 0;
+    }
 
     Server server(cfg);
     std::string err;
