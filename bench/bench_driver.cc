@@ -20,6 +20,7 @@
 #include "base/logging.hh"
 #include "base/simd.hh"
 #include "base/thread_pool.hh"
+#include "core/cost/cost_backend.hh"
 #include "harness/experiment.hh"
 #include "obs/trace.hh"
 
@@ -56,6 +57,9 @@ usage(std::FILE *out)
                  "  --sample         representative-interval "
                  "sampling on eligible units (equivalent to "
                  "TW_SAMPLE=1; TW_SAMPLE_* tune it)\n"
+                 "  --cost-backend <b>  miss-cost backend for every "
+                 "unit: table5, ideal, or dram[:k=v,...] "
+                 "(equivalent to TW_COST_BACKEND=<b>)\n"
                  "  --ci-target <r>  stop each unit's trials once "
                  "the relative CI half-width reaches <r> "
                  "(equivalent to TW_CI_TARGET=<r>)\n"
@@ -124,6 +128,17 @@ main(int argc, char **argv)
             setenv("TW_SAMPLE", "1", 1);
         } else if (std::strcmp(arg, "--ci-target") == 0) {
             setenv("TW_CI_TARGET", value(i, "--ci-target"), 1);
+        } else if (std::strcmp(arg, "--cost-backend") == 0) {
+            // Validate eagerly (a typo should die here, not after
+            // the workload warms up), then hand the spec to the
+            // grids through the same environment knob scripts use.
+            const char *val = value(i, "--cost-backend");
+            CostBackendConfig cfg;
+            std::string err;
+            if (!parseCostBackendSpec(val, cfg, err))
+                fatal("bench_driver: --cost-backend: %s",
+                      err.c_str());
+            setenv("TW_COST_BACKEND", val, 1);
         } else if (std::strcmp(arg, "--trace-out") == 0) {
             trace_path = value(i, "--trace-out");
         } else if (std::strcmp(arg, "--help") == 0

@@ -56,7 +56,28 @@ paperMillions(double misses, unsigned scale_div)
     return misses * static_cast<double>(scale_div) / 1.0e6;
 }
 
-/** Default experiment spec: Tapeworm, all activity, 4 KB DM cache. */
+/**
+ * TW_COST_BACKEND (set by `bench_driver --cost-backend`): the
+ * miss-cost backend every grid spec uses, NAME[:k=v,...]. Unset or
+ * empty keeps the table5 default (and the default spec bytes).
+ * Fatal on a malformed value — a typo must not silently run the
+ * default backend.
+ */
+inline CostBackendConfig
+costBackendFromEnv()
+{
+    CostBackendConfig cfg;
+    if (const char *env = std::getenv("TW_COST_BACKEND")) {
+        std::string err;
+        if (*env && !parseCostBackendSpec(env, cfg, err))
+            fatal("TW_COST_BACKEND: %s", err.c_str());
+    }
+    return cfg;
+}
+
+/** Default experiment spec: Tapeworm, all activity, 4 KB DM cache.
+ *  TW_COST_BACKEND applies here, so every registered experiment can
+ *  re-run under a different pricing model. */
 inline RunSpec
 defaultSpec(const std::string &workload, unsigned scale_div)
 {
@@ -65,6 +86,8 @@ defaultSpec(const std::string &workload, unsigned scale_div)
     spec.sys.scope = SimScope::all();
     spec.sim = SimKind::Tapeworm;
     spec.tw.cache = CacheConfig::icache(4096);
+    spec.tw.costBackend = costBackendFromEnv();
+    spec.tlb.costBackend = spec.tw.costBackend;
     return spec;
 }
 

@@ -54,6 +54,8 @@ usage()
         "instruction)\n"
         "  --scope SCOPE     all|user|servers|kernel (default all)\n"
         "  --sample N        simulate 1/N of the sets (default 1)\n"
+        "  --cost-backend B  miss pricing: table5|ideal|\n"
+        "                    dram[:k=v,...] (default table5)\n"
         "  --trials N        experimental trials (default 1)\n"
         "  --threads N       trial-dispatch workers (default: \n"
         "                    TW_THREADS, else hardware threads;\n"
@@ -102,6 +104,7 @@ main(int argc, char **argv)
                 scope = "all";
     std::string experiment;
     std::string tracePath;
+    CostBackendConfig costBackend;
     bool scaleSet = false;
     bool csv = false;
 
@@ -150,6 +153,10 @@ main(int argc, char **argv)
             scope = value();
         } else if (arg == "--sample") {
             sample = static_cast<unsigned>(std::atoi(value().c_str()));
+        } else if (arg == "--cost-backend") {
+            std::string v = value(), err;
+            if (!parseCostBackendSpec(v, costBackend, err))
+                fatal("--cost-backend: %s", err.c_str());
         } else if (arg == "--trials") {
             trials =
                 static_cast<unsigned>(std::atoi(value().c_str()));
@@ -201,6 +208,8 @@ main(int argc, char **argv)
     spec.workload = makeWorkload(workload, scale);
     spec.tw.cache = CacheConfig::icache(cache_bytes, line, assoc,
                                         indexing);
+    spec.tw.costBackend = costBackend;
+    spec.tlb.costBackend = costBackend;
     if (policy == "fifo")
         spec.tw.cache.policy = ReplPolicy::FIFO;
     else if (policy == "random")

@@ -29,7 +29,7 @@ TW_NO_SIMD=1 ctest --test-dir build --output-on-failure -j"$(nproc)"
 # streams/filters must stay data-race-free under parallel trials.
 cmake -B build-tsan -G Ninja -DTW_SANITIZE=thread
 cmake --build build-tsan --target test_harness test_base \
-    test_integration test_serve test_obs test_shard
+    test_integration test_serve test_obs test_shard test_core
 TW_THREADS=4 ./build-tsan/tests/test_harness \
     --gtest_filter='ParallelTrials.*'
 # Adaptive stopping batches trials through the same pool and then
@@ -46,6 +46,13 @@ TW_THREADS=4 ./build-tsan/tests/test_base \
 TW_THREADS=4 ./build-tsan/tests/test_base \
     --gtest_filter='Simd*.*:Arena*.*'
 ./build-tsan/tests/test_integration --gtest_filter='FastPath.*'
+# The cost-backend layer: stateful dram backends are per-trial
+# instances flushed into the obs registry from destructors — prove
+# the closed-form suite and the dram parallel-trial determinism
+# race-free (death tests stay out; they fork under TSan).
+./build-tsan/tests/test_core --gtest_filter='CostBackend.*'
+TW_THREADS=4 ./build-tsan/tests/test_harness \
+    --gtest_filter='ParallelTrials.BitIdenticalAcrossThreadCountsDramBackend'
 # The experiment service is concurrency all the way down: MPMC
 # queue, shared result cache, per-session writer locks, drain
 # ordering. Run the whole serve suite under TSan.
@@ -81,6 +88,13 @@ TW_THREADS=2 ./build-tsan/tests/test_shard
 # full run while replaying >=10x fewer refs; TW_CI_TARGET turns
 # table8 adaptive and the trial count actually drops.
 ./scripts/sample_smoke.sh
+
+# Cost-backend smoke: default-pricing goldens stay byte-identical,
+# the dram_dilation sweep reports live row-hit/row-conflict tallies
+# and a dilation measurably off the flat table5 model, malformed
+# --cost-backend/TW_COST_BACKEND specs die fast, and the ideal
+# backend prices the same run cheaper.
+./scripts/cost_smoke.sh
 
 # Experiment-registry smoke: the driver must list the catalogue, and
 # every migrated experiment's masked output must still match the

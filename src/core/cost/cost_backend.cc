@@ -1,0 +1,256 @@
+#include "core/cost/cost_backend.hh"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "base/logging.hh"
+#include "core/cost/dram_backend.hh"
+#include "obs/metrics.hh"
+
+namespace tw
+{
+
+const char *
+costBackendKindName(CostBackendKind k)
+{
+    switch (k) {
+      case CostBackendKind::Table5:
+        return "table5";
+      case CostBackendKind::Ideal:
+        return "ideal";
+      case CostBackendKind::Dram:
+        return "dram";
+    }
+    return "?";
+}
+
+bool
+costBackendKindFromName(const std::string &name, CostBackendKind &out)
+{
+    if (name == "table5")
+        out = CostBackendKind::Table5;
+    else if (name == "ideal")
+        out = CostBackendKind::Ideal;
+    else if (name == "dram")
+        out = CostBackendKind::Dram;
+    else
+        return false;
+    return true;
+}
+
+CostBackend::~CostBackend()
+{
+    static obs::Counter events =
+        obs::registry().counter("engine.cost.events");
+    static obs::Counter cycles =
+        obs::registry().counter("engine.cost.cycles");
+    events.add(events_);
+    cycles.add(cycles_);
+}
+
+Cycles
+Table5Backend::compute(const MissEvent &ev)
+{
+    if (ev.kind == MissKind::Tlb)
+        return model_.tlbMissCycles;
+    std::uint64_t key = (static_cast<std::uint64_t>(ev.assoc) << 40)
+                        | (static_cast<std::uint64_t>(
+                               ev.granulesPerLine)
+                           << 20)
+                        | ev.extraInstr;
+    if (key == lastKey_)
+        return lastCycles_;
+    lastKey_ = key;
+    lastCycles_ = static_cast<Cycles>(std::llround(
+        (model_.missInstructions(ev.assoc, ev.granulesPerLine)
+         + ev.extraInstr)
+        * model_.cyclesPerInstr));
+    return lastCycles_;
+}
+
+bool
+DramTimingParams::operator==(const DramTimingParams &o) const
+{
+    return channels == o.channels
+           && ranksPerChannel == o.ranksPerChannel
+           && banksPerRank == o.banksPerRank && rowBytes == o.rowBytes
+           && tRCD == o.tRCD && tRP == o.tRP && tCAS == o.tCAS
+           && tRAS == o.tRAS && tRFC == o.tRFC && tREFI == o.tREFI
+           && burstCycles == o.burstCycles && walkReads == o.walkReads;
+}
+
+bool
+CostBackendConfig::operator==(const CostBackendConfig &o) const
+{
+    if (kind != o.kind)
+        return false;
+    // Dram params only participate when they are live; table5/ideal
+    // configs with stale dram edits still compare (and serialize)
+    // equal.
+    if (kind == CostBackendKind::Dram)
+        return dram == o.dram;
+    return true;
+}
+
+std::unique_ptr<CostBackend>
+makeCostBackend(const CostBackendConfig &cfg,
+                const TrapCostModel &table5)
+{
+    switch (cfg.kind) {
+      case CostBackendKind::Table5:
+        return std::make_unique<Table5Backend>(table5, "table5");
+      case CostBackendKind::Ideal: {
+        TrapCostModel ideal = TrapCostModel::idealHardware();
+        ideal.tlbMissCycles = table5.tlbMissCycles;
+        return std::make_unique<Table5Backend>(ideal, "ideal");
+      }
+      case CostBackendKind::Dram:
+        return std::make_unique<DramBackend>(cfg.dram, table5);
+    }
+    panic("unknown cost backend kind %d", static_cast<int>(cfg.kind));
+}
+
+namespace
+{
+
+bool
+parseDramParam(const std::string &key, const std::string &value,
+               DramTimingParams &p, std::string &err)
+{
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+    if (value.empty() || end == nullptr || *end != '\0') {
+        err = csprintf("cost backend: bad value '%s' for '%s'",
+                       value.c_str(), key.c_str());
+        return false;
+    }
+    if (key == "tRCD")
+        p.tRCD = static_cast<unsigned>(v);
+    else if (key == "tRP")
+        p.tRP = static_cast<unsigned>(v);
+    else if (key == "tCAS")
+        p.tCAS = static_cast<unsigned>(v);
+    else if (key == "tRAS")
+        p.tRAS = static_cast<unsigned>(v);
+    else if (key == "tRFC")
+        p.tRFC = static_cast<unsigned>(v);
+    else if (key == "tREFI")
+        p.tREFI = v;
+    else if (key == "rowBytes")
+        p.rowBytes = static_cast<unsigned>(v);
+    else if (key == "banks")
+        p.banksPerRank = static_cast<unsigned>(v);
+    else if (key == "ranks")
+        p.ranksPerChannel = static_cast<unsigned>(v);
+    else if (key == "channels")
+        p.channels = static_cast<unsigned>(v);
+    else if (key == "burst")
+        p.burstCycles = static_cast<unsigned>(v);
+    else if (key == "walkReads")
+        p.walkReads = static_cast<unsigned>(v);
+    else {
+        err = csprintf("cost backend: unknown dram key '%s'",
+                       key.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+parseCostBackendSpec(const std::string &text, CostBackendConfig &out,
+                     std::string &err)
+{
+    std::string name = text;
+    std::string params;
+    auto colon = text.find(':');
+    if (colon != std::string::npos) {
+        name = text.substr(0, colon);
+        params = text.substr(colon + 1);
+    }
+    CostBackendConfig cfg;
+    if (!costBackendKindFromName(name, cfg.kind)) {
+        err = csprintf("cost backend: unknown name '%s' (expected "
+                       "table5, ideal or dram)",
+                       name.c_str());
+        return false;
+    }
+    if (!params.empty() && cfg.kind != CostBackendKind::Dram) {
+        err = csprintf("cost backend: '%s' takes no parameters",
+                       name.c_str());
+        return false;
+    }
+    std::size_t pos = 0;
+    while (pos < params.size()) {
+        auto comma = params.find(',', pos);
+        if (comma == std::string::npos)
+            comma = params.size();
+        std::string kv = params.substr(pos, comma - pos);
+        pos = comma + 1;
+        auto eq = kv.find('=');
+        if (eq == std::string::npos) {
+            err = csprintf("cost backend: expected k=v, got '%s'",
+                           kv.c_str());
+            return false;
+        }
+        if (!parseDramParam(kv.substr(0, eq), kv.substr(eq + 1),
+                            cfg.dram, err))
+            return false;
+    }
+    if (cfg.kind == CostBackendKind::Dram) {
+        if (cfg.dram.totalBanks() == 0 || cfg.dram.rowBytes == 0) {
+            err = "cost backend: dram needs at least one bank and a "
+                  "non-zero row size";
+            return false;
+        }
+    }
+    out = cfg;
+    return true;
+}
+
+std::string
+formatCostBackendSpec(const CostBackendConfig &cfg)
+{
+    std::string s = costBackendKindName(cfg.kind);
+    if (cfg.kind != CostBackendKind::Dram)
+        return s;
+    const DramTimingParams def;
+    const DramTimingParams &p = cfg.dram;
+    std::string params;
+    auto add = [&params](const char *k, std::uint64_t v) {
+        if (!params.empty())
+            params += ',';
+        params += csprintf("%s=%llu", k,
+                           static_cast<unsigned long long>(v));
+    };
+    if (p.tRCD != def.tRCD)
+        add("tRCD", p.tRCD);
+    if (p.tRP != def.tRP)
+        add("tRP", p.tRP);
+    if (p.tCAS != def.tCAS)
+        add("tCAS", p.tCAS);
+    if (p.tRAS != def.tRAS)
+        add("tRAS", p.tRAS);
+    if (p.tRFC != def.tRFC)
+        add("tRFC", p.tRFC);
+    if (p.tREFI != def.tREFI)
+        add("tREFI", p.tREFI);
+    if (p.rowBytes != def.rowBytes)
+        add("rowBytes", p.rowBytes);
+    if (p.banksPerRank != def.banksPerRank)
+        add("banks", p.banksPerRank);
+    if (p.ranksPerChannel != def.ranksPerChannel)
+        add("ranks", p.ranksPerChannel);
+    if (p.channels != def.channels)
+        add("channels", p.channels);
+    if (p.burstCycles != def.burstCycles)
+        add("burst", p.burstCycles);
+    if (p.walkReads != def.walkReads)
+        add("walkReads", p.walkReads);
+    if (!params.empty())
+        s += ':' + params;
+    return s;
+}
+
+} // namespace tw

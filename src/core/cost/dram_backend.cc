@@ -1,0 +1,134 @@
+#include "core/cost/dram_backend.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/bitops.hh"
+#include "base/logging.hh"
+#include "obs/metrics.hh"
+
+namespace tw
+{
+
+namespace
+{
+
+/** Page-table reads live well away from workload rows. */
+constexpr Addr kWalkBase = Addr(1) << 32;
+
+} // namespace
+
+DramBackend::DramBackend(const DramTimingParams &params,
+                         const TrapCostModel &handler)
+    : params_(params), handler_(handler)
+{
+    TW_ASSERT(params_.totalBanks() > 0 && params_.rowBytes > 0,
+              "dram backend needs banks and a row size");
+    banks_.assign(params_.totalBanks(), Bank{});
+    rankRefreshEpoch_.assign(params_.channels * params_.ranksPerChannel,
+                             0);
+}
+
+DramBackend::~DramBackend()
+{
+    static obs::Counter hits =
+        obs::registry().counter("engine.cost.row_hits");
+    static obs::Counter conflicts =
+        obs::registry().counter("engine.cost.row_conflicts");
+    static obs::Counter refreshes =
+        obs::registry().counter("engine.cost.refreshes");
+    hits.add(stats_.rowHits);
+    conflicts.add(stats_.rowConflicts);
+    refreshes.add(stats_.refreshes);
+}
+
+void
+DramBackend::reset()
+{
+    CostBackend::reset();
+    std::fill(banks_.begin(), banks_.end(), Bank{});
+    std::fill(rankRefreshEpoch_.begin(), rankRefreshEpoch_.end(), 0);
+    stats_ = DramStats{};
+}
+
+std::unique_ptr<CostBackend>
+DramBackend::clone() const
+{
+    return std::make_unique<DramBackend>(params_, handler_);
+}
+
+Cycles
+DramBackend::access(Addr pa, Cycles now)
+{
+    std::uint64_t line = pa / params_.rowBytes;
+    std::uint64_t bank_idx = line % banks_.size();
+    std::uint64_t row = line / banks_.size();
+    std::uint64_t rank = bank_idx / params_.banksPerRank;
+    Bank &bank = banks_[bank_idx];
+
+    Cycles start = std::max(now, bank.busyUntil);
+
+    if (params_.tREFI != 0) {
+        Cycles epoch = start / params_.tREFI;
+        if (epoch > rankRefreshEpoch_[rank]) {
+            // All-bank refresh: the rank stalls for tRFC and every
+            // row buffer closes.
+            rankRefreshEpoch_[rank] = epoch;
+            start += params_.tRFC;
+            ++stats_.refreshes;
+            std::uint64_t first = rank * params_.banksPerRank;
+            for (std::uint64_t b = first;
+                 b < first + params_.banksPerRank; ++b)
+                banks_[b].rowOpen = false;
+        }
+    }
+
+    Cycles ready;
+    if (!bank.rowOpen) {
+        bank.lastActivate = start;
+        ready = start + params_.tRCD + params_.tCAS;
+    } else if (bank.openRow == row) {
+        ++stats_.rowHits;
+        ready = start + params_.tCAS;
+    } else {
+        // Conflict: precharge cannot begin before the open row has
+        // been active for tRAS.
+        ++stats_.rowConflicts;
+        Cycles pre =
+            std::max(start, bank.lastActivate + params_.tRAS);
+        bank.lastActivate = pre + params_.tRP;
+        ready = bank.lastActivate + params_.tRCD + params_.tCAS;
+    }
+    bank.rowOpen = true;
+    bank.openRow = row;
+    bank.busyUntil = ready + params_.burstCycles;
+    return bank.busyUntil;
+}
+
+Cycles
+DramBackend::compute(const MissEvent &ev)
+{
+    if (ev.kind == MissKind::Tlb) {
+        // Software refill handler plus a dependent page-table walk
+        // through the bank state (walkReads levels, each indexed by
+        // a different VPN slice).
+        Cycles t = ev.now;
+        for (unsigned i = 0; i < params_.walkReads; ++i) {
+            Addr pte = kWalkBase
+                       + (((ev.pa / kHostPageBytes) >> (10 * i)) << 3);
+            t = access(pte, t);
+        }
+        return handler_.tlbMissCycles + (t - ev.now);
+    }
+
+    Cycles handler_cost = static_cast<Cycles>(std::llround(
+        (handler_.missInstructions(ev.assoc, ev.granulesPerLine)
+         + ev.extraInstr)
+        * handler_.cyclesPerInstr));
+    if (ev.kind == MissKind::L2Hit)
+        return handler_cost; // serviced from the software L2: no DRAM
+    Cycles done = access(ev.pa, ev.now);
+    return handler_cost + (done - ev.now);
+}
+
+} // namespace tw

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Cycle-level DRAM timing backend.
+ *
+ * A deliberately small channel/rank/bank state machine in the
+ * spirit of Ramulator 2.0's interface-first decomposition: each
+ * bank tracks its open row, its busy-until horizon, and its last
+ * activate; each rank tracks a refresh epoch. A miss is priced by
+ * walking one access through that state:
+ *
+ *   row hit       tCAS                      (open row matches)
+ *   row closed    tRCD + tCAS               (activate first)
+ *   row conflict  tRP + tRCD + tCAS         (precharge may also
+ *                                            wait for tRAS)
+ *
+ * plus burstCycles of data occupancy, plus any queueing behind the
+ * bank's previous access, plus tRFC whenever the access crosses
+ * into a new tREFI epoch on its rank. The handler-overhead
+ * component (kernel trap + Tapeworm bookkeeping, Table 5) is still
+ * charged on top: the backend replaces the flat *memory* cost, not
+ * the trap machinery the paper measured.
+ *
+ * FR-FCFS-lite: the trap handler is synchronous, so there is never
+ * more than one outstanding request — arbitration degenerates to
+ * the per-bank busy horizon, and "first-ready" survives as the
+ * open-row preference encoded in the latency table above.
+ *
+ * TLB misses are modeled as walkReads dependent page-table reads
+ * (a two-level walk by default) through the same bank state.
+ */
+
+#ifndef TW_CORE_COST_DRAM_BACKEND_HH
+#define TW_CORE_COST_DRAM_BACKEND_HH
+
+#include <vector>
+
+#include "core/cost/cost_backend.hh"
+
+namespace tw
+{
+
+/** Row-buffer tallies a dram-backend run accumulates. */
+struct DramStats
+{
+    Counter rowHits = 0;
+    Counter rowConflicts = 0;
+    Counter refreshes = 0;
+};
+
+class DramBackend : public CostBackend
+{
+  public:
+    DramBackend(const DramTimingParams &params,
+                const TrapCostModel &handler);
+
+    /** Folds row-buffer tallies into the obs registry. */
+    ~DramBackend() override;
+
+    void reset() override;
+    std::unique_ptr<CostBackend> clone() const override;
+    const char *name() const override { return "dram"; }
+
+    const DramStats &stats() const { return stats_; }
+    const DramTimingParams &params() const { return params_; }
+
+  protected:
+    Cycles compute(const MissEvent &ev) override;
+
+  private:
+    struct Bank
+    {
+        std::uint64_t openRow = 0;
+        bool rowOpen = false;
+        Cycles busyUntil = 0;
+        Cycles lastActivate = 0;
+    };
+
+    /** Completion time of one access issued at sim-time @p now. */
+    Cycles access(Addr pa, Cycles now);
+
+    DramTimingParams params_;
+    TrapCostModel handler_;
+    std::vector<Bank> banks_;
+    std::vector<Cycles> rankRefreshEpoch_;
+    DramStats stats_;
+};
+
+} // namespace tw
+
+#endif // TW_CORE_COST_DRAM_BACKEND_HH

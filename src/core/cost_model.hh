@@ -21,6 +21,7 @@
 #include <cmath>
 #include <cstdint>
 
+#include "base/logging.hh"
 #include "base/types.hh"
 
 namespace tw
@@ -48,10 +49,18 @@ struct TrapCostModel
      *  refill plus Tapeworm bookkeeping. */
     Cycles tlbMissCycles = 300;
 
-    /** Handler instructions for the given geometry. */
+    /** Handler instructions for the given geometry. Both arguments
+     *  are at least 1 for any real cache; zero would wrap the
+     *  unsigned per-way/per-granule terms, so it is rejected as an
+     *  unusable configuration (the CacheConfig::tlb(0) precedent:
+     *  fail at config time, loudly). */
     unsigned
     missInstructions(unsigned assoc, unsigned granules_per_line) const
     {
+        if (assoc == 0 || granules_per_line == 0)
+            fatal("cost model: associativity (%u) and granules per "
+                  "line (%u) must both be at least 1",
+                  assoc, granules_per_line);
         unsigned extra_g = granules_per_line - 1;
         return kernelTrapReturn + twCacheMiss
                + twReplaceBase + twReplacePerWay * (assoc - 1)

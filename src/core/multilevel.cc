@@ -27,15 +27,16 @@ TapewormMultiLevel::TapewormMultiLevel(PhysMem &phys,
     lineShift_ = floorLog2(cfg_.l1.lineBytes);
     linesPerPage_ = kHostPageBytes >> lineShift_;
 
-    unsigned granules = cfg_.l1.lineBytes / phys.granuleBytes();
+    granulesPerLine_ = cfg_.l1.lineBytes / phys.granuleBytes();
     unsigned base_instr =
-        cfg_.cost.missInstructions(cfg_.l1.assoc, granules);
+        cfg_.cost.missInstructions(cfg_.l1.assoc, granulesPerLine_);
     l1HitL2Cost_ = static_cast<Cycles>(
         std::llround((base_instr + cfg_.l2SearchInstr)
                      * cfg_.cost.cyclesPerInstr));
     l2MissCost_ = static_cast<Cycles>(std::llround(
         (base_instr + cfg_.l2SearchInstr + cfg_.l2ReplaceInstr)
         * cfg_.cost.cyclesPerInstr));
+    backend_ = makeCostBackend(cfg_.costBackend, cfg_.cost);
 }
 
 void
@@ -95,10 +96,11 @@ TapewormMultiLevel::onDmaInvalidate(Pfn pfn)
     armPage(it->second, pfn);
 }
 
-void
+bool
 TapewormMultiLevel::handleMiss(const Task &task, Addr va, Addr pa,
-                               AccessKind kind, Cycles &cost)
+                               AccessKind kind)
 {
+    bool l2_hit = true;
     unsigned comp = static_cast<unsigned>(task.component);
     ++stats_.l1Misses[comp];
 
@@ -113,10 +115,8 @@ TapewormMultiLevel::handleMiss(const Task &task, Addr va, Addr pa,
 
     // Software search of the L2 model (the "hybrid" part of
     // trap-driven multi-level simulation: only L1 misses pay it).
-    if (l2_.contains(ref)) {
-        cost = l1HitL2Cost_;
-    } else {
-        cost = l2MissCost_;
+    if (!l2_.contains(ref)) {
+        l2_hit = false;
         ++stats_.l2Misses[comp];
         auto l2_victim = l2_.insert(ref, is_store);
         if (l2_victim) {
@@ -140,6 +140,7 @@ TapewormMultiLevel::handleMiss(const Task &task, Addr va, Addr pa,
         if (pages_.count(static_cast<Pfn>(vpa / kHostPageBytes)))
             phys_.setTrap(vpa, cfg_.l1.lineBytes);
     }
+    return l2_hit;
 }
 
 Cycles
@@ -155,9 +156,21 @@ TapewormMultiLevel::onRef(const Task &task, Addr va, Addr pa,
             return 0;
         }
     }
-    Cycles cost = 0;
-    handleMiss(task, va, pa, kind, cost);
-    return cfg_.chargeCost ? cost : 0;
+    bool l2_hit = handleMiss(task, va, pa, kind);
+    if (!cfg_.chargeCost)
+        return 0;
+    MissEvent ev;
+    ev.kind = l2_hit ? MissKind::L2Hit : MissKind::Fill;
+    ev.pa = alignDown(pa, cfg_.l1.lineBytes);
+    ev.isWrite = kind == AccessKind::Store;
+    ev.assoc = cfg_.l1.assoc;
+    ev.granulesPerLine = granulesPerLine_;
+    ev.lineBytes = cfg_.l1.lineBytes;
+    ev.extraInstr = l2_hit
+                        ? cfg_.l2SearchInstr
+                        : cfg_.l2SearchInstr + cfg_.l2ReplaceInstr;
+    ev.now = clock_ ? *clock_ : 0;
+    return backend_->missCycles(ev);
 }
 
 bool

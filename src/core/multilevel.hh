@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "base/types.hh"
+#include "core/cost/cost_backend.hh"
 #include "core/cost_model.hh"
 #include "machine/phys_mem.hh"
 #include "mem/cache.hh"
@@ -46,6 +47,9 @@ struct MultiLevelConfig
     bool compensateMasked = true;
     bool chargeCost = true;
     TrapCostModel cost;
+
+    /** Who prices misses (default: cost as flat Table 5). */
+    CostBackendConfig costBackend;
 
     /** Extra handler instructions to search the software L2. */
     unsigned l2SearchInstr = 15;
@@ -108,6 +112,7 @@ class TapewormMultiLevel : public SimClient
     void onPageRemoved(const Task &task, Vpn vpn, Pfn pfn,
                        bool last_mapping) override;
     void onDmaInvalidate(Pfn pfn) override;
+    void bindClock(const Cycles *now) override { clock_ = now; }
 
     /** Hits are filtered by the machine's trap bits, exactly as
      *  onRef() itself would (its first test is isTrapped). */
@@ -121,10 +126,13 @@ class TapewormMultiLevel : public SimClient
     const Cache &l1() const { return l1_; }
     const Cache &l2() const { return l2_; }
 
-    /** Handler cost for an L1 miss that hits L2. */
+    /** Flat (table5) handler cost for an L1 miss that hits L2. */
     Cycles l1MissCost() const { return l1HitL2Cost_; }
-    /** Handler cost for a miss that goes all the way to memory. */
+    /** Flat handler cost for a miss going all the way to memory. */
     Cycles l2MissCost() const { return l2MissCost_; }
+
+    /** The backend pricing this run's misses. */
+    const CostBackend &costBackend() const { return *backend_; }
 
     /**
      * Invariants: (a) a registered line traps iff it is absent from
@@ -141,15 +149,19 @@ class TapewormMultiLevel : public SimClient
     };
 
     void armPage(const PageReg &reg, Pfn pfn);
-    void handleMiss(const Task &task, Addr va, Addr pa,
-                    AccessKind kind, Cycles &cost);
+    /** Returns true when the software L2 serviced the miss. */
+    bool handleMiss(const Task &task, Addr va, Addr pa,
+                    AccessKind kind);
 
     PhysMem &phys_;
     MultiLevelConfig cfg_;
     Cache l1_;
     Cache l2_;
+    std::unique_ptr<CostBackend> backend_;
+    const Cycles *clock_ = nullptr;
     Cycles l1HitL2Cost_;
     Cycles l2MissCost_;
+    unsigned granulesPerLine_;
     unsigned lineShift_;
     unsigned linesPerPage_;
     std::unordered_map<Pfn, PageReg> pages_;

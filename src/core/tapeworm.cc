@@ -31,10 +31,10 @@ Tapeworm::Tapeworm(PhysMem &phys, const TapewormConfig &config)
 
     lineShift_ = floorLog2(cfg_.cache.lineBytes);
     linesPerPage_ = kHostPageBytes >> lineShift_;
-    unsigned granules_per_line =
-        cfg_.cache.lineBytes / phys.granuleBytes();
+    granulesPerLine_ = cfg_.cache.lineBytes / phys.granuleBytes();
     missCost_ = cfg_.cost.missCycles(cfg_.cache.assoc,
-                                     granules_per_line);
+                                     granulesPerLine_);
+    backend_ = makeCostBackend(cfg_.costBackend, cfg_.cost);
 
     allSampled_ = cfg_.sampleNum == cfg_.sampleDenom;
     if (!allSampled_) {
@@ -262,7 +262,17 @@ Tapeworm::onRef(const Task &task, Addr va, Addr pa, bool intr_masked,
         }
     }
     handleMiss(task, va, pa, kind);
-    return cfg_.chargeCost ? missCost_ : 0;
+    if (!cfg_.chargeCost)
+        return 0;
+    MissEvent ev;
+    ev.kind = MissKind::Fill;
+    ev.pa = alignDown(pa, cfg_.cache.lineBytes);
+    ev.isWrite = kind == AccessKind::Store;
+    ev.assoc = cfg_.cache.assoc;
+    ev.granulesPerLine = granulesPerLine_;
+    ev.lineBytes = cfg_.cache.lineBytes;
+    ev.now = clock_ ? *clock_ : 0;
+    return backend_->missCycles(ev);
 }
 
 const char *

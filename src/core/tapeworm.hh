@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "base/types.hh"
+#include "core/cost/cost_backend.hh"
 #include "core/cost_model.hh"
 #include "machine/phys_mem.hh"
 #include "mem/cache.hh"
@@ -99,6 +100,9 @@ struct TapewormConfig
 
     TrapCostModel cost;
 
+    /** Who prices misses (default: cost as flat Table 5). */
+    CostBackendConfig costBackend;
+
     double
     sampledFraction() const
     {
@@ -161,6 +165,7 @@ class Tapeworm : public SimClient
     void onPageRemoved(const Task &task, Vpn vpn, Pfn pfn,
                        bool last_mapping) override;
     void onDmaInvalidate(Pfn pfn) override;
+    void bindClock(const Cycles *now) override { clock_ = now; }
 
     /** onRef()'s first act is the phys_.isTrapped(pa) test, so the
      *  machine may perform exactly that test inline and skip the
@@ -196,8 +201,12 @@ class Tapeworm : public SimClient
     /** Estimated misses of one component (scaled like above). */
     double estimatedMisses(Component c) const;
 
-    /** The handler cost being charged per miss. */
+    /** The flat (table5) handler cost per miss; time-dependent
+     *  backends charge per-event via costBackend() instead. */
     Cycles missCost() const { return missCost_; }
+
+    /** The backend pricing this run's misses. */
+    const CostBackend &costBackend() const { return *backend_; }
 
     /** Is a set part of the sample? */
     bool setSampled(std::uint64_t set_index) const;
@@ -234,7 +243,10 @@ class Tapeworm : public SimClient
     PhysMem &phys_;
     TapewormConfig cfg_;
     Cache cache_;
+    std::unique_ptr<CostBackend> backend_;
+    const Cycles *clock_ = nullptr;
     Cycles missCost_;
+    unsigned granulesPerLine_;
     unsigned lineShift_;
     unsigned linesPerPage_;
     bool allSampled_;

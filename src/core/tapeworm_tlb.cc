@@ -24,6 +24,7 @@ TapewormTlb::TapewormTlb(const TapewormTlbConfig &config)
                   && cfg_.tlb.tagIncludesTask,
               "a TLB is indexed by virtual page and tagged by task");
     pagesPer_ = cfg_.pagesPerEntry();
+    backend_ = makeCostBackend(cfg_.costBackend, cfg_.cost);
 }
 
 void
@@ -172,8 +173,8 @@ Cycles
 TapewormTlb::onRef(const Task &task, Addr va, Addr pa,
                    bool intr_masked, AccessKind kind)
 {
-    (void)pa;
-    (void)kind; // a TLB translates fetches, loads and stores alike
+    // A TLB translates fetches, loads and stores alike; pa and kind
+    // only matter to the cost backend.
     auto it = spaces_.find(task.tid);
     if (it == spaces_.end())
         return 0; // task not simulated
@@ -191,7 +192,14 @@ TapewormTlb::onRef(const Task &task, Addr va, Addr pa,
         }
     }
     handleMiss(task, space, va / kHostPageBytes, space.pfns[idx]);
-    return cfg_.chargeCost ? cfg_.cost.tlbMissCycles : 0;
+    if (!cfg_.chargeCost)
+        return 0;
+    MissEvent ev;
+    ev.kind = MissKind::Tlb;
+    ev.pa = pa;
+    ev.isWrite = kind == AccessKind::Store;
+    ev.now = clock_ ? *clock_ : 0;
+    return backend_->missCycles(ev);
 }
 
 bool

@@ -24,6 +24,7 @@
 
 #include "base/arena.hh"
 #include "base/types.hh"
+#include "core/cost/cost_backend.hh"
 #include "core/cost_model.hh"
 #include "mem/cache.hh"
 #include "os/sim_client.hh"
@@ -46,6 +47,9 @@ struct TapewormTlbConfig
     bool chargeCost = true;
     bool compensateMasked = true;
     TrapCostModel cost;
+
+    /** Who prices misses (default: cost as flat tlbMissCycles). */
+    CostBackendConfig costBackend;
 
     /** Physical frames of the host machine. When nonzero, the
      *  simulator maintains a conservative per-frame trap bitmap
@@ -98,6 +102,7 @@ class TapewormTlb : public SimClient
                       bool shared) override;
     void onPageRemoved(const Task &task, Vpn vpn, Pfn pfn,
                        bool last_mapping) override;
+    void bindClock(const Cycles *now) override { clock_ = now; }
 
     /** Page-granularity view of the per-frame trap bitmap (null
      *  when cfg.filterFrames == 0). Conservative: a clear bit
@@ -110,6 +115,9 @@ class TapewormTlb : public SimClient
     const TapewormTlbStats &stats() const { return stats_; }
     const Cache &tlb() const { return tlb_; }
     Cycles missCost() const { return cfg_.cost.tlbMissCycles; }
+
+    /** The backend pricing this run's misses. */
+    const CostBackend &costBackend() const { return *backend_; }
 
     /** Verify trap/residence duality over all registered pages. */
     bool checkInvariants() const;
@@ -134,6 +142,8 @@ class TapewormTlb : public SimClient
     void setPageTrap(Space &space, std::uint64_t idx, bool on);
 
     TapewormTlbConfig cfg_;
+    std::unique_ptr<CostBackend> backend_;
+    const Cycles *clock_ = nullptr;
     unsigned pagesPer_;
     Cache tlb_;
     std::unordered_map<TaskId, Space> spaces_;

@@ -85,11 +85,31 @@ experimentJobs(const ExperimentDef &def, unsigned scale)
     return jobs;
 }
 
+std::string
+costBackendTag(const RunSpec &spec)
+{
+    const CostBackendConfig *cfg = nullptr;
+    switch (spec.sim) {
+      case SimKind::Tapeworm:
+        cfg = &spec.tw.costBackend;
+        break;
+      case SimKind::TapewormTlbSim:
+        cfg = &spec.tlb.costBackend;
+        break;
+      default:
+        return {};
+    }
+    if (cfg->isDefault())
+        return {};
+    return costBackendKindName(cfg->kind);
+}
+
 Json
 experimentRowJson(const std::string &experiment,
                   const std::string &unit, std::uint64_t seq,
                   std::uint64_t trial, std::uint64_t seed,
-                  const RunOutcome &outcome)
+                  const RunOutcome &outcome,
+                  const std::string &cost_backend)
 {
     Json j = Json::object();
     j.set("experiment", Json::str(experiment));
@@ -97,6 +117,8 @@ experimentRowJson(const std::string &experiment,
     j.set("seq", Json::number(seq));
     j.set("trial", Json::number(trial));
     j.set("seed", Json::number(seed));
+    if (!cost_backend.empty())
+        j.set("backend", Json::str(cost_backend));
     j.set("outcome", outcomeToJson(outcome));
     return j;
 }
@@ -157,7 +179,8 @@ void
 NdjsonSink::row(const ExperimentRow &r)
 {
     std::string line = experimentRowJson(r.experiment, r.unit, r.seq,
-                                         r.trial, r.seed, *r.outcome)
+                                         r.trial, r.seed, *r.outcome,
+                                         r.costBackend)
                            .dump();
     line.push_back('\n');
     std::fwrite(line.data(), 1, line.size(), out_);
@@ -389,6 +412,7 @@ runExperiment(const ExperimentDef &def, StatSink &sink,
             r.seq = seq + t;
             r.trial = t;
             r.seed = unit.plan.seeds[t];
+            r.costBackend = costBackendTag(unit.spec);
             r.outcome = &outs[t];
             sink.row(r);
         }

@@ -160,20 +160,31 @@ struct ExperimentRow
     std::uint64_t seq = 0;
     std::uint64_t trial = 0;
     std::uint64_t seed = 0;
+    /** Non-default cost backend name; empty (the table5 default)
+     *  keeps the row bytes of the pre-backend schema. */
+    std::string costBackend;
     const RunOutcome *outcome = nullptr;
 };
 
+/** The row tag of @p spec's cost backend: empty for the default
+ *  (table5) so default rows stay byte-identical, the backend name
+ *  otherwise. Follows the sim kind: only the simulator that runs
+ *  prices misses. */
+std::string costBackendTag(const RunSpec &spec);
+
 /**
  * The canonical row object: {experiment, unit, seq, trial, seed,
- * outcome} with outcome rendered by outcomeToJson (hostSeconds
- * excluded). Served rows re-render through this exact function, so
- * `twctl --experiment` output diffs clean against
- * `bench_driver --run X --rows -`.
+ * [backend,] outcome} with outcome rendered by outcomeToJson
+ * (hostSeconds excluded) and "backend" present only when
+ * @p cost_backend is non-empty (a non-default backend). Served rows
+ * re-render through this exact function, so `twctl --experiment`
+ * output diffs clean against `bench_driver --run X --rows -`.
  */
 Json experimentRowJson(const std::string &experiment,
                        const std::string &unit, std::uint64_t seq,
                        std::uint64_t trial, std::uint64_t seed,
-                       const RunOutcome &outcome);
+                       const RunOutcome &outcome,
+                       const std::string &cost_backend = std::string());
 
 /**
  * Row pipeline stage. The engine drives every attached sink with

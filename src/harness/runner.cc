@@ -119,6 +119,11 @@ Runner::sampleEligible(const RunSpec &spec)
     const TapewormConfig &tw = spec.tw;
     if (tw.kind != SimCacheKind::Instruction)
         return false;
+    // Time-dependent cost backends (dram) price a miss by WHEN it
+    // happens; interval replay reconstructs residency, not time, so
+    // such specs run in full (counted in engine.sample.fallbacks).
+    if (tw.costBackend.kind == CostBackendKind::Dram)
+        return false;
     // Exact boundary reconstruction holds only for direct-mapped
     // virtually-indexed caches (the resident line of a set is the
     // most recently referenced line mapping to it).

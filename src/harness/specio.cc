@@ -538,6 +538,80 @@ costFromJson(const Json &j, TrapCostModel &out, std::string &err)
 }
 
 Json
+dramParamsToJson(const DramTimingParams &p)
+{
+    Json j = Json::object();
+    j.set("channels", Json::number(p.channels));
+    j.set("ranks", Json::number(p.ranksPerChannel));
+    j.set("banks", Json::number(p.banksPerRank));
+    j.set("rowBytes", Json::number(p.rowBytes));
+    j.set("tRCD", Json::number(p.tRCD));
+    j.set("tRP", Json::number(p.tRP));
+    j.set("tCAS", Json::number(p.tCAS));
+    j.set("tRAS", Json::number(p.tRAS));
+    j.set("tRFC", Json::number(p.tRFC));
+    j.set("tREFI", Json::number(p.tREFI));
+    j.set("burst", Json::number(p.burstCycles));
+    j.set("walkReads", Json::number(p.walkReads));
+    return j;
+}
+
+bool
+dramParamsFromJson(const Json &j, DramTimingParams &out,
+                   std::string &err)
+{
+    Fields f(j, "DramTimingParams", err);
+    f.uns("channels", out.channels);
+    f.uns("ranks", out.ranksPerChannel);
+    f.uns("banks", out.banksPerRank);
+    f.uns("rowBytes", out.rowBytes);
+    f.uns("tRCD", out.tRCD);
+    f.uns("tRP", out.tRP);
+    f.uns("tCAS", out.tCAS);
+    f.uns("tRAS", out.tRAS);
+    f.uns("tRFC", out.tRFC);
+    f.u64("tREFI", out.tREFI);
+    f.uns("burst", out.burstCycles);
+    f.uns("walkReads", out.walkReads);
+    return f.finish();
+}
+
+// Emitted only when non-default (like "sample"): a spec on the
+// table5 backend keeps every byte — and therefore every cache key
+// and shard fingerprint — of the pre-backend schema.
+Json
+costBackendToJson(const CostBackendConfig &c)
+{
+    Json j = Json::object();
+    j.set("v", Json::number(1u));
+    j.set("backend", Json::str(costBackendKindName(c.kind)));
+    if (c.kind == CostBackendKind::Dram)
+        j.set("dram", dramParamsToJson(c.dram));
+    return j;
+}
+
+bool
+costBackendFromJson(const Json &j, CostBackendConfig &out,
+                    std::string &err)
+{
+    Fields f(j, "CostBackendConfig", err);
+    std::uint64_t version = 0;
+    f.u64("v", version);
+    if (f.ok() && version != 1) {
+        f.fail("CostBackendConfig: unsupported version %llu",
+               static_cast<unsigned long long>(version));
+    }
+    f.enm("backend", out.kind, costBackendKindFromName);
+    if (f.ok() && out.kind == CostBackendKind::Dram) {
+        if (const Json *d = f.get("dram")) {
+            if (!dramParamsFromJson(*d, out.dram, err))
+                f.fail("CostBackendConfig: %s", err.c_str());
+        }
+    }
+    return f.finish();
+}
+
+Json
 twCfgToJson(const TapewormConfig &t)
 {
     Json j = Json::object();
@@ -551,6 +625,8 @@ twCfgToJson(const TapewormConfig &t)
     j.set("compensateMasked", Json::boolean(t.compensateMasked));
     j.set("chargeCost", Json::boolean(t.chargeCost));
     j.set("cost", costToJson(t.cost));
+    if (!t.costBackend.isDefault())
+        j.set("costBackend", costBackendToJson(t.costBackend));
     return j;
 }
 
@@ -574,6 +650,12 @@ twCfgFromJson(const Json &j, TapewormConfig &out, std::string &err)
         if (!costFromJson(*c, out.cost, err))
             f.fail("TapewormConfig: %s", err.c_str());
     }
+    if (const Json *c = f.maybe("costBackend")) {
+        if (!costBackendFromJson(*c, out.costBackend, err))
+            f.fail("TapewormConfig: %s", err.c_str());
+    } else {
+        out.costBackend = CostBackendConfig{};
+    }
     return f.finish();
 }
 
@@ -586,6 +668,8 @@ tlbCfgToJson(const TapewormTlbConfig &t)
     j.set("compensateMasked", Json::boolean(t.compensateMasked));
     j.set("cost", costToJson(t.cost));
     j.set("filterFrames", Json::number(t.filterFrames));
+    if (!t.costBackend.isDefault())
+        j.set("costBackend", costBackendToJson(t.costBackend));
     return j;
 }
 
@@ -605,6 +689,12 @@ tlbCfgFromJson(const Json &j, TapewormTlbConfig &out,
             f.fail("TapewormTlbConfig: %s", err.c_str());
     }
     f.u64("filterFrames", out.filterFrames);
+    if (const Json *c = f.maybe("costBackend")) {
+        if (!costBackendFromJson(*c, out.costBackend, err))
+            f.fail("TapewormTlbConfig: %s", err.c_str());
+    } else {
+        out.costBackend = CostBackendConfig{};
+    }
     return f.finish();
 }
 

@@ -131,6 +131,18 @@ class SimClient
                          AccessKind kind = AccessKind::Fetch) = 0;
 
     /**
+     * Give the client a read-only view of the machine's committed
+     * cycle counter (called once, when the client is attached).
+     * Time-dependent cost backends read it to order misses in
+     * simulated time. The pointer stays valid for the run; the
+     * value is monotone, but fast engine paths charge base CPI in
+     * bulk at span boundaries, so between spans it may trail the
+     * exact instruction position (only the observed slow path keeps
+     * it exact). Clients that don't care keep the no-op default.
+     */
+    virtual void bindClock(const Cycles *now) { (void)now; }
+
+    /**
      * The VM system mapped a page of a task whose simulate
      * attribute is set (the tw_register_page() call site).
      *

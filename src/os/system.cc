@@ -49,6 +49,8 @@ System::setClient(SimClient *client)
 {
     client_ = client;
     vm_.setClient(client);
+    if (client)
+        client->bindClock(&cycles_);
 }
 
 Task *

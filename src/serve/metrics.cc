@@ -17,6 +17,23 @@ MetricsRegistry::recordCacheLookup(const std::string &experiment,
         ++c.misses;
 }
 
+void
+MetricsRegistry::recordCostBackend(const std::string &backend)
+{
+    std::lock_guard<std::mutex> lock(experimentsMutex_);
+    ++costBackendTrials_[backend];
+}
+
+Json
+MetricsRegistry::costBackendsJson() const
+{
+    std::lock_guard<std::mutex> lock(experimentsMutex_);
+    Json j = Json::object();
+    for (const auto &[name, trials] : costBackendTrials_)
+        j.set(name, Json::number(trials));
+    return j;
+}
+
 Json
 MetricsRegistry::experimentsJson() const
 {

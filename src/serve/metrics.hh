@@ -149,6 +149,17 @@ struct MetricsRegistry
     /** {"<experiment>": {"hits": N, "misses": N}, ...} */
     Json experimentsJson() const;
 
+    /**
+     * Trials admitted per cost backend name ("table5", "ideal",
+     * "dram"), so served-vs-local diffs are self-describing about
+     * which pricing model produced the rows. Same cold-path mutex
+     * rationale as recordCacheLookup.
+     */
+    void recordCostBackend(const std::string &backend);
+
+    /** {"<backend>": N, ...} */
+    Json costBackendsJson() const;
+
     double
     uptimeSeconds() const
     {
@@ -176,6 +187,7 @@ struct MetricsRegistry
     };
     mutable std::mutex experimentsMutex_;
     std::map<std::string, LookupCounts> experimentLookups_;
+    std::map<std::string, std::uint64_t> costBackendTrials_;
 };
 
 } // namespace serve

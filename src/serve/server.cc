@@ -40,6 +40,15 @@ usSince(Clock::time_point t0)
         .count();
 }
 
+/** Stats key of a spec's miss-cost backend. Unlike the row tag
+ *  (empty for the default), stats name the default explicitly. */
+std::string
+costBackendStatName(const RunSpec &spec)
+{
+    std::string tag = costBackendTag(spec);
+    return tag.empty() ? "table5" : tag;
+}
+
 } // anonymous namespace
 
 /** One connected client. Row streaming happens from worker threads
@@ -648,6 +657,7 @@ Server::handleSubmit(const std::shared_ptr<Session> &session,
         RunOutcome out;
         bool hit = cache_.lookup(key, out);
         metrics_.recordCacheLookup("_adhoc", hit);
+        metrics_.recordCostBackend(costBackendStatName(*spec));
         if (hit) {
             hits.push_back({"", 0, t, seeds[t], std::move(out)});
         } else {
@@ -715,6 +725,7 @@ Server::handleRunExperiment(const std::shared_ptr<Session> &session,
         RunOutcome out;
         bool hit = cache_.lookup(key, out);
         metrics_.recordCacheLookup(def->name, hit);
+        metrics_.recordCostBackend(costBackendStatName(pj.spec));
         if (hit) {
             hits.push_back({pj.unit, pj.seq, pj.trial, pj.seed,
                             std::move(out)});
@@ -916,6 +927,7 @@ Server::handleRunJobs(const std::shared_ptr<Session> &session,
         bool hit = cache_.lookup(key, out);
         metrics_.recordCacheLookup(
             experiment.empty() ? "_adhoc" : experiment, hit);
+        metrics_.recordCostBackend(costBackendStatName(*spec));
         if (hit) {
             hits.push_back(
                 {std::move(unit), seq, trial, seed, std::move(out)});
@@ -1226,6 +1238,10 @@ Server::statsJson()
     // Result-cache hit/miss per experiment ("_adhoc" = plain
     // submits), counted at admission time.
     j.set("experiments", metrics_.experimentsJson());
+
+    // Trials admitted per miss-cost backend, so a stats reply says
+    // which pricing model the served rows used.
+    j.set("cost_backends", metrics_.costBackendsJson());
 
     Json rej = Json::object();
     rej.set("overloaded", n(metrics_.rejectedOverloaded));

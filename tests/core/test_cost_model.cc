@@ -65,5 +65,20 @@ TEST(CostModel, IdealHardwareNearFiftyCycles)
     EXPECT_LT(speedup, 6.5);
 }
 
+TEST(CostModelDeath, RejectsZeroGeometry)
+{
+    // Regression: assoc == 0 wrapped the (assoc - 1) per-way term
+    // and granules_per_line == 0 wrapped the per-granule trap-op
+    // terms to ~2^32 instructions; both now die with the real
+    // problem, matching the CacheConfig::tlb(0) precedent.
+    TrapCostModel m;
+    EXPECT_EXIT(m.missInstructions(0, 1),
+                ::testing::ExitedWithCode(1), "at least 1");
+    EXPECT_EXIT(m.missInstructions(1, 0),
+                ::testing::ExitedWithCode(1), "at least 1");
+    EXPECT_EXIT(m.missCycles(0, 0), ::testing::ExitedWithCode(1),
+                "at least 1");
+}
+
 } // namespace
 } // namespace tw

@@ -105,6 +105,25 @@ TEST(ParallelTrials, WarmBaselineCacheGivesSameAnswers)
     expectAllBitIdentical(cold, warm);
 }
 
+TEST(ParallelTrials, BitIdenticalAcrossThreadCountsDramBackend)
+{
+    // The dram cost backend is STATEFUL (bank/row/refresh state
+    // accumulates across misses within a trial). Each trial gets
+    // its own backend instance, so outcomes — including the
+    // contention-dependent slowdown — must stay bit-identical at
+    // any thread count.
+    RunSpec spec = smallSpec("espresso");
+    spec.tw.costBackend.kind = CostBackendKind::Dram;
+    auto serial = runTrials(spec, 8, 0xd4a8, true, 1);
+    auto parallel = runTrials(spec, 8, 0xd4a8, true, 4);
+    expectAllBitIdentical(serial, parallel);
+    // And dram pricing genuinely moved time relative to table5 —
+    // the determinism above is not vacuous.
+    RunSpec flat = smallSpec("espresso");
+    auto flatRun = runTrials(flat, 1, 0xd4a8, true, 1);
+    EXPECT_NE(parallel.at(0).slowdown, flatRun.at(0).slowdown);
+}
+
 TEST(ParallelTrials, MoreThreadsThanTrials)
 {
     RunSpec spec = smallSpec("espresso", 8000);

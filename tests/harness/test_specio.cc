@@ -301,6 +301,81 @@ TEST(SpecIo, SampleOutcomeRoundTripsAndOmits)
     EXPECT_DOUBLE_EQ(back.sample.ciHalfWidth, o.sample.ciHalfWidth);
 }
 
+TEST(SpecIo, CostBackendOmittedWhenDefault)
+{
+    // A table5 spec must serialize byte-identically to the
+    // pre-backend schema — same wire text, same cache keys, same
+    // shard fingerprints — and an explicitly-default config is
+    // indistinguishable from never touching the field.
+    RunSpec spec = sampleSpec();
+    EXPECT_TRUE(spec.tw.costBackend.isDefault());
+    std::string text = formatRunSpec(spec);
+    EXPECT_EQ(text.find("\"costBackend\""), std::string::npos);
+
+    RunSpec explicitDefault = spec;
+    explicitDefault.tw.costBackend = CostBackendConfig{};
+    explicitDefault.tw.costBackend.dram.tRCD = 99; // unused off-dram
+    EXPECT_EQ(formatRunSpec(explicitDefault), text);
+    EXPECT_EQ(cacheKey(explicitDefault, 7, false),
+              cacheKey(spec, 7, false));
+}
+
+TEST(SpecIo, CostBackendRoundTripsEveryKind)
+{
+    for (CostBackendKind kind :
+         {CostBackendKind::Table5, CostBackendKind::Ideal,
+          CostBackendKind::Dram}) {
+        SCOPED_TRACE(costBackendKindName(kind));
+        RunSpec spec = sampleSpec();
+        spec.tw.costBackend.kind = kind;
+        spec.tlb.costBackend.kind = kind;
+        if (kind == CostBackendKind::Dram) {
+            spec.tw.costBackend.dram.tRCD = 15;
+            spec.tw.costBackend.dram.banksPerRank = 16;
+            spec.tw.costBackend.dram.tREFI = 0;
+        }
+        std::string text = formatRunSpec(spec);
+        RunSpec back;
+        std::string err;
+        ASSERT_TRUE(parseRunSpec(text, back, err)) << err;
+        EXPECT_EQ(formatRunSpec(back), text);
+        EXPECT_TRUE(back.tw.costBackend == spec.tw.costBackend);
+        EXPECT_TRUE(back.tlb.costBackend == spec.tlb.costBackend);
+        if (kind != CostBackendKind::Table5) {
+            EXPECT_NE(cacheKey(spec, 7, false),
+                      cacheKey(sampleSpec(), 7, false));
+        }
+    }
+
+    // A parser fed pre-backend text resets to the default.
+    RunSpec reuse;
+    std::string err;
+    reuse.tw.costBackend.kind = CostBackendKind::Dram;
+    ASSERT_TRUE(
+        parseRunSpec(formatRunSpec(sampleSpec()), reuse, err))
+        << err;
+    EXPECT_TRUE(reuse.tw.costBackend.isDefault());
+}
+
+TEST(SpecIo, CostBackendStrictParse)
+{
+    RunSpec spec = sampleSpec();
+    spec.tw.costBackend.kind = CostBackendKind::Dram;
+    std::string text = formatRunSpec(spec);
+
+    // Unknown backend names and unknown dram keys are rejected, not
+    // ignored — field drift must not silently change pricing.
+    std::string bad = text;
+    bad.replace(bad.find("\"dram\""), 6, "\"dra2\"");
+    RunSpec back;
+    std::string err;
+    EXPECT_FALSE(parseRunSpec(bad, back, err));
+
+    bad = text;
+    bad.replace(bad.find("\"tRCD\""), 6, "\"tRCX\"");
+    EXPECT_FALSE(parseRunSpec(bad, back, err));
+}
+
 TEST(SpecIo, U64SeedSurvivesWireExactly)
 {
     RunSpec spec = sampleSpec();

@@ -363,20 +363,19 @@ expectSameOutcome(const RunOutcome &a, const RunOutcome &b)
     EXPECT_EQ(a.lostMaskedMisses, b.lostMaskedMisses);
 }
 
-TEST(FastPath, TriPathBitIdentityAcrossTenConfigs)
+/** The ten equivalence configurations, one per engine loop shape —
+ *  shared by the tri-path and cost-backend-swap suites. */
+struct FastPathConfig
 {
-    // The full equivalence triangle on ten configurations spanning
-    // every engine loop: fast path with wide scans, fast path
-    // forced scalar (TW_NO_SIMD), and the legacy per-step path
-    // (TW_SLOW_PATH=1) must all produce identical outcomes. SIMD is
-    // an implementation detail of the probe, never of the result.
-    struct Config
-    {
-        const char *label;
-        RunSpec spec;
-        std::uint64_t seed;
-    };
-    std::vector<Config> configs;
+    const char *label;
+    RunSpec spec;
+    std::uint64_t seed;
+};
+
+std::vector<FastPathConfig>
+tenConfigs()
+{
+    std::vector<FastPathConfig> configs;
 
     {
         // 1: small icache, everything instrumented (chunked loop,
@@ -445,9 +444,19 @@ TEST(FastPath, TriPathBitIdentityAcrossTenConfigs)
         s.sim = SimKind::None;
         configs.push_back({"uninstrumented", s, 110});
     }
+    return configs;
+}
 
+TEST(FastPath, TriPathBitIdentityAcrossTenConfigs)
+{
+    // The full equivalence triangle on ten configurations spanning
+    // every engine loop: fast path with wide scans, fast path
+    // forced scalar (TW_NO_SIMD), and the legacy per-step path
+    // (TW_SLOW_PATH=1) must all produce identical outcomes. SIMD is
+    // an implementation detail of the probe, never of the result.
+    std::vector<FastPathConfig> configs = tenConfigs();
     ASSERT_EQ(configs.size(), 10u);
-    for (const Config &cfg : configs) {
+    for (const FastPathConfig &cfg : configs) {
         SCOPED_TRACE(cfg.label);
         RunOutcome wide, scalar, slow;
         {
@@ -466,6 +475,42 @@ TEST(FastPath, TriPathBitIdentityAcrossTenConfigs)
         expectSameOutcome(wide, scalar);
         expectSameOutcome(wide, slow);
     }
+}
+
+TEST(FastPath, CostBackendSwapBitIdentityAcrossTenConfigs)
+{
+    // Routing miss pricing through an explicitly-selected table5
+    // CostBackend must be indistinguishable from the default (the
+    // pre-backend inline arithmetic) on every engine loop shape —
+    // the refactor moved the seam, not the numbers.
+    for (const FastPathConfig &cfg : tenConfigs()) {
+        SCOPED_TRACE(cfg.label);
+        RunOutcome base = Runner::runOne(cfg.spec, cfg.seed);
+
+        RunSpec swapped = cfg.spec;
+        std::string err;
+        ASSERT_TRUE(parseCostBackendSpec(
+            "table5", swapped.tw.costBackend, err))
+            << err;
+        swapped.tlb.costBackend = swapped.tw.costBackend;
+        expectSameOutcome(base, Runner::runOne(swapped, cfg.seed));
+    }
+}
+
+TEST(FastPath, IdealBackendDilatesLess)
+{
+    // The ~50-cycle Section 4.3 handler must accumulate LESS
+    // simulated time than the 246-cycle measured handler. (Miss
+    // counts may differ too: charged cycles advance the clock,
+    // which moves tick interrupts — the dilation interference of
+    // Figure 4 — so only the time comparison is exact.)
+    RunSpec spec = baseSpec();
+    spec.sys.scope = SimScope::all();
+    RunOutcome table5 = Runner::runOne(spec, 42);
+    spec.tw.costBackend.kind = CostBackendKind::Ideal;
+    RunOutcome ideal = Runner::runOne(spec, 42);
+    EXPECT_GT(table5.rawMisses, 0.0);
+    EXPECT_LT(ideal.run.cycles, table5.run.cycles);
 }
 
 } // namespace

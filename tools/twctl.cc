@@ -83,6 +83,8 @@ usage()
         "  --scope SCOPE     all|user|servers|kernel (default "
         "all)\n"
         "  --sample N        simulate 1/N of the sets\n"
+        "  --cost-backend B  miss pricing: table5|ideal|"
+        "dram[:k=v,...]\n"
         "  --tlb-entries N   --tlb-page SIZE\n"
         "  --scale N         divide instruction counts by N\n"
         "                    (default 200; also TW_SCALE_DIV)\n"
@@ -259,6 +261,7 @@ main(int argc, char **argv)
     Indexing indexing = Indexing::Physical;
     std::string policy, sim = "tapeworm", kind = "instruction",
                 scope = "all";
+    CostBackendConfig costBackend;
     SweepArgs sweep;
     std::string seedList;
 
@@ -307,6 +310,10 @@ main(int argc, char **argv)
             scope = value();
         } else if (arg == "--sample") {
             sample = static_cast<unsigned>(std::atoi(value().c_str()));
+        } else if (arg == "--cost-backend") {
+            std::string v = value(), err;
+            if (!parseCostBackendSpec(v, costBackend, err))
+                fatal("--cost-backend: %s", err.c_str());
         } else if (arg == "--tlb-entries") {
             tlbEntries =
                 static_cast<unsigned>(std::atoi(value().c_str()));
@@ -409,6 +416,8 @@ main(int argc, char **argv)
     }
     spec.tw.sampleNum = 1;
     spec.tw.sampleDenom = sample;
+    spec.tw.costBackend = costBackend;
+    spec.tlb.costBackend = costBackend;
     if (scope == "all")
         spec.sys.scope = SimScope::all();
     else if (scope == "user")
@@ -464,7 +473,9 @@ main(int argc, char **argv)
                 std::printf("%s\n",
                             experimentRowJson(def->name, job.unit,
                                               job.seq, job.trial,
-                                              job.seed, out)
+                                              job.seed, out,
+                                              costBackendTag(
+                                                  job.spec))
                                 .dump()
                                 .c_str());
             }
@@ -491,13 +502,26 @@ main(int argc, char **argv)
             }
             fatal("run_experiment: %s", result.errorMsg.c_str());
         }
+        // The wire row carries no spec; re-derive each seq's cost
+        // backend from the same job list the daemon ran so the
+        // re-rendered rows stay bit-identical to `local`.
+        std::vector<std::string> seqBackend;
+        for (const ExperimentJob &job :
+             experimentJobs(*def, expScale)) {
+            if (job.seq >= seqBackend.size())
+                seqBackend.resize(job.seq + 1);
+            seqBackend[job.seq] = costBackendTag(job.spec);
+        }
         for (const ServedExperimentRow &row : result.rows) {
             if (row.expired)
                 continue;
             std::printf("%s\n",
                         experimentRowJson(def->name, row.unit,
                                           row.seq, row.trial,
-                                          row.seed, row.outcome)
+                                          row.seed, row.outcome,
+                                          row.seq < seqBackend.size()
+                                              ? seqBackend[row.seq]
+                                              : std::string())
                             .dump()
                             .c_str());
         }
